@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks of the simulation substrates: thermal step,
+//! sensor chain, controllers, full plant step, closed-loop epoch rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gfsc::date14_gain_schedule;
+use gfsc_control::AdaptivePid;
+use gfsc_sensors::MeasurementPipeline;
+use gfsc_server::{Server, ServerSpec};
+use gfsc_thermal::ServerThermalModel;
+use gfsc_units::{Bounds, Celsius, Rpm, Seconds, Utilization, Watts};
+use gfsc_workload::{SquareWave, Workload};
+use std::hint::black_box;
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/thermal");
+    group.throughput(Throughput::Elements(1));
+    let mut model = ServerThermalModel::date14(Celsius::new(30.0));
+    group.bench_function("two_node_step", |b| {
+        b.iter(|| {
+            black_box(model.step(
+                black_box(Seconds::new(0.5)),
+                black_box(Watts::new(140.8)),
+                black_box(Rpm::new(3000.0)),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_sensors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/sensors");
+    group.throughput(Throughput::Elements(1));
+    let mut chain = MeasurementPipeline::date14();
+    let mut t = 0.0;
+    group.bench_function("pipeline_observe", |b| {
+        b.iter(|| {
+            t += 1.0;
+            black_box(chain.observe(black_box(Seconds::new(t)), black_box(75.3)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/control");
+    group.throughput(Throughput::Elements(1));
+    let mut pid = AdaptivePid::new(
+        date14_gain_schedule().clone(),
+        Celsius::new(75.0),
+        Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+        Some(1.0),
+    );
+    group.bench_function("adaptive_pid_decide", |b| {
+        b.iter(|| {
+            black_box(pid.decide(black_box(Celsius::new(77.0)), black_box(Rpm::new(3000.0))))
+        });
+    });
+    group.finish();
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/server");
+    group.throughput(Throughput::Elements(1));
+    let mut server = Server::new(ServerSpec::enterprise_default());
+    server.set_fan_target(Rpm::new(4000.0));
+    group.bench_function("plant_step_0_5s", |b| {
+        b.iter(|| {
+            black_box(server.step(black_box(Seconds::new(0.5)), black_box(Utilization::new(0.7))))
+        });
+    });
+    group.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/closed_loop");
+    // Simulated seconds per wall-clock second is the metric that bounds
+    // every experiment in the repository.
+    group.throughput(Throughput::Elements(600));
+    group.sample_size(20);
+    group.bench_function("simulate_600s", |b| {
+        b.iter(|| {
+            let mut sim = gfsc_coord::ClosedLoopSim::builder()
+                .workload(Workload::builder(SquareWave::date14()).build())
+                .fan(AdaptivePid::new(
+                    date14_gain_schedule().clone(),
+                    Celsius::new(75.0),
+                    ServerSpec::enterprise_default().fan_bounds,
+                    Some(1.0),
+                ))
+                .build();
+            black_box(sim.run(Seconds::new(600.0)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thermal,
+    bench_sensors,
+    bench_controller,
+    bench_server,
+    bench_closed_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: regenerating Fig. 1 (sensor-lag demonstration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsc::experiments::fig1::{run, Fig1Config};
+use gfsc_units::Seconds;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let config = Fig1Config { horizon: Seconds::new(700.0), ..Fig1Config::default() };
+    // Correctness gate: the bench must be timing a run that reproduces the
+    // paper's observation.
+    let fig = run(&config);
+    assert!((9.0..=11.0).contains(&fig.measured_lag.value()), "lag {}", fig.measured_lag);
+
+    c.bench_function("fig1/sensor_lag_700s", |b| {
+        b.iter(|| black_box(run(black_box(&config))));
+    });
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: regenerating Fig. 3 (adaptive vs fixed-gain PID).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsc::experiments::fig3::{run, Fig3Config};
+use gfsc_units::{Celsius, Seconds};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    // One reduced-horizon configuration for timing (the full experiment
+    // tunes three controllers and simulates 3 × 3200 s).
+    let config = Fig3Config {
+        horizon: Seconds::new(1600.0),
+        period: Seconds::new(800.0),
+        reference: Celsius::new(75.0),
+    };
+    // Correctness gate on the full default config once.
+    let full = run(&Fig3Config::default());
+    assert!(full.adaptive.stable, "adaptive must be stable");
+    assert!(!full.fixed_high.stable, "fixed@6000 must oscillate");
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("three_schemes_1600s", |b| {
+        b.iter(|| black_box(run(black_box(&config))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: regenerating Fig. 4 (deadzone oscillation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsc::experiments::fig4::{run, Fig4Config};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = Fig4Config::default();
+    // Correctness gate.
+    let fig = run(&config);
+    assert!(fig.oscillates, "deadzone must oscillate");
+    assert!(!fig.adaptive_oscillates, "adaptive control must not");
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("deadzone_plus_control_1200s", |b| {
+        b.iter(|| black_box(run(black_box(&config))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

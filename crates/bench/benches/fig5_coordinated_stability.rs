@@ -1,0 +1,24 @@
+//! Criterion bench: regenerating Fig. 5 (coordinated stability under
+//! noise).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsc::experiments::fig5::{run, Fig5Config};
+use gfsc_units::Seconds;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = Fig5Config { horizon: Seconds::new(800.0), ..Fig5Config::default() };
+    // Correctness gate.
+    let fig = run(&config);
+    assert!(fig.stable, "coordinated stack must be stable");
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("coordinated_run_800s", |b| {
+        b.iter(|| black_box(run(black_box(&config))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

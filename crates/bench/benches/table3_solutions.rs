@@ -1,0 +1,27 @@
+//! Criterion bench: regenerating Table III (five-solution comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsc::experiments::table3::{run, Table3Config};
+use gfsc::Solution;
+use gfsc_units::Seconds;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let config = Table3Config { horizon: Seconds::new(900.0), seed: 42 };
+    // Correctness gate (reduced horizon; orderings that are robust even
+    // on short runs).
+    let table = run(&config);
+    let base = table.row(Solution::WithoutCoordination).violation_percent;
+    let ecoord = table.row(Solution::ECoord).violation_percent;
+    assert!(ecoord > base, "E-coord must degrade performance most");
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("five_solutions_900s", |b| {
+        b.iter(|| black_box(run(black_box(&config))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

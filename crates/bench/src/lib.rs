@@ -1,0 +1,10 @@
+//! Benchmark harness for the `gfsc` reproduction.
+//!
+//! - `src/bin/`: one binary per paper artifact (`fig1` … `fig5`,
+//!   `table1` … `table3`, `ablations`) that prints the reproduced
+//!   rows/series next to the paper's published values.
+//! - `benches/`: Criterion benchmarks timing the regeneration of each
+//!   artifact (at reduced horizons) plus microbenchmarks of the simulation
+//!   substrates.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,566 @@
+//! Gain-scheduled adaptive PID (paper Section IV-B, Eq. 8–9).
+
+use crate::{PidController, PidGains, QuantizationHold};
+use gfsc_units::{Bounds, Celsius, Rpm};
+
+/// One linearization region: a reference fan speed and the PID gains tuned
+/// there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    ref_speed: Rpm,
+    gains: PidGains,
+}
+
+impl Region {
+    /// Creates a region tuned at `ref_speed`.
+    #[must_use]
+    pub fn new(ref_speed: Rpm, gains: PidGains) -> Self {
+        Self { ref_speed, gains }
+    }
+
+    /// The reference fan speed `s_fan^ref(i)`.
+    #[must_use]
+    pub fn ref_speed(&self) -> Rpm {
+        self.ref_speed
+    }
+
+    /// The gains tuned at this region's reference speed.
+    #[must_use]
+    pub fn gains(&self) -> PidGains {
+        self.gains
+    }
+}
+
+/// An ordered set of linearization regions with Eq. (8)–(9) interpolation.
+///
+/// The paper found two regions (2000 and 6000 rpm) sufficient to linearize
+/// the temperature/fan-speed relationship of its server within 5 %. At
+/// runtime the schedule finds the bracketing pair
+/// `s_ref(i) ≤ s_fan ≤ s_ref(i+1)` and blends their gains with weight
+/// `α = (s_fan − s_ref(i)) / (s_ref(i+1) − s_ref(i))`. Speeds outside the
+/// covered span use the nearest region's gains (α clamped).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_control::{GainSchedule, PidGains, Region};
+/// use gfsc_units::Rpm;
+///
+/// let schedule = GainSchedule::new(vec![
+///     Region::new(Rpm::new(2000.0), PidGains::new(100.0, 10.0, 40.0)),
+///     Region::new(Rpm::new(6000.0), PidGains::new(300.0, 30.0, 120.0)),
+/// ]).unwrap();
+/// let mid = schedule.gains_at(Rpm::new(4000.0));
+/// assert_eq!(mid.kp(), 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainSchedule {
+    regions: Vec<Region>,
+}
+
+impl GainSchedule {
+    /// Creates a schedule from regions sorted by reference speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending region list if it is empty or not strictly
+    /// increasing in reference speed.
+    pub fn new(regions: Vec<Region>) -> Result<Self, Vec<Region>> {
+        let ok = !regions.is_empty()
+            && regions.windows(2).all(|w| w[0].ref_speed < w[1].ref_speed);
+        if ok {
+            Ok(Self { regions })
+        } else {
+            Err(regions)
+        }
+    }
+
+    /// The regions in ascending reference-speed order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The index of the bracketing segment for `speed`: `i` such that
+    /// `s_ref(i) ≤ speed < s_ref(i+1)`, clamped to the covered span.
+    ///
+    /// Used to detect *region changes*, which reset the integrator.
+    #[must_use]
+    pub fn segment_index(&self, speed: Rpm) -> usize {
+        if self.regions.len() == 1 {
+            return 0;
+        }
+        let mut idx = self.regions.partition_point(|r| r.ref_speed <= speed);
+        // partition_point gives the first region above `speed`; the segment
+        // is anchored at the region below it.
+        idx = idx.saturating_sub(1);
+        idx.min(self.regions.len() - 2)
+    }
+
+    /// The interpolated gains at `speed` (Eq. 8–9, α clamped to `[0, 1]`).
+    #[must_use]
+    pub fn gains_at(&self, speed: Rpm) -> PidGains {
+        if self.regions.len() == 1 {
+            return self.regions[0].gains;
+        }
+        let i = self.segment_index(speed);
+        let a = &self.regions[i];
+        let b = &self.regions[i + 1];
+        let alpha = ((speed - a.ref_speed) / (b.ref_speed - a.ref_speed)).clamp(0.0, 1.0);
+        a.gains.lerp(&b.gains, alpha)
+    }
+}
+
+/// The paper's robust fan-speed controller: gain-scheduled PID with
+/// integral reset on region change and the quantization hold of Eq. (10).
+///
+/// Each fan decision period, [`AdaptivePid::decide`]:
+///
+/// 1. interpolates the PID gains for the *current operating fan speed*
+///    (Eq. 8–9),
+/// 2. on a region change, re-bases the offset `s_ref` to the current fan
+///    speed (bumpless transfer) and zeroes `Σ∆T` as prescribed,
+/// 3. runs the positional PID of Eq. (4) on
+///    `∆T = T_meas − T_ref`,
+/// 4. clamps to the actuator bounds, and
+/// 5. holds the previous speed when `|T_ref − T_meas| < |T_Q|` (Eq. 10).
+#[derive(Debug, Clone)]
+pub struct AdaptivePid {
+    schedule: GainSchedule,
+    pid: PidController,
+    bounds: Bounds<f64>,
+    hold: Option<QuantizationHold>,
+    current_segment: Option<usize>,
+    reference: Celsius,
+    descent_limit: Option<f64>,
+    trend_gate: Option<f64>,
+    last_measured: Option<Celsius>,
+}
+
+impl AdaptivePid {
+    /// Creates the controller.
+    ///
+    /// * `schedule` — per-region tuned gains,
+    /// * `reference` — the fan-loop set-point `T_ref^fan`,
+    /// * `bounds` — actuator limits (min/max commandable fan speed),
+    /// * `quantization_step` — `|T_Q|` for Eq. (10), or `None` to disable
+    ///   the hold (ablation).
+    #[must_use]
+    pub fn new(
+        schedule: GainSchedule,
+        reference: Celsius,
+        bounds: Bounds<Rpm>,
+        quantization_step: Option<f64>,
+    ) -> Self {
+        let initial_gains = schedule.regions()[0].gains();
+        let f_bounds = Bounds::new(bounds.lo().value(), bounds.hi().value());
+        Self {
+            schedule,
+            pid: PidController::new(initial_gains).with_output_bounds(f_bounds),
+            bounds: f_bounds,
+            hold: quantization_step.map(QuantizationHold::new),
+            current_segment: None,
+            reference,
+            descent_limit: None,
+            trend_gate: None,
+            last_measured: None,
+        }
+    }
+
+    /// Enables measurement-trend gating: when the error still calls for
+    /// more actuation but the *measurement is already moving to correct
+    /// it* by at least `threshold` kelvin per decision, hold instead.
+    ///
+    /// With a 10 s transport lag, the measured temperature keeps demanding
+    /// "more fan" for a full lag interval after the plant has already
+    /// turned around; acting on that stale demand double-corrects (rail
+    /// the fan up, then rail it back down). Gating on the measured trend
+    /// is a one-sample dead-time compensator: it costs nothing when the
+    /// plant is drifting (trend ≈ 0) and suppresses exactly the
+    /// stale-error pushes. A natural `threshold` is the quantization step
+    /// (1 °C), making the trend detectable despite the ADC grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    #[must_use]
+    pub fn with_trend_gate(mut self, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "trend-gate threshold must be positive");
+        self.trend_gate = Some(threshold);
+        self
+    }
+
+    /// Limits how far a single decision may *lower* the fan speed (rpm per
+    /// decision period). Ascents stay unlimited — raising airflow is the
+    /// safe direction.
+    ///
+    /// Slamming from a high post-emergency speed straight to the minimum
+    /// parks the plant in a long under-airflow dwell whose recovery
+    /// overshoots the reference (the measurement lag hides the
+    /// turnaround); descending in bounded steps re-evaluates the loop each
+    /// period and lands near the equilibrium instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rpm_per_decision` is not positive.
+    #[must_use]
+    pub fn with_descent_limit(mut self, rpm_per_decision: f64) -> Self {
+        assert!(rpm_per_decision > 0.0, "descent limit must be positive");
+        self.descent_limit = Some(rpm_per_decision);
+        self
+    }
+
+    /// The active set-point `T_ref^fan`.
+    #[must_use]
+    pub fn reference(&self) -> Celsius {
+        self.reference
+    }
+
+    /// Changes the set-point (the predictive scheme of Section V-B adjusts
+    /// it every fan period).
+    pub fn set_reference(&mut self, reference: Celsius) {
+        self.reference = reference;
+    }
+
+    /// The gain schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &GainSchedule {
+        &self.schedule
+    }
+
+    /// Clears dynamic state (integrator, derivative history, region
+    /// tracking, trend history).
+    pub fn reset(&mut self) {
+        self.pid.reset();
+        self.current_segment = None;
+        self.last_measured = None;
+    }
+
+    /// One fan decision: maps the measured temperature and current fan
+    /// speed to the next commanded speed.
+    pub fn decide(&mut self, measured: Celsius, current_speed: Rpm) -> Rpm {
+        // Trend gating (see `with_trend_gate`): hold while the measurement
+        // is already moving to correct the error.
+        if let (Some(threshold), Some(last)) = (self.trend_gate, self.last_measured) {
+            let error = measured - self.reference;
+            let trend = measured - last;
+            let correcting =
+                (error > 0.0 && trend <= -threshold) || (error < 0.0 && trend >= threshold);
+            self.last_measured = Some(measured);
+            if correcting {
+                return current_speed;
+            }
+        } else {
+            self.last_measured = Some(measured);
+        }
+
+        let segment = self.schedule.segment_index(current_speed);
+        if self.current_segment != Some(segment) {
+            if self.current_segment.is_some() {
+                // Region change: re-base the linearization point and zero
+                // the accumulated error, per Section IV-B.
+                self.pid.reset_integral();
+            }
+            self.pid.set_offset(current_speed.value());
+            self.current_segment = Some(segment);
+        }
+        self.pid.set_gains(self.schedule.gains_at(current_speed));
+
+        let error = measured - self.reference;
+        // Deadband shaping: the PID integrates only the error in excess of
+        // the quantization band, keeping the law continuous at the hold
+        // edge (see `QuantizationHold::shaped_error`).
+        let control_error = match &self.hold {
+            Some(hold) => hold.shaped_error(error),
+            None => error,
+        };
+        let raw = self.pid.update(control_error);
+        let mut clamped = self.bounds.clamp(raw);
+        if let Some(limit) = self.descent_limit {
+            let floor = current_speed.value() - limit;
+            if clamped < floor {
+                clamped = self.bounds.clamp(floor);
+            }
+        }
+        let command = Rpm::new(clamped);
+
+        match &self.hold {
+            Some(hold) if hold.should_hold(error) => {
+                // In-band: the loop is at target. Integral history from the
+                // preceding transient is no longer meaningful and would
+                // bias (and delay) the response to the *next* excursion,
+                // so bleed it off while held.
+                self.pid.reset_integral();
+                current_speed
+            }
+            _ => command,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_region_schedule() -> GainSchedule {
+        GainSchedule::new(vec![
+            Region::new(Rpm::new(2000.0), PidGains::new(100.0, 10.0, 40.0)),
+            Region::new(Rpm::new(6000.0), PidGains::new(300.0, 30.0, 120.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn region_accessors() {
+        let r = Region::new(Rpm::new(2000.0), PidGains::proportional(5.0));
+        assert_eq!(r.ref_speed(), Rpm::new(2000.0));
+        assert_eq!(r.gains().kp(), 5.0);
+    }
+
+    #[test]
+    fn schedule_interpolates_linearly() {
+        let s = two_region_schedule();
+        // Eq. 9: alpha = (3000 - 2000) / (6000 - 2000) = 0.25.
+        let g = s.gains_at(Rpm::new(3000.0));
+        assert_eq!(g.kp(), 150.0);
+        assert_eq!(g.ki(), 15.0);
+        assert_eq!(g.kd(), 60.0);
+    }
+
+    #[test]
+    fn schedule_clamps_outside_span() {
+        let s = two_region_schedule();
+        assert_eq!(s.gains_at(Rpm::new(500.0)), s.regions()[0].gains());
+        assert_eq!(s.gains_at(Rpm::new(8500.0)), s.regions()[1].gains());
+    }
+
+    #[test]
+    fn schedule_hits_region_gains_at_references() {
+        let s = two_region_schedule();
+        assert_eq!(s.gains_at(Rpm::new(2000.0)), s.regions()[0].gains());
+        assert_eq!(s.gains_at(Rpm::new(6000.0)), s.regions()[1].gains());
+    }
+
+    #[test]
+    fn segment_index_brackets() {
+        let s = GainSchedule::new(vec![
+            Region::new(Rpm::new(2000.0), PidGains::proportional(1.0)),
+            Region::new(Rpm::new(4000.0), PidGains::proportional(2.0)),
+            Region::new(Rpm::new(6000.0), PidGains::proportional(3.0)),
+        ])
+        .unwrap();
+        assert_eq!(s.segment_index(Rpm::new(1000.0)), 0);
+        assert_eq!(s.segment_index(Rpm::new(2500.0)), 0);
+        assert_eq!(s.segment_index(Rpm::new(4000.0)), 1);
+        assert_eq!(s.segment_index(Rpm::new(5999.0)), 1);
+        assert_eq!(s.segment_index(Rpm::new(9000.0)), 1);
+    }
+
+    #[test]
+    fn single_region_schedule_is_constant() {
+        let s = GainSchedule::new(vec![Region::new(
+            Rpm::new(4000.0),
+            PidGains::proportional(7.0),
+        )])
+        .unwrap();
+        assert_eq!(s.segment_index(Rpm::new(100.0)), 0);
+        assert_eq!(s.gains_at(Rpm::new(100.0)).kp(), 7.0);
+        assert_eq!(s.gains_at(Rpm::new(9000.0)).kp(), 7.0);
+    }
+
+    #[test]
+    fn schedule_rejects_unsorted_or_empty() {
+        assert!(GainSchedule::new(vec![]).is_err());
+        let unsorted = vec![
+            Region::new(Rpm::new(6000.0), PidGains::default()),
+            Region::new(Rpm::new(2000.0), PidGains::default()),
+        ];
+        assert!(GainSchedule::new(unsorted).is_err());
+    }
+
+    fn controller(hold: Option<f64>) -> AdaptivePid {
+        AdaptivePid::new(
+            two_region_schedule(),
+            Celsius::new(75.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            hold,
+        )
+    }
+
+    #[test]
+    fn hot_measurement_raises_fan_speed() {
+        let mut c = controller(None);
+        let cmd = c.decide(Celsius::new(80.0), Rpm::new(3000.0));
+        assert!(cmd > Rpm::new(3000.0), "cmd {cmd}");
+    }
+
+    #[test]
+    fn cold_measurement_lowers_fan_speed() {
+        let mut c = controller(None);
+        let cmd = c.decide(Celsius::new(65.0), Rpm::new(5000.0));
+        assert!(cmd < Rpm::new(5000.0), "cmd {cmd}");
+    }
+
+    #[test]
+    fn command_respects_actuator_bounds() {
+        let mut c = controller(None);
+        let high = c.decide(Celsius::new(200.0), Rpm::new(8000.0));
+        assert!(high <= Rpm::new(8500.0));
+        let mut c = controller(None);
+        let low = c.decide(Celsius::new(0.0), Rpm::new(1500.0));
+        assert!(low >= Rpm::new(1000.0));
+    }
+
+    #[test]
+    fn quantization_hold_freezes_small_errors() {
+        let mut c = controller(Some(1.0));
+        // |error| = 0.5: hold the current speed exactly.
+        let cmd = c.decide(Celsius::new(75.5), Rpm::new(4000.0));
+        assert_eq!(cmd, Rpm::new(4000.0));
+        // |error| = 1.0 is one grid step: still held (inclusive rule).
+        let cmd = c.decide(Celsius::new(76.0), Rpm::new(4000.0));
+        assert_eq!(cmd, Rpm::new(4000.0));
+        // |error| beyond a step: controller acts.
+        let cmd = c.decide(Celsius::new(77.5), Rpm::new(4000.0));
+        assert!(cmd > Rpm::new(4000.0));
+    }
+
+    #[test]
+    fn without_hold_small_errors_still_act() {
+        let mut c = controller(None);
+        let cmd = c.decide(Celsius::new(75.4), Rpm::new(4000.0));
+        assert_ne!(cmd, Rpm::new(4000.0));
+    }
+
+    #[test]
+    fn region_change_resets_integral() {
+        let mut c = AdaptivePid::new(
+            GainSchedule::new(vec![
+                Region::new(Rpm::new(2000.0), PidGains::new(0.0, 10.0, 0.0)),
+                Region::new(Rpm::new(4000.0), PidGains::new(0.0, 10.0, 0.0)),
+                Region::new(Rpm::new(6000.0), PidGains::new(0.0, 10.0, 0.0)),
+            ])
+            .unwrap(),
+            Celsius::new(75.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            None,
+        );
+        // Build up integral inside segment 0.
+        c.decide(Celsius::new(80.0), Rpm::new(2500.0));
+        c.decide(Celsius::new(80.0), Rpm::new(2600.0));
+        assert!(c.pid.integral() > 0.0);
+        // Crossing into segment 1 must zero it.
+        c.decide(Celsius::new(80.0), Rpm::new(4500.0));
+        // After the reset, one update with error 5 leaves integral == 5.
+        assert_eq!(c.pid.integral(), 5.0);
+    }
+
+    #[test]
+    fn offset_rebased_on_region_change() {
+        let mut c = controller(None);
+        let _ = c.decide(Celsius::new(75.0), Rpm::new(2500.0));
+        assert_eq!(c.pid.offset(), 2500.0);
+        // Still in the same segment: offset unchanged.
+        let _ = c.decide(Celsius::new(75.0), Rpm::new(3000.0));
+        assert_eq!(c.pid.offset(), 2500.0);
+    }
+
+    #[test]
+    fn set_reference_shifts_equilibrium() {
+        let mut c = controller(None);
+        assert_eq!(c.reference(), Celsius::new(75.0));
+        c.set_reference(Celsius::new(70.0));
+        // 72 °C now reads as "too hot" instead of "too cold".
+        let cmd = c.decide(Celsius::new(72.0), Rpm::new(4000.0));
+        assert!(cmd > Rpm::new(4000.0));
+    }
+
+    #[test]
+    fn reset_clears_tracking() {
+        let mut c = controller(None);
+        c.decide(Celsius::new(80.0), Rpm::new(3000.0));
+        c.reset();
+        assert_eq!(c.pid.integral(), 0.0);
+        // First decide after reset re-bases the offset without an integral
+        // reset (no previous segment).
+        let _ = c.decide(Celsius::new(80.0), Rpm::new(5000.0));
+        assert_eq!(c.pid.offset(), 5000.0);
+    }
+
+    #[test]
+    fn schedule_accessor() {
+        let c = controller(None);
+        assert_eq!(c.schedule().regions().len(), 2);
+    }
+
+    #[test]
+    fn descent_limit_bounds_downward_moves_only() {
+        let mut c = AdaptivePid::new(
+            two_region_schedule(),
+            Celsius::new(75.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            None,
+        )
+        .with_descent_limit(1200.0);
+        // Very cold: unlimited PID would command the minimum.
+        let cmd = c.decide(Celsius::new(60.0), Rpm::new(6000.0));
+        assert_eq!(cmd, Rpm::new(4800.0), "descent clipped to 1200 rpm");
+        // Very hot: ascents remain unlimited.
+        let mut c2 = AdaptivePid::new(
+            two_region_schedule(),
+            Celsius::new(75.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            None,
+        )
+        .with_descent_limit(1200.0);
+        let cmd = c2.decide(Celsius::new(95.0), Rpm::new(6000.0));
+        assert_eq!(cmd, Rpm::new(8500.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "descent limit")]
+    fn zero_descent_limit_rejected() {
+        let _ = controller(None).with_descent_limit(0.0);
+    }
+
+    #[test]
+    fn trend_gate_holds_while_measurement_corrects() {
+        let mut c = controller(None).with_trend_gate(1.0);
+        // First decision seeds the trend history and acts normally.
+        let first = c.decide(Celsius::new(82.0), Rpm::new(3000.0));
+        assert!(first > Rpm::new(3000.0));
+        // Still hot, but falling 2 K/decision: hold (the plant has already
+        // turned around; the lag just hasn't caught up).
+        let held = c.decide(Celsius::new(80.0), Rpm::new(first.value()));
+        assert_eq!(held, first);
+        // Hot and *not* falling: act again (the command moves off the
+        // held speed; its exact value depends on the PID state).
+        let acted = c.decide(Celsius::new(80.0), Rpm::new(first.value()));
+        assert_ne!(acted, first);
+        assert!(acted > Rpm::new(3000.0));
+    }
+
+    #[test]
+    fn trend_gate_holds_on_cold_but_rising() {
+        let mut c = controller(None).with_trend_gate(1.0);
+        let _ = c.decide(Celsius::new(70.0), Rpm::new(5000.0));
+        // Cold (wants fan down) but rising 2 K/decision: hold.
+        let held = c.decide(Celsius::new(72.0), Rpm::new(5000.0));
+        assert_eq!(held, Rpm::new(5000.0));
+    }
+
+    #[test]
+    fn trend_gate_ignores_sub_threshold_drift() {
+        let mut c = controller(None).with_trend_gate(1.0);
+        let _ = c.decide(Celsius::new(82.0), Rpm::new(3000.0));
+        // Falling only 0.5 K/decision (below threshold): still act.
+        let cmd = c.decide(Celsius::new(81.5), Rpm::new(3000.0));
+        assert!(cmd > Rpm::new(3000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "trend-gate")]
+    fn zero_trend_gate_rejected() {
+        let _ = controller(None).with_trend_gate(0.0);
+    }
+}

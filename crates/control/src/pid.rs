@@ -1,0 +1,354 @@
+//! Discrete positional PID controller (paper Eq. 4).
+
+use gfsc_units::Bounds;
+
+/// The three PID coefficients.
+///
+/// Units are implied by the loop: for the fan controller, `kp` is
+/// rpm per kelvin, `ki` rpm per kelvin·step, `kd` rpm·step per kelvin,
+/// with all time quantities expressed in controller decision periods
+/// (the paper's Eq. 4 sums and differences raw per-period errors).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_control::PidGains;
+///
+/// let g = PidGains::new(120.0, 10.0, 45.0);
+/// assert_eq!(g.kp(), 120.0);
+/// let scaled = g.scaled(0.5);
+/// assert_eq!(scaled.kp(), 60.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PidGains {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+}
+
+impl PidGains {
+    /// Creates a gain set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gain is NaN.
+    #[must_use]
+    pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
+        assert!(!kp.is_nan() && !ki.is_nan() && !kd.is_nan(), "gains must not be NaN");
+        Self { kp, ki, kd }
+    }
+
+    /// Proportional-only gains (used during Ziegler–Nichols probing).
+    #[must_use]
+    pub fn proportional(kp: f64) -> Self {
+        Self::new(kp, 0.0, 0.0)
+    }
+
+    /// The proportional gain.
+    #[must_use]
+    pub fn kp(&self) -> f64 {
+        self.kp
+    }
+
+    /// The integral gain (per decision period).
+    #[must_use]
+    pub fn ki(&self) -> f64 {
+        self.ki
+    }
+
+    /// The derivative gain (per decision period).
+    #[must_use]
+    pub fn kd(&self) -> f64 {
+        self.kd
+    }
+
+    /// All three gains multiplied by `k`.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        Self::new(self.kp * k, self.ki * k, self.kd * k)
+    }
+
+    /// Component-wise linear interpolation toward `other` (Eq. 8):
+    /// `(1−α)·self + α·other`.
+    #[must_use]
+    pub fn lerp(&self, other: &Self, alpha: f64) -> Self {
+        Self::new(
+            self.kp + (other.kp - self.kp) * alpha,
+            self.ki + (other.ki - self.ki) * alpha,
+            self.kd + (other.kd - self.kd) * alpha,
+        )
+    }
+}
+
+/// The discrete positional PID of the paper's Eq. (4):
+///
+/// ```text
+/// u(k+1) = offset + K_P·e(k) + K_I·Σᵢe(i) + K_D·(e(k) − e(k−1))
+/// ```
+///
+/// where `e = measurement − setpoint`. The `offset` is the linearization
+/// point (`s_ref^fan` for the fan loop). Output clamping and conditional
+/// anti-windup are built in: when the clamped output saturates *and* the
+/// current error would push it further into saturation, the integrator
+/// holds instead of winding up.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_control::{PidController, PidGains};
+///
+/// let mut pid = PidController::new(PidGains::new(2.0, 0.5, 0.0)).with_offset(10.0);
+/// assert_eq!(pid.update(1.0), 10.0 + 2.0 + 0.5);
+/// // Steady error keeps integrating:
+/// assert_eq!(pid.update(1.0), 10.0 + 2.0 + 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PidController {
+    gains: PidGains,
+    offset: f64,
+    bounds: Option<Bounds<f64>>,
+    integral: f64,
+    prev_error: Option<f64>,
+}
+
+impl PidController {
+    /// Creates a controller with zero offset and unbounded output.
+    #[must_use]
+    pub fn new(gains: PidGains) -> Self {
+        Self { gains, offset: 0.0, bounds: None, integral: 0.0, prev_error: None }
+    }
+
+    /// Sets the output offset (the `s_ref` linearization point of Eq. 4).
+    #[must_use]
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Clamps the output into `bounds` and enables anti-windup against
+    /// them.
+    #[must_use]
+    pub fn with_output_bounds(mut self, bounds: Bounds<f64>) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Current gain set.
+    #[must_use]
+    pub fn gains(&self) -> PidGains {
+        self.gains
+    }
+
+    /// Replaces the gains (used by gain scheduling) without touching the
+    /// integral or derivative state.
+    pub fn set_gains(&mut self, gains: PidGains) {
+        self.gains = gains;
+    }
+
+    /// Current offset.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Replaces the offset (the adaptive scheme re-bases it on region
+    /// change).
+    pub fn set_offset(&mut self, offset: f64) {
+        self.offset = offset;
+    }
+
+    /// The accumulated error sum.
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Zeroes the accumulated error sum (Eq. 8 context: "Σ∆T is set to
+    /// zero" on region change).
+    pub fn reset_integral(&mut self) {
+        self.integral = 0.0;
+    }
+
+    /// Clears all dynamic state (integral and error history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+    }
+
+    /// Feeds the error `e(k) = measurement − setpoint` and returns the new
+    /// (clamped) control output `u(k+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` is NaN.
+    pub fn update(&mut self, error: f64) -> f64 {
+        assert!(!error.is_nan(), "PID error must not be NaN");
+        let candidate_integral = self.integral + error;
+        let derivative = match self.prev_error {
+            Some(prev) => error - prev,
+            None => 0.0,
+        };
+        let raw = self.offset
+            + self.gains.kp * error
+            + self.gains.ki * candidate_integral
+            + self.gains.kd * derivative;
+
+        let (output, windup) = match &self.bounds {
+            Some(b) => {
+                let clamped = b.clamp(raw);
+                // Conditional integration: discard this step's integral
+                // contribution if it pushes further into saturation.
+                let saturated_high = raw > b.hi() && error > 0.0;
+                let saturated_low = raw < b.lo() && error < 0.0;
+                (clamped, saturated_high || saturated_low)
+            }
+            None => (raw, false),
+        };
+        if !windup {
+            self.integral = candidate_integral;
+        }
+        self.prev_error = Some(error);
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gains_accessors_and_scaling() {
+        let g = PidGains::new(1.0, 2.0, 3.0);
+        assert_eq!((g.kp(), g.ki(), g.kd()), (1.0, 2.0, 3.0));
+        let s = g.scaled(2.0);
+        assert_eq!((s.kp(), s.ki(), s.kd()), (2.0, 4.0, 6.0));
+        let p = PidGains::proportional(5.0);
+        assert_eq!((p.kp(), p.ki(), p.kd()), (5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn gains_lerp_matches_eq8() {
+        let a = PidGains::new(10.0, 1.0, 4.0);
+        let b = PidGains::new(30.0, 3.0, 8.0);
+        let mid = a.lerp(&b, 0.5);
+        assert_eq!((mid.kp(), mid.ki(), mid.kd()), (20.0, 2.0, 6.0));
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn proportional_action() {
+        let mut pid = PidController::new(PidGains::proportional(3.0)).with_offset(100.0);
+        assert_eq!(pid.update(2.0), 106.0);
+        assert_eq!(pid.update(-2.0), 94.0);
+    }
+
+    #[test]
+    fn integral_accumulates() {
+        let mut pid = PidController::new(PidGains::new(0.0, 1.0, 0.0));
+        assert_eq!(pid.update(1.0), 1.0);
+        assert_eq!(pid.update(1.0), 2.0);
+        assert_eq!(pid.update(-3.0), -1.0);
+        assert_eq!(pid.integral(), -1.0);
+    }
+
+    #[test]
+    fn derivative_reacts_to_change_only() {
+        let mut pid = PidController::new(PidGains::new(0.0, 0.0, 2.0));
+        // First step has no previous error: derivative contribution 0.
+        assert_eq!(pid.update(5.0), 0.0);
+        assert_eq!(pid.update(5.0), 0.0);
+        assert_eq!(pid.update(7.0), 4.0);
+        assert_eq!(pid.update(6.0), -2.0);
+    }
+
+    #[test]
+    fn output_clamps_to_bounds() {
+        let mut pid = PidController::new(PidGains::proportional(1000.0))
+            .with_output_bounds(Bounds::new(0.0, 100.0))
+            .with_offset(50.0);
+        assert_eq!(pid.update(10.0), 100.0);
+        assert_eq!(pid.update(-10.0), 0.0);
+    }
+
+    #[test]
+    fn anti_windup_freezes_integral_in_saturation() {
+        let mut pid = PidController::new(PidGains::new(0.0, 1.0, 0.0))
+            .with_output_bounds(Bounds::new(-10.0, 10.0));
+        for _ in 0..100 {
+            pid.update(5.0);
+        }
+        // Without anti-windup the integral would be 500.
+        assert!(pid.integral() <= 10.0 + 5.0, "integral {}", pid.integral());
+        // Recovery is immediate once the error flips.
+        let out = pid.update(-5.0);
+        assert!(out < 10.0);
+    }
+
+    #[test]
+    fn anti_windup_still_integrates_toward_recovery() {
+        let mut pid = PidController::new(PidGains::new(0.0, 1.0, 0.0))
+            .with_output_bounds(Bounds::new(-10.0, 10.0));
+        for _ in 0..20 {
+            pid.update(5.0); // saturates high
+        }
+        let frozen = pid.integral();
+        // Error now pulls out of saturation: integration resumes.
+        pid.update(-1.0);
+        assert_eq!(pid.integral(), frozen - 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = PidController::new(PidGains::new(1.0, 1.0, 1.0));
+        pid.update(3.0);
+        pid.update(4.0);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+        // Derivative restarts from scratch.
+        assert_eq!(pid.update(2.0), 2.0 + 2.0);
+    }
+
+    #[test]
+    fn reset_integral_keeps_derivative_history() {
+        let mut pid = PidController::new(PidGains::new(0.0, 1.0, 1.0));
+        pid.update(2.0);
+        pid.reset_integral();
+        // Derivative still sees the previous error of 2.0.
+        assert_eq!(pid.update(3.0), 3.0 + 1.0);
+    }
+
+    #[test]
+    fn set_gains_and_offset_take_effect() {
+        let mut pid = PidController::new(PidGains::proportional(1.0));
+        pid.set_gains(PidGains::proportional(10.0));
+        pid.set_offset(5.0);
+        assert_eq!(pid.offset(), 5.0);
+        assert_eq!(pid.gains().kp(), 10.0);
+        assert_eq!(pid.update(1.0), 15.0);
+    }
+
+    #[test]
+    fn matches_eq4_composition() {
+        // Cross-check one update against the formula written out.
+        let (kp, ki, kd, offset) = (12.0, 3.0, 7.0, 2000.0);
+        let mut pid = PidController::new(PidGains::new(kp, ki, kd)).with_offset(offset);
+        let errors = [1.5, 2.5, -0.5];
+        let mut integral = 0.0;
+        let mut prev: Option<f64> = None;
+        for e in errors {
+            integral += e;
+            let d = prev.map_or(0.0, |p| e - p);
+            let expected = offset + kp * e + ki * integral + kd * d;
+            assert!((pid.update(e) - expected).abs() < 1e-12);
+            prev = Some(e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_error_rejected() {
+        let mut pid = PidController::new(PidGains::default());
+        let _ = pid.update(f64::NAN);
+    }
+}

@@ -1,0 +1,163 @@
+//! Quantization-error elimination (paper Eq. 10).
+
+/// The quantization hold rule: suppress fan-speed changes while the
+/// temperature error is smaller than the sensor's quantization step.
+///
+/// With a 1 °C ADC the measured error dithers ±1 LSB around the set-point
+/// even at perfect regulation; feeding that dither to the PID makes the fan
+/// hunt forever. Eq. (10) breaks the cycle:
+///
+/// ```text
+/// s_fan(k+1) = s_fan(k)   when |T_ref − T_meas(k)| < |T_Q|
+/// ```
+///
+/// The comparison here is *inclusive* (`|e| ≤ |T_Q|`): when the reference
+/// sits exactly on the ADC grid (e.g. 75.0 °C on a 1 °C grid) the dither
+/// produces errors of exactly one step, which are indistinguishable from
+/// quantization noise and must be held too — a strict `<` would act on
+/// every one of them and re-introduce the hunt the rule exists to kill.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_control::QuantizationHold;
+///
+/// let hold = QuantizationHold::new(1.0);
+/// assert!(hold.should_hold(0.99));
+/// assert!(hold.should_hold(-0.5));
+/// assert!(hold.should_hold(1.0)); // one grid step: quantization noise
+/// assert!(!hold.should_hold(1.01)); // beyond a step: a real error
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationHold {
+    threshold: f64,
+}
+
+impl QuantizationHold {
+    /// Creates the rule with threshold `|T_Q|` (the quantization step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive or NaN.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        assert!(!threshold.is_nan(), "threshold must not be NaN");
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self { threshold }
+    }
+
+    /// The `|T_Q|` threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether the controller should hold its previous output for this
+    /// error (within one quantization step, inclusive).
+    #[must_use]
+    pub fn should_hold(&self, error: f64) -> bool {
+        error.abs() <= self.threshold
+    }
+
+    /// Applies the rule: returns `previous` inside the band, `candidate`
+    /// outside.
+    #[must_use]
+    pub fn apply(&self, error: f64, candidate: f64, previous: f64) -> f64 {
+        if self.should_hold(error) {
+            previous
+        } else {
+            candidate
+        }
+    }
+
+    /// Deadband error shaping: the error with the hold band subtracted.
+    ///
+    /// Inside the band the shaped error is 0; outside, only the excess
+    /// beyond the band remains. Feeding the *raw* error to the PID at the
+    /// moment the band is exited injects a discontinuous step of
+    /// `±threshold` that the controller then over-corrects; shaping keeps
+    /// the control law continuous across the hold boundary.
+    #[must_use]
+    pub fn shaped_error(&self, error: f64) -> f64 {
+        if error > self.threshold {
+            error - self.threshold
+        } else if error < -self.threshold {
+            error + self.threshold
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_inside_band_inclusive() {
+        let h = QuantizationHold::new(1.0);
+        assert!(h.should_hold(0.0));
+        assert!(h.should_hold(0.999));
+        assert!(h.should_hold(-0.999));
+        // Exactly one grid step is still quantization noise.
+        assert!(h.should_hold(1.0));
+        assert!(h.should_hold(-1.0));
+        assert!(!h.should_hold(1.001));
+        assert!(!h.should_hold(2.5));
+    }
+
+    #[test]
+    fn apply_selects_between_candidates() {
+        let h = QuantizationHold::new(1.0);
+        assert_eq!(h.apply(0.5, 3000.0, 2500.0), 2500.0);
+        assert_eq!(h.apply(1.5, 3000.0, 2500.0), 3000.0);
+    }
+
+    #[test]
+    fn threshold_accessor() {
+        assert_eq!(QuantizationHold::new(0.25).threshold(), 0.25);
+    }
+
+    #[test]
+    fn suppresses_limit_cycle_on_quantized_feedback() {
+        // A toy loop: integrator plant driven by a bang-bang-ish error from
+        // quantization. Without the hold, the command dithers each step;
+        // with it, the command freezes once inside the band.
+        let h = QuantizationHold::new(1.0);
+        let mut cmd = 0.0;
+        let mut changes = 0;
+        for k in 0..100 {
+            // Quantized measurement dithers between 74 and 75 around a
+            // 74.5 true value; reference is 75.
+            let measured = if k % 2 == 0 { 74.0 } else { 75.0 };
+            let error: f64 = measured - 75.0;
+            let candidate = cmd + 10.0 * error;
+            let next = h.apply(error, candidate, cmd);
+            if (next - cmd).abs() > 1e-12 {
+                changes += 1;
+            }
+            cmd = next;
+        }
+        // Only the -1.0 errors (not strictly inside the band) act; the
+        // 0.0-error steps hold. So at most half the steps change.
+        assert!(changes <= 50, "changes {changes}");
+    }
+
+    #[test]
+    fn shaped_error_is_continuous_across_the_band() {
+        let h = QuantizationHold::new(1.0);
+        assert_eq!(h.shaped_error(0.0), 0.0);
+        assert_eq!(h.shaped_error(1.0), 0.0);
+        assert_eq!(h.shaped_error(-1.0), 0.0);
+        assert!((h.shaped_error(1.5) - 0.5).abs() < 1e-12);
+        assert!((h.shaped_error(-3.0) + 2.0).abs() < 1e-12);
+        // Continuity: approaching the band edge from outside tends to 0.
+        assert!(h.shaped_error(1.0001) < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = QuantizationHold::new(0.0);
+    }
+}

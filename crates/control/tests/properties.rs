@@ -1,0 +1,132 @@
+//! Property-based tests for the control library.
+
+use gfsc_control::{
+    AdaptivePid, GainSchedule, PidController, PidGains, QuantizationHold, Region, ZieglerNichols,
+    UltimateGain,
+};
+use gfsc_units::{Bounds, Celsius, Rpm};
+use proptest::prelude::*;
+
+fn two_region_schedule(kp_lo: f64, kp_hi: f64) -> GainSchedule {
+    GainSchedule::new(vec![
+        Region::new(Rpm::new(2000.0), PidGains::new(kp_lo, kp_lo / 10.0, kp_lo / 3.0)),
+        Region::new(Rpm::new(6000.0), PidGains::new(kp_hi, kp_hi / 10.0, kp_hi / 3.0)),
+    ])
+    .expect("sorted regions")
+}
+
+proptest! {
+    /// A proportional-only controller is exactly linear in the error.
+    #[test]
+    fn p_only_controller_is_linear(kp in 0.1f64..1000.0, e in -50.0f64..50.0) {
+        let mut a = PidController::new(PidGains::proportional(kp));
+        let mut b = PidController::new(PidGains::proportional(kp));
+        let ya = a.update(e);
+        let yb = b.update(2.0 * e);
+        prop_assert!((2.0 * ya - yb).abs() < 1e-9 * (1.0 + yb.abs()));
+    }
+
+    /// Bounded output never escapes its bounds, for any error sequence.
+    #[test]
+    fn bounded_pid_respects_bounds(
+        errors in proptest::collection::vec(-100.0f64..100.0, 1..100),
+        kp in 0.0f64..100.0,
+        ki in 0.0f64..100.0,
+        kd in 0.0f64..100.0,
+    ) {
+        let mut pid = PidController::new(PidGains::new(kp, ki, kd))
+            .with_output_bounds(Bounds::new(-500.0, 500.0));
+        for e in errors {
+            let y = pid.update(e);
+            prop_assert!((-500.0..=500.0).contains(&y), "escaped: {y}");
+        }
+    }
+
+    /// Anti-windup: under constant saturating error, the integral is
+    /// bounded (it would grow without bound otherwise).
+    #[test]
+    fn anti_windup_bounds_integral(steps in 1usize..500) {
+        let mut pid = PidController::new(PidGains::new(0.0, 1.0, 0.0))
+            .with_output_bounds(Bounds::new(-10.0, 10.0));
+        for _ in 0..steps {
+            pid.update(7.0);
+        }
+        prop_assert!(pid.integral() <= 17.0 + 1e-9, "integral {}", pid.integral());
+    }
+
+    /// Gain interpolation stays within the component-wise envelope of the
+    /// two regions for any operating speed.
+    #[test]
+    fn schedule_interpolation_in_envelope(
+        kp_lo in 10.0f64..1000.0,
+        kp_hi in 10.0f64..10_000.0,
+        speed in 0.0f64..10_000.0,
+    ) {
+        let schedule = two_region_schedule(kp_lo, kp_hi);
+        let g = schedule.gains_at(Rpm::new(speed));
+        let (lo, hi) = (kp_lo.min(kp_hi), kp_lo.max(kp_hi));
+        prop_assert!(g.kp() >= lo - 1e-9 && g.kp() <= hi + 1e-9);
+    }
+
+    /// Interpolation is monotone in speed when region gains are ordered.
+    #[test]
+    fn schedule_interpolation_monotone(
+        v1 in 2000.0f64..6000.0,
+        v2 in 2000.0f64..6000.0,
+    ) {
+        let schedule = two_region_schedule(100.0, 1000.0);
+        let g1 = schedule.gains_at(Rpm::new(v1)).kp();
+        let g2 = schedule.gains_at(Rpm::new(v2)).kp();
+        if v1 <= v2 {
+            prop_assert!(g1 <= g2 + 1e-9);
+        }
+    }
+
+    /// The adaptive controller's command always respects actuator bounds,
+    /// whatever the measurement sequence.
+    #[test]
+    fn adaptive_pid_commands_in_actuator_range(
+        temps in proptest::collection::vec(0.0f64..150.0, 1..60),
+    ) {
+        let mut pid = AdaptivePid::new(
+            two_region_schedule(700.0, 5000.0),
+            Celsius::new(75.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            Some(1.0),
+        );
+        let mut speed = Rpm::new(3000.0);
+        for t in temps {
+            speed = pid.decide(Celsius::new(t), speed);
+            prop_assert!(speed >= Rpm::new(1000.0) && speed <= Rpm::new(8500.0));
+        }
+    }
+
+    /// The quantization hold decides exactly by the band, and shaping is
+    /// continuous, odd, and band-zeroed.
+    #[test]
+    fn hold_and_shaping_consistent(threshold in 0.1f64..5.0, e in -20.0f64..20.0) {
+        let hold = QuantizationHold::new(threshold);
+        prop_assert_eq!(hold.should_hold(e), e.abs() <= threshold);
+        let s = hold.shaped_error(e);
+        prop_assert!((hold.shaped_error(-e) + s).abs() < 1e-12, "odd symmetry");
+        if e.abs() <= threshold {
+            prop_assert_eq!(s, 0.0);
+        } else {
+            prop_assert!((s.abs() - (e.abs() - threshold)).abs() < 1e-12);
+            prop_assert_eq!(s.signum(), e.signum());
+        }
+    }
+
+    /// Ziegler–Nichols tables scale linearly with the ultimate gain.
+    #[test]
+    fn zn_tables_scale_with_ku(ku in 1.0f64..10_000.0, pu in 0.5f64..50.0) {
+        let g1 = ZieglerNichols::classic_pid(UltimateGain { ku, pu });
+        let g2 = ZieglerNichols::classic_pid(UltimateGain { ku: 2.0 * ku, pu });
+        prop_assert!((g2.kp() - 2.0 * g1.kp()).abs() < 1e-9 * g2.kp().abs().max(1.0));
+        prop_assert!((g2.ki() - 2.0 * g1.ki()).abs() < 1e-9 * g2.ki().abs().max(1.0));
+        // Tyreus–Luyben is strictly more conservative than classic ZN.
+        let tl = ZieglerNichols::tyreus_luyben(UltimateGain { ku, pu });
+        prop_assert!(tl.kp() < g1.kp());
+        prop_assert!(tl.ki() < g1.ki());
+    }
+}

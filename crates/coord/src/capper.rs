@@ -1,0 +1,224 @@
+//! The deadzone-like CPU cap controller (paper Section III-A).
+
+use gfsc_units::{Bounds, Celsius, Utilization};
+
+/// The low-complexity CPU capper: a deadzone controller on the measured
+/// temperature with an additional thermal-emergency tier.
+///
+/// Per decision epoch (1 s):
+///
+/// - `T_meas ≥ t_emergency` → cut the cap by the (larger) emergency step,
+/// - `T_meas > t_high`      → cut the cap by one step,
+/// - `T_meas < t_low`       → raise the cap by one step,
+/// - otherwise              → hold.
+///
+/// The paper's prose inverts the raise/lower polarity — an apparent typo,
+/// since that feedback would be thermally unstable; we implement the
+/// evidently-intended behaviour (see DESIGN.md §5).
+///
+/// The proposal is *advisory*: the global coordinator decides whether it is
+/// applied.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_coord::CpuCapController;
+/// use gfsc_units::{Celsius, Utilization};
+///
+/// let capper = CpuCapController::date14();
+/// let cap = Utilization::new(0.8);
+/// // Comfortable temperature: the proposal raises the cap.
+/// assert!(capper.propose(Celsius::new(70.0), cap) > cap);
+/// // Over the high threshold: the proposal cuts it.
+/// assert!(capper.propose(Celsius::new(79.5), cap) < cap);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuCapController {
+    t_low: Celsius,
+    t_high: Celsius,
+    t_emergency: Celsius,
+    step: f64,
+    emergency_step: f64,
+    raise_step: f64,
+    bounds: Bounds<Utilization>,
+}
+
+impl CpuCapController {
+    /// Creates a capper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are not ordered
+    /// `t_low ≤ t_high ≤ t_emergency` or a step is not positive.
+    #[must_use]
+    pub fn new(
+        t_low: Celsius,
+        t_high: Celsius,
+        t_emergency: Celsius,
+        step: f64,
+        emergency_step: f64,
+        bounds: Bounds<Utilization>,
+    ) -> Self {
+        assert!(t_low <= t_high, "thresholds must satisfy t_low <= t_high");
+        assert!(t_high <= t_emergency, "t_high must not exceed t_emergency");
+        assert!(step > 0.0, "cap step must be positive");
+        assert!(emergency_step > 0.0, "emergency step must be positive");
+        Self { t_low, t_high, t_emergency, step, emergency_step, raise_step: step, bounds }
+    }
+
+    /// Overrides the recovery (raise) step, which defaults to the cut
+    /// step. P-state capping cuts coarsely for safety but can restore
+    /// performance at a different granularity.
+    #[must_use]
+    pub fn with_raise_step(mut self, raise_step: f64) -> Self {
+        assert!(raise_step > 0.0, "raise step must be positive");
+        self.raise_step = raise_step;
+        self
+    }
+
+    /// The calibrated DATE'14 capper: cuts above 79 °C, recovers below
+    /// 78 °C, emergency tier at the 80 °C safe limit; P-state-coarse 10 %
+    /// cuts (25 % in emergencies) with 5 %/s recovery, cap range 10–100 %.
+    ///
+    /// The recovery threshold sits directly under the cut threshold so
+    /// that the cap is restored at *any* regulated operating point — the
+    /// predictive reference scheme legitimately parks the junction at up
+    /// to ~78 °C under high load, and a recovery threshold below that
+    /// would leave the cap stuck after every excursion.
+    #[must_use]
+    pub fn date14() -> Self {
+        Self::new(
+            Celsius::new(78.0),
+            Celsius::new(79.0),
+            Celsius::new(80.0),
+            0.10,
+            0.25,
+            Bounds::new(Utilization::new(0.10), Utilization::FULL),
+        )
+        .with_raise_step(0.05)
+    }
+
+    /// Lower (recovery) threshold.
+    #[must_use]
+    pub fn t_low(&self) -> Celsius {
+        self.t_low
+    }
+
+    /// Upper (cut) threshold.
+    #[must_use]
+    pub fn t_high(&self) -> Celsius {
+        self.t_high
+    }
+
+    /// Thermal-emergency threshold.
+    #[must_use]
+    pub fn t_emergency(&self) -> Celsius {
+        self.t_emergency
+    }
+
+    /// The cap range enforced on proposals.
+    #[must_use]
+    pub fn bounds(&self) -> Bounds<Utilization> {
+        self.bounds
+    }
+
+    /// One decision: the proposed next cap for the measured temperature.
+    #[must_use]
+    pub fn propose(&self, measured: Celsius, current: Utilization) -> Utilization {
+        let next = if measured >= self.t_emergency {
+            current.saturating_add(-self.emergency_step)
+        } else if measured > self.t_high {
+            current.saturating_add(-self.step)
+        } else if measured < self.t_low {
+            current.saturating_add(self.raise_step)
+        } else {
+            current
+        };
+        self.bounds.clamp(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capper() -> CpuCapController {
+        CpuCapController::date14()
+    }
+
+    #[test]
+    fn holds_inside_the_zone() {
+        let c = capper();
+        let cap = Utilization::new(0.7);
+        for t in [78.0, 78.5, 79.0] {
+            assert_eq!(c.propose(Celsius::new(t), cap), cap, "at {t}");
+        }
+    }
+
+    #[test]
+    fn cuts_above_high_threshold() {
+        let c = capper();
+        let cap = Utilization::new(0.7);
+        let next = c.propose(Celsius::new(79.5), cap);
+        assert!((next.value() - 0.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emergency_cuts_harder() {
+        let c = capper();
+        let cap = Utilization::new(0.7);
+        let next = c.propose(Celsius::new(80.0), cap);
+        assert!((next.value() - 0.45).abs() < 1e-12);
+        let deeper = c.propose(Celsius::new(95.0), cap);
+        assert!((deeper.value() - 0.45).abs() < 1e-12, "same emergency step");
+    }
+
+    #[test]
+    fn recovers_below_low_threshold() {
+        let c = capper();
+        let cap = Utilization::new(0.7);
+        let next = c.propose(Celsius::new(77.9), cap);
+        assert!((next.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let c = capper();
+        assert_eq!(c.propose(Celsius::new(90.0), Utilization::new(0.12)), Utilization::new(0.10));
+        assert_eq!(c.propose(Celsius::new(60.0), Utilization::new(0.98)), Utilization::FULL);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = capper();
+        assert_eq!(c.t_low(), Celsius::new(78.0));
+        assert_eq!(c.t_high(), Celsius::new(79.0));
+        assert_eq!(c.t_emergency(), Celsius::new(80.0));
+        assert_eq!(c.bounds().lo(), Utilization::new(0.10));
+    }
+
+    #[test]
+    fn boundary_exactly_at_thresholds() {
+        let c = capper();
+        let cap = Utilization::new(0.5);
+        // Exactly t_high holds (strict inequality for cuts)…
+        assert_eq!(c.propose(Celsius::new(79.0), cap), cap);
+        // …exactly t_low holds (strict inequality for raises)…
+        assert_eq!(c.propose(Celsius::new(78.0), cap), cap);
+        // …exactly t_emergency cuts (inclusive).
+        assert!(c.propose(Celsius::new(80.0), cap) < cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_low <= t_high")]
+    fn inverted_zone_rejected() {
+        let _ = CpuCapController::new(
+            Celsius::new(79.0),
+            Celsius::new(76.0),
+            Celsius::new(80.0),
+            0.05,
+            0.25,
+            Bounds::new(Utilization::new(0.1), Utilization::FULL),
+        );
+    }
+}

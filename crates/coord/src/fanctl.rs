@@ -1,0 +1,292 @@
+//! Fan-policy abstraction and its implementations.
+
+use gfsc_control::{AdaptivePid, Deadzone, PidController, PidGains, QuantizationHold};
+use gfsc_units::{Bounds, Celsius, Rpm};
+
+/// A fan-speed policy: one decision per fan period.
+///
+/// The closed-loop runner is generic over this trait so the same harness
+/// reproduces Fig. 3 (adaptive vs fixed-gain PID), Fig. 4 (deadzone) and
+/// Table III (adaptive PID inside coordination schemes).
+pub trait FanController {
+    /// Maps the measured temperature and current fan speed to the next
+    /// commanded speed.
+    fn decide(&mut self, measured: Celsius, current: Rpm) -> Rpm;
+
+    /// The active reference temperature `T_ref^fan`.
+    fn reference(&self) -> Celsius;
+
+    /// Moves the reference (predictive set-point adjustment).
+    fn set_reference(&mut self, reference: Celsius);
+
+    /// Clears dynamic state.
+    fn reset(&mut self);
+}
+
+impl FanController for AdaptivePid {
+    fn decide(&mut self, measured: Celsius, current: Rpm) -> Rpm {
+        AdaptivePid::decide(self, measured, current)
+    }
+
+    fn reference(&self) -> Celsius {
+        AdaptivePid::reference(self)
+    }
+
+    fn set_reference(&mut self, reference: Celsius) {
+        AdaptivePid::set_reference(self, reference);
+    }
+
+    fn reset(&mut self) {
+        AdaptivePid::reset(self);
+    }
+}
+
+/// A PID fan controller with one fixed gain set — the Fig. 3 baseline that
+/// is only tuned for a single operating region.
+///
+/// Structurally identical to [`AdaptivePid`] minus the gain scheduling: the
+/// offset is re-based on the first decision (bumpless start) and the
+/// optional quantization hold of Eq. (10) applies.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_coord::{FanController, FixedPidFan};
+/// use gfsc_control::PidGains;
+/// use gfsc_units::{Bounds, Celsius, Rpm};
+///
+/// let mut fan = FixedPidFan::new(
+///     PidGains::new(696.0, 464.0, 261.0),
+///     Celsius::new(75.0),
+///     Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+///     Some(1.0),
+/// );
+/// let cmd = fan.decide(Celsius::new(78.0), Rpm::new(2000.0));
+/// assert!(cmd > Rpm::new(2000.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedPidFan {
+    pid: PidController,
+    bounds: Bounds<f64>,
+    hold: Option<QuantizationHold>,
+    reference: Celsius,
+    primed: bool,
+}
+
+impl FixedPidFan {
+    /// Creates the controller with the given tuned gains.
+    #[must_use]
+    pub fn new(
+        gains: PidGains,
+        reference: Celsius,
+        bounds: Bounds<Rpm>,
+        quantization_step: Option<f64>,
+    ) -> Self {
+        let f_bounds = Bounds::new(bounds.lo().value(), bounds.hi().value());
+        Self {
+            pid: PidController::new(gains).with_output_bounds(f_bounds),
+            bounds: f_bounds,
+            hold: quantization_step.map(QuantizationHold::new),
+            reference,
+            primed: false,
+        }
+    }
+
+    /// The configured gains.
+    #[must_use]
+    pub fn gains(&self) -> PidGains {
+        self.pid.gains()
+    }
+}
+
+impl FanController for FixedPidFan {
+    fn decide(&mut self, measured: Celsius, current: Rpm) -> Rpm {
+        if !self.primed {
+            self.pid.set_offset(current.value());
+            self.primed = true;
+        }
+        let error = measured - self.reference;
+        // Same deadband shaping as the adaptive controller (fair
+        // comparison: both run the full Eq. 10 treatment).
+        let control_error = match &self.hold {
+            Some(hold) => hold.shaped_error(error),
+            None => error,
+        };
+        let raw = self.pid.update(control_error);
+        let command = Rpm::new(self.bounds.clamp(raw));
+        match &self.hold {
+            Some(hold) if hold.should_hold(error) => current,
+            _ => command,
+        }
+    }
+
+    fn reference(&self) -> Celsius {
+        self.reference
+    }
+
+    fn set_reference(&mut self, reference: Celsius) {
+        self.reference = reference;
+    }
+
+    fn reset(&mut self) {
+        self.pid.reset();
+        self.primed = false;
+    }
+}
+
+/// The deadzone fan policy — the shipping-firmware scheme whose
+/// oscillation Fig. 4 demonstrates.
+///
+/// The zone is expressed relative to a reference: `[ref − half_width,
+/// ref + half_width]`, so [`FanController::set_reference`] slides the whole
+/// zone.
+#[derive(Debug, Clone)]
+pub struct DeadzoneFan {
+    inner: Deadzone,
+    reference: Celsius,
+    half_width: f64,
+    step: f64,
+    bounds: Bounds<Rpm>,
+}
+
+impl DeadzoneFan {
+    /// Creates a deadzone policy centred on `reference` with the given zone
+    /// half-width, per-decision speed step, and actuator bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_width` is negative or `step` is not positive.
+    #[must_use]
+    pub fn new(reference: Celsius, half_width: f64, step: f64, bounds: Bounds<Rpm>) -> Self {
+        assert!(half_width >= 0.0, "half width must be non-negative");
+        let inner = Deadzone::new(
+            reference - half_width,
+            reference + half_width,
+            step,
+            bounds,
+        );
+        Self { inner, reference, half_width, step, bounds }
+    }
+}
+
+impl FanController for DeadzoneFan {
+    fn decide(&mut self, measured: Celsius, current: Rpm) -> Rpm {
+        self.inner.decide(measured, current)
+    }
+
+    fn reference(&self) -> Celsius {
+        self.reference
+    }
+
+    fn set_reference(&mut self, reference: Celsius) {
+        self.reference = reference;
+        self.inner = Deadzone::new(
+            reference - self.half_width,
+            reference + self.half_width,
+            self.step,
+            self.bounds,
+        );
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsc_control::{GainSchedule, Region};
+
+    fn bounds() -> Bounds<Rpm> {
+        Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0))
+    }
+
+    #[test]
+    fn fixed_pid_primes_offset_on_first_decision() {
+        let mut fan = FixedPidFan::new(
+            PidGains::proportional(100.0),
+            Celsius::new(75.0),
+            bounds(),
+            None,
+        );
+        // First decision from 3000 rpm with +2 K error: 3000 + 200.
+        let cmd = fan.decide(Celsius::new(77.0), Rpm::new(3000.0));
+        assert_eq!(cmd, Rpm::new(3200.0));
+        // Offset stays primed: same error from any current speed gives the
+        // same command (plus integral action if configured — none here).
+        let cmd2 = fan.decide(Celsius::new(77.0), Rpm::new(5000.0));
+        assert_eq!(cmd2, Rpm::new(3200.0));
+    }
+
+    #[test]
+    fn fixed_pid_hold_freezes_small_errors() {
+        let mut fan = FixedPidFan::new(
+            PidGains::proportional(100.0),
+            Celsius::new(75.0),
+            bounds(),
+            Some(1.0),
+        );
+        assert_eq!(fan.decide(Celsius::new(75.5), Rpm::new(3000.0)), Rpm::new(3000.0));
+    }
+
+    #[test]
+    fn fixed_pid_reference_and_reset() {
+        let mut fan = FixedPidFan::new(
+            PidGains::proportional(100.0),
+            Celsius::new(75.0),
+            bounds(),
+            None,
+        );
+        assert_eq!(fan.reference(), Celsius::new(75.0));
+        fan.set_reference(Celsius::new(70.0));
+        assert_eq!(fan.reference(), Celsius::new(70.0));
+        let _ = fan.decide(Celsius::new(72.0), Rpm::new(3000.0));
+        fan.reset();
+        // After reset the offset re-primes from the new current speed.
+        let cmd = fan.decide(Celsius::new(71.0), Rpm::new(2000.0));
+        assert_eq!(cmd, Rpm::new(2100.0));
+    }
+
+    #[test]
+    fn fixed_pid_gains_accessor() {
+        let fan = FixedPidFan::new(
+            PidGains::new(1.0, 2.0, 3.0),
+            Celsius::new(75.0),
+            bounds(),
+            None,
+        );
+        assert_eq!(fan.gains().ki(), 2.0);
+    }
+
+    #[test]
+    fn deadzone_fan_steps_and_recentres() {
+        let mut fan = DeadzoneFan::new(Celsius::new(75.0), 2.0, 500.0, bounds());
+        assert_eq!(fan.reference(), Celsius::new(75.0));
+        // 78 is above 77 = ref+2: step up.
+        assert_eq!(fan.decide(Celsius::new(78.0), Rpm::new(3000.0)), Rpm::new(3500.0));
+        // Inside the zone: hold.
+        assert_eq!(fan.decide(Celsius::new(76.0), Rpm::new(3000.0)), Rpm::new(3000.0));
+        fan.set_reference(Celsius::new(70.0));
+        // 76 is now above 72: step up.
+        assert_eq!(fan.decide(Celsius::new(76.0), Rpm::new(3000.0)), Rpm::new(3500.0));
+    }
+
+    #[test]
+    fn adaptive_pid_implements_the_trait() {
+        let schedule = GainSchedule::new(vec![
+            Region::new(Rpm::new(2000.0), PidGains::proportional(100.0)),
+            Region::new(Rpm::new(6000.0), PidGains::proportional(800.0)),
+        ])
+        .unwrap();
+        let mut fan: Box<dyn FanController> = Box::new(AdaptivePid::new(
+            schedule,
+            Celsius::new(75.0),
+            bounds(),
+            Some(1.0),
+        ));
+        let cmd = fan.decide(Celsius::new(78.0), Rpm::new(3000.0));
+        assert!(cmd > Rpm::new(3000.0));
+        fan.set_reference(Celsius::new(72.0));
+        assert_eq!(fan.reference(), Celsius::new(72.0));
+        fan.reset();
+    }
+}

@@ -1,0 +1,57 @@
+//! Local controllers and global coordination (paper Sections III & V).
+//!
+//! An enterprise server runs several independent thermal actors: the fan
+//! controller, the CPU capper (P-state/power capping), and — in the paper's
+//! motivation — OS-level scheduling. Each is individually stable, yet run
+//! together they can fight each other into instability. This crate
+//! implements the paper's answer:
+//!
+//! - [`CpuCapController`]: the deadzone-like CPU capper of Section III-A,
+//! - [`FanController`]: the fan-policy abstraction, implemented for the
+//!   adaptive PID, fixed-gain PID and deadzone baselines,
+//! - [`RuleBasedCoordinator`]: Table II — exactly one knob actuated per
+//!   epoch, biased toward performance,
+//! - [`EnergyAwareCoordinator`]: the E-coord baseline (Ayoub et al., JETC):
+//!   pick the most energy-efficient corrective action, ignoring the
+//!   performance cost,
+//! - [`Uncoordinated`]: both local controllers applied blindly (the
+//!   paper's `w/o coordination` baseline),
+//! - [`AdaptiveReference`]: predictive set-point adjustment (Section V-B),
+//! - [`SingleStepFanScaling`]: emergency max-fan escalation (Section V-C),
+//! - [`ClosedLoopSim`]: the multi-rate closed-loop runner tying workload,
+//!   plant, local controllers and a coordinator together.
+//!
+//! # Examples
+//!
+//! ```
+//! use gfsc_coord::rule_matrix;
+//! use gfsc_units::{Rpm, Utilization};
+//!
+//! // Table II, conflicting proposals: cap wants up, fan wants down.
+//! let (cap, fan) = rule_matrix(
+//!     Utilization::new(0.5), Utilization::new(0.6), // cap: raise
+//!     Rpm::new(4000.0), Rpm::new(3000.0),           // fan: lower
+//! );
+//! assert_eq!(cap, Utilization::new(0.6)); // ucpu ↑ wins…
+//! assert_eq!(fan, Rpm::new(4000.0));      // …fan lowering is cancelled
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capper;
+mod coordinator;
+mod fanctl;
+mod reference;
+mod runner;
+mod ssfan;
+
+pub use capper::CpuCapController;
+pub use coordinator::{
+    rule_matrix, CoordinationInputs, CoordinationOutcome, Coordinator, EnergyAwareCoordinator,
+    FanDirection, RuleBasedCoordinator, Uncoordinated,
+};
+pub use fanctl::{DeadzoneFan, FanController, FixedPidFan};
+pub use reference::AdaptiveReference;
+pub use runner::{ClosedLoopSim, ClosedLoopSimBuilder, RunOutcome};
+pub use ssfan::{SingleStepFanScaling, SsFanAction};

@@ -1,0 +1,488 @@
+//! The multi-rate closed-loop simulation runner.
+
+use crate::{
+    AdaptiveReference, CoordinationInputs, Coordinator, CpuCapController, FanController,
+    SingleStepFanScaling, SsFanAction, Uncoordinated,
+};
+use gfsc_sensors::MovingAverage;
+use gfsc_server::{PerformanceMonitor, Server, ServerSpec};
+use gfsc_sim::{Clock, Periodic, TraceSet};
+use gfsc_units::{Joules, Rpm, Seconds, Utilization};
+use gfsc_workload::Workload;
+
+/// Everything a finished run reports: full traces plus the Table III
+/// metrics.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Time series recorded at the CPU epoch rate (1 s): `u_demand`,
+    /// `u_cap`, `u_executed`, `t_measured_c`, `t_junction_c`, `fan_rpm`,
+    /// `fan_target_rpm`, `t_ref_c`.
+    pub traces: TraceSet,
+    /// Fraction of CPU epochs whose demand exceeded the cap, in percent.
+    pub violation_percent: f64,
+    /// Violated epochs.
+    pub total_violations: u64,
+    /// Total CPU epochs.
+    pub total_epochs: u64,
+    /// Work lost to capping, in utilization-epochs.
+    pub lost_utilization: f64,
+    /// Energy consumed by the fan subsystem over the run.
+    pub fan_energy: Joules,
+    /// Energy consumed by the CPU over the run.
+    pub cpu_energy: Joules,
+    /// Simulated duration.
+    pub horizon: Seconds,
+}
+
+/// Builder for [`ClosedLoopSim`].
+///
+/// Only the fan controller and workload are mandatory; every other
+/// component defaults to the paper's calibration (deadzone capper,
+/// uncoordinated arbitration, fixed reference, no single-step scaling).
+pub struct ClosedLoopSimBuilder {
+    spec: ServerSpec,
+    workload: Option<Workload>,
+    fan: Option<Box<dyn FanController>>,
+    capper: Option<CpuCapController>,
+    coordinator: Box<dyn Coordinator>,
+    adaptive_reference: Option<AdaptiveReference>,
+    single_step: Option<SingleStepFanScaling>,
+    start_utilization: Utilization,
+    start_fan: Rpm,
+    monitor_window: usize,
+}
+
+impl std::fmt::Debug for ClosedLoopSimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedLoopSimBuilder").finish_non_exhaustive()
+    }
+}
+
+impl ClosedLoopSimBuilder {
+    /// Sets the server calibration (default: Table I).
+    #[must_use]
+    pub fn spec(mut self, spec: ServerSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the demand workload (required).
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the fan policy (required).
+    #[must_use]
+    pub fn fan(mut self, fan: impl FanController + 'static) -> Self {
+        self.fan = Some(Box::new(fan));
+        self
+    }
+
+    /// Sets the CPU capper (default: [`CpuCapController::date14`]).
+    #[must_use]
+    pub fn capper(mut self, capper: CpuCapController) -> Self {
+        self.capper = Some(capper);
+        self
+    }
+
+    /// Disables CPU capping entirely (the cap is pinned at 100 %) — used by
+    /// the fan-only stability experiments (Figs. 3 and 4).
+    #[must_use]
+    pub fn without_capper(mut self) -> Self {
+        self.capper = None;
+        self
+    }
+
+    /// Sets the global coordinator (default: [`Uncoordinated`]).
+    #[must_use]
+    pub fn coordinator(mut self, coordinator: impl Coordinator + 'static) -> Self {
+        self.coordinator = Box::new(coordinator);
+        self
+    }
+
+    /// Enables predictive set-point adjustment (Section V-B).
+    #[must_use]
+    pub fn adaptive_reference(mut self, reference: AdaptiveReference) -> Self {
+        self.adaptive_reference = Some(reference);
+        self
+    }
+
+    /// Enables single-step fan scaling (Section V-C).
+    #[must_use]
+    pub fn single_step(mut self, single_step: SingleStepFanScaling) -> Self {
+        self.single_step = Some(single_step);
+        self
+    }
+
+    /// Starts the run from thermal equilibrium at this operating point
+    /// (default: `u = 0.1` at the minimum fan speed).
+    #[must_use]
+    pub fn start_at(mut self, utilization: Utilization, fan: Rpm) -> Self {
+        self.start_utilization = utilization;
+        self.start_fan = fan;
+        self
+    }
+
+    /// Sets the sliding window (in CPU epochs) of the violation monitor
+    /// that feeds single-step scaling (default 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn monitor_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "monitor window must be positive");
+        self.monitor_window = window;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload or fan controller is missing, or the spec is
+    /// inconsistent.
+    #[must_use]
+    pub fn build(self) -> ClosedLoopSim {
+        let workload = self.workload.expect("a workload is required");
+        let fan = self.fan.expect("a fan controller is required");
+        let mut server = Server::new(self.spec.clone());
+        server.equilibrate(self.start_utilization, self.start_fan);
+        let monitor = PerformanceMonitor::new(self.monitor_window);
+        ClosedLoopSim {
+            spec: self.spec,
+            server,
+            workload,
+            fan,
+            capper: self.capper,
+            coordinator: self.coordinator,
+            adaptive_reference: self.adaptive_reference,
+            single_step: self.single_step,
+            monitor,
+            demand_filter: MovingAverage::new(30),
+            cap: Utilization::FULL,
+            executed: self.start_utilization,
+        }
+    }
+}
+
+/// The assembled closed loop: workload → capper/fan/coordinator → server.
+///
+/// One instance runs one experiment; the multi-rate schedule follows the
+/// spec (plant at `sim_dt`, CPU capper at 1 s, fan controller at 30 s, all
+/// Table I values by default).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_coord::{ClosedLoopSim, FixedPidFan, RuleBasedCoordinator};
+/// use gfsc_control::PidGains;
+/// use gfsc_units::{Bounds, Celsius, Rpm, Seconds};
+/// use gfsc_workload::{SquareWave, Workload};
+///
+/// let mut sim = ClosedLoopSim::builder()
+///     .workload(Workload::builder(SquareWave::date14()).build())
+///     .fan(FixedPidFan::new(
+///         PidGains::new(696.0, 464.0, 261.0),
+///         Celsius::new(75.0),
+///         Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+///         Some(1.0),
+///     ))
+///     .coordinator(RuleBasedCoordinator::new(Celsius::new(80.0)))
+///     .build();
+/// let outcome = sim.run(Seconds::new(120.0));
+/// assert_eq!(outcome.total_epochs, 121); // t = 0..=120 inclusive
+/// ```
+pub struct ClosedLoopSim {
+    spec: ServerSpec,
+    server: Server,
+    workload: Workload,
+    fan: Box<dyn FanController>,
+    capper: Option<CpuCapController>,
+    coordinator: Box<dyn Coordinator>,
+    adaptive_reference: Option<AdaptiveReference>,
+    single_step: Option<SingleStepFanScaling>,
+    monitor: PerformanceMonitor,
+    demand_filter: MovingAverage,
+    cap: Utilization,
+    executed: Utilization,
+}
+
+impl std::fmt::Debug for ClosedLoopSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedLoopSim")
+            .field("cap", &self.cap)
+            .field("executed", &self.executed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClosedLoopSim {
+    /// Starts building a simulation.
+    #[must_use]
+    pub fn builder() -> ClosedLoopSimBuilder {
+        ClosedLoopSimBuilder {
+            spec: ServerSpec::enterprise_default(),
+            workload: None,
+            fan: None,
+            capper: Some(CpuCapController::date14()),
+            coordinator: Box::new(Uncoordinated),
+            adaptive_reference: None,
+            single_step: None,
+            start_utilization: Utilization::new(0.1),
+            start_fan: Rpm::new(1000.0),
+            monitor_window: 10,
+        }
+    }
+
+    /// Runs the closed loop for `horizon` simulated seconds and returns
+    /// traces and metrics.
+    pub fn run(&mut self, horizon: Seconds) -> RunOutcome {
+        let mut clock = Clock::new(self.spec.sim_dt);
+        let mut cpu_epoch = Periodic::new(self.spec.cpu_control_interval);
+        let mut fan_epoch = Periodic::new(self.spec.fan_control_interval);
+        let mut traces = TraceSet::new();
+
+        let steps = clock.steps_for(horizon);
+        for _ in 0..=steps {
+            let now = clock.now();
+            if cpu_epoch.is_due(now) {
+                self.control_epoch(now, fan_epoch.is_due(now), &mut traces);
+            }
+            self.server.step(self.spec.sim_dt, self.executed);
+            clock.tick();
+        }
+
+        RunOutcome {
+            traces,
+            violation_percent: self.monitor.violation_percent(),
+            total_violations: self.monitor.total_violations(),
+            total_epochs: self.monitor.total_epochs(),
+            lost_utilization: self.monitor.lost_utilization(),
+            fan_energy: self.server.fan_energy(),
+            cpu_energy: self.server.cpu_energy(),
+            horizon,
+        }
+    }
+
+    /// One CPU control epoch: sample demand, collect proposals, arbitrate,
+    /// enforce, account, record.
+    fn control_epoch(&mut self, now: Seconds, fan_due: bool, traces: &mut TraceSet) {
+        let demand = self.workload.sample(now);
+        let measured = self.server.measured_temperature();
+        self.demand_filter.update(demand.value());
+        let predicted = Utilization::new(self.demand_filter.value().unwrap_or(0.0));
+
+        // Predictive set-point adjustment feeds on raw demand.
+        if let Some(ar) = &mut self.adaptive_reference {
+            ar.observe(demand);
+        }
+
+        // Single-step overlay: while a boost is in force it owns the fan,
+        // suppressing regular PID decisions until release.
+        let overlay = self.single_step.as_mut().map(|ss| {
+            ss.evaluate(self.monitor.recent_violation_rate(), measured, self.fan.reference())
+        });
+
+        let proposed_fan = match overlay {
+            // Propose max only while the target is still below it; once
+            // commanded, the latched fan↑ direction keeps protecting the
+            // cap mid-window (safety override still applies at T_safe).
+            Some(SsFanAction::Hold) => {
+                let hi = self.spec.fan_bounds.hi();
+                (self.server.fan_target() < hi).then_some(hi)
+            }
+            Some(SsFanAction::Release) => {
+                // Descend directly to the lowest safe speed for the
+                // predicted demand, as Section V-C prescribes, and restart
+                // the PID so it re-bases bumplessly at the descent speed
+                // instead of carrying integral state wound up during the
+                // boost excursion.
+                self.fan.reset();
+                let power = self.spec.cpu_power.power(predicted);
+                let safe = self
+                    .server
+                    .thermal()
+                    .min_safe_fan_speed(power, self.fan.reference())
+                    .unwrap_or(self.spec.fan_bounds.hi());
+                Some(self.spec.fan_bounds.clamp(safe))
+            }
+            Some(SsFanAction::None) | None if fan_due => {
+                if let Some(ar) = &self.adaptive_reference {
+                    self.fan.set_reference(ar.reference());
+                }
+                Some(self.fan.decide(measured, self.server.fan_speed()))
+            }
+            _ => None,
+        };
+
+        // Capper proposal (or a pinned cap when disabled).
+        let proposed_cap = match &self.capper {
+            Some(capper) => capper.propose(measured, self.cap),
+            None => Utilization::FULL,
+        };
+
+        let outcome = self.coordinator.coordinate(&CoordinationInputs {
+            server: &self.server,
+            measured,
+            current_cap: self.cap,
+            proposed_cap,
+            current_fan_target: self.server.fan_target(),
+            proposed_fan,
+            predicted_demand: predicted,
+        });
+
+        self.cap = outcome.cap;
+        if let Some(target) = outcome.fan_target {
+            self.server.set_fan_target(target);
+        }
+
+        self.executed = demand.min(self.cap);
+        self.monitor.record(demand, self.cap);
+
+        traces.record("u_demand", now, demand.value());
+        traces.record("u_cap", now, self.cap.value());
+        traces.record("u_executed", now, self.executed.value());
+        traces.record("t_measured_c", now, measured.value());
+        traces.record("t_junction_c", now, self.server.true_junction().value());
+        traces.record("fan_rpm", now, self.server.fan_speed().value());
+        traces.record("fan_target_rpm", now, self.server.fan_target().value());
+        traces.record("t_ref_c", now, self.fan.reference().value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FixedPidFan, RuleBasedCoordinator};
+    use gfsc_control::PidGains;
+    use gfsc_units::{Bounds, Celsius};
+    use gfsc_workload::{Constant, SquareWave};
+
+    fn pid_fan() -> FixedPidFan {
+        FixedPidFan::new(
+            PidGains::new(696.0, 464.0, 261.0),
+            Celsius::new(75.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            Some(1.0),
+        )
+    }
+
+    fn basic_sim(workload: Workload) -> ClosedLoopSim {
+        ClosedLoopSim::builder().workload(workload).fan(pid_fan()).build()
+    }
+
+    #[test]
+    fn records_all_trace_channels() {
+        let mut sim = basic_sim(Workload::builder(Constant::new(0.5)).build());
+        let out = sim.run(Seconds::new(60.0));
+        for name in [
+            "u_demand",
+            "u_cap",
+            "u_executed",
+            "t_measured_c",
+            "t_junction_c",
+            "fan_rpm",
+            "fan_target_rpm",
+            "t_ref_c",
+        ] {
+            let tr = out.traces.require(name).unwrap();
+            assert_eq!(tr.len(), 61, "trace {name}");
+        }
+    }
+
+    #[test]
+    fn epochs_match_horizon() {
+        let mut sim = basic_sim(Workload::builder(Constant::new(0.3)).build());
+        let out = sim.run(Seconds::new(300.0));
+        assert_eq!(out.total_epochs, 301);
+        assert_eq!(out.horizon, Seconds::new(300.0));
+    }
+
+    #[test]
+    fn no_violations_under_light_load() {
+        let mut sim = basic_sim(Workload::builder(Constant::new(0.2)).build());
+        let out = sim.run(Seconds::new(600.0));
+        assert_eq!(out.total_violations, 0, "violations {}", out.violation_percent);
+    }
+
+    #[test]
+    fn fan_regulates_toward_reference_under_steady_load() {
+        let mut sim = basic_sim(Workload::builder(Constant::new(0.7)).build());
+        let out = sim.run(Seconds::new(1800.0));
+        let t = out.traces.require("t_junction_c").unwrap();
+        // The tail should sit within a couple of kelvin of the 75 °C
+        // reference (quantization keeps it from exact convergence).
+        let tail = &t.values()[t.len() - 300..];
+        let mean = gfsc_sim::stats::mean(tail);
+        assert!((mean - 75.0).abs() < 2.5, "tail mean {mean}");
+    }
+
+    #[test]
+    fn energy_meters_report() {
+        let mut sim = basic_sim(Workload::builder(Constant::new(0.5)).build());
+        let out = sim.run(Seconds::new(120.0));
+        assert!(out.cpu_energy.value() > 0.0);
+        assert!(out.fan_energy.value() > 0.0);
+        // CPU dominates: 128 W × 120 s ≈ 15.4 kJ vs a few hundred J of fan.
+        assert!(out.cpu_energy > out.fan_energy);
+    }
+
+    #[test]
+    fn without_capper_pins_cap_at_full() {
+        let mut sim = ClosedLoopSim::builder()
+            .workload(Workload::builder(SquareWave::date14()).build())
+            .fan(pid_fan())
+            .without_capper()
+            .build();
+        let out = sim.run(Seconds::new(900.0));
+        let cap = out.traces.require("u_cap").unwrap();
+        assert!(cap.values().iter().all(|&c| c == 1.0));
+        assert_eq!(out.total_violations, 0);
+    }
+
+    #[test]
+    fn coordinated_run_executes() {
+        let mut sim = ClosedLoopSim::builder()
+            .workload(Workload::builder(SquareWave::date14()).gaussian_noise(0.04, 1).build())
+            .fan(pid_fan())
+            .coordinator(RuleBasedCoordinator::new(Celsius::new(80.0)))
+            .adaptive_reference(AdaptiveReference::date14())
+            .single_step(SingleStepFanScaling::new(0.3))
+            .build();
+        let out = sim.run(Seconds::new(900.0));
+        assert_eq!(out.total_epochs, 901);
+        // The adaptive reference must actually move with the load.
+        let tref = out.traces.require("t_ref_c").unwrap();
+        let spread = gfsc_sim::stats::peak_to_peak(tref.values());
+        assert!(spread > 2.0, "reference never adapted: spread {spread}");
+    }
+
+    #[test]
+    fn start_at_sets_initial_operating_point() {
+        let mut sim = ClosedLoopSim::builder()
+            .workload(Workload::builder(Constant::new(0.7)).build())
+            .fan(pid_fan())
+            .start_at(Utilization::new(0.7), Rpm::new(4000.0))
+            .build();
+        let out = sim.run(Seconds::new(10.0));
+        let fan = out.traces.require("fan_rpm").unwrap();
+        assert!((fan.values()[0] - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload is required")]
+    fn missing_workload_rejected() {
+        let _ = ClosedLoopSim::builder().fan(pid_fan()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "fan controller is required")]
+    fn missing_fan_rejected() {
+        let _ = ClosedLoopSim::builder()
+            .workload(Workload::builder(Constant::new(0.1)).build())
+            .build();
+    }
+}

@@ -1,0 +1,204 @@
+//! Single-step fan-speed scaling (paper Section V-C).
+
+use gfsc_units::Celsius;
+
+/// The action the single-step scheme requests this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsFanAction {
+    /// No intervention; normal fan policy applies.
+    None,
+    /// Hold the boost: the fan must stay at maximum this epoch (suppresses
+    /// regular fan decisions while the emergency persists).
+    Hold,
+    /// De-escalate: the emergency has passed; hand control back to the
+    /// regular fan policy, descending toward the lowest safe speed.
+    Release,
+}
+
+/// Emergency fan escalation: when the *measured performance degradation*
+/// exceeds a threshold, jump the fan to maximum in a single step rather
+/// than letting the PID crawl there over several 30 s periods.
+///
+/// Production load spikes are much faster than controller settling times
+/// (Bhattacharya et al., ref. \[20\]); during the `N_trans^fan · t_interval^fan`
+/// transient the server would keep violating deadlines. The boost bounds
+/// that window. The boost releases once the measurement is back within a
+/// small band of the fan reference — or unconditionally after
+/// `max_hold_epochs`, a safeguard against reference configurations the
+/// plant cannot reach. On release the fan descends
+/// directly to the lowest thermally-safe speed for the predicted load
+/// ("the lowest possible fan speed which enables to run required CPU
+/// utilization without any temperature violation").
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_coord::{SingleStepFanScaling, SsFanAction};
+/// use gfsc_units::Celsius;
+///
+/// let mut ss = SingleStepFanScaling::new(0.3);
+/// // 40 % of recent epochs violated: boost (and hold).
+/// assert_eq!(ss.evaluate(0.4, Celsius::new(82.0), Celsius::new(75.0)), SsFanAction::Hold);
+/// // Still degraded or hot: keep holding.
+/// assert_eq!(ss.evaluate(0.2, Celsius::new(81.0), Celsius::new(75.0)), SsFanAction::Hold);
+/// // Violations stopped and temperature near the reference: release.
+/// assert_eq!(ss.evaluate(0.0, Celsius::new(76.5), Celsius::new(75.0)), SsFanAction::Release);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleStepFanScaling {
+    threshold_rate: f64,
+    release_band: f64,
+    max_hold_epochs: u32,
+    held_for: u32,
+    active: bool,
+}
+
+impl SingleStepFanScaling {
+    /// Creates the scheme triggering when the recent violation rate
+    /// reaches `threshold_rate`, with a 2 K release band and a 60-epoch
+    /// hold safeguard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_rate` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(threshold_rate: f64) -> Self {
+        Self::with_release(threshold_rate, 2.0, 60)
+    }
+
+    /// Creates the scheme with explicit release parameters: the boost
+    /// releases once the recent violation rate is zero *and* the
+    /// measurement is within `release_band` kelvin above the reference, or
+    /// after `max_hold_epochs` regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_rate` is outside `(0, 1]`, `release_band` is
+    /// negative, or `max_hold_epochs` is zero.
+    #[must_use]
+    pub fn with_release(threshold_rate: f64, release_band: f64, max_hold_epochs: u32) -> Self {
+        assert!(
+            threshold_rate > 0.0 && threshold_rate <= 1.0,
+            "threshold rate must lie in (0, 1]"
+        );
+        assert!(release_band >= 0.0, "release band must be non-negative");
+        assert!(max_hold_epochs > 0, "max hold must be positive");
+        Self { threshold_rate, release_band, max_hold_epochs, held_for: 0, active: false }
+    }
+
+    /// The trigger threshold.
+    #[must_use]
+    pub fn threshold_rate(&self) -> f64 {
+        self.threshold_rate
+    }
+
+    /// Whether a boost is currently in force.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// One epoch of the state machine: recent violation rate in, action
+    /// out.
+    pub fn evaluate(
+        &mut self,
+        recent_violation_rate: f64,
+        measured: Celsius,
+        reference: Celsius,
+    ) -> SsFanAction {
+        if self.active {
+            self.held_for += 1;
+            // Release is a *thermal* condition: once the boost has cooled
+            // the junction near the reference, the fan can descend even if
+            // the cap is still recovering (violations may continue until
+            // it does — the fan is no longer the bottleneck).
+            let calm = measured <= reference + self.release_band;
+            if calm || self.held_for >= self.max_hold_epochs {
+                self.active = false;
+                self.held_for = 0;
+                SsFanAction::Release
+            } else {
+                SsFanAction::Hold
+            }
+        } else if recent_violation_rate >= self.threshold_rate {
+            self.active = true;
+            self.held_for = 0;
+            SsFanAction::Hold
+        } else {
+            SsFanAction::None
+        }
+    }
+
+    /// Clears the state machine.
+    pub fn reset(&mut self) {
+        self.active = false;
+        self.held_for = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(t: f64) -> Celsius {
+        Celsius::new(t)
+    }
+
+    #[test]
+    fn boosts_at_threshold() {
+        let mut ss = SingleStepFanScaling::new(0.3);
+        assert_eq!(ss.evaluate(0.29, c(82.0), c(75.0)), SsFanAction::None);
+        assert!(!ss.is_active());
+        assert_eq!(ss.evaluate(0.30, c(82.0), c(75.0)), SsFanAction::Hold);
+        assert!(ss.is_active());
+    }
+
+    #[test]
+    fn holds_while_hot_releases_when_cooled() {
+        let mut ss = SingleStepFanScaling::new(0.3);
+        ss.evaluate(1.0, c(85.0), c(75.0));
+        // Still far above the reference band: hold.
+        assert_eq!(ss.evaluate(0.0, c(80.0), c(75.0)), SsFanAction::Hold);
+        // Cooled into the band: release even if violations continue (the
+        // cap, not the fan, is now the bottleneck).
+        assert_eq!(ss.evaluate(0.5, c(76.9), c(75.0)), SsFanAction::Release);
+        assert!(!ss.is_active());
+    }
+
+    #[test]
+    fn hold_safeguard_releases_eventually() {
+        let mut ss = SingleStepFanScaling::with_release(0.3, 2.0, 5);
+        ss.evaluate(1.0, c(90.0), c(75.0));
+        let mut released = false;
+        for _ in 0..5 {
+            if ss.evaluate(1.0, c(90.0), c(75.0)) == SsFanAction::Release {
+                released = true;
+                break;
+            }
+        }
+        assert!(released, "safeguard must cap the hold duration");
+    }
+
+    #[test]
+    fn can_rearm_after_release() {
+        let mut ss = SingleStepFanScaling::new(0.5);
+        ss.evaluate(0.6, c(85.0), c(75.0));
+        while ss.evaluate(0.0, c(74.0), c(75.0)) != SsFanAction::Release {}
+        assert_eq!(ss.evaluate(0.7, c(83.0), c(75.0)), SsFanAction::Hold);
+    }
+
+    #[test]
+    fn reset_deactivates() {
+        let mut ss = SingleStepFanScaling::new(0.3);
+        ss.evaluate(0.5, c(85.0), c(75.0));
+        ss.reset();
+        assert!(!ss.is_active());
+        assert_eq!(ss.threshold_rate(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold rate")]
+    fn zero_threshold_rejected() {
+        let _ = SingleStepFanScaling::new(0.0);
+    }
+}

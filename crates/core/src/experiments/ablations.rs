@@ -1,0 +1,380 @@
+//! Ablation sweeps beyond the paper's published tables.
+//!
+//! The paper states its controllers are robust to a *specific* non-ideal
+//! operating point (10 s lag, 1 °C quantization, σ = 0.04 noise, two gain
+//! regions). These sweeps map the neighbourhood of that point:
+//!
+//! - [`lag_sweep`]: where fixed-gain PID loses stability as the telemetry
+//!   lag grows, and whether the adaptive PID holds on,
+//! - [`quantization_sweep`]: fan-command churn with and without the
+//!   Eq. (10) hold as the ADC coarsens,
+//! - [`region_sweep`]: the gain-schedule granularity ablation behind the
+//!   paper's "two regions suffice for 5 % linearization error" claim,
+//! - [`noise_sweep`]: the stability margin of the coordinated stack as
+//!   workload noise grows beyond the evaluated σ = 0.04.
+
+use super::fan_study_spec;
+use crate::{tune_gain_schedule, Simulation, Solution};
+use gfsc_control::AdaptivePid;
+use gfsc_coord::{ClosedLoopSim, FixedPidFan};
+use gfsc_server::ServerSpec;
+use gfsc_sim::stats;
+use gfsc_units::{Celsius, Rpm, Seconds, Utilization};
+use gfsc_workload::{Constant, SquareWave, Workload};
+
+/// Outcome of one stability probe (one controller on one plant variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityProbe {
+    /// Sustained-oscillation verdict on the fan trace tail.
+    pub stable: bool,
+    /// Mean peak-to-trough amplitude of detected fan oscillation (rpm).
+    pub oscillation_amplitude: f64,
+    /// RMS junction-temperature error from the 75 °C reference over the
+    /// tail (K).
+    pub temperature_rms_error: f64,
+}
+
+/// Analyzes the worst *within-phase* fan oscillation (the second half of
+/// every `phase_len` window after `skip`), so legitimate step responses at
+/// phase boundaries do not read as instability — consistent with Fig. 3.
+fn probe_traces(
+    traces: &gfsc_sim::TraceSet,
+    skip: Seconds,
+    phase_len: f64,
+    horizon: Seconds,
+) -> StabilityProbe {
+    let fan = traces.require("fan_rpm").expect("recorded");
+    let mut worst = stats::OscillationReport { reversals: 0, amplitude: 0.0, period: None };
+    let mut phase_start = skip.value();
+    while phase_start + phase_len <= horizon.value() {
+        let from = phase_start + phase_len / 2.0;
+        let to = phase_start + phase_len;
+        let (times, values) = fan.tail_from(Seconds::new(from));
+        let n = times.partition_point(|&t| t < to);
+        let rep = stats::detect_oscillation(&times[..n], &values[..n], 150.0);
+        if rep.reversals >= 2 && rep.amplitude > worst.amplitude {
+            worst = rep;
+        }
+        phase_start += phase_len;
+    }
+    let stable = worst.amplitude < 6750.0;
+    let temp = traces.require("t_junction_c").expect("recorded");
+    let (_, tv) = temp.tail_from(skip);
+    StabilityProbe {
+        stable,
+        oscillation_amplitude: worst.amplitude,
+        temperature_rms_error: stats::rms_error(tv, 75.0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lag sweep
+// ---------------------------------------------------------------------
+
+/// One row of the lag sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagRow {
+    /// Sensor transport lag of this plant variant.
+    pub lag: Seconds,
+    /// Adaptive PID probe (gains re-tuned for this lag).
+    pub adaptive: StabilityProbe,
+    /// Fixed PID tuned at 6000 rpm *on the nominal 10 s plant*, applied to
+    /// this variant — how the shipped calibration degrades as lag drifts.
+    pub fixed_high: StabilityProbe,
+}
+
+/// Sweeps the sensor lag. `horizon` bounds each run (≥ 800 s advised).
+#[must_use]
+pub fn lag_sweep(lags: &[Seconds], horizon: Seconds) -> Vec<LagRow> {
+    let nominal = fan_study_spec();
+    let fixed_gains =
+        tune_gain_schedule(&nominal, &[Rpm::new(6000.0)]).regions()[0].gains();
+    lags.iter()
+        .map(|&lag| {
+            let spec = ServerSpec { sensor_lag: lag, ..nominal.clone() };
+            let schedule =
+                tune_gain_schedule(&spec, &[Rpm::new(2000.0), Rpm::new(6000.0)]);
+            let run = |fan: Box<dyn gfsc_coord::FanController>| {
+                ClosedLoopSim::builder()
+                    .spec(spec.clone())
+                    .workload(
+                        Workload::builder(SquareWave::new(
+                            0.1,
+                            0.7,
+                            Seconds::new(800.0),
+                            0.5,
+                        ))
+                        .build(),
+                    )
+                    .fan(BoxedFan(fan))
+                    .without_capper()
+                    .start_at(Utilization::new(0.1), Rpm::new(2000.0))
+                    .build()
+                    .run(horizon)
+                    .traces
+            };
+            let skip = Seconds::new(400.0);
+            let adaptive_traces = run(Box::new(
+                AdaptivePid::new(
+                    schedule,
+                    Celsius::new(75.0),
+                    spec.fan_bounds,
+                    Some(spec.quantization_step),
+                )
+                .with_descent_limit(2000.0)
+                .with_trend_gate(spec.quantization_step.max(0.5)),
+            ));
+            let fixed_traces = run(Box::new(FixedPidFan::new(
+                fixed_gains,
+                Celsius::new(75.0),
+                spec.fan_bounds,
+                Some(spec.quantization_step),
+            )));
+            LagRow {
+                lag,
+                adaptive: probe_traces(&adaptive_traces, skip, 400.0, horizon),
+                fixed_high: probe_traces(&fixed_traces, skip, 400.0, horizon),
+            }
+        })
+        .collect()
+}
+
+/// Adapter: a boxed fan controller as a `FanController` (the runner's
+/// builder takes `impl FanController`).
+struct BoxedFan(Box<dyn gfsc_coord::FanController>);
+
+impl gfsc_coord::FanController for BoxedFan {
+    fn decide(&mut self, measured: Celsius, current: Rpm) -> Rpm {
+        self.0.decide(measured, current)
+    }
+    fn reference(&self) -> Celsius {
+        self.0.reference()
+    }
+    fn set_reference(&mut self, reference: Celsius) {
+        self.0.set_reference(reference);
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quantization sweep
+// ---------------------------------------------------------------------
+
+/// One row of the quantization sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizationRow {
+    /// ADC step of this plant variant, in kelvin.
+    pub step: f64,
+    /// Number of fan-command changes over the tail *with* the Eq. (10)
+    /// hold.
+    pub command_changes_with_hold: usize,
+    /// Number of fan-command changes over the tail *without* the hold.
+    pub command_changes_without_hold: usize,
+    /// Tail temperature RMS error with the hold (K).
+    pub rms_with_hold: f64,
+    /// Tail temperature RMS error without the hold (K).
+    pub rms_without_hold: f64,
+}
+
+fn count_command_changes(traces: &gfsc_sim::TraceSet, tail_from: Seconds) -> usize {
+    let target = traces.require("fan_target_rpm").expect("recorded");
+    let (_, values) = target.tail_from(tail_from);
+    values.windows(2).filter(|w| (w[1] - w[0]).abs() > 1e-6).count()
+}
+
+/// Sweeps the ADC step under a steady 0.7 load, with and without the
+/// quantization hold.
+#[must_use]
+pub fn quantization_sweep(steps: &[f64], horizon: Seconds) -> Vec<QuantizationRow> {
+    steps
+        .iter()
+        .map(|&step| {
+            let spec = ServerSpec { quantization_step: step, ..fan_study_spec() };
+            let schedule =
+                tune_gain_schedule(&spec, &[Rpm::new(2000.0), Rpm::new(6000.0)]);
+            let tail = Seconds::new(horizon.value() / 3.0);
+            let run = |hold: Option<f64>| {
+                let mut sim = ClosedLoopSim::builder()
+                    .spec(spec.clone())
+                    .workload(Workload::builder(Constant::new(0.7)).build())
+                    .fan(
+                        AdaptivePid::new(
+                            schedule.clone(),
+                            Celsius::new(75.0),
+                            spec.fan_bounds,
+                            hold,
+                        )
+                        .with_descent_limit(2000.0)
+                        .with_trend_gate(step.max(0.5)),
+                    )
+                    .without_capper()
+                    .start_at(Utilization::new(0.7), Rpm::new(4000.0))
+                    .build();
+                sim.run(horizon).traces
+            };
+            let with_hold = run(Some(step));
+            let without_hold = run(None);
+            QuantizationRow {
+                step,
+                command_changes_with_hold: count_command_changes(&with_hold, tail),
+                command_changes_without_hold: count_command_changes(&without_hold, tail),
+                rms_with_hold: probe_traces(&with_hold, tail, horizon.value(), horizon)
+                    .temperature_rms_error,
+                rms_without_hold: probe_traces(&without_hold, tail, horizon.value(), horizon)
+                    .temperature_rms_error,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Region-count sweep
+// ---------------------------------------------------------------------
+
+/// One row of the region-count sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionRow {
+    /// The region speeds of this schedule.
+    pub regions: Vec<f64>,
+    /// Stability probe under the alternating workload.
+    pub probe: StabilityProbe,
+}
+
+/// Sweeps the gain-schedule granularity (the paper settled on two regions
+/// for ≤ 5 % linearization error).
+#[must_use]
+pub fn region_sweep(region_sets: &[Vec<f64>], horizon: Seconds) -> Vec<RegionRow> {
+    let spec = fan_study_spec();
+    region_sets
+        .iter()
+        .map(|speeds| {
+            let rpm: Vec<Rpm> = speeds.iter().map(|&v| Rpm::new(v)).collect();
+            let schedule = tune_gain_schedule(&spec, &rpm);
+            let mut sim = ClosedLoopSim::builder()
+                .spec(spec.clone())
+                .workload(
+                    Workload::builder(SquareWave::new(0.1, 0.7, Seconds::new(800.0), 0.5))
+                        .build(),
+                )
+                .fan(
+                    AdaptivePid::new(
+                        schedule,
+                        Celsius::new(75.0),
+                        spec.fan_bounds,
+                        Some(spec.quantization_step),
+                    )
+                    .with_descent_limit(2000.0)
+                    .with_trend_gate(spec.quantization_step.max(0.5)),
+                )
+                .without_capper()
+                .start_at(Utilization::new(0.1), Rpm::new(2000.0))
+                .build();
+            let traces = sim.run(horizon).traces;
+            RegionRow {
+                regions: speeds.clone(),
+                probe: probe_traces(&traces, Seconds::new(400.0), 400.0, horizon),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Noise sweep
+// ---------------------------------------------------------------------
+
+/// One row of the noise sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseRow {
+    /// Workload noise standard deviation.
+    pub sigma: f64,
+    /// Deadline-violation percentage of the full proposal at this noise.
+    pub violation_percent: f64,
+    /// Worst within-phase fan oscillation amplitude (rpm).
+    pub fan_oscillation_amplitude: f64,
+}
+
+/// Sweeps the workload noise around the paper's σ = 0.04 operating point,
+/// running the full proposed solution.
+#[must_use]
+pub fn noise_sweep(sigmas: &[f64], horizon: Seconds, seed: u64) -> Vec<NoiseRow> {
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let workload = Workload::builder(SquareWave::date14())
+                .gaussian_noise(sigma, seed)
+                .build();
+            let outcome = Simulation::builder()
+                .solution(Solution::RCoordAdaptiveTrefSsFan)
+                .workload(workload)
+                .build()
+                .run(horizon);
+            let fan = outcome.traces.require("fan_rpm").expect("recorded");
+            let mut worst = 0.0f64;
+            let mut phase_start = 0.0;
+            while phase_start + 200.0 <= horizon.value() {
+                let (times, values) = fan.tail_from(Seconds::new(phase_start + 100.0));
+                let n = times.partition_point(|&t| t < phase_start + 200.0);
+                let rep = stats::detect_oscillation(&times[..n], &values[..n], 150.0);
+                if rep.reversals >= 4 {
+                    worst = worst.max(rep.amplitude);
+                }
+                phase_start += 200.0;
+            }
+            NoiseRow {
+                sigma,
+                violation_percent: outcome.violation_percent,
+                fan_oscillation_amplitude: worst,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_sweep_stability_boundary() {
+        // At the paper's measured 10 s lag the re-tuned adaptive
+        // controller is stable while the mis-deployed fixed@6000 set is
+        // not; by 30 s even re-tuning cannot save a 30 s-period loop
+        // (the lag then equals the decision period).
+        let rows = lag_sweep(&[Seconds::new(10.0), Seconds::new(30.0)], Seconds::new(1600.0));
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].adaptive.stable, "adaptive unstable at nominal lag");
+        assert!(
+            !rows[0].fixed_high.stable,
+            "fixed@6000 should be unstable at nominal lag: {:?}",
+            rows[0].fixed_high
+        );
+        // The 30 s row is reported, not asserted stable — it documents the
+        // boundary of the scheme.
+        assert!(rows[1].adaptive.oscillation_amplitude >= 0.0);
+    }
+
+    #[test]
+    fn quantization_hold_reduces_command_churn() {
+        let rows = quantization_sweep(&[1.0], Seconds::new(600.0));
+        let row = &rows[0];
+        assert!(
+            row.command_changes_with_hold <= row.command_changes_without_hold,
+            "hold increased churn: {row:?}"
+        );
+    }
+
+    #[test]
+    fn region_sweep_includes_paper_configuration() {
+        let rows = region_sweep(&[vec![2000.0, 6000.0]], Seconds::new(800.0));
+        assert!(rows[0].probe.stable, "two-region schedule unstable: {rows:?}");
+    }
+
+    #[test]
+    fn noise_sweep_is_monotone_enough_at_zero() {
+        let rows = noise_sweep(&[0.0, 0.04], Seconds::new(800.0), 11);
+        assert_eq!(rows.len(), 2);
+        // No noise: still a working controller.
+        assert!(rows[0].violation_percent <= rows[1].violation_percent + 5.0);
+    }
+}

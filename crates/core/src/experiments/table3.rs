@@ -1,0 +1,142 @@
+//! Table III: performance and fan-energy comparison of the five solutions.
+
+use crate::{markdown_table, Simulation, Solution};
+use gfsc_units::Seconds;
+
+/// Configuration of the Table III run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Config {
+    /// Simulated duration per solution (default 2 h — long enough for the
+    /// violation fractions to stabilize across workload periods and
+    /// spikes).
+    pub horizon: Seconds,
+    /// Workload seed (same demand trace for every solution).
+    pub seed: u64,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Self { horizon: Seconds::new(7200.0), seed: 42 }
+    }
+}
+
+/// One row of the reproduced table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// The solution evaluated.
+    pub solution: Solution,
+    /// Percentage of CPU epochs with deadline violations.
+    pub violation_percent: f64,
+    /// Absolute fan energy over the run, joules.
+    pub fan_energy_j: f64,
+    /// Fan energy normalized to the uncoordinated baseline.
+    pub normalized_fan_energy: f64,
+}
+
+/// The reproduced Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table3Row>,
+    /// The configuration that produced them.
+    pub config: Table3Config,
+}
+
+impl Table3 {
+    /// The paper's published values `(deadline violation %, normalized fan
+    /// energy)`, in the same solution order, for side-by-side reporting.
+    #[must_use]
+    pub fn paper_values() -> [(f64, f64); 5] {
+        [(26.12, 1.0), (44.44, 0.703), (14.14, 1.075), (11.42, 0.801), (6.92, 0.804)]
+    }
+
+    /// Looks up a row by solution.
+    #[must_use]
+    pub fn row(&self, solution: Solution) -> &Table3Row {
+        self.rows
+            .iter()
+            .find(|r| r.solution == solution)
+            .expect("all solutions present by construction")
+    }
+
+    /// Renders the measured-vs-paper comparison as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let paper = Self::paper_values();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .zip(paper)
+            .map(|(r, (p_viol, p_energy))| {
+                vec![
+                    r.solution.paper_name().to_owned(),
+                    format!("{:.2}", r.violation_percent),
+                    format!("{p_viol:.2}"),
+                    format!("{:.3}", r.normalized_fan_energy),
+                    format!("{p_energy:.3}"),
+                ]
+            })
+            .collect();
+        markdown_table(
+            &[
+                "Solution",
+                "Violation % (ours)",
+                "Violation % (paper)",
+                "Norm. fan energy (ours)",
+                "Norm. fan energy (paper)",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Runs all five solutions on the shared workload and assembles the table.
+#[must_use]
+pub fn run(config: &Table3Config) -> Table3 {
+    let mut rows = Vec::with_capacity(Solution::ALL.len());
+    let mut baseline_energy = None;
+    for solution in Solution::ALL {
+        let outcome = Simulation::builder()
+            .solution(solution)
+            .seed(config.seed)
+            .build()
+            .run(config.horizon);
+        let fan_energy = outcome.fan_energy.value();
+        if solution == Solution::WithoutCoordination {
+            baseline_energy = Some(fan_energy);
+        }
+        let base = baseline_energy.expect("baseline runs first in Solution::ALL");
+        rows.push(Table3Row {
+            solution,
+            violation_percent: outcome.violation_percent,
+            fan_energy_j: fan_energy,
+            normalized_fan_energy: if base > 0.0 { fan_energy / base } else { f64::NAN },
+        });
+    }
+    Table3 { rows, config: config.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_publication() {
+        let p = Table3::paper_values();
+        assert_eq!(p[0], (26.12, 1.0));
+        assert_eq!(p[1], (44.44, 0.703));
+        assert_eq!(p[4], (6.92, 0.804));
+    }
+
+    #[test]
+    fn short_run_produces_all_rows() {
+        let table = run(&Table3Config { horizon: Seconds::new(300.0), seed: 1 });
+        assert_eq!(table.rows.len(), 5);
+        // Baseline row is normalized to exactly 1.
+        let base = table.row(Solution::WithoutCoordination);
+        assert!((base.normalized_fan_energy - 1.0).abs() < 1e-12);
+        // Markdown renders one line per solution plus 2 header lines.
+        let md = table.to_markdown();
+        assert_eq!(md.lines().count(), 7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Rendering helpers for experiment outputs (markdown tables, CSV).
+
+use gfsc_sim::{TraceError, TraceSet};
+use std::io::Write;
+
+/// Renders rows as a GitHub-flavored markdown table.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc::markdown_table;
+///
+/// let table = markdown_table(
+///     &["Solution", "Violation (%)"],
+///     &[vec!["baseline".into(), "26.1".into()]],
+/// );
+/// assert!(table.contains("| Solution | Violation (%) |"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+#[must_use]
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row/header width mismatch");
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a trace set as wide CSV to `out` (convenience re-export of
+/// [`TraceSet::write_csv`] for experiment binaries).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if writing fails.
+pub fn write_traces_csv<W: Write>(traces: &TraceSet, out: W) -> Result<(), TraceError> {
+    traces.write_csv(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsc_units::Seconds;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+
+    #[test]
+    fn csv_passthrough() {
+        let mut set = TraceSet::new();
+        set.record("x", Seconds::new(0.0), 1.0);
+        let mut buf = Vec::new();
+        write_traces_csv(&set, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().starts_with("time_s,x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

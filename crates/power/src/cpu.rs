@@ -1,0 +1,121 @@
+//! Linear CPU power model.
+
+use gfsc_units::{Utilization, Watts};
+
+/// CPU socket power as a linear function of utilization (paper Eq. 1):
+/// `P_cpu = P_static + P_dyn · u`.
+///
+/// Table I gives `P_idle = 96 W` and `P_max = 160 W`, so the maximum
+/// dynamic power is 64 W.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_power::CpuPowerModel;
+/// use gfsc_units::Utilization;
+///
+/// let cpu = CpuPowerModel::date14();
+/// let p = cpu.power(Utilization::new(0.7));
+/// assert!((p.value() - 140.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPowerModel {
+    static_power: Watts,
+    dynamic_max: Watts,
+}
+
+impl CpuPowerModel {
+    /// Creates a model with the given static (idle) power and maximum
+    /// dynamic power.
+    #[must_use]
+    pub fn new(static_power: Watts, dynamic_max: Watts) -> Self {
+        Self { static_power, dynamic_max }
+    }
+
+    /// The DATE'14 Table I model: 96 W idle, 160 W at full load.
+    #[must_use]
+    pub fn date14() -> Self {
+        Self::new(Watts::new(96.0), Watts::new(64.0))
+    }
+
+    /// Static (idle) power `P_static`.
+    #[must_use]
+    pub fn static_power(&self) -> Watts {
+        self.static_power
+    }
+
+    /// Maximum dynamic power `P_dyn` (consumed on top of static at `u = 1`).
+    #[must_use]
+    pub fn dynamic_max(&self) -> Watts {
+        self.dynamic_max
+    }
+
+    /// Peak total power at `u = 1`.
+    #[must_use]
+    pub fn peak_power(&self) -> Watts {
+        self.static_power + self.dynamic_max
+    }
+
+    /// Power at utilization `u`.
+    #[must_use]
+    pub fn power(&self, u: Utilization) -> Watts {
+        self.static_power + self.dynamic_max * u.value()
+    }
+
+    /// Inverse model: the utilization that would draw `p`, clamped to
+    /// `[0, 1]`. Model-based coordinators use this to translate a thermal
+    /// power budget into a CPU cap.
+    #[must_use]
+    pub fn utilization_for_power(&self, p: Watts) -> Utilization {
+        if self.dynamic_max.value() == 0.0 {
+            return Utilization::IDLE;
+        }
+        Utilization::new((p.value() - self.static_power.value()) / self.dynamic_max.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_table1() {
+        let cpu = CpuPowerModel::date14();
+        assert_eq!(cpu.power(Utilization::IDLE), Watts::new(96.0));
+        assert_eq!(cpu.power(Utilization::FULL), Watts::new(160.0));
+        assert_eq!(cpu.peak_power(), Watts::new(160.0));
+        assert_eq!(cpu.static_power(), Watts::new(96.0));
+        assert_eq!(cpu.dynamic_max(), Watts::new(64.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let cpu = CpuPowerModel::date14();
+        let half = cpu.power(Utilization::new(0.5)).value();
+        assert!((half - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let cpu = CpuPowerModel::date14();
+        for u in [0.0, 0.1, 0.5, 0.7, 1.0] {
+            let p = cpu.power(Utilization::new(u));
+            let back = cpu.utilization_for_power(p);
+            assert!((back.value() - u).abs() < 1e-12, "u={u}");
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_out_of_range() {
+        let cpu = CpuPowerModel::date14();
+        assert_eq!(cpu.utilization_for_power(Watts::new(50.0)), Utilization::IDLE);
+        assert_eq!(cpu.utilization_for_power(Watts::new(500.0)), Utilization::FULL);
+    }
+
+    #[test]
+    fn degenerate_zero_dynamic_power() {
+        let cpu = CpuPowerModel::new(Watts::new(50.0), Watts::new(0.0));
+        assert_eq!(cpu.power(Utilization::FULL), Watts::new(50.0));
+        assert_eq!(cpu.utilization_for_power(Watts::new(50.0)), Utilization::IDLE);
+    }
+}

@@ -1,0 +1,110 @@
+//! Power-over-time integration.
+
+use gfsc_units::{Joules, Seconds, Watts};
+
+/// Accumulates energy from piecewise-constant power samples.
+///
+/// In a fixed-step simulation the power is constant within a step (it only
+/// changes when a controller fires), so rectangle integration is exact.
+/// The meter also tracks total time, exposing the average power.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_power::EnergyMeter;
+/// use gfsc_units::{Seconds, Watts};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.accumulate(Watts::new(10.0), Seconds::new(30.0));
+/// meter.accumulate(Watts::new(20.0), Seconds::new(30.0));
+/// assert_eq!(meter.total().value(), 900.0);
+/// assert_eq!(meter.average_power().unwrap().value(), 15.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    total: Joules,
+    elapsed: Seconds,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `power × dt` to the running total.
+    pub fn accumulate(&mut self, power: Watts, dt: Seconds) {
+        self.total += power * dt;
+        self.elapsed += dt;
+    }
+
+    /// Total accumulated energy.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.total
+    }
+
+    /// Total integrated time.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Average power over the integrated interval, or `None` before any
+    /// time has been accumulated.
+    #[must_use]
+    pub fn average_power(&self) -> Option<Watts> {
+        if self.elapsed.is_zero() {
+            None
+        } else {
+            Some(self.total / self.elapsed)
+        }
+    }
+
+    /// Resets the meter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_rectangles() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(Watts::new(100.0), Seconds::new(1.0));
+        m.accumulate(Watts::new(100.0), Seconds::new(1.0));
+        m.accumulate(Watts::new(50.0), Seconds::new(2.0));
+        assert_eq!(m.total(), Joules::new(300.0));
+        assert_eq!(m.elapsed(), Seconds::new(4.0));
+    }
+
+    #[test]
+    fn average_power() {
+        let mut m = EnergyMeter::new();
+        assert!(m.average_power().is_none());
+        m.accumulate(Watts::new(30.0), Seconds::new(10.0));
+        m.accumulate(Watts::new(10.0), Seconds::new(10.0));
+        assert_eq!(m.average_power().unwrap(), Watts::new(20.0));
+    }
+
+    #[test]
+    fn zero_dt_is_a_no_op() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(Watts::new(100.0), Seconds::new(0.0));
+        assert_eq!(m.total(), Joules::new(0.0));
+        assert!(m.average_power().is_none());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(Watts::new(100.0), Seconds::new(5.0));
+        m.reset();
+        assert_eq!(m.total(), Joules::new(0.0));
+        assert!(m.elapsed().is_zero());
+    }
+}

@@ -1,0 +1,119 @@
+//! Aggregate server power.
+
+use crate::{CpuPowerModel, FanPowerModel};
+use gfsc_units::{Rpm, Utilization, Watts};
+
+/// Total server power: `P_tot = P_cpu(u) + N_sockets · P_fan(V)`.
+///
+/// The paper targets a single-socket server with forced air cooling where
+/// all fans run at the same speed; multi-socket configurations scale the
+/// fan subsystem linearly.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_power::ServerPowerModel;
+/// use gfsc_units::{Rpm, Utilization};
+///
+/// let server = ServerPowerModel::date14();
+/// let p = server.total(Utilization::new(0.7), Rpm::new(8500.0));
+/// assert!((p.value() - (140.8 + 29.4)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerModel {
+    cpu: CpuPowerModel,
+    fan: FanPowerModel,
+    sockets: u32,
+}
+
+impl ServerPowerModel {
+    /// Creates a model from per-socket CPU and fan models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets` is zero.
+    #[must_use]
+    pub fn new(cpu: CpuPowerModel, fan: FanPowerModel, sockets: u32) -> Self {
+        assert!(sockets > 0, "server must have at least one socket");
+        Self { cpu, fan, sockets }
+    }
+
+    /// The DATE'14 single-socket server.
+    #[must_use]
+    pub fn date14() -> Self {
+        Self::new(CpuPowerModel::date14(), FanPowerModel::date14(), 1)
+    }
+
+    /// The CPU power model.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuPowerModel {
+        &self.cpu
+    }
+
+    /// The per-socket fan power model.
+    #[must_use]
+    pub fn fan(&self) -> &FanPowerModel {
+        &self.fan
+    }
+
+    /// Number of sockets.
+    #[must_use]
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// CPU power at utilization `u` (aggregated across sockets).
+    #[must_use]
+    pub fn cpu_power(&self, u: Utilization) -> Watts {
+        self.cpu.power(u) * f64::from(self.sockets)
+    }
+
+    /// Fan power at speed `v` (aggregated across sockets).
+    #[must_use]
+    pub fn fan_power(&self, v: Rpm) -> Watts {
+        self.fan.power(v) * f64::from(self.sockets)
+    }
+
+    /// Total power at the operating point `(u, v)`.
+    #[must_use]
+    pub fn total(&self, u: Utilization, v: Rpm) -> Watts {
+        self.cpu_power(u) + self.fan_power(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_socket_totals() {
+        let s = ServerPowerModel::date14();
+        assert_eq!(s.sockets(), 1);
+        let idle = s.total(Utilization::IDLE, Rpm::new(0.0));
+        assert_eq!(idle, Watts::new(96.0));
+        let peak = s.total(Utilization::FULL, Rpm::new(8500.0));
+        assert!((peak.value() - 189.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sockets_scale_both_subsystems() {
+        let s = ServerPowerModel::new(CpuPowerModel::date14(), FanPowerModel::date14(), 2);
+        let p = s.total(Utilization::FULL, Rpm::new(8500.0));
+        assert!((p.value() - 2.0 * 189.4).abs() < 1e-9);
+        assert!((s.cpu_power(Utilization::IDLE).value() - 192.0).abs() < 1e-9);
+        assert!((s.fan_power(Rpm::new(8500.0)).value() - 58.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let s = ServerPowerModel::date14();
+        assert_eq!(s.cpu().peak_power(), Watts::new(160.0));
+        assert_eq!(s.fan().max_power(), Watts::new(29.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one socket")]
+    fn zero_sockets_rejected() {
+        let _ = ServerPowerModel::new(CpuPowerModel::date14(), FanPowerModel::date14(), 0);
+    }
+}

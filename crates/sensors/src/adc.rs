@@ -1,0 +1,178 @@
+//! Analog-to-digital conversion with saturation and quantization.
+
+use gfsc_units::Celsius;
+
+/// How the ADC maps an analog value onto its digital code grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rounding {
+    /// Truncate toward the code below (how real successive-approximation
+    /// ADCs behave); reconstruction error lies in `[0, step)`.
+    #[default]
+    Floor,
+    /// Round to the nearest code; reconstruction error lies in
+    /// `(−step/2, step/2]`.
+    Nearest,
+}
+
+/// An N-bit ADC digitizing values over a fixed full-scale range.
+///
+/// The paper attributes the 1 °C quantization of server temperature
+/// telemetry to "the standardized usage of 8-bit A/D converters": 256 codes
+/// over a 0–255 °C span (the [`AdcQuantizer::date14`] preset) is exactly a
+/// 1 °C step. Readings outside the range saturate at the end codes.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sensors::AdcQuantizer;
+/// use gfsc_units::Celsius;
+///
+/// let adc = AdcQuantizer::date14();
+/// assert_eq!(adc.step(), 1.0);
+/// assert_eq!(adc.quantize_celsius(Celsius::new(55.7)), Celsius::new(55.0));
+/// assert_eq!(adc.quantize_celsius(Celsius::new(300.0)), Celsius::new(255.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcQuantizer {
+    lo: f64,
+    hi: f64,
+    levels: u32,
+    rounding: Rounding,
+}
+
+impl AdcQuantizer {
+    /// Creates an ADC with `bits` of resolution over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24, or if `lo >= hi`.
+    #[must_use]
+    pub fn new(bits: u8, lo: f64, hi: f64, rounding: Rounding) -> Self {
+        assert!((1..=24).contains(&bits), "ADC resolution must be 1..=24 bits");
+        assert!(lo < hi, "ADC range must satisfy lo < hi");
+        Self { lo, hi, levels: 1u32 << bits, rounding }
+    }
+
+    /// The DATE'14 temperature ADC: 8 bits over 0–255 °C (1 °C per code),
+    /// floor rounding.
+    #[must_use]
+    pub fn date14() -> Self {
+        Self::new(8, 0.0, 255.0, Rounding::Floor)
+    }
+
+    /// The quantization step (LSB size) in the measured unit.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        (self.hi - self.lo) / (self.levels - 1) as f64
+    }
+
+    /// The rounding mode.
+    #[must_use]
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// The full-scale range `(lo, hi)`.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Digitizes `x`: the reconstructed value of the nearest representable
+    /// code, saturating outside the full-scale range.
+    #[must_use]
+    pub fn quantize(&self, x: f64) -> f64 {
+        assert!(!x.is_nan(), "cannot quantize NaN");
+        let step = self.step();
+        let clamped = x.clamp(self.lo, self.hi);
+        let code = match self.rounding {
+            Rounding::Floor => ((clamped - self.lo) / step).floor(),
+            Rounding::Nearest => ((clamped - self.lo) / step).round(),
+        };
+        let code = code.min((self.levels - 1) as f64);
+        self.lo + code * step
+    }
+
+    /// Digitizes a temperature (convenience wrapper over
+    /// [`AdcQuantizer::quantize`]).
+    #[must_use]
+    pub fn quantize_celsius(&self, t: Celsius) -> Celsius {
+        Celsius::new(self.quantize(t.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date14_has_one_degree_step() {
+        let adc = AdcQuantizer::date14();
+        assert_eq!(adc.step(), 1.0);
+        assert_eq!(adc.range(), (0.0, 255.0));
+        assert_eq!(adc.rounding(), Rounding::Floor);
+    }
+
+    #[test]
+    fn floor_truncates() {
+        let adc = AdcQuantizer::date14();
+        assert_eq!(adc.quantize(55.0), 55.0);
+        assert_eq!(adc.quantize(55.49), 55.0);
+        assert_eq!(adc.quantize(55.99), 55.0);
+        assert_eq!(adc.quantize(56.0), 56.0);
+    }
+
+    #[test]
+    fn nearest_rounds() {
+        let adc = AdcQuantizer::new(8, 0.0, 255.0, Rounding::Nearest);
+        assert_eq!(adc.quantize(55.4), 55.0);
+        assert_eq!(adc.quantize(55.6), 56.0);
+    }
+
+    #[test]
+    fn saturates_at_range_ends() {
+        let adc = AdcQuantizer::date14();
+        assert_eq!(adc.quantize(-40.0), 0.0);
+        assert_eq!(adc.quantize(1000.0), 255.0);
+    }
+
+    #[test]
+    fn idempotent_on_grid_values() {
+        let adc = AdcQuantizer::date14();
+        for code in [0.0, 1.0, 77.0, 255.0] {
+            assert_eq!(adc.quantize(code), code);
+        }
+    }
+
+    #[test]
+    fn finer_adc_has_smaller_step() {
+        let adc12 = AdcQuantizer::new(12, 0.0, 255.0, Rounding::Floor);
+        assert!(adc12.step() < 0.1);
+        let coarse = AdcQuantizer::new(4, 0.0, 150.0, Rounding::Floor);
+        assert_eq!(coarse.step(), 10.0);
+    }
+
+    #[test]
+    fn celsius_wrapper() {
+        let adc = AdcQuantizer::date14();
+        assert_eq!(adc.quantize_celsius(Celsius::new(74.9)), Celsius::new(74.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24")]
+    fn invalid_bits_rejected() {
+        let _ = AdcQuantizer::new(0, 0.0, 255.0, Rounding::Floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn inverted_range_rejected() {
+        let _ = AdcQuantizer::new(8, 10.0, 10.0, Rounding::Floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = AdcQuantizer::date14().quantize(f64::NAN);
+    }
+}

@@ -1,0 +1,273 @@
+//! Mechanistic model of the shared I2C management bus.
+//!
+//! The paper attributes the ~10 s telemetry lag to "the limited bandwidth
+//! of [the] I2C bus which has become a de-facto standard on the bus
+//! protocol used for temperature measurement systems", aggravated by "the
+//! increased number of temperature sensors in each new server platform".
+//! This module reproduces that mechanism rather than hard-coding a delay:
+//! a [`TelemetryScanner`] polls `n` sensors round-robin over an
+//! [`I2cBusModel`]; each slot costs the bus transaction plus firmware
+//! overhead, so a full scan of a many-sensor platform takes seconds, and a
+//! given sensor's value refreshes only once per scan round.
+
+use gfsc_units::Seconds;
+
+/// Electrical/protocol timing of an I2C bus segment.
+///
+/// A standard-mode temperature read moves ~5 protocol bytes (address,
+/// register pointer, repeated start, two data bytes) at 9 bits on the wire
+/// each. The service processor adds per-slot firmware overhead (scheduling,
+/// retries, record-keeping) that dominates the wire time on real BMCs.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sensors::I2cBusModel;
+///
+/// let bus = I2cBusModel::standard_mode();
+/// // 45 wire bits at 100 kHz: 0.45 ms per transaction.
+/// assert!((bus.transaction_time().value() - 0.45e-3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct I2cBusModel {
+    clock_hz: f64,
+    bits_per_transaction: u32,
+}
+
+impl I2cBusModel {
+    /// Creates a bus with the given SCL clock and transaction size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive or `bits_per_transaction` is 0.
+    #[must_use]
+    pub fn new(clock_hz: f64, bits_per_transaction: u32) -> Self {
+        assert!(clock_hz > 0.0, "bus clock must be positive");
+        assert!(bits_per_transaction > 0, "transaction must move at least one bit");
+        Self { clock_hz, bits_per_transaction }
+    }
+
+    /// Standard-mode I2C (100 kHz) with a 5-byte (45-bit) temperature read.
+    #[must_use]
+    pub fn standard_mode() -> Self {
+        Self::new(100_000.0, 45)
+    }
+
+    /// The SCL clock frequency in hertz.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Wire time of one sensor read.
+    #[must_use]
+    pub fn transaction_time(&self) -> Seconds {
+        Seconds::new(f64::from(self.bits_per_transaction) / self.clock_hz)
+    }
+}
+
+/// Round-robin polling of many sensors sharing one bus, as performed by the
+/// service-processor firmware.
+///
+/// Each sensor slot costs `transaction_time + firmware_overhead`; a full
+/// round visits every sensor once. The scanner latches each sensor's value
+/// at its slot instant; consumers (the DTM) read the latch, which is
+/// therefore up to one full round stale. With the
+/// [`TelemetryScanner::date14`] parameters (64 sensors, ~156 ms slots) the
+/// round time is 10.0 s — the paper's measured lag.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sensors::TelemetryScanner;
+///
+/// let scan = TelemetryScanner::date14();
+/// assert!((scan.round_time().value() - 10.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TelemetryScanner {
+    bus: I2cBusModel,
+    num_sensors: u32,
+    firmware_overhead: Seconds,
+    latch: Vec<f64>,
+    // Absolute time of the next slot boundary and the sensor it samples.
+    next_slot_time: f64,
+    next_slot_sensor: u32,
+}
+
+impl TelemetryScanner {
+    /// Creates a scanner for `num_sensors` sensors with the given per-slot
+    /// firmware overhead. All latches start at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sensors` is zero.
+    #[must_use]
+    pub fn new(
+        bus: I2cBusModel,
+        num_sensors: u32,
+        firmware_overhead: Seconds,
+        initial: f64,
+    ) -> Self {
+        assert!(num_sensors > 0, "scanner needs at least one sensor");
+        Self {
+            bus,
+            num_sensors,
+            firmware_overhead,
+            latch: vec![initial; num_sensors as usize],
+            next_slot_time: 0.0,
+            next_slot_sensor: 0,
+        }
+    }
+
+    /// The DATE'14 telemetry configuration: standard-mode bus, 64 sensors,
+    /// 155.8 ms firmware overhead per slot → 10.0 s scan round.
+    #[must_use]
+    pub fn date14() -> Self {
+        Self::new(I2cBusModel::standard_mode(), 64, Seconds::new(0.155_8), 0.0)
+    }
+
+    /// Number of sensors on the bus.
+    #[must_use]
+    pub fn num_sensors(&self) -> u32 {
+        self.num_sensors
+    }
+
+    /// Time per sensor slot: bus transaction + firmware overhead.
+    #[must_use]
+    pub fn slot_time(&self) -> Seconds {
+        self.bus.transaction_time() + self.firmware_overhead
+    }
+
+    /// Duration of one full scan round — the worst-case telemetry staleness.
+    #[must_use]
+    pub fn round_time(&self) -> Seconds {
+        self.slot_time() * f64::from(self.num_sensors)
+    }
+
+    /// Advances the scan to time `now`, sampling each sensor whose slot
+    /// boundary has passed. `read` maps a sensor index to its current true
+    /// value.
+    ///
+    /// Call this once per simulation step with monotonically non-decreasing
+    /// `now`; slot boundaries falling inside the step are processed in
+    /// order.
+    pub fn advance<F: FnMut(u32) -> f64>(&mut self, now: Seconds, mut read: F) {
+        let slot = self.slot_time().value();
+        while self.next_slot_time <= now.value() {
+            let value = read(self.next_slot_sensor);
+            assert!(!value.is_nan(), "sensor read must not be NaN");
+            self.latch[self.next_slot_sensor as usize] = value;
+            self.next_slot_sensor = (self.next_slot_sensor + 1) % self.num_sensors;
+            self.next_slot_time += slot;
+        }
+    }
+
+    /// The latched (possibly stale) value of sensor `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn latched(&self, index: u32) -> f64 {
+        self.latch[index as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mode_transaction_time() {
+        let bus = I2cBusModel::standard_mode();
+        assert!((bus.transaction_time().value() - 45.0 / 100_000.0).abs() < 1e-12);
+        assert_eq!(bus.clock_hz(), 100_000.0);
+    }
+
+    #[test]
+    fn date14_round_is_ten_seconds() {
+        let scan = TelemetryScanner::date14();
+        assert_eq!(scan.num_sensors(), 64);
+        let round = scan.round_time().value();
+        assert!((round - 10.0).abs() < 0.05, "round {round}");
+    }
+
+    #[test]
+    fn more_sensors_mean_longer_rounds() {
+        let bus = I2cBusModel::standard_mode();
+        let small = TelemetryScanner::new(bus, 16, Seconds::new(0.1), 0.0);
+        let large = TelemetryScanner::new(bus, 128, Seconds::new(0.1), 0.0);
+        assert!(large.round_time() > small.round_time());
+        // Round time scales linearly in sensor count.
+        let ratio = large.round_time() / small.round_time();
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latch_updates_once_per_round() {
+        // 4 sensors, 1 s slots -> 4 s round.
+        let bus = I2cBusModel::standard_mode();
+        let mut scan = TelemetryScanner::new(bus, 4, Seconds::new(1.0), 0.0);
+        let slot = scan.slot_time().value();
+
+        // Sensor 0 is sampled at t=0, sensor 1 at one slot, etc.
+        let mut t = 0.0;
+        let mut value = 100.0;
+        // First round: all sensors latch 100.
+        for _ in 0..4 {
+            scan.advance(Seconds::new(t), |_| value);
+            t += slot;
+        }
+        assert_eq!(scan.latched(0), 100.0);
+        assert_eq!(scan.latched(3), 100.0);
+
+        // True value changes; sensor 0 only refreshes at its next slot.
+        value = 200.0;
+        scan.advance(Seconds::new(t), |_| value); // sensor 0's second slot
+        assert_eq!(scan.latched(0), 200.0);
+        assert_eq!(scan.latched(1), 100.0, "sensor 1 still stale");
+    }
+
+    #[test]
+    fn staleness_is_bounded_by_round_time() {
+        let bus = I2cBusModel::standard_mode();
+        let mut scan = TelemetryScanner::new(bus, 8, Seconds::new(0.5), 0.0);
+        let round = scan.round_time().value();
+        // Feed value = time; after advancing to T, every latch must hold a
+        // timestamp within [T - round, T].
+        let mut now = 0.0;
+        while now < 30.0 {
+            scan.advance(Seconds::new(now), |_| now);
+            now += 0.25;
+        }
+        for i in 0..8 {
+            let age = (30.0 - 0.25) - scan.latched(i);
+            assert!(age <= round + 1e-9, "sensor {i} is {age}s stale (round {round})");
+            assert!(age >= 0.0);
+        }
+    }
+
+    #[test]
+    fn advance_processes_multiple_slots_in_one_call() {
+        let bus = I2cBusModel::standard_mode();
+        let mut scan = TelemetryScanner::new(bus, 4, Seconds::new(1.0), -1.0);
+        // Jump over 2.5 rounds in a single advance.
+        scan.advance(Seconds::new(10.0), f64::from);
+        for i in 0..4 {
+            assert_eq!(scan.latched(i), f64::from(i), "sensor {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn zero_sensors_rejected() {
+        let _ = TelemetryScanner::new(I2cBusModel::standard_mode(), 0, Seconds::new(0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_bus_rejected() {
+        let _ = I2cBusModel::new(0.0, 45);
+    }
+}

@@ -1,0 +1,279 @@
+//! The composed sensor-to-firmware measurement chain.
+
+use crate::{AdcQuantizer, DelayLine};
+use gfsc_units::{Celsius, Seconds};
+
+/// The full non-ideal measurement chain: periodic sampling → ADC
+/// quantization → transport delay → zero-order hold.
+///
+/// This is the distilled form of the telemetry path (sensor, 8-bit ADC,
+/// shared I2C bus, BMC firmware) that the simulator places between the true
+/// junction temperature and every controller. The
+/// [`MeasurementPipeline::date14`] preset matches the paper's measured
+/// figures: 1 s sampling, 1 °C quantization, 10 s lag.
+///
+/// For studies of the lag *mechanism* (bus contention growing with sensor
+/// count) use [`crate::TelemetryScanner`] instead; for control experiments
+/// this pipeline is the faithful and much cheaper abstraction.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sensors::MeasurementPipeline;
+/// use gfsc_units::{Celsius, Seconds};
+///
+/// let mut chain = MeasurementPipeline::builder()
+///     .sample_interval(Seconds::new(1.0))
+///     .delay(Seconds::new(3.0))
+///     .initial(25.0)
+///     .build();
+/// // The true value steps to 80 at t = 0 but emerges only after the lag.
+/// assert_eq!(chain.observe(Seconds::new(0.0), 80.0), 25.0);
+/// assert_eq!(chain.observe(Seconds::new(2.0), 80.0), 25.0);
+/// assert_eq!(chain.observe(Seconds::new(3.0), 80.0), 80.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeasurementPipeline {
+    sample_interval: Seconds,
+    adc: Option<AdcQuantizer>,
+    delay: DelayLine<f64>,
+    next_sample: f64,
+    output: f64,
+}
+
+impl MeasurementPipeline {
+    /// Starts building a pipeline.
+    #[must_use]
+    pub fn builder() -> MeasurementPipelineBuilder {
+        MeasurementPipelineBuilder::default()
+    }
+
+    /// The DATE'14 chain: 1 s sampling, 8-bit/1 °C ADC, 10 s lag, starting
+    /// from a 0 °C quiescent reading.
+    #[must_use]
+    pub fn date14() -> Self {
+        Self::builder()
+            .sample_interval(Seconds::new(1.0))
+            .adc(AdcQuantizer::date14())
+            .delay(Seconds::new(10.0))
+            .build()
+    }
+
+    /// The sampling interval of the chain.
+    #[must_use]
+    pub fn sample_interval(&self) -> Seconds {
+        self.sample_interval
+    }
+
+    /// The quantization step of the ADC stage, if one is configured.
+    ///
+    /// Controllers use this as the `|T_Q|` bound in the paper's
+    /// quantization-elimination rule (Eq. 10).
+    #[must_use]
+    pub fn quantization_step(&self) -> Option<f64> {
+        self.adc.map(|a| a.step())
+    }
+
+    /// The configured transport delay in whole samples.
+    #[must_use]
+    pub fn delay_samples(&self) -> usize {
+        self.delay.depth()
+    }
+
+    /// Feeds the true value at time `now` and returns what the firmware
+    /// currently sees.
+    ///
+    /// Call once per simulation step with non-decreasing `now`; sampling
+    /// instants falling inside the step are processed in order (holding the
+    /// supplied `true_value` across them, which is exact when the step is
+    /// no coarser than the sample interval).
+    pub fn observe(&mut self, now: Seconds, true_value: f64) -> f64 {
+        assert!(!true_value.is_nan(), "true value must not be NaN");
+        while self.next_sample <= now.value() + self.sample_interval.value() * 1e-9 {
+            let digitized = match &self.adc {
+                Some(adc) => adc.quantize(true_value),
+                None => true_value,
+            };
+            self.output = self.delay.push(digitized);
+            self.next_sample += self.sample_interval.value();
+        }
+        self.output
+    }
+
+    /// Typed convenience for temperature chains.
+    pub fn observe_celsius(&mut self, now: Seconds, t: Celsius) -> Celsius {
+        Celsius::new(self.observe(now, t.value()))
+    }
+
+    /// The value the firmware currently sees, without advancing the chain.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.output
+    }
+}
+
+/// Builder for [`MeasurementPipeline`] (see there for an example).
+#[derive(Debug, Clone)]
+pub struct MeasurementPipelineBuilder {
+    sample_interval: Seconds,
+    adc: Option<AdcQuantizer>,
+    delay: Seconds,
+    initial: f64,
+}
+
+impl Default for MeasurementPipelineBuilder {
+    fn default() -> Self {
+        Self {
+            sample_interval: Seconds::new(1.0),
+            adc: None,
+            delay: Seconds::new(0.0),
+            initial: 0.0,
+        }
+    }
+}
+
+impl MeasurementPipelineBuilder {
+    /// Sets the sampling interval (default 1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: Seconds) -> Self {
+        assert!(!interval.is_zero(), "sample interval must be positive");
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Adds an ADC quantization stage (default: none).
+    #[must_use]
+    pub fn adc(mut self, adc: AdcQuantizer) -> Self {
+        self.adc = Some(adc);
+        self
+    }
+
+    /// Sets the transport delay (default: none). Rounded to whole samples.
+    #[must_use]
+    pub fn delay(mut self, delay: Seconds) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the quiescent value the chain reports until real samples
+    /// propagate through (default 0).
+    #[must_use]
+    pub fn initial(mut self, value: f64) -> Self {
+        self.initial = value;
+        self
+    }
+
+    /// Builds the pipeline.
+    #[must_use]
+    pub fn build(self) -> MeasurementPipeline {
+        let delay = DelayLine::with_delay(self.delay, self.sample_interval, self.initial);
+        MeasurementPipeline {
+            sample_interval: self.sample_interval,
+            adc: self.adc,
+            delay,
+            next_sample: 0.0,
+            output: self.initial,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date14_preset_shape() {
+        let chain = MeasurementPipeline::date14();
+        assert_eq!(chain.sample_interval(), Seconds::new(1.0));
+        assert_eq!(chain.quantization_step(), Some(1.0));
+        assert_eq!(chain.delay_samples(), 10);
+    }
+
+    #[test]
+    fn step_change_emerges_after_exactly_the_lag() {
+        let mut chain = MeasurementPipeline::builder()
+            .sample_interval(Seconds::new(1.0))
+            .delay(Seconds::new(10.0))
+            .initial(50.0)
+            .build();
+        for k in 0..10 {
+            let seen = chain.observe(Seconds::new(k as f64), 80.0);
+            assert_eq!(seen, 50.0, "still quiescent at t={k}");
+        }
+        assert_eq!(chain.observe(Seconds::new(10.0), 80.0), 80.0);
+    }
+
+    #[test]
+    fn quantization_applies_before_transport() {
+        let mut chain = MeasurementPipeline::builder()
+            .adc(AdcQuantizer::date14())
+            .delay(Seconds::new(2.0))
+            .initial(0.0)
+            .build();
+        chain.observe(Seconds::new(0.0), 74.6);
+        chain.observe(Seconds::new(1.0), 74.6);
+        let seen = chain.observe(Seconds::new(2.0), 74.6);
+        assert_eq!(seen, 74.0);
+    }
+
+    #[test]
+    fn no_stages_is_sampled_passthrough() {
+        let mut chain = MeasurementPipeline::builder().build();
+        assert_eq!(chain.observe(Seconds::new(0.0), 42.5), 42.5);
+        assert_eq!(chain.observe(Seconds::new(1.0), 43.5), 43.5);
+    }
+
+    #[test]
+    fn holds_between_samples() {
+        let mut chain = MeasurementPipeline::builder()
+            .sample_interval(Seconds::new(1.0))
+            .build();
+        assert_eq!(chain.observe(Seconds::new(0.0), 10.0), 10.0);
+        // t = 0.5: no new sample; the change is invisible.
+        assert_eq!(chain.observe(Seconds::new(0.5), 99.0), 10.0);
+        assert_eq!(chain.current(), 10.0);
+        assert_eq!(chain.observe(Seconds::new(1.0), 99.0), 99.0);
+    }
+
+    #[test]
+    fn coarse_observation_steps_catch_up() {
+        let mut chain = MeasurementPipeline::builder()
+            .sample_interval(Seconds::new(1.0))
+            .delay(Seconds::new(3.0))
+            .initial(0.0)
+            .build();
+        // Jump straight to t = 10: the held input propagates fully.
+        assert_eq!(chain.observe(Seconds::new(10.0), 7.0), 7.0);
+    }
+
+    #[test]
+    fn celsius_convenience() {
+        let mut chain = MeasurementPipeline::builder().adc(AdcQuantizer::date14()).build();
+        let seen = chain.observe_celsius(Seconds::new(0.0), Celsius::new(61.9));
+        assert_eq!(seen, Celsius::new(61.0));
+    }
+
+    #[test]
+    fn sub_second_sampling() {
+        let mut chain = MeasurementPipeline::builder()
+            .sample_interval(Seconds::new(0.5))
+            .delay(Seconds::new(1.0))
+            .initial(0.0)
+            .build();
+        assert_eq!(chain.delay_samples(), 2);
+        chain.observe(Seconds::new(0.0), 5.0);
+        chain.observe(Seconds::new(0.5), 5.0);
+        assert_eq!(chain.observe(Seconds::new(1.0), 5.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_rejected() {
+        let mut chain = MeasurementPipeline::builder().build();
+        let _ = chain.observe(Seconds::new(0.0), f64::NAN);
+    }
+}

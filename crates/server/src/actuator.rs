@@ -1,0 +1,188 @@
+//! Slew-rate-limited fan actuator.
+
+use gfsc_units::{Bounds, Rpm, Seconds};
+
+/// A variable-speed fan that approaches its commanded target at a bounded
+/// rate.
+///
+/// Real fans cannot jump between speeds instantaneously; the spin-up from
+/// 2000 to 8500 rpm that single-step fan scaling commands takes several
+/// seconds. The actuator clamps commands into the mechanical range and
+/// slews the actual speed toward the target.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_server::FanActuator;
+/// use gfsc_units::{Bounds, Rpm, Seconds};
+///
+/// let mut fan = FanActuator::new(
+///     Rpm::new(2000.0),
+///     Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+///     1000.0, // rpm per second
+/// );
+/// fan.set_target(Rpm::new(5000.0));
+/// fan.step(Seconds::new(1.0));
+/// assert_eq!(fan.speed(), Rpm::new(3000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanActuator {
+    speed: Rpm,
+    target: Rpm,
+    bounds: Bounds<Rpm>,
+    slew_per_s: f64,
+}
+
+impl FanActuator {
+    /// Creates an actuator at `initial` speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slew_per_s` is not positive.
+    #[must_use]
+    pub fn new(initial: Rpm, bounds: Bounds<Rpm>, slew_per_s: f64) -> Self {
+        assert!(slew_per_s > 0.0, "slew rate must be positive");
+        let speed = bounds.clamp(initial);
+        Self { speed, target: speed, bounds, slew_per_s }
+    }
+
+    /// The actual (instantaneous) fan speed.
+    #[must_use]
+    pub fn speed(&self) -> Rpm {
+        self.speed
+    }
+
+    /// The commanded target speed.
+    #[must_use]
+    pub fn target(&self) -> Rpm {
+        self.target
+    }
+
+    /// The mechanical speed range.
+    #[must_use]
+    pub fn bounds(&self) -> Bounds<Rpm> {
+        self.bounds
+    }
+
+    /// Whether the actuator has reached its target.
+    #[must_use]
+    pub fn is_settled(&self) -> bool {
+        (self.speed - self.target).abs() < 1e-9
+    }
+
+    /// Commands a new target speed (clamped into the mechanical range).
+    pub fn set_target(&mut self, target: Rpm) {
+        self.target = self.bounds.clamp(target);
+    }
+
+    /// Advances the mechanics by `dt`, moving toward the target at the slew
+    /// rate; returns the new speed.
+    pub fn step(&mut self, dt: Seconds) -> Rpm {
+        let max_delta = self.slew_per_s * dt.value();
+        let gap = self.target - self.speed;
+        if gap.abs() <= max_delta {
+            self.speed = self.target;
+        } else {
+            self.speed = self.speed + max_delta.copysign(gap);
+        }
+        self.speed
+    }
+
+    /// Forces the actuator to `speed` immediately (test/equilibration
+    /// setup), clamped into range; the target follows.
+    pub fn snap_to(&mut self, speed: Rpm) {
+        self.speed = self.bounds.clamp(speed);
+        self.target = self.speed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actuator(initial: f64) -> FanActuator {
+        FanActuator::new(
+            Rpm::new(initial),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            1000.0,
+        )
+    }
+
+    #[test]
+    fn starts_settled_at_initial() {
+        let fan = actuator(2000.0);
+        assert_eq!(fan.speed(), Rpm::new(2000.0));
+        assert_eq!(fan.target(), Rpm::new(2000.0));
+        assert!(fan.is_settled());
+    }
+
+    #[test]
+    fn slews_up_at_bounded_rate() {
+        let mut fan = actuator(2000.0);
+        fan.set_target(Rpm::new(8500.0));
+        assert!(!fan.is_settled());
+        fan.step(Seconds::new(0.5));
+        assert_eq!(fan.speed(), Rpm::new(2500.0));
+        for _ in 0..20 {
+            fan.step(Seconds::new(0.5));
+        }
+        assert_eq!(fan.speed(), Rpm::new(8500.0));
+        assert!(fan.is_settled());
+    }
+
+    #[test]
+    fn slews_down_symmetrically() {
+        let mut fan = actuator(6000.0);
+        fan.set_target(Rpm::new(4000.0));
+        fan.step(Seconds::new(1.0));
+        assert_eq!(fan.speed(), Rpm::new(5000.0));
+        fan.step(Seconds::new(1.0));
+        assert_eq!(fan.speed(), Rpm::new(4000.0));
+        // No overshoot past the target.
+        fan.step(Seconds::new(1.0));
+        assert_eq!(fan.speed(), Rpm::new(4000.0));
+    }
+
+    #[test]
+    fn last_partial_step_lands_exactly_on_target() {
+        let mut fan = actuator(2000.0);
+        fan.set_target(Rpm::new(2300.0));
+        fan.step(Seconds::new(1.0)); // could move 1000, needs 300
+        assert_eq!(fan.speed(), Rpm::new(2300.0));
+    }
+
+    #[test]
+    fn commands_clamped_to_mechanical_range() {
+        let mut fan = actuator(2000.0);
+        fan.set_target(Rpm::new(20_000.0));
+        assert_eq!(fan.target(), Rpm::new(8500.0));
+        fan.set_target(Rpm::new(0.0));
+        assert_eq!(fan.target(), Rpm::new(1000.0));
+        assert_eq!(fan.bounds().lo(), Rpm::new(1000.0));
+    }
+
+    #[test]
+    fn initial_speed_clamped() {
+        let fan = actuator(100.0);
+        assert_eq!(fan.speed(), Rpm::new(1000.0));
+    }
+
+    #[test]
+    fn snap_to_overrides_immediately() {
+        let mut fan = actuator(2000.0);
+        fan.set_target(Rpm::new(8000.0));
+        fan.snap_to(Rpm::new(3000.0));
+        assert_eq!(fan.speed(), Rpm::new(3000.0));
+        assert!(fan.is_settled());
+    }
+
+    #[test]
+    #[should_panic(expected = "slew")]
+    fn zero_slew_rejected() {
+        let _ = FanActuator::new(
+            Rpm::new(2000.0),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            0.0,
+        );
+    }
+}

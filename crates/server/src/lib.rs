@@ -1,0 +1,47 @@
+//! The enterprise-server simulator substrate.
+//!
+//! The paper validates its controllers on "a presently shipping commercial
+//! enterprise server" plus a simulation environment calibrated to it
+//! (Section VI-A, Table I). That server is confidential; this crate *is*
+//! the substitute: a single-socket, forced-air server assembled from the
+//! workspace substrates and calibrated with the published Table I
+//! constants (see `DESIGN.md` §5 for the substitution rationale).
+//!
+//! - [`ServerSpec`]: every physical and firmware parameter in one place
+//!   ([`ServerSpec::enterprise_default`] = Table I),
+//! - [`FanActuator`]: slew-rate-limited variable-speed fan,
+//! - [`Server`]: the closed plant — CPU power → thermal RC → sensor chain —
+//!   stepped at a fixed simulation interval,
+//! - [`FanPlant`]: adapter exposing the fan→measured-temperature loop as a
+//!   `gfsc_control::Plant` for Ziegler–Nichols tuning,
+//! - [`PerformanceMonitor`]: deadline-violation accounting (the Table III
+//!   performance metric).
+//!
+//! # Examples
+//!
+//! ```
+//! use gfsc_server::{Server, ServerSpec};
+//! use gfsc_units::{Rpm, Seconds, Utilization};
+//!
+//! let mut server = Server::new(ServerSpec::enterprise_default());
+//! server.set_fan_target(Rpm::new(4000.0));
+//! for _ in 0..120 {
+//!     server.step(Seconds::new(0.5), Utilization::new(0.7));
+//! }
+//! assert!(server.true_junction() > server.spec().ambient);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actuator;
+mod monitor;
+mod plant;
+mod server;
+mod spec;
+
+pub use actuator::FanActuator;
+pub use monitor::PerformanceMonitor;
+pub use plant::FanPlant;
+pub use server::Server;
+pub use spec::ServerSpec;

@@ -1,0 +1,196 @@
+//! Deadline-violation accounting (the Table III performance metric).
+
+use gfsc_units::Utilization;
+use std::collections::VecDeque;
+
+/// Tracks, per CPU decision epoch, whether the demanded utilization fit
+/// under the CPU cap.
+///
+/// The paper's performance metric is "the fraction of the deadline
+/// violations caused by the thermal emergency": an epoch whose demanded
+/// (required) utilization exceeds the enforced cap cannot finish its work
+/// on time and counts as violated. The monitor also maintains a sliding
+/// window of recent epochs — the trigger signal for single-step fan
+/// scaling ("when the measured performance degradation is higher than a
+/// predefined threshold value", Section V-C).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_server::PerformanceMonitor;
+/// use gfsc_units::Utilization;
+///
+/// let mut mon = PerformanceMonitor::new(10);
+/// mon.record(Utilization::new(0.7), Utilization::new(1.0)); // fits
+/// mon.record(Utilization::new(0.7), Utilization::new(0.5)); // violated
+/// assert_eq!(mon.total_epochs(), 2);
+/// assert_eq!(mon.violation_fraction(), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerformanceMonitor {
+    violations: u64,
+    epochs: u64,
+    lost_utilization: f64,
+    window: VecDeque<bool>,
+    window_len: usize,
+}
+
+impl PerformanceMonitor {
+    /// Creates a monitor with a sliding recent-history window of
+    /// `window_len` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    #[must_use]
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window must hold at least one epoch");
+        Self {
+            violations: 0,
+            epochs: 0,
+            lost_utilization: 0.0,
+            window: VecDeque::with_capacity(window_len),
+            window_len,
+        }
+    }
+
+    /// Records one CPU epoch: demanded vs capped utilization. Returns
+    /// whether the epoch was violated.
+    pub fn record(&mut self, demanded: Utilization, cap: Utilization) -> bool {
+        // Strict inequality with a small tolerance: demand exactly at the
+        // cap executes completely.
+        let violated = demanded.value() > cap.value() + 1e-12;
+        self.epochs += 1;
+        if violated {
+            self.violations += 1;
+            self.lost_utilization += demanded - cap;
+        }
+        if self.window.len() == self.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(violated);
+        violated
+    }
+
+    /// Total epochs recorded.
+    #[must_use]
+    pub fn total_epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Total violated epochs.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Fraction of violated epochs over the whole run (0 when empty).
+    #[must_use]
+    pub fn violation_fraction(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.epochs as f64
+        }
+    }
+
+    /// Violation fraction as a percentage, the Table III unit.
+    #[must_use]
+    pub fn violation_percent(&self) -> f64 {
+        self.violation_fraction() * 100.0
+    }
+
+    /// Sum of `(demand − cap)` over violated epochs: how much work was
+    /// delayed, in utilization-epochs.
+    #[must_use]
+    pub fn lost_utilization(&self) -> f64 {
+        self.lost_utilization
+    }
+
+    /// Violation rate inside the sliding window (0 when empty).
+    #[must_use]
+    pub fn recent_violation_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window.iter().filter(|&&v| v).count() as f64 / self.window.len() as f64
+        }
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.violations = 0;
+        self.epochs = 0;
+        self.lost_utilization = 0.0;
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(x: f64) -> Utilization {
+        Utilization::new(x)
+    }
+
+    #[test]
+    fn counts_violations() {
+        let mut m = PerformanceMonitor::new(5);
+        assert!(!m.record(u(0.5), u(1.0)));
+        assert!(m.record(u(0.9), u(0.5)));
+        assert!(!m.record(u(0.5), u(0.5))); // demand == cap fits
+        assert_eq!(m.total_epochs(), 3);
+        assert_eq!(m.total_violations(), 1);
+        assert!((m.violation_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.violation_percent() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lost_utilization_accumulates_magnitude() {
+        let mut m = PerformanceMonitor::new(5);
+        m.record(u(0.9), u(0.5)); // lost 0.4
+        m.record(u(0.7), u(0.6)); // lost 0.1
+        m.record(u(0.3), u(0.6)); // fits, no loss
+        assert!((m.lost_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_rate_uses_sliding_window() {
+        let mut m = PerformanceMonitor::new(4);
+        for _ in 0..4 {
+            m.record(u(1.0), u(0.1)); // all violated
+        }
+        assert_eq!(m.recent_violation_rate(), 1.0);
+        for _ in 0..4 {
+            m.record(u(0.1), u(1.0)); // all fine; old epochs roll out
+        }
+        assert_eq!(m.recent_violation_rate(), 0.0);
+        // Lifetime stats remember everything.
+        assert_eq!(m.total_violations(), 4);
+        assert_eq!(m.total_epochs(), 8);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let m = PerformanceMonitor::new(3);
+        assert_eq!(m.violation_fraction(), 0.0);
+        assert_eq!(m.recent_violation_rate(), 0.0);
+        assert_eq!(m.lost_utilization(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = PerformanceMonitor::new(3);
+        m.record(u(1.0), u(0.0));
+        m.reset();
+        assert_eq!(m.total_epochs(), 0);
+        assert_eq!(m.recent_violation_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = PerformanceMonitor::new(0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The assembled server plant.
+
+use crate::{FanActuator, ServerSpec};
+use gfsc_power::EnergyMeter;
+use gfsc_sensors::{AdcQuantizer, MeasurementPipeline, Rounding};
+use gfsc_thermal::{DieNode, HeatSinkNode, ServerThermalModel};
+use gfsc_units::{Celsius, Joules, Rpm, Seconds, Utilization, Watts};
+
+/// The closed physical plant: CPU power → two-node thermal model → fan →
+/// non-ideal sensor chain, with CPU and fan energy metering.
+///
+/// The server knows nothing about control policy; controllers read
+/// [`Server::measured_temperature`] and command [`Server::set_fan_target`],
+/// while the workload/coordination layer decides the *executed* utilization
+/// passed to [`Server::step`].
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_server::{Server, ServerSpec};
+/// use gfsc_units::{Rpm, Seconds, Utilization};
+///
+/// let mut server = Server::new(ServerSpec::enterprise_default());
+/// server.set_fan_target(Rpm::new(3000.0));
+/// for _ in 0..240 {
+///     server.step(Seconds::new(0.5), Utilization::new(0.7));
+/// }
+/// // The firmware view lags and quantizes the true junction temperature.
+/// let seen = server.measured_temperature();
+/// let truth = server.true_junction();
+/// assert!((seen.value() - truth.value()).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    spec: ServerSpec,
+    thermal: ServerThermalModel,
+    fan: FanActuator,
+    pipeline: MeasurementPipeline,
+    cpu_energy: EnergyMeter,
+    fan_energy: EnergyMeter,
+    now: Seconds,
+    measured: Celsius,
+    executed: Utilization,
+}
+
+impl Server {
+    /// Builds a server at thermal equilibrium with its ambient, fan at the
+    /// minimum speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ServerSpec::validate`].
+    #[must_use]
+    pub fn new(spec: ServerSpec) -> Self {
+        spec.validate();
+        let thermal = ServerThermalModel::new(
+            spec.ambient,
+            HeatSinkNode::new(
+                spec.heatsink_law,
+                spec.heatsink_tau,
+                spec.fan_power.max_speed(),
+                spec.ambient,
+            ),
+            DieNode::new(spec.r_jc, spec.die_tau, spec.ambient),
+        );
+        let fan = FanActuator::new(spec.fan_bounds.lo(), spec.fan_bounds, spec.fan_slew_per_s);
+        let pipeline = Self::build_pipeline(&spec, spec.ambient);
+        let measured = Celsius::new(pipeline.current());
+        Self {
+            spec,
+            thermal,
+            fan,
+            pipeline,
+            cpu_energy: EnergyMeter::new(),
+            fan_energy: EnergyMeter::new(),
+            now: Seconds::new(0.0),
+            measured,
+            executed: Utilization::IDLE,
+        }
+    }
+
+    fn build_pipeline(spec: &ServerSpec, initial: Celsius) -> MeasurementPipeline {
+        let mut builder = MeasurementPipeline::builder()
+            .sample_interval(spec.sensor_interval)
+            .delay(spec.sensor_lag)
+            .initial(initial.value());
+        if spec.quantization_step > 0.0 {
+            // The full-scale range is fixed (0–255 °C, the 8-bit/1 °C
+            // convention); a finer requested step means a deeper converter,
+            // not a narrower range — otherwise fine steps would saturate
+            // below the operating temperatures.
+            let levels_needed = (255.0 / spec.quantization_step) + 1.0;
+            let bits = (levels_needed.log2().ceil() as u8).clamp(2, 24);
+            builder = builder.adc(AdcQuantizer::new(bits, 0.0, 255.0, Rounding::Floor));
+        }
+        builder.build()
+    }
+
+    /// The calibration in use.
+    #[must_use]
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// Simulation time accumulated by this server.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// True junction temperature (invisible to firmware).
+    #[must_use]
+    pub fn true_junction(&self) -> Celsius {
+        self.thermal.junction()
+    }
+
+    /// True heat-sink temperature.
+    #[must_use]
+    pub fn heat_sink(&self) -> Celsius {
+        self.thermal.heat_sink()
+    }
+
+    /// The firmware's (lagged, quantized) view of the junction
+    /// temperature.
+    #[must_use]
+    pub fn measured_temperature(&self) -> Celsius {
+        self.measured
+    }
+
+    /// Actual fan speed.
+    #[must_use]
+    pub fn fan_speed(&self) -> Rpm {
+        self.fan.speed()
+    }
+
+    /// Commanded fan target.
+    #[must_use]
+    pub fn fan_target(&self) -> Rpm {
+        self.fan.target()
+    }
+
+    /// The utilization executed during the latest step.
+    #[must_use]
+    pub fn executed_utilization(&self) -> Utilization {
+        self.executed
+    }
+
+    /// Commands the fan toward `target` (clamped to the mechanical range).
+    pub fn set_fan_target(&mut self, target: Rpm) {
+        self.fan.set_target(target);
+    }
+
+    /// Total CPU energy so far.
+    #[must_use]
+    pub fn cpu_energy(&self) -> Joules {
+        self.cpu_energy.total()
+    }
+
+    /// Total fan energy so far — the Table III metric.
+    #[must_use]
+    pub fn fan_energy(&self) -> Joules {
+        self.fan_energy.total()
+    }
+
+    /// Instantaneous CPU power at the executed utilization.
+    #[must_use]
+    pub fn cpu_power(&self) -> Watts {
+        self.spec.cpu_power.power(self.executed)
+    }
+
+    /// Instantaneous fan power at the actual fan speed.
+    #[must_use]
+    pub fn fan_power(&self) -> Watts {
+        self.spec.fan_power.power(self.fan.speed())
+    }
+
+    /// The thermal model (for model-based controllers such as E-coord and
+    /// single-step descent).
+    #[must_use]
+    pub fn thermal(&self) -> &ServerThermalModel {
+        &self.thermal
+    }
+
+    /// Advances the plant by `dt` executing `utilization`:
+    /// fan mechanics → thermal step → energy metering → sensor chain.
+    /// Returns the new firmware-visible temperature.
+    pub fn step(&mut self, dt: Seconds, utilization: Utilization) -> Celsius {
+        self.executed = utilization;
+        let p_cpu = self.spec.cpu_power.power(utilization);
+
+        let fan_speed = self.fan.step(dt);
+        self.thermal.step(dt, p_cpu, fan_speed);
+
+        self.cpu_energy.accumulate(p_cpu, dt);
+        self.fan_energy.accumulate(self.spec.fan_power.power(fan_speed), dt);
+
+        self.now += dt;
+        self.measured = self.pipeline.observe_celsius(self.now, self.thermal.junction());
+        self.measured
+    }
+
+    /// Re-initializes the server in steady state at `(utilization, fan)`:
+    /// thermal nodes at their equilibria, actuator settled, sensor chain
+    /// reporting the (quantized) equilibrium temperature, meters and clock
+    /// zeroed.
+    ///
+    /// Used by the Ziegler–Nichols plant adapter to replay tuning probes
+    /// from identical initial conditions.
+    pub fn equilibrate(&mut self, utilization: Utilization, fan: Rpm) {
+        let fan = self.spec.fan_bounds.clamp(fan);
+        self.fan.snap_to(fan);
+        let p_cpu = self.spec.cpu_power.power(utilization);
+        let t_j = self.thermal.steady_state_junction(p_cpu, fan);
+        // Settle both nodes: sink at its equilibrium, die on top.
+        let sink_ss = t_j - self.spec.r_jc * p_cpu;
+        self.thermal.reset();
+        // Drive to equilibrium exactly by stepping once with a huge dt.
+        self.thermal.step(Seconds::new(1e9), p_cpu, fan);
+        debug_assert!((self.thermal.heat_sink() - sink_ss).abs() < 1e-6);
+        self.pipeline = Self::build_pipeline(&self.spec, t_j);
+        self.measured = Celsius::new(self.pipeline.current());
+        self.cpu_energy.reset();
+        self.fan_energy.reset();
+        self.now = Seconds::new(0.0);
+        self.executed = utilization;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServerSpec::enterprise_default())
+    }
+
+    #[test]
+    fn starts_at_ambient_equilibrium() {
+        let s = server();
+        assert_eq!(s.true_junction(), s.spec().ambient);
+        assert_eq!(s.fan_speed(), s.spec().fan_bounds.lo());
+        assert_eq!(s.now(), Seconds::new(0.0));
+        assert_eq!(s.cpu_energy(), Joules::new(0.0));
+    }
+
+    #[test]
+    fn heats_under_load_and_cools_with_fan() {
+        let mut s = server();
+        for _ in 0..1200 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        let hot = s.true_junction();
+        assert!(hot > Celsius::new(60.0), "hot {hot}");
+        s.set_fan_target(Rpm::new(8500.0));
+        for _ in 0..1200 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        assert!(s.true_junction() < hot - 5.0);
+    }
+
+    #[test]
+    fn measured_lags_truth_by_configured_delay() {
+        let mut s = server();
+        // Equilibrate cold, then slam the load; watch when the measurement
+        // starts moving vs when the truth does.
+        s.equilibrate(Utilization::new(0.1), Rpm::new(3000.0));
+        let t0_meas = s.measured_temperature();
+        let mut first_truth_move = None;
+        let mut first_meas_move = None;
+        for k in 0..200 {
+            s.step(Seconds::new(0.5), Utilization::FULL);
+            let t = 0.5 * (k + 1) as f64;
+            if first_truth_move.is_none() && (s.true_junction() - t0_meas).abs() > 1.5 {
+                first_truth_move = Some(t);
+            }
+            if first_meas_move.is_none() && (s.measured_temperature() - t0_meas).abs() >= 1.0 {
+                first_meas_move = Some(t);
+            }
+        }
+        let truth_t = first_truth_move.expect("truth moved");
+        let meas_t = first_meas_move.expect("measurement moved");
+        let lag = meas_t - truth_t;
+        assert!(
+            (8.0..=12.5).contains(&lag),
+            "observed lag {lag}s (truth at {truth_t}, measured at {meas_t})"
+        );
+    }
+
+    #[test]
+    fn measured_is_quantized_to_whole_degrees() {
+        let mut s = server();
+        for _ in 0..600 {
+            s.step(Seconds::new(0.5), Utilization::new(0.6));
+        }
+        let m = s.measured_temperature().value();
+        assert_eq!(m, m.floor(), "measured {m} not on the 1 °C grid");
+    }
+
+    #[test]
+    fn ideal_sensing_tracks_truth() {
+        let mut s = Server::new(ServerSpec::ideal_sensing());
+        for _ in 0..600 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        let err = (s.measured_temperature() - s.true_junction()).abs();
+        // Only the 1 s sampling interval separates them.
+        assert!(err < 0.5, "err {err}");
+    }
+
+    #[test]
+    fn energy_meters_accumulate() {
+        let mut s = server();
+        s.set_fan_target(Rpm::new(8500.0));
+        for _ in 0..120 {
+            s.step(Seconds::new(0.5), Utilization::FULL);
+        }
+        // 60 s at 160 W = 9600 J CPU.
+        assert!((s.cpu_energy().value() - 9600.0).abs() < 1.0);
+        // Fan ramps from 1000 to 8500 then holds: energy below the
+        // 60 s × 29.4 W ceiling but clearly positive.
+        assert!(s.fan_energy().value() > 500.0);
+        assert!(s.fan_energy().value() < 29.4 * 60.0);
+    }
+
+    #[test]
+    fn power_accessors_are_consistent() {
+        let mut s = server();
+        s.step(Seconds::new(0.5), Utilization::new(0.5));
+        assert_eq!(s.executed_utilization(), Utilization::new(0.5));
+        assert_eq!(s.cpu_power(), Watts::new(128.0));
+        assert_eq!(s.fan_power(), s.spec().fan_power.power(s.fan_speed()));
+    }
+
+    #[test]
+    fn equilibrate_settles_everything() {
+        let mut s = server();
+        s.equilibrate(Utilization::new(0.7), Rpm::new(4000.0));
+        let expected =
+            s.thermal().steady_state_junction(Watts::new(96.0 + 64.0 * 0.7), Rpm::new(4000.0));
+        assert!((s.true_junction() - expected).abs() < 1e-6);
+        // The measurement chain reports the quantized equilibrium from the
+        // first instant (no transient).
+        assert!((s.measured_temperature() - expected).abs() <= 1.0);
+        assert_eq!(s.fan_speed(), Rpm::new(4000.0));
+        assert_eq!(s.now(), Seconds::new(0.0));
+        // Stepping from equilibrium stays there.
+        let before = s.true_junction();
+        for _ in 0..120 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        assert!((s.true_junction() - before).abs() < 0.01);
+    }
+
+    #[test]
+    fn fan_target_command_is_clamped() {
+        let mut s = server();
+        s.set_fan_target(Rpm::new(99_999.0));
+        assert_eq!(s.fan_target(), Rpm::new(8500.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Multi-rate periodic scheduling.
+
+use gfsc_units::Seconds;
+
+/// A periodic activity in a fixed-step simulation.
+///
+/// `Periodic` answers "is this activity due now?" for controllers that run
+/// slower than the simulation step — e.g. the paper's CPU-cap controller
+/// (1 s) and fan-speed controller (30 s) on a 0.1 s plant step.
+///
+/// The schedule is tolerant of the caller polling *past* a deadline (it
+/// fires once and re-arms relative to the nominal grid, not the polling
+/// time, so late polls do not shift the phase).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sim::Periodic;
+/// use gfsc_units::Seconds;
+///
+/// let mut p = Periodic::new(Seconds::new(30.0));
+/// assert!(p.is_due(Seconds::new(0.0)));
+/// assert!(!p.is_due(Seconds::new(15.0)));
+/// assert!(p.is_due(Seconds::new(30.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Periodic {
+    period: Seconds,
+    next: f64,
+}
+
+impl Periodic {
+    /// Creates a schedule firing at `t = 0, period, 2·period, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: Seconds) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        Self { period, next: 0.0 }
+    }
+
+    /// Creates a schedule whose first firing is delayed to `phase`.
+    ///
+    /// Useful to de-synchronize controllers, e.g. to model a fan controller
+    /// that makes its first decision only after one full interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_phase(period: Seconds, phase: Seconds) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        Self { period, next: phase.value() }
+    }
+
+    /// The firing period.
+    #[must_use]
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// The next scheduled firing time.
+    #[must_use]
+    pub fn next_fire(&self) -> Seconds {
+        Seconds::new(self.next)
+    }
+
+    /// Returns `true` (and re-arms) if the activity is due at time `now`.
+    ///
+    /// A small tolerance (1 ppm of the period) absorbs floating-point
+    /// representation error in the caller's clock.
+    pub fn is_due(&mut self, now: Seconds) -> bool {
+        let tol = self.period.value() * 1e-6;
+        if now.value() + tol >= self.next {
+            // Re-arm on the nominal grid so late polls do not drift phase.
+            self.next += self.period.value();
+            // If the caller skipped far ahead (e.g. coarse stepping), catch
+            // up without queueing a burst of stale firings.
+            while self.next <= now.value() + tol {
+                self.next += self.period.value();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-arms the schedule to fire next at `at`, keeping the period.
+    ///
+    /// The single-step fan-speed scaling scheme (paper Section V-C) uses
+    /// this to force an immediate out-of-band fan decision.
+    pub fn reschedule(&mut self, at: Seconds) {
+        self.next = at.value();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(period: f64, phase: Option<f64>, dt: f64, horizon: f64) -> Vec<f64> {
+        let mut p = match phase {
+            Some(ph) => Periodic::with_phase(Seconds::new(period), Seconds::new(ph)),
+            None => Periodic::new(Seconds::new(period)),
+        };
+        let mut out = Vec::new();
+        let steps = (horizon / dt).round() as u64;
+        for k in 0..=steps {
+            let now = Seconds::new(k as f64 * dt);
+            if p.is_due(now) {
+                out.push(now.value());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fires_on_grid_from_zero() {
+        assert_eq!(times(30.0, None, 1.0, 95.0), vec![0.0, 30.0, 60.0, 90.0]);
+    }
+
+    #[test]
+    fn fires_with_phase_offset() {
+        assert_eq!(times(30.0, Some(10.0), 1.0, 95.0), vec![10.0, 40.0, 70.0]);
+    }
+
+    #[test]
+    fn fine_steps_do_not_double_fire() {
+        // dt = 0.1 with period 1.0: exactly one firing per second.
+        let fired = times(1.0, None, 0.1, 10.05);
+        assert_eq!(fired.len(), 11);
+    }
+
+    #[test]
+    fn representation_error_does_not_skip_firings() {
+        // 0.1 is inexact in binary; ensure the tolerance absorbs it over a
+        // long horizon.
+        let fired = times(1.0, None, 0.1, 1000.0);
+        assert_eq!(fired.len(), 1001);
+    }
+
+    #[test]
+    fn late_polls_catch_up_without_burst() {
+        let mut p = Periodic::new(Seconds::new(10.0));
+        assert!(p.is_due(Seconds::new(0.0)));
+        // Jump straight to t = 35: exactly one firing, re-armed at 40.
+        assert!(p.is_due(Seconds::new(35.0)));
+        assert!(!p.is_due(Seconds::new(36.0)));
+        assert_eq!(p.next_fire(), Seconds::new(40.0));
+    }
+
+    #[test]
+    fn reschedule_forces_early_fire() {
+        let mut p = Periodic::new(Seconds::new(30.0));
+        assert!(p.is_due(Seconds::new(0.0)));
+        p.reschedule(Seconds::new(5.0));
+        assert!(p.is_due(Seconds::new(5.0)));
+        assert_eq!(p.next_fire(), Seconds::new(35.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Periodic::new(Seconds::new(30.0));
+        assert_eq!(p.period(), Seconds::new(30.0));
+        assert_eq!(p.next_fire(), Seconds::new(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = Periodic::new(Seconds::new(0.0));
+    }
+}

@@ -1,0 +1,398 @@
+//! Trace statistics: descriptive measures, step-response metrics and
+//! oscillation detection.
+//!
+//! The paper's evaluation makes quantitative stability claims — "the fan
+//! speed becomes oscillatory" (Fig. 4), "the convergence time is very slow,
+//! i.e., 210 sec" (Fig. 3) — and this module provides the measurements that
+//! let tests assert those claims instead of eyeballing plots:
+//!
+//! - [`step_response`] measures settling time, overshoot and steady-state
+//!   error against a target value (the SASO criteria of PID design),
+//! - [`detect_oscillation`] finds sustained limit cycles via turning-point
+//!   analysis with hysteresis,
+//! - descriptive helpers ([`mean`], [`stddev`], [`rms_error`],
+//!   [`peak_to_peak`]) summarize steady-state behaviour.
+
+use gfsc_units::Seconds;
+
+/// Arithmetic mean of `values`; 0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of `values`; 0 for fewer than two samples.
+#[must_use]
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Root-mean-square deviation of `values` from `target`; 0 for an empty
+/// slice.
+#[must_use]
+pub fn rms_error(values: &[f64], target: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sq = values.iter().map(|v| (v - target) * (v - target)).sum::<f64>();
+    (sq / values.len() as f64).sqrt()
+}
+
+/// Peak-to-peak range (`max − min`) of `values`; 0 for an empty slice.
+#[must_use]
+pub fn peak_to_peak(values: &[f64]) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// Step-response metrics of a trace segment relative to a target value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResponse {
+    /// Time (relative to the segment start) after which the signal stays
+    /// within `band` of `target` for the rest of the segment, or `None` if
+    /// it never settles.
+    pub settling_time: Option<Seconds>,
+    /// Maximum excursion beyond the target in the direction of the step, as
+    /// a fraction of the step magnitude (0 when the signal never crosses the
+    /// target, or when the step magnitude is zero).
+    pub overshoot: f64,
+    /// Mean error from the target over the final 10 % of the segment.
+    pub steady_state_error: f64,
+}
+
+/// Measures the SASO step-response metrics of `(times, values)` for a step
+/// from `initial` toward `target`, with settling band `band` (absolute, in
+/// signal units).
+///
+/// # Panics
+///
+/// Panics if `times` and `values` have different lengths or `band` is not
+/// positive.
+#[must_use]
+pub fn step_response(
+    times: &[f64],
+    values: &[f64],
+    initial: f64,
+    target: f64,
+    band: f64,
+) -> StepResponse {
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
+    assert!(band > 0.0, "settling band must be positive");
+    if times.is_empty() {
+        return StepResponse { settling_time: None, overshoot: 0.0, steady_state_error: 0.0 };
+    }
+
+    let t0 = times[0];
+
+    // Settling time: the moment after the last sample that lies outside the
+    // band. If the final sample is itself outside, the signal never settled.
+    let mut settling = Some(Seconds::new(0.0));
+    for i in (0..values.len()).rev() {
+        if (values[i] - target).abs() > band {
+            settling = if i + 1 < times.len() {
+                Some(Seconds::new(times[i + 1] - t0))
+            } else {
+                None
+            };
+            break;
+        }
+    }
+
+    // Overshoot relative to the step direction and magnitude.
+    let step_mag = (target - initial).abs();
+    let overshoot = if step_mag == 0.0 {
+        0.0
+    } else if target >= initial {
+        let peak = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ((peak - target) / step_mag).max(0.0)
+    } else {
+        let trough = values.iter().copied().fold(f64::INFINITY, f64::min);
+        ((target - trough) / step_mag).max(0.0)
+    };
+
+    // Steady-state error over the last 10 % of samples (at least one).
+    let tail_len = (values.len() / 10).max(1);
+    let tail = &values[values.len() - tail_len..];
+    let steady_state_error = mean(tail) - target;
+
+    StepResponse { settling_time: settling, overshoot, steady_state_error }
+}
+
+/// Summary of turning-point (limit-cycle) analysis of a trace segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OscillationReport {
+    /// Number of direction reversals larger than the hysteresis threshold.
+    pub reversals: usize,
+    /// Mean peak-to-trough amplitude across reversals (0 if fewer than two
+    /// turning points).
+    pub amplitude: f64,
+    /// Estimated oscillation period: mean time between same-direction
+    /// turning points, if at least three turning points exist.
+    pub period: Option<Seconds>,
+}
+
+impl OscillationReport {
+    /// Whether the segment shows a sustained oscillation: at least four
+    /// reversals with mean amplitude of at least `min_amplitude`.
+    ///
+    /// Four reversals ≈ two full cycles, enough to rule out a single
+    /// overshoot/undershoot pair from an ordinary step response.
+    #[must_use]
+    pub fn is_sustained(&self, min_amplitude: f64) -> bool {
+        self.reversals >= 4 && self.amplitude >= min_amplitude
+    }
+}
+
+/// Detects oscillation in `(times, values)` using turning-point analysis.
+///
+/// A turning point is registered when the signal reverses direction by more
+/// than `hysteresis` (absolute, in signal units) from the most recent
+/// extremum — small numerical ripples below the hysteresis are ignored.
+///
+/// # Panics
+///
+/// Panics if `times` and `values` have different lengths or `hysteresis` is
+/// not positive.
+#[must_use]
+pub fn detect_oscillation(times: &[f64], values: &[f64], hysteresis: f64) -> OscillationReport {
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
+    assert!(hysteresis > 0.0, "hysteresis must be positive");
+
+    // Turning points as (time, value, is_peak).
+    let mut turns: Vec<(f64, f64, bool)> = Vec::new();
+    if values.len() >= 2 {
+        // Track the running extremum since the last confirmed turn.
+        let mut ext_val = values[0];
+        let mut ext_time = times[0];
+        // +1 while rising, -1 while falling, 0 before the first move.
+        let mut dir = 0i8;
+        for i in 1..values.len() {
+            let v = values[i];
+            match dir {
+                0 => {
+                    if (v - ext_val).abs() > hysteresis {
+                        dir = if v > ext_val { 1 } else { -1 };
+                        ext_val = v;
+                        ext_time = times[i];
+                    }
+                }
+                1 => {
+                    if v > ext_val {
+                        ext_val = v;
+                        ext_time = times[i];
+                    } else if ext_val - v > hysteresis {
+                        turns.push((ext_time, ext_val, true));
+                        dir = -1;
+                        ext_val = v;
+                        ext_time = times[i];
+                    }
+                }
+                _ => {
+                    if v < ext_val {
+                        ext_val = v;
+                        ext_time = times[i];
+                    } else if v - ext_val > hysteresis {
+                        turns.push((ext_time, ext_val, false));
+                        dir = 1;
+                        ext_val = v;
+                        ext_time = times[i];
+                    }
+                }
+            }
+        }
+    }
+
+    let reversals = turns.len();
+    let amplitude = if reversals >= 2 {
+        let diffs: Vec<f64> =
+            turns.windows(2).map(|w| (w[0].1 - w[1].1).abs()).collect();
+        mean(&diffs)
+    } else {
+        0.0
+    };
+
+    // Period: mean spacing between same-direction turning points.
+    let mut spacings = Vec::new();
+    for w in turns.windows(3) {
+        if w[0].2 == w[2].2 {
+            spacings.push(w[2].0 - w[0].0);
+        }
+    }
+    let period = if spacings.is_empty() {
+        None
+    } else {
+        Some(Seconds::new(mean(&spacings)))
+    };
+
+    OscillationReport { reversals, amplitude, period }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_to_target() -> (Vec<f64>, Vec<f64>) {
+        // First-order rise from 0 to 10 with tau = 5 s, sampled at 1 Hz.
+        let times: Vec<f64> = (0..100).map(|k| k as f64).collect();
+        let values: Vec<f64> = times.iter().map(|t| 10.0 * (1.0 - (-t / 5.0).exp())).collect();
+        (times, values)
+    }
+
+    fn sine(amp: f64, period: f64, n: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
+        let times: Vec<f64> = (0..n).map(|k| k as f64 * dt).collect();
+        let values: Vec<f64> =
+            times.iter().map(|t| amp * (2.0 * std::f64::consts::PI * t / period).sin()).collect();
+        (times, values)
+    }
+
+    #[test]
+    fn descriptive_stats() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&v), 2.5);
+        assert!((stddev(&v) - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(peak_to_peak(&v), 3.0);
+        assert!((rms_error(&v, 2.5) - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descriptive_stats_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(peak_to_peak(&[]), 0.0);
+        assert_eq!(peak_to_peak(&[7.0]), 0.0);
+        assert_eq!(rms_error(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn step_response_of_first_order_rise() {
+        let (times, values) = ramp_to_target();
+        let r = step_response(&times, &values, 0.0, 10.0, 0.2);
+        // |10(1 - e^{-t/5}) - 10| <= 0.2  <=>  t >= 5 ln 50 ≈ 19.56 s.
+        let st = r.settling_time.expect("settles").value();
+        assert!((19.0..21.0).contains(&st), "settling at {st}");
+        assert_eq!(r.overshoot, 0.0);
+        assert!(r.steady_state_error.abs() < 0.01);
+    }
+
+    #[test]
+    fn step_response_detects_overshoot() {
+        // Rise to 12 (20 % overshoot over a 0 -> 10 step) then settle at 10.
+        let times: Vec<f64> = (0..50).map(|k| k as f64).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| if t < 5.0 { 2.4 * t } else { 10.0 + 2.0 * (-(t - 5.0) / 3.0).exp() })
+            .collect();
+        let r = step_response(&times, &values, 0.0, 10.0, 0.3);
+        assert!((r.overshoot - 0.2).abs() < 0.01, "overshoot {}", r.overshoot);
+        assert!(r.settling_time.is_some());
+    }
+
+    #[test]
+    fn step_response_never_settles_when_tail_outside_band() {
+        let times: Vec<f64> = (0..10).map(|k| k as f64).collect();
+        let values = vec![0.0; 10];
+        let r = step_response(&times, &values, 0.0, 10.0, 0.5);
+        assert_eq!(r.settling_time, None);
+        assert!((r.steady_state_error + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_response_falling_step() {
+        let times: Vec<f64> = (0..100).map(|k| k as f64).collect();
+        let values: Vec<f64> =
+            times.iter().map(|&t| 5.0 + 5.0 * (-t / 4.0).exp() - if t > 20.0 { 0.0 } else { 0.0 }).collect();
+        let r = step_response(&times, &values, 10.0, 5.0, 0.2);
+        assert!(r.settling_time.is_some());
+        assert_eq!(r.overshoot, 0.0); // never undershoots below 5
+    }
+
+    #[test]
+    fn step_response_empty_input() {
+        let r = step_response(&[], &[], 0.0, 1.0, 0.1);
+        assert_eq!(r.settling_time, None);
+        assert_eq!(r.overshoot, 0.0);
+    }
+
+    #[test]
+    fn oscillation_detected_on_sine() {
+        let (times, values) = sine(100.0, 60.0, 600, 1.0);
+        let rep = detect_oscillation(&times, &values, 5.0);
+        assert!(rep.reversals >= 15, "reversals {}", rep.reversals);
+        assert!((rep.amplitude - 200.0).abs() < 10.0, "amplitude {}", rep.amplitude);
+        let p = rep.period.expect("period").value();
+        assert!((p - 60.0).abs() < 3.0, "period {p}");
+        assert!(rep.is_sustained(150.0));
+    }
+
+    #[test]
+    fn oscillation_not_detected_on_converging_signal() {
+        let (times, values) = ramp_to_target();
+        let rep = detect_oscillation(&times, &values, 0.5);
+        assert_eq!(rep.reversals, 0);
+        assert_eq!(rep.amplitude, 0.0);
+        assert!(!rep.is_sustained(0.1));
+    }
+
+    #[test]
+    fn oscillation_ignores_ripple_below_hysteresis() {
+        // 0.5-amplitude ripple with hysteresis 2.0: no reversals.
+        let (times, values) = sine(0.5, 10.0, 200, 1.0);
+        let rep = detect_oscillation(&times, &values, 2.0);
+        assert_eq!(rep.reversals, 0);
+    }
+
+    #[test]
+    fn single_overshoot_is_not_sustained() {
+        // One peak then settle: 1-2 reversals at most.
+        let times: Vec<f64> = (0..60).map(|k| k as f64).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| if t < 5.0 { 3.0 * t } else { 10.0 + 5.0 * (-(t - 5.0) / 4.0).exp() })
+            .collect();
+        let rep = detect_oscillation(&times, &values, 1.0);
+        assert!(rep.reversals <= 2);
+        assert!(!rep.is_sustained(1.0));
+    }
+
+    #[test]
+    fn decaying_oscillation_reported_with_falling_amplitude() {
+        let times: Vec<f64> = (0..600).map(|k| k as f64).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| 50.0 * (-t / 150.0).exp() * (2.0 * std::f64::consts::PI * t / 60.0).sin())
+            .collect();
+        let rep = detect_oscillation(&times, &values, 2.0);
+        assert!(rep.reversals >= 4);
+        assert!(rep.amplitude < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = detect_oscillation(&[0.0, 1.0], &[0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn non_positive_hysteresis_rejected() {
+        let _ = detect_oscillation(&[0.0], &[0.0], 0.0);
+    }
+}

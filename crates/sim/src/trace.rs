@@ -1,0 +1,435 @@
+//! Named time series and collections thereof.
+
+use core::fmt;
+use gfsc_units::Seconds;
+use std::io::{self, Write};
+
+/// Error produced by trace operations.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Samples must be pushed in non-decreasing time order.
+    OutOfOrder {
+        /// Time of the last accepted sample.
+        last: f64,
+        /// Offending earlier time.
+        attempted: f64,
+    },
+    /// The requested trace name does not exist in the [`TraceSet`].
+    UnknownTrace(String),
+    /// Writing CSV output failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::OutOfOrder { last, attempted } => write!(
+                f,
+                "trace samples must be time-ordered: got t = {attempted} after t = {last}"
+            ),
+            TraceError::UnknownTrace(name) => write!(f, "unknown trace `{name}`"),
+            TraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A named time series of `(time, value)` samples.
+///
+/// Values are stored as `f64` in the unit implied by the trace name
+/// (convention: suffix the name with the unit, e.g. `"t_junction_c"`,
+/// `"fan_speed_rpm"`). Samples must be pushed in non-decreasing time order,
+/// which [`Trace::push`] enforces by panicking and
+/// [`Trace::try_push`] reports as an error.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sim::Trace;
+/// use gfsc_units::Seconds;
+///
+/// let mut trace = Trace::new("t_junction_c");
+/// trace.push(Seconds::new(0.0), 55.0);
+/// trace.push(Seconds::new(1.0), 56.2);
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.last_value(), Some(56.2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), times: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty trace with capacity pre-allocated for `n` samples.
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, n: usize) -> Self {
+        Self {
+            name: name.into(),
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
+    }
+
+    /// The trace name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last sample (see
+    /// [`Trace::try_push`] for a non-panicking variant) or `value` is NaN.
+    pub fn push(&mut self, t: Seconds, value: f64) {
+        self.try_push(t, value).expect("trace sample out of order");
+    }
+
+    /// Appends a sample, reporting ordering violations as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfOrder`] if `t` precedes the last sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — a NaN sample indicates a modeling bug and
+    /// would silently poison every downstream statistic.
+    pub fn try_push(&mut self, t: Seconds, value: f64) -> Result<(), TraceError> {
+        assert!(!value.is_nan(), "trace value must not be NaN");
+        if let Some(&last) = self.times.last() {
+            if t.value() < last {
+                return Err(TraceError::OutOfOrder { last, attempted: t.value() });
+            }
+        }
+        self.times.push(t.value());
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// The sample times in seconds.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sample values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(time_s, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The final value, if any.
+    #[must_use]
+    pub fn last_value(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// The value at the latest sample time `<= t` (zero-order hold), if any.
+    #[must_use]
+    pub fn sample_at(&self, t: Seconds) -> Option<f64> {
+        let idx = self.times.partition_point(|&x| x <= t.value());
+        if idx == 0 {
+            None
+        } else {
+            Some(self.values[idx - 1])
+        }
+    }
+
+    /// Returns the sub-series with `t >= from` as `(times, values)` slices.
+    #[must_use]
+    pub fn tail_from(&self, from: Seconds) -> (&[f64], &[f64]) {
+        let idx = self.times.partition_point(|&x| x < from.value());
+        (&self.times[idx..], &self.values[idx..])
+    }
+
+    /// Writes the trace as two-column CSV (`time_s,<name>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if writing fails.
+    pub fn write_csv<W: Write>(&self, mut out: W) -> Result<(), TraceError> {
+        writeln!(out, "time_s,{}", self.name)?;
+        for (t, v) in self.iter() {
+            writeln!(out, "{t},{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of named traces sharing one experiment.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sim::TraceSet;
+/// use gfsc_units::Seconds;
+///
+/// let mut set = TraceSet::new();
+/// set.record("u_cpu", Seconds::new(0.0), 0.1);
+/// set.record("fan_rpm", Seconds::new(0.0), 2000.0);
+/// assert_eq!(set.get("u_cpu").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to the named trace, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample violates time ordering within its trace.
+    pub fn record(&mut self, name: &str, t: Seconds, value: f64) {
+        match self.traces.iter_mut().find(|tr| tr.name() == name) {
+            Some(tr) => tr.push(t, value),
+            None => {
+                let mut tr = Trace::new(name);
+                tr.push(t, value);
+                self.traces.push(tr);
+            }
+        }
+    }
+
+    /// Looks up a trace by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Trace> {
+        self.traces.iter().find(|tr| tr.name() == name)
+    }
+
+    /// Looks up a trace by name, returning an error for unknown names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownTrace`] if no trace has that name.
+    pub fn require(&self, name: &str) -> Result<&Trace, TraceError> {
+        self.get(name).ok_or_else(|| TraceError::UnknownTrace(name.to_owned()))
+    }
+
+    /// Iterates over the traces in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Number of traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Returns `true` if the set holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Writes all traces as wide CSV on the union of sample times, using
+    /// zero-order hold for traces sampled at slower rates. Times before a
+    /// trace's first sample render as empty cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if writing fails.
+    pub fn write_csv<W: Write>(&self, mut out: W) -> Result<(), TraceError> {
+        write!(out, "time_s")?;
+        for tr in &self.traces {
+            write!(out, ",{}", tr.name())?;
+        }
+        writeln!(out)?;
+
+        // Union of all sample times.
+        let mut times: Vec<f64> = self.traces.iter().flat_map(|tr| tr.times().iter().copied()).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("trace times are never NaN"));
+        times.dedup();
+
+        for &t in &times {
+            write!(out, "{t}")?;
+            for tr in &self.traces {
+                match tr.sample_at(Seconds::new(t)) {
+                    Some(v) => write!(out, ",{v}")?,
+                    None => write!(out, ",")?,
+                }
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceSet {
+    type Item = &'a Trace;
+    type IntoIter = std::slice::Iter<'a, Trace>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(t: f64) -> Seconds {
+        Seconds::new(t)
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let mut tr = Trace::with_capacity("x", 4);
+        assert!(tr.is_empty());
+        tr.push(secs(0.0), 1.0);
+        tr.push(secs(1.0), 2.0);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.name(), "x");
+        assert_eq!(tr.times(), &[0.0, 1.0]);
+        assert_eq!(tr.values(), &[1.0, 2.0]);
+        assert_eq!(tr.last_value(), Some(2.0));
+        let pairs: Vec<_> = tr.iter().collect();
+        assert_eq!(pairs, vec![(0.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn equal_times_are_allowed() {
+        // Controllers may log both pre- and post-decision values at the
+        // same instant.
+        let mut tr = Trace::new("x");
+        tr.push(secs(5.0), 1.0);
+        tr.push(secs(5.0), 2.0);
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut tr = Trace::new("x");
+        tr.push(secs(5.0), 1.0);
+        let err = tr.try_push(secs(4.0), 2.0).unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { .. }));
+        assert!(err.to_string().contains("time-ordered"));
+    }
+
+    #[test]
+    fn sample_at_is_zero_order_hold() {
+        let mut tr = Trace::new("x");
+        tr.push(secs(0.0), 10.0);
+        tr.push(secs(30.0), 20.0);
+        assert_eq!(tr.sample_at(secs(0.0)), Some(10.0));
+        assert_eq!(tr.sample_at(secs(29.9)), Some(10.0));
+        assert_eq!(tr.sample_at(secs(30.0)), Some(20.0));
+        assert_eq!(tr.sample_at(secs(1e9)), Some(20.0));
+    }
+
+    #[test]
+    fn sample_before_first_is_none() {
+        let mut tr = Trace::new("x");
+        tr.push(secs(10.0), 1.0);
+        assert_eq!(tr.sample_at(secs(9.999)), None);
+    }
+
+    #[test]
+    fn tail_from_splits_correctly() {
+        let mut tr = Trace::new("x");
+        for k in 0..10 {
+            tr.push(secs(k as f64), k as f64);
+        }
+        let (t, v) = tr.tail_from(secs(7.0));
+        assert_eq!(t, &[7.0, 8.0, 9.0]);
+        assert_eq!(v, &[7.0, 8.0, 9.0]);
+        let (t, _) = tr.tail_from(secs(100.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trace_csv_format() {
+        let mut tr = Trace::new("fan_rpm");
+        tr.push(secs(0.0), 2000.0);
+        tr.push(secs(30.0), 2500.0);
+        let mut buf = Vec::new();
+        tr.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "time_s,fan_rpm\n0,2000\n30,2500\n");
+    }
+
+    #[test]
+    fn trace_set_records_and_looks_up() {
+        let mut set = TraceSet::new();
+        set.record("a", secs(0.0), 1.0);
+        set.record("b", secs(0.0), 2.0);
+        set.record("a", secs(1.0), 3.0);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("a").unwrap().len(), 2);
+        assert_eq!(set.get("b").unwrap().len(), 1);
+        assert!(set.get("c").is_none());
+        assert!(set.require("c").is_err());
+        let names: Vec<_> = set.iter().map(Trace::name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn trace_set_csv_uses_zero_order_hold() {
+        let mut set = TraceSet::new();
+        set.record("fast", secs(0.0), 1.0);
+        set.record("fast", secs(1.0), 2.0);
+        set.record("slow", secs(1.0), 10.0);
+        let mut buf = Vec::new();
+        set.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines[0], "time_s,fast,slow");
+        assert_eq!(lines[1], "0,1,"); // slow has no sample yet
+        assert_eq!(lines[2], "1,2,10");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_value_rejected() {
+        let mut tr = Trace::new("x");
+        tr.push(secs(0.0), f64::NAN);
+    }
+}

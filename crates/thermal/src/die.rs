@@ -1,0 +1,165 @@
+//! CPU die thermal node.
+
+use gfsc_units::{Celsius, KelvinPerWatt, Seconds, Watts};
+
+/// The CPU die as a first-order thermal node above the heat sink.
+///
+/// The die couples to the heat sink through the junction-to-sink resistance
+/// `R_jc` and has a very small time constant (Table I: 0.1 s) compared to
+/// both the heat sink (60 s) and every control interval (1 s / 30 s). The
+/// paper therefore solves the die assuming the heat-sink temperature is
+/// constant over a die step; [`DieNode::quasi_steady`] takes that to the
+/// limit and is what multi-second simulations should use.
+///
+/// The paper does not publish `R_jc`; the default 0.10 K/W places the
+/// operating envelope inside the 70–80 °C reference window used by the
+/// predictive set-point scheme (see DESIGN.md §4/§5).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_thermal::DieNode;
+/// use gfsc_units::{Celsius, Watts};
+///
+/// let die = DieNode::date14(Celsius::new(30.0));
+/// let t_j = die.quasi_steady(Celsius::new(60.0), Watts::new(140.0));
+/// assert_eq!(t_j, Celsius::new(74.0)); // 60 + 0.1 * 140
+/// ```
+#[derive(Debug, Clone)]
+pub struct DieNode {
+    r_jc: KelvinPerWatt,
+    tau: Seconds,
+    temperature: Celsius,
+}
+
+impl DieNode {
+    /// Creates a die node with junction-to-sink resistance `r_jc` and time
+    /// constant `tau`, starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is zero.
+    #[must_use]
+    pub fn new(r_jc: KelvinPerWatt, tau: Seconds, initial: Celsius) -> Self {
+        assert!(!tau.is_zero(), "die time constant must be positive");
+        Self { r_jc, tau, temperature: initial }
+    }
+
+    /// The DATE'14 die: τ = 0.1 s, calibrated `R_jc` = 0.10 K/W.
+    #[must_use]
+    pub fn date14(initial: Celsius) -> Self {
+        Self::new(KelvinPerWatt::new(0.10), Seconds::new(0.1), initial)
+    }
+
+    /// Current junction temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// The junction-to-sink thermal resistance.
+    #[must_use]
+    pub fn r_jc(&self) -> KelvinPerWatt {
+        self.r_jc
+    }
+
+    /// The die thermal time constant.
+    #[must_use]
+    pub fn time_constant(&self) -> Seconds {
+        self.tau
+    }
+
+    /// The junction temperature the die relaxes to for a fixed sink
+    /// temperature and power: `T_hs + R_jc · P`.
+    #[must_use]
+    pub fn quasi_steady(&self, sink: Celsius, power: Watts) -> Celsius {
+        sink + self.r_jc * power
+    }
+
+    /// Advances the die by `dt` with the sink held at `sink` (exact
+    /// exponential step) and returns the new junction temperature.
+    ///
+    /// For `dt ≫ τ` (any step above ~1 s) this is indistinguishable from
+    /// [`DieNode::quasi_steady`]; it exists for sub-second studies of
+    /// workload spikes.
+    pub fn step(&mut self, dt: Seconds, sink: Celsius, power: Watts) -> Celsius {
+        let target = self.quasi_steady(sink, power);
+        let decay = (-(dt.value()) / self.tau.value()).exp();
+        self.temperature = target + (self.temperature - target) * decay;
+        self.temperature
+    }
+
+    /// Snaps the die to its quasi-steady temperature (used by coarse-step
+    /// simulations where the die transient is unobservable).
+    pub fn settle(&mut self, sink: Celsius, power: Watts) -> Celsius {
+        self.temperature = self.quasi_steady(sink, power);
+        self.temperature
+    }
+
+    /// Overrides the junction temperature (test setup).
+    pub fn set_temperature(&mut self, t: Celsius) {
+        self.temperature = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quasi_steady_adds_jc_drop() {
+        let die = DieNode::date14(Celsius::new(30.0));
+        let t = die.quasi_steady(Celsius::new(55.0), Watts::new(160.0));
+        assert!((t.value() - 71.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_converges_within_a_second() {
+        let mut die = DieNode::date14(Celsius::new(30.0));
+        // After 1 s = 10 time constants the transient is gone (e^-10).
+        die.step(Seconds::new(1.0), Celsius::new(60.0), Watts::new(140.0));
+        let target = die.quasi_steady(Celsius::new(60.0), Watts::new(140.0));
+        // Residual transient is e^{-10} of the initial 44 K gap ≈ 2 mK.
+        assert!((die.temperature() - target).abs() < 5e-3);
+    }
+
+    #[test]
+    fn step_matches_analytic_solution() {
+        let mut die = DieNode::new(KelvinPerWatt::new(0.2), Seconds::new(0.5), Celsius::new(40.0));
+        let sink = Celsius::new(50.0);
+        let p = Watts::new(100.0);
+        die.step(Seconds::new(0.25), sink, p);
+        let target = 50.0 + 0.2 * 100.0;
+        let expected = target + (40.0 - target) * (-0.5f64).exp();
+        assert!((die.temperature().value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settle_equals_quasi_steady() {
+        let mut die = DieNode::date14(Celsius::new(30.0));
+        let t = die.settle(Celsius::new(62.0), Watts::new(120.0));
+        assert_eq!(t, die.quasi_steady(Celsius::new(62.0), Watts::new(120.0)));
+        assert_eq!(t, die.temperature());
+    }
+
+    #[test]
+    fn accessors() {
+        let die = DieNode::date14(Celsius::new(30.0));
+        assert_eq!(die.r_jc(), KelvinPerWatt::new(0.10));
+        assert_eq!(die.time_constant(), Seconds::new(0.1));
+        assert_eq!(die.temperature(), Celsius::new(30.0));
+    }
+
+    #[test]
+    fn set_temperature_overrides() {
+        let mut die = DieNode::date14(Celsius::new(30.0));
+        die.set_temperature(Celsius::new(85.0));
+        assert_eq!(die.temperature(), Celsius::new(85.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_rejected() {
+        let _ = DieNode::new(KelvinPerWatt::new(0.1), Seconds::new(0.0), Celsius::new(30.0));
+    }
+}

@@ -1,0 +1,621 @@
+//! A general N-node RC thermal network.
+//!
+//! [`HeatSinkNode`](crate::HeatSinkNode)/[`DieNode`](crate::DieNode) hard-code
+//! the paper's two-node topology. This module provides the general compact
+//! thermal model in the HotSpot spirit (Huang et al., TVLSI'06): named
+//! capacitive nodes, fixed-temperature boundary nodes (ambient), and
+//! resistive links. Integration is unconditionally-stable backward Euler,
+//! so stiff networks (0.1 s die next to a 60 s sink) can be stepped at the
+//! controller rate without blowing up.
+
+use core::fmt;
+use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Seconds, Watts};
+
+/// Identifier of a capacitive node inside an [`RcNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Error produced while building or mutating an [`RcNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A node or boundary name was used twice.
+    DuplicateName(String),
+    /// A link or lookup referenced a name that does not exist.
+    UnknownName(String),
+    /// A link connects two boundaries, which has no effect on any node.
+    BoundaryToBoundary(String, String),
+    /// A node has no resistive path to any boundary, so its temperature
+    /// would diverge under constant power injection.
+    FloatingNode(String),
+    /// The network has no capacitive nodes.
+    Empty,
+    /// No link exists between the two named endpoints.
+    NoSuchLink(String, String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            NetworkError::UnknownName(n) => write!(f, "unknown node name `{n}`"),
+            NetworkError::BoundaryToBoundary(a, b) => {
+                write!(f, "link `{a}`–`{b}` connects two boundaries")
+            }
+            NetworkError::FloatingNode(n) => {
+                write!(f, "node `{n}` has no path to any boundary")
+            }
+            NetworkError::Empty => write!(f, "network has no capacitive nodes"),
+            NetworkError::NoSuchLink(a, b) => write!(f, "no link between `{a}` and `{b}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Node(usize),
+    Boundary(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Link {
+    a: Endpoint,
+    b: Endpoint,
+    conductance: f64, // W/K
+}
+
+/// Builder for [`RcNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_thermal::RcNetworkBuilder;
+/// use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Seconds, Watts};
+///
+/// let mut net = RcNetworkBuilder::new()
+///     .node("die", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+///     .node("sink", JoulesPerKelvin::new(300.0), Celsius::new(30.0))
+///     .boundary("ambient", Celsius::new(30.0))
+///     .link("die", "sink", KelvinPerWatt::new(0.1))
+///     .link("sink", "ambient", KelvinPerWatt::new(0.2))
+///     .build()?;
+/// let die = net.node_id("die").unwrap();
+/// net.set_power(die, Watts::new(100.0));
+/// net.step(Seconds::new(1.0));
+/// assert!(net.temperature(die) > Celsius::new(30.0));
+/// # Ok::<(), gfsc_thermal::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RcNetworkBuilder {
+    node_names: Vec<String>,
+    capacitances: Vec<f64>,
+    initials: Vec<f64>,
+    boundary_names: Vec<String>,
+    boundary_temps: Vec<f64>,
+    links: Vec<(String, String, f64)>,
+}
+
+impl RcNetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a capacitive node.
+    #[must_use]
+    pub fn node(
+        mut self,
+        name: impl Into<String>,
+        capacitance: JoulesPerKelvin,
+        initial: Celsius,
+    ) -> Self {
+        self.node_names.push(name.into());
+        self.capacitances.push(capacitance.value());
+        self.initials.push(initial.value());
+        self
+    }
+
+    /// Adds a fixed-temperature boundary node (e.g. ambient air).
+    #[must_use]
+    pub fn boundary(mut self, name: impl Into<String>, temperature: Celsius) -> Self {
+        self.boundary_names.push(name.into());
+        self.boundary_temps.push(temperature.value());
+        self
+    }
+
+    /// Adds a resistive link between two named endpoints.
+    #[must_use]
+    pub fn link(
+        mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        resistance: KelvinPerWatt,
+    ) -> Self {
+        self.links.push((a.into(), b.into(), 1.0 / resistance.value()));
+        self
+    }
+
+    /// Validates the topology and builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if names collide, a link references an
+    /// unknown name or joins two boundaries, the network is empty, or any
+    /// node lacks a path to a boundary.
+    pub fn build(self) -> Result<RcNetwork, NetworkError> {
+        if self.node_names.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        // Name uniqueness across nodes *and* boundaries.
+        let mut all: Vec<&str> = self
+            .node_names
+            .iter()
+            .map(String::as_str)
+            .chain(self.boundary_names.iter().map(String::as_str))
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            if w[0] == w[1] {
+                return Err(NetworkError::DuplicateName(w[0].to_owned()));
+            }
+        }
+
+        let resolve = |name: &str| -> Result<Endpoint, NetworkError> {
+            if let Some(i) = self.node_names.iter().position(|n| n == name) {
+                Ok(Endpoint::Node(i))
+            } else if let Some(i) = self.boundary_names.iter().position(|n| n == name) {
+                Ok(Endpoint::Boundary(i))
+            } else {
+                Err(NetworkError::UnknownName(name.to_owned()))
+            }
+        };
+
+        let mut links = Vec::with_capacity(self.links.len());
+        for (a, b, g) in &self.links {
+            let ea = resolve(a)?;
+            let eb = resolve(b)?;
+            if matches!((ea, eb), (Endpoint::Boundary(_), Endpoint::Boundary(_))) {
+                return Err(NetworkError::BoundaryToBoundary(a.clone(), b.clone()));
+            }
+            links.push(Link { a: ea, b: eb, conductance: *g });
+        }
+
+        // Every node must reach a boundary (flood fill from boundaries).
+        let n = self.node_names.len();
+        let mut reached = vec![false; n];
+        let mut frontier: Vec<usize> = Vec::new();
+        for link in &links {
+            match (link.a, link.b) {
+                (Endpoint::Node(i), Endpoint::Boundary(_))
+                | (Endpoint::Boundary(_), Endpoint::Node(i)) => {
+                    if !reached[i] {
+                        reached[i] = true;
+                        frontier.push(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        while let Some(i) = frontier.pop() {
+            for link in &links {
+                if let (Endpoint::Node(p), Endpoint::Node(q)) = (link.a, link.b) {
+                    let other = if p == i {
+                        Some(q)
+                    } else if q == i {
+                        Some(p)
+                    } else {
+                        None
+                    };
+                    if let Some(o) = other {
+                        if !reached[o] {
+                            reached[o] = true;
+                            frontier.push(o);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(i) = reached.iter().position(|&r| !r) {
+            return Err(NetworkError::FloatingNode(self.node_names[i].clone()));
+        }
+
+        Ok(RcNetwork {
+            node_names: self.node_names,
+            capacitances: self.capacitances,
+            temperatures: self.initials,
+            powers: vec![0.0; n],
+            boundary_names: self.boundary_names,
+            boundary_temps: self.boundary_temps,
+            links,
+        })
+    }
+}
+
+/// An N-node RC thermal network integrated with backward Euler.
+#[derive(Debug, Clone)]
+pub struct RcNetwork {
+    node_names: Vec<String>,
+    capacitances: Vec<f64>,
+    temperatures: Vec<f64>,
+    powers: Vec<f64>,
+    boundary_names: Vec<String>,
+    boundary_temps: Vec<f64>,
+    links: Vec<Link>,
+}
+
+impl RcNetwork {
+    /// Looks up a capacitive node by name.
+    #[must_use]
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// The capacitive node names, in insertion order.
+    #[must_use]
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Current temperature of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    #[must_use]
+    pub fn temperature(&self, id: NodeId) -> Celsius {
+        Celsius::new(self.temperatures[id.0])
+    }
+
+    /// Sets the heat injected into a node (e.g. CPU dynamic power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn set_power(&mut self, id: NodeId, power: Watts) {
+        self.powers[id.0] = power.value();
+    }
+
+    /// Sets a boundary temperature by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownName`] for unknown boundaries.
+    pub fn set_boundary(&mut self, name: &str, temperature: Celsius) -> Result<(), NetworkError> {
+        match self.boundary_names.iter().position(|n| n == name) {
+            Some(i) => {
+                self.boundary_temps[i] = temperature.value();
+                Ok(())
+            }
+            None => Err(NetworkError::UnknownName(name.to_owned())),
+        }
+    }
+
+    /// Re-parameterizes the resistance of the link between two named
+    /// endpoints (e.g. sink→ambient as fan speed changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownName`] if a name is unknown or
+    /// [`NetworkError::NoSuchLink`] if the endpoints are not linked.
+    pub fn set_link_resistance(
+        &mut self,
+        a: &str,
+        b: &str,
+        resistance: KelvinPerWatt,
+    ) -> Result<(), NetworkError> {
+        let ea = self.resolve(a)?;
+        let eb = self.resolve(b)?;
+        for link in &mut self.links {
+            if (link.a == ea && link.b == eb) || (link.a == eb && link.b == ea) {
+                link.conductance = 1.0 / resistance.value();
+                return Ok(());
+            }
+        }
+        Err(NetworkError::NoSuchLink(a.to_owned(), b.to_owned()))
+    }
+
+    fn resolve(&self, name: &str) -> Result<Endpoint, NetworkError> {
+        if let Some(i) = self.node_names.iter().position(|n| n == name) {
+            Ok(Endpoint::Node(i))
+        } else if let Some(i) = self.boundary_names.iter().position(|n| n == name) {
+            Ok(Endpoint::Boundary(i))
+        } else {
+            Err(NetworkError::UnknownName(name.to_owned()))
+        }
+    }
+
+    /// Assembles and solves the backward-Euler system for one step of `dt`,
+    /// updating all node temperatures.
+    ///
+    /// Backward Euler: `(C/dt + G) · T' = C/dt · T + P + G_b · T_b`, which is
+    /// unconditionally stable — stiff node pairs (0.1 s die, 60 s sink) can
+    /// be stepped at 1 s without oscillation, only with first-order damping
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn step(&mut self, dt: Seconds) {
+        assert!(!dt.is_zero(), "step size must be positive");
+        let n = self.node_names.len();
+        let inv_dt = 1.0 / dt.value();
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            a[i * n + i] = self.capacitances[i] * inv_dt;
+            b[i] = self.capacitances[i] * inv_dt * self.temperatures[i] + self.powers[i];
+        }
+        for link in &self.links {
+            match (link.a, link.b) {
+                (Endpoint::Node(i), Endpoint::Node(j)) => {
+                    a[i * n + i] += link.conductance;
+                    a[j * n + j] += link.conductance;
+                    a[i * n + j] -= link.conductance;
+                    a[j * n + i] -= link.conductance;
+                }
+                (Endpoint::Node(i), Endpoint::Boundary(k))
+                | (Endpoint::Boundary(k), Endpoint::Node(i)) => {
+                    a[i * n + i] += link.conductance;
+                    b[i] += link.conductance * self.boundary_temps[k];
+                }
+                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+            }
+        }
+        let x = solve_dense(&mut a, &mut b, n);
+        self.temperatures = x;
+    }
+
+    /// Solves for the steady-state temperatures under the current powers,
+    /// boundaries and link conductances (the `dt → ∞` limit of
+    /// [`RcNetwork::step`]).
+    #[must_use]
+    pub fn steady_state(&self) -> Vec<Celsius> {
+        let n = self.node_names.len();
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = self.powers[i];
+        }
+        for link in &self.links {
+            match (link.a, link.b) {
+                (Endpoint::Node(i), Endpoint::Node(j)) => {
+                    a[i * n + i] += link.conductance;
+                    a[j * n + j] += link.conductance;
+                    a[i * n + j] -= link.conductance;
+                    a[j * n + i] -= link.conductance;
+                }
+                (Endpoint::Node(i), Endpoint::Boundary(k))
+                | (Endpoint::Boundary(k), Endpoint::Node(i)) => {
+                    a[i * n + i] += link.conductance;
+                    b[i] += link.conductance * self.boundary_temps[k];
+                }
+                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+            }
+        }
+        solve_dense(&mut a, &mut b, n).into_iter().map(Celsius::new).collect()
+    }
+}
+
+/// Solves `A·x = b` (row-major `a`, length `n²`) by Gaussian elimination
+/// with partial pivoting. The assembled thermal matrices are strictly
+/// diagonally dominant, hence non-singular.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        assert!(diag.abs() > 1e-30, "singular thermal matrix");
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_two_node() -> RcNetwork {
+        RcNetworkBuilder::new()
+            .node("die", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .node("sink", JoulesPerKelvin::new(300.0), Celsius::new(30.0))
+            .boundary("ambient", Celsius::new(30.0))
+            .link("die", "sink", KelvinPerWatt::new(0.1))
+            .link("sink", "ambient", KelvinPerWatt::new(0.25))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn steady_state_matches_hand_calculation() {
+        let mut net = simple_two_node();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, Watts::new(100.0));
+        let ss = net.steady_state();
+        // T_sink = 30 + 0.25*100 = 55; T_die = 55 + 0.1*100 = 65.
+        assert!((ss[0].value() - 65.0).abs() < 1e-9, "die {}", ss[0]);
+        assert!((ss[1].value() - 55.0).abs() < 1e-9, "sink {}", ss[1]);
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let mut net = simple_two_node();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, Watts::new(100.0));
+        let ss = net.steady_state();
+        for _ in 0..100_000 {
+            net.step(Seconds::new(0.5));
+        }
+        let sink = net.node_id("sink").unwrap();
+        assert!((net.temperature(die) - ss[0]).abs() < 1e-6);
+        assert!((net.temperature(sink) - ss[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_node_matches_exponential_solution_to_first_order() {
+        // One node, R = 0.2, C = 300 -> tau = 60 s.
+        let mut net = RcNetworkBuilder::new()
+            .node("sink", JoulesPerKelvin::new(300.0), Celsius::new(30.0))
+            .boundary("ambient", Celsius::new(30.0))
+            .link("sink", "ambient", KelvinPerWatt::new(0.2))
+            .build()
+            .unwrap();
+        let sink = net.node_id("sink").unwrap();
+        net.set_power(sink, Watts::new(150.0));
+        // Integrate 60 s at 0.1 s steps; backward Euler first-order error.
+        for _ in 0..600 {
+            net.step(Seconds::new(0.1));
+        }
+        let ss = 30.0 + 0.2 * 150.0;
+        let expected = ss + (30.0 - ss) * (-1.0f64).exp();
+        assert!(
+            (net.temperature(sink).value() - expected).abs() < 0.05,
+            "got {}, expected {expected}",
+            net.temperature(sink)
+        );
+    }
+
+    #[test]
+    fn stiff_step_is_stable_at_coarse_dt() {
+        // Die tau = 0.1 s stepped at 1 s: backward Euler must not oscillate.
+        let mut net = simple_two_node();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, Watts::new(160.0));
+        let mut prev = net.temperature(die).value();
+        for _ in 0..200 {
+            net.step(Seconds::new(1.0));
+            let t = net.temperature(die).value();
+            assert!(t >= prev - 1e-9, "non-monotonic heating: {t} after {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn zero_power_relaxes_to_boundary() {
+        let mut net = simple_two_node();
+        let die = net.node_id("die").unwrap();
+        let sink = net.node_id("sink").unwrap();
+        // Heat it up first, then cut power and let it relax.
+        net.set_power(die, Watts::new(150.0));
+        for _ in 0..1000 {
+            net.step(Seconds::new(1.0));
+        }
+        assert!(net.temperature(die) > Celsius::new(35.0));
+        net.set_power(die, Watts::new(0.0));
+        for _ in 0..100_000 {
+            net.step(Seconds::new(1.0));
+        }
+        assert!((net.temperature(die).value() - 30.0).abs() < 1e-6);
+        assert!((net.temperature(sink).value() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_boundary_and_link_resistance_take_effect() {
+        let mut net = simple_two_node();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, Watts::new(100.0));
+        net.set_boundary("ambient", Celsius::new(40.0)).unwrap();
+        net.set_link_resistance("sink", "ambient", KelvinPerWatt::new(0.15)).unwrap();
+        let ss = net.steady_state();
+        assert!((ss[1].value() - (40.0 + 0.15 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let err = RcNetworkBuilder::new()
+            .node("x", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .node("x", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .boundary("amb", Celsius::new(30.0))
+            .link("x", "amb", KelvinPerWatt::new(1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_link_endpoint() {
+        let err = RcNetworkBuilder::new()
+            .node("x", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .boundary("amb", Celsius::new(30.0))
+            .link("x", "nope", KelvinPerWatt::new(1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::UnknownName("nope".into()));
+    }
+
+    #[test]
+    fn builder_rejects_floating_node() {
+        let err = RcNetworkBuilder::new()
+            .node("x", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .node("orphan", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .boundary("amb", Celsius::new(30.0))
+            .link("x", "amb", KelvinPerWatt::new(1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::FloatingNode("orphan".into()));
+    }
+
+    #[test]
+    fn builder_rejects_boundary_to_boundary_link() {
+        let err = RcNetworkBuilder::new()
+            .node("x", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .boundary("a", Celsius::new(30.0))
+            .boundary("b", Celsius::new(30.0))
+            .link("x", "a", KelvinPerWatt::new(1.0))
+            .link("a", "b", KelvinPerWatt::new(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::BoundaryToBoundary(_, _)));
+    }
+
+    #[test]
+    fn builder_rejects_empty_network() {
+        assert_eq!(RcNetworkBuilder::new().build().unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn mutators_report_unknown_names() {
+        let mut net = simple_two_node();
+        assert!(net.set_boundary("nope", Celsius::new(1.0)).is_err());
+        assert!(net
+            .set_link_resistance("die", "ambient", KelvinPerWatt::new(1.0))
+            .is_err()); // no direct die-ambient link
+        assert!(net.node_id("nope").is_none());
+        assert_eq!(net.node_names(), &["die".to_owned(), "sink".to_owned()]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NetworkError::FloatingNode("sink2".into());
+        assert!(e.to_string().contains("sink2"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Die-on-heat-sink composition used by the server simulator.
+
+use crate::{DieNode, HeatSinkLaw, HeatSinkNode};
+use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
+
+/// The paper's two-node socket thermal model: a fast CPU die stacked on a
+/// slow heat sink cooled by a variable-speed fan.
+///
+/// Per Section III-B, the heat-sink time constant (60 s at max airflow)
+/// dominates the die's (0.1 s), so each step advances the sink with the
+/// exact exponential update (Eq. 2) and then settles the die quasi-steadily
+/// on top of it.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_thermal::ServerThermalModel;
+/// use gfsc_units::{Celsius, Rpm, Seconds, Watts};
+///
+/// let mut model = ServerThermalModel::date14(Celsius::new(30.0));
+/// let t_j = model.step(Seconds::new(1.0), Watts::new(140.8), Rpm::new(3000.0));
+/// assert!(t_j > Celsius::new(30.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerThermalModel {
+    ambient: Celsius,
+    sink: HeatSinkNode,
+    die: DieNode,
+}
+
+impl ServerThermalModel {
+    /// Creates the model from explicit nodes and ambient temperature.
+    #[must_use]
+    pub fn new(ambient: Celsius, sink: HeatSinkNode, die: DieNode) -> Self {
+        Self { ambient, sink, die }
+    }
+
+    /// The DATE'14 Table I model at the given ambient temperature, starting
+    /// in thermal equilibrium with the ambient.
+    #[must_use]
+    pub fn date14(ambient: Celsius) -> Self {
+        Self {
+            ambient,
+            sink: HeatSinkNode::date14(ambient),
+            die: DieNode::date14(ambient),
+        }
+    }
+
+    /// Ambient (inlet air) temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Changes the ambient (inlet air) temperature.
+    pub fn set_ambient(&mut self, ambient: Celsius) {
+        self.ambient = ambient;
+    }
+
+    /// Current heat-sink temperature.
+    #[must_use]
+    pub fn heat_sink(&self) -> Celsius {
+        self.sink.temperature()
+    }
+
+    /// Current junction (die) temperature — what the CPU sensor measures.
+    #[must_use]
+    pub fn junction(&self) -> Celsius {
+        self.die.temperature()
+    }
+
+    /// The heat-sink resistance law (for model-based controllers).
+    #[must_use]
+    pub fn law(&self) -> &HeatSinkLaw {
+        self.sink.law()
+    }
+
+    /// The junction-to-sink resistance (for model-based controllers).
+    #[must_use]
+    pub fn r_jc(&self) -> KelvinPerWatt {
+        self.die.r_jc()
+    }
+
+    /// Advances the model by `dt` under CPU power `power` and fan speed
+    /// `fan`; returns the new junction temperature.
+    pub fn step(&mut self, dt: Seconds, power: Watts, fan: Rpm) -> Celsius {
+        let sink_t = self.sink.step(dt, self.ambient, power, fan);
+        if dt.value() >= 1.0 {
+            self.die.settle(sink_t, power)
+        } else {
+            self.die.step(dt, sink_t, power)
+        }
+    }
+
+    /// Steady-state junction temperature at an operating point:
+    /// `T_amb + (R_hs(V) + R_jc) · P`.
+    #[must_use]
+    pub fn steady_state_junction(&self, power: Watts, fan: Rpm) -> Celsius {
+        let sink_ss = self.sink.steady_state(self.ambient, power, fan);
+        self.die.quasi_steady(sink_ss, power)
+    }
+
+    /// The minimum fan speed keeping the steady-state junction at or below
+    /// `limit` for power `power`, or `None` if even infinite airflow cannot
+    /// (i.e. `T_amb + (R_base + R_jc)·P > limit`).
+    ///
+    /// This is the model inversion used by E-coord and single-step fan
+    /// scaling to descend to the lowest thermally-safe speed.
+    #[must_use]
+    pub fn min_safe_fan_speed(&self, power: Watts, limit: Celsius) -> Option<Rpm> {
+        let p = power.value();
+        if p <= 0.0 {
+            // No dissipation: any speed is safe.
+            return Some(Rpm::new(0.0));
+        }
+        let budget_k = limit - self.ambient; // total allowed rise
+        let r_total_max = budget_k / p; // K/W available across sink+die
+        let r_hs_max = r_total_max - self.die.r_jc().value();
+        if r_hs_max <= 0.0 {
+            return None;
+        }
+        match self.law().speed_for_resistance(KelvinPerWatt::new(r_hs_max)) {
+            Some(v) => Some(v),
+            // Resistance above what even a stopped fan presents: safe at 0.
+            None if r_hs_max >= self.law().base_resistance().value() => Some(Rpm::new(0.0)),
+            None => None,
+        }
+    }
+
+    /// Resets both nodes to thermal equilibrium with the ambient.
+    pub fn reset(&mut self) {
+        self.sink.set_temperature(self.ambient);
+        self.die.set_temperature(self.ambient);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U07_POWER: f64 = 96.0 + 64.0 * 0.7; // 140.8 W
+
+    #[test]
+    fn junction_tracks_load_and_fan() {
+        let mut m = ServerThermalModel::date14(Celsius::new(30.0));
+        for _ in 0..3000 {
+            m.step(Seconds::new(1.0), Watts::new(U07_POWER), Rpm::new(3000.0));
+        }
+        let slow = m.junction();
+        m.reset();
+        for _ in 0..3000 {
+            m.step(Seconds::new(1.0), Watts::new(U07_POWER), Rpm::new(8500.0));
+        }
+        let fast = m.junction();
+        assert!(slow > fast, "higher fan speed must cool: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn steady_state_junction_matches_long_simulation() {
+        let mut m = ServerThermalModel::date14(Celsius::new(30.0));
+        let p = Watts::new(U07_POWER);
+        let fan = Rpm::new(4000.0);
+        for _ in 0..20_000 {
+            m.step(Seconds::new(1.0), p, fan);
+        }
+        let predicted = m.steady_state_junction(p, fan);
+        assert!((m.junction() - predicted).abs() < 1e-3);
+    }
+
+    #[test]
+    fn operating_envelope_brackets_reference_window() {
+        // DESIGN.md §4: the 70–80 °C reference window must be reachable.
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        // Low load, max fan: comfortably below 70.
+        let cold = m.steady_state_junction(Watts::new(96.0 + 64.0 * 0.1), Rpm::new(8500.0));
+        assert!(cold < Celsius::new(70.0), "cold point {cold}");
+        // High load, slow fan: above 80 (forces the controller to act).
+        let hot = m.steady_state_junction(Watts::new(160.0), Rpm::new(1500.0));
+        assert!(hot > Celsius::new(80.0), "hot point {hot}");
+    }
+
+    #[test]
+    fn min_safe_fan_speed_inverts_steady_state() {
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        let p = Watts::new(U07_POWER);
+        let limit = Celsius::new(75.0);
+        let v = m.min_safe_fan_speed(p, limit).expect("reachable");
+        let at_v = m.steady_state_junction(p, v);
+        assert!((at_v - limit).abs() < 0.01, "at_v {at_v}");
+        // Slightly faster is safe, slightly slower is not.
+        assert!(m.steady_state_junction(p, v + 100.0) < limit);
+        assert!(m.steady_state_junction(p, v - 100.0) > limit);
+    }
+
+    #[test]
+    fn min_safe_fan_speed_unreachable_limit() {
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        // 160 W across R_jc alone is a 16 K rise; asking for < ambient+16
+        // is impossible at any fan speed.
+        assert!(m.min_safe_fan_speed(Watts::new(160.0), Celsius::new(40.0)).is_none());
+    }
+
+    #[test]
+    fn min_safe_fan_speed_zero_power() {
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        assert_eq!(
+            m.min_safe_fan_speed(Watts::new(0.0), Celsius::new(35.0)),
+            Some(Rpm::new(0.0))
+        );
+    }
+
+    #[test]
+    fn ambient_change_shifts_equilibrium() {
+        let mut m = ServerThermalModel::date14(Celsius::new(30.0));
+        let a = m.steady_state_junction(Watts::new(120.0), Rpm::new(4000.0));
+        m.set_ambient(Celsius::new(40.0));
+        let b = m.steady_state_junction(Watts::new(120.0), Rpm::new(4000.0));
+        assert!((b - a - 10.0).abs() < 1e-9);
+        assert_eq!(m.ambient(), Celsius::new(40.0));
+    }
+
+    #[test]
+    fn reset_restores_equilibrium() {
+        let mut m = ServerThermalModel::date14(Celsius::new(30.0));
+        m.step(Seconds::new(100.0), Watts::new(160.0), Rpm::new(2000.0));
+        assert!(m.junction() > Celsius::new(30.0));
+        m.reset();
+        assert_eq!(m.junction(), Celsius::new(30.0));
+        assert_eq!(m.heat_sink(), Celsius::new(30.0));
+    }
+
+    #[test]
+    fn agrees_with_generic_rc_network_at_steady_state() {
+        use crate::{RcNetworkBuilder};
+        use gfsc_units::JoulesPerKelvin;
+
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        let fan = Rpm::new(3500.0);
+        let p = Watts::new(U07_POWER);
+        let r_hs = m.law().resistance(fan);
+        let mut net = RcNetworkBuilder::new()
+            .node("die", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .node("sink", JoulesPerKelvin::new(348.0), Celsius::new(30.0))
+            .boundary("ambient", Celsius::new(30.0))
+            .link("die", "sink", m.r_jc())
+            .link("sink", "ambient", r_hs)
+            .build()
+            .unwrap();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, p);
+        let ss = net.steady_state();
+        let expected = m.steady_state_junction(p, fan);
+        assert!(
+            (ss[0] - expected).abs() < 1e-9,
+            "network {} vs model {expected}",
+            ss[0]
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the thermal models.
+
+use gfsc_thermal::{HeatSinkLaw, HeatSinkNode, RcNetworkBuilder, ServerThermalModel};
+use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// The resistance law is strictly decreasing in fan speed.
+    #[test]
+    fn law_is_monotonically_decreasing(v in 200.0f64..8400.0, dv in 1.0f64..500.0) {
+        let law = HeatSinkLaw::date14();
+        let r1 = law.resistance(Rpm::new(v)).value();
+        let r2 = law.resistance(Rpm::new(v + dv)).value();
+        prop_assert!(r2 < r1);
+    }
+
+    /// The law inversion is a right inverse over the operating range.
+    #[test]
+    fn law_inversion_round_trips(v in 150.0f64..20_000.0) {
+        let law = HeatSinkLaw::date14();
+        let r = law.resistance(Rpm::new(v));
+        let back = law.speed_for_resistance(r).unwrap();
+        prop_assert!((back.value() - v).abs() / v < 1e-6);
+    }
+
+    /// One exact-exponential step always lands between the starting
+    /// temperature and the steady state (no overshoot, ever).
+    #[test]
+    fn heatsink_step_contracts_toward_steady_state(
+        t0 in 10.0f64..120.0,
+        p in 0.0f64..200.0,
+        v in 500.0f64..8500.0,
+        dt in 0.01f64..300.0,
+    ) {
+        let mut node = HeatSinkNode::date14(Celsius::new(t0));
+        let amb = Celsius::new(30.0);
+        let ss = node.steady_state(amb, Watts::new(p), Rpm::new(v));
+        let before = node.temperature();
+        let after = node.step(Seconds::new(dt), amb, Watts::new(p), Rpm::new(v));
+        let lo = before.min(ss);
+        let hi = before.max(ss);
+        prop_assert!(after >= lo - 1e-9 && after <= hi + 1e-9,
+            "step left [{lo}, {hi}]: {after}");
+    }
+
+    /// Splitting a step in two gives the same result as one big step
+    /// (semigroup property of the exact exponential integrator).
+    #[test]
+    fn heatsink_step_is_a_semigroup(
+        t0 in 10.0f64..120.0,
+        p in 0.0f64..200.0,
+        v in 500.0f64..8500.0,
+        dt in 0.1f64..100.0,
+    ) {
+        let amb = Celsius::new(30.0);
+        let mut one = HeatSinkNode::date14(Celsius::new(t0));
+        one.step(Seconds::new(dt), amb, Watts::new(p), Rpm::new(v));
+        let mut two = HeatSinkNode::date14(Celsius::new(t0));
+        two.step(Seconds::new(dt / 2.0), amb, Watts::new(p), Rpm::new(v));
+        two.step(Seconds::new(dt / 2.0), amb, Watts::new(p), Rpm::new(v));
+        prop_assert!((one.temperature() - two.temperature()).abs() < 1e-9);
+    }
+
+    /// Steady-state junction temperature increases with power and decreases
+    /// with fan speed.
+    #[test]
+    fn junction_monotone_in_power_and_fan(
+        p in 96.0f64..159.0,
+        v in 1000.0f64..8000.0,
+    ) {
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        let base = m.steady_state_junction(Watts::new(p), Rpm::new(v));
+        let hotter = m.steady_state_junction(Watts::new(p + 1.0), Rpm::new(v));
+        let cooler = m.steady_state_junction(Watts::new(p), Rpm::new(v + 500.0));
+        prop_assert!(hotter > base);
+        prop_assert!(cooler < base);
+    }
+
+    /// `min_safe_fan_speed` really is the boundary of safety when it exists.
+    #[test]
+    fn min_safe_fan_speed_is_tight(
+        p in 100.0f64..160.0,
+        limit in 60.0f64..95.0,
+    ) {
+        let m = ServerThermalModel::date14(Celsius::new(30.0));
+        if let Some(v) = m.min_safe_fan_speed(Watts::new(p), Celsius::new(limit)) {
+            if v.value() > 150.0 {
+                let at = m.steady_state_junction(Watts::new(p), v);
+                prop_assert!(at <= Celsius::new(limit + 0.01), "unsafe at v: {at}");
+                let below = m.steady_state_junction(Watts::new(p), v - 50.0);
+                prop_assert!(below >= Celsius::new(limit - 0.01), "not minimal: {below}");
+            }
+        }
+    }
+
+    /// Backward-Euler networks never escape the envelope spanned by the
+    /// boundary temperature and the hottest steady state.
+    #[test]
+    fn network_temperatures_stay_in_physical_envelope(
+        p in 0.0f64..200.0,
+        steps in 1usize..200,
+        dt in 0.1f64..10.0,
+    ) {
+        let mut net = RcNetworkBuilder::new()
+            .node("die", JoulesPerKelvin::new(1.0), Celsius::new(30.0))
+            .node("sink", JoulesPerKelvin::new(300.0), Celsius::new(30.0))
+            .boundary("ambient", Celsius::new(30.0))
+            .link("die", "sink", KelvinPerWatt::new(0.1))
+            .link("sink", "ambient", KelvinPerWatt::new(0.25))
+            .build()
+            .unwrap();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, Watts::new(p));
+        let ss = net.steady_state();
+        let hi = ss[0].value().max(ss[1].value()).max(30.0) + 1e-6;
+        for _ in 0..steps {
+            net.step(Seconds::new(dt));
+            for id in [net.node_id("die").unwrap(), net.node_id("sink").unwrap()] {
+                let t = net.temperature(id).value();
+                prop_assert!(t >= 30.0 - 1e-6 && t <= hi, "escaped envelope: {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Inclusive value ranges used for actuator limits and comfort zones.
+
+use core::fmt;
+
+/// An inclusive `[lo, hi]` range of a partially ordered quantity.
+///
+/// Used across the workspace for actuator limits (minimum/maximum fan
+/// speed), the CPU-cap range, and the thermal comfort zone the paper keeps
+/// the junction temperature inside (e.g. below 80 °C with a 70–80 °C
+/// adaptive reference window).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::{Bounds, Rpm};
+///
+/// let limits = Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0));
+/// assert_eq!(limits.clamp(Rpm::new(12_000.0)), Rpm::new(8500.0));
+/// assert!(limits.contains(Rpm::new(4000.0)));
+/// assert!(!limits.contains(Rpm::new(500.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: PartialOrd + Copy> Bounds<T> {
+    /// Creates a range from `lo` to `hi`, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or the two endpoints are unordered (NaN inside).
+    #[must_use]
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "bounds must satisfy lo <= hi");
+        Self { lo, hi }
+    }
+
+    /// The lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> T {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> T {
+        self.hi
+    }
+
+    /// Returns `true` if `value` lies inside the range (inclusive).
+    #[must_use]
+    pub fn contains(&self, value: T) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+
+    /// Clamps `value` into the range.
+    #[must_use]
+    pub fn clamp(&self, value: T) -> T {
+        if value < self.lo {
+            self.lo
+        } else if value > self.hi {
+            self.hi
+        } else {
+            value
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Bounds<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Celsius, Rpm, Utilization};
+
+    #[test]
+    fn contains_is_inclusive() {
+        let b = Bounds::new(1.0, 2.0);
+        assert!(b.contains(1.0));
+        assert!(b.contains(2.0));
+        assert!(!b.contains(0.999));
+        assert!(!b.contains(2.001));
+    }
+
+    #[test]
+    fn clamp_saturates_both_ends() {
+        let b = Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0));
+        assert_eq!(b.clamp(Rpm::new(0.0)), Rpm::new(1000.0));
+        assert_eq!(b.clamp(Rpm::new(9999.0)), Rpm::new(8500.0));
+        assert_eq!(b.clamp(Rpm::new(5000.0)), Rpm::new(5000.0));
+    }
+
+    #[test]
+    fn works_with_all_quantities() {
+        let comfort = Bounds::new(Celsius::new(70.0), Celsius::new(80.0));
+        assert!(comfort.contains(Celsius::new(75.0)));
+        let caps = Bounds::new(Utilization::new(0.1), Utilization::FULL);
+        assert_eq!(caps.clamp(Utilization::IDLE), Utilization::new(0.1));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let b = Bounds::new(Celsius::new(70.0), Celsius::new(80.0));
+        assert_eq!(b.lo(), Celsius::new(70.0));
+        assert_eq!(b.hi(), Celsius::new(80.0));
+        assert_eq!(b.to_string(), "[70.00 °C, 80.00 °C]");
+    }
+
+    #[test]
+    fn degenerate_single_point_range() {
+        let b = Bounds::new(5.0, 5.0);
+        assert!(b.contains(5.0));
+        assert_eq!(b.clamp(7.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_range_rejected() {
+        let _ = Bounds::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Typed physical quantities for the `gfsc` workspace.
+//!
+//! Every crate in the workspace exchanges temperatures, fan speeds, powers,
+//! energies, durations and CPU utilizations. Using bare `f64` for all of
+//! those invites unit mix-ups (e.g. feeding an rpm where a °C is expected, or
+//! a power where an energy is expected). This crate provides zero-cost
+//! newtypes with the arithmetic each quantity actually supports, following
+//! the Rust API guidelines newtype pattern (C-NEWTYPE).
+//!
+//! # Examples
+//!
+//! ```
+//! use gfsc_units::{Celsius, Rpm, Watts, Seconds};
+//!
+//! let ambient = Celsius::new(30.0);
+//! let hot = ambient + 45.0; // adding a delta in kelvin
+//! assert_eq!(hot, Celsius::new(75.0));
+//! assert_eq!(hot - ambient, 45.0); // difference is a bare kelvin delta
+//!
+//! let fan = Rpm::new(8500.0);
+//! let power = Watts::new(29.4);
+//! let energy = power * Seconds::new(60.0);
+//! assert_eq!(energy.value(), 29.4 * 60.0);
+//! assert!(fan > Rpm::new(2000.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod energy;
+mod speed;
+mod temperature;
+mod thermal;
+mod time;
+mod utilization;
+
+pub use bounds::Bounds;
+pub use energy::{Joules, Watts};
+pub use speed::Rpm;
+pub use temperature::Celsius;
+pub use thermal::{JoulesPerKelvin, KelvinPerWatt};
+pub use time::Seconds;
+pub use utilization::{Utilization, UtilizationError};

@@ -1,0 +1,205 @@
+//! Rotational fan speed in revolutions per minute.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A fan speed in revolutions per minute (rpm).
+///
+/// Fan speeds are non-negative. Differences between two speeds are bare
+/// `f64` rpm deltas so controller outputs (`K_P · ΔT` in rpm) can be applied
+/// directly.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::Rpm;
+///
+/// let max = Rpm::new(8500.0);
+/// let now = Rpm::new(2000.0);
+/// assert_eq!(max - now, 6500.0);
+/// assert_eq!(now.ratio_of(max), 2000.0 / 8500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rpm(f64);
+
+impl Rpm {
+    /// Creates a fan speed from a value in rpm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rpm` is negative or NaN.
+    #[must_use]
+    pub fn new(rpm: f64) -> Self {
+        assert!(!rpm.is_nan(), "fan speed must not be NaN");
+        assert!(rpm >= 0.0, "fan speed must be non-negative, got {rpm}");
+        Self(rpm)
+    }
+
+    /// Creates a fan speed, clamping negative inputs to zero.
+    ///
+    /// Controller arithmetic can transiently produce negative commanded
+    /// speeds; this constructor saturates instead of panicking.
+    #[must_use]
+    pub fn saturating_new(rpm: f64) -> Self {
+        assert!(!rpm.is_nan(), "fan speed must not be NaN");
+        Self(rpm.max(0.0))
+    }
+
+    /// Returns the speed value in rpm.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `self / other` as a dimensionless ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn ratio_of(self, other: Self) -> f64 {
+        assert!(other.0 > 0.0, "cannot take ratio against zero fan speed");
+        self.0 / other.0
+    }
+
+    /// Clamps the speed into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo.0 <= hi.0, "invalid clamp range: {lo} > {hi}");
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Returns the larger of two speeds.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two speeds.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Rpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} rpm", self.0)
+    }
+}
+
+impl From<Rpm> for f64 {
+    fn from(s: Rpm) -> f64 {
+        s.0
+    }
+}
+
+/// `Rpm + f64` shifts the speed by an rpm delta, saturating at zero.
+impl Add<f64> for Rpm {
+    type Output = Rpm;
+
+    fn add(self, delta: f64) -> Rpm {
+        Rpm::saturating_new(self.0 + delta)
+    }
+}
+
+impl AddAssign<f64> for Rpm {
+    fn add_assign(&mut self, delta: f64) {
+        *self = *self + delta;
+    }
+}
+
+/// `Rpm - f64` shifts the speed by an rpm delta, saturating at zero.
+impl Sub<f64> for Rpm {
+    type Output = Rpm;
+
+    fn sub(self, delta: f64) -> Rpm {
+        Rpm::saturating_new(self.0 - delta)
+    }
+}
+
+impl SubAssign<f64> for Rpm {
+    fn sub_assign(&mut self, delta: f64) {
+        *self = *self - delta;
+    }
+}
+
+/// `Rpm - Rpm` yields the difference as a bare rpm delta (may be negative).
+impl Sub for Rpm {
+    type Output = f64;
+
+    fn sub(self, other: Rpm) -> f64 {
+        self.0 - other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_value() {
+        assert_eq!(Rpm::new(8500.0).value(), 8500.0);
+        assert_eq!(Rpm::default().value(), 0.0);
+    }
+
+    #[test]
+    fn saturating_new_clamps_negative() {
+        assert_eq!(Rpm::saturating_new(-100.0).value(), 0.0);
+        assert_eq!(Rpm::saturating_new(100.0).value(), 100.0);
+    }
+
+    #[test]
+    fn delta_arithmetic_saturates_at_zero() {
+        let s = Rpm::new(1000.0);
+        assert_eq!((s - 2500.0).value(), 0.0);
+        assert_eq!((s + 500.0).value(), 1500.0);
+        assert_eq!(Rpm::new(3000.0) - s, 2000.0);
+        assert_eq!(s - Rpm::new(3000.0), -2000.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut s = Rpm::new(2000.0);
+        s += 1000.0;
+        assert_eq!(s, Rpm::new(3000.0));
+        s -= 500.0;
+        assert_eq!(s, Rpm::new(2500.0));
+    }
+
+    #[test]
+    fn ratio_of_full_scale() {
+        assert!((Rpm::new(4250.0).ratio_of(Rpm::new(8500.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_min_max() {
+        let lo = Rpm::new(1000.0);
+        let hi = Rpm::new(8500.0);
+        assert_eq!(Rpm::new(500.0).clamp(lo, hi), lo);
+        assert_eq!(Rpm::new(9000.0).clamp(lo, hi), hi);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(hi.min(lo), lo);
+    }
+
+    #[test]
+    fn display_formats_whole_rpm() {
+        assert_eq!(Rpm::new(8500.4).to_string(), "8500 rpm");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Rpm::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fan speed")]
+    fn ratio_against_zero_rejected() {
+        let _ = Rpm::new(100.0).ratio_of(Rpm::new(0.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! Thermal resistance and capacitance quantities.
+
+use crate::{Seconds, Watts};
+use core::fmt;
+use core::ops::Mul;
+
+/// A thermal resistance in kelvin per watt (K/W).
+///
+/// In the electro-thermal duality a thermal resistance maps a heat flow
+/// (watts) to a temperature rise (kelvin): `ΔT = R · P`. The paper's
+/// heat-sink resistance law `R_hs(V) = 0.141 + 132.51 / V^0.923` K/W
+/// produces values of this type (see `gfsc-thermal`).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::{KelvinPerWatt, Watts};
+///
+/// let r = KelvinPerWatt::new(0.25);
+/// let rise = r * Watts::new(140.0);
+/// assert!((rise - 35.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct KelvinPerWatt(f64);
+
+impl KelvinPerWatt {
+    /// Creates a thermal resistance from a value in K/W.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is non-positive or NaN; a physical thermal path always
+    /// has strictly positive resistance.
+    #[must_use]
+    pub fn new(r: f64) -> Self {
+        assert!(!r.is_nan(), "thermal resistance must not be NaN");
+        assert!(r > 0.0, "thermal resistance must be positive, got {r}");
+        Self(r)
+    }
+
+    /// Returns the resistance value in K/W.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for KelvinPerWatt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} K/W", self.0)
+    }
+}
+
+impl From<KelvinPerWatt> for f64 {
+    fn from(r: KelvinPerWatt) -> f64 {
+        r.0
+    }
+}
+
+/// Thermal resistance × heat flow = temperature rise in kelvin.
+impl Mul<Watts> for KelvinPerWatt {
+    type Output = f64;
+
+    fn mul(self, p: Watts) -> f64 {
+        self.0 * p.value()
+    }
+}
+
+/// Thermal resistance × thermal capacitance = time constant.
+impl Mul<JoulesPerKelvin> for KelvinPerWatt {
+    type Output = Seconds;
+
+    fn mul(self, c: JoulesPerKelvin) -> Seconds {
+        Seconds::new(self.0 * c.value())
+    }
+}
+
+/// A thermal capacitance in joules per kelvin (J/K).
+///
+/// Together with a [`KelvinPerWatt`] resistance it forms the `R·C` time
+/// constant of a thermal node: `τ = R · C` (the paper quotes τ = 60 s for
+/// the heat sink at maximum airflow and τ = 0.1 s for the die).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct JoulesPerKelvin(f64);
+
+impl JoulesPerKelvin {
+    /// Creates a thermal capacitance from a value in J/K.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is non-positive or NaN.
+    #[must_use]
+    pub fn new(c: f64) -> Self {
+        assert!(!c.is_nan(), "thermal capacitance must not be NaN");
+        assert!(c > 0.0, "thermal capacitance must be positive, got {c}");
+        Self(c)
+    }
+
+    /// Returns the capacitance value in J/K.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Derives the capacitance that gives time constant `tau` at
+    /// resistance `r`: `C = τ / R`.
+    ///
+    /// This is how `gfsc-thermal` calibrates the heat-sink capacitance from
+    /// the paper's "60 s at max airflow" figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is zero.
+    #[must_use]
+    pub fn from_time_constant(tau: Seconds, r: KelvinPerWatt) -> Self {
+        assert!(!tau.is_zero(), "time constant must be positive");
+        Self::new(tau.value() / r.value())
+    }
+}
+
+impl fmt::Display for JoulesPerKelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} J/K", self.0)
+    }
+}
+
+impl From<JoulesPerKelvin> for f64 {
+    fn from(c: JoulesPerKelvin) -> f64 {
+        c.0
+    }
+}
+
+/// Thermal capacitance × thermal resistance = time constant.
+impl Mul<KelvinPerWatt> for JoulesPerKelvin {
+    type Output = Seconds;
+
+    fn mul(self, r: KelvinPerWatt) -> Seconds {
+        r * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_times_power_is_temperature_rise() {
+        let rise = KelvinPerWatt::new(0.141) * Watts::new(160.0);
+        assert!((rise - 22.56).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rc_product_is_time_constant() {
+        let r = KelvinPerWatt::new(0.2);
+        let c = JoulesPerKelvin::new(300.0);
+        assert_eq!(r * c, Seconds::new(60.0));
+        assert_eq!(c * r, Seconds::new(60.0));
+    }
+
+    #[test]
+    fn capacitance_from_time_constant_round_trips() {
+        let r = KelvinPerWatt::new(0.172);
+        let c = JoulesPerKelvin::from_time_constant(Seconds::new(60.0), r);
+        let tau = r * c;
+        assert!((tau.value() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(KelvinPerWatt::new(0.141).to_string(), "0.1410 K/W");
+        assert_eq!(JoulesPerKelvin::new(348.8).to_string(), "348.80 J/K");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_rejected() {
+        let _ = KelvinPerWatt::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacitance_rejected() {
+        let _ = JoulesPerKelvin::new(0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Durations and simulation timestamps in seconds.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration or timestamp in seconds.
+///
+/// The simulation kernel in `gfsc-sim` advances a clock of [`Seconds`];
+/// control intervals (1 s CPU-cap period, 30 s fan period from the paper)
+/// and thermal time constants (`R·C`) are all expressed with this type.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::Seconds;
+///
+/// let fan_interval = Seconds::new(30.0);
+/// let sim_step = Seconds::new(0.5);
+/// assert_eq!(fan_interval / sim_step, 60.0);
+/// assert_eq!(sim_step * 4.0, Seconds::new(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Creates a duration from a value in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or NaN. Durations and timestamps in the
+    /// simulator are always non-negative.
+    #[must_use]
+    pub fn new(s: f64) -> Self {
+        assert!(!s.is_nan(), "duration must not be NaN");
+        assert!(s >= 0.0, "duration must be non-negative, got {s}");
+        Self(s)
+    }
+
+    /// Returns the value in seconds.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if the duration is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} s", self.0)
+    }
+}
+
+impl From<Seconds> for f64 {
+    fn from(s: Seconds) -> f64 {
+        s.0
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+
+    fn add(self, other: Seconds) -> Seconds {
+        Seconds::new(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, other: Seconds) {
+        *self = *self + other;
+    }
+}
+
+/// `Seconds - Seconds` yields a bare signed second delta.
+impl Sub for Seconds {
+    type Output = f64;
+
+    fn sub(self, other: Seconds) -> f64 {
+        self.0 - other.0
+    }
+}
+
+/// Scaling a duration by a dimensionless factor.
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+
+    fn mul(self, k: f64) -> Seconds {
+        Seconds::new(self.0 * k)
+    }
+}
+
+/// `Seconds / Seconds` yields a dimensionless ratio (e.g. step counts).
+impl Div for Seconds {
+    type Output = f64;
+
+    fn div(self, other: Seconds) -> f64 {
+        assert!(other.0 > 0.0, "cannot divide by zero duration");
+        self.0 / other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_value() {
+        assert_eq!(Seconds::new(30.0).value(), 30.0);
+        assert!(Seconds::default().is_zero());
+        assert!(!Seconds::new(0.1).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Seconds::new(10.0);
+        let b = Seconds::new(2.5);
+        assert_eq!(a + b, Seconds::new(12.5));
+        assert_eq!(a - b, 7.5);
+        assert_eq!(b - a, -7.5);
+        assert_eq!(a * 3.0, Seconds::new(30.0));
+        assert_eq!(a / b, 4.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut t = Seconds::default();
+        for _ in 0..10 {
+            t += Seconds::new(0.5);
+        }
+        assert!((t.value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Seconds::new(1.0);
+        let b = Seconds::new(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Seconds::new(0.5).to_string(), "0.500 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Seconds::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn divide_by_zero_duration_rejected() {
+        let _ = Seconds::new(1.0) / Seconds::new(0.0);
+    }
+}

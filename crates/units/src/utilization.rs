@@ -1,0 +1,204 @@
+//! CPU utilization, a dimensionless fraction in `[0, 1]`.
+
+use core::fmt;
+use core::ops::Sub;
+
+/// Error returned when constructing a [`Utilization`] outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtilizationError {
+    value_bits: u64,
+}
+
+impl UtilizationError {
+    /// The offending value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.value_bits)
+    }
+}
+
+impl fmt::Display for UtilizationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "utilization must lie in [0, 1], got {}",
+            f64::from_bits(self.value_bits)
+        )
+    }
+}
+
+impl std::error::Error for UtilizationError {}
+
+/// A CPU utilization in `[0, 1]`.
+///
+/// The invariant is enforced at construction: [`Utilization::new`] clamps
+/// (convenient for noisy synthetic workloads that may overshoot the range),
+/// while [`Utilization::try_new`] rejects out-of-range inputs.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::Utilization;
+///
+/// let load = Utilization::new(0.7);
+/// let cap = Utilization::new(0.5);
+/// // The executed load is limited by the cap:
+/// assert_eq!(load.min(cap), cap);
+/// // `new` clamps out-of-range values:
+/// assert_eq!(Utilization::new(1.3), Utilization::FULL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// A fully idle CPU (`u = 0`).
+    pub const IDLE: Utilization = Utilization(0.0);
+
+    /// A fully loaded CPU (`u = 1`).
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Creates a utilization, clamping the input into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is NaN.
+    #[must_use]
+    pub fn new(u: f64) -> Self {
+        assert!(!u.is_nan(), "utilization must not be NaN");
+        Self(u.clamp(0.0, 1.0))
+    }
+
+    /// Creates a utilization, rejecting values outside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtilizationError`] if `u` is NaN or outside `[0, 1]`.
+    pub fn try_new(u: f64) -> Result<Self, UtilizationError> {
+        if u.is_nan() || !(0.0..=1.0).contains(&u) {
+            Err(UtilizationError { value_bits: u.to_bits() })
+        } else {
+            Ok(Self(u))
+        }
+    }
+
+    /// Returns the utilization as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the utilization as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Adds a delta, saturating at the `[0, 1]` bounds.
+    #[must_use]
+    pub fn saturating_add(self, delta: f64) -> Self {
+        assert!(!delta.is_nan(), "utilization delta must not be NaN");
+        Self((self.0 + delta).clamp(0.0, 1.0))
+    }
+
+    /// Returns the smaller of two utilizations (e.g. applying a cap).
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two utilizations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps the utilization into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo.0 <= hi.0, "invalid clamp range: {lo} > {hi}");
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} %", self.as_percent())
+    }
+}
+
+impl From<Utilization> for f64 {
+    fn from(u: Utilization) -> f64 {
+        u.0
+    }
+}
+
+/// `Utilization - Utilization` yields a bare signed fraction delta.
+impl Sub for Utilization {
+    type Output = f64;
+
+    fn sub(self, other: Utilization) -> f64 {
+        self.0 - other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_into_range() {
+        assert_eq!(Utilization::new(-0.5), Utilization::IDLE);
+        assert_eq!(Utilization::new(1.5), Utilization::FULL);
+        assert_eq!(Utilization::new(0.7).value(), 0.7);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        assert!(Utilization::try_new(0.0).is_ok());
+        assert!(Utilization::try_new(1.0).is_ok());
+        assert!(Utilization::try_new(-0.01).is_err());
+        assert!(Utilization::try_new(1.01).is_err());
+        assert!(Utilization::try_new(f64::NAN).is_err());
+        let err = Utilization::try_new(1.5).unwrap_err();
+        assert_eq!(err.value(), 1.5);
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn saturating_add_respects_bounds() {
+        assert_eq!(Utilization::new(0.9).saturating_add(0.5), Utilization::FULL);
+        assert_eq!(Utilization::new(0.1).saturating_add(-0.5), Utilization::IDLE);
+        let u = Utilization::new(0.5).saturating_add(0.2);
+        assert!((u.value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capping_uses_min() {
+        let demand = Utilization::new(0.7);
+        let cap = Utilization::new(0.4);
+        assert_eq!(demand.min(cap), cap);
+        assert_eq!(demand.max(cap), demand);
+    }
+
+    #[test]
+    fn percent_and_display() {
+        assert_eq!(Utilization::new(0.25).as_percent(), 25.0);
+        assert_eq!(Utilization::new(0.255).to_string(), "25.5 %");
+    }
+
+    #[test]
+    fn difference_is_signed() {
+        assert!((Utilization::new(0.7) - Utilization::new(0.1) - 0.6).abs() < 1e-12);
+        assert!((Utilization::new(0.1) - Utilization::new(0.7) + 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected_by_new() {
+        let _ = Utilization::new(f64::NAN);
+    }
+}

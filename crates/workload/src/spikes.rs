@@ -1,0 +1,187 @@
+//! Poisson-arriving utilization spikes.
+
+use gfsc_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream of rectangular utilization spikes with exponentially
+/// distributed inter-arrival times.
+///
+/// Production load spikes are "much faster than the settling time of
+/// controllers" (Bhattacharya et al., IGCC'12, cited as \[20\]); they are
+/// what the paper's single-step fan-speed scaling defends against. During
+/// a spike the process contributes `amplitude`; otherwise 0. A new arrival
+/// cannot preempt an active spike (arrivals during a spike are deferred to
+/// its end).
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_workload::SpikeProcess;
+/// use gfsc_units::Seconds;
+///
+/// let mut spikes = SpikeProcess::new(1.0 / 300.0, Seconds::new(20.0), 0.5, 42);
+/// // Sampling must move forward in time.
+/// let mut active_seconds = 0.0;
+/// for k in 0..3600 {
+///     if spikes.level_at(Seconds::new(k as f64)) > 0.0 {
+///         active_seconds += 1.0;
+///     }
+/// }
+/// assert!(active_seconds > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpikeProcess {
+    rate_hz: f64,
+    duration: f64,
+    amplitude: f64,
+    rng: StdRng,
+    next_arrival: f64,
+    active_until: f64,
+}
+
+impl SpikeProcess {
+    /// Creates a spike process with mean arrival rate `rate_hz` (spikes per
+    /// second), spike `duration` and `amplitude`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not positive or `duration` is zero.
+    #[must_use]
+    pub fn new(rate_hz: f64, duration: Seconds, amplitude: f64, seed: u64) -> Self {
+        assert!(rate_hz > 0.0, "spike rate must be positive");
+        assert!(!duration.is_zero(), "spike duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = exponential(&mut rng, rate_hz);
+        Self {
+            rate_hz,
+            duration: duration.value(),
+            amplitude,
+            rng,
+            next_arrival: first,
+            active_until: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mean number of spikes per second.
+    #[must_use]
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Spike amplitude (added utilization while active).
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Spike duration.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds::new(self.duration)
+    }
+
+    /// The spike contribution at time `t`.
+    ///
+    /// `t` must be non-decreasing across calls (the process is causal); out
+    /// of order queries panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` moves backwards relative to internal progress.
+    pub fn level_at(&mut self, t: Seconds) -> f64 {
+        let t = t.value();
+        // Process arrivals up to t.
+        while self.next_arrival <= t {
+            let start = self.next_arrival;
+            // Defer arrivals landing inside an active spike to its end.
+            let begin = start.max(self.active_until);
+            self.active_until = begin + self.duration;
+            self.next_arrival = begin + self.duration + exponential(&mut self.rng, self.rate_hz);
+        }
+        if t < self.active_until {
+            self.amplitude
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Draws an exponential variate with the given rate.
+fn exponential(rng: &mut StdRng, rate_hz: f64) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    -u.ln() / rate_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SpikeProcess::new(0.01, Seconds::new(10.0), 0.4, 5);
+        let mut b = SpikeProcess::new(0.01, Seconds::new(10.0), 0.4, 5);
+        for k in 0..5000 {
+            let t = Seconds::new(k as f64);
+            assert_eq!(a.level_at(t), b.level_at(t));
+        }
+    }
+
+    #[test]
+    fn spikes_have_configured_amplitude_and_shape() {
+        let mut s = SpikeProcess::new(0.005, Seconds::new(15.0), 0.6, 11);
+        let levels: Vec<f64> = (0..10_000).map(|k| s.level_at(Seconds::new(k as f64))).collect();
+        assert!(levels.iter().all(|&l| l == 0.0 || l == 0.6));
+        // At least one spike in 10000 s at 1/200 s rate (P(miss) ~ e^-50).
+        assert!(levels.iter().any(|&l| l > 0.0));
+        // Each active run is ~15 samples long.
+        let mut runs = Vec::new();
+        let mut run = 0usize;
+        for &l in &levels {
+            if l > 0.0 {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        for &r in &runs {
+            assert!((14..=16).contains(&r), "run length {r}");
+        }
+    }
+
+    #[test]
+    fn long_run_duty_matches_rate_times_duration() {
+        // rate 1/100 s, duration 10 s -> expected duty ~ 10/110 ≈ 9 %
+        // (arrival deferral makes the process slightly sub-Poisson).
+        let mut s = SpikeProcess::new(0.01, Seconds::new(10.0), 1.0, 3);
+        let n = 200_000;
+        let active = (0..n).filter(|&k| s.level_at(Seconds::new(k as f64)) > 0.0).count();
+        let duty = active as f64 / n as f64;
+        assert!((0.05..0.14).contains(&duty), "duty {duty}");
+    }
+
+    #[test]
+    fn inactive_between_spikes() {
+        let mut s = SpikeProcess::new(1e-9, Seconds::new(10.0), 1.0, 1);
+        // With a ~1e9 s mean inter-arrival, the first hour is silent.
+        for k in 0..3600 {
+            assert_eq!(s.level_at(Seconds::new(k as f64)), 0.0);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = SpikeProcess::new(0.5, Seconds::new(2.0), 0.3, 0);
+        assert_eq!(s.rate_hz(), 0.5);
+        assert_eq!(s.amplitude(), 0.3);
+        assert_eq!(s.duration(), Seconds::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn zero_rate_rejected() {
+        let _ = SpikeProcess::new(0.0, Seconds::new(1.0), 0.1, 0);
+    }
+}

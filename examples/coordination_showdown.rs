@@ -1,0 +1,45 @@
+//! All five coordination solutions on one shared workload — a miniature
+//! Table III with full trace access.
+//!
+//! Run with: `cargo run --release --example coordination_showdown [horizon_s]`
+
+use gfsc::{markdown_table, Simulation, Solution};
+use gfsc_units::Seconds;
+
+fn main() {
+    let horizon = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1800.0);
+
+    println!("== coordination showdown over {horizon} s (seed 42) ==\n");
+    let mut rows = Vec::new();
+    let mut baseline_energy = None;
+    for solution in Solution::ALL {
+        let outcome = Simulation::builder()
+            .solution(solution)
+            .seed(42)
+            .build()
+            .run(Seconds::new(horizon));
+        let energy = outcome.fan_energy.value();
+        let base = *baseline_energy.get_or_insert(energy);
+        let temp = outcome.traces.require("t_junction_c").expect("recorded");
+        let peak = temp.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        rows.push(vec![
+            solution.paper_name().to_owned(),
+            format!("{:.2}", outcome.violation_percent),
+            format!("{:.3}", if base > 0.0 { energy / base } else { f64::NAN }),
+            format!("{peak:.1}"),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Solution", "Violations (%)", "Norm. fan energy", "Peak junction (°C)"],
+            &rows
+        )
+    );
+    println!("Longer horizons average out the spike arrivals; the paper order is");
+    println!("E-coord worst on violations, the full proposal best, with the");
+    println!("adaptive-reference variants saving ~20-35 % fan energy.");
+}

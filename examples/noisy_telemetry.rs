@@ -1,0 +1,43 @@
+//! How bad can the telemetry get? Sweeps the sensor lag and the ADC step
+//! around the paper's measured operating point (10 s, 1 °C) and reports
+//! the adaptive controller's stability and regulation quality at each
+//! corner.
+//!
+//! Run with: `cargo run --release --example noisy_telemetry`
+
+use gfsc::experiments::ablations::{lag_sweep, quantization_sweep};
+use gfsc_units::Seconds;
+
+fn main() {
+    println!("== telemetry-quality sweeps around the DATE'14 operating point ==\n");
+
+    println!("sensor lag sweep (square workload, controller re-tuned per lag):");
+    let lags: Vec<Seconds> = [0.0, 5.0, 10.0, 20.0, 30.0].into_iter().map(Seconds::new).collect();
+    for row in lag_sweep(&lags, Seconds::new(1600.0)) {
+        println!(
+            "  lag {:>4.0} s: adaptive {} (osc {:>5.0} rpm, temp rms {:>4.2} K) | fixed@6000 {}",
+            row.lag.value(),
+            if row.adaptive.stable { "stable  " } else { "UNSTABLE" },
+            row.adaptive.oscillation_amplitude,
+            row.adaptive.temperature_rms_error,
+            if row.fixed_high.stable { "stable" } else { "UNSTABLE" },
+        );
+    }
+
+    println!("\nADC-step sweep (steady 0.7 load, Eq. 10 hold on/off):");
+    for row in quantization_sweep(&[0.25, 0.5, 1.0, 2.0], Seconds::new(900.0)) {
+        println!(
+            "  step {:>4.2} °C: {:>3} command changes with hold vs {:>3} without; \
+             temp rms {:>4.2} K vs {:>4.2} K",
+            row.step,
+            row.command_changes_with_hold,
+            row.command_changes_without_hold,
+            row.rms_with_hold,
+            row.rms_without_hold,
+        );
+    }
+    println!(
+        "\nThe paper's chain (10 s, 1 °C) sits inside the stable region; stability\n\
+         degrades once the lag approaches the 30 s fan decision period."
+    );
+}

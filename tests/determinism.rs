@@ -1,0 +1,66 @@
+//! Reproducibility: identical seeds replay identical experiments, and the
+//! stochastic stages actually respond to the seed.
+
+use gfsc::{Simulation, Solution};
+use gfsc_units::Seconds;
+
+fn run_once(seed: u64) -> (f64, f64, Vec<f64>) {
+    let outcome = Simulation::builder()
+        .solution(Solution::RCoordAdaptiveTrefSsFan)
+        .seed(seed)
+        .build()
+        .run(Seconds::new(600.0));
+    let fan = outcome.traces.require("fan_rpm").unwrap().values().to_vec();
+    (outcome.violation_percent, outcome.fan_energy.value(), fan)
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let (v1, e1, f1) = run_once(1234);
+    let (v2, e2, f2) = run_once(1234);
+    assert_eq!(v1, v2, "violation percent must replay exactly");
+    assert_eq!(e1, e2, "fan energy must replay exactly");
+    assert_eq!(f1, f2, "fan trace must replay sample for sample");
+}
+
+#[test]
+fn different_seed_different_trajectory() {
+    let (_, _, f1) = run_once(1);
+    let (_, _, f2) = run_once(2);
+    assert_ne!(f1, f2, "different seeds must produce different runs");
+}
+
+#[test]
+fn every_solution_is_deterministic() {
+    for solution in Solution::ALL {
+        let a = Simulation::builder()
+            .solution(solution)
+            .seed(9)
+            .build()
+            .run(Seconds::new(300.0));
+        let b = Simulation::builder()
+            .solution(solution)
+            .seed(9)
+            .build()
+            .run(Seconds::new(300.0));
+        assert_eq!(
+            a.violation_percent, b.violation_percent,
+            "{solution} is not deterministic"
+        );
+        assert_eq!(a.fan_energy, b.fan_energy, "{solution} energy differs");
+    }
+}
+
+#[test]
+fn experiments_replay_deterministically() {
+    use gfsc::experiments::fig5::{run, Fig5Config};
+    let config = Fig5Config {
+        horizon: Seconds::new(600.0),
+        seed: 3,
+        solution: Solution::RCoordFixedTref,
+    };
+    let a = run(&config);
+    let b = run(&config);
+    assert_eq!(a.violation_percent, b.violation_percent);
+    assert_eq!(a.stable, b.stable);
+}

@@ -1,0 +1,60 @@
+//! Smoke tests over the experiment layer: every figure/table runner
+//! produces structurally sound reports and renderable output at reduced
+//! horizons.
+
+use gfsc::experiments::{fig1, fig5, table3};
+use gfsc::{markdown_table, write_traces_csv, Solution};
+use gfsc_units::Seconds;
+
+#[test]
+fn fig1_report_is_renderable() {
+    let fig = fig1::run(&fig1::Fig1Config::default());
+    let mut buf = Vec::new();
+    write_traces_csv(&fig.traces, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.starts_with("time_s,"));
+    assert!(text.lines().count() > 700);
+    assert!(text.contains("power_sensor_norm"));
+}
+
+#[test]
+fn fig5_report_structure() {
+    let fig = fig5::run(&fig5::Fig5Config {
+        horizon: Seconds::new(600.0),
+        seed: 2,
+        solution: Solution::RCoordAdaptiveTref,
+    });
+    assert!(fig.violation_percent >= 0.0);
+    for name in ["u_demand", "fan_rpm", "t_ref_c"] {
+        assert!(fig.traces.get(name).is_some(), "missing {name}");
+    }
+}
+
+#[test]
+fn table3_markdown_contains_all_solutions_and_paper_columns() {
+    let table = table3::run(&table3::Table3Config {
+        horizon: Seconds::new(600.0),
+        seed: 3,
+    });
+    let md = table.to_markdown();
+    for s in Solution::ALL {
+        assert!(md.contains(s.paper_name()), "missing {s}");
+    }
+    assert!(md.contains("26.12"), "paper violation column missing");
+    assert!(md.contains("0.703"), "paper energy column missing");
+}
+
+#[test]
+fn markdown_helper_escapes_nothing_but_renders_shape() {
+    let md = markdown_table(&["a", "b"], &[vec!["x".into(), "y".into()]]);
+    assert_eq!(md.lines().count(), 3);
+}
+
+#[test]
+fn paper_reference_values_are_the_published_ones() {
+    let vals = table3::Table3::paper_values();
+    assert_eq!(vals.len(), 5);
+    // Spot checks against the publication.
+    assert_eq!(vals[1], (44.44, 0.703)); // E-coord
+    assert_eq!(vals[2], (14.14, 1.075)); // R-coord @ 75C
+}

@@ -1,0 +1,88 @@
+//! Cross-crate checks of the non-ideal measurement chain: the assembled
+//! server must exhibit exactly the lag and quantization the sensors crate
+//! was configured with, and the mechanistic I2C model must account for
+//! the lag magnitude.
+
+use gfsc_sensors::{I2cBusModel, TelemetryScanner};
+use gfsc_server::{Server, ServerSpec};
+use gfsc_units::{Rpm, Seconds, Utilization};
+
+#[test]
+fn servers_measured_temperature_is_on_the_adc_grid() {
+    let mut server = Server::new(ServerSpec::enterprise_default());
+    server.set_fan_target(Rpm::new(3000.0));
+    for k in 0..1200 {
+        server.step(Seconds::new(0.5), Utilization::new(0.6));
+        if k % 100 == 0 {
+            let m = server.measured_temperature().value();
+            assert_eq!(m, m.floor(), "off-grid measurement {m}");
+        }
+    }
+}
+
+#[test]
+fn step_change_reaches_firmware_after_the_configured_lag() {
+    let mut server = Server::new(ServerSpec::enterprise_default());
+    server.equilibrate(Utilization::new(0.2), Rpm::new(3000.0));
+    let before = server.measured_temperature();
+    // Hit the plant with full load and find when the firmware first sees
+    // a 2 K rise vs when the junction actually rose by 2 K.
+    let (mut t_truth, mut t_meas) = (None, None);
+    let mut now = 0.0;
+    let t0 = server.true_junction();
+    for _ in 0..400 {
+        server.step(Seconds::new(0.5), Utilization::FULL);
+        now += 0.5;
+        if t_truth.is_none() && server.true_junction() - t0 >= 2.0 {
+            t_truth = Some(now);
+        }
+        if t_meas.is_none() && server.measured_temperature() - before >= 2.0 {
+            t_meas = Some(now);
+        }
+    }
+    let lag = t_meas.expect("measured moved") - t_truth.expect("truth moved");
+    let configured = ServerSpec::enterprise_default().sensor_lag.value();
+    assert!(
+        (lag - configured).abs() <= 2.5,
+        "observed lag {lag}s vs configured {configured}s"
+    );
+}
+
+#[test]
+fn i2c_scan_round_matches_the_distilled_delay() {
+    // The mechanistic model (64 sensors round-robin on a standard-mode
+    // bus) must produce the same ~10 s staleness the distilled DelayLine
+    // realizes in the server spec.
+    let scan = TelemetryScanner::date14();
+    let spec_lag = ServerSpec::enterprise_default().sensor_lag;
+    assert!(
+        (scan.round_time().value() - spec_lag.value()).abs() < 0.1,
+        "I2C round {} vs spec lag {}",
+        scan.round_time(),
+        spec_lag
+    );
+}
+
+#[test]
+fn sensor_count_drives_the_lag() {
+    // The paper: "due to the increased number of temperature sensors in
+    // each new server platform, the time lag ... becomes even worse".
+    let bus = I2cBusModel::standard_mode();
+    let gen1 = TelemetryScanner::new(bus, 16, Seconds::new(0.1558), 0.0);
+    let gen2 = TelemetryScanner::new(bus, 64, Seconds::new(0.1558), 0.0);
+    let gen3 = TelemetryScanner::new(bus, 128, Seconds::new(0.1558), 0.0);
+    assert!(gen1.round_time() < gen2.round_time());
+    assert!(gen2.round_time() < gen3.round_time());
+    assert!(gen3.round_time().value() > 19.0, "128 sensors: {}", gen3.round_time());
+}
+
+#[test]
+fn ideal_sensing_spec_really_is_ideal() {
+    let mut server = Server::new(ServerSpec::ideal_sensing());
+    server.set_fan_target(Rpm::new(4000.0));
+    for _ in 0..240 {
+        server.step(Seconds::new(0.5), Utilization::new(0.8));
+    }
+    let err = (server.measured_temperature() - server.true_junction()).abs();
+    assert!(err < 0.6, "ideal chain should track truth: err {err} K");
+}
