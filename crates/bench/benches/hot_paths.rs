@@ -1,0 +1,83 @@
+//! Regression guards for the two allocation-free hot paths:
+//!
+//! - `RcNetwork::step` cached-factorization vs the naive
+//!   assemble-and-solve reference (`step_uncached`) — the cached path must
+//!   hold a ≥2× throughput advantage,
+//! - `TraceSet` recording by pre-resolved `ChannelId` vs by name — the
+//!   closed-loop runner records 8 channels per epoch through handles.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gfsc_bench::{chain_network, EPOCH_CHANNELS};
+use gfsc_sim::TraceSet;
+use gfsc_units::{KelvinPerWatt, Seconds};
+use std::hint::black_box;
+
+fn bench_network_step(c: &mut Criterion) {
+    for n in [2usize, 8] {
+        let mut group = c.benchmark_group(format!("hot_paths/rc_network_{n}_node"));
+        group.throughput(Throughput::Elements(1));
+
+        let mut cached = chain_network(n);
+        cached.step(Seconds::new(0.5)); // warm the factorization
+        group.bench_function("step_cached", |b| {
+            b.iter(|| cached.step(black_box(Seconds::new(0.5))));
+        });
+
+        let mut naive = chain_network(n);
+        group.bench_function("step_uncached", |b| {
+            b.iter(|| naive.step_uncached(black_box(Seconds::new(0.5))));
+        });
+
+        // The fan-loop pattern: the sink→ambient conductance moves every
+        // 60 steps (one 30 s controller epoch at dt = 0.5 s), so the cache
+        // amortizes over 60 solves.
+        let mut epochy = chain_network(n);
+        let link = epochy.link_id(&format!("n{}", n - 1), "ambient").expect("exists");
+        let mut k = 0u64;
+        group.bench_function("step_cached_epoch_refresh", |b| {
+            b.iter(|| {
+                k += 1;
+                if k.is_multiple_of(60) {
+                    let r = 0.1 + 0.01 * ((k / 60) % 8) as f64;
+                    epochy.set_link_resistance_by_id(link, KelvinPerWatt::new(r));
+                }
+                epochy.step(black_box(Seconds::new(0.5)));
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_trace_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_paths/trace_record_8ch");
+    // One "epoch" = one sample on each of the runner's 8 channels.
+    group.throughput(Throughput::Elements(8));
+
+    let mut by_name = TraceSet::new();
+    let mut t = 0.0f64;
+    group.bench_function("by_name", |b| {
+        b.iter(|| {
+            t += 1.0;
+            for name in EPOCH_CHANNELS {
+                by_name.record(black_box(name), Seconds::new(t), black_box(1.0));
+            }
+        });
+    });
+
+    let mut by_id = TraceSet::new();
+    let ids: Vec<_> =
+        EPOCH_CHANNELS.iter().map(|name| by_id.channel_with_capacity(name, 1 << 20)).collect();
+    let mut t = 0.0f64;
+    group.bench_function("by_handle", |b| {
+        b.iter(|| {
+            t += 1.0;
+            for &id in &ids {
+                by_id.record_by_id(id, Seconds::new(t), black_box(1.0));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_step, bench_trace_record);
+criterion_main!(benches);

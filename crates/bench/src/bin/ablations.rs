@@ -29,8 +29,7 @@ fn main() {
 
     if which == "quant" || which == "all" {
         println!("== ADC-step sweep (steady 0.7 load, Eq. 10 hold on vs off)");
-        for row in ablations::quantization_sweep(&[0.25, 0.5, 1.0, 2.0, 4.0], Seconds::new(900.0))
-        {
+        for row in ablations::quantization_sweep(&[0.25, 0.5, 1.0, 2.0, 4.0], Seconds::new(900.0)) {
             println!(
                 "step {:>4.2} K  command changes: {:>4} (hold) vs {:>4} (no hold)   temp rms: {:>5.2} vs {:>5.2} K",
                 row.step,

@@ -12,7 +12,9 @@ fn main() {
 
     if std::env::args().any(|a| a == "--csv") {
         // Wide CSV: one fan/temperature column pair per scheme.
-        println!("time_s,fan_adaptive,t_adaptive,fan_fixed2000,t_fixed2000,fan_fixed6000,t_fixed6000");
+        println!(
+            "time_s,fan_adaptive,t_adaptive,fan_fixed2000,t_fixed2000,fan_fixed6000,t_fixed6000"
+        );
         let len = schemes[0].traces.require("fan_rpm").unwrap().len();
         for k in 0..len {
             let t = schemes[0].traces.require("fan_rpm").unwrap().times()[k];
@@ -37,10 +39,7 @@ fn main() {
             Some(t) => format!("{:.0} s", t.value()),
             None => "did not settle within the phase".to_owned(),
         };
-        println!(
-            "{:<26} stable: {:<5} convergence after load step: {conv}",
-            s.name, s.stable
-        );
+        println!("{:<26} stable: {:<5} convergence after load step: {conv}", s.name, s.stable);
         println!(
             "{:<26} worst within-phase fan oscillation: amplitude {:.0} rpm, {} reversals",
             "", s.fan_oscillation.amplitude, s.fan_oscillation.reversals

@@ -1,0 +1,258 @@
+//! Perf snapshot: times the workspace's hot paths and sweep engine and
+//! emits a `BENCH_<date>.json` baseline so the perf trajectory is tracked
+//! in-repo.
+//!
+//! Measured sections:
+//!
+//! - thermal-step: `ServerThermalModel::step` plus `RcNetwork::step`
+//!   cached vs uncached (2- and 8-node chains),
+//! - trace recording: 8 channels by name vs by pre-resolved handle,
+//! - epoch rate: simulated seconds per wall-clock second of the full
+//!   closed loop,
+//! - table3: the five-solution sweep, serial vs parallel at several worker
+//!   counts, with a bit-identity check between the two paths,
+//! - ablations: a reduced lag sweep, serial vs parallel,
+//! - tuning: the two-region Ziegler–Nichols schedule, serial vs parallel.
+//!
+//! Usage: `cargo run --release -p gfsc-bench --bin perf_report
+//! [--table3-horizon SECS] [--out PATH]`
+
+use gfsc::experiments::{ablations, fan_study_spec};
+use gfsc::sweep::ScenarioGrid;
+use gfsc::{tune_gain_schedule, Solution};
+use gfsc_bench::{chain_network, EPOCH_CHANNELS};
+use gfsc_sim::sweep::thread_count;
+use gfsc_thermal::ServerThermalModel;
+use gfsc_units::{Celsius, Rpm, Seconds, Watts};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let mut table3_horizon = 900.0;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table3-horizon" => {
+                table3_horizon = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--table3-horizon needs a number");
+            }
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
+    let cores = thread_count();
+    println!("perf_report: {cores} worker(s) available; table3 horizon {table3_horizon} s");
+
+    // --- thermal-step ---------------------------------------------------
+    let mut model = ServerThermalModel::date14(Celsius::new(30.0));
+    let server_step_ns = time_per_iter(200_000, || {
+        model.step(Seconds::new(0.5), Watts::new(140.8), Rpm::new(3000.0));
+    });
+    let rc = |n: usize| -> (f64, f64) {
+        let mut cached = chain_network(n);
+        cached.step(Seconds::new(0.5));
+        let c = time_per_iter(200_000, || cached.step(Seconds::new(0.5)));
+        let mut naive = chain_network(n);
+        let u = time_per_iter(50_000, || naive.step_uncached(Seconds::new(0.5)));
+        (c, u)
+    };
+    let (rc2_cached, rc2_uncached) = rc(2);
+    let (rc8_cached, rc8_uncached) = rc(8);
+    println!(
+        "thermal: server_model {server_step_ns:.0} ns; rc2 {rc2_cached:.0}/{rc2_uncached:.0} ns \
+         (cached/uncached, {:.2}x); rc8 {rc8_cached:.0}/{rc8_uncached:.0} ns ({:.2}x)",
+        rc2_uncached / rc2_cached,
+        rc8_uncached / rc8_cached,
+    );
+
+    // --- trace recording -------------------------------------------------
+    let mut by_name = gfsc_sim::TraceSet::new();
+    let mut t = 0.0;
+    let record_by_name_ns = time_per_iter(100_000, || {
+        t += 1.0;
+        for name in EPOCH_CHANNELS {
+            by_name.record(name, Seconds::new(t), 1.0);
+        }
+    });
+    let mut by_id = gfsc_sim::TraceSet::new();
+    let ids: Vec<_> =
+        EPOCH_CHANNELS.iter().map(|n| by_id.channel_with_capacity(n, 1 << 20)).collect();
+    let mut t = 0.0;
+    let record_by_handle_ns = time_per_iter(100_000, || {
+        t += 1.0;
+        for &id in &ids {
+            by_id.record_by_id(id, Seconds::new(t), 1.0);
+        }
+    });
+    println!(
+        "trace: 8ch epoch {record_by_name_ns:.0} ns by-name, {record_by_handle_ns:.0} ns by-handle"
+    );
+
+    // --- epoch rate -------------------------------------------------------
+    // Warm the per-process gain-schedule cache so the timing below measures
+    // the closed loop, not one-time Ziegler–Nichols tuning (reported
+    // separately under `zn_tuning_2region`).
+    let _ = gfsc::fine_gain_schedule();
+    let sim_horizon = 600.0;
+    let (_, epoch_secs) = time(|| {
+        gfsc::Simulation::builder()
+            .solution(Solution::RCoordAdaptiveTrefSsFan)
+            .seed(7)
+            .build()
+            .run(Seconds::new(sim_horizon))
+    });
+    let sim_rate = sim_horizon / epoch_secs;
+    println!("epoch rate: {sim_rate:.0} simulated s / wall s");
+
+    // --- table3 sweep: serial vs parallel --------------------------------
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(table3_horizon))
+        .solutions(&Solution::ALL)
+        .seeds(&[42])
+        .build();
+    let (serial_results, table3_serial_s) = time(|| grid.run_serial());
+    let mut worker_rows = String::new();
+    let mut bit_identical = true;
+    let mut parallel_best_s = table3_serial_s;
+    for workers in worker_ladder(cores) {
+        let (results, secs) = time(|| grid.run_with_workers(workers));
+        bit_identical &= results
+            .iter()
+            .zip(&serial_results)
+            .all(|(a, b)| a.summary == b.summary && a.label == b.label);
+        parallel_best_s = parallel_best_s.min(secs);
+        println!(
+            "table3 x{workers}: {secs:.3} s ({:.2}x vs serial {table3_serial_s:.3} s)",
+            table3_serial_s / secs
+        );
+        let _ = write!(
+            worker_rows,
+            "{}{{\"workers\": {workers}, \"seconds\": {secs:.4}}}",
+            if worker_rows.is_empty() { "" } else { ", " },
+        );
+    }
+    assert!(bit_identical, "parallel table3 diverged from the serial reference");
+
+    // --- ablation sweep: serial vs parallel ------------------------------
+    let lags = [Seconds::new(0.0), Seconds::new(10.0), Seconds::new(20.0), Seconds::new(30.0)];
+    let ablation = |threads: &str| {
+        std::env::set_var("GFSC_SWEEP_THREADS", threads);
+        let (_, secs) = time(|| ablations::lag_sweep(&lags, Seconds::new(800.0)));
+        std::env::remove_var("GFSC_SWEEP_THREADS");
+        secs
+    };
+    let ablation_serial_s = ablation("1");
+    let ablation_parallel_s = ablation(&cores.to_string());
+    println!(
+        "ablation lag sweep (4 pts): serial {ablation_serial_s:.2} s, parallel {ablation_parallel_s:.2} s"
+    );
+
+    // --- gain tuning: serial vs parallel ---------------------------------
+    let spec = fan_study_spec();
+    let regions = [Rpm::new(2000.0), Rpm::new(6000.0)];
+    let tuning = |threads: &str| {
+        std::env::set_var("GFSC_SWEEP_THREADS", threads);
+        let (schedule, secs) = time(|| tune_gain_schedule(&spec, &regions));
+        std::env::remove_var("GFSC_SWEEP_THREADS");
+        (schedule, secs)
+    };
+    let (sched_serial, tuning_serial_s) = tuning("1");
+    let (sched_parallel, tuning_parallel_s) = tuning(&cores.to_string());
+    // Bit-identity across the whole schedule: every region, every gain.
+    assert_eq!(sched_serial.regions().len(), sched_parallel.regions().len());
+    for (s, p) in sched_serial.regions().iter().zip(sched_parallel.regions()) {
+        for (a, b) in [
+            (s.gains().kp(), p.gains().kp()),
+            (s.gains().ki(), p.gains().ki()),
+            (s.gains().kd(), p.gains().kd()),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "parallel tuning diverged from serial: {a} vs {b}"
+            );
+        }
+    }
+    println!("tuning 2 regions: serial {tuning_serial_s:.2} s, parallel {tuning_parallel_s:.2} s");
+
+    // --- snapshot ---------------------------------------------------------
+    let json = format!(
+        "{{\n  \"date\": \"{date}\",\n  \"workers_available\": {cores},\n  \
+         \"thermal\": {{\n    \"server_model_step_ns\": {server_step_ns:.1},\n    \
+         \"rc2_cached_ns\": {rc2_cached:.1},\n    \"rc2_uncached_ns\": {rc2_uncached:.1},\n    \
+         \"rc8_cached_ns\": {rc8_cached:.1},\n    \"rc8_uncached_ns\": {rc8_uncached:.1},\n    \
+         \"rc8_cached_speedup\": {rc8_speedup:.3}\n  }},\n  \
+         \"trace_record_8ch\": {{\n    \"by_name_ns\": {record_by_name_ns:.1},\n    \
+         \"by_handle_ns\": {record_by_handle_ns:.1}\n  }},\n  \
+         \"closed_loop\": {{\n    \"sim_seconds_per_wall_second\": {sim_rate:.1}\n  }},\n  \
+         \"table3\": {{\n    \"horizon_s\": {table3_horizon},\n    \
+         \"serial_seconds\": {table3_serial_s:.4},\n    \
+         \"by_workers\": [{worker_rows}],\n    \
+         \"best_speedup\": {best_speedup:.3},\n    \
+         \"bit_identical_to_serial\": {bit_identical}\n  }},\n  \
+         \"ablation_lag_sweep_4pt\": {{\n    \"serial_seconds\": {ablation_serial_s:.4},\n    \
+         \"parallel_seconds\": {ablation_parallel_s:.4}\n  }},\n  \
+         \"zn_tuning_2region\": {{\n    \"serial_seconds\": {tuning_serial_s:.4},\n    \
+         \"parallel_seconds\": {tuning_parallel_s:.4}\n  }}\n}}\n",
+        date = today_utc(),
+        rc8_speedup = rc8_uncached / rc8_cached,
+        best_speedup = table3_serial_s / parallel_best_s,
+    );
+    std::fs::write(&out_path, &json).expect("writing the snapshot");
+    println!("wrote {out_path}");
+}
+
+/// Wall-clock seconds of one call.
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Mean nanoseconds per iteration over `iters` calls.
+fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// The worker counts to probe: 1, 2, 4, ... up to the available cores.
+fn worker_ladder(cores: usize) -> Vec<usize> {
+    let mut ladder = vec![1];
+    let mut w = 2;
+    while w < cores {
+        ladder.push(w);
+        w *= 2;
+    }
+    if cores > 1 {
+        ladder.push(cores);
+    }
+    ladder
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm —
+/// no calendar crate in the offline set).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("post-1970 clock")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -16,12 +16,8 @@ fn main() {
     for (cap_label, cap_prop) in cap_props {
         let mut cells = Vec::new();
         for (_, fan_prop) in fan_props {
-            let (cap, fan) = rule_matrix(
-                cap_now,
-                Utilization::new(cap_prop),
-                fan_now,
-                Rpm::new(fan_prop),
-            );
+            let (cap, fan) =
+                rule_matrix(cap_now, Utilization::new(cap_prop), fan_now, Rpm::new(fan_prop));
             let cell = if (fan - fan_now).abs() > 1e-6 {
                 if fan > fan_now {
                     "s_fan up"
@@ -39,10 +35,7 @@ fn main() {
             };
             cells.push(cell);
         }
-        println!(
-            "{:<8} | {:<10} | {:<10} | {:<10}",
-            cap_label, cells[0], cells[1], cells[2]
-        );
+        println!("{:<8} | {:<10} | {:<10} | {:<10}", cap_label, cells[0], cells[1], cells[2]);
     }
     println!("\npaper Table II:");
     println!("  u dn  | s_fan dn | u_cpu dn | s_fan up");

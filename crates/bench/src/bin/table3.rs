@@ -5,10 +5,7 @@ use gfsc::experiments::table3::{run, Table3Config};
 use gfsc_units::Seconds;
 
 fn main() {
-    let horizon = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(7200.0);
+    let horizon = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(7200.0);
     let seed = std::env::args().nth(2).and_then(|s| s.parse::<u64>().ok()).unwrap_or(42);
     let config = Table3Config { horizon: Seconds::new(horizon), seed };
     let table = run(&config);

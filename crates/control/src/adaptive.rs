@@ -66,8 +66,7 @@ impl GainSchedule {
     /// Returns the offending region list if it is empty or not strictly
     /// increasing in reference speed.
     pub fn new(regions: Vec<Region>) -> Result<Self, Vec<Region>> {
-        let ok = !regions.is_empty()
-            && regions.windows(2).all(|w| w[0].ref_speed < w[1].ref_speed);
+        let ok = !regions.is_empty() && regions.windows(2).all(|w| w[0].ref_speed < w[1].ref_speed);
         if ok {
             Ok(Self { regions })
         } else {
@@ -358,11 +357,8 @@ mod tests {
 
     #[test]
     fn single_region_schedule_is_constant() {
-        let s = GainSchedule::new(vec![Region::new(
-            Rpm::new(4000.0),
-            PidGains::proportional(7.0),
-        )])
-        .unwrap();
+        let s = GainSchedule::new(vec![Region::new(Rpm::new(4000.0), PidGains::proportional(7.0))])
+            .unwrap();
         assert_eq!(s.segment_index(Rpm::new(100.0)), 0);
         assert_eq!(s.gains_at(Rpm::new(100.0)).kp(), 7.0);
         assert_eq!(s.gains_at(Rpm::new(9000.0)).kp(), 7.0);

@@ -301,12 +301,120 @@ impl ZnTuner {
     /// # Errors
     ///
     /// Propagates [`TuneError`] from the search.
-    pub fn tune_pid_tyreus_luyben<P: Plant>(
-        &self,
-        plant: &mut P,
-    ) -> Result<PidGains, TuneError> {
+    pub fn tune_pid_tyreus_luyben<P: Plant>(&self, plant: &mut P) -> Result<PidGains, TuneError> {
         Ok(ZieglerNichols::tyreus_luyben(self.find_ultimate_gain(plant)?))
     }
+
+    /// Probes many candidate gains concurrently, each against its own clone
+    /// of `plant`, returning reports in candidate order.
+    ///
+    /// Each call spins up scoped worker threads (the offline dependency set
+    /// has no persistent pool); per-batch spawn overhead is tolerable
+    /// because batches bundle many multi-hundred-step probes. Nested under
+    /// an outer sweep (e.g. the ablation lag sweep tuning per plant
+    /// variant) the transient thread count multiplies — bounded by
+    /// `outer workers × batch size`, which stays small for the grids in
+    /// this workspace; cap it globally with `GFSC_SWEEP_THREADS` if a
+    /// future grid makes oversubscription measurable.
+    pub fn probe_batch<P>(&self, plant: &P, gains: &[f64]) -> Vec<OscillationReport>
+    where
+        P: Plant + Clone + Sync,
+    {
+        gfsc_sim::sweep::parallel_map(gains, |&kp| self.probe(&mut plant.clone(), kp))
+    }
+
+    /// How many bisection levels each speculative round resolves (the round
+    /// probes the full decision tree, `2^DEPTH − 1` candidates, at once).
+    const SPECULATIVE_DEPTH: usize = 3;
+
+    /// [`ZnTuner::find_ultimate_gain`] with the candidate evaluation fanned
+    /// out across cores.
+    ///
+    /// The result is **bit-identical** to the serial search: the parallel
+    /// geometric ladder brackets the same `[lo, hi)` (every rung is
+    /// classified exactly as the serial sweep would classify it), and the
+    /// refinement probes the complete decision tree of the next
+    /// [`Self::SPECULATIVE_DEPTH`] bisection steps concurrently, then walks
+    /// the serial decision sequence through the precomputed reports. Probes
+    /// are deterministic per gain, so speculation changes wall-clock only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError`] exactly as the serial search would.
+    pub fn find_ultimate_gain_parallel<P>(&self, plant: &P) -> Result<UltimateGain, TuneError>
+    where
+        P: Plant + Clone + Sync,
+    {
+        let c = &self.config;
+        let mut ladder = vec![c.min_gain];
+        let mut g = c.min_gain;
+        while g < c.max_gain {
+            g = (g * 2.0).min(c.max_gain);
+            ladder.push(g);
+        }
+        let reports = self.probe_batch(plant, &ladder);
+        let Some(first) = reports.iter().position(|r| self.oscillates(r)) else {
+            return Err(TuneError::NoOscillationFound { max_gain: c.max_gain });
+        };
+        if first == 0 {
+            return Err(TuneError::AlwaysOscillating { min_gain: c.min_gain });
+        }
+        let mut lo = ladder[first - 1];
+        let mut hi = ladder[first];
+
+        while (hi - lo) / hi > c.gain_tolerance {
+            let mut candidates = Vec::with_capacity((1 << Self::SPECULATIVE_DEPTH) - 1);
+            collect_bisection_midpoints(lo, hi, Self::SPECULATIVE_DEPTH, &mut candidates);
+            let reports = self.probe_batch(plant, &candidates);
+            for _ in 0..Self::SPECULATIVE_DEPTH {
+                if (hi - lo) / hi <= c.gain_tolerance {
+                    break;
+                }
+                let mid = f64::midpoint(lo, hi);
+                let idx = candidates
+                    .iter()
+                    .position(|&p| p == mid)
+                    .expect("midpoint is in the speculative tree");
+                if self.oscillates(&reports[idx]) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        let ku = hi;
+        let report = self.probe(&mut plant.clone(), ku);
+        let pu = report.period.ok_or(TuneError::PeriodUndetectable)?.value();
+        if pu <= 0.0 {
+            return Err(TuneError::PeriodUndetectable);
+        }
+        Ok(UltimateGain { ku, pu })
+    }
+
+    /// Convenience: parallel ultimate-gain search followed by the classic
+    /// PID rule — the batch-engine counterpart of [`ZnTuner::tune_pid`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TuneError`] from the search.
+    pub fn tune_pid_parallel<P>(&self, plant: &P) -> Result<PidGains, TuneError>
+    where
+        P: Plant + Clone + Sync,
+    {
+        Ok(ZieglerNichols::classic_pid(self.find_ultimate_gain_parallel(plant)?))
+    }
+}
+
+/// Enumerates the midpoints of every interval the next `depth` bisection
+/// steps could visit, pre-order, starting from `(lo, hi)`.
+fn collect_bisection_midpoints(lo: f64, hi: f64, depth: usize, out: &mut Vec<f64>) {
+    if depth == 0 {
+        return;
+    }
+    let mid = f64::midpoint(lo, hi);
+    out.push(mid);
+    collect_bisection_midpoints(lo, mid, depth - 1, out);
+    collect_bisection_midpoints(mid, hi, depth - 1, out);
 }
 
 #[cfg(test)]
@@ -318,6 +426,7 @@ mod tests {
     ///
     /// With P-only control this is the textbook system whose closed loop
     /// goes unstable beyond a finite gain (because of the delay).
+    #[derive(Clone)]
     struct DelayedLagPlant {
         bias: f64,
         gain: f64,
@@ -441,6 +550,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_matches_serial_bitwise() {
+        let t = tuner();
+        let serial = t.find_ultimate_gain(&mut test_plant()).expect("tunable");
+        let parallel = t.find_ultimate_gain_parallel(&test_plant()).expect("tunable");
+        // Not approximately: the speculative search must walk the exact
+        // serial decision sequence.
+        assert_eq!(serial.ku.to_bits(), parallel.ku.to_bits());
+        assert_eq!(serial.pu.to_bits(), parallel.pu.to_bits());
+        let g_serial = t.tune_pid(&mut test_plant()).expect("tunable");
+        let g_parallel = t.tune_pid_parallel(&test_plant()).expect("tunable");
+        assert_eq!(g_serial.kp().to_bits(), g_parallel.kp().to_bits());
+        assert_eq!(g_serial.ki().to_bits(), g_parallel.ki().to_bits());
+        assert_eq!(g_serial.kd().to_bits(), g_parallel.kd().to_bits());
+    }
+
+    #[test]
+    fn parallel_search_reports_the_same_errors() {
+        #[derive(Clone)]
+        struct NoDelay {
+            y: f64,
+        }
+        impl Plant for NoDelay {
+            fn reset(&mut self) {
+                self.y = 10.0;
+            }
+            fn step(&mut self, input: f64) -> f64 {
+                self.y += 0.01 * ((5.0 - 0.001 * input) - self.y);
+                self.y
+            }
+        }
+        let t = ZnTuner::new(ZnTunerConfig {
+            setpoint: 5.0,
+            max_gain: 10.0,
+            steps_per_trial: 100,
+            ..ZnTunerConfig::default()
+        });
+        match t.find_ultimate_gain_parallel(&NoDelay { y: 10.0 }) {
+            Err(TuneError::NoOscillationFound { max_gain }) => assert_eq!(max_gain, 10.0),
+            other => panic!("expected NoOscillationFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speculative_tree_enumerates_all_midpoints() {
+        let mut out = Vec::new();
+        collect_bisection_midpoints(0.0, 8.0, 3, &mut out);
+        assert_eq!(out.len(), 7);
+        assert_eq!(out[0], 4.0); // root
+        for level in [2.0, 6.0, 1.0, 3.0, 5.0, 7.0] {
+            assert!(out.contains(&level), "missing midpoint {level}");
+        }
+    }
+
+    #[test]
     fn error_when_plant_cannot_oscillate() {
         /// A pure first-order lag with no delay never truly oscillates.
         struct NoDelay {
@@ -472,12 +635,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(TuneError::PeriodUndetectable.to_string().contains("period"));
-        assert!(
-            TuneError::NoOscillationFound { max_gain: 3.0 }.to_string().contains("3")
-        );
-        assert!(
-            TuneError::AlwaysOscillating { min_gain: 0.5 }.to_string().contains("0.5")
-        );
+        assert!(TuneError::NoOscillationFound { max_gain: 3.0 }.to_string().contains("3"));
+        assert!(TuneError::AlwaysOscillating { min_gain: 0.5 }.to_string().contains("0.5"));
     }
 
     #[test]

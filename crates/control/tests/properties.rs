@@ -1,8 +1,8 @@
 //! Property-based tests for the control library.
 
 use gfsc_control::{
-    AdaptivePid, GainSchedule, PidController, PidGains, QuantizationHold, Region, ZieglerNichols,
-    UltimateGain,
+    AdaptivePid, GainSchedule, PidController, PidGains, QuantizationHold, Region, UltimateGain,
+    ZieglerNichols,
 };
 use gfsc_units::{Bounds, Celsius, Rpm};
 use proptest::prelude::*;

@@ -209,9 +209,7 @@ impl Coordinator for RuleBasedCoordinator {
         let grace_epochs = (spec.sensor_lag.value()
             + (spec.fan_bounds.hi() - spec.fan_bounds.lo()) / spec.fan_slew_per_s)
             / spec.cpu_control_interval.value();
-        let in_grace = self
-            .epochs_since_raise
-            .is_some_and(|age| f64::from(age) <= grace_epochs);
+        let in_grace = self.epochs_since_raise.is_some_and(|age| f64::from(age) <= grace_epochs);
         if let Some(age) = &mut self.epochs_since_raise {
             *age = age.saturating_add(1);
         }
@@ -233,13 +231,10 @@ impl Coordinator for RuleBasedCoordinator {
             None => {
                 let wants_cut = inputs.proposed_cap < inputs.current_cap;
                 let fan_slewing_up = inputs.current_fan_target > inputs.server.fan_speed();
-                let in_flight = self.latched == FanDirection::Up
-                    || fan_slewing_up
-                    || in_grace
-                    || falling;
+                let in_flight =
+                    self.latched == FanDirection::Up || fan_slewing_up || in_grace || falling;
                 let fan_maxed = inputs.current_fan_target >= spec.fan_bounds.hi();
-                let safety =
-                    inputs.measured >= self.t_safety && fan_maxed && !falling && !in_grace;
+                let safety = inputs.measured >= self.t_safety && fan_maxed && !falling && !in_grace;
                 let cap = if wants_cut && in_flight && !safety {
                     inputs.current_cap
                 } else {
@@ -321,14 +316,7 @@ impl EnergyAwareCoordinator {
     /// exactly the "huge performance degradation" behaviour of Table III.
     #[must_use]
     pub fn date14() -> Self {
-        Self::new(
-            Celsius::new(80.0),
-            1.0,
-            Celsius::new(78.0),
-            0.03,
-            0.10,
-            Utilization::new(0.10),
-        )
+        Self::new(Celsius::new(80.0), 1.0, Celsius::new(78.0), 0.03, 0.10, Utilization::new(0.10))
     }
 
     /// Energy-optimal airflow for what is *currently executing* — reactive
@@ -355,9 +343,7 @@ impl Coordinator for EnergyAwareCoordinator {
             // Efficiency pick: the cap cut saves energy while cooling, so
             // it wins whenever the cap can still move.
             if inputs.current_cap > self.cap_floor {
-                let cap = self
-                    .cap_floor
-                    .max(inputs.current_cap.saturating_add(-self.cap_cut_step));
+                let cap = self.cap_floor.max(inputs.current_cap.saturating_add(-self.cap_cut_step));
                 CoordinationOutcome { cap, fan_target: None }
             } else {
                 // Cap exhausted: the fan is the only knob left.
@@ -458,10 +444,7 @@ mod tests {
                 let (cap, fan) = rule_matrix(u(0.5), u(cap_prop), rpm(4000.0), rpm(fan_prop));
                 let cap_moved = (cap - u(0.5)).abs() > 1e-12;
                 let fan_moved = (fan - rpm(4000.0)).abs() > 1e-6;
-                assert!(
-                    !(cap_moved && fan_moved),
-                    "both knobs moved for ({cap_prop}, {fan_prop})"
-                );
+                assert!(!(cap_moved && fan_moved), "both knobs moved for ({cap_prop}, {fan_prop})");
             }
         }
     }

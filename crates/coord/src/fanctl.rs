@@ -159,12 +159,7 @@ impl DeadzoneFan {
     #[must_use]
     pub fn new(reference: Celsius, half_width: f64, step: f64, bounds: Bounds<Rpm>) -> Self {
         assert!(half_width >= 0.0, "half width must be non-negative");
-        let inner = Deadzone::new(
-            reference - half_width,
-            reference + half_width,
-            step,
-            bounds,
-        );
+        let inner = Deadzone::new(reference - half_width, reference + half_width, step, bounds);
         Self { inner, reference, half_width, step, bounds }
     }
 }
@@ -202,12 +197,8 @@ mod tests {
 
     #[test]
     fn fixed_pid_primes_offset_on_first_decision() {
-        let mut fan = FixedPidFan::new(
-            PidGains::proportional(100.0),
-            Celsius::new(75.0),
-            bounds(),
-            None,
-        );
+        let mut fan =
+            FixedPidFan::new(PidGains::proportional(100.0), Celsius::new(75.0), bounds(), None);
         // First decision from 3000 rpm with +2 K error: 3000 + 200.
         let cmd = fan.decide(Celsius::new(77.0), Rpm::new(3000.0));
         assert_eq!(cmd, Rpm::new(3200.0));
@@ -230,12 +221,8 @@ mod tests {
 
     #[test]
     fn fixed_pid_reference_and_reset() {
-        let mut fan = FixedPidFan::new(
-            PidGains::proportional(100.0),
-            Celsius::new(75.0),
-            bounds(),
-            None,
-        );
+        let mut fan =
+            FixedPidFan::new(PidGains::proportional(100.0), Celsius::new(75.0), bounds(), None);
         assert_eq!(fan.reference(), Celsius::new(75.0));
         fan.set_reference(Celsius::new(70.0));
         assert_eq!(fan.reference(), Celsius::new(70.0));
@@ -248,12 +235,8 @@ mod tests {
 
     #[test]
     fn fixed_pid_gains_accessor() {
-        let fan = FixedPidFan::new(
-            PidGains::new(1.0, 2.0, 3.0),
-            Celsius::new(75.0),
-            bounds(),
-            None,
-        );
+        let fan =
+            FixedPidFan::new(PidGains::new(1.0, 2.0, 3.0), Celsius::new(75.0), bounds(), None);
         assert_eq!(fan.gains().ki(), 2.0);
     }
 
@@ -277,12 +260,8 @@ mod tests {
             Region::new(Rpm::new(6000.0), PidGains::proportional(800.0)),
         ])
         .unwrap();
-        let mut fan: Box<dyn FanController> = Box::new(AdaptivePid::new(
-            schedule,
-            Celsius::new(75.0),
-            bounds(),
-            Some(1.0),
-        ));
+        let mut fan: Box<dyn FanController> =
+            Box::new(AdaptivePid::new(schedule, Celsius::new(75.0), bounds(), Some(1.0)));
         let cmd = fan.decide(Celsius::new(78.0), Rpm::new(3000.0));
         assert!(cmd > Rpm::new(3000.0));
         fan.set_reference(Celsius::new(72.0));

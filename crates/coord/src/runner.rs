@@ -6,7 +6,7 @@ use crate::{
 };
 use gfsc_sensors::MovingAverage;
 use gfsc_server::{PerformanceMonitor, Server, ServerSpec};
-use gfsc_sim::{Clock, Periodic, TraceSet};
+use gfsc_sim::{ChannelId, Clock, Periodic, TraceSet};
 use gfsc_units::{Joules, Rpm, Seconds, Utilization};
 use gfsc_workload::Workload;
 
@@ -244,12 +244,19 @@ impl ClosedLoopSim {
         let mut cpu_epoch = Periodic::new(self.spec.cpu_control_interval);
         let mut fan_epoch = Periodic::new(self.spec.fan_control_interval);
         let mut traces = TraceSet::new();
+        // Resolve the eight channels once and size them for the whole run
+        // (one sample per CPU epoch, t = 0..=horizon inclusive), so the
+        // epoch path records by index into pre-allocated storage — zero
+        // string scans, zero allocations in steady state.
+        let epochs =
+            (horizon.value() / self.spec.cpu_control_interval.value()).floor() as usize + 2;
+        let channels = EpochChannels::resolve(&mut traces, epochs);
 
         let steps = clock.steps_for(horizon);
         for _ in 0..=steps {
             let now = clock.now();
             if cpu_epoch.is_due(now) {
-                self.control_epoch(now, fan_epoch.is_due(now), &mut traces);
+                self.control_epoch(now, fan_epoch.is_due(now), &mut traces, &channels);
             }
             self.server.step(self.spec.sim_dt, self.executed);
             clock.tick();
@@ -269,7 +276,13 @@ impl ClosedLoopSim {
 
     /// One CPU control epoch: sample demand, collect proposals, arbitrate,
     /// enforce, account, record.
-    fn control_epoch(&mut self, now: Seconds, fan_due: bool, traces: &mut TraceSet) {
+    fn control_epoch(
+        &mut self,
+        now: Seconds,
+        fan_due: bool,
+        traces: &mut TraceSet,
+        channels: &EpochChannels,
+    ) {
         let demand = self.workload.sample(now);
         let measured = self.server.measured_temperature();
         self.demand_filter.update(demand.value());
@@ -342,14 +355,44 @@ impl ClosedLoopSim {
         self.executed = demand.min(self.cap);
         self.monitor.record(demand, self.cap);
 
-        traces.record("u_demand", now, demand.value());
-        traces.record("u_cap", now, self.cap.value());
-        traces.record("u_executed", now, self.executed.value());
-        traces.record("t_measured_c", now, measured.value());
-        traces.record("t_junction_c", now, self.server.true_junction().value());
-        traces.record("fan_rpm", now, self.server.fan_speed().value());
-        traces.record("fan_target_rpm", now, self.server.fan_target().value());
-        traces.record("t_ref_c", now, self.fan.reference().value());
+        traces.record_by_id(channels.u_demand, now, demand.value());
+        traces.record_by_id(channels.u_cap, now, self.cap.value());
+        traces.record_by_id(channels.u_executed, now, self.executed.value());
+        traces.record_by_id(channels.t_measured_c, now, measured.value());
+        traces.record_by_id(channels.t_junction_c, now, self.server.true_junction().value());
+        traces.record_by_id(channels.fan_rpm, now, self.server.fan_speed().value());
+        traces.record_by_id(channels.fan_target_rpm, now, self.server.fan_target().value());
+        traces.record_by_id(channels.t_ref_c, now, self.fan.reference().value());
+    }
+}
+
+/// The eight epoch-rate channels, resolved to [`ChannelId`]s once per run.
+#[derive(Debug, Clone, Copy)]
+struct EpochChannels {
+    u_demand: ChannelId,
+    u_cap: ChannelId,
+    u_executed: ChannelId,
+    t_measured_c: ChannelId,
+    t_junction_c: ChannelId,
+    fan_rpm: ChannelId,
+    fan_target_rpm: ChannelId,
+    t_ref_c: ChannelId,
+}
+
+impl EpochChannels {
+    /// Creates the channels in the documented order, each pre-sized for
+    /// `capacity` samples.
+    fn resolve(traces: &mut TraceSet, capacity: usize) -> Self {
+        Self {
+            u_demand: traces.channel_with_capacity("u_demand", capacity),
+            u_cap: traces.channel_with_capacity("u_cap", capacity),
+            u_executed: traces.channel_with_capacity("u_executed", capacity),
+            t_measured_c: traces.channel_with_capacity("t_measured_c", capacity),
+            t_junction_c: traces.channel_with_capacity("t_junction_c", capacity),
+            fan_rpm: traces.channel_with_capacity("fan_rpm", capacity),
+            fan_target_rpm: traces.channel_with_capacity("fan_target_rpm", capacity),
+            t_ref_c: traces.channel_with_capacity("t_ref_c", capacity),
+        }
     }
 }
 

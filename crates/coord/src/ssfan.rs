@@ -77,10 +77,7 @@ impl SingleStepFanScaling {
     /// negative, or `max_hold_epochs` is zero.
     #[must_use]
     pub fn with_release(threshold_rate: f64, release_band: f64, max_hold_epochs: u32) -> Self {
-        assert!(
-            threshold_rate > 0.0 && threshold_rate <= 1.0,
-            "threshold rate must lie in (0, 1]"
-        );
+        assert!(threshold_rate > 0.0 && threshold_rate <= 1.0, "threshold rate must lie in (0, 1]");
         assert!(release_band >= 0.0, "release band must be non-negative");
         assert!(max_hold_epochs > 0, "max hold must be positive");
         Self { threshold_rate, release_band, max_hold_epochs, held_for: 0, active: false }

@@ -12,6 +12,10 @@
 //!   paper's "two regions suffice for 5 % linearization error" claim,
 //! - [`noise_sweep`]: the stability margin of the coordinated stack as
 //!   workload noise grows beyond the evaluated σ = 0.04.
+//!
+//! Every sweep point is an independent deterministic run, so all four
+//! sweeps fan out across cores via [`gfsc_sim::sweep::parallel_map`] —
+//! results are in sweep order and bit-identical to a serial map.
 
 use super::fan_study_spec;
 use crate::{tune_gain_schedule, Simulation, Solution};
@@ -19,6 +23,7 @@ use gfsc_control::AdaptivePid;
 use gfsc_coord::{ClosedLoopSim, FixedPidFan};
 use gfsc_server::ServerSpec;
 use gfsc_sim::stats;
+use gfsc_sim::sweep::parallel_map;
 use gfsc_units::{Celsius, Rpm, Seconds, Utilization};
 use gfsc_workload::{Constant, SquareWave, Workload};
 
@@ -87,56 +92,46 @@ pub struct LagRow {
 #[must_use]
 pub fn lag_sweep(lags: &[Seconds], horizon: Seconds) -> Vec<LagRow> {
     let nominal = fan_study_spec();
-    let fixed_gains =
-        tune_gain_schedule(&nominal, &[Rpm::new(6000.0)]).regions()[0].gains();
-    lags.iter()
-        .map(|&lag| {
-            let spec = ServerSpec { sensor_lag: lag, ..nominal.clone() };
-            let schedule =
-                tune_gain_schedule(&spec, &[Rpm::new(2000.0), Rpm::new(6000.0)]);
-            let run = |fan: Box<dyn gfsc_coord::FanController>| {
-                ClosedLoopSim::builder()
-                    .spec(spec.clone())
-                    .workload(
-                        Workload::builder(SquareWave::new(
-                            0.1,
-                            0.7,
-                            Seconds::new(800.0),
-                            0.5,
-                        ))
-                        .build(),
-                    )
-                    .fan(BoxedFan(fan))
-                    .without_capper()
-                    .start_at(Utilization::new(0.1), Rpm::new(2000.0))
-                    .build()
-                    .run(horizon)
-                    .traces
-            };
-            let skip = Seconds::new(400.0);
-            let adaptive_traces = run(Box::new(
-                AdaptivePid::new(
-                    schedule,
-                    Celsius::new(75.0),
-                    spec.fan_bounds,
-                    Some(spec.quantization_step),
+    let fixed_gains = tune_gain_schedule(&nominal, &[Rpm::new(6000.0)]).regions()[0].gains();
+    parallel_map(lags, |&lag| {
+        let spec = ServerSpec { sensor_lag: lag, ..nominal.clone() };
+        let schedule = tune_gain_schedule(&spec, &[Rpm::new(2000.0), Rpm::new(6000.0)]);
+        let run = |fan: Box<dyn gfsc_coord::FanController>| {
+            ClosedLoopSim::builder()
+                .spec(spec.clone())
+                .workload(
+                    Workload::builder(SquareWave::new(0.1, 0.7, Seconds::new(800.0), 0.5)).build(),
                 )
-                .with_descent_limit(2000.0)
-                .with_trend_gate(spec.quantization_step.max(0.5)),
-            ));
-            let fixed_traces = run(Box::new(FixedPidFan::new(
-                fixed_gains,
+                .fan(BoxedFan(fan))
+                .without_capper()
+                .start_at(Utilization::new(0.1), Rpm::new(2000.0))
+                .build()
+                .run(horizon)
+                .traces
+        };
+        let skip = Seconds::new(400.0);
+        let adaptive_traces = run(Box::new(
+            AdaptivePid::new(
+                schedule,
                 Celsius::new(75.0),
                 spec.fan_bounds,
                 Some(spec.quantization_step),
-            )));
-            LagRow {
-                lag,
-                adaptive: probe_traces(&adaptive_traces, skip, 400.0, horizon),
-                fixed_high: probe_traces(&fixed_traces, skip, 400.0, horizon),
-            }
-        })
-        .collect()
+            )
+            .with_descent_limit(2000.0)
+            .with_trend_gate(spec.quantization_step.max(0.5)),
+        ));
+        let fixed_traces = run(Box::new(FixedPidFan::new(
+            fixed_gains,
+            Celsius::new(75.0),
+            spec.fan_bounds,
+            Some(spec.quantization_step),
+        )));
+        LagRow {
+            lag,
+            adaptive: probe_traces(&adaptive_traces, skip, 400.0, horizon),
+            fixed_high: probe_traces(&fixed_traces, skip, 400.0, horizon),
+        }
+    })
 }
 
 /// Adapter: a boxed fan controller as a `FanController` (the runner's
@@ -188,45 +183,36 @@ fn count_command_changes(traces: &gfsc_sim::TraceSet, tail_from: Seconds) -> usi
 /// quantization hold.
 #[must_use]
 pub fn quantization_sweep(steps: &[f64], horizon: Seconds) -> Vec<QuantizationRow> {
-    steps
-        .iter()
-        .map(|&step| {
-            let spec = ServerSpec { quantization_step: step, ..fan_study_spec() };
-            let schedule =
-                tune_gain_schedule(&spec, &[Rpm::new(2000.0), Rpm::new(6000.0)]);
-            let tail = Seconds::new(horizon.value() / 3.0);
-            let run = |hold: Option<f64>| {
-                let mut sim = ClosedLoopSim::builder()
-                    .spec(spec.clone())
-                    .workload(Workload::builder(Constant::new(0.7)).build())
-                    .fan(
-                        AdaptivePid::new(
-                            schedule.clone(),
-                            Celsius::new(75.0),
-                            spec.fan_bounds,
-                            hold,
-                        )
+    parallel_map(steps, |&step| {
+        let spec = ServerSpec { quantization_step: step, ..fan_study_spec() };
+        let schedule = tune_gain_schedule(&spec, &[Rpm::new(2000.0), Rpm::new(6000.0)]);
+        let tail = Seconds::new(horizon.value() / 3.0);
+        let run = |hold: Option<f64>| {
+            let mut sim = ClosedLoopSim::builder()
+                .spec(spec.clone())
+                .workload(Workload::builder(Constant::new(0.7)).build())
+                .fan(
+                    AdaptivePid::new(schedule.clone(), Celsius::new(75.0), spec.fan_bounds, hold)
                         .with_descent_limit(2000.0)
                         .with_trend_gate(step.max(0.5)),
-                    )
-                    .without_capper()
-                    .start_at(Utilization::new(0.7), Rpm::new(4000.0))
-                    .build();
-                sim.run(horizon).traces
-            };
-            let with_hold = run(Some(step));
-            let without_hold = run(None);
-            QuantizationRow {
-                step,
-                command_changes_with_hold: count_command_changes(&with_hold, tail),
-                command_changes_without_hold: count_command_changes(&without_hold, tail),
-                rms_with_hold: probe_traces(&with_hold, tail, horizon.value(), horizon)
-                    .temperature_rms_error,
-                rms_without_hold: probe_traces(&without_hold, tail, horizon.value(), horizon)
-                    .temperature_rms_error,
-            }
-        })
-        .collect()
+                )
+                .without_capper()
+                .start_at(Utilization::new(0.7), Rpm::new(4000.0))
+                .build();
+            sim.run(horizon).traces
+        };
+        let with_hold = run(Some(step));
+        let without_hold = run(None);
+        QuantizationRow {
+            step,
+            command_changes_with_hold: count_command_changes(&with_hold, tail),
+            command_changes_without_hold: count_command_changes(&without_hold, tail),
+            rms_with_hold: probe_traces(&with_hold, tail, horizon.value(), horizon)
+                .temperature_rms_error,
+            rms_without_hold: probe_traces(&without_hold, tail, horizon.value(), horizon)
+                .temperature_rms_error,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -247,37 +233,33 @@ pub struct RegionRow {
 #[must_use]
 pub fn region_sweep(region_sets: &[Vec<f64>], horizon: Seconds) -> Vec<RegionRow> {
     let spec = fan_study_spec();
-    region_sets
-        .iter()
-        .map(|speeds| {
-            let rpm: Vec<Rpm> = speeds.iter().map(|&v| Rpm::new(v)).collect();
-            let schedule = tune_gain_schedule(&spec, &rpm);
-            let mut sim = ClosedLoopSim::builder()
-                .spec(spec.clone())
-                .workload(
-                    Workload::builder(SquareWave::new(0.1, 0.7, Seconds::new(800.0), 0.5))
-                        .build(),
+    parallel_map(region_sets, |speeds| {
+        let rpm: Vec<Rpm> = speeds.iter().map(|&v| Rpm::new(v)).collect();
+        let schedule = tune_gain_schedule(&spec, &rpm);
+        let mut sim = ClosedLoopSim::builder()
+            .spec(spec.clone())
+            .workload(
+                Workload::builder(SquareWave::new(0.1, 0.7, Seconds::new(800.0), 0.5)).build(),
+            )
+            .fan(
+                AdaptivePid::new(
+                    schedule,
+                    Celsius::new(75.0),
+                    spec.fan_bounds,
+                    Some(spec.quantization_step),
                 )
-                .fan(
-                    AdaptivePid::new(
-                        schedule,
-                        Celsius::new(75.0),
-                        spec.fan_bounds,
-                        Some(spec.quantization_step),
-                    )
-                    .with_descent_limit(2000.0)
-                    .with_trend_gate(spec.quantization_step.max(0.5)),
-                )
-                .without_capper()
-                .start_at(Utilization::new(0.1), Rpm::new(2000.0))
-                .build();
-            let traces = sim.run(horizon).traces;
-            RegionRow {
-                regions: speeds.clone(),
-                probe: probe_traces(&traces, Seconds::new(400.0), 400.0, horizon),
-            }
-        })
-        .collect()
+                .with_descent_limit(2000.0)
+                .with_trend_gate(spec.quantization_step.max(0.5)),
+            )
+            .without_capper()
+            .start_at(Utilization::new(0.1), Rpm::new(2000.0))
+            .build();
+        let traces = sim.run(horizon).traces;
+        RegionRow {
+            regions: speeds.clone(),
+            probe: probe_traces(&traces, Seconds::new(400.0), 400.0, horizon),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -299,36 +281,34 @@ pub struct NoiseRow {
 /// running the full proposed solution.
 #[must_use]
 pub fn noise_sweep(sigmas: &[f64], horizon: Seconds, seed: u64) -> Vec<NoiseRow> {
-    sigmas
-        .iter()
-        .map(|&sigma| {
-            let workload = Workload::builder(SquareWave::date14())
-                .gaussian_noise(sigma, seed)
-                .build();
-            let outcome = Simulation::builder()
-                .solution(Solution::RCoordAdaptiveTrefSsFan)
-                .workload(workload)
-                .build()
-                .run(horizon);
-            let fan = outcome.traces.require("fan_rpm").expect("recorded");
-            let mut worst = 0.0f64;
-            let mut phase_start = 0.0;
-            while phase_start + 200.0 <= horizon.value() {
-                let (times, values) = fan.tail_from(Seconds::new(phase_start + 100.0));
-                let n = times.partition_point(|&t| t < phase_start + 200.0);
-                let rep = stats::detect_oscillation(&times[..n], &values[..n], 150.0);
-                if rep.reversals >= 4 {
-                    worst = worst.max(rep.amplitude);
-                }
-                phase_start += 200.0;
+    // Warm the per-process gain-schedule cache before fanning out, so the
+    // workers don't all serialize behind one `OnceLock` initializer.
+    let _ = crate::fine_gain_schedule();
+    parallel_map(sigmas, |&sigma| {
+        let workload = Workload::builder(SquareWave::date14()).gaussian_noise(sigma, seed).build();
+        let outcome = Simulation::builder()
+            .solution(Solution::RCoordAdaptiveTrefSsFan)
+            .workload(workload)
+            .build()
+            .run(horizon);
+        let fan = outcome.traces.require("fan_rpm").expect("recorded");
+        let mut worst = 0.0f64;
+        let mut phase_start = 0.0;
+        while phase_start + 200.0 <= horizon.value() {
+            let (times, values) = fan.tail_from(Seconds::new(phase_start + 100.0));
+            let n = times.partition_point(|&t| t < phase_start + 200.0);
+            let rep = stats::detect_oscillation(&times[..n], &values[..n], 150.0);
+            if rep.reversals >= 4 {
+                worst = worst.max(rep.amplitude);
             }
-            NoiseRow {
-                sigma,
-                violation_percent: outcome.violation_percent,
-                fan_oscillation_amplitude: worst,
-            }
-        })
-        .collect()
+            phase_start += 200.0;
+        }
+        NoiseRow {
+            sigma,
+            violation_percent: outcome.violation_percent,
+            fan_oscillation_amplitude: worst,
+        }
+    })
 }
 
 #[cfg(test)]

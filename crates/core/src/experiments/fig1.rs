@@ -152,8 +152,7 @@ mod tests {
         let sensed = fig.traces.require("power_sensor_norm").unwrap().values().to_vec();
         let lag = fig.measured_lag.value() as usize;
         let n = truth.len() - lag;
-        let mse: f64 =
-            (0..n).map(|k| (sensed[k + lag] - truth[k]).powi(2)).sum::<f64>() / n as f64;
+        let mse: f64 = (0..n).map(|k| (sensed[k + lag] - truth[k]).powi(2)).sum::<f64>() / n as f64;
         assert!(mse < 1e-3, "shifted mse {mse}");
     }
 }

@@ -77,11 +77,7 @@ pub struct Fig3 {
 /// stable (see EXPERIMENTS.md for the deviation discussion).
 const INSTABILITY_AMPLITUDE_RPM: f64 = 6750.0;
 
-fn run_scheme(
-    name: &str,
-    fan: impl FanController + 'static,
-    config: &Fig3Config,
-) -> SchemeResult {
+fn run_scheme(name: &str, fan: impl FanController + 'static, config: &Fig3Config) -> SchemeResult {
     let spec = fan_study_spec();
     let period = config.period;
     let half = period.value() / 2.0;
@@ -101,11 +97,8 @@ fn run_scheme(
     // controller has settled by then; an over-gained one keeps slamming
     // rail to rail on every residual kelvin of error.
     let fan_trace = traces.require("fan_rpm").expect("recorded");
-    let mut fan_oscillation = gfsc_sim::stats::OscillationReport {
-        reversals: 0,
-        amplitude: 0.0,
-        period: None,
-    };
+    let mut fan_oscillation =
+        gfsc_sim::stats::OscillationReport { reversals: 0, amplitude: 0.0, period: None };
     let mut phase_start = half; // skip the initial warm-up phase
     while phase_start + half <= config.horizon.value() {
         let from = phase_start + 100.0;
@@ -226,13 +219,12 @@ mod tests {
     fn adaptive_converges_no_slower_than_fixed_low() {
         let f = fig();
         let adaptive = f.adaptive.convergence_time.expect("adaptive settles");
-        match f.fixed_low.convergence_time {
-            Some(slow) => assert!(
+        // Not settling within the phase at all is the paper's "very slow".
+        if let Some(slow) = f.fixed_low.convergence_time {
+            assert!(
                 adaptive.value() <= slow.value() + 30.0,
                 "adaptive {adaptive} vs fixed@2000 {slow}"
-            ),
-            // Not settling within the phase is the paper's "very slow".
-            None => {}
+            );
         }
     }
 }

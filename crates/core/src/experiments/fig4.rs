@@ -88,12 +88,7 @@ pub fn run(config: &Fig4Config) -> Fig4 {
     let mut deadzone_sim = ClosedLoopSim::builder()
         .spec(spec.clone())
         .workload(workload())
-        .fan(DeadzoneFan::new(
-            config.reference,
-            config.half_width,
-            config.step,
-            spec.fan_bounds,
-        ))
+        .fan(DeadzoneFan::new(config.reference, config.half_width, config.step, spec.fan_bounds))
         .without_capper()
         .start_at(config.utilization, Rpm::new(2000.0))
         .build();
@@ -151,11 +146,7 @@ mod tests {
         assert!(f.oscillates, "deadzone should oscillate: {:?}", f.oscillation);
         // The paper's trace swings roughly 2000–5000 rpm; ours must show
         // an amplitude of the same order.
-        assert!(
-            f.oscillation.amplitude > 4000.0,
-            "amplitude {:?}",
-            f.oscillation
-        );
+        assert!(f.oscillation.amplitude > 4000.0, "amplitude {:?}", f.oscillation);
     }
 
     #[test]
@@ -171,10 +162,6 @@ mod tests {
     #[test]
     fn adaptive_pid_does_not_oscillate_on_same_plant() {
         let f = fig();
-        assert!(
-            !f.adaptive_oscillates,
-            "adaptive PID oscillates: {:?}",
-            f.adaptive_oscillation
-        );
+        assert!(!f.adaptive_oscillates, "adaptive PID oscillates: {:?}", f.adaptive_oscillation);
     }
 }

@@ -75,12 +75,7 @@ pub fn run(config: &Fig5Config) -> Fig5 {
     }
     let stable = !worst_is_sustained(&worst);
 
-    Fig5 {
-        traces,
-        worst_oscillation: worst,
-        stable,
-        violation_percent: outcome.violation_percent,
-    }
+    Fig5 { traces, worst_oscillation: worst, stable, violation_percent: outcome.violation_percent }
 }
 
 fn worst_is_sustained(rep: &OscillationReport) -> bool {
@@ -116,11 +111,7 @@ mod tests {
     #[test]
     fn violations_remain_bounded() {
         let f = fig();
-        assert!(
-            f.violation_percent < 15.0,
-            "violations {}",
-            f.violation_percent
-        );
+        assert!(f.violation_percent < 15.0, "violations {}", f.violation_percent);
     }
 
     #[test]

@@ -44,10 +44,7 @@ pub fn fan_study_spec() -> ServerSpec {
     let base = ServerSpec::enterprise_default();
     ServerSpec {
         ambient: Celsius::new(30.0),
-        fan_bounds: gfsc_units::Bounds::new(
-            gfsc_units::Rpm::new(1000.0),
-            base.fan_bounds.hi(),
-        ),
+        fan_bounds: gfsc_units::Bounds::new(gfsc_units::Rpm::new(1000.0), base.fan_bounds.hi()),
         ..base
     }
 }

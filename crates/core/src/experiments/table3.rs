@@ -1,6 +1,7 @@
 //! Table III: performance and fan-energy comparison of the five solutions.
 
-use crate::{markdown_table, Simulation, Solution};
+use crate::sweep::ScenarioGrid;
+use crate::{markdown_table, Solution};
 use gfsc_units::Seconds;
 
 /// Configuration of the Table III run.
@@ -90,29 +91,39 @@ impl Table3 {
     }
 }
 
-/// Runs all five solutions on the shared workload and assembles the table.
+/// Runs all five solutions on the shared workload — fanned out across all
+/// cores by the sweep engine — and assembles the table.
+///
+/// Normalization happens after the sweep: every run is independent, so the
+/// parallel results are bit-identical to a serial walk of
+/// [`Solution::ALL`].
 #[must_use]
 pub fn run(config: &Table3Config) -> Table3 {
-    let mut rows = Vec::with_capacity(Solution::ALL.len());
-    let mut baseline_energy = None;
-    for solution in Solution::ALL {
-        let outcome = Simulation::builder()
-            .solution(solution)
-            .seed(config.seed)
-            .build()
-            .run(config.horizon);
-        let fan_energy = outcome.fan_energy.value();
-        if solution == Solution::WithoutCoordination {
-            baseline_energy = Some(fan_energy);
-        }
-        let base = baseline_energy.expect("baseline runs first in Solution::ALL");
-        rows.push(Table3Row {
-            solution,
-            violation_percent: outcome.violation_percent,
-            fan_energy_j: fan_energy,
-            normalized_fan_energy: if base > 0.0 { fan_energy / base } else { f64::NAN },
-        });
-    }
+    let results = ScenarioGrid::builder()
+        .horizon(config.horizon)
+        .solutions(&Solution::ALL)
+        .seeds(&[config.seed])
+        .build()
+        .run();
+    let base = results
+        .iter()
+        .find(|r| r.solution == Solution::WithoutCoordination)
+        .expect("baseline is in Solution::ALL")
+        .summary
+        .fan_energy_j;
+    let rows = results
+        .iter()
+        .map(|r| Table3Row {
+            solution: r.solution,
+            violation_percent: r.summary.violation_percent,
+            fan_energy_j: r.summary.fan_energy_j,
+            normalized_fan_energy: if base > 0.0 {
+                r.summary.fan_energy_j / base
+            } else {
+                f64::NAN
+            },
+        })
+        .collect();
     Table3 { rows, config: config.clone() }
 }
 

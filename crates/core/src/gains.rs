@@ -23,6 +23,11 @@ use std::sync::OnceLock;
 /// discontinuous error step at the hold-band edge (see
 /// [`gfsc_control::QuantizationHold`]).
 ///
+/// Every region is tuned concurrently on its own plant clone, and within a
+/// region the candidate-gain evaluation itself fans out
+/// ([`ZnTuner::tune_pid_parallel`]); the tuned gains are bit-identical to
+/// the serial recipe, just wall-clock faster.
+///
 /// # Panics
 ///
 /// Panics if tuning fails at any region (the default plant is tunable at
@@ -31,28 +36,25 @@ use std::sync::OnceLock;
 #[must_use]
 pub fn tune_gain_schedule(spec: &ServerSpec, region_speeds: &[Rpm]) -> GainSchedule {
     let tuning_spec = ServerSpec { quantization_step: 0.0, ..spec.clone() };
-    let regions: Vec<Region> = region_speeds
-        .iter()
-        .map(|&speed| {
-            let mut plant = FanPlant::new(tuning_spec.clone(), Utilization::new(0.7), speed);
-            let tuner = ZnTuner::new(ZnTunerConfig {
-                setpoint: plant.equilibrium_temperature(),
-                offset: speed.value(),
-                min_gain: 10.0,
-                max_gain: 1_000_000.0,
-                steps_per_trial: 240,
-                tail_fraction: 0.5,
-                hysteresis: 0.05,
-                min_amplitude: 0.15,
-                gain_tolerance: 0.01,
-                excitation: 1000.0,
-            });
-            let gains = tuner
-                .tune_pid(&mut plant)
-                .unwrap_or_else(|e| panic!("tuning failed at {speed}: {e}"));
-            Region::new(speed, gains)
-        })
-        .collect();
+    let regions: Vec<Region> = gfsc_sim::sweep::parallel_map(region_speeds, |&speed| {
+        let plant = FanPlant::new(tuning_spec.clone(), Utilization::new(0.7), speed);
+        let tuner = ZnTuner::new(ZnTunerConfig {
+            setpoint: plant.equilibrium_temperature(),
+            offset: speed.value(),
+            min_gain: 10.0,
+            max_gain: 1_000_000.0,
+            steps_per_trial: 240,
+            tail_fraction: 0.5,
+            hysteresis: 0.05,
+            min_amplitude: 0.15,
+            gain_tolerance: 0.01,
+            excitation: 1000.0,
+        });
+        let gains = tuner
+            .tune_pid_parallel(&plant)
+            .unwrap_or_else(|e| panic!("tuning failed at {speed}: {e}"));
+        Region::new(speed, gains)
+    });
     GainSchedule::new(regions).expect("region speeds must be strictly increasing")
 }
 
@@ -68,10 +70,7 @@ pub fn tune_gain_schedule(spec: &ServerSpec, region_speeds: &[Rpm]) -> GainSched
 pub fn date14_gain_schedule() -> &'static GainSchedule {
     static SCHEDULE: OnceLock<GainSchedule> = OnceLock::new();
     SCHEDULE.get_or_init(|| {
-        tune_gain_schedule(
-            &ServerSpec::enterprise_default(),
-            &[Rpm::new(2000.0), Rpm::new(6000.0)],
-        )
+        tune_gain_schedule(&ServerSpec::enterprise_default(), &[Rpm::new(2000.0), Rpm::new(6000.0)])
     })
 }
 
@@ -113,12 +112,7 @@ mod tests {
         let lo = schedule.regions()[0].gains();
         let hi = schedule.regions()[1].gains();
         // The high-speed region needs far larger gains (lower sensitivity).
-        assert!(
-            hi.kp() > 4.0 * lo.kp(),
-            "kp ratio too small: {} vs {}",
-            hi.kp(),
-            lo.kp()
-        );
+        assert!(hi.kp() > 4.0 * lo.kp(), "kp ratio too small: {} vs {}", hi.kp(), lo.kp());
         // All gains positive.
         for g in [lo, hi] {
             assert!(g.kp() > 0.0 && g.ki() > 0.0 && g.kd() > 0.0, "{g:?}");

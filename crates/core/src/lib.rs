@@ -56,10 +56,11 @@ mod gains;
 mod render;
 mod simulation;
 mod solution;
+pub mod sweep;
 
 pub use gains::{date14_gain_schedule, fine_gain_schedule, tune_gain_schedule, tune_single_region};
 pub use render::{markdown_table, write_traces_csv};
-pub use simulation::{Simulation, SimulationBuilder};
+pub use simulation::{date14_workload, Simulation, SimulationBuilder};
 pub use solution::Solution;
 
 // Re-export the workspace so downstream users need a single dependency.

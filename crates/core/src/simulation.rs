@@ -2,12 +2,12 @@
 //! loop.
 
 use crate::{tune_gain_schedule, Solution};
-use gfsc_control::AdaptivePid;
+use gfsc_control::{AdaptivePid, GainSchedule};
+use gfsc_coord::RunOutcome;
 use gfsc_coord::{
     AdaptiveReference, ClosedLoopSim, EnergyAwareCoordinator, RuleBasedCoordinator,
     SingleStepFanScaling, Uncoordinated,
 };
-use gfsc_coord::RunOutcome;
 use gfsc_server::ServerSpec;
 use gfsc_units::{Celsius, Rpm, Seconds, Utilization};
 use gfsc_workload::{SquareWave, Workload};
@@ -33,6 +33,7 @@ pub struct SimulationBuilder {
     seed: u64,
     workload: Option<Workload>,
     fixed_reference: Celsius,
+    gain_schedule: Option<GainSchedule>,
 }
 
 impl SimulationBuilder {
@@ -72,6 +73,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Supplies a pre-tuned fan gain schedule, skipping the per-build
+    /// Ziegler–Nichols tuning for non-default specs. The scenario-sweep
+    /// engine tunes once per distinct spec variant and passes the result
+    /// through here, so an N-scenario grid doesn't tune N times.
+    #[must_use]
+    pub fn gain_schedule(mut self, schedule: GainSchedule) -> Self {
+        self.gain_schedule = Some(schedule);
+        self
+    }
+
     /// Assembles the closed loop.
     #[must_use]
     pub fn build(self) -> Simulation {
@@ -80,8 +91,11 @@ impl SimulationBuilder {
 
         // Gain schedule: the finer four-region schedule re-bases the PID
         // linearization point across the whole speed range (cached for the
-        // default plant, tuned ad hoc for modified specs).
-        let schedule = if spec == ServerSpec::enterprise_default() {
+        // default plant, tuned ad hoc for modified specs unless a pre-tuned
+        // schedule was supplied).
+        let schedule = if let Some(schedule) = self.gain_schedule {
+            schedule
+        } else if spec == ServerSpec::enterprise_default() {
             crate::fine_gain_schedule().clone()
         } else {
             tune_gain_schedule(
@@ -152,6 +166,7 @@ impl Simulation {
             seed: 0,
             workload: None,
             fixed_reference: Celsius::new(75.0),
+            gain_schedule: None,
         }
     }
 
@@ -174,11 +189,8 @@ mod tests {
     #[test]
     fn every_solution_builds_and_runs() {
         for solution in Solution::ALL {
-            let outcome = Simulation::builder()
-                .solution(solution)
-                .seed(3)
-                .build()
-                .run(Seconds::new(120.0));
+            let outcome =
+                Simulation::builder().solution(solution).seed(3).build().run(Seconds::new(120.0));
             assert_eq!(outcome.total_epochs, 121, "{solution}");
         }
     }

@@ -72,10 +72,7 @@ impl Solution {
     /// Whether this solution adapts the fan reference predictively.
     #[must_use]
     pub fn uses_adaptive_reference(&self) -> bool {
-        matches!(
-            self,
-            Solution::RCoordAdaptiveTref | Solution::RCoordAdaptiveTrefSsFan
-        )
+        matches!(self, Solution::RCoordAdaptiveTref | Solution::RCoordAdaptiveTrefSsFan)
     }
 
     /// Whether this solution uses single-step fan scaling.

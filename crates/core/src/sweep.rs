@@ -1,0 +1,448 @@
+//! The batch scenario-sweep engine: declarative grids of
+//! `spec × workload × solution × seed`, evaluated across all cores.
+//!
+//! The paper's whole evaluation is embarrassingly parallel — Table III runs
+//! five independent solutions, the ablations run dozens of independent
+//! plant variants, gain tuning probes independent candidate gains. This
+//! module is the one place that parallelism lives:
+//!
+//! - [`Scenario`]: one fully-specified run (solution, seed, spec, horizon,
+//!   workload recipe) — plain data, cheap to enumerate by the thousand,
+//! - [`RunSummary`]: the compact per-run result derived from
+//!   [`gfsc_coord::RunOutcome`] (traces are dropped by default so a
+//!   10 000-scenario grid stays memory-bounded; opt back in with
+//!   [`ScenarioGridBuilder::keep_traces`]),
+//! - [`ScenarioGrid`]: the declarative cartesian grid plus its executor —
+//!   [`ScenarioGrid::run`] fans out over [`gfsc_sim::sweep::parallel_map`],
+//!   [`ScenarioGrid::run_serial`] is the bit-identical reference path.
+//!
+//! # Determinism
+//!
+//! Scenarios are enumerated in a fixed nested order (spec → solution →
+//! seed) and every run is seeded per-scenario, so the parallel result
+//! vector is byte-identical to the serial one — asserted by
+//! `tests/determinism.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gfsc::sweep::ScenarioGrid;
+//! use gfsc::Solution;
+//! use gfsc_units::Seconds;
+//!
+//! let results = ScenarioGrid::builder()
+//!     .horizon(Seconds::new(120.0))
+//!     .solutions(&[Solution::WithoutCoordination, Solution::ECoord])
+//!     .seeds(&[1, 2])
+//!     .build()
+//!     .run();
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.summary.total_epochs == 121));
+//! ```
+
+use crate::{Simulation, Solution};
+use gfsc_coord::RunOutcome;
+use gfsc_server::ServerSpec;
+use gfsc_sim::{sweep as executor, TraceSet};
+use gfsc_units::{Celsius, Rpm, Seconds};
+
+/// The workload recipe of a scenario (must be constructible on any worker
+/// thread from plain data, hence a recipe rather than a built `Workload`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadRecipe {
+    /// The paper's evaluation trace: 0.1 ↔ 0.7 square wave, σ = 0.04
+    /// Gaussian noise, Poisson spikes — [`crate::date14_workload`] under
+    /// the scenario seed.
+    Date14,
+    /// The plain square wave with optional noise and no spikes (the
+    /// fan-study workload of Figs. 3–4 and the ablations).
+    SquareWave {
+        /// Low-phase utilization.
+        low: f64,
+        /// High-phase utilization.
+        high: f64,
+        /// Full alternation period in seconds.
+        period_s: f64,
+        /// Gaussian noise sigma (0 disables the noise stage).
+        sigma: f64,
+    },
+    /// A constant demand level.
+    Constant(f64),
+}
+
+impl WorkloadRecipe {
+    /// Builds the workload for `seed`.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> gfsc_workload::Workload {
+        match *self {
+            WorkloadRecipe::Date14 => crate::date14_workload(seed),
+            WorkloadRecipe::SquareWave { low, high, period_s, sigma } => {
+                let base = gfsc_workload::SquareWave::new(low, high, Seconds::new(period_s), 0.5);
+                let mut builder = gfsc_workload::Workload::builder(base);
+                if sigma > 0.0 {
+                    builder = builder.gaussian_noise(sigma, seed);
+                }
+                builder.build()
+            }
+            WorkloadRecipe::Constant(level) => {
+                gfsc_workload::Workload::builder(gfsc_workload::Constant::new(level)).build()
+            }
+        }
+    }
+}
+
+/// One fully-specified run of the closed loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable scenario label (`spec-label/solution/seed`).
+    pub label: String,
+    /// The server calibration (`None` = Table I default, which also enables
+    /// the per-process cached gain schedule).
+    pub spec: Option<ServerSpec>,
+    /// The coordination solution under test.
+    pub solution: Solution,
+    /// Seed for the stochastic workload stages.
+    pub seed: u64,
+    /// Simulated duration.
+    pub horizon: Seconds,
+    /// Workload recipe.
+    pub workload: WorkloadRecipe,
+    /// Fan reference for fixed-reference solutions.
+    pub fixed_reference: Celsius,
+    /// The fan gain schedule, pre-tuned once per spec variant at grid
+    /// build time (`None` = the default spec's per-process cache).
+    pub gain_schedule: Option<gfsc_control::GainSchedule>,
+}
+
+impl Scenario {
+    /// Runs the scenario to completion, returning the full outcome.
+    #[must_use]
+    pub fn run(&self) -> RunOutcome {
+        let mut builder = Simulation::builder()
+            .solution(self.solution)
+            .seed(self.seed)
+            .fixed_reference(self.fixed_reference);
+        if let Some(spec) = &self.spec {
+            builder = builder.spec(spec.clone());
+        }
+        if let Some(schedule) = &self.gain_schedule {
+            builder = builder.gain_schedule(schedule.clone());
+        }
+        builder.workload(self.workload.build(self.seed)).build().run(self.horizon)
+    }
+}
+
+/// The compact per-run result: every Table III metric, no traces.
+///
+/// Field-for-field exact equality (`PartialEq` over the raw `f64`s) is the
+/// determinism contract: a parallel sweep must reproduce the serial
+/// summaries *bitwise*, not approximately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Percentage of CPU epochs whose demand exceeded the cap.
+    pub violation_percent: f64,
+    /// Violated epochs.
+    pub total_violations: u64,
+    /// Total CPU epochs.
+    pub total_epochs: u64,
+    /// Work lost to capping, in utilization-epochs.
+    pub lost_utilization: f64,
+    /// Fan subsystem energy over the run, joules.
+    pub fan_energy_j: f64,
+    /// CPU energy over the run, joules.
+    pub cpu_energy_j: f64,
+    /// Simulated duration, seconds.
+    pub horizon_s: f64,
+}
+
+impl From<&RunOutcome> for RunSummary {
+    fn from(outcome: &RunOutcome) -> Self {
+        Self {
+            violation_percent: outcome.violation_percent,
+            total_violations: outcome.total_violations,
+            total_epochs: outcome.total_epochs,
+            lost_utilization: outcome.lost_utilization,
+            fan_energy_j: outcome.fan_energy.value(),
+            cpu_energy_j: outcome.cpu_energy.value(),
+            horizon_s: outcome.horizon.value(),
+        }
+    }
+}
+
+/// One executed scenario: its label, summary, and (optionally) traces.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The scenario's label (copied so results are self-describing).
+    pub label: String,
+    /// The solution that ran.
+    pub solution: Solution,
+    /// The scenario seed.
+    pub seed: u64,
+    /// Compact metrics.
+    pub summary: RunSummary,
+    /// Full traces, when the grid was built with `keep_traces(true)`.
+    pub traces: Option<TraceSet>,
+}
+
+/// Builder for [`ScenarioGrid`].
+#[derive(Debug, Clone)]
+pub struct ScenarioGridBuilder {
+    specs: Vec<(String, Option<ServerSpec>)>,
+    solutions: Vec<Solution>,
+    seeds: Vec<u64>,
+    horizon: Seconds,
+    workload: WorkloadRecipe,
+    fixed_reference: Celsius,
+    keep_traces: bool,
+}
+
+impl ScenarioGridBuilder {
+    /// Sets the simulated duration of every scenario (default 900 s).
+    #[must_use]
+    pub fn horizon(mut self, horizon: Seconds) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the solutions axis (default: all five, Table III order).
+    #[must_use]
+    pub fn solutions(mut self, solutions: &[Solution]) -> Self {
+        self.solutions = solutions.to_vec();
+        self
+    }
+
+    /// Sets the seeds axis (default: `[42]`).
+    #[must_use]
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Adds a named spec variant to the specs axis (the default axis is the
+    /// single unnamed Table I spec; the first call replaces it).
+    #[must_use]
+    pub fn spec_variant(mut self, label: impl Into<String>, spec: ServerSpec) -> Self {
+        if self.specs.len() == 1 && self.specs[0].1.is_none() {
+            self.specs.clear();
+        }
+        self.specs.push((label.into(), Some(spec)));
+        self
+    }
+
+    /// Sets the workload recipe shared by every scenario (default:
+    /// [`WorkloadRecipe::Date14`]).
+    #[must_use]
+    pub fn workload(mut self, workload: WorkloadRecipe) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the fan reference for fixed-reference solutions (default
+    /// 75 °C).
+    #[must_use]
+    pub fn fixed_reference(mut self, reference: Celsius) -> Self {
+        self.fixed_reference = reference;
+        self
+    }
+
+    /// Keeps full traces on every result (default off — summaries only, so
+    /// large grids stay memory-bounded).
+    #[must_use]
+    pub fn keep_traces(mut self, keep: bool) -> Self {
+        self.keep_traces = keep;
+        self
+    }
+
+    /// Enumerates the grid in the fixed nested order spec → solution →
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty.
+    /// Non-default spec variants pay their Ziegler–Nichols gain tuning
+    /// here, **once per variant**, rather than once per scenario inside the
+    /// sweep — a variant × solutions × seeds grid would otherwise re-tune
+    /// the identical plant for every cell.
+    #[must_use]
+    pub fn build(self) -> ScenarioGrid {
+        assert!(!self.specs.is_empty(), "grid needs at least one spec");
+        assert!(!self.solutions.is_empty(), "grid needs at least one solution");
+        assert!(!self.seeds.is_empty(), "grid needs at least one seed");
+        let mut scenarios =
+            Vec::with_capacity(self.specs.len() * self.solutions.len() * self.seeds.len());
+        for (spec_label, spec) in &self.specs {
+            // The same 4-region recipe Simulation::build would run ad hoc.
+            let schedule = spec.as_ref().map(|spec| {
+                crate::tune_gain_schedule(
+                    spec,
+                    &[Rpm::new(2000.0), Rpm::new(3500.0), Rpm::new(5000.0), Rpm::new(7000.0)],
+                )
+            });
+            for &solution in &self.solutions {
+                for &seed in &self.seeds {
+                    let prefix = if spec_label.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{spec_label}/")
+                    };
+                    scenarios.push(Scenario {
+                        label: format!("{prefix}{solution}/seed{seed}"),
+                        spec: spec.clone(),
+                        solution,
+                        seed,
+                        horizon: self.horizon,
+                        workload: self.workload.clone(),
+                        fixed_reference: self.fixed_reference,
+                        gain_schedule: schedule.clone(),
+                    });
+                }
+            }
+        }
+        ScenarioGrid { scenarios, keep_traces: self.keep_traces }
+    }
+}
+
+/// A declarative grid of scenarios plus its executor.
+#[derive(Debug)]
+pub struct ScenarioGrid {
+    scenarios: Vec<Scenario>,
+    keep_traces: bool,
+}
+
+impl ScenarioGrid {
+    /// Starts building a grid.
+    #[must_use]
+    pub fn builder() -> ScenarioGridBuilder {
+        ScenarioGridBuilder {
+            specs: vec![(String::new(), None)],
+            solutions: Solution::ALL.to_vec(),
+            seeds: vec![42],
+            horizon: Seconds::new(900.0),
+            workload: WorkloadRecipe::Date14,
+            fixed_reference: Celsius::new(75.0),
+            keep_traces: false,
+        }
+    }
+
+    /// The enumerated scenarios, in execution order.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    fn execute(&self, scenario: &Scenario) -> ScenarioResult {
+        let outcome = scenario.run();
+        ScenarioResult {
+            label: scenario.label.clone(),
+            solution: scenario.solution,
+            seed: scenario.seed,
+            summary: RunSummary::from(&outcome),
+            traces: self.keep_traces.then_some(outcome.traces),
+        }
+    }
+
+    /// Runs every scenario across all cores; results come back in
+    /// enumeration order, bit-identical to [`ScenarioGrid::run_serial`].
+    #[must_use]
+    pub fn run(&self) -> Vec<ScenarioResult> {
+        self.run_with_workers(executor::thread_count())
+    }
+
+    /// [`ScenarioGrid::run`] with an explicit worker count (the scaling
+    /// probe in `perf_report` sweeps this).
+    #[must_use]
+    pub fn run_with_workers(&self, workers: usize) -> Vec<ScenarioResult> {
+        // The gain-schedule caches (`OnceLock`) are warmed before the fan-out:
+        // letting N workers race into `get_or_init` would serialize them all
+        // behind one tuner anyway, while charging the wait to every scenario.
+        if self.scenarios.iter().any(|s| s.spec.is_none()) {
+            let _ = crate::fine_gain_schedule();
+        }
+        executor::parallel_map_with_workers(&self.scenarios, |s| self.execute(s), workers)
+    }
+
+    /// Runs every scenario on the calling thread — the determinism
+    /// reference for [`ScenarioGrid::run`].
+    #[must_use]
+    pub fn run_serial(&self) -> Vec<ScenarioResult> {
+        executor::serial_map(&self.scenarios, |s| self.execute(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumeration_order_is_spec_solution_seed() {
+        let grid = ScenarioGrid::builder()
+            .solutions(&[Solution::WithoutCoordination, Solution::ECoord])
+            .seeds(&[1, 2])
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "w/o coordination (baseline)/seed1",
+                "w/o coordination (baseline)/seed2",
+                "E-coord/seed1",
+                "E-coord/seed2",
+            ]
+        );
+    }
+
+    #[test]
+    fn traces_are_dropped_unless_requested() {
+        let base = ScenarioGrid::builder()
+            .horizon(Seconds::new(60.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[7]);
+        let without = base.clone().build().run();
+        assert!(without[0].traces.is_none());
+        let with = base.keep_traces(true).build().run();
+        let traces = with[0].traces.as_ref().expect("traces kept");
+        assert_eq!(traces.require("fan_rpm").unwrap().len(), 61);
+    }
+
+    #[test]
+    fn workload_recipes_build_deterministically() {
+        for recipe in [
+            WorkloadRecipe::Date14,
+            WorkloadRecipe::SquareWave { low: 0.1, high: 0.7, period_s: 600.0, sigma: 0.04 },
+            WorkloadRecipe::Constant(0.5),
+        ] {
+            let mut a = recipe.build(3);
+            let mut b = recipe.build(3);
+            for k in 0..300 {
+                let t = Seconds::new(f64::from(k));
+                assert_eq!(a.sample(t), b.sample(t), "{recipe:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one solution")]
+    fn empty_solutions_axis_rejected() {
+        let _ = ScenarioGrid::builder().solutions(&[]).build();
+    }
+
+    #[test]
+    fn spec_variants_tune_once_per_variant() {
+        let spec = crate::experiments::fan_study_spec();
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination, Solution::ECoord])
+            .seeds(&[1, 2])
+            .spec_variant("cold-aisle", spec)
+            .build();
+        // Four scenarios, one shared pre-tuned schedule (tuned at grid
+        // build, not per run).
+        let schedules: Vec<_> = grid.scenarios().iter().map(|s| s.gain_schedule.clone()).collect();
+        assert_eq!(schedules.len(), 4);
+        assert!(schedules[0].is_some());
+        assert!(schedules.iter().all(|s| s == &schedules[0]));
+        // Default-spec grids keep using the per-process cache.
+        let default_grid = ScenarioGrid::builder().horizon(Seconds::new(30.0)).build();
+        assert!(default_grid.scenarios().iter().all(|s| s.gain_schedule.is_none()));
+    }
+}

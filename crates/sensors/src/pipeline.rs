@@ -229,9 +229,7 @@ mod tests {
 
     #[test]
     fn holds_between_samples() {
-        let mut chain = MeasurementPipeline::builder()
-            .sample_interval(Seconds::new(1.0))
-            .build();
+        let mut chain = MeasurementPipeline::builder().sample_interval(Seconds::new(1.0)).build();
         assert_eq!(chain.observe(Seconds::new(0.0), 10.0), 10.0);
         // t = 0.5: no new sample; the change is invisible.
         assert_eq!(chain.observe(Seconds::new(0.5), 99.0), 10.0);

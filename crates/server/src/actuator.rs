@@ -83,7 +83,7 @@ impl FanActuator {
         if gap.abs() <= max_delta {
             self.speed = self.target;
         } else {
-            self.speed = self.speed + max_delta.copysign(gap);
+            self.speed += max_delta.copysign(gap);
         }
         self.speed
     }
@@ -101,11 +101,7 @@ mod tests {
     use super::*;
 
     fn actuator(initial: f64) -> FanActuator {
-        FanActuator::new(
-            Rpm::new(initial),
-            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
-            1000.0,
-        )
+        FanActuator::new(Rpm::new(initial), Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)), 1000.0)
     }
 
     #[test]

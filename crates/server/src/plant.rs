@@ -101,11 +101,7 @@ mod tests {
     use super::*;
 
     fn plant_at(speed: f64) -> FanPlant {
-        FanPlant::new(
-            ServerSpec::enterprise_default(),
-            Utilization::new(0.7),
-            Rpm::new(speed),
-        )
+        FanPlant::new(ServerSpec::enterprise_default(), Utilization::new(0.7), Rpm::new(speed))
     }
 
     #[test]
@@ -181,9 +177,6 @@ mod tests {
         };
         let low = respond(2000.0);
         let high = respond(6000.0);
-        assert!(
-            low > 2.0 * high,
-            "sensitivity low {low} K vs high {high} K — expected ≥2× ratio"
-        );
+        assert!(low > 2.0 * high, "sensitivity low {low} K vs high {high} K — expected ≥2× ratio");
     }
 }

@@ -95,11 +95,7 @@ impl ServerSpec {
     /// Used for ablations isolating the non-ideal effects.
     #[must_use]
     pub fn ideal_sensing() -> Self {
-        Self {
-            sensor_lag: Seconds::new(0.0),
-            quantization_step: 0.0,
-            ..Self::enterprise_default()
-        }
+        Self { sensor_lag: Seconds::new(0.0), quantization_step: 0.0, ..Self::enterprise_default() }
     }
 
     /// Validates internal consistency (interval divisibility, positive
@@ -177,20 +173,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "evenly divide")]
     fn misaligned_intervals_rejected() {
-        let spec = ServerSpec {
-            sim_dt: Seconds::new(0.7),
-            ..ServerSpec::enterprise_default()
-        };
+        let spec = ServerSpec { sim_dt: Seconds::new(0.7), ..ServerSpec::enterprise_default() };
         spec.validate();
     }
 
     #[test]
     #[should_panic(expected = "slew")]
     fn non_positive_slew_rejected() {
-        let spec = ServerSpec {
-            fan_slew_per_s: 0.0,
-            ..ServerSpec::enterprise_default()
-        };
+        let spec = ServerSpec { fan_slew_per_s: 0.0, ..ServerSpec::enterprise_default() };
         spec.validate();
     }
 }

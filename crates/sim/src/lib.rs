@@ -41,8 +41,9 @@
 mod clock;
 mod schedule;
 pub mod stats;
+pub mod sweep;
 mod trace;
 
 pub use clock::Clock;
 pub use schedule::Periodic;
-pub use trace::{Trace, TraceError, TraceSet};
+pub use trace::{ChannelId, Trace, TraceError, TraceSet};

@@ -106,11 +106,8 @@ pub fn step_response(
     let mut settling = Some(Seconds::new(0.0));
     for i in (0..values.len()).rev() {
         if (values[i] - target).abs() > band {
-            settling = if i + 1 < times.len() {
-                Some(Seconds::new(times[i + 1] - t0))
-            } else {
-                None
-            };
+            settling =
+                if i + 1 < times.len() { Some(Seconds::new(times[i + 1] - t0)) } else { None };
             break;
         }
     }
@@ -221,8 +218,7 @@ pub fn detect_oscillation(times: &[f64], values: &[f64], hysteresis: f64) -> Osc
 
     let reversals = turns.len();
     let amplitude = if reversals >= 2 {
-        let diffs: Vec<f64> =
-            turns.windows(2).map(|w| (w[0].1 - w[1].1).abs()).collect();
+        let diffs: Vec<f64> = turns.windows(2).map(|w| (w[0].1 - w[1].1).abs()).collect();
         mean(&diffs)
     } else {
         0.0
@@ -235,11 +231,7 @@ pub fn detect_oscillation(times: &[f64], values: &[f64], hysteresis: f64) -> Osc
             spacings.push(w[2].0 - w[0].0);
         }
     }
-    let period = if spacings.is_empty() {
-        None
-    } else {
-        Some(Seconds::new(mean(&spacings)))
-    };
+    let period = if spacings.is_empty() { None } else { Some(Seconds::new(mean(&spacings))) };
 
     OscillationReport { reversals, amplitude, period }
 }
@@ -317,8 +309,7 @@ mod tests {
     #[test]
     fn step_response_falling_step() {
         let times: Vec<f64> = (0..100).map(|k| k as f64).collect();
-        let values: Vec<f64> =
-            times.iter().map(|&t| 5.0 + 5.0 * (-t / 4.0).exp() - if t > 20.0 { 0.0 } else { 0.0 }).collect();
+        let values: Vec<f64> = times.iter().map(|&t| 5.0 + 5.0 * (-t / 4.0).exp()).collect();
         let r = step_response(&times, &values, 10.0, 5.0, 0.2);
         assert!(r.settling_time.is_some());
         assert_eq!(r.overshoot, 0.0); // never undershoots below 5

@@ -85,11 +85,7 @@ impl Trace {
     /// Creates an empty trace with capacity pre-allocated for `n` samples.
     #[must_use]
     pub fn with_capacity(name: impl Into<String>, n: usize) -> Self {
-        Self {
-            name: name.into(),
-            times: Vec::with_capacity(n),
-            values: Vec::with_capacity(n),
-        }
+        Self { name: name.into(), times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
     }
 
     /// The trace name.
@@ -215,6 +211,15 @@ pub struct TraceSet {
     traces: Vec<Trace>,
 }
 
+/// A pre-resolved handle to one trace inside a [`TraceSet`].
+///
+/// [`TraceSet::record`] scans trace names on every sample; a hot loop that
+/// records the same channels every epoch resolves each name once with
+/// [`TraceSet::channel`] and then records by index — no string compares,
+/// no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(usize);
+
 impl TraceSet {
     /// Creates an empty trace set.
     #[must_use]
@@ -222,20 +227,47 @@ impl TraceSet {
         Self::default()
     }
 
+    /// Resolves `name` to a handle, creating an empty trace on first use.
+    pub fn channel(&mut self, name: &str) -> ChannelId {
+        self.channel_with_capacity(name, 0)
+    }
+
+    /// Like [`TraceSet::channel`], pre-allocating room for `capacity`
+    /// samples when the trace is created (e.g. sized from the simulation
+    /// horizon so steady-state recording never reallocates).
+    pub fn channel_with_capacity(&mut self, name: &str, capacity: usize) -> ChannelId {
+        if let Some(idx) = self.traces.iter().position(|tr| tr.name() == name) {
+            return ChannelId(idx);
+        }
+        self.traces.push(Trace::with_capacity(name, capacity));
+        ChannelId(self.traces.len() - 1)
+    }
+
+    /// Appends a sample through a pre-resolved handle.
+    ///
+    /// Only use handles with the set that produced them: a handle from
+    /// another [`TraceSet`] whose index happens to be in range records
+    /// into whatever trace sits at that index here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id`'s index is out of bounds for this set, or the sample
+    /// violates time ordering within its trace.
+    pub fn record_by_id(&mut self, id: ChannelId, t: Seconds, value: f64) {
+        self.traces[id.0].push(t, value);
+    }
+
     /// Appends a sample to the named trace, creating it on first use.
+    /// Convenience layer over [`TraceSet::channel`] +
+    /// [`TraceSet::record_by_id`]; resolve handles up front when recording
+    /// in a loop.
     ///
     /// # Panics
     ///
     /// Panics if the sample violates time ordering within its trace.
     pub fn record(&mut self, name: &str, t: Seconds, value: f64) {
-        match self.traces.iter_mut().find(|tr| tr.name() == name) {
-            Some(tr) => tr.push(t, value),
-            None => {
-                let mut tr = Trace::new(name);
-                tr.push(t, value);
-                self.traces.push(tr);
-            }
-        }
+        let id = self.channel(name);
+        self.record_by_id(id, t, value);
     }
 
     /// Looks up a trace by name.
@@ -285,7 +317,8 @@ impl TraceSet {
         writeln!(out)?;
 
         // Union of all sample times.
-        let mut times: Vec<f64> = self.traces.iter().flat_map(|tr| tr.times().iter().copied()).collect();
+        let mut times: Vec<f64> =
+            self.traces.iter().flat_map(|tr| tr.times().iter().copied()).collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("trace times are never NaN"));
         times.dedup();
 
@@ -431,5 +464,30 @@ mod tests {
     fn nan_value_rejected() {
         let mut tr = Trace::new("x");
         tr.push(secs(0.0), f64::NAN);
+    }
+
+    #[test]
+    fn channel_handles_alias_names() {
+        let mut set = TraceSet::new();
+        let a = set.channel_with_capacity("a", 16);
+        let b = set.channel("b");
+        assert_ne!(a, b);
+        // Re-resolving an existing name returns the same handle.
+        assert_eq!(set.channel("a"), a);
+        set.record_by_id(a, secs(0.0), 1.0);
+        set.record("a", secs(1.0), 2.0); // by-name lands in the same trace
+        set.record_by_id(b, secs(0.0), 9.0);
+        assert_eq!(set.get("a").unwrap().values(), &[1.0, 2.0]);
+        assert_eq!(set.get("b").unwrap().values(), &[9.0]);
+    }
+
+    #[test]
+    fn channel_with_capacity_preallocates() {
+        let mut set = TraceSet::new();
+        let id = set.channel_with_capacity("x", 1000);
+        for k in 0..1000 {
+            set.record_by_id(id, secs(f64::from(k)), 0.0);
+        }
+        assert_eq!(set.get("x").unwrap().len(), 1000);
     }
 }

@@ -263,7 +263,12 @@ mod tests {
         let mut node = HeatSinkNode::date14(Celsius::new(80.0));
         let mut prev = node.temperature();
         for _ in 0..100 {
-            let t = node.step(Seconds::new(1.0), Celsius::new(30.0), Watts::new(96.0), Rpm::new(8500.0));
+            let t = node.step(
+                Seconds::new(1.0),
+                Celsius::new(30.0),
+                Watts::new(96.0),
+                Rpm::new(8500.0),
+            );
             assert!(t <= prev);
             prev = t;
         }

@@ -15,6 +15,17 @@ use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Seconds, Watts};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
 
+/// Identifier of a resistive link inside an [`RcNetwork`], resolved once
+/// via [`RcNetwork::link_id`] so per-step re-parameterization (e.g. the
+/// sink→ambient conductance moving with fan speed) skips the name scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(usize);
+
+/// Identifier of a boundary node inside an [`RcNetwork`], resolved once
+/// via [`RcNetwork::boundary_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoundaryId(usize);
+
 /// Error produced while building or mutating an [`RcNetwork`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetworkError {
@@ -189,11 +200,11 @@ impl RcNetworkBuilder {
         for link in &links {
             match (link.a, link.b) {
                 (Endpoint::Node(i), Endpoint::Boundary(_))
-                | (Endpoint::Boundary(_), Endpoint::Node(i)) => {
-                    if !reached[i] {
-                        reached[i] = true;
-                        frontier.push(i);
-                    }
+                | (Endpoint::Boundary(_), Endpoint::Node(i))
+                    if !reached[i] =>
+                {
+                    reached[i] = true;
+                    frontier.push(i);
                 }
                 _ => {}
             }
@@ -229,11 +240,25 @@ impl RcNetworkBuilder {
             boundary_names: self.boundary_names,
             boundary_temps: self.boundary_temps,
             links,
+            factor: vec![0.0; n * n],
+            pivots: vec![0; n],
+            factored_dt: f64::NAN,
+            matrix_dirty: true,
+            rhs: vec![0.0; n],
         })
     }
 }
 
 /// An N-node RC thermal network integrated with backward Euler.
+///
+/// The backward-Euler system matrix `C/dt + G` depends only on `dt`, the
+/// conductances and the capacitances — not on temperatures, powers or
+/// boundary values — so [`RcNetwork::step`] caches its LU factorization
+/// and re-factorizes only when `dt` changes or a conductance is
+/// re-parameterized (the common case in the fan loop: only the
+/// sink→ambient link moves with fan speed). All per-step work runs in
+/// pre-allocated scratch buffers; steady-state stepping performs **zero**
+/// heap allocations.
 #[derive(Debug, Clone)]
 pub struct RcNetwork {
     node_names: Vec<String>,
@@ -243,6 +268,17 @@ pub struct RcNetwork {
     boundary_names: Vec<String>,
     boundary_temps: Vec<f64>,
     links: Vec<Link>,
+    /// LU factors of `C/dt + G` (unit-lower multipliers below the
+    /// diagonal, upper triangle above), row-major `n × n`.
+    factor: Vec<f64>,
+    /// Partial-pivoting row swaps recorded during factorization.
+    pivots: Vec<usize>,
+    /// The `dt` the cached factorization was assembled for (NaN = none).
+    factored_dt: f64,
+    /// Set by conductance mutators; forces re-factorization on next step.
+    matrix_dirty: bool,
+    /// Right-hand-side / solution scratch.
+    rhs: Vec<f64>,
 }
 
 impl RcNetwork {
@@ -292,8 +328,65 @@ impl RcNetwork {
         }
     }
 
+    /// Looks up a boundary node by name, for repeated
+    /// [`RcNetwork::set_boundary_by_id`] calls without the name scan.
+    #[must_use]
+    pub fn boundary_id(&self, name: &str) -> Option<BoundaryId> {
+        self.boundary_names.iter().position(|n| n == name).map(BoundaryId)
+    }
+
+    /// Sets a boundary temperature by pre-resolved handle.
+    ///
+    /// Boundary temperatures enter only the right-hand side, so this never
+    /// invalidates the cached factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn set_boundary_by_id(&mut self, id: BoundaryId, temperature: Celsius) {
+        self.boundary_temps[id.0] = temperature.value();
+    }
+
+    /// Resolves the link between two named endpoints to a handle, for
+    /// repeated re-parameterization without the O(links × names) scan —
+    /// resolve once at build time, then call
+    /// [`RcNetwork::set_link_resistance_by_id`] per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownName`] if a name is unknown or
+    /// [`NetworkError::NoSuchLink`] if the endpoints are not linked.
+    pub fn link_id(&self, a: &str, b: &str) -> Result<LinkId, NetworkError> {
+        let ea = self.resolve(a)?;
+        let eb = self.resolve(b)?;
+        self.links
+            .iter()
+            .position(|link| (link.a == ea && link.b == eb) || (link.a == eb && link.b == ea))
+            .map(LinkId)
+            .ok_or_else(|| NetworkError::NoSuchLink(a.to_owned(), b.to_owned()))
+    }
+
+    /// Re-parameterizes a link's resistance by pre-resolved handle,
+    /// invalidating the cached factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn set_link_resistance_by_id(&mut self, id: LinkId, resistance: KelvinPerWatt) {
+        let conductance = 1.0 / resistance.value();
+        // An unchanged conductance (fan speed held between controller
+        // epochs) keeps the factorization warm.
+        if self.links[id.0].conductance != conductance {
+            self.links[id.0].conductance = conductance;
+            self.matrix_dirty = true;
+        }
+    }
+
     /// Re-parameterizes the resistance of the link between two named
-    /// endpoints (e.g. sink→ambient as fan speed changes).
+    /// endpoints (e.g. sink→ambient as fan speed changes). Convenience
+    /// wrapper over [`RcNetwork::link_id`] +
+    /// [`RcNetwork::set_link_resistance_by_id`]; resolve the handle once
+    /// when calling in a loop.
     ///
     /// # Errors
     ///
@@ -305,15 +398,9 @@ impl RcNetwork {
         b: &str,
         resistance: KelvinPerWatt,
     ) -> Result<(), NetworkError> {
-        let ea = self.resolve(a)?;
-        let eb = self.resolve(b)?;
-        for link in &mut self.links {
-            if (link.a == ea && link.b == eb) || (link.a == eb && link.b == ea) {
-                link.conductance = 1.0 / resistance.value();
-                return Ok(());
-            }
-        }
-        Err(NetworkError::NoSuchLink(a.to_owned(), b.to_owned()))
+        let id = self.link_id(a, b)?;
+        self.set_link_resistance_by_id(id, resistance);
+        Ok(())
     }
 
     fn resolve(&self, name: &str) -> Result<Endpoint, NetworkError> {
@@ -326,18 +413,54 @@ impl RcNetwork {
         }
     }
 
-    /// Assembles and solves the backward-Euler system for one step of `dt`,
-    /// updating all node temperatures.
+    /// Solves the backward-Euler system for one step of `dt`, updating all
+    /// node temperatures.
     ///
     /// Backward Euler: `(C/dt + G) · T' = C/dt · T + P + G_b · T_b`, which is
     /// unconditionally stable — stiff node pairs (0.1 s die, 60 s sink) can
     /// be stepped at 1 s without oscillation, only with first-order damping
     /// error.
     ///
+    /// The system matrix is factorized lazily and reused across steps (see
+    /// the type-level docs); with an unchanged `dt` and conductances each
+    /// step is one forward/backward substitution in pre-allocated scratch —
+    /// no assembly, no elimination, no heap allocation. Results are
+    /// identical to [`RcNetwork::step_uncached`]: the cached path replays
+    /// the exact same elimination arithmetic from the stored factors.
+    ///
     /// # Panics
     ///
     /// Panics if `dt` is zero.
     pub fn step(&mut self, dt: Seconds) {
+        assert!(!dt.is_zero(), "step size must be positive");
+        if self.matrix_dirty || self.factored_dt != dt.value() {
+            self.refactorize(dt.value());
+        }
+        let n = self.node_names.len();
+        let inv_dt = 1.0 / dt.value();
+        for i in 0..n {
+            self.rhs[i] = self.capacitances[i] * inv_dt * self.temperatures[i] + self.powers[i];
+        }
+        for link in &self.links {
+            if let (Endpoint::Node(i), Endpoint::Boundary(k))
+            | (Endpoint::Boundary(k), Endpoint::Node(i)) = (link.a, link.b)
+            {
+                self.rhs[i] += link.conductance * self.boundary_temps[k];
+            }
+        }
+        lu_solve(&self.factor, &self.pivots, &mut self.rhs, n);
+        self.temperatures.copy_from_slice(&self.rhs);
+    }
+
+    /// The reference integrator: assembles and eliminates the full system
+    /// every call (the pre-caching behavior). Kept public as the oracle for
+    /// the cached path — the property tests and the `hot_paths` benchmarks
+    /// compare [`RcNetwork::step`] against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn step_uncached(&mut self, dt: Seconds) {
         assert!(!dt.is_zero(), "step size must be positive");
         let n = self.node_names.len();
         let inv_dt = 1.0 / dt.value();
@@ -367,6 +490,35 @@ impl RcNetwork {
         self.temperatures = x;
     }
 
+    /// Assembles `C/dt + G` into the factor buffer and LU-factorizes it in
+    /// place with partial pivoting.
+    fn refactorize(&mut self, dt: f64) {
+        let n = self.node_names.len();
+        let inv_dt = 1.0 / dt;
+        self.factor.fill(0.0);
+        for i in 0..n {
+            self.factor[i * n + i] = self.capacitances[i] * inv_dt;
+        }
+        for link in &self.links {
+            match (link.a, link.b) {
+                (Endpoint::Node(i), Endpoint::Node(j)) => {
+                    self.factor[i * n + i] += link.conductance;
+                    self.factor[j * n + j] += link.conductance;
+                    self.factor[i * n + j] -= link.conductance;
+                    self.factor[j * n + i] -= link.conductance;
+                }
+                (Endpoint::Node(i), Endpoint::Boundary(_))
+                | (Endpoint::Boundary(_), Endpoint::Node(i)) => {
+                    self.factor[i * n + i] += link.conductance;
+                }
+                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+            }
+        }
+        lu_factorize(&mut self.factor, &mut self.pivots, n);
+        self.factored_dt = dt;
+        self.matrix_dirty = false;
+    }
+
     /// Solves for the steady-state temperatures under the current powers,
     /// boundaries and link conductances (the `dt → ∞` limit of
     /// [`RcNetwork::step`]).
@@ -374,10 +526,7 @@ impl RcNetwork {
     pub fn steady_state(&self) -> Vec<Celsius> {
         let n = self.node_names.len();
         let mut a = vec![0.0; n * n];
-        let mut b = vec![0.0; n];
-        for i in 0..n {
-            b[i] = self.powers[i];
-        }
+        let mut b = self.powers.clone();
         for link in &self.links {
             match (link.a, link.b) {
                 (Endpoint::Node(i), Endpoint::Node(j)) => {
@@ -395,6 +544,72 @@ impl RcNetwork {
             }
         }
         solve_dense(&mut a, &mut b, n).into_iter().map(Celsius::new).collect()
+    }
+}
+
+/// LU-factorizes row-major `a` (length `n²`) in place with partial
+/// pivoting: unit-lower multipliers land below the diagonal, the upper
+/// triangle above; `piv[col]` records the row swapped into `col`. The
+/// assembled thermal matrices are strictly diagonally dominant, hence
+/// non-singular.
+fn lu_factorize(a: &mut [f64], piv: &mut [usize], n: usize) {
+    for col in 0..n {
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        piv[col] = pivot;
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+        }
+        let diag = a[col * n + col];
+        assert!(diag.abs() > 1e-30, "singular thermal matrix");
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            a[row * n + col] = factor;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in (col + 1)..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+        }
+    }
+}
+
+/// Solves `L·U·x = P·b` from [`lu_factorize`]'s output, overwriting `b`
+/// with `x`. Allocation-free; the substitution applies the same arithmetic,
+/// in the same order, as eliminating `b` alongside the matrix would.
+fn lu_solve(a: &[f64], piv: &[usize], b: &mut [f64], n: usize) {
+    for (col, &pivot) in piv.iter().enumerate() {
+        if pivot != col {
+            b.swap(col, pivot);
+        }
+    }
+    // Forward substitution through the unit-lower multipliers, column-major
+    // to mirror the elimination order of `solve_dense` exactly.
+    for col in 0..n {
+        let bc = b[col];
+        if bc == 0.0 {
+            continue;
+        }
+        for row in (col + 1)..n {
+            let factor = a[row * n + col];
+            if factor != 0.0 {
+                b[row] -= factor * bc;
+            }
+        }
+    }
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * b[k];
+        }
+        b[row] = sum / a[row * n + row];
     }
 }
 
@@ -606,9 +821,7 @@ mod tests {
     fn mutators_report_unknown_names() {
         let mut net = simple_two_node();
         assert!(net.set_boundary("nope", Celsius::new(1.0)).is_err());
-        assert!(net
-            .set_link_resistance("die", "ambient", KelvinPerWatt::new(1.0))
-            .is_err()); // no direct die-ambient link
+        assert!(net.set_link_resistance("die", "ambient", KelvinPerWatt::new(1.0)).is_err()); // no direct die-ambient link
         assert!(net.node_id("nope").is_none());
         assert_eq!(net.node_names(), &["die".to_owned(), "sink".to_owned()]);
     }
@@ -617,5 +830,76 @@ mod tests {
     fn error_display_is_informative() {
         let e = NetworkError::FloatingNode("sink2".into());
         assert!(e.to_string().contains("sink2"));
+    }
+
+    #[test]
+    fn cached_step_matches_uncached_reference_bitwise() {
+        let mut cached = simple_two_node();
+        let mut naive = simple_two_node();
+        let die = cached.node_id("die").unwrap();
+        let sink = cached.node_id("sink").unwrap();
+        cached.set_power(die, Watts::new(120.0));
+        naive.set_power(die, Watts::new(120.0));
+        let link = cached.link_id("sink", "ambient").unwrap();
+        for k in 0..500 {
+            // Exercise every invalidation path mid-run: conductance moves
+            // (fan-speed style) every 50 steps, dt switches every 200.
+            if k % 50 == 0 {
+                let r = KelvinPerWatt::new(0.25 + 0.1 * f64::from(k / 50));
+                cached.set_link_resistance_by_id(link, r);
+                naive.set_link_resistance("sink", "ambient", r).unwrap();
+            }
+            let dt = if (k / 200) % 2 == 0 { 0.5 } else { 2.0 };
+            cached.step(Seconds::new(dt));
+            naive.step_uncached(Seconds::new(dt));
+            for id in [die, sink] {
+                assert_eq!(
+                    cached.temperature(id).value().to_bits(),
+                    naive.temperature(id).value().to_bits(),
+                    "diverged at step {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_changes_take_effect_without_refactorization() {
+        let mut net = simple_two_node();
+        let die = net.node_id("die").unwrap();
+        net.set_power(die, Watts::new(100.0));
+        net.step(Seconds::new(1.0));
+        let ambient = net.boundary_id("ambient").unwrap();
+        net.set_boundary_by_id(ambient, Celsius::new(50.0));
+        // Matrix untouched (boundary is rhs-only), yet the step sees it.
+        assert!(!net.matrix_dirty);
+        let before = net.temperature(die);
+        for _ in 0..10_000 {
+            net.step(Seconds::new(1.0));
+        }
+        assert!(net.temperature(die) > before + 10.0);
+    }
+
+    #[test]
+    fn unchanged_resistance_keeps_factorization_warm() {
+        let mut net = simple_two_node();
+        net.step(Seconds::new(1.0));
+        let link = net.link_id("sink", "ambient").unwrap();
+        net.set_link_resistance_by_id(link, KelvinPerWatt::new(0.25)); // same value
+        assert!(!net.matrix_dirty, "identical conductance must not dirty the cache");
+        net.set_link_resistance_by_id(link, KelvinPerWatt::new(0.3));
+        assert!(net.matrix_dirty);
+    }
+
+    #[test]
+    fn link_id_reports_unknown_and_missing_links() {
+        let net = simple_two_node();
+        assert!(matches!(net.link_id("die", "nope"), Err(NetworkError::UnknownName(_))));
+        assert!(matches!(net.link_id("die", "ambient"), Err(NetworkError::NoSuchLink(_, _))));
+        assert!(net.boundary_id("nope").is_none());
+        // Handles are order-insensitive.
+        assert_eq!(
+            net.link_id("sink", "ambient").unwrap(),
+            net.link_id("ambient", "sink").unwrap()
+        );
     }
 }

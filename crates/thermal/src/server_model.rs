@@ -39,11 +39,7 @@ impl ServerThermalModel {
     /// in thermal equilibrium with the ambient.
     #[must_use]
     pub fn date14(ambient: Celsius) -> Self {
-        Self {
-            ambient,
-            sink: HeatSinkNode::date14(ambient),
-            die: DieNode::date14(ambient),
-        }
+        Self { ambient, sink: HeatSinkNode::date14(ambient), die: DieNode::date14(ambient) }
     }
 
     /// Ambient (inlet air) temperature.
@@ -203,10 +199,7 @@ mod tests {
     #[test]
     fn min_safe_fan_speed_zero_power() {
         let m = ServerThermalModel::date14(Celsius::new(30.0));
-        assert_eq!(
-            m.min_safe_fan_speed(Watts::new(0.0), Celsius::new(35.0)),
-            Some(Rpm::new(0.0))
-        );
+        assert_eq!(m.min_safe_fan_speed(Watts::new(0.0), Celsius::new(35.0)), Some(Rpm::new(0.0)));
     }
 
     #[test]
@@ -231,7 +224,7 @@ mod tests {
 
     #[test]
     fn agrees_with_generic_rc_network_at_steady_state() {
-        use crate::{RcNetworkBuilder};
+        use crate::RcNetworkBuilder;
         use gfsc_units::JoulesPerKelvin;
 
         let m = ServerThermalModel::date14(Celsius::new(30.0));
@@ -250,10 +243,6 @@ mod tests {
         net.set_power(die, p);
         let ss = net.steady_state();
         let expected = m.steady_state_junction(p, fan);
-        assert!(
-            (ss[0] - expected).abs() < 1e-9,
-            "network {} vs model {expected}",
-            ss[0]
-        );
+        assert!((ss[0] - expected).abs() < 1e-9, "network {} vs model {expected}", ss[0]);
     }
 }

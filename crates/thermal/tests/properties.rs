@@ -121,4 +121,60 @@ proptest! {
             }
         }
     }
+
+    /// The cached-factorization `step` matches the naive assemble-and-solve
+    /// reference to 1e-9 on random networks — random node counts,
+    /// capacitances, resistances, powers and step sizes — including a
+    /// mid-run conductance change and a mid-run `dt` change, the two events
+    /// that invalidate the cache.
+    #[test]
+    fn cached_step_matches_naive_reference_on_random_networks(
+        caps in proptest::collection::vec(0.5f64..500.0, 2..7),
+        resistances in proptest::collection::vec(0.05f64..2.0, 2..7),
+        powers in proptest::collection::vec(0.0f64..200.0, 2..7),
+        dt1 in 0.05f64..5.0,
+        dt2 in 0.05f64..5.0,
+        new_r in 0.05f64..2.0,
+        steps in 2usize..40,
+    ) {
+        // A chain topology: node0 - node1 - ... - ambient; length set by the
+        // shortest generated vector.
+        let n = caps.len().min(resistances.len()).min(powers.len());
+        let mut builder = RcNetworkBuilder::new();
+        for (i, &c) in caps.iter().take(n).enumerate() {
+            builder = builder.node(format!("n{i}"), JoulesPerKelvin::new(c), Celsius::new(30.0));
+        }
+        builder = builder.boundary("ambient", Celsius::new(30.0));
+        for (i, &r) in resistances.iter().take(n).enumerate() {
+            let to = if i + 1 == n { "ambient".to_owned() } else { format!("n{}", i + 1) };
+            builder = builder.link(format!("n{i}"), to, KelvinPerWatt::new(r));
+        }
+        let mut cached = builder.build().unwrap();
+        let mut naive = cached.clone();
+        for (i, &p) in powers.iter().take(n).enumerate() {
+            let id = cached.node_id(&format!("n{i}")).unwrap();
+            cached.set_power(id, Watts::new(p));
+            naive.set_power(id, Watts::new(p));
+        }
+        let last_link = cached.link_id(&format!("n{}", n - 1), "ambient").unwrap();
+        for k in 0..steps {
+            // Mid-run invalidations: swap dt halfway, move the
+            // sink→ambient-style conductance two thirds in.
+            let dt = if k < steps / 2 { dt1 } else { dt2 };
+            if k == (2 * steps) / 3 {
+                cached.set_link_resistance_by_id(last_link, KelvinPerWatt::new(new_r));
+                naive
+                    .set_link_resistance(&format!("n{}", n - 1), "ambient", KelvinPerWatt::new(new_r))
+                    .unwrap();
+            }
+            cached.step(Seconds::new(dt));
+            naive.step_uncached(Seconds::new(dt));
+            for i in 0..n {
+                let id = cached.node_id(&format!("n{i}")).unwrap();
+                let a = cached.temperature(id).value();
+                let b = naive.temperature(id).value();
+                prop_assert!((a - b).abs() < 1e-9, "node {i} diverged at step {k}: {a} vs {b}");
+            }
+        }
+    }
 }

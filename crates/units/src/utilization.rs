@@ -19,11 +19,7 @@ impl UtilizationError {
 
 impl fmt::Display for UtilizationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "utilization must lie in [0, 1], got {}",
-            f64::from_bits(self.value_bits)
-        )
+        write!(f, "utilization must lie in [0, 1], got {}", f64::from_bits(self.value_bits))
     }
 }
 

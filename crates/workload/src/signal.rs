@@ -141,8 +141,7 @@ impl Sine {
 
 impl Signal for Sine {
     fn at(&self, t: Seconds) -> f64 {
-        self.offset
-            + self.amplitude * (2.0 * std::f64::consts::PI * t.value() / self.period).sin()
+        self.offset + self.amplitude * (2.0 * std::f64::consts::PI * t.value() / self.period).sin()
     }
 }
 

@@ -76,9 +76,7 @@ impl Workload {
     pub fn materialize(mut self, horizon: Seconds, interval: Seconds) -> Vec<Utilization> {
         assert!(!interval.is_zero(), "interval must be positive");
         let steps = (horizon / interval).floor() as usize;
-        (0..=steps)
-            .map(|k| self.sample(Seconds::new(k as f64 * interval.value())))
-            .collect()
+        (0..=steps).map(|k| self.sample(Seconds::new(k as f64 * interval.value()))).collect()
     }
 }
 
@@ -155,9 +153,8 @@ mod tests {
 
     #[test]
     fn spikes_lift_utilization() {
-        let mut w = Workload::builder(Constant::new(0.1))
-            .spikes(0.01, Seconds::new(10.0), 0.6, 4)
-            .build();
+        let mut w =
+            Workload::builder(Constant::new(0.1)).spikes(0.01, Seconds::new(10.0), 0.6, 4).build();
         let mut max_u: f64 = 0.0;
         for k in 0..5000 {
             max_u = max_u.max(w.sample(Seconds::new(k as f64)).value());

@@ -38,18 +38,8 @@ fn main() {
         let tl = ZieglerNichols::tyreus_luyben(ultimate);
         println!("operating point {speed} rpm (equilibrium {equilibrium:.1} °C):");
         println!("  Ku = {:.0} rpm/K, Pu = {:.2} fan periods", ultimate.ku, ultimate.pu);
-        println!(
-            "  classic ZN    : KP={:.0}  KI={:.0}  KD={:.0}",
-            zn.kp(),
-            zn.ki(),
-            zn.kd()
-        );
-        println!(
-            "  Tyreus–Luyben : KP={:.0}  KI={:.0}  KD={:.0}\n",
-            tl.kp(),
-            tl.ki(),
-            tl.kd()
-        );
+        println!("  classic ZN    : KP={:.0}  KI={:.0}  KD={:.0}", zn.kp(), zn.ki(), zn.kd());
+        println!("  Tyreus–Luyben : KP={:.0}  KI={:.0}  KD={:.0}\n", tl.kp(), tl.ki(), tl.kd());
         kus.push(ultimate.ku);
     }
     println!(

@@ -1,37 +1,43 @@
 //! All five coordination solutions on one shared workload — a miniature
-//! Table III with full trace access.
+//! Table III with full trace access, fanned out by the sweep engine.
 //!
 //! Run with: `cargo run --release --example coordination_showdown [horizon_s]`
 
-use gfsc::{markdown_table, Simulation, Solution};
+use gfsc::sweep::ScenarioGrid;
+use gfsc::{markdown_table, Solution};
 use gfsc_units::Seconds;
 
 fn main() {
-    let horizon = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(1800.0);
+    let horizon = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(1800.0);
 
     println!("== coordination showdown over {horizon} s (seed 42) ==\n");
-    let mut rows = Vec::new();
-    let mut baseline_energy = None;
-    for solution in Solution::ALL {
-        let outcome = Simulation::builder()
-            .solution(solution)
-            .seed(42)
-            .build()
-            .run(Seconds::new(horizon));
-        let energy = outcome.fan_energy.value();
-        let base = *baseline_energy.get_or_insert(energy);
-        let temp = outcome.traces.require("t_junction_c").expect("recorded");
-        let peak = temp.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        rows.push(vec![
-            solution.paper_name().to_owned(),
-            format!("{:.2}", outcome.violation_percent),
-            format!("{:.3}", if base > 0.0 { energy / base } else { f64::NAN }),
-            format!("{peak:.1}"),
-        ]);
-    }
+    let results = ScenarioGrid::builder()
+        .horizon(Seconds::new(horizon))
+        .solutions(&Solution::ALL)
+        .seeds(&[42])
+        .keep_traces(true)
+        .build()
+        .run();
+    let base = results
+        .iter()
+        .find(|r| r.solution == Solution::WithoutCoordination)
+        .expect("baseline in Solution::ALL")
+        .summary
+        .fan_energy_j;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let traces = r.traces.as_ref().expect("grid built with keep_traces");
+            let temp = traces.require("t_junction_c").expect("recorded");
+            let peak = temp.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            vec![
+                r.solution.paper_name().to_owned(),
+                format!("{:.2}", r.summary.violation_percent),
+                format!("{:.3}", if base > 0.0 { r.summary.fan_energy_j / base } else { f64::NAN }),
+                format!("{peak:.1}"),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         markdown_table(

@@ -23,11 +23,8 @@ fn main() {
 
     let mut results = Vec::new();
     for solution in [Solution::WithoutCoordination, Solution::RCoordAdaptiveTrefSsFan] {
-        let outcome = Simulation::builder()
-            .solution(solution)
-            .workload(diurnal(7))
-            .build()
-            .run(horizon);
+        let outcome =
+            Simulation::builder().solution(solution).workload(diurnal(7)).build().run(horizon);
         println!(
             "{:<28} violations {:>5.2} %   fan energy {:>8.0} J   lost work {:>6.1} u·s",
             solution.paper_name(),

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the gfsc workspace. Run from the repository root:
+#
+#     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests
+#     ./scripts/ci.sh quick    # skip the release build & release tests
+#
+# Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
+# and adds the style gates that keep the tree warning-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+if [ "${1:-}" != "quick" ]; then
+    echo "== cargo test -q --release (sweeps & experiments at full speed)"
+    cargo test -q --release
+
+    echo "== perf smoke (hot-path benches, fast mode)"
+    GFSC_BENCH_FAST=1 cargo bench -p gfsc-bench --bench hot_paths
+fi
+
+echo "CI gate passed."

@@ -1,0 +1,8 @@
+//! Workspace-root package hosting the cross-crate integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+//!
+//! All functionality lives in the member crates; start from [`gfsc`].
+
+#![forbid(unsafe_code)]
+
+pub use gfsc;

@@ -33,32 +33,55 @@ fn different_seed_different_trajectory() {
 #[test]
 fn every_solution_is_deterministic() {
     for solution in Solution::ALL {
-        let a = Simulation::builder()
-            .solution(solution)
-            .seed(9)
-            .build()
-            .run(Seconds::new(300.0));
-        let b = Simulation::builder()
-            .solution(solution)
-            .seed(9)
-            .build()
-            .run(Seconds::new(300.0));
-        assert_eq!(
-            a.violation_percent, b.violation_percent,
-            "{solution} is not deterministic"
-        );
+        let a = Simulation::builder().solution(solution).seed(9).build().run(Seconds::new(300.0));
+        let b = Simulation::builder().solution(solution).seed(9).build().run(Seconds::new(300.0));
+        assert_eq!(a.violation_percent, b.violation_percent, "{solution} is not deterministic");
         assert_eq!(a.fan_energy, b.fan_energy, "{solution} energy differs");
     }
 }
 
 #[test]
+fn parallel_sweep_matches_serial_byte_for_byte() {
+    use gfsc::sweep::ScenarioGrid;
+    // N seeded scenarios across two axes — enough jobs that the executor
+    // actually interleaves work on a multi-core host.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(180.0))
+        .solutions(&[
+            Solution::WithoutCoordination,
+            Solution::ECoord,
+            Solution::RCoordAdaptiveTrefSsFan,
+        ])
+        .seeds(&[1, 2, 3, 4])
+        .build();
+    // Pin 4 workers so real thread interleaving happens even on hosts with
+    // fewer cores (where the default policy would fall back to serial).
+    let parallel = grid.run_with_workers(4);
+    let serial = grid.run_serial();
+    assert_eq!(parallel.len(), serial.len());
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.label, s.label, "scenario order must be the enumeration order");
+        // RunSummary equality is exact f64 equality — bitwise, not
+        // approximate.
+        assert_eq!(p.summary, s.summary, "{}", p.label);
+    }
+}
+
+#[test]
+fn sweep_respects_thread_count_override() {
+    // GFSC_SWEEP_THREADS=1 must force the serial path; this is also the
+    // escape hatch documented in ROADMAP.md for debugging.
+    std::env::set_var("GFSC_SWEEP_THREADS", "1");
+    let out = gfsc_sim::sweep::parallel_map(&[1u64, 2, 3], |&x| x * 10);
+    std::env::remove_var("GFSC_SWEEP_THREADS");
+    assert_eq!(out, vec![10, 20, 30]);
+}
+
+#[test]
 fn experiments_replay_deterministically() {
     use gfsc::experiments::fig5::{run, Fig5Config};
-    let config = Fig5Config {
-        horizon: Seconds::new(600.0),
-        seed: 3,
-        solution: Solution::RCoordFixedTref,
-    };
+    let config =
+        Fig5Config { horizon: Seconds::new(600.0), seed: 3, solution: Solution::RCoordFixedTref };
     let a = run(&config);
     let b = run(&config);
     assert_eq!(a.violation_percent, b.violation_percent);

@@ -41,20 +41,14 @@ fn adaptive_pid_regulates_steady_load_through_nonideal_chain() {
     let fan = outcome.traces.require("fan_rpm").unwrap();
     let (t, v) = fan.tail_from(Seconds::new(300.0));
     let rep = stats::detect_oscillation(t, v, 150.0);
-    assert!(
-        !(rep.reversals >= 4 && rep.amplitude >= 6750.0),
-        "rail-to-rail oscillation: {rep:?}"
-    );
+    assert!(!(rep.reversals >= 4 && rep.amplitude >= 6750.0), "rail-to-rail oscillation: {rep:?}");
 }
 
 /// The conventional deadzone scheme oscillates on the identical plant —
 /// the Fig. 4 contrast, end to end.
 #[test]
 fn deadzone_oscillates_on_the_same_plant() {
-    let spec = ServerSpec {
-        fan_control_interval: Seconds::new(1.0),
-        ..fan_study_spec()
-    };
+    let spec = ServerSpec { fan_control_interval: Seconds::new(1.0), ..fan_study_spec() };
     let mut sim = ClosedLoopSim::builder()
         .spec(spec.clone())
         .workload(Workload::builder(Constant::new(0.7)).build())
@@ -81,11 +75,7 @@ fn coordinated_stack_survives_noisy_dynamic_load() {
         .seed(5)
         .build()
         .run(Seconds::new(1200.0));
-    assert!(
-        outcome.violation_percent < 20.0,
-        "violations {}",
-        outcome.violation_percent
-    );
+    assert!(outcome.violation_percent < 20.0, "violations {}", outcome.violation_percent);
     // Junction must respect the DTM comfort zone except transient spikes:
     // 95th percentile below the 80 °C limit plus a small excursion band.
     let temp = outcome.traces.require("t_junction_c").unwrap();

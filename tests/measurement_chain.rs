@@ -42,10 +42,7 @@ fn step_change_reaches_firmware_after_the_configured_lag() {
     }
     let lag = t_meas.expect("measured moved") - t_truth.expect("truth moved");
     let configured = ServerSpec::enterprise_default().sensor_lag.value();
-    assert!(
-        (lag - configured).abs() <= 2.5,
-        "observed lag {lag}s vs configured {configured}s"
-    );
+    assert!((lag - configured).abs() <= 2.5, "observed lag {lag}s vs configured {configured}s");
 }
 
 #[test]

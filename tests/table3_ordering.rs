@@ -91,9 +91,7 @@ fn adaptive_reference_recovers_the_energy_cost() {
 fn rows_are_complete_and_normalized() {
     let t = table();
     assert_eq!(t.rows.len(), 5);
-    assert!(
-        (t.row(Solution::WithoutCoordination).normalized_fan_energy - 1.0).abs() < 1e-12
-    );
+    assert!((t.row(Solution::WithoutCoordination).normalized_fan_energy - 1.0).abs() < 1e-12);
     for row in &t.rows {
         assert!((0.0..=100.0).contains(&row.violation_percent), "{row:?}");
         assert!(row.fan_energy_j > 0.0, "{row:?}");

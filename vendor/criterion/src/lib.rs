@@ -1,0 +1,226 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io, so this shim implements a
+//! compact wall-clock benchmark harness behind criterion's API:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::throughput`], [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Differences from upstream: no statistical outlier analysis, no HTML
+//! reports, no baseline comparison. Each bench reports the median, minimum
+//! and mean nanoseconds per iteration over `sample_size` samples (each
+//! sample is a batch sized to ~10 ms of work), which is enough to catch the
+//! integer-factor regressions these benches guard against. Set
+//! `GFSC_BENCH_FAST=1` to shrink sample counts for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Work-rate annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle (shim for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), throughput: None, sample_size: default_sample_size() }
+    }
+
+    /// Runs a stand-alone benchmark (equivalent to a one-entry group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, default_sample_size(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark (default 20; 5 under
+    /// `GFSC_BENCH_FAST=1`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = if fast_mode() { n.min(5) } else { n };
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("GFSC_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn default_sample_size() -> usize {
+    if fast_mode() {
+        5
+    } else {
+        20
+    }
+}
+
+/// Calibrates a batch size, collects samples, prints one report line.
+fn run_one<F>(name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: grow the batch until one batch takes >= 10 ms (capped so
+    // multi-second routines still finish).
+    let target = Duration::from_millis(10);
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 20 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        // Aim straight for the target using the observed rate.
+        let scale = if b.elapsed.is_zero() {
+            8.0
+        } else {
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 8.0)
+        };
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    };
+
+    // Budget: don't let slow routines (whole-experiment benches) run the
+    // full sample count if that would take minutes.
+    let budget = if fast_mode() { 2.0 } else { 10.0 };
+    let affordable = (budget / (per_iter * iters as f64)).floor() as usize;
+    let samples = samples.min(affordable.max(3));
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3e} elem/s", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.3e} B/s", n as f64 * 1e9 / median)
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<48} median {median:>12.1} ns/iter  (min {min:.1}, mean {mean:.1}, \
+         {samples} samples x {iters} iters){rate}"
+    );
+}
+
+/// Declares a named group-runner function over the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary over the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. `--bench`); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_reports_and_finishes() {
+        std::env::set_var("GFSC_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1)).sample_size(3);
+        let mut acc = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bench_function_on_criterion_directly() {
+        std::env::set_var("GFSC_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| 2_u64.pow(10)));
+    }
+}

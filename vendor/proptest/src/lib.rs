@@ -1,0 +1,309 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io, so this shim implements
+//! the pieces the property tests consume:
+//!
+//! - the [`proptest!`] macro (`#[test] fn name(arg in strategy, ...) { .. }`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - range strategies over `f64`, `usize`, `u64`, `u32`, `i64`, `u8`,
+//! - [`collection::vec`] for vectors of strategy-generated elements.
+//!
+//! Differences from upstream: cases are generated from a per-test
+//! deterministic seed (the hash of the test name), there is no shrinking,
+//! and the case count defaults to 48 (override with `PROPTEST_CASES`).
+//! Deterministic generation keeps failures reproducible without persisted
+//! regression files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategy trait and implementations for primitive ranges.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an output type from an RNG — the shim analogue
+    /// of `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            let u = rng.unit_f64();
+            // Half-open: u ∈ [0, 1) maps onto [start, end).
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty f64 strategy range");
+            // Occasionally emit the exact endpoints so `..=` differs
+            // meaningfully from `..`.
+            match rng.next_u64() % 64 {
+                0 => lo,
+                1 => hi,
+                _ => lo + rng.unit_f64() * (hi - lo),
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer strategy range");
+                    let span = (hi - lo) as u64;
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u8, i64);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`] — the shim analogue of
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the generated test bodies.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic per-test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator from the test name, so each property test has
+        /// a reproducible stream independent of execution order.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+
+        /// Raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.0.gen::<f64>()
+        }
+    }
+
+    /// A failed property case (carries the formatted assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The number of cases each property runs (`PROPTEST_CASES` overrides
+    /// the default of 48).
+    #[must_use]
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed at case {case}/{cases}: {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert {
+    // `if cond {} else { fail }` rather than `if !cond`, so the
+    // `neg_cmp_op_on_partial_ord` lint stays quiet for `a < b` conditions.
+    ($cond:expr $(,)?) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn generated_f64_stays_in_range(x in -3.0f64..7.0) {
+            prop_assert!((-3.0..7.0).contains(&x), "out of range: {x}");
+        }
+
+        #[test]
+        fn generated_usize_stays_in_range(n in 1usize..10) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(n, n);
+        }
+
+        #[test]
+        fn vectors_respect_bounds(v in crate::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn per_name_streams_are_deterministic() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("other");
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    fn inclusive_range_can_hit_endpoints() {
+        let mut rng = TestRng::from_name("endpoints");
+        let strat = 0.0f64..=1.0;
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..10_000 {
+            let x = strat.generate(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            hit_lo |= x == 0.0;
+            hit_hi |= x == 1.0;
+        }
+        assert!(hit_lo && hit_hi, "endpoints never generated");
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}
