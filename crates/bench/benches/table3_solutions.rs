@@ -7,12 +7,12 @@ use gfsc_units::Seconds;
 use std::hint::black_box;
 
 fn bench_table3(c: &mut Criterion) {
-    let config = Table3Config { horizon: Seconds::new(900.0), seed: 42 };
+    let config = Table3Config { horizon: Seconds::new(900.0), seeds: vec![42] };
     // Correctness gate (reduced horizon; orderings that are robust even
     // on short runs).
     let table = run(&config);
-    let base = table.row(Solution::WithoutCoordination).violation_percent;
-    let ecoord = table.row(Solution::ECoord).violation_percent;
+    let base = table.row(Solution::WithoutCoordination).violation_percent.mean;
+    let ecoord = table.row(Solution::ECoord).violation_percent.mean;
     assert!(ecoord > base, "E-coord must degrade performance most");
 
     let mut group = c.benchmark_group("table3");

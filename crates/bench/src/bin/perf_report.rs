@@ -15,21 +15,29 @@
 //! - tuning: the two-region Ziegler–Nichols schedule, serial vs parallel.
 //!
 //! Usage: `cargo run --release -p gfsc-bench --bin perf_report
-//! [--table3-horizon SECS] [--out PATH]`
+//! [--table3-horizon SECS] [--out PATH] [--check BASELINE.json]`
+//!
+//! `--check` switches to regression-gate mode: instead of writing a new
+//! snapshot, it re-measures the cached-step and closed-loop-throughput
+//! metrics (best of three), compares them against the committed baseline,
+//! and exits non-zero on any regression beyond the tolerance (default
+//! 30 %, override with `GFSC_BENCH_TOLERANCE=0.5`). `scripts/bench_check.sh`
+//! wraps this for CI.
 
 use gfsc::experiments::{ablations, fan_study_spec};
 use gfsc::sweep::ScenarioGrid;
 use gfsc::{tune_gain_schedule, Solution};
 use gfsc_bench::{chain_network, EPOCH_CHANNELS};
 use gfsc_sim::sweep::thread_count;
-use gfsc_thermal::ServerThermalModel;
-use gfsc_units::{Celsius, Rpm, Seconds, Watts};
+use gfsc_thermal::{HeatSinkLaw, MultiSocketPlant, PlantCalibration, ServerThermalModel, Topology};
+use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
     let mut table3_horizon = 900.0;
     let mut out_path: Option<String> = None;
+    let mut check_baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,8 +48,12 @@ fn main() {
                     .expect("--table3-horizon needs a number");
             }
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--check" => check_baseline = Some(args.next().expect("--check needs a path")),
             other => panic!("unknown argument `{other}`"),
         }
+    }
+    if let Some(baseline) = check_baseline {
+        std::process::exit(run_check(&baseline));
     }
     let out_path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
     let cores = thread_count();
@@ -62,9 +74,15 @@ fn main() {
     };
     let (rc2_cached, rc2_uncached) = rc(2);
     let (rc8_cached, rc8_uncached) = rc(8);
+    let mut plant_4s = quad_socket_plant();
+    let powers_4s = [Watts::new(140.8); 4];
+    let plant_4s_ns = time_per_iter(200_000, || {
+        plant_4s.step(Seconds::new(0.5), &powers_4s, Rpm::new(4000.0));
+    });
     println!(
         "thermal: server_model {server_step_ns:.0} ns; rc2 {rc2_cached:.0}/{rc2_uncached:.0} ns \
-         (cached/uncached, {:.2}x); rc8 {rc8_cached:.0}/{rc8_uncached:.0} ns ({:.2}x)",
+         (cached/uncached, {:.2}x); rc8 {rc8_cached:.0}/{rc8_uncached:.0} ns ({:.2}x); \
+         4S plant {plant_4s_ns:.0} ns",
         rc2_uncached / rc2_cached,
         rc8_uncached / rc8_cached,
     );
@@ -185,7 +203,8 @@ fn main() {
          \"thermal\": {{\n    \"server_model_step_ns\": {server_step_ns:.1},\n    \
          \"rc2_cached_ns\": {rc2_cached:.1},\n    \"rc2_uncached_ns\": {rc2_uncached:.1},\n    \
          \"rc8_cached_ns\": {rc8_cached:.1},\n    \"rc8_uncached_ns\": {rc8_uncached:.1},\n    \
-         \"rc8_cached_speedup\": {rc8_speedup:.3}\n  }},\n  \
+         \"rc8_cached_speedup\": {rc8_speedup:.3},\n    \
+         \"plant_4s_step_ns\": {plant_4s_ns:.1}\n  }},\n  \
          \"trace_record_8ch\": {{\n    \"by_name_ns\": {record_by_name_ns:.1},\n    \
          \"by_handle_ns\": {record_by_handle_ns:.1}\n  }},\n  \
          \"closed_loop\": {{\n    \"sim_seconds_per_wall_second\": {sim_rate:.1}\n  }},\n  \
@@ -204,6 +223,102 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("writing the snapshot");
     println!("wrote {out_path}");
+}
+
+/// The shared 4S benchmark plant (Table I calibration per socket).
+fn quad_socket_plant() -> MultiSocketPlant {
+    let cal = PlantCalibration {
+        ambient: Celsius::new(35.0),
+        law: HeatSinkLaw::date14(),
+        sink_tau: Seconds::new(60.0),
+        tau_speed: Rpm::new(8500.0),
+        r_jc: KelvinPerWatt::new(0.10),
+        die_tau: Seconds::new(0.1),
+    };
+    MultiSocketPlant::new(&cal, &Topology::quad_socket()).expect("stock topology compiles")
+}
+
+/// `--check` mode: re-measures the gate metrics, compares them against the
+/// committed baseline, prints a verdict table, and returns the process
+/// exit code (0 = within tolerance).
+fn run_check(baseline_path: &str) -> i32 {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline `{baseline_path}`: {e}"));
+    let tolerance: f64 =
+        std::env::var("GFSC_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.30);
+    println!("bench check vs {baseline_path} (tolerance {:.0} %)", tolerance * 100.0);
+
+    // Best-of-three on every gate metric: the gate asks "has the code got
+    // slower", and the minimum is the observation least polluted by
+    // scheduler noise on a shared box.
+    let best3 = |mut f: Box<dyn FnMut() -> f64>| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let mut rc2 = chain_network(2);
+    rc2.step(Seconds::new(0.5));
+    let rc2_cached =
+        best3(Box::new(move || time_per_iter(200_000, || rc2.step(Seconds::new(0.5)))));
+    let mut rc8 = chain_network(8);
+    rc8.step(Seconds::new(0.5));
+    let rc8_cached =
+        best3(Box::new(move || time_per_iter(200_000, || rc8.step(Seconds::new(0.5)))));
+    // Warm the gain cache so the throughput probe times the loop, not
+    // one-time tuning.
+    let _ = gfsc::fine_gain_schedule();
+    let sim_rate = best3(Box::new(|| {
+        let horizon = 600.0;
+        let (_, secs) = time(|| {
+            gfsc::Simulation::builder()
+                .solution(Solution::RCoordAdaptiveTrefSsFan)
+                .seed(7)
+                .build()
+                .run(Seconds::new(horizon))
+        });
+        // Fold into "ns-like" cost so lower is better for every metric.
+        secs / horizon
+    }));
+
+    let mut failed = false;
+    let mut check =
+        |name: &str, key: &str, measured_cost: f64, baseline_to_cost: fn(f64) -> f64| {
+            let Some(raw) = json_number(&baseline, key) else {
+                println!("  {name:<28} SKIP (no `{key}` in baseline)");
+                return;
+            };
+            let baseline_cost = baseline_to_cost(raw);
+            let ratio = measured_cost / baseline_cost;
+            let verdict = if ratio <= 1.0 + tolerance { "ok" } else { "REGRESSED" };
+            if ratio > 1.0 + tolerance {
+                failed = true;
+            }
+            println!(
+                "  {name:<28} {verdict:<9} cost ratio {ratio:.3} (measured {measured_cost:.3e}, \
+             baseline {baseline_cost:.3e})"
+            );
+        };
+    check("rc2 cached step", "rc2_cached_ns", rc2_cached, |ns| ns);
+    check("rc8 cached step", "rc8_cached_ns", rc8_cached, |ns| ns);
+    // Throughput inverts: cost = wall seconds per simulated second.
+    check("closed-loop throughput", "sim_seconds_per_wall_second", sim_rate, |rate| 1.0 / rate);
+
+    if failed {
+        println!("bench check FAILED: >{:.0} % regression", tolerance * 100.0);
+        1
+    } else {
+        println!("bench check passed.");
+        0
+    }
+}
+
+/// Extracts `"key": <number>` from the baseline snapshot (the snapshot is
+/// machine-written with unique keys, so a string scan is exact — no JSON
+/// crate in the offline set).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Wall-clock seconds of one call.

@@ -1,14 +1,21 @@
 //! Regenerates Table III: deadline violations and normalized fan energy
 //! for the five coordination solutions.
+//!
+//! Usage: `table3 [HORIZON_S] [SEED ...]` — more than one seed reports
+//! mean ± 95 % CI over the seed axis.
 
 use gfsc::experiments::table3::{run, Table3Config};
 use gfsc_units::Seconds;
 
 fn main() {
     let horizon = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(7200.0);
-    let seed = std::env::args().nth(2).and_then(|s| s.parse::<u64>().ok()).unwrap_or(42);
-    let config = Table3Config { horizon: Seconds::new(horizon), seed };
+    let seeds: Vec<u64> = std::env::args()
+        .skip(2)
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("seed arguments must be integers, got `{s}`")))
+        .collect();
+    let seeds = if seeds.is_empty() { vec![42] } else { seeds };
+    let config = Table3Config { horizon: Seconds::new(horizon), seeds };
     let table = run(&config);
-    println!("Table III reproduction (horizon {horizon} s, seed {})\n", config.seed);
+    println!("Table III reproduction (horizon {horizon} s, seeds {:?})\n", config.seeds);
     println!("{}", table.to_markdown());
 }

@@ -325,13 +325,9 @@ impl EnergyAwareCoordinator {
     fn fan_for_demand(&self, inputs: &CoordinationInputs<'_>) -> Rpm {
         let spec = inputs.server.spec();
         let demand = inputs.server.executed_utilization();
-        let power = spec.cpu_power.power(demand);
         let target = self.t_emergency - self.fan_margin;
-        let speed = inputs
-            .server
-            .thermal()
-            .min_safe_fan_speed(power, target)
-            .unwrap_or(spec.fan_bounds.hi());
+        let speed =
+            inputs.server.min_safe_fan_speed(demand, target).unwrap_or(spec.fan_bounds.hi());
         spec.fan_bounds.clamp(speed)
     }
 }
@@ -609,10 +605,7 @@ mod tests {
         // the executing load (0.7 -> 140.8 W at the 78 °C target).
         let out = c.coordinate(&inputs(&s, 77.0, 0.7, 0.7, 3000.0, Some(6000.0)));
         let fan = out.fan_target.expect("fan epoch");
-        let expected = s
-            .thermal()
-            .min_safe_fan_speed(gfsc_units::Watts::new(140.8), Celsius::new(79.0))
-            .unwrap();
+        let expected = s.min_safe_fan_speed(u(0.7), Celsius::new(79.0)).unwrap();
         assert!((fan - expected).abs() < 1.0, "fan {fan} expected {expected}");
         // And the energy-optimal speed is *below* what the PID proposed.
         assert!(fan < rpm(6000.0));

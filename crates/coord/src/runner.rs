@@ -16,7 +16,8 @@ use gfsc_workload::Workload;
 pub struct RunOutcome {
     /// Time series recorded at the CPU epoch rate (1 s): `u_demand`,
     /// `u_cap`, `u_executed`, `t_measured_c`, `t_junction_c`, `fan_rpm`,
-    /// `fan_target_rpm`, `t_ref_c`.
+    /// `fan_target_rpm`, `t_ref_c`. Multi-socket plants additionally
+    /// record `t_junction_s{i}_c` and `t_measured_s{i}_c` per socket.
     pub traces: TraceSet,
     /// Fraction of CPU epochs whose demand exceeded the cap, in percent.
     pub violation_percent: f64,
@@ -250,7 +251,7 @@ impl ClosedLoopSim {
         // string scans, zero allocations in steady state.
         let epochs =
             (horizon.value() / self.spec.cpu_control_interval.value()).floor() as usize + 2;
-        let channels = EpochChannels::resolve(&mut traces, epochs);
+        let channels = EpochChannels::resolve(&mut traces, epochs, self.server.socket_count());
 
         let steps = clock.steps_for(horizon);
         for _ in 0..=steps {
@@ -314,11 +315,9 @@ impl ClosedLoopSim {
                 // instead of carrying integral state wound up during the
                 // boost excursion.
                 self.fan.reset();
-                let power = self.spec.cpu_power.power(predicted);
                 let safe = self
                     .server
-                    .thermal()
-                    .min_safe_fan_speed(power, self.fan.reference())
+                    .min_safe_fan_speed(predicted, self.fan.reference())
                     .unwrap_or(self.spec.fan_bounds.hi());
                 Some(self.spec.fan_bounds.clamp(safe))
             }
@@ -363,11 +362,19 @@ impl ClosedLoopSim {
         traces.record_by_id(channels.fan_rpm, now, self.server.fan_speed().value());
         traces.record_by_id(channels.fan_target_rpm, now, self.server.fan_target().value());
         traces.record_by_id(channels.t_ref_c, now, self.fan.reference().value());
+        for (i, &(junction, measured)) in channels.per_socket.iter().enumerate() {
+            traces.record_by_id(junction, now, self.server.junction_socket(i).value());
+            traces.record_by_id(measured, now, self.server.measured_socket(i).value());
+        }
     }
 }
 
-/// The eight epoch-rate channels, resolved to [`ChannelId`]s once per run.
-#[derive(Debug, Clone, Copy)]
+/// The epoch-rate channels, resolved to [`ChannelId`]s once per run: the
+/// eight aggregate channels plus, on multi-socket plants, one
+/// `(t_junction_s{i}_c, t_measured_s{i}_c)` pair per socket. Single-socket
+/// runs create exactly the historical eight channels, so paper-reproduction
+/// trace sets are unchanged.
+#[derive(Debug, Clone)]
 struct EpochChannels {
     u_demand: ChannelId,
     u_cap: ChannelId,
@@ -377,12 +384,13 @@ struct EpochChannels {
     fan_rpm: ChannelId,
     fan_target_rpm: ChannelId,
     t_ref_c: ChannelId,
+    per_socket: Vec<(ChannelId, ChannelId)>,
 }
 
 impl EpochChannels {
     /// Creates the channels in the documented order, each pre-sized for
     /// `capacity` samples.
-    fn resolve(traces: &mut TraceSet, capacity: usize) -> Self {
+    fn resolve(traces: &mut TraceSet, capacity: usize, sockets: usize) -> Self {
         Self {
             u_demand: traces.channel_with_capacity("u_demand", capacity),
             u_cap: traces.channel_with_capacity("u_cap", capacity),
@@ -392,6 +400,18 @@ impl EpochChannels {
             fan_rpm: traces.channel_with_capacity("fan_rpm", capacity),
             fan_target_rpm: traces.channel_with_capacity("fan_target_rpm", capacity),
             t_ref_c: traces.channel_with_capacity("t_ref_c", capacity),
+            per_socket: if sockets > 1 {
+                (0..sockets)
+                    .map(|i| {
+                        (
+                            traces.channel_with_capacity(&format!("t_junction_s{i}_c"), capacity),
+                            traces.channel_with_capacity(&format!("t_measured_s{i}_c"), capacity),
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -433,6 +453,29 @@ mod tests {
         ] {
             let tr = out.traces.require(name).unwrap();
             assert_eq!(tr.len(), 61, "trace {name}");
+        }
+        // Single socket: no per-socket channels (historical trace shape).
+        assert!(out.traces.require("t_junction_s0_c").is_err());
+    }
+
+    #[test]
+    fn multi_socket_run_records_per_socket_channels() {
+        let spec = gfsc_server::ServerSpec::with_topology(gfsc_thermal::Topology::dual_socket());
+        let mut sim = ClosedLoopSim::builder()
+            .spec(spec)
+            .workload(Workload::builder(Constant::new(0.6)).build())
+            .fan(pid_fan())
+            .build();
+        let out = sim.run(Seconds::new(60.0));
+        for name in ["t_junction_s0_c", "t_junction_s1_c", "t_measured_s0_c", "t_measured_s1_c"] {
+            assert_eq!(out.traces.require(name).unwrap().len(), 61, "trace {name}");
+        }
+        // The aggregate junction channel tracks the hottest socket.
+        let agg = out.traces.require("t_junction_c").unwrap();
+        let s0 = out.traces.require("t_junction_s0_c").unwrap();
+        let s1 = out.traces.require("t_junction_s1_c").unwrap();
+        for ((a, x), y) in agg.values().iter().zip(s0.values()).zip(s1.values()) {
+            assert_eq!(*a, x.max(*y));
         }
     }
 

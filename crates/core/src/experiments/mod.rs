@@ -8,8 +8,9 @@
 //! | [`fig3`] | Fig. 3 | fixed-gain PID is slow (2000 rpm set) or unstable (6000 rpm set); the adaptive PID is both fast and stable |
 //! | [`fig4`] | Fig. 4 | a deadzone fan controller oscillates under non-ideal measurement |
 //! | [`fig5`] | Fig. 5 | the coordinated stack stays stable under noisy dynamic load |
-//! | [`table3`] | Table III | deadline violations and fan energy across the five solutions |
+//! | [`table3`] | Table III | deadline violations and fan energy across the five solutions (mean ± CI over seeds) |
 //! | [`ablations`] | — (extensions) | lag, quantization, region-count and noise sweeps |
+//! | [`topology`] | — (extensions) | the coordinated stack on 2S/4S/blade multi-socket plants |
 //!
 //! Experiment functions are deterministic for a given config (seeds
 //! included), so the binaries in `gfsc-bench` and the assertions in the
@@ -21,6 +22,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod table3;
+pub mod topology;
 
 use gfsc_control::{GainSchedule, PidGains};
 use gfsc_server::ServerSpec;

@@ -1,6 +1,6 @@
 //! Table III: performance and fan-energy comparison of the five solutions.
 
-use crate::sweep::ScenarioGrid;
+use crate::sweep::{aggregate_over_seeds, ScenarioGrid, SeedStats};
 use crate::{markdown_table, Solution};
 use gfsc_units::Seconds;
 
@@ -11,26 +11,29 @@ pub struct Table3Config {
     /// violation fractions to stabilize across workload periods and
     /// spikes).
     pub horizon: Seconds,
-    /// Workload seed (same demand trace for every solution).
-    pub seed: u64,
+    /// Workload seeds. The paper reports a single trace; more seeds add a
+    /// 95 % confidence interval over the seed axis to every metric
+    /// (default: the single seed 42, reproducing the published table).
+    pub seeds: Vec<u64>,
 }
 
 impl Default for Table3Config {
     fn default() -> Self {
-        Self { horizon: Seconds::new(7200.0), seed: 42 }
+        Self { horizon: Seconds::new(7200.0), seeds: vec![42] }
     }
 }
 
-/// One row of the reproduced table.
+/// One row of the reproduced table, aggregated over the seed axis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// The solution evaluated.
     pub solution: Solution,
-    /// Percentage of CPU epochs with deadline violations.
-    pub violation_percent: f64,
-    /// Absolute fan energy over the run, joules.
-    pub fan_energy_j: f64,
-    /// Fan energy normalized to the uncoordinated baseline.
+    /// Percentage of CPU epochs with deadline violations (mean ± CI over
+    /// seeds).
+    pub violation_percent: SeedStats,
+    /// Absolute fan energy over the run, joules (mean ± CI over seeds).
+    pub fan_energy_j: SeedStats,
+    /// Mean fan energy normalized to the uncoordinated baseline's mean.
     pub normalized_fan_energy: f64,
 }
 
@@ -60,10 +63,18 @@ impl Table3 {
             .expect("all solutions present by construction")
     }
 
-    /// Renders the measured-vs-paper comparison as markdown.
+    /// Renders the measured-vs-paper comparison as markdown. Multi-seed
+    /// configs annotate every measured cell with its ± 95 % CI half-width.
     #[must_use]
     pub fn to_markdown(&self) -> String {
         let paper = Self::paper_values();
+        let with_ci = |stats: &SeedStats, decimals: usize| {
+            if stats.n > 1 {
+                format!("{:.decimals$} ± {:.decimals$}", stats.mean, stats.ci95)
+            } else {
+                format!("{:.decimals$}", stats.mean)
+            }
+        };
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -71,7 +82,7 @@ impl Table3 {
             .map(|(r, (p_viol, p_energy))| {
                 vec![
                     r.solution.paper_name().to_owned(),
-                    format!("{:.2}", r.violation_percent),
+                    with_ci(&r.violation_percent, 2),
                     format!("{p_viol:.2}"),
                     format!("{:.3}", r.normalized_fan_energy),
                     format!("{p_energy:.3}"),
@@ -91,37 +102,39 @@ impl Table3 {
     }
 }
 
-/// Runs all five solutions on the shared workload — fanned out across all
-/// cores by the sweep engine — and assembles the table.
+/// Runs all five solutions on the shared workload — every solution × seed
+/// cell fanned out across all cores by the sweep engine — and assembles
+/// the table with per-metric confidence intervals over the seed axis.
 ///
 /// Normalization happens after the sweep: every run is independent, so the
 /// parallel results are bit-identical to a serial walk of
 /// [`Solution::ALL`].
+///
+/// # Panics
+///
+/// Panics if `config.seeds` is empty.
 #[must_use]
 pub fn run(config: &Table3Config) -> Table3 {
     let results = ScenarioGrid::builder()
         .horizon(config.horizon)
         .solutions(&Solution::ALL)
-        .seeds(&[config.seed])
+        .seeds(&config.seeds)
         .build()
         .run();
-    let base = results
+    let cells = aggregate_over_seeds(&results);
+    let base = cells
         .iter()
-        .find(|r| r.solution == Solution::WithoutCoordination)
+        .find(|c| c.solution == Solution::WithoutCoordination)
         .expect("baseline is in Solution::ALL")
-        .summary
-        .fan_energy_j;
-    let rows = results
+        .fan_energy_j
+        .mean;
+    let rows = cells
         .iter()
-        .map(|r| Table3Row {
-            solution: r.solution,
-            violation_percent: r.summary.violation_percent,
-            fan_energy_j: r.summary.fan_energy_j,
-            normalized_fan_energy: if base > 0.0 {
-                r.summary.fan_energy_j / base
-            } else {
-                f64::NAN
-            },
+        .map(|c| Table3Row {
+            solution: c.solution,
+            violation_percent: c.violation_percent,
+            fan_energy_j: c.fan_energy_j,
+            normalized_fan_energy: if base > 0.0 { c.fan_energy_j.mean / base } else { f64::NAN },
         })
         .collect();
     Table3 { rows, config: config.clone() }
@@ -141,13 +154,26 @@ mod tests {
 
     #[test]
     fn short_run_produces_all_rows() {
-        let table = run(&Table3Config { horizon: Seconds::new(300.0), seed: 1 });
+        let table = run(&Table3Config { horizon: Seconds::new(300.0), seeds: vec![1] });
         assert_eq!(table.rows.len(), 5);
         // Baseline row is normalized to exactly 1.
         let base = table.row(Solution::WithoutCoordination);
         assert!((base.normalized_fan_energy - 1.0).abs() < 1e-12);
+        // Single seed: no CI.
+        assert_eq!(base.violation_percent.ci95, 0.0);
         // Markdown renders one line per solution plus 2 header lines.
         let md = table.to_markdown();
         assert_eq!(md.lines().count(), 7);
+    }
+
+    #[test]
+    fn multi_seed_run_reports_confidence_intervals() {
+        let table = run(&Table3Config { horizon: Seconds::new(300.0), seeds: vec![1, 2, 3] });
+        let base = table.row(Solution::WithoutCoordination);
+        assert_eq!(base.violation_percent.n, 3);
+        // Different seeds produce different traces, so the fan-energy CI is
+        // strictly positive.
+        assert!(base.fan_energy_j.ci95 > 0.0, "CI collapsed: {:?}", base.fan_energy_j);
+        assert!(table.to_markdown().contains('±'), "CI missing from markdown");
     }
 }

@@ -1,0 +1,138 @@
+//! Topology study (extension): the coordinated stack across multi-socket
+//! plants.
+//!
+//! The paper evaluates one socket behind one fan; its global controller,
+//! however, is motivated by *several* heat sources sharing that fan. This
+//! experiment runs the same solutions on the RC-network topologies
+//! (`gfsc_thermal::Topology`): 2S and 4S boards whose downstream sockets
+//! breathe pre-heated air, and a blade chassis whose sockets couple through
+//! a shared spreader. The fan is sized by the hottest socket (max
+//! aggregation), so every extra socket tightens the thermal contention the
+//! coordinator has to arbitrate.
+
+use crate::sweep::{aggregate_over_seeds, ScenarioGrid, SeedStats};
+use crate::{markdown_table, Solution};
+use gfsc_thermal::Topology;
+use gfsc_units::Seconds;
+
+/// Configuration of the topology study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStudyConfig {
+    /// Simulated duration per cell.
+    pub horizon: Seconds,
+    /// Workload seeds (metrics aggregate to mean ± 95 % CI over this axis).
+    pub seeds: Vec<u64>,
+    /// The solution under test.
+    pub solution: Solution,
+    /// The topologies to compare.
+    pub topologies: Vec<Topology>,
+}
+
+impl Default for TopologyStudyConfig {
+    fn default() -> Self {
+        Self {
+            horizon: Seconds::new(1800.0),
+            seeds: vec![42, 43, 44],
+            solution: Solution::RCoordAdaptiveTrefSsFan,
+            topologies: vec![
+                Topology::single_socket(),
+                Topology::dual_socket(),
+                Topology::quad_socket(),
+                Topology::blade_chassis(),
+            ],
+        }
+    }
+}
+
+/// One topology's aggregated outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyRow {
+    /// The topology's display label.
+    pub topology: String,
+    /// Socket count.
+    pub sockets: usize,
+    /// Deadline-violation percentage across seeds.
+    pub violation_percent: SeedStats,
+    /// Fan energy (joules) across seeds.
+    pub fan_energy_j: SeedStats,
+}
+
+/// Runs the study: one grid per topology (each pays its gain tuning once),
+/// every solution × seed cell fanned out by the sweep engine.
+///
+/// # Panics
+///
+/// Panics if any config axis is empty.
+#[must_use]
+pub fn run(config: &TopologyStudyConfig) -> Vec<TopologyRow> {
+    assert!(!config.topologies.is_empty(), "need at least one topology");
+    config
+        .topologies
+        .iter()
+        .map(|topology| {
+            let mut builder = ScenarioGrid::builder()
+                .horizon(config.horizon)
+                .solutions(&[config.solution])
+                .seeds(&config.seeds);
+            // The single-socket default stays on the unmodified Table I
+            // spec (bit-compatible path, cached gains); everything else is
+            // a first-class topology axis cell.
+            if !topology.is_single() {
+                builder = builder.topology_variant(topology.clone());
+            }
+            let results = builder.build().run();
+            let cell = &aggregate_over_seeds(&results)[0];
+            TopologyRow {
+                topology: topology.label().to_owned(),
+                sockets: topology.sockets().len(),
+                violation_percent: cell.violation_percent,
+                fan_energy_j: cell.fan_energy_j,
+            }
+        })
+        .collect()
+}
+
+/// Renders the study as a markdown table.
+#[must_use]
+pub fn to_markdown(rows: &[TopologyRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.topology.clone(),
+                r.sockets.to_string(),
+                format!("{:.2} ± {:.2}", r.violation_percent.mean, r.violation_percent.ci95),
+                format!("{:.0} ± {:.0}", r.fan_energy_j.mean, r.fan_energy_j.ci95),
+            ]
+        })
+        .collect();
+    markdown_table(&["Topology", "Sockets", "Violation %", "Fan energy (J)"], &cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_socket_study_runs_and_reports() {
+        // One non-default topology, one seed, short horizon: the cheapest
+        // full pass through the topology axis (build-time gain tuning
+        // included).
+        let rows = run(&TopologyStudyConfig {
+            horizon: Seconds::new(200.0),
+            seeds: vec![1],
+            solution: Solution::RCoordFixedTref,
+            topologies: vec![Topology::single_socket(), Topology::dual_socket()],
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].sockets, 1);
+        assert_eq!(rows[1].sockets, 2);
+        assert_eq!(rows[1].topology, "2S");
+        assert!(rows[1].fan_energy_j.mean > 0.0);
+        // A shared fan serving a derated downstream socket cannot be
+        // cheaper than the single-socket baseline under the same demand.
+        assert!(rows[1].fan_energy_j.mean >= rows[0].fan_energy_j.mean);
+        let md = to_markdown(&rows);
+        assert_eq!(md.lines().count(), 4);
+    }
+}

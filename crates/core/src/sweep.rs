@@ -1,5 +1,6 @@
 //! The batch scenario-sweep engine: declarative grids of
-//! `spec × workload × solution × seed`, evaluated across all cores.
+//! `spec × topology × ambient × lag × quantization × solution × seed`,
+//! evaluated across all cores.
 //!
 //! The paper's whole evaluation is embarrassingly parallel — Table III runs
 //! five independent solutions, the ablations run dozens of independent
@@ -18,10 +19,11 @@
 //!
 //! # Determinism
 //!
-//! Scenarios are enumerated in a fixed nested order (spec → solution →
-//! seed) and every run is seeded per-scenario, so the parallel result
-//! vector is byte-identical to the serial one — asserted by
-//! `tests/determinism.rs`.
+//! Scenarios are enumerated in a fixed nested order (spec → topology →
+//! ambient → lag → quantization → solution → seed) and every run is seeded
+//! per-scenario, so the parallel result vector is byte-identical to the
+//! serial one — asserted by `tests/determinism.rs`, for multi-socket
+//! topologies too.
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@ use crate::{Simulation, Solution};
 use gfsc_coord::RunOutcome;
 use gfsc_server::ServerSpec;
 use gfsc_sim::{sweep as executor, TraceSet};
+use gfsc_thermal::Topology;
 use gfsc_units::{Celsius, Rpm, Seconds};
 
 /// The workload recipe of a scenario (must be constructible on any worker
@@ -188,6 +191,10 @@ pub struct ScenarioResult {
 #[derive(Debug, Clone)]
 pub struct ScenarioGridBuilder {
     specs: Vec<(String, Option<ServerSpec>)>,
+    topologies: Vec<Option<Topology>>,
+    ambients: Vec<Option<Celsius>>,
+    sensor_lags: Vec<Option<Seconds>>,
+    quantization_steps: Vec<Option<f64>>,
     solutions: Vec<Solution>,
     seeds: Vec<u64>,
     horizon: Seconds,
@@ -229,6 +236,44 @@ impl ScenarioGridBuilder {
         self
     }
 
+    /// Adds a thermal topology to the topology axis (labelled by
+    /// [`Topology::label`]; the default axis is the spec's own topology
+    /// and the first call replaces it). This is the multi-socket axis:
+    /// `ScenarioGrid::builder().topology_variant(Topology::dual_socket())`
+    /// runs every solution × seed cell on a 2S board.
+    #[must_use]
+    pub fn topology_variant(mut self, topology: Topology) -> Self {
+        if self.topologies.len() == 1 && self.topologies[0].is_none() {
+            self.topologies.clear();
+        }
+        self.topologies.push(Some(topology));
+        self
+    }
+
+    /// Sets the ambient (inlet) temperature axis (the default axis is the
+    /// spec's own ambient).
+    #[must_use]
+    pub fn ambients(mut self, ambients: &[Celsius]) -> Self {
+        self.ambients = ambients.iter().copied().map(Some).collect();
+        self
+    }
+
+    /// Sets the sensor-transport-lag axis (the default axis is the spec's
+    /// own lag).
+    #[must_use]
+    pub fn sensor_lags(mut self, lags: &[Seconds]) -> Self {
+        self.sensor_lags = lags.iter().copied().map(Some).collect();
+        self
+    }
+
+    /// Sets the ADC quantization-step axis (the default axis is the spec's
+    /// own step; `0.0` is an ideal converter).
+    #[must_use]
+    pub fn quantization_steps(mut self, steps: &[f64]) -> Self {
+        self.quantization_steps = steps.iter().copied().map(Some).collect();
+        self
+    }
+
     /// Sets the workload recipe shared by every scenario (default:
     /// [`WorkloadRecipe::Date14`]).
     #[must_use]
@@ -253,52 +298,114 @@ impl ScenarioGridBuilder {
         self
     }
 
-    /// Enumerates the grid in the fixed nested order spec → solution →
-    /// seed.
+    /// Enumerates the grid in the fixed nested order spec → topology →
+    /// ambient → lag → quantization → solution → seed.
     ///
     /// # Panics
     ///
     /// Panics if any axis is empty.
-    /// Non-default spec variants pay their Ziegler–Nichols gain tuning
-    /// here, **once per variant**, rather than once per scenario inside the
-    /// sweep — a variant × solutions × seeds grid would otherwise re-tune
-    /// the identical plant for every cell.
+    /// Every non-default plant combination pays its Ziegler–Nichols gain
+    /// tuning here, **once per combination**, rather than once per scenario
+    /// inside the sweep — a variant × solutions × seeds grid would
+    /// otherwise re-tune the identical plant for every cell.
     #[must_use]
     pub fn build(self) -> ScenarioGrid {
         assert!(!self.specs.is_empty(), "grid needs at least one spec");
+        assert!(!self.topologies.is_empty(), "grid needs at least one topology");
+        assert!(!self.ambients.is_empty(), "grid needs at least one ambient");
+        assert!(!self.sensor_lags.is_empty(), "grid needs at least one sensor lag");
+        assert!(!self.quantization_steps.is_empty(), "grid needs at least one quantization step");
         assert!(!self.solutions.is_empty(), "grid needs at least one solution");
         assert!(!self.seeds.is_empty(), "grid needs at least one seed");
-        let mut scenarios =
-            Vec::with_capacity(self.specs.len() * self.solutions.len() * self.seeds.len());
-        for (spec_label, spec) in &self.specs {
-            // The same 4-region recipe Simulation::build would run ad hoc.
-            let schedule = spec.as_ref().map(|spec| {
-                crate::tune_gain_schedule(
-                    spec,
-                    &[Rpm::new(2000.0), Rpm::new(3500.0), Rpm::new(5000.0), Rpm::new(7000.0)],
-                )
-            });
-            for &solution in &self.solutions {
-                for &seed in &self.seeds {
-                    let prefix = if spec_label.is_empty() {
-                        String::new()
-                    } else {
-                        format!("{spec_label}/")
-                    };
-                    scenarios.push(Scenario {
-                        label: format!("{prefix}{solution}/seed{seed}"),
-                        spec: spec.clone(),
-                        solution,
-                        seed,
-                        horizon: self.horizon,
-                        workload: self.workload.clone(),
-                        fixed_reference: self.fixed_reference,
-                        gain_schedule: schedule.clone(),
-                    });
+        let cells = self.specs.len()
+            * self.topologies.len()
+            * self.ambients.len()
+            * self.sensor_lags.len()
+            * self.quantization_steps.len();
+        let mut scenarios = Vec::with_capacity(cells * self.solutions.len() * self.seeds.len());
+        for (spec_label, base_spec) in &self.specs {
+            for topology in &self.topologies {
+                for ambient in &self.ambients {
+                    for lag in &self.sensor_lags {
+                        for quant in &self.quantization_steps {
+                            let (spec, prefix) = Self::derive_spec(
+                                spec_label, base_spec, topology, ambient, lag, quant,
+                            );
+                            // The same 4-region recipe Simulation::build
+                            // would run ad hoc; `None` keeps the default
+                            // spec's per-process cache.
+                            let schedule = spec.as_ref().map(|spec| {
+                                crate::tune_gain_schedule(
+                                    spec,
+                                    &[
+                                        Rpm::new(2000.0),
+                                        Rpm::new(3500.0),
+                                        Rpm::new(5000.0),
+                                        Rpm::new(7000.0),
+                                    ],
+                                )
+                            });
+                            for &solution in &self.solutions {
+                                for &seed in &self.seeds {
+                                    scenarios.push(Scenario {
+                                        label: format!("{prefix}{solution}/seed{seed}"),
+                                        spec: spec.clone(),
+                                        solution,
+                                        seed,
+                                        horizon: self.horizon,
+                                        workload: self.workload.clone(),
+                                        fixed_reference: self.fixed_reference,
+                                        gain_schedule: schedule.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
         ScenarioGrid { scenarios, keep_traces: self.keep_traces }
+    }
+
+    /// Applies the topology/ambient/lag/quantization overrides of one grid
+    /// cell to the base spec, returning the effective spec (`None` = the
+    /// untouched Table I default) and the cell's label prefix.
+    fn derive_spec(
+        spec_label: &str,
+        base_spec: &Option<ServerSpec>,
+        topology: &Option<Topology>,
+        ambient: &Option<Celsius>,
+        lag: &Option<Seconds>,
+        quant: &Option<f64>,
+    ) -> (Option<ServerSpec>, String) {
+        let mut spec = base_spec.clone();
+        let mut prefix =
+            if spec_label.is_empty() { String::new() } else { format!("{spec_label}/") };
+        let mut apply = |part: String, f: &mut dyn FnMut(ServerSpec) -> ServerSpec| {
+            let base = spec.take().unwrap_or_else(ServerSpec::enterprise_default);
+            spec = Some(f(base));
+            prefix.push_str(&part);
+            prefix.push('/');
+        };
+        if let Some(topology) = topology {
+            apply(topology.label().to_owned(), &mut |s| ServerSpec {
+                topology: topology.clone(),
+                ..s
+            });
+        }
+        // Full-precision Display keeps labels injective: distinct axis
+        // values must never collapse into one cell label, or
+        // `aggregate_over_seeds` would silently pool different conditions.
+        if let Some(ambient) = *ambient {
+            apply(format!("amb{}", ambient.value()), &mut |s| ServerSpec { ambient, ..s });
+        }
+        if let Some(sensor_lag) = *lag {
+            apply(format!("lag{}s", sensor_lag.value()), &mut |s| ServerSpec { sensor_lag, ..s });
+        }
+        if let Some(quantization_step) = *quant {
+            apply(format!("q{quantization_step}"), &mut |s| ServerSpec { quantization_step, ..s });
+        }
+        (spec, prefix)
     }
 }
 
@@ -315,6 +422,10 @@ impl ScenarioGrid {
     pub fn builder() -> ScenarioGridBuilder {
         ScenarioGridBuilder {
             specs: vec![(String::new(), None)],
+            topologies: vec![None],
+            ambients: vec![None],
+            sensor_lags: vec![None],
+            quantization_steps: vec![None],
             solutions: Solution::ALL.to_vec(),
             seeds: vec![42],
             horizon: Seconds::new(900.0),
@@ -367,6 +478,92 @@ impl ScenarioGrid {
     pub fn run_serial(&self) -> Vec<ScenarioResult> {
         executor::serial_map(&self.scenarios, |s| self.execute(s))
     }
+}
+
+/// Mean and 95 % confidence half-width of one metric over the seed axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Two-sided 95 % confidence half-width (Student's t on the sample
+    /// standard deviation); 0 for a single seed.
+    pub ci95: f64,
+    /// Number of seeds aggregated.
+    pub n: usize,
+}
+
+/// Two-sided 95 % Student-t critical values for 1–30 degrees of freedom.
+/// Beyond the table the df=30 value is reused: slightly conservative
+/// (t decays from 2.042 toward 1.960 as df → ∞), never an underestimate.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Computes mean ± 95 % CI over one metric's per-seed values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn seed_stats(values: &[f64]) -> SeedStats {
+    assert!(!values.is_empty(), "seed stats need at least one value");
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return SeedStats { mean, ci95: 0.0, n };
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let t = T_95.get(n - 2).copied().unwrap_or(T_95[T_95.len() - 1]);
+    SeedStats { mean, ci95: t * (var / n as f64).sqrt(), n }
+}
+
+/// One grid cell aggregated over its seed axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedAggregate {
+    /// The scenario label with its `/seed<n>` suffix stripped.
+    pub label: String,
+    /// The solution that ran.
+    pub solution: Solution,
+    /// Deadline-violation percentage across seeds.
+    pub violation_percent: SeedStats,
+    /// Fan energy (joules) across seeds.
+    pub fan_energy_j: SeedStats,
+    /// Lost utilization across seeds.
+    pub lost_utilization: SeedStats,
+}
+
+/// Groups a grid's results by everything but the seed (label prefix before
+/// `/seed<n>`) and reports mean ± 95 % CI per metric, in first-seen order.
+#[must_use]
+pub fn aggregate_over_seeds(results: &[ScenarioResult]) -> Vec<SeedAggregate> {
+    let key_of = |label: &str| {
+        label.rfind("/seed").map_or_else(|| label.to_owned(), |at| label[..at].to_owned())
+    };
+    let mut groups: Vec<(String, Solution, Vec<&RunSummary>)> = Vec::new();
+    for result in results {
+        let key = key_of(&result.label);
+        match groups.iter_mut().find(|(k, s, _)| *k == key && *s == result.solution) {
+            Some((_, _, members)) => members.push(&result.summary),
+            None => groups.push((key, result.solution, vec![&result.summary])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(label, solution, members)| {
+            let metric = |f: fn(&RunSummary) -> f64| {
+                seed_stats(&members.iter().map(|m| f(m)).collect::<Vec<_>>())
+            };
+            SeedAggregate {
+                label,
+                solution,
+                violation_percent: metric(|m| m.violation_percent),
+                fan_energy_j: metric(|m| m.fan_energy_j),
+                lost_utilization: metric(|m| m.lost_utilization),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -424,6 +621,95 @@ mod tests {
     #[should_panic(expected = "at least one solution")]
     fn empty_solutions_axis_rejected() {
         let _ = ScenarioGrid::builder().solutions(&[]).build();
+    }
+
+    #[test]
+    fn default_axes_leave_the_spec_untouched() {
+        // All-default axes must keep `spec: None` (per-process gain cache,
+        // historical labels) — the bit-compat contract of the refactor.
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .build();
+        assert!(grid.scenarios().iter().all(|s| s.spec.is_none()));
+        assert_eq!(grid.scenarios()[0].label, "w/o coordination (baseline)/seed42");
+    }
+
+    #[test]
+    fn non_default_axes_compose_labels_and_specs() {
+        use gfsc_units::{Celsius, Seconds};
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1])
+            .ambients(&[Celsius::new(25.0), Celsius::new(40.0)])
+            .sensor_lags(&[Seconds::new(5.0)])
+            .quantization_steps(&[0.5])
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "amb25/lag5s/q0.5/w/o coordination (baseline)/seed1",
+                "amb40/lag5s/q0.5/w/o coordination (baseline)/seed1",
+            ]
+        );
+        let spec = grid.scenarios()[1].spec.as_ref().expect("derived spec");
+        assert_eq!(spec.ambient, Celsius::new(40.0));
+        assert_eq!(spec.sensor_lag, Seconds::new(5.0));
+        assert_eq!(spec.quantization_step, 0.5);
+        // Derived cells carry their own pre-tuned schedule.
+        assert!(grid.scenarios().iter().all(|s| s.gain_schedule.is_some()));
+    }
+
+    #[test]
+    fn topology_axis_is_first_class() {
+        use gfsc_thermal::Topology;
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1, 2])
+            .topology_variant(Topology::dual_socket())
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["2S/w/o coordination (baseline)/seed1", "2S/w/o coordination (baseline)/seed2"]
+        );
+        let spec = grid.scenarios()[0].spec.as_ref().expect("derived spec");
+        assert_eq!(spec.topology, Topology::dual_socket());
+        // One tuning for both seeds.
+        assert_eq!(grid.scenarios()[0].gain_schedule, grid.scenarios()[1].gain_schedule);
+    }
+
+    #[test]
+    fn seed_stats_mean_and_ci() {
+        let one = seed_stats(&[7.0]);
+        assert_eq!((one.mean, one.ci95, one.n), (7.0, 0.0, 1));
+        let s = seed_stats(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // s = 1, t(df=2) = 4.303: half-width 4.303/sqrt(3).
+        assert!((s.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-9, "ci {}", s.ci95);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn aggregate_over_seeds_groups_by_cell() {
+        let results = ScenarioGrid::builder()
+            .horizon(Seconds::new(60.0))
+            .solutions(&[Solution::WithoutCoordination, Solution::ECoord])
+            .seeds(&[1, 2, 3])
+            .build()
+            .run();
+        let agg = aggregate_over_seeds(&results);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].label, "w/o coordination (baseline)");
+        assert_eq!(agg[1].solution, Solution::ECoord);
+        for cell in &agg {
+            assert_eq!(cell.violation_percent.n, 3);
+            assert!(cell.fan_energy_j.mean > 0.0);
+            assert!(cell.fan_energy_j.ci95 >= 0.0);
+        }
     }
 
     #[test]

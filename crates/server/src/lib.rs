@@ -3,15 +3,23 @@
 //! The paper validates its controllers on "a presently shipping commercial
 //! enterprise server" plus a simulation environment calibrated to it
 //! (Section VI-A, Table I). That server is confidential; this crate *is*
-//! the substitute: a single-socket, forced-air server assembled from the
-//! workspace substrates and calibrated with the published Table I
-//! constants (see `DESIGN.md` §5 for the substitution rationale).
+//! the substitute: a forced-air server assembled from the workspace
+//! substrates and calibrated with the published Table I constants (see
+//! `DESIGN.md` §5 for the substitution rationale). The default is the
+//! paper's single-socket machine; `gfsc_thermal::Topology` variants put
+//! the same calibration on 2S/4S boards or a blade chassis, all behind one
+//! shared fan.
 //!
 //! - [`ServerSpec`]: every physical and firmware parameter in one place
 //!   ([`ServerSpec::enterprise_default`] = Table I),
 //! - [`FanActuator`]: slew-rate-limited variable-speed fan,
-//! - [`Server`]: the closed plant — CPU power → thermal RC → sensor chain —
-//!   stepped at a fixed simulation interval,
+//! - [`Server`]: the closed plant — CPU power → thermal topology →
+//!   per-socket sensor chains → aggregation — stepped at a fixed
+//!   simulation interval,
+//! - [`Plant`]: the thermal backend — the exact two-node model for the
+//!   paper's server, the cached RC network for everything else,
+//! - [`TempAggregation`]: how per-socket readings fold into the one
+//!   temperature the global controllers act on,
 //! - [`FanPlant`]: adapter exposing the fan→measured-temperature loop as a
 //!   `gfsc_control::Plant` for Ziegler–Nichols tuning,
 //! - [`PerformanceMonitor`]: deadline-violation accounting (the Table III
@@ -43,5 +51,5 @@ mod spec;
 pub use actuator::FanActuator;
 pub use monitor::PerformanceMonitor;
 pub use plant::FanPlant;
-pub use server::Server;
-pub use spec::ServerSpec;
+pub use server::{Plant, Server};
+pub use spec::{ServerSpec, TempAggregation};

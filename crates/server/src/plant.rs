@@ -67,8 +67,7 @@ impl FanPlant {
     /// natural set-point for tuning probes.
     #[must_use]
     pub fn equilibrium_temperature(&self) -> f64 {
-        let p = self.server.spec().cpu_power.power(self.utilization);
-        self.server.thermal().steady_state_junction(p, self.operating_speed).value()
+        self.server.steady_state_junction(self.utilization, self.operating_speed).value()
     }
 
     /// Read-only access to the wrapped server.

@@ -1,13 +1,136 @@
 //! The assembled server plant.
 
-use crate::{FanActuator, ServerSpec};
+use crate::{FanActuator, ServerSpec, TempAggregation};
 use gfsc_power::EnergyMeter;
 use gfsc_sensors::{AdcQuantizer, MeasurementPipeline, Rounding};
-use gfsc_thermal::{DieNode, HeatSinkNode, ServerThermalModel};
+use gfsc_thermal::{DieNode, HeatSinkNode, MultiSocketPlant, PlantCalibration, ServerThermalModel};
 use gfsc_units::{Celsius, Joules, Rpm, Seconds, Utilization, Watts};
 
-/// The closed physical plant: CPU power → two-node thermal model → fan →
-/// non-ideal sensor chain, with CPU and fan energy metering.
+/// The thermal plant behind a [`Server`]: either the paper's exact
+/// two-node model or a topology compiled onto the cached RC network.
+///
+/// The single-socket default stays on [`ServerThermalModel`]'s exact
+/// exponential integrator so the paper-reproduction traces are
+/// bit-identical to the pre-abstraction code; every other topology steps
+/// the backward-Euler [`MultiSocketPlant`], whose LU cache makes N-node
+/// stepping affordable at the controller rate.
+#[derive(Debug, Clone)]
+pub enum Plant {
+    /// The paper's two-node single-socket server (exact exponential
+    /// updates, bit-compatible with the pre-abstraction simulator).
+    TwoNode(ServerThermalModel),
+    /// An N-socket topology on the cached RC network (boxed: the network
+    /// owns several buffers and would otherwise dwarf the two-node
+    /// variant).
+    Network(Box<MultiSocketPlant>),
+}
+
+impl Plant {
+    /// Number of sockets (dies) in the plant.
+    #[must_use]
+    pub fn socket_count(&self) -> usize {
+        match self {
+            Plant::TwoNode(_) => 1,
+            Plant::Network(p) => p.socket_count(),
+        }
+    }
+
+    /// Junction temperature of socket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn junction(&self, i: usize) -> Celsius {
+        match self {
+            Plant::TwoNode(m) => {
+                assert_eq!(i, 0, "single-socket plant has only socket 0");
+                m.junction()
+            }
+            Plant::Network(p) => p.junction(i),
+        }
+    }
+
+    /// The hottest junction across all sockets.
+    #[must_use]
+    pub fn hottest_junction(&self) -> Celsius {
+        match self {
+            Plant::TwoNode(m) => m.junction(),
+            Plant::Network(p) => p.hottest_junction(),
+        }
+    }
+
+    /// The hottest heat-sink temperature.
+    #[must_use]
+    pub fn hottest_heat_sink(&self) -> Celsius {
+        match self {
+            Plant::TwoNode(m) => m.heat_sink(),
+            Plant::Network(p) => {
+                let mut hottest = p.heat_sink(0);
+                for i in 1..p.socket_count() {
+                    hottest = hottest.max(p.heat_sink(i));
+                }
+                hottest
+            }
+        }
+    }
+
+    /// Advances the plant by `dt` under per-socket CPU powers `powers`
+    /// (one entry per socket) and fan speed `fan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    pub fn step(&mut self, dt: Seconds, powers: &[Watts], fan: Rpm) {
+        match self {
+            Plant::TwoNode(m) => {
+                assert_eq!(powers.len(), 1, "single-socket plant takes one power");
+                m.step(dt, powers[0], fan);
+            }
+            Plant::Network(p) => p.step(dt, powers, fan),
+        }
+    }
+
+    /// The hottest steady-state junction at `(powers, fan)` — the model
+    /// inversion target for E-coord and single-step descent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    #[must_use]
+    pub fn steady_state_junction(&self, powers: &[Watts], fan: Rpm) -> Celsius {
+        match self {
+            Plant::TwoNode(m) => {
+                assert_eq!(powers.len(), 1, "single-socket plant takes one power");
+                m.steady_state_junction(powers[0], fan)
+            }
+            Plant::Network(p) => p.steady_state_hottest(powers, fan),
+        }
+    }
+
+    /// The minimum fan speed keeping every steady-state junction at or
+    /// below `limit` under per-socket `powers`, or `None` if unreachable at
+    /// any airflow (analytic inversion on the two-node model, deterministic
+    /// bisection on the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    #[must_use]
+    pub fn min_safe_fan_speed(&self, powers: &[Watts], limit: Celsius) -> Option<Rpm> {
+        match self {
+            Plant::TwoNode(m) => {
+                assert_eq!(powers.len(), 1, "single-socket plant takes one power");
+                m.min_safe_fan_speed(powers[0], limit)
+            }
+            Plant::Network(p) => p.min_safe_fan_speed(powers, limit),
+        }
+    }
+}
+
+/// The closed physical plant: CPU power → thermal topology → fan →
+/// per-socket non-ideal sensor chains → aggregation, with CPU and fan
+/// energy metering.
 ///
 /// The server knows nothing about control policy; controllers read
 /// [`Server::measured_temperature`] and command [`Server::set_fan_target`],
@@ -33,14 +156,19 @@ use gfsc_units::{Celsius, Joules, Rpm, Seconds, Utilization, Watts};
 #[derive(Debug, Clone)]
 pub struct Server {
     spec: ServerSpec,
-    thermal: ServerThermalModel,
+    plant: Plant,
     fan: FanActuator,
-    pipeline: MeasurementPipeline,
+    /// One measurement chain per socket (the BMC polls every socket's
+    /// sensor over the same contended bus).
+    pipelines: Vec<MeasurementPipeline>,
     cpu_energy: EnergyMeter,
     fan_energy: EnergyMeter,
     now: Seconds,
     measured: Celsius,
     executed: Utilization,
+    /// Per-socket power scratch, reused every step (no per-step
+    /// allocation).
+    socket_powers: Vec<Watts>,
 }
 
 impl Server {
@@ -49,33 +177,74 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails [`ServerSpec::validate`].
+    /// Panics if the spec fails [`ServerSpec::validate`] or the topology
+    /// cannot be compiled into a network.
     #[must_use]
     pub fn new(spec: ServerSpec) -> Self {
         spec.validate();
-        let thermal = ServerThermalModel::new(
-            spec.ambient,
-            HeatSinkNode::new(
-                spec.heatsink_law,
-                spec.heatsink_tau,
-                spec.fan_power.max_speed(),
+        let plant = if spec.topology.is_single() {
+            Plant::TwoNode(ServerThermalModel::new(
                 spec.ambient,
-            ),
-            DieNode::new(spec.r_jc, spec.die_tau, spec.ambient),
-        );
+                HeatSinkNode::new(
+                    spec.heatsink_law,
+                    spec.heatsink_tau,
+                    spec.fan_power.max_speed(),
+                    spec.ambient,
+                ),
+                DieNode::new(spec.r_jc, spec.die_tau, spec.ambient),
+            ))
+        } else {
+            Plant::Network(Box::new(
+                MultiSocketPlant::new(&Self::calibration(&spec), &spec.topology)
+                    .expect("stock topologies compile"),
+            ))
+        };
         let fan = FanActuator::new(spec.fan_bounds.lo(), spec.fan_bounds, spec.fan_slew_per_s);
-        let pipeline = Self::build_pipeline(&spec, spec.ambient);
-        let measured = Celsius::new(pipeline.current());
+        let pipelines: Vec<MeasurementPipeline> =
+            (0..plant.socket_count()).map(|_| Self::build_pipeline(&spec, spec.ambient)).collect();
+        let measured = Self::aggregate(&spec, &pipelines);
+        let socket_powers = vec![Watts::new(0.0); plant.socket_count()];
         Self {
             spec,
-            thermal,
+            plant,
             fan,
-            pipeline,
+            pipelines,
             cpu_energy: EnergyMeter::new(),
             fan_energy: EnergyMeter::new(),
             now: Seconds::new(0.0),
             measured,
             executed: Utilization::IDLE,
+            socket_powers,
+        }
+    }
+
+    /// Per-socket utilization under server-wide demand `u`: socket `i`
+    /// executes `clamp(u × load_weight_i)` (balanced SMP at weight 1).
+    fn socket_utilization(spec: &ServerSpec, i: usize, u: Utilization) -> Utilization {
+        Utilization::new(u.value() * spec.topology.sockets()[i].load_weight)
+    }
+
+    /// Fills `out` with per-socket CPU powers for server-wide demand `u` and
+    /// returns the total.
+    fn fill_socket_powers(spec: &ServerSpec, u: Utilization, out: &mut [Watts]) -> Watts {
+        let mut total = 0.0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let p = spec.cpu_power.power(Self::socket_utilization(spec, i, u));
+            *slot = p;
+            total += p.value();
+        }
+        Watts::new(total)
+    }
+
+    /// The per-socket base calibration the spec implies.
+    fn calibration(spec: &ServerSpec) -> PlantCalibration {
+        PlantCalibration {
+            ambient: spec.ambient,
+            law: spec.heatsink_law,
+            sink_tau: spec.heatsink_tau,
+            tau_speed: spec.fan_power.max_speed(),
+            r_jc: spec.r_jc,
+            die_tau: spec.die_tau,
         }
     }
 
@@ -96,6 +265,27 @@ impl Server {
         builder.build()
     }
 
+    /// Folds the per-socket chain outputs into the controller input.
+    fn aggregate(spec: &ServerSpec, pipelines: &[MeasurementPipeline]) -> Celsius {
+        match spec.aggregation {
+            TempAggregation::Max => {
+                let mut hottest = pipelines[0].current();
+                for p in &pipelines[1..] {
+                    hottest = hottest.max(p.current());
+                }
+                Celsius::new(hottest)
+            }
+            TempAggregation::LoadWeightedMean => {
+                let (mut sum, mut weight_sum) = (0.0, 0.0);
+                for (p, socket) in pipelines.iter().zip(spec.topology.sockets()) {
+                    sum += socket.load_weight * p.current();
+                    weight_sum += socket.load_weight;
+                }
+                Celsius::new(sum / weight_sum)
+            }
+        }
+    }
+
     /// The calibration in use.
     #[must_use]
     pub fn spec(&self) -> &ServerSpec {
@@ -108,20 +298,47 @@ impl Server {
         self.now
     }
 
-    /// True junction temperature (invisible to firmware).
+    /// Hottest true junction temperature across sockets (invisible to
+    /// firmware).
     #[must_use]
     pub fn true_junction(&self) -> Celsius {
-        self.thermal.junction()
+        self.plant.hottest_junction()
     }
 
-    /// True heat-sink temperature.
+    /// Hottest true heat-sink temperature.
     #[must_use]
     pub fn heat_sink(&self) -> Celsius {
-        self.thermal.heat_sink()
+        self.plant.hottest_heat_sink()
     }
 
-    /// The firmware's (lagged, quantized) view of the junction
-    /// temperature.
+    /// Number of sockets in the plant topology.
+    #[must_use]
+    pub fn socket_count(&self) -> usize {
+        self.plant.socket_count()
+    }
+
+    /// True junction temperature of socket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn junction_socket(&self, i: usize) -> Celsius {
+        self.plant.junction(i)
+    }
+
+    /// The firmware's (lagged, quantized) view of socket `i`'s junction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn measured_socket(&self, i: usize) -> Celsius {
+        Celsius::new(self.pipelines[i].current())
+    }
+
+    /// The firmware's aggregated (lagged, quantized) view of the junction
+    /// temperature — what every controller acts on.
     #[must_use]
     pub fn measured_temperature(&self) -> Celsius {
         self.measured
@@ -162,10 +379,16 @@ impl Server {
         self.fan_energy.total()
     }
 
-    /// Instantaneous CPU power at the executed utilization.
+    /// Instantaneous CPU power at the executed utilization, summed over
+    /// all sockets.
     #[must_use]
     pub fn cpu_power(&self) -> Watts {
-        self.spec.cpu_power.power(self.executed)
+        let mut total = 0.0;
+        for i in 0..self.plant.socket_count() {
+            let u = Self::socket_utilization(&self.spec, i, self.executed);
+            total += self.spec.cpu_power.power(u).value();
+        }
+        Watts::new(total)
     }
 
     /// Instantaneous fan power at the actual fan speed.
@@ -174,34 +397,79 @@ impl Server {
         self.spec.fan_power.power(self.fan.speed())
     }
 
-    /// The thermal model (for model-based controllers such as E-coord and
+    /// The thermal plant (for model-based controllers such as E-coord and
     /// single-step descent).
     #[must_use]
-    pub fn thermal(&self) -> &ServerThermalModel {
-        &self.thermal
+    pub fn plant(&self) -> &Plant {
+        &self.plant
+    }
+
+    /// The minimum fan speed keeping the steady-state junction of every
+    /// socket at or below `limit` while the server executes `demand`, or
+    /// `None` if even unbounded airflow cannot. Per-socket powers follow
+    /// the topology's load weights, so the inversion guards the hottest
+    /// socket.
+    #[must_use]
+    pub fn min_safe_fan_speed(&self, demand: Utilization, limit: Celsius) -> Option<Rpm> {
+        match &self.plant {
+            // Identical arithmetic to the pre-abstraction path: one affine
+            // power evaluation, then the analytic inversion.
+            Plant::TwoNode(m) => m.min_safe_fan_speed(self.spec.cpu_power.power(demand), limit),
+            Plant::Network(p) => {
+                let mut powers = vec![Watts::new(0.0); p.socket_count()];
+                Self::fill_socket_powers(&self.spec, demand, &mut powers);
+                p.min_safe_fan_speed(&powers, limit)
+            }
+        }
+    }
+
+    /// The hottest steady-state junction while executing `demand` at fan
+    /// speed `fan`.
+    #[must_use]
+    pub fn steady_state_junction(&self, demand: Utilization, fan: Rpm) -> Celsius {
+        match &self.plant {
+            Plant::TwoNode(m) => m.steady_state_junction(self.spec.cpu_power.power(demand), fan),
+            Plant::Network(p) => {
+                let mut powers = vec![Watts::new(0.0); p.socket_count()];
+                Self::fill_socket_powers(&self.spec, demand, &mut powers);
+                p.steady_state_hottest(&powers, fan)
+            }
+        }
     }
 
     /// Advances the plant by `dt` executing `utilization`:
-    /// fan mechanics → thermal step → energy metering → sensor chain.
-    /// Returns the new firmware-visible temperature.
+    /// fan mechanics → thermal step → energy metering → sensor chains.
+    /// Returns the new firmware-visible (aggregated) temperature.
     pub fn step(&mut self, dt: Seconds, utilization: Utilization) -> Celsius {
         self.executed = utilization;
-        let p_cpu = self.spec.cpu_power.power(utilization);
+        let p_cpu = Self::fill_socket_powers(&self.spec, utilization, &mut self.socket_powers);
 
         let fan_speed = self.fan.step(dt);
-        self.thermal.step(dt, p_cpu, fan_speed);
+        self.plant.step(dt, &self.socket_powers, fan_speed);
 
         self.cpu_energy.accumulate(p_cpu, dt);
         self.fan_energy.accumulate(self.spec.fan_power.power(fan_speed), dt);
 
         self.now += dt;
-        self.measured = self.pipeline.observe_celsius(self.now, self.thermal.junction());
+        match &mut self.plant {
+            // Single socket: observe-and-aggregate collapses to the exact
+            // sequence the pre-abstraction simulator ran.
+            Plant::TwoNode(m) => {
+                self.measured = self.pipelines[0].observe_celsius(self.now, m.junction());
+            }
+            Plant::Network(p) => {
+                for (i, pipeline) in self.pipelines.iter_mut().enumerate() {
+                    let _ = pipeline.observe_celsius(self.now, p.junction(i));
+                }
+                self.measured = Self::aggregate(&self.spec, &self.pipelines);
+            }
+        }
         self.measured
     }
 
     /// Re-initializes the server in steady state at `(utilization, fan)`:
-    /// thermal nodes at their equilibria, actuator settled, sensor chain
-    /// reporting the (quantized) equilibrium temperature, meters and clock
+    /// thermal nodes at their equilibria, actuator settled, sensor chains
+    /// reporting the (quantized) equilibrium temperatures, meters and clock
     /// zeroed.
     ///
     /// Used by the Ziegler–Nichols plant adapter to replay tuning probes
@@ -209,16 +477,27 @@ impl Server {
     pub fn equilibrate(&mut self, utilization: Utilization, fan: Rpm) {
         let fan = self.spec.fan_bounds.clamp(fan);
         self.fan.snap_to(fan);
-        let p_cpu = self.spec.cpu_power.power(utilization);
-        let t_j = self.thermal.steady_state_junction(p_cpu, fan);
-        // Settle both nodes: sink at its equilibrium, die on top.
-        let sink_ss = t_j - self.spec.r_jc * p_cpu;
-        self.thermal.reset();
-        // Drive to equilibrium exactly by stepping once with a huge dt.
-        self.thermal.step(Seconds::new(1e9), p_cpu, fan);
-        debug_assert!((self.thermal.heat_sink() - sink_ss).abs() < 1e-6);
-        self.pipeline = Self::build_pipeline(&self.spec, t_j);
-        self.measured = Celsius::new(self.pipeline.current());
+        match &mut self.plant {
+            Plant::TwoNode(m) => {
+                let p_cpu = self.spec.cpu_power.power(utilization);
+                let t_j = m.steady_state_junction(p_cpu, fan);
+                // Settle both nodes: sink at its equilibrium, die on top.
+                let sink_ss = t_j - self.spec.r_jc * p_cpu;
+                m.reset();
+                // Drive to equilibrium exactly by stepping once with a huge dt.
+                m.step(Seconds::new(1e9), p_cpu, fan);
+                debug_assert!((m.heat_sink() - sink_ss).abs() < 1e-6);
+                self.pipelines[0] = Self::build_pipeline(&self.spec, t_j);
+            }
+            Plant::Network(p) => {
+                Self::fill_socket_powers(&self.spec, utilization, &mut self.socket_powers);
+                p.equilibrate(&self.socket_powers, fan);
+                for i in 0..p.socket_count() {
+                    self.pipelines[i] = Self::build_pipeline(&self.spec, p.junction(i));
+                }
+            }
+        }
+        self.measured = Self::aggregate(&self.spec, &self.pipelines);
         self.cpu_energy.reset();
         self.fan_energy.reset();
         self.now = Seconds::new(0.0);
@@ -229,6 +508,7 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gfsc_thermal::Topology;
 
     fn server() -> Server {
         Server::new(ServerSpec::enterprise_default())
@@ -241,6 +521,7 @@ mod tests {
         assert_eq!(s.fan_speed(), s.spec().fan_bounds.lo());
         assert_eq!(s.now(), Seconds::new(0.0));
         assert_eq!(s.cpu_energy(), Joules::new(0.0));
+        assert_eq!(s.socket_count(), 1);
     }
 
     #[test]
@@ -335,8 +616,7 @@ mod tests {
     fn equilibrate_settles_everything() {
         let mut s = server();
         s.equilibrate(Utilization::new(0.7), Rpm::new(4000.0));
-        let expected =
-            s.thermal().steady_state_junction(Watts::new(96.0 + 64.0 * 0.7), Rpm::new(4000.0));
+        let expected = s.steady_state_junction(Utilization::new(0.7), Rpm::new(4000.0));
         assert!((s.true_junction() - expected).abs() < 1e-6);
         // The measurement chain reports the quantized equilibrium from the
         // first instant (no transient).
@@ -356,5 +636,68 @@ mod tests {
         let mut s = server();
         s.set_fan_target(Rpm::new(99_999.0));
         assert_eq!(s.fan_target(), Rpm::new(8500.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-socket plant
+    // ------------------------------------------------------------------
+
+    fn dual_socket_server() -> Server {
+        Server::new(ServerSpec::with_topology(Topology::dual_socket()))
+    }
+
+    #[test]
+    fn multi_socket_server_reports_per_socket_state() {
+        let mut s = dual_socket_server();
+        assert_eq!(s.socket_count(), 2);
+        s.set_fan_target(Rpm::new(3000.0));
+        for _ in 0..2400 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        // Downstream socket (derated airflow) is the hot one.
+        assert!(s.junction_socket(1) > s.junction_socket(0));
+        assert_eq!(s.true_junction(), s.junction_socket(1));
+        // Max aggregation follows the hottest chain.
+        let hot = s.measured_socket(0).value().max(s.measured_socket(1).value());
+        assert_eq!(s.measured_temperature().value(), hot);
+    }
+
+    #[test]
+    fn multi_socket_equilibrate_settles_everything() {
+        let mut s = dual_socket_server();
+        s.equilibrate(Utilization::new(0.7), Rpm::new(4000.0));
+        let expected = s.steady_state_junction(Utilization::new(0.7), Rpm::new(4000.0));
+        assert!((s.true_junction() - expected).abs() < 1e-6);
+        assert!((s.measured_temperature() - expected).abs() <= 1.0);
+        let before = s.true_junction();
+        for _ in 0..240 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        assert!((s.true_junction() - before).abs() < 0.01, "drifted from equilibrium");
+    }
+
+    #[test]
+    fn weighted_aggregation_sits_between_sockets() {
+        let spec = ServerSpec {
+            aggregation: TempAggregation::LoadWeightedMean,
+            ..ServerSpec::with_topology(Topology::dual_socket())
+        };
+        let mut s = Server::new(spec);
+        s.equilibrate(Utilization::new(0.7), Rpm::new(3000.0));
+        for _ in 0..120 {
+            s.step(Seconds::new(0.5), Utilization::new(0.7));
+        }
+        let (a, b) = (s.measured_socket(0).value(), s.measured_socket(1).value());
+        let m = s.measured_temperature().value();
+        assert!(m >= a.min(b) && m <= a.max(b), "mean {m} outside [{a}, {b}]");
+        assert!(m < a.max(b), "weighted mean must sit below the hottest socket");
+    }
+
+    #[test]
+    fn multi_socket_min_safe_speed_guards_the_hottest_socket() {
+        let s = dual_socket_server();
+        let u = Utilization::new(0.7);
+        let v = s.min_safe_fan_speed(u, Celsius::new(75.0)).expect("reachable");
+        assert!((s.steady_state_junction(u, v) - Celsius::new(75.0)).abs() < 0.01);
     }
 }

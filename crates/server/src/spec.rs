@@ -1,8 +1,28 @@
 //! Server calibration: every model parameter in one value.
 
 use gfsc_power::{CpuPowerModel, FanPowerModel};
-use gfsc_thermal::HeatSinkLaw;
+use gfsc_thermal::{HeatSinkLaw, Topology};
 use gfsc_units::{Bounds, Celsius, KelvinPerWatt, Rpm, Seconds};
+
+/// How the per-socket firmware readings are folded into the one
+/// temperature the global controllers act on.
+///
+/// Single-socket servers have nothing to fold; multi-socket boards must
+/// pick a policy, and the choice shapes the control problem: `Max` guards
+/// the hottest socket (thermally safe, fan sized by the worst case), a
+/// load-weighted mean tracks the busy dies (cheaper airflow, but the
+/// hottest socket can exceed what the controller sees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TempAggregation {
+    /// The hottest socket's reading (the safe default).
+    #[default]
+    Max,
+    /// Per-socket readings weighted by the topology's load weights
+    /// (note: the weights are *load* multipliers, not power fractions —
+    /// under the affine power model a socket's power share is flatter
+    /// than its load share).
+    LoadWeightedMean,
+}
 
 /// The complete parameterization of the simulated enterprise server.
 ///
@@ -59,6 +79,12 @@ pub struct ServerSpec {
     pub t_safe: Celsius,
     /// Plant integration step.
     pub sim_dt: Seconds,
+    /// Thermal topology: how many sockets share the fan. The single-socket
+    /// default runs the paper's exact two-node model; anything else is
+    /// compiled onto the cached RC network.
+    pub topology: Topology,
+    /// How per-socket readings aggregate into the controller input.
+    pub aggregation: TempAggregation,
 }
 
 impl ServerSpec {
@@ -87,7 +113,16 @@ impl ServerSpec {
             fan_control_interval: Seconds::new(30.0),
             t_safe: Celsius::new(80.0),
             sim_dt: Seconds::new(0.5),
+            topology: Topology::single_socket(),
+            aggregation: TempAggregation::Max,
         }
+    }
+
+    /// The default spec on a different thermal topology (2S/4S/blade) —
+    /// the Table I calibration per socket, power shared per the topology.
+    #[must_use]
+    pub fn with_topology(topology: Topology) -> Self {
+        Self { topology, ..Self::enterprise_default() }
     }
 
     /// An idealized variant with a perfect sensor chain (no lag, no
@@ -109,6 +144,7 @@ impl ServerSpec {
     pub fn validate(&self) {
         assert!(self.fan_slew_per_s > 0.0, "fan slew rate must be positive");
         assert!(self.quantization_step >= 0.0, "quantization step must be non-negative");
+        self.topology.validate();
         let dt = self.sim_dt.value();
         for (name, iv) in [
             ("sensor_interval", self.sensor_interval),
@@ -182,5 +218,21 @@ mod tests {
     fn non_positive_slew_rejected() {
         let spec = ServerSpec { fan_slew_per_s: 0.0, ..ServerSpec::enterprise_default() };
         spec.validate();
+    }
+
+    #[test]
+    fn default_topology_is_single_socket_max_aggregation() {
+        let s = ServerSpec::enterprise_default();
+        assert!(s.topology.is_single());
+        assert_eq!(s.aggregation, TempAggregation::Max);
+        assert_eq!(TempAggregation::default(), TempAggregation::Max);
+    }
+
+    #[test]
+    fn with_topology_overrides_only_the_topology() {
+        let s = ServerSpec::with_topology(Topology::dual_socket());
+        assert_eq!(s.topology, Topology::dual_socket());
+        assert_eq!(s.t_safe, ServerSpec::enterprise_default().t_safe);
+        s.validate();
     }
 }

@@ -83,6 +83,32 @@ impl HeatSinkLaw {
     pub fn base_resistance(&self) -> KelvinPerWatt {
         KelvinPerWatt::new(self.base)
     }
+
+    /// The airflow coefficient `coeff` of `base + coeff / V^exponent`.
+    #[must_use]
+    pub fn airflow_coefficient(&self) -> f64 {
+        self.coeff
+    }
+
+    /// The airflow exponent of `base + coeff / V^exponent`.
+    #[must_use]
+    pub fn airflow_exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The same law with the airflow coefficient scaled by `derate` — how a
+    /// downstream socket in a shared plenum sees the common fan: the same
+    /// asymptotic conduction floor, but pre-heated/starved air raises the
+    /// convective term at every speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derate` is not positive.
+    #[must_use]
+    pub fn with_airflow_derate(&self, derate: f64) -> Self {
+        assert!(derate > 0.0, "airflow derate must be positive");
+        Self::new(self.base, self.coeff * derate, self.exponent)
+    }
 }
 
 /// A heat-sink thermal node integrated with the exact exponential update of

@@ -13,7 +13,12 @@
 //! - [`ServerThermalModel`]: die-on-heat-sink composition used by the
 //!   `gfsc-server` simulator,
 //! - [`RcNetwork`]: a general N-node RC thermal network (builder +
-//!   backward-Euler integrator) for cross-validation and extensions.
+//!   backward-Euler integrator) for cross-validation and extensions,
+//! - [`Topology`]: a plain-data description of how many heat sources share
+//!   the one fan (1S/2S/4S boards, blade chassis with a coupled spreader),
+//! - [`MultiSocketPlant`]: a [`Topology`] compiled onto the cached
+//!   [`RcNetwork`] — the N-socket plant behind the multi-socket
+//!   closed-loop scenarios.
 //!
 //! # Examples
 //!
@@ -35,10 +40,14 @@
 
 mod die;
 mod heatsink;
+mod multi_socket;
 mod network;
 mod server_model;
+mod topology;
 
 pub use die::DieNode;
 pub use heatsink::{HeatSinkLaw, HeatSinkNode};
-pub use network::{NetworkError, NodeId, RcNetwork, RcNetworkBuilder};
+pub use multi_socket::{MultiSocketPlant, PlantCalibration};
+pub use network::{BoundaryId, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder};
 pub use server_model::ServerThermalModel;
+pub use topology::{ChassisDef, SocketDef, Topology};

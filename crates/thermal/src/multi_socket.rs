@@ -1,0 +1,456 @@
+//! The RC-network-backed multi-socket plant.
+//!
+//! [`crate::ServerThermalModel`] hard-codes the paper's two-node topology.
+//! [`MultiSocketPlant`] generalizes it: a [`crate::Topology`] (N sockets,
+//! optional chassis spreader) is compiled into a cached-factorization
+//! [`crate::RcNetwork`], every socket's sink→ambient link moves with the
+//! shared fan speed through its (possibly derated) [`crate::HeatSinkLaw`],
+//! and the per-step work is one forward/backward substitution — the LU
+//! cache makes N-node stepping as cheap as the hand-rolled pair.
+
+use crate::{HeatSinkLaw, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder, Topology};
+use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
+
+/// The base per-socket calibration shared by every socket before topology
+/// scaling — the same constants [`crate::ServerThermalModel::date14`] uses,
+/// lifted out so the server spec can supply its own values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantCalibration {
+    /// Inlet air temperature.
+    pub ambient: Celsius,
+    /// Undereated heat-sink resistance law (Table I).
+    pub law: HeatSinkLaw,
+    /// Heat-sink time constant at `tau_speed`.
+    pub sink_tau: Seconds,
+    /// The fan speed `sink_tau` is quoted at (Table I: maximum airflow).
+    pub tau_speed: Rpm,
+    /// Junction-to-sink resistance before per-socket scaling.
+    pub r_jc: KelvinPerWatt,
+    /// Die thermal time constant.
+    pub die_tau: Seconds,
+}
+
+/// Per-socket handles resolved once at build time so the step path does no
+/// name scans.
+#[derive(Debug, Clone)]
+struct SocketHandles {
+    die: NodeId,
+    sink: NodeId,
+    /// The fan-dependent sink→ambient link.
+    fan_link: LinkId,
+    /// This socket's derated resistance law.
+    law: HeatSinkLaw,
+}
+
+/// An N-socket thermal plant on the cached RC network.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_thermal::{HeatSinkLaw, MultiSocketPlant, PlantCalibration, Topology};
+/// use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
+///
+/// let cal = PlantCalibration {
+///     ambient: Celsius::new(30.0),
+///     law: HeatSinkLaw::date14(),
+///     sink_tau: Seconds::new(60.0),
+///     tau_speed: Rpm::new(8500.0),
+///     r_jc: KelvinPerWatt::new(0.10),
+///     die_tau: Seconds::new(0.1),
+/// };
+/// let mut plant = MultiSocketPlant::new(&cal, &Topology::dual_socket()).unwrap();
+/// let powers = [Watts::new(140.8), Watts::new(140.8)]; // each socket at u = 0.7
+/// for _ in 0..600 {
+///     plant.step(Seconds::new(1.0), &powers, Rpm::new(4000.0));
+/// }
+/// // The downstream socket (derated airflow) runs hotter.
+/// assert!(plant.junction(1) > plant.junction(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSocketPlant {
+    net: RcNetwork,
+    sockets: Vec<SocketHandles>,
+    ambient: Celsius,
+    fan: Rpm,
+}
+
+impl MultiSocketPlant {
+    /// Compiles `topology` against the base calibration, starting in
+    /// equilibrium with the ambient at `cal.tau_speed` airflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the compiled network is inconsistent
+    /// (cannot happen for the stock topology builders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` fails [`Topology::validate`].
+    pub fn new(cal: &PlantCalibration, topology: &Topology) -> Result<Self, NetworkError> {
+        topology.validate();
+        let fan0 = cal.tau_speed;
+        let mut builder = RcNetworkBuilder::new().boundary("ambient", cal.ambient);
+        let mut sink_cap_sum = 0.0;
+        for socket in topology.sockets() {
+            let law = cal.law.with_airflow_derate(socket.airflow_derate);
+            let r_jc = KelvinPerWatt::new(cal.r_jc.value() * socket.r_jc_scale);
+            // Capacitances from the quoted time constants, exactly as the
+            // hand-rolled nodes calibrate them: C = tau / R(tau_speed) for
+            // the sink, C = die_tau / R_jc for the die.
+            let sink_cap = JoulesPerKelvin::from_time_constant(cal.sink_tau, law.resistance(fan0));
+            let die_cap = JoulesPerKelvin::from_time_constant(cal.die_tau, r_jc);
+            sink_cap_sum += sink_cap.value();
+            let die = format!("die-{}", socket.name);
+            let sink = format!("sink-{}", socket.name);
+            builder = builder
+                .node(die.clone(), die_cap, cal.ambient)
+                .node(sink.clone(), sink_cap, cal.ambient)
+                .link(die, sink.clone(), r_jc)
+                .link(sink, "ambient", law.resistance(fan0));
+        }
+        if let Some(chassis) = topology.chassis() {
+            let cap = JoulesPerKelvin::new(
+                chassis.capacitance_scale * sink_cap_sum / topology.sockets().len() as f64,
+            );
+            builder = builder.node("chassis", cap, cal.ambient);
+            for socket in topology.sockets() {
+                builder =
+                    builder.link(format!("sink-{}", socket.name), "chassis", chassis.coupling);
+            }
+            builder = builder.link("chassis", "ambient", chassis.exhaust);
+        }
+        let net = builder.build()?;
+        let sockets = topology
+            .sockets()
+            .iter()
+            .map(|socket| {
+                let sink_name = format!("sink-{}", socket.name);
+                SocketHandles {
+                    die: net.node_id(&format!("die-{}", socket.name)).expect("built above"),
+                    sink: net.node_id(&sink_name).expect("built above"),
+                    fan_link: net.link_id(&sink_name, "ambient").expect("built above"),
+                    law: cal.law.with_airflow_derate(socket.airflow_derate),
+                }
+            })
+            .collect();
+        Ok(Self { net, sockets, ambient: cal.ambient, fan: fan0 })
+    }
+
+    /// Number of sockets.
+    #[must_use]
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Junction (die) temperature of socket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn junction(&self, i: usize) -> Celsius {
+        self.net.temperature(self.sockets[i].die)
+    }
+
+    /// Heat-sink temperature of socket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn heat_sink(&self, i: usize) -> Celsius {
+        self.net.temperature(self.sockets[i].sink)
+    }
+
+    /// The hottest junction across all sockets — what a global max
+    /// aggregation of ideal sensors would report.
+    #[must_use]
+    pub fn hottest_junction(&self) -> Celsius {
+        let mut hottest = self.junction(0);
+        for i in 1..self.sockets.len() {
+            hottest = hottest.max(self.junction(i));
+        }
+        hottest
+    }
+
+    /// Inlet air temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Changes the inlet air temperature (right-hand-side only; the cached
+    /// factorization stays warm).
+    pub fn set_ambient(&mut self, ambient: Celsius) {
+        self.ambient = ambient;
+        let id = self.net.boundary_id("ambient").expect("built with an ambient");
+        self.net.set_boundary_by_id(id, ambient);
+    }
+
+    /// Advances the plant by `dt` under per-socket CPU powers `powers`
+    /// (one entry per socket — each socket burns its *own* power; the
+    /// caller derives the split from its load model) and shared fan speed
+    /// `fan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    pub fn step(&mut self, dt: Seconds, powers: &[Watts], fan: Rpm) {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        for (socket, &power) in self.sockets.iter().zip(powers) {
+            self.net.set_power(socket.die, power);
+            // Unchanged fan speed keeps the factorization warm (the setter
+            // skips identical conductances).
+            self.net.set_link_resistance_by_id(socket.fan_link, socket.law.resistance(fan));
+        }
+        self.fan = fan;
+        self.net.step(dt);
+    }
+
+    /// Steady-state junction temperatures at `(powers, fan)` without
+    /// disturbing the transient state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    #[must_use]
+    pub fn steady_state_junctions(&self, powers: &[Watts], fan: Rpm) -> Vec<Celsius> {
+        let temps = self.probe(powers, fan);
+        self.sockets.iter().map(|s| temps[s.die_index()]).collect()
+    }
+
+    /// The hottest steady-state junction at `(powers, fan)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    #[must_use]
+    pub fn steady_state_hottest(&self, powers: &[Watts], fan: Rpm) -> Celsius {
+        let temps = self.probe(powers, fan);
+        let mut hottest = temps[self.sockets[0].die_index()];
+        for s in &self.sockets[1..] {
+            hottest = hottest.max(temps[s.die_index()]);
+        }
+        hottest
+    }
+
+    /// Non-mutating steady-state probe at a hypothetical operating point.
+    fn probe(&self, powers: &[Watts], fan: Rpm) -> Vec<Celsius> {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        let link_overrides: Vec<(LinkId, KelvinPerWatt)> =
+            self.sockets.iter().map(|s| (s.fan_link, s.law.resistance(fan))).collect();
+        let power_overrides: Vec<(NodeId, Watts)> =
+            self.sockets.iter().zip(powers).map(|(s, &p)| (s.die, p)).collect();
+        self.net.steady_state_with(&link_overrides, &power_overrides)
+    }
+
+    /// The minimum fan speed keeping every steady-state junction at or
+    /// below `limit` under per-socket `powers`, or `None` if even
+    /// unbounded airflow cannot.
+    ///
+    /// The two-node model inverts its law analytically; an N-socket plant
+    /// with chassis coupling has no closed form, so this bisects the
+    /// monotone hottest-junction curve over the steady-state probe
+    /// (deterministic: fixed bracket, fixed iteration count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    #[must_use]
+    pub fn min_safe_fan_speed(&self, powers: &[Watts], limit: Celsius) -> Option<Rpm> {
+        if powers.iter().all(|p| p.value() <= 0.0) {
+            return Some(Rpm::new(0.0));
+        }
+        // The law saturates below 100 rpm, so v = 100 is the stopped-fan
+        // envelope; 1e6 rpm is numerically indistinguishable from the
+        // infinite-airflow asymptote.
+        let (lo, hi) = (100.0, 1e6);
+        if self.steady_state_hottest(powers, Rpm::new(lo)) <= limit {
+            return Some(Rpm::new(0.0));
+        }
+        if self.steady_state_hottest(powers, Rpm::new(hi)) > limit {
+            return None;
+        }
+        // 40 halvings take the 1e6-wide bracket to ~1e-6 rpm — far past
+        // any fan actuator's resolution; more iterations cannot change the
+        // commanded speed and each costs a dense steady-state solve.
+        let (mut lo, mut hi) = (lo, hi);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.steady_state_hottest(powers, Rpm::new(mid)) > limit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Rpm::new(hi))
+    }
+
+    /// Snaps the whole network (dies, sinks, chassis) to its equilibrium at
+    /// `(powers, fan)` and makes that the active operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    pub fn equilibrate(&mut self, powers: &[Watts], fan: Rpm) {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        for (socket, &power) in self.sockets.iter().zip(powers) {
+            self.net.set_power(socket.die, power);
+            self.net.set_link_resistance_by_id(socket.fan_link, socket.law.resistance(fan));
+        }
+        self.fan = fan;
+        let temps = self.net.steady_state();
+        for (i, t) in temps.iter().enumerate() {
+            self.net.set_temperature(NodeId::from_index(i), *t);
+        }
+    }
+
+    /// Resets every node to thermal equilibrium with the ambient (zero
+    /// power).
+    pub fn reset(&mut self) {
+        for i in 0..self.net.node_names().len() {
+            self.net.set_temperature(NodeId::from_index(i), self.ambient);
+        }
+    }
+
+    /// The shared fan speed of the most recent step/equilibrate call.
+    #[must_use]
+    pub fn fan_speed(&self) -> Rpm {
+        self.fan
+    }
+}
+
+impl SocketHandles {
+    /// The die node's index into the network's node-ordered vectors.
+    fn die_index(&self) -> usize {
+        self.die.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> PlantCalibration {
+        PlantCalibration {
+            ambient: Celsius::new(30.0),
+            law: HeatSinkLaw::date14(),
+            sink_tau: Seconds::new(60.0),
+            tau_speed: Rpm::new(8500.0),
+            r_jc: KelvinPerWatt::new(0.10),
+            die_tau: Seconds::new(0.1),
+        }
+    }
+
+    #[test]
+    fn single_socket_steady_state_matches_two_node_model() {
+        use crate::ServerThermalModel;
+        let plant = MultiSocketPlant::new(&cal(), &Topology::single_socket()).unwrap();
+        let model = ServerThermalModel::date14(Celsius::new(30.0));
+        for (p, v) in [(96.0, 2000.0), (140.8, 4000.0), (160.0, 8500.0)] {
+            let net = plant.steady_state_hottest(&[Watts::new(p)], Rpm::new(v));
+            let exact = model.steady_state_junction(Watts::new(p), Rpm::new(v));
+            assert!((net - exact).abs() < 1e-9, "p={p} v={v}: {net} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn downstream_socket_runs_hotter() {
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::quad_socket()).unwrap();
+        plant.equilibrate(&[Watts::new(140.8); 4], Rpm::new(4000.0));
+        for i in 1..4 {
+            assert!(
+                plant.junction(i) > plant.junction(i - 1),
+                "socket {i} not hotter: {} vs {}",
+                plant.junction(i),
+                plant.junction(i - 1)
+            );
+        }
+        assert_eq!(plant.hottest_junction(), plant.junction(3));
+    }
+
+    #[test]
+    fn chassis_couples_the_sockets() {
+        // All power on socket 0: with the chassis spreader, socket 1's sink
+        // must sit measurably above ambient purely through coupling.
+        let hot_idle = [Watts::new(160.0), Watts::new(0.0)];
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::blade_chassis()).unwrap();
+        plant.equilibrate(&hot_idle, Rpm::new(3000.0));
+        assert!(
+            plant.heat_sink(1) > Celsius::new(30.5),
+            "no cross-socket coupling: sink1 at {}",
+            plant.heat_sink(1)
+        );
+        // Without a chassis the idle socket stays at ambient.
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::dual_socket()).unwrap();
+        plant.equilibrate(&hot_idle, Rpm::new(3000.0));
+        assert!(plant.heat_sink(1) < Celsius::new(30.1));
+    }
+
+    #[test]
+    fn transient_converges_to_probed_steady_state() {
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::dual_socket()).unwrap();
+        let (p, v) = ([Watts::new(140.8); 2], Rpm::new(4000.0));
+        let ss = plant.steady_state_junctions(&p, v);
+        for _ in 0..100_000 {
+            plant.step(Seconds::new(1.0), &p, v);
+        }
+        for (i, &ss_i) in ss.iter().enumerate() {
+            assert!((plant.junction(i) - ss_i).abs() < 1e-6, "socket {i}");
+        }
+        // The probe itself never disturbed the live state.
+        assert_eq!(plant.fan_speed(), v);
+    }
+
+    #[test]
+    fn min_safe_fan_speed_is_tight_and_monotone() {
+        let plant = MultiSocketPlant::new(&cal(), &Topology::dual_socket()).unwrap();
+        let p = [Watts::new(140.8); 2];
+        let limit = Celsius::new(75.0);
+        let v = plant.min_safe_fan_speed(&p, limit).expect("reachable");
+        let at = plant.steady_state_hottest(&p, v);
+        assert!((at - limit).abs() < 0.01, "at {at}");
+        assert!(plant.steady_state_hottest(&p, v + 100.0) < limit);
+        assert!(plant.steady_state_hottest(&p, v - 100.0) > limit);
+    }
+
+    #[test]
+    fn min_safe_fan_speed_edge_cases() {
+        let plant = MultiSocketPlant::new(&cal(), &Topology::dual_socket()).unwrap();
+        assert_eq!(
+            plant.min_safe_fan_speed(&[Watts::new(0.0); 2], Celsius::new(35.0)),
+            Some(Rpm::new(0.0))
+        );
+        // 160 W per socket through the shared floor cannot hold 40 °C at
+        // 30 °C ambient.
+        assert!(plant.min_safe_fan_speed(&[Watts::new(160.0); 2], Celsius::new(40.0)).is_none());
+        // Trivially safe limit: even a stopped fan suffices.
+        assert_eq!(
+            plant.min_safe_fan_speed(&[Watts::new(0.5); 2], Celsius::new(90.0)),
+            Some(Rpm::new(0.0))
+        );
+    }
+
+    #[test]
+    fn ambient_shifts_equilibrium() {
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::dual_socket()).unwrap();
+        let p = [Watts::new(100.0); 2];
+        let a = plant.steady_state_hottest(&p, Rpm::new(4000.0));
+        plant.set_ambient(Celsius::new(40.0));
+        let b = plant.steady_state_hottest(&p, Rpm::new(4000.0));
+        assert!((b - a - 10.0).abs() < 1e-9);
+        assert_eq!(plant.ambient(), Celsius::new(40.0));
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::dual_socket()).unwrap();
+        plant.equilibrate(&[Watts::new(140.8); 2], Rpm::new(3000.0));
+        assert!(plant.hottest_junction() > Celsius::new(50.0));
+        plant.reset();
+        for i in 0..2 {
+            assert_eq!(plant.junction(i), Celsius::new(30.0));
+            assert_eq!(plant.heat_sink(i), Celsius::new(30.0));
+        }
+    }
+}

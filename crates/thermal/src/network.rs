@@ -15,6 +15,19 @@ use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Seconds, Watts};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
 
+impl NodeId {
+    /// The node's position in [`RcNetwork::node_names`] order (the order
+    /// [`RcNetwork::steady_state`] reports temperatures in).
+    pub(crate) fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Inverse of [`NodeId::from_index`].
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Identifier of a resistive link inside an [`RcNetwork`], resolved once
 /// via [`RcNetwork::link_id`] so per-step re-parameterization (e.g. the
 /// sink→ambient conductance moving with fan speed) skips the name scan.
@@ -313,6 +326,16 @@ impl RcNetwork {
         self.powers[id.0] = power.value();
     }
 
+    /// Overrides a node's temperature directly (equilibration and test
+    /// setup). State-only: the cached factorization is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn set_temperature(&mut self, id: NodeId, temperature: Celsius) {
+        self.temperatures[id.0] = temperature.value();
+    }
+
     /// Sets a boundary temperature by name.
     ///
     /// # Errors
@@ -524,21 +547,53 @@ impl RcNetwork {
     /// [`RcNetwork::step`]).
     #[must_use]
     pub fn steady_state(&self) -> Vec<Celsius> {
+        self.steady_state_with(&[], &[])
+    }
+
+    /// [`RcNetwork::steady_state`] with temporary link-resistance and
+    /// node-power overrides, **without mutating the network** — the current
+    /// temperatures, powers, conductances and the cached factorization are
+    /// all left untouched.
+    ///
+    /// This is the probe behind model inversions that ask "what would the
+    /// equilibrium be at fan speed `v` / power `p`?" (e.g. the multi-socket
+    /// `min_safe_fan_speed` bisection) while the transient simulation keeps
+    /// running undisturbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override handle does not belong to this network.
+    #[must_use]
+    pub fn steady_state_with(
+        &self,
+        link_overrides: &[(LinkId, KelvinPerWatt)],
+        power_overrides: &[(NodeId, Watts)],
+    ) -> Vec<Celsius> {
         let n = self.node_names.len();
+        let conductance = |idx: usize| -> f64 {
+            link_overrides
+                .iter()
+                .find(|(id, _)| id.0 == idx)
+                .map_or(self.links[idx].conductance, |(_, r)| 1.0 / r.value())
+        };
         let mut a = vec![0.0; n * n];
         let mut b = self.powers.clone();
-        for link in &self.links {
+        for (id, p) in power_overrides {
+            b[id.0] = p.value();
+        }
+        for (idx, link) in self.links.iter().enumerate() {
+            let g = conductance(idx);
             match (link.a, link.b) {
                 (Endpoint::Node(i), Endpoint::Node(j)) => {
-                    a[i * n + i] += link.conductance;
-                    a[j * n + j] += link.conductance;
-                    a[i * n + j] -= link.conductance;
-                    a[j * n + i] -= link.conductance;
+                    a[i * n + i] += g;
+                    a[j * n + j] += g;
+                    a[i * n + j] -= g;
+                    a[j * n + i] -= g;
                 }
                 (Endpoint::Node(i), Endpoint::Boundary(k))
                 | (Endpoint::Boundary(k), Endpoint::Node(i)) => {
-                    a[i * n + i] += link.conductance;
-                    b[i] += link.conductance * self.boundary_temps[k];
+                    a[i * n + i] += g;
+                    b[i] += g * self.boundary_temps[k];
                 }
                 (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
             }

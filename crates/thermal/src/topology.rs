@@ -1,0 +1,296 @@
+//! Server thermal topologies: how many heat sources share the one fan.
+//!
+//! The paper's global fan controller exists because a single fan serves
+//! several coupled heat sources. A [`Topology`] describes that structure as
+//! plain data — per-socket load weights, airflow derates for downstream
+//! sockets in the shared plenum, and an optional chassis spreader that
+//! couples the sockets thermally — and the builders below provide the
+//! variants the experiments sweep:
+//!
+//! - [`Topology::single_socket`]: the paper's 2-node server (the
+//!   bit-compatible default — simulated by the exact-exponential
+//!   [`crate::ServerThermalModel`], not the RC network),
+//! - [`Topology::dual_socket`] / [`Topology::quad_socket`]: 2S/4S boards
+//!   where downstream sockets see pre-heated air,
+//! - [`Topology::dual_socket_imbalanced`]: a 2S board with a skewed
+//!   per-socket load split (NUMA-pinned workloads),
+//! - [`Topology::blade_chassis`]: two sockets coupled through a shared
+//!   chassis spreader — the strongest inter-source coupling.
+//!
+//! Adding a new variant is a constructor returning a `Topology` value; the
+//! plant ([`crate::MultiSocketPlant`]), the server simulator and the
+//! scenario grid all consume the same description.
+
+use gfsc_units::KelvinPerWatt;
+
+/// One socket's placement in the shared-fan airflow and load balance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocketDef {
+    /// Node-name stem (`die-{name}` / `sink-{name}` in the network).
+    pub name: String,
+    /// Relative load multiplier: socket `i` executes
+    /// `clamp(u × load_weight)` of the server-wide demand `u`, so each
+    /// socket dissipates its *own* CPU power (an N-socket board under the
+    /// same demand burns ~N× the single-socket power — that is what makes
+    /// the shared fan contended). 1.0 everywhere = balanced SMP; the
+    /// builders keep the weights averaging 1 so total work stays
+    /// comparable across topologies.
+    pub load_weight: f64,
+    /// Multiplier on the heat-sink law's airflow coefficient: 1.0 for the
+    /// socket facing the inlet, > 1.0 for sockets breathing pre-heated or
+    /// shadowed air further down the plenum.
+    pub airflow_derate: f64,
+    /// Multiplier on the junction-to-sink resistance (die/package spread
+    /// across sockets).
+    pub r_jc_scale: f64,
+}
+
+impl SocketDef {
+    fn new(name: &str, load_weight: f64, airflow_derate: f64, r_jc_scale: f64) -> Self {
+        Self { name: name.to_owned(), load_weight, airflow_derate, r_jc_scale }
+    }
+}
+
+/// A shared chassis/spreader node coupling every socket's heat sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChassisDef {
+    /// Sink-to-chassis coupling resistance, per socket.
+    pub coupling: KelvinPerWatt,
+    /// Chassis-to-ambient exhaust resistance (the fan-independent leak
+    /// path through the enclosure walls).
+    pub exhaust: KelvinPerWatt,
+    /// Chassis thermal capacitance as a multiple of one socket's sink
+    /// capacitance.
+    pub capacitance_scale: f64,
+}
+
+/// The thermal structure of the simulated server: which heat sources share
+/// the fan, and how they couple.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_thermal::Topology;
+///
+/// let topo = Topology::quad_socket();
+/// assert_eq!(topo.sockets().len(), 4);
+/// assert!(!topo.is_single());
+/// let mean: f64 = topo.sockets().iter().map(|s| s.load_weight).sum::<f64>() / 4.0;
+/// assert!((mean - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    label: String,
+    sockets: Vec<SocketDef>,
+    chassis: Option<ChassisDef>,
+}
+
+impl Topology {
+    /// The paper's single-socket server: one die on one heat sink. This is
+    /// the bit-compatible default — the server simulator steps it through
+    /// the exact-exponential [`crate::ServerThermalModel`], not the
+    /// backward-Euler network.
+    #[must_use]
+    pub fn single_socket() -> Self {
+        Self {
+            label: "1S".to_owned(),
+            sockets: vec![SocketDef::new("cpu0", 1.0, 1.0, 1.0)],
+            chassis: None,
+        }
+    }
+
+    /// A balanced dual-socket board: both sockets execute the full demand,
+    /// the downstream socket breathing pre-heated air (+25 % on the
+    /// convective term).
+    #[must_use]
+    pub fn dual_socket() -> Self {
+        Self {
+            label: "2S".to_owned(),
+            sockets: vec![
+                SocketDef::new("cpu0", 1.0, 1.0, 1.0),
+                SocketDef::new("cpu1", 1.0, 1.25, 1.0),
+            ],
+            chassis: None,
+        }
+    }
+
+    /// A dual-socket board with a NUMA-skewed 130/70 load split — the hot
+    /// socket sits upstream, so airflow and load imbalance fight.
+    #[must_use]
+    pub fn dual_socket_imbalanced() -> Self {
+        Self {
+            label: "2S-imb".to_owned(),
+            sockets: vec![
+                SocketDef::new("cpu0", 1.3, 1.0, 1.0),
+                SocketDef::new("cpu1", 0.7, 1.25, 1.0),
+            ],
+            chassis: None,
+        }
+    }
+
+    /// A quad-socket board: balanced load, progressively derated airflow
+    /// down the plenum.
+    #[must_use]
+    pub fn quad_socket() -> Self {
+        Self {
+            label: "4S".to_owned(),
+            sockets: vec![
+                SocketDef::new("cpu0", 1.0, 1.0, 1.0),
+                SocketDef::new("cpu1", 1.0, 1.12, 1.0),
+                SocketDef::new("cpu2", 1.0, 1.25, 1.0),
+                SocketDef::new("cpu3", 1.0, 1.4, 1.0),
+            ],
+            chassis: None,
+        }
+    }
+
+    /// A blade enclosure: two sockets whose sinks couple through a shared
+    /// chassis spreader (0.5 K/W per sink) with a weak fan-independent
+    /// exhaust (2 K/W) — heat produced by one socket measurably warms the
+    /// other, the strongest version of the many-sources/one-fan structure.
+    #[must_use]
+    pub fn blade_chassis() -> Self {
+        Self {
+            label: "blade".to_owned(),
+            sockets: vec![
+                SocketDef::new("cpu0", 1.0, 1.0, 1.0),
+                SocketDef::new("cpu1", 1.0, 1.25, 1.0),
+            ],
+            chassis: Some(ChassisDef {
+                coupling: KelvinPerWatt::new(0.5),
+                exhaust: KelvinPerWatt::new(2.0),
+                capacitance_scale: 2.0,
+            }),
+        }
+    }
+
+    /// Replaces the per-socket load weights (must match the socket count
+    /// and average 1, so total work stays comparable across topologies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count differs from the socket count, any
+    /// weight is not positive, or the weights do not average 1.
+    #[must_use]
+    pub fn with_load_weights(mut self, weights: &[f64]) -> Self {
+        assert_eq!(weights.len(), self.sockets.len(), "one weight per socket");
+        for (socket, &weight) in self.sockets.iter_mut().zip(weights) {
+            socket.load_weight = weight;
+        }
+        self.validate();
+        self
+    }
+
+    /// The topology's short display label (`1S`, `2S`, `4S`, `blade`, …).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The sockets, inlet-first.
+    #[must_use]
+    pub fn sockets(&self) -> &[SocketDef] {
+        &self.sockets
+    }
+
+    /// The chassis spreader, if this topology has one.
+    #[must_use]
+    pub fn chassis(&self) -> Option<&ChassisDef> {
+        self.chassis.as_ref()
+    }
+
+    /// Whether this is the paper's plain single-socket server (no derate,
+    /// no chassis) — the shape the exact two-node model covers.
+    #[must_use]
+    pub fn is_single(&self) -> bool {
+        self.sockets.len() == 1 && self.chassis.is_none()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no sockets, weights/derates/scales are not
+    /// positive, or the load weights do not average 1.
+    pub fn validate(&self) {
+        assert!(!self.sockets.is_empty(), "topology needs at least one socket");
+        let mut sum = 0.0;
+        for s in &self.sockets {
+            assert!(s.load_weight > 0.0, "socket `{}` load weight must be positive", s.name);
+            assert!(s.airflow_derate > 0.0, "socket `{}` airflow derate must be positive", s.name);
+            assert!(s.r_jc_scale > 0.0, "socket `{}` r_jc scale must be positive", s.name);
+            sum += s.load_weight;
+        }
+        let mean = sum / self.sockets.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "load weights must average 1, got mean {mean}");
+        if let Some(ch) = &self.chassis {
+            assert!(ch.capacitance_scale > 0.0, "chassis capacitance scale must be positive");
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::single_socket()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_validate() {
+        for topo in [
+            Topology::single_socket(),
+            Topology::dual_socket(),
+            Topology::dual_socket_imbalanced(),
+            Topology::quad_socket(),
+            Topology::blade_chassis(),
+        ] {
+            topo.validate();
+        }
+    }
+
+    #[test]
+    fn single_socket_is_the_default_and_single() {
+        assert_eq!(Topology::default(), Topology::single_socket());
+        assert!(Topology::single_socket().is_single());
+        assert!(!Topology::dual_socket().is_single());
+        assert!(!Topology::blade_chassis().is_single());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Topology::single_socket().label().to_owned(),
+            Topology::dual_socket().label().to_owned(),
+            Topology::dual_socket_imbalanced().label().to_owned(),
+            Topology::quad_socket().label().to_owned(),
+            Topology::blade_chassis().label().to_owned(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn with_load_weights_replaces_split() {
+        let topo = Topology::dual_socket().with_load_weights(&[1.4, 0.6]);
+        assert_eq!(topo.sockets()[0].load_weight, 1.4);
+        assert_eq!(topo.sockets()[1].load_weight, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "average 1")]
+    fn bad_weights_rejected() {
+        let _ = Topology::dual_socket().with_load_weights(&[1.4, 1.4]);
+    }
+
+    #[test]
+    fn blade_has_a_chassis() {
+        assert!(Topology::blade_chassis().chassis().is_some());
+        assert!(Topology::quad_socket().chassis().is_none());
+    }
+}

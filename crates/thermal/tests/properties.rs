@@ -1,8 +1,22 @@
 //! Property-based tests for the thermal models.
 
-use gfsc_thermal::{HeatSinkLaw, HeatSinkNode, RcNetworkBuilder, ServerThermalModel};
+use gfsc_thermal::{
+    HeatSinkLaw, HeatSinkNode, MultiSocketPlant, PlantCalibration, RcNetworkBuilder,
+    ServerThermalModel, Topology,
+};
 use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
 use proptest::prelude::*;
+
+fn date14_calibration() -> PlantCalibration {
+    PlantCalibration {
+        ambient: Celsius::new(30.0),
+        law: HeatSinkLaw::date14(),
+        sink_tau: Seconds::new(60.0),
+        tau_speed: Rpm::new(8500.0),
+        r_jc: KelvinPerWatt::new(0.10),
+        die_tau: Seconds::new(0.1),
+    }
+}
 
 proptest! {
     /// The resistance law is strictly decreasing in fan speed.
@@ -90,6 +104,81 @@ proptest! {
                 let below = m.steady_state_junction(Watts::new(p), v - 50.0);
                 prop_assert!(below >= Celsius::new(limit - 0.01), "not minimal: {below}");
             }
+        }
+    }
+
+    /// The RC-network-backed two-node plant matches `ServerThermalModel`
+    /// step for step: identical steady states (the equilibrium is
+    /// integrator-independent, so agreement is to solver precision) and
+    /// transient junction trajectories within the backward-Euler
+    /// first-order error bound, across random power/fan operating
+    /// sequences at the production 0.5 s step.
+    #[test]
+    fn network_two_node_plant_tracks_server_model_step_for_step(
+        powers in proptest::collection::vec(96.0f64..160.0, 1..5),
+        fans in proptest::collection::vec(1500.0f64..8500.0, 1..5),
+    ) {
+        let cal = date14_calibration();
+        let mut network = MultiSocketPlant::new(&cal, &Topology::single_socket()).unwrap();
+        let mut exact = ServerThermalModel::date14(Celsius::new(30.0));
+        let phases = powers.len().min(fans.len());
+        for k in 0..phases {
+            let (p, v) = (Watts::new(powers[k]), Rpm::new(fans[k]));
+            // Steady states agree to solver precision at every phase's
+            // operating point.
+            let ss_net = network.steady_state_hottest(&[p], v);
+            let ss_exact = exact.steady_state_junction(p, v);
+            prop_assert!((ss_net - ss_exact).abs() < 1e-9,
+                "steady state diverged: {ss_net} vs {ss_exact}");
+            // 400 s of transient per phase at the production step: the
+            // integrators differ (backward Euler vs exact exponential) by
+            // at most the first-order bound dt/(2 tau) of the 60 s sink —
+            // well under 0.5 K on any Table I excursion. The first ~2 s
+            // after a power/fan step are excluded: there the 0.1 s die
+            // node's sub-step transient (which the exact model resolves and
+            // a 0.5 s backward-Euler step legitimately smears over a few
+            // steps) dominates, and no controller samples that fast.
+            for s in 0..800 {
+                network.step(Seconds::new(0.5), &[p], v);
+                exact.step(Seconds::new(0.5), p, v);
+                let (a, b) = (network.hottest_junction(), exact.junction());
+                prop_assert!(s < 4 || (a - b).abs() < 0.5,
+                    "transient diverged at (p={p}, v={v}), step {s}: {a} vs {b}");
+            }
+        }
+        // Hold the last operating point: both settle onto the *same*
+        // equilibrium.
+        let (p, v) = (Watts::new(powers[phases - 1]), Rpm::new(fans[phases - 1]));
+        for _ in 0..40_000 {
+            network.step(Seconds::new(0.5), &[p], v);
+            exact.step(Seconds::new(0.5), p, v);
+        }
+        let (a, b) = (network.hottest_junction(), exact.junction());
+        prop_assert!((a - b).abs() < 1e-6, "settled states differ: {a} vs {b}");
+    }
+
+    /// Multi-socket min-safe-speed bisection agrees with the analytic
+    /// two-node inversion when the topology is the plain single socket.
+    #[test]
+    fn network_min_safe_speed_matches_analytic_inversion(
+        p in 100.0f64..160.0,
+        limit in 60.0f64..95.0,
+    ) {
+        let plant = MultiSocketPlant::new(&date14_calibration(), &Topology::single_socket()).unwrap();
+        let exact = ServerThermalModel::date14(Celsius::new(30.0));
+        let a = plant.min_safe_fan_speed(&[Watts::new(p)], Celsius::new(limit));
+        let b = exact.min_safe_fan_speed(Watts::new(p), Celsius::new(limit));
+        match (a, b) {
+            (Some(va), Some(vb)) => {
+                // Both clamp to the law floor below 100 rpm; above it the
+                // bisection must land on the analytic root.
+                if vb.value() > 150.0 {
+                    prop_assert!((va - vb).abs() / vb.value() < 1e-6,
+                        "roots differ: {va} vs {vb}");
+                }
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "feasibility disagrees: {a:?} vs {b:?}"),
         }
     }
 

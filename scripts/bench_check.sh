@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-measures the cached-step and closed-loop
+# throughput metrics and fails on a >30 % regression against the committed
+# BENCH_<date>.json baseline.
+#
+#     ./scripts/bench_check.sh                   # newest committed baseline
+#     ./scripts/bench_check.sh BENCH_x.json      # explicit baseline
+#     GFSC_BENCH_TOLERANCE=0.5 ./scripts/bench_check.sh   # looser gate
+#
+# Wraps `perf_report --check`; see crates/bench/src/bin/perf_report.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-}"
+if [ -z "$baseline" ]; then
+    # Lexicographically-last BENCH_YYYY-MM-DD.json is the newest.
+    baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+fi
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+    echo "bench_check: no BENCH_*.json baseline found" >&2
+    exit 2
+fi
+
+exec cargo run --release --locked --offline -q -p gfsc-bench --bin perf_report -- --check "$baseline"

@@ -1,32 +1,61 @@
 #!/usr/bin/env bash
 # CI gate for the gfsc workspace. Run from the repository root:
 #
-#     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests
-#     ./scripts/ci.sh quick    # skip the release build & release tests
+#     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests,
+#                              # release tests, bench smoke, bench check
+#     ./scripts/ci.sh quick    # skip the release tests & bench stages
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds the style gates that keep the tree warning-free.
+#
+# Every cargo invocation runs `--locked --offline`: the workspace vendors
+# its three external shims under vendor/, so CI must never touch the
+# network — a build that tries is a bug, not a flake. A trailing
+# `git status --porcelain` check catches fmt or lockfile drift produced by
+# the gate itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --check
+status_before=$(git status --porcelain)
 
-echo "== cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_names=()
+stage_secs=()
+run_stage() {
+    local name="$1"
+    shift
+    echo "== $name: $*"
+    local start=$SECONDS
+    "$@"
+    stage_names+=("$name")
+    stage_secs+=($((SECONDS - start)))
+}
 
-echo "== cargo build --release"
-cargo build --release
-
-echo "== cargo test -q"
-cargo test -q
+run_stage "fmt" cargo fmt --check
+run_stage "clippy" cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+run_stage "build" cargo build --release --locked --offline
+run_stage "test" cargo test -q --locked --offline
 
 if [ "${1:-}" != "quick" ]; then
-    echo "== cargo test -q --release (sweeps & experiments at full speed)"
-    cargo test -q --release
-
-    echo "== perf smoke (hot-path benches, fast mode)"
-    GFSC_BENCH_FAST=1 cargo bench -p gfsc-bench --bench hot_paths
+    run_stage "test-release" cargo test -q --release --locked --offline
+    run_stage "bench-smoke" env GFSC_BENCH_FAST=1 \
+        cargo bench -p gfsc-bench --locked --offline --bench hot_paths
+    run_stage "bench-check" ./scripts/bench_check.sh
 fi
 
-echo "CI gate passed."
+# The gate must leave the tree exactly as it found it (no fmt rewrites, no
+# lockfile updates, no stray artifacts outside target/). On a clean CI
+# checkout this is exactly "porcelain is empty"; locally it tolerates
+# pre-existing uncommitted work but still catches anything the gate wrote.
+status_after=$(git status --porcelain)
+if [ "$status_after" != "$status_before" ]; then
+    echo "CI gate FAILED: the gate dirtied the working tree:" >&2
+    diff <(printf '%s\n' "$status_before") <(printf '%s\n' "$status_after") >&2 || true
+    exit 1
+fi
+echo "== tree unchanged by the gate"
+
+echo
+echo "CI gate passed. Stage timings:"
+for i in "${!stage_names[@]}"; do
+    printf '  %-14s %4d s\n' "${stage_names[$i]}" "${stage_secs[$i]}"
+done

@@ -68,6 +68,29 @@ fn parallel_sweep_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn multi_socket_sweep_matches_serial_byte_for_byte() {
+    use gfsc::sweep::ScenarioGrid;
+    use gfsc::thermal::Topology;
+    // The 2S topology exercises the RC-network plant (per-socket pipelines,
+    // LU-cached stepping, bisection-based model inversion) across threads;
+    // its results must still be bitwise equal to the serial walk.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(150.0))
+        .solutions(&[Solution::ECoord, Solution::RCoordAdaptiveTrefSsFan])
+        .seeds(&[1, 2])
+        .topology_variant(Topology::dual_socket())
+        .build();
+    let parallel = grid.run_with_workers(4);
+    let serial = grid.run_serial();
+    assert_eq!(parallel.len(), 4);
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert!(p.label.starts_with("2S/"), "topology axis missing from {}", p.label);
+        assert_eq!(p.label, s.label);
+        assert_eq!(p.summary, s.summary, "{}", p.label);
+    }
+}
+
+#[test]
 fn sweep_respects_thread_count_override() {
     // GFSC_SWEEP_THREADS=1 must force the serial path; this is also the
     // escape hatch documented in ROADMAP.md for debugging.

@@ -32,7 +32,7 @@ fn fig5_report_structure() {
 
 #[test]
 fn table3_markdown_contains_all_solutions_and_paper_columns() {
-    let table = table3::run(&table3::Table3Config { horizon: Seconds::new(600.0), seed: 3 });
+    let table = table3::run(&table3::Table3Config { horizon: Seconds::new(600.0), seeds: vec![3] });
     let md = table.to_markdown();
     for s in Solution::ALL {
         assert!(md.contains(s.paper_name()), "missing {s}");

@@ -8,19 +8,19 @@ use gfsc_units::Seconds;
 fn table() -> &'static gfsc::experiments::table3::Table3 {
     use std::sync::OnceLock;
     static TABLE: OnceLock<gfsc::experiments::table3::Table3> = OnceLock::new();
-    TABLE.get_or_init(|| run(&Table3Config { horizon: Seconds::new(2400.0), seed: 42 }))
+    TABLE.get_or_init(|| run(&Table3Config { horizon: Seconds::new(2400.0), seeds: vec![42] }))
 }
 
 #[test]
 fn ecoord_degrades_performance_most() {
     let t = table();
-    let ecoord = t.row(Solution::ECoord).violation_percent;
+    let ecoord = t.row(Solution::ECoord).violation_percent.mean;
     for s in Solution::ALL {
         if s != Solution::ECoord {
             assert!(
-                ecoord > t.row(s).violation_percent,
+                ecoord > t.row(s).violation_percent.mean,
                 "E-coord ({ecoord}) must be worst; {s} = {}",
-                t.row(s).violation_percent
+                t.row(s).violation_percent.mean
             );
         }
     }
@@ -29,24 +29,24 @@ fn ecoord_degrades_performance_most() {
 #[test]
 fn rule_coordination_beats_the_uncoordinated_baseline() {
     let t = table();
-    let base = t.row(Solution::WithoutCoordination).violation_percent;
-    let rcoord = t.row(Solution::RCoordFixedTref).violation_percent;
+    let base = t.row(Solution::WithoutCoordination).violation_percent.mean;
+    let rcoord = t.row(Solution::RCoordFixedTref).violation_percent.mean;
     assert!(rcoord < base, "R-coord {rcoord} vs baseline {base}");
 }
 
 #[test]
 fn adaptive_reference_improves_on_fixed_reference() {
     let t = table();
-    let rcoord = t.row(Solution::RCoordFixedTref).violation_percent;
-    let atref = t.row(Solution::RCoordAdaptiveTref).violation_percent;
+    let rcoord = t.row(Solution::RCoordFixedTref).violation_percent.mean;
+    let atref = t.row(Solution::RCoordAdaptiveTref).violation_percent.mean;
     assert!(atref <= rcoord, "A-Tref {atref} vs R-coord {rcoord}");
 }
 
 #[test]
 fn single_step_scaling_does_not_regress_performance() {
     let t = table();
-    let atref = t.row(Solution::RCoordAdaptiveTref).violation_percent;
-    let ssfan = t.row(Solution::RCoordAdaptiveTrefSsFan).violation_percent;
+    let atref = t.row(Solution::RCoordAdaptiveTref).violation_percent.mean;
+    let ssfan = t.row(Solution::RCoordAdaptiveTrefSsFan).violation_percent.mean;
     // The paper reports a further 4.5 pp reduction; on our calibration the
     // improvement can saturate to a tie at moderate horizons.
     assert!(ssfan <= atref + 0.5, "SSfan {ssfan} vs A-Tref {atref}");
@@ -93,7 +93,7 @@ fn rows_are_complete_and_normalized() {
     assert_eq!(t.rows.len(), 5);
     assert!((t.row(Solution::WithoutCoordination).normalized_fan_energy - 1.0).abs() < 1e-12);
     for row in &t.rows {
-        assert!((0.0..=100.0).contains(&row.violation_percent), "{row:?}");
-        assert!(row.fan_energy_j > 0.0, "{row:?}");
+        assert!((0.0..=100.0).contains(&row.violation_percent.mean), "{row:?}");
+        assert!(row.fan_energy_j.mean > 0.0, "{row:?}");
     }
 }

@@ -1,0 +1,93 @@
+//! The plant-abstraction refactor contract: closed-loop runs on the
+//! default single-socket topology are **bit-identical** to the
+//! pre-abstraction `ServerThermalModel` path.
+//!
+//! The golden values below were captured from the simulator *before*
+//! `ClosedLoopSim` was routed through the `gfsc_server::Plant` abstraction
+//! (commit 39fbf14 state, 600 s horizon). Any change to the default
+//! two-node arithmetic — integrator, sensor chain, aggregation, trace
+//! recording order — trips this test.
+//!
+//! If a future PR *intentionally* changes the default plant's numerics,
+//! re-capture these constants and say so in the commit message.
+
+use gfsc::{Simulation, Solution};
+use gfsc_units::Seconds;
+
+/// FNV-1a over the little-endian bytes of each sample's bit pattern.
+fn fnv(bits: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Golden {
+    solution: Solution,
+    seed: u64,
+    violation_bits: u64,
+    fan_energy_bits: u64,
+    cpu_energy_bits: u64,
+    t_junction_fnv: u64,
+    fan_rpm_fnv: u64,
+    t_measured_fnv: u64,
+}
+
+/// Captured pre-refactor; see the module docs.
+const GOLDENS: [Golden; 3] = [
+    Golden {
+        solution: Solution::RCoordAdaptiveTrefSsFan,
+        seed: 7,
+        violation_bits: 0x0000_0000_0000_0000,
+        fan_energy_bits: 0x40ac_308b_721d_f539,
+        cpu_energy_bits: 0x40f1_c65d_0798_c570,
+        t_junction_fnv: 0x94f4_022f_1efd_fa22,
+        fan_rpm_fnv: 0x6242_4fcc_66c4_1b67,
+        t_measured_fnv: 0xe213_4c0e_f000_cb8f,
+    },
+    Golden {
+        solution: Solution::ECoord,
+        seed: 3,
+        violation_bits: 0x4033_f77b_19fb_bd8d,
+        fan_energy_bits: 0x409d_89b8_cf07_90b2,
+        cpu_energy_bits: 0x40f0_9d7c_54a0_db46,
+        t_junction_fnv: 0x5299_1f49_153b_0c14,
+        fan_rpm_fnv: 0x7ed3_aba3_35b8_06fa,
+        t_measured_fnv: 0x2f4c_4c92_cac8_4290,
+    },
+    Golden {
+        solution: Solution::WithoutCoordination,
+        seed: 42,
+        violation_bits: 0x4020_4e60_4427_3022,
+        fan_energy_bits: 0x40b9_355e_40ef_b487,
+        cpu_energy_bits: 0x40f0_ffd2_bb73_fe63,
+        t_junction_fnv: 0x8ce2_7f96_1bf1_b340,
+        fan_rpm_fnv: 0x5a45_f138_73f1_f2a6,
+        t_measured_fnv: 0xba49_b74c_8d71_0566,
+    },
+];
+
+#[test]
+fn two_node_closed_loop_is_bit_identical_to_pre_refactor_goldens() {
+    for g in &GOLDENS {
+        let out = Simulation::builder()
+            .solution(g.solution)
+            .seed(g.seed)
+            .build()
+            .run(Seconds::new(600.0));
+        let name = format!("{:?}/seed{}", g.solution, g.seed);
+        assert_eq!(out.violation_percent.to_bits(), g.violation_bits, "{name}: violation%");
+        assert_eq!(out.fan_energy.value().to_bits(), g.fan_energy_bits, "{name}: fan energy");
+        assert_eq!(out.cpu_energy.value().to_bits(), g.cpu_energy_bits, "{name}: cpu energy");
+        let hash_of = |channel: &str| {
+            fnv(out.traces.require(channel).unwrap().values().iter().map(|v| v.to_bits()))
+        };
+        assert_eq!(hash_of("t_junction_c"), g.t_junction_fnv, "{name}: junction trace");
+        assert_eq!(hash_of("fan_rpm"), g.fan_rpm_fnv, "{name}: fan trace");
+        assert_eq!(hash_of("t_measured_c"), g.t_measured_fnv, "{name}: measured trace");
+    }
+}
