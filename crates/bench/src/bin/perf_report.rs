@@ -5,10 +5,12 @@
 //! Measured sections:
 //!
 //! - thermal-step: `ServerThermalModel::step` plus `RcNetwork::step`
-//!   cached vs uncached (2- and 8-node chains),
+//!   cached vs uncached (2- and 8-node chains), the 4S plant, and the
+//!   1U×8 rack plant (8 servers, 2 fan zones, shared plenum),
 //! - trace recording: 8 channels by name vs by pre-resolved handle,
 //! - epoch rate: simulated seconds per wall-clock second of the full
-//!   closed loop,
+//!   closed loop, and of the coordinated rack loop (capper bank +
+//!   coordinator + per-zone fan loops on the 1U×8 rack),
 //! - table3: the five-solution sweep, serial vs parallel at several worker
 //!   counts, with a bit-identity check between the two paths,
 //! - ablations: a reduced lag sweep, serial vs parallel,
@@ -18,8 +20,9 @@
 //! [--table3-horizon SECS] [--out PATH] [--check BASELINE.json]`
 //!
 //! `--check` switches to regression-gate mode: instead of writing a new
-//! snapshot, it re-measures the cached-step and closed-loop-throughput
-//! metrics (best of three), compares them against the committed baseline,
+//! snapshot, it re-measures the cached-step, rack-step and (server + rack)
+//! closed-loop-throughput metrics (best of three), compares them against
+//! the committed baseline,
 //! and exits non-zero on any regression beyond the tolerance (default
 //! 30 %, override with `GFSC_BENCH_TOLERANCE=0.5`). `scripts/bench_check.sh`
 //! wraps this for CI.
@@ -28,9 +31,12 @@ use gfsc::experiments::{ablations, fan_study_spec};
 use gfsc::sweep::ScenarioGrid;
 use gfsc::{tune_gain_schedule, Solution};
 use gfsc_bench::{chain_network, EPOCH_CHANNELS};
+use gfsc_coord::{RackControl, RackLoopSim};
+use gfsc_rack::{RackPlant, RackSpec, RackTopology};
 use gfsc_sim::sweep::thread_count;
 use gfsc_thermal::{HeatSinkLaw, MultiSocketPlant, PlantCalibration, ServerThermalModel, Topology};
 use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
+use gfsc_workload::{SquareWave, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -79,10 +85,11 @@ fn main() {
     let plant_4s_ns = time_per_iter(200_000, || {
         plant_4s.step(Seconds::new(0.5), &powers_4s, Rpm::new(4000.0));
     });
+    let rack_8s_ns = time_rack_8s_step();
     println!(
         "thermal: server_model {server_step_ns:.0} ns; rc2 {rc2_cached:.0}/{rc2_uncached:.0} ns \
          (cached/uncached, {:.2}x); rc8 {rc8_cached:.0}/{rc8_uncached:.0} ns ({:.2}x); \
-         4S plant {plant_4s_ns:.0} ns",
+         4S plant {plant_4s_ns:.0} ns; 1Ux8 rack {rack_8s_ns:.0} ns",
         rc2_uncached / rc2_cached,
         rc8_uncached / rc8_cached,
     );
@@ -125,6 +132,8 @@ fn main() {
     });
     let sim_rate = sim_horizon / epoch_secs;
     println!("epoch rate: {sim_rate:.0} simulated s / wall s");
+    let rack_rate = rack_coord_sim_rate();
+    println!("rack coordinated loop: {rack_rate:.0} simulated s / wall s");
 
     // --- table3 sweep: serial vs parallel --------------------------------
     let grid = ScenarioGrid::builder()
@@ -204,10 +213,13 @@ fn main() {
          \"rc2_cached_ns\": {rc2_cached:.1},\n    \"rc2_uncached_ns\": {rc2_uncached:.1},\n    \
          \"rc8_cached_ns\": {rc8_cached:.1},\n    \"rc8_uncached_ns\": {rc8_uncached:.1},\n    \
          \"rc8_cached_speedup\": {rc8_speedup:.3},\n    \
-         \"plant_4s_step_ns\": {plant_4s_ns:.1}\n  }},\n  \
+         \"plant_4s_step_ns\": {plant_4s_ns:.1},\n    \
+         \"rack_8s_step_ns\": {rack_8s_ns:.1}\n  }},\n  \
          \"trace_record_8ch\": {{\n    \"by_name_ns\": {record_by_name_ns:.1},\n    \
          \"by_handle_ns\": {record_by_handle_ns:.1}\n  }},\n  \
          \"closed_loop\": {{\n    \"sim_seconds_per_wall_second\": {sim_rate:.1}\n  }},\n  \
+         \"rack_loop\": {{\n    \
+         \"coordinated_sim_seconds_per_wall_second\": {rack_rate:.1}\n  }},\n  \
          \"table3\": {{\n    \"horizon_s\": {table3_horizon},\n    \
          \"serial_seconds\": {table3_serial_s:.4},\n    \
          \"by_workers\": [{worker_rows}],\n    \
@@ -223,6 +235,36 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("writing the snapshot");
     println!("wrote {out_path}");
+}
+
+/// Mean nanoseconds per step of the 1U×8 rack plant (8 servers behind two
+/// fan walls, shared plenum with recirculation — 18 capacitive nodes).
+fn time_rack_8s_step() -> f64 {
+    let cal = PlantCalibration {
+        ambient: Celsius::new(35.0),
+        law: HeatSinkLaw::date14(),
+        sink_tau: Seconds::new(60.0),
+        tau_speed: Rpm::new(8500.0),
+        r_jc: KelvinPerWatt::new(0.10),
+        die_tau: Seconds::new(0.1),
+    };
+    let mut rack = RackPlant::new(&cal, &RackTopology::rack_1u_x8()).expect("preset compiles");
+    let powers = [Watts::new(140.8); 8];
+    let fans = [Rpm::new(4000.0), Rpm::new(4500.0)];
+    rack.step(Seconds::new(0.5), &powers, &fans);
+    time_per_iter(200_000, || rack.step(Seconds::new(0.5), &powers, &fans))
+}
+
+/// Simulated seconds per wall second of the coordinated rack loop on the
+/// 1U×8 preset (capper bank + coordinator + per-zone fan loops).
+fn rack_coord_sim_rate() -> f64 {
+    let horizon = 600.0;
+    let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
+        .workload(Workload::builder(SquareWave::date14()).build())
+        .control(RackControl::Coordinated { adaptive_reference: true })
+        .build();
+    let (_, secs) = time(|| sim.run(Seconds::new(horizon)));
+    horizon / secs
 }
 
 /// The shared 4S benchmark plant (Table I calibration per socket).
@@ -275,6 +317,8 @@ fn run_check(baseline_path: &str) -> i32 {
         // Fold into "ns-like" cost so lower is better for every metric.
         secs / horizon
     }));
+    let rack_8s = best3(Box::new(time_rack_8s_step));
+    let rack_rate_cost = best3(Box::new(|| 1.0 / rack_coord_sim_rate()));
 
     let mut failed = false;
     let mut check =
@@ -296,8 +340,15 @@ fn run_check(baseline_path: &str) -> i32 {
         };
     check("rc2 cached step", "rc2_cached_ns", rc2_cached, |ns| ns);
     check("rc8 cached step", "rc8_cached_ns", rc8_cached, |ns| ns);
+    check("rack 1Ux8 step", "rack_8s_step_ns", rack_8s, |ns| ns);
     // Throughput inverts: cost = wall seconds per simulated second.
     check("closed-loop throughput", "sim_seconds_per_wall_second", sim_rate, |rate| 1.0 / rate);
+    check(
+        "rack coordinated throughput",
+        "coordinated_sim_seconds_per_wall_second",
+        rack_rate_cost,
+        |rate| 1.0 / rate,
+    );
 
     if failed {
         println!("bench check FAILED: >{:.0} % regression", tolerance * 100.0);

@@ -166,6 +166,25 @@ impl AdaptivePid {
         }
     }
 
+    /// The workspace's standard configuration of the adaptive controller
+    /// — the exact recipe every closed loop (server simulation, fan-study
+    /// experiments, rack zone loops) runs: the Eq. (10) quantization hold
+    /// when `quantization_step > 0`, the 2000 rpm/decision bounded
+    /// descent, and the `max(step, 0.5)` K trend gate (DESIGN.md §5).
+    /// Change the calibration here, and every loop follows.
+    #[must_use]
+    pub fn date14_configured(
+        schedule: GainSchedule,
+        reference: Celsius,
+        bounds: Bounds<Rpm>,
+        quantization_step: f64,
+    ) -> Self {
+        let hold = (quantization_step > 0.0).then_some(quantization_step);
+        Self::new(schedule, reference, bounds, hold)
+            .with_descent_limit(2000.0)
+            .with_trend_gate(quantization_step.max(0.5))
+    }
+
     /// Enables measurement-trend gating: when the error still calls for
     /// more actuation but the *measurement is already moving to correct
     /// it* by at least `threshold` kelvin per decision, hold instead.

@@ -21,6 +21,12 @@
 //! - [`ClosedLoopSim`]: the multi-rate closed-loop runner tying workload,
 //!   plant, local controllers and a coordinator together.
 //!
+//! The same structure scales one level up to racks (`gfsc_rack`):
+//! [`IntegralCapper`] banks per socket, [`CappingCoordinator`] arbitrating
+//! which socket to cap, [`ZoneReferences`] setting topology-aware per-zone
+//! fan references, and [`RackLoopSim`] closing the loop — against the
+//! deliberately-naive [`RackControl::GlobalLockstep`] baseline.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +48,7 @@
 mod capper;
 mod coordinator;
 mod fanctl;
+mod rack;
 mod reference;
 mod runner;
 mod ssfan;
@@ -52,6 +59,10 @@ pub use coordinator::{
     FanDirection, RuleBasedCoordinator, Uncoordinated,
 };
 pub use fanctl::{DeadzoneFan, FanController, FixedPidFan};
+pub use rack::{
+    CappingCoordinator, IntegralCapper, RackControl, RackLoopSim, RackLoopSimBuilder,
+    RackRunOutcome, ZoneReferences,
+};
 pub use reference::AdaptiveReference;
 pub use runner::{ClosedLoopSim, ClosedLoopSimBuilder, RunOutcome};
 pub use ssfan::{SingleStepFanScaling, SsFanAction};

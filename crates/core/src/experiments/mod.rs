@@ -11,6 +11,7 @@
 //! | [`table3`] | Table III | deadline violations and fan energy across the five solutions (mean ± CI over seeds) |
 //! | [`ablations`] | — (extensions) | lag, quantization, region-count and noise sweeps |
 //! | [`topology`] | — (extensions) | the coordinated stack on 2S/4S/blade multi-socket plants |
+//! | [`rack`] | — (extensions) | naive global vs coordinated two-layer control on rack plants |
 //!
 //! Experiment functions are deterministic for a given config (seeds
 //! included), so the binaries in `gfsc-bench` and the assertions in the
@@ -21,6 +22,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod rack;
 pub mod table3;
 pub mod topology;
 

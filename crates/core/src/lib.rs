@@ -45,7 +45,8 @@
 //! | [`gfsc_workload`] | synthetic demand traces |
 //! | [`gfsc_control`] | PID, Ziegler–Nichols, adaptive PID, SASO |
 //! | [`gfsc_server`] | the simulated enterprise server |
-//! | [`gfsc_coord`] | capper, coordinators, closed-loop runner |
+//! | [`gfsc_rack`] | rack-scale plant: fan zones, shared plenum, per-zone views |
+//! | [`gfsc_coord`] | cappers, coordinators, server & rack closed-loop runners |
 //! | `gfsc` (this crate) | solutions, experiments, figure/table harness |
 
 #![forbid(unsafe_code)]
@@ -67,6 +68,7 @@ pub use solution::Solution;
 pub use gfsc_control as control;
 pub use gfsc_coord as coord;
 pub use gfsc_power as power;
+pub use gfsc_rack as rack;
 pub use gfsc_sensors as sensors;
 pub use gfsc_server as server;
 pub use gfsc_sim as sim;

@@ -103,10 +103,12 @@ impl SimulationBuilder {
                 &[Rpm::new(2000.0), Rpm::new(3500.0), Rpm::new(5000.0), Rpm::new(7000.0)],
             )
         };
-        let quant = (spec.quantization_step > 0.0).then_some(spec.quantization_step);
-        let fan = AdaptivePid::new(schedule, self.fixed_reference, spec.fan_bounds, quant)
-            .with_descent_limit(2000.0)
-            .with_trend_gate(spec.quantization_step.max(0.5));
+        let fan = AdaptivePid::date14_configured(
+            schedule,
+            self.fixed_reference,
+            spec.fan_bounds,
+            spec.quantization_step,
+        );
 
         let mut builder = ClosedLoopSim::builder()
             .spec(spec.clone())

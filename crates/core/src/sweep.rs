@@ -1,6 +1,6 @@
 //! The batch scenario-sweep engine: declarative grids of
-//! `spec × topology × ambient × lag × quantization × solution × seed`,
-//! evaluated across all cores.
+//! `spec × topology × ambient × lag × quantization × fan-interval ×
+//! rack × workload × solution × seed`, evaluated across all cores.
 //!
 //! The paper's whole evaluation is embarrassingly parallel — Table III runs
 //! five independent solutions, the ablations run dozens of independent
@@ -20,10 +20,20 @@
 //! # Determinism
 //!
 //! Scenarios are enumerated in a fixed nested order (spec → topology →
-//! ambient → lag → quantization → solution → seed) and every run is seeded
-//! per-scenario, so the parallel result vector is byte-identical to the
-//! serial one — asserted by `tests/determinism.rs`, for multi-socket
-//! topologies too.
+//! ambient → lag → quantization → fan-interval → rack → workload →
+//! solution → seed) and every run is seeded per-scenario, so the parallel
+//! result vector is byte-identical to the serial one — asserted by
+//! `tests/determinism.rs`, for multi-socket topologies and rack cells too.
+//!
+//! # Rack cells
+//!
+//! [`ScenarioGridBuilder::rack_variant`] adds rack-topology cells that run
+//! the rack closed loop (`gfsc_coord::RackLoopSim`) instead of the
+//! single-server `Simulation`. The solutions axis maps onto rack control:
+//! `WithoutCoordination`/`ECoord` run the naive global-lockstep loop,
+//! `RCoordFixedTref` the coordinated loop with fixed zone references, and
+//! both adaptive variants the coordinated loop with per-zone adaptive
+//! references.
 //!
 //! # Examples
 //!
@@ -43,7 +53,8 @@
 //! ```
 
 use crate::{Simulation, Solution};
-use gfsc_coord::RunOutcome;
+use gfsc_coord::{RackControl, RackLoopSim, RunOutcome};
+use gfsc_rack::{RackSpec, RackTopology};
 use gfsc_server::ServerSpec;
 use gfsc_sim::{sweep as executor, TraceSet};
 use gfsc_thermal::Topology;
@@ -115,12 +126,19 @@ pub struct Scenario {
     /// The fan gain schedule, pre-tuned once per spec variant at grid
     /// build time (`None` = the default spec's per-process cache).
     pub gain_schedule: Option<gfsc_control::GainSchedule>,
+    /// Rack-topology cell: when set, the scenario runs the rack closed
+    /// loop on this structure (the per-server calibration comes from
+    /// `spec`), with the solution mapped onto a [`RackControl`].
+    pub rack: Option<RackTopology>,
 }
 
 impl Scenario {
     /// Runs the scenario to completion, returning the full outcome.
     #[must_use]
     pub fn run(&self) -> RunOutcome {
+        if let Some(rack) = &self.rack {
+            return self.run_rack(rack);
+        }
         let mut builder = Simulation::builder()
             .solution(self.solution)
             .seed(self.seed)
@@ -132,6 +150,44 @@ impl Scenario {
             builder = builder.gain_schedule(schedule.clone());
         }
         builder.workload(self.workload.build(self.seed)).build().run(self.horizon)
+    }
+
+    /// How the solutions axis reads on a rack cell.
+    #[must_use]
+    pub fn rack_control(solution: Solution) -> RackControl {
+        if solution.uses_rule_coordination() {
+            RackControl::Coordinated { adaptive_reference: solution.uses_adaptive_reference() }
+        } else {
+            RackControl::GlobalLockstep
+        }
+    }
+
+    fn run_rack(&self, rack: &RackTopology) -> RunOutcome {
+        let server = self.spec.clone().unwrap_or_else(ServerSpec::enterprise_default);
+        let spec = RackSpec { server, rack: rack.clone() };
+        let schedule = match &self.gain_schedule {
+            Some(schedule) => schedule.clone(),
+            // Default calibration: the per-process fine schedule, the same
+            // gains the single-server loops run.
+            None => crate::fine_gain_schedule().clone(),
+        };
+        let mut sim = RackLoopSim::builder(spec)
+            .workload(self.workload.build(self.seed))
+            .control(Self::rack_control(self.solution))
+            .gain_schedule(schedule)
+            .fixed_reference(self.fixed_reference)
+            .build();
+        let outcome = sim.run(self.horizon);
+        RunOutcome {
+            traces: outcome.traces,
+            violation_percent: outcome.violation_percent,
+            total_violations: outcome.total_violations,
+            total_epochs: outcome.total_epochs,
+            lost_utilization: outcome.lost_utilization,
+            fan_energy: outcome.fan_energy,
+            cpu_energy: outcome.cpu_energy,
+            horizon: outcome.horizon,
+        }
     }
 }
 
@@ -195,10 +251,12 @@ pub struct ScenarioGridBuilder {
     ambients: Vec<Option<Celsius>>,
     sensor_lags: Vec<Option<Seconds>>,
     quantization_steps: Vec<Option<f64>>,
+    fan_intervals: Vec<Option<Seconds>>,
+    racks: Vec<Option<RackTopology>>,
+    workloads: Vec<(String, WorkloadRecipe)>,
     solutions: Vec<Solution>,
     seeds: Vec<u64>,
     horizon: Seconds,
-    workload: WorkloadRecipe,
     fixed_reference: Celsius,
     keep_traces: bool,
 }
@@ -274,11 +332,50 @@ impl ScenarioGridBuilder {
         self
     }
 
+    /// Sets the fan-control-interval axis: how often the fan loop decides
+    /// (the default axis is the spec's own 30 s interval). Each value
+    /// derives a spec — and pays one gain tuning — since the tuned gains
+    /// bake the decision period in.
+    #[must_use]
+    pub fn fan_control_intervals(mut self, intervals: &[Seconds]) -> Self {
+        self.fan_intervals = intervals.iter().copied().map(Some).collect();
+        self
+    }
+
+    /// Adds a rack topology to the rack axis (labelled
+    /// `rack-{label}`; the default axis is "no rack" — plain single-server
+    /// scenarios — and the first call replaces it). Rack cells run the
+    /// rack closed loop with the solution mapped onto a [`RackControl`]
+    /// (see the module docs).
+    #[must_use]
+    pub fn rack_variant(mut self, rack: RackTopology) -> Self {
+        if self.racks.len() == 1 && self.racks[0].is_none() {
+            self.racks.clear();
+        }
+        self.racks.push(Some(rack));
+        self
+    }
+
     /// Sets the workload recipe shared by every scenario (default:
-    /// [`WorkloadRecipe::Date14`]).
+    /// [`WorkloadRecipe::Date14`]). Replaces the whole workload axis with
+    /// this single unlabelled recipe.
     #[must_use]
     pub fn workload(mut self, workload: WorkloadRecipe) -> Self {
-        self.workload = workload;
+        self.workloads = vec![(String::new(), workload)];
+        self
+    }
+
+    /// Adds a labelled recipe to the workload axis (labelled `wl-{label}`),
+    /// so one grid sweeps recipes alongside every other axis. The first
+    /// call replaces the untouched builder default (the unlabelled DATE'14
+    /// recipe); a recipe set explicitly via [`Self::workload`] stays on the
+    /// axis as its unlabelled entry.
+    #[must_use]
+    pub fn workload_variant(mut self, label: impl Into<String>, workload: WorkloadRecipe) -> Self {
+        if self.workloads == [(String::new(), WorkloadRecipe::Date14)] {
+            self.workloads.clear();
+        }
+        self.workloads.push((label.into(), workload));
         self
     }
 
@@ -299,11 +396,14 @@ impl ScenarioGridBuilder {
     }
 
     /// Enumerates the grid in the fixed nested order spec → topology →
-    /// ambient → lag → quantization → solution → seed.
+    /// ambient → lag → quantization → fan-interval → rack → workload →
+    /// solution → seed.
     ///
     /// # Panics
     ///
-    /// Panics if any axis is empty.
+    /// Panics if any axis is empty, or if the rack axis is combined with
+    /// the (single-server) topology axis — a rack cell's boards come from
+    /// its slots, so the combination would silently ignore one axis.
     /// Every non-default plant combination pays its Ziegler–Nichols gain
     /// tuning here, **once per combination**, rather than once per scenario
     /// inside the sweep — a variant × solutions × seeds grid would
@@ -315,49 +415,57 @@ impl ScenarioGridBuilder {
         assert!(!self.ambients.is_empty(), "grid needs at least one ambient");
         assert!(!self.sensor_lags.is_empty(), "grid needs at least one sensor lag");
         assert!(!self.quantization_steps.is_empty(), "grid needs at least one quantization step");
+        assert!(!self.fan_intervals.is_empty(), "grid needs at least one fan interval");
+        assert!(!self.racks.is_empty(), "grid needs at least one rack cell");
+        assert!(!self.workloads.is_empty(), "grid needs at least one workload");
         assert!(!self.solutions.is_empty(), "grid needs at least one solution");
         assert!(!self.seeds.is_empty(), "grid needs at least one seed");
+        let rack_axis = self.racks.iter().any(Option::is_some);
+        let topology_axis = self.topologies.iter().any(Option::is_some);
+        assert!(
+            !(rack_axis && topology_axis),
+            "the rack axis and the server-topology axis cannot combine: rack cells take their \
+             boards from the rack's own slots"
+        );
         let cells = self.specs.len()
             * self.topologies.len()
             * self.ambients.len()
             * self.sensor_lags.len()
-            * self.quantization_steps.len();
+            * self.quantization_steps.len()
+            * self.fan_intervals.len()
+            * self.racks.len()
+            * self.workloads.len();
         let mut scenarios = Vec::with_capacity(cells * self.solutions.len() * self.seeds.len());
         for (spec_label, base_spec) in &self.specs {
             for topology in &self.topologies {
                 for ambient in &self.ambients {
                     for lag in &self.sensor_lags {
                         for quant in &self.quantization_steps {
-                            let (spec, prefix) = Self::derive_spec(
-                                spec_label, base_spec, topology, ambient, lag, quant,
-                            );
-                            // The same 4-region recipe Simulation::build
-                            // would run ad hoc; `None` keeps the default
-                            // spec's per-process cache.
-                            let schedule = spec.as_ref().map(|spec| {
-                                crate::tune_gain_schedule(
-                                    spec,
-                                    &[
-                                        Rpm::new(2000.0),
-                                        Rpm::new(3500.0),
-                                        Rpm::new(5000.0),
-                                        Rpm::new(7000.0),
-                                    ],
-                                )
-                            });
-                            for &solution in &self.solutions {
-                                for &seed in &self.seeds {
-                                    scenarios.push(Scenario {
-                                        label: format!("{prefix}{solution}/seed{seed}"),
-                                        spec: spec.clone(),
-                                        solution,
-                                        seed,
-                                        horizon: self.horizon,
-                                        workload: self.workload.clone(),
-                                        fixed_reference: self.fixed_reference,
-                                        gain_schedule: schedule.clone(),
-                                    });
-                                }
+                            for fan_interval in &self.fan_intervals {
+                                let (spec, prefix) = Self::derive_spec(
+                                    spec_label,
+                                    base_spec,
+                                    topology,
+                                    ambient,
+                                    lag,
+                                    quant,
+                                    fan_interval,
+                                );
+                                // The same 4-region recipe Simulation::build
+                                // would run ad hoc; `None` keeps the default
+                                // spec's per-process cache.
+                                let schedule = spec.as_ref().map(|spec| {
+                                    crate::tune_gain_schedule(
+                                        spec,
+                                        &[
+                                            Rpm::new(2000.0),
+                                            Rpm::new(3500.0),
+                                            Rpm::new(5000.0),
+                                            Rpm::new(7000.0),
+                                        ],
+                                    )
+                                });
+                                self.push_cells(&mut scenarios, &spec, &prefix, &schedule);
                             }
                         }
                     }
@@ -367,9 +475,46 @@ impl ScenarioGridBuilder {
         ScenarioGrid { scenarios, keep_traces: self.keep_traces }
     }
 
-    /// Applies the topology/ambient/lag/quantization overrides of one grid
-    /// cell to the base spec, returning the effective spec (`None` = the
-    /// untouched Table I default) and the cell's label prefix.
+    /// Emits the rack × workload × solution × seed block of one derived
+    /// spec cell.
+    fn push_cells(
+        &self,
+        scenarios: &mut Vec<Scenario>,
+        spec: &Option<ServerSpec>,
+        prefix: &str,
+        schedule: &Option<gfsc_control::GainSchedule>,
+    ) {
+        for rack in &self.racks {
+            let rack_part = match rack {
+                Some(rack) => format!("rack-{}/", rack.label()),
+                None => String::new(),
+            };
+            for (wl_label, workload) in &self.workloads {
+                let wl_part =
+                    if wl_label.is_empty() { String::new() } else { format!("wl-{wl_label}/") };
+                for &solution in &self.solutions {
+                    for &seed in &self.seeds {
+                        scenarios.push(Scenario {
+                            label: format!("{prefix}{rack_part}{wl_part}{solution}/seed{seed}"),
+                            spec: spec.clone(),
+                            solution,
+                            seed,
+                            horizon: self.horizon,
+                            workload: workload.clone(),
+                            fixed_reference: self.fixed_reference,
+                            gain_schedule: schedule.clone(),
+                            rack: rack.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the topology/ambient/lag/quantization/fan-interval
+    /// overrides of one grid cell to the base spec, returning the
+    /// effective spec (`None` = the untouched Table I default) and the
+    /// cell's label prefix.
     fn derive_spec(
         spec_label: &str,
         base_spec: &Option<ServerSpec>,
@@ -377,6 +522,7 @@ impl ScenarioGridBuilder {
         ambient: &Option<Celsius>,
         lag: &Option<Seconds>,
         quant: &Option<f64>,
+        fan_interval: &Option<Seconds>,
     ) -> (Option<ServerSpec>, String) {
         let mut spec = base_spec.clone();
         let mut prefix =
@@ -405,6 +551,12 @@ impl ScenarioGridBuilder {
         if let Some(quantization_step) = *quant {
             apply(format!("q{quantization_step}"), &mut |s| ServerSpec { quantization_step, ..s });
         }
+        if let Some(fan_control_interval) = *fan_interval {
+            apply(format!("fi{}s", fan_control_interval.value()), &mut |s| ServerSpec {
+                fan_control_interval,
+                ..s
+            });
+        }
         (spec, prefix)
     }
 }
@@ -426,10 +578,12 @@ impl ScenarioGrid {
             ambients: vec![None],
             sensor_lags: vec![None],
             quantization_steps: vec![None],
+            fan_intervals: vec![None],
+            racks: vec![None],
+            workloads: vec![(String::new(), WorkloadRecipe::Date14)],
             solutions: Solution::ALL.to_vec(),
             seeds: vec![42],
             horizon: Seconds::new(900.0),
-            workload: WorkloadRecipe::Date14,
             fixed_reference: Celsius::new(75.0),
             keep_traces: false,
         }
@@ -680,6 +834,102 @@ mod tests {
         assert_eq!(spec.topology, Topology::dual_socket());
         // One tuning for both seeds.
         assert_eq!(grid.scenarios()[0].gain_schedule, grid.scenarios()[1].gain_schedule);
+    }
+
+    #[test]
+    fn workload_axis_is_first_class() {
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1])
+            .workload_variant("date14", WorkloadRecipe::Date14)
+            .workload_variant("steady", WorkloadRecipe::Constant(0.5))
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "wl-date14/w/o coordination (baseline)/seed1",
+                "wl-steady/w/o coordination (baseline)/seed1",
+            ]
+        );
+        // Workload variants do not derive specs — no per-cell tuning.
+        assert!(grid.scenarios().iter().all(|s| s.spec.is_none()));
+        assert_eq!(grid.scenarios()[1].workload, WorkloadRecipe::Constant(0.5));
+    }
+
+    #[test]
+    fn explicit_workload_survives_added_variants() {
+        // `workload(..)` pins an explicit recipe; later variants extend the
+        // axis instead of silently replacing it (only the untouched builder
+        // default is replaced).
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1])
+            .workload(WorkloadRecipe::Constant(0.5))
+            .workload_variant("burst", WorkloadRecipe::Date14)
+            .build();
+        let workloads: Vec<&WorkloadRecipe> =
+            grid.scenarios().iter().map(|s| &s.workload).collect();
+        assert_eq!(workloads, [&WorkloadRecipe::Constant(0.5), &WorkloadRecipe::Date14]);
+        assert_eq!(grid.scenarios()[0].label, "w/o coordination (baseline)/seed1");
+        assert_eq!(grid.scenarios()[1].label, "wl-burst/w/o coordination (baseline)/seed1");
+    }
+
+    #[test]
+    fn fan_interval_axis_derives_specs() {
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1])
+            .fan_control_intervals(&[Seconds::new(15.0), Seconds::new(60.0)])
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["fi15s/w/o coordination (baseline)/seed1", "fi60s/w/o coordination (baseline)/seed1",]
+        );
+        let spec = grid.scenarios()[1].spec.as_ref().expect("derived spec");
+        assert_eq!(spec.fan_control_interval, Seconds::new(60.0));
+        assert!(grid.scenarios().iter().all(|s| s.gain_schedule.is_some()));
+    }
+
+    #[test]
+    fn rack_axis_runs_the_rack_loop() {
+        use gfsc_rack::RackTopology;
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(60.0))
+            .solutions(&[Solution::WithoutCoordination, Solution::RCoordAdaptiveTref])
+            .seeds(&[1])
+            .rack_variant(RackTopology::rack_2u_x4())
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["rack-2Ux4/w/o coordination (baseline)/seed1", "rack-2Ux4/R-coord + A-Tref/seed1",]
+        );
+        assert_eq!(
+            Scenario::rack_control(Solution::WithoutCoordination),
+            gfsc_coord::RackControl::GlobalLockstep
+        );
+        assert_eq!(
+            Scenario::rack_control(Solution::RCoordAdaptiveTref),
+            gfsc_coord::RackControl::Coordinated { adaptive_reference: true }
+        );
+        let results = grid.run();
+        // 8 sockets × 61 epochs each.
+        assert!(results.iter().all(|r| r.summary.total_epochs == 61 * 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot combine")]
+    fn rack_and_topology_axes_cannot_combine() {
+        use gfsc_rack::RackTopology;
+        let _ = ScenarioGrid::builder()
+            .topology_variant(Topology::dual_socket())
+            .rack_variant(RackTopology::rack_1u_x8())
+            .build();
     }
 
     #[test]

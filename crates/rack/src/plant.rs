@@ -1,0 +1,787 @@
+//! The rack-scale thermal plant: every server of a [`RackTopology`]
+//! compiled onto one cached-factorization `RcNetwork`, with a multi-zone
+//! fan→link mapping.
+//!
+//! Structure per server socket: a die node on a sink node, the sink
+//! exhausting to ambient through its airflow-dependent link (driven by the
+//! *zone's* fan, derated by slot position × socket position). With a
+//! plenum, each sink additionally leaks into its zone's shared air node,
+//! which exhausts through a zone-fan-driven path of its own and optionally
+//! recirculates into the adjacent zone — that is the inlet-temperature
+//! coupling a single-server model cannot express.
+//!
+//! The per-step cost is one forward/backward substitution on the rack-wide
+//! LU cache, so an 8-server rack steps at nearly the same cost as a board.
+
+use crate::{RackTopology, ServerSlot};
+use gfsc_server::PlantModel;
+use gfsc_thermal::{
+    FanZoneMap, LinkId, NetworkError, NodeId, PlantCalibration, RcNetwork, RcNetworkBuilder, ZoneId,
+};
+use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
+
+/// Handles of one socket, resolved once at build time (no name scans on
+/// the step path).
+#[derive(Debug, Clone)]
+struct SocketHandles {
+    die: NodeId,
+    sink: NodeId,
+    /// Flat zone index (into [`RackPlant`]'s zone vectors).
+    zone: usize,
+    /// Flat server index.
+    server: usize,
+}
+
+/// An N-server, multi-fan-zone thermal plant on the cached RC network.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_rack::{RackPlant, RackTopology};
+/// use gfsc_thermal::{HeatSinkLaw, PlantCalibration};
+/// use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
+///
+/// let cal = PlantCalibration {
+///     ambient: Celsius::new(30.0),
+///     law: HeatSinkLaw::date14(),
+///     sink_tau: Seconds::new(60.0),
+///     tau_speed: Rpm::new(8500.0),
+///     r_jc: KelvinPerWatt::new(0.10),
+///     die_tau: Seconds::new(0.1),
+/// };
+/// let mut rack = RackPlant::new(&cal, &RackTopology::rack_1u_x8()).unwrap();
+/// let powers = vec![gfsc_units::Watts::new(140.8); rack.socket_count()];
+/// // Starve the rear wall: its sockets must settle hotter than the front.
+/// let fans = [Rpm::new(6000.0), Rpm::new(2000.0)];
+/// rack.equilibrate(&powers, &fans);
+/// assert!(rack.hottest_in_zone(1) > rack.hottest_in_zone(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RackPlant {
+    net: RcNetwork,
+    zones: FanZoneMap,
+    zone_ids: Vec<ZoneId>,
+    sockets: Vec<SocketHandles>,
+    /// Flat socket indices per zone, build order.
+    zone_sockets: Vec<Vec<usize>>,
+    /// Flat socket range per server: `server_ranges[s]` = `start..end`.
+    server_ranges: Vec<(usize, usize)>,
+    /// Zone plenum air nodes (empty when the topology has no plenum).
+    plenums: Vec<NodeId>,
+    ambient: Celsius,
+}
+
+impl RackPlant {
+    /// Compiles `topology` against the per-socket base calibration,
+    /// starting in equilibrium with the ambient at `cal.tau_speed` airflow
+    /// on every zone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the compiled network is inconsistent
+    /// (cannot happen for the stock rack builders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` fails [`RackTopology::validate`].
+    pub fn new(cal: &PlantCalibration, topology: &RackTopology) -> Result<Self, NetworkError> {
+        topology.validate();
+        let fan0 = cal.tau_speed;
+        let mut builder = RcNetworkBuilder::new().boundary("ambient", cal.ambient);
+        let mut zone_sink_caps: Vec<(f64, usize)> = vec![(0.0, 0); topology.zones().len()];
+        // Server nodes/links first, in slot order — the single-server
+        // no-plenum case must replay MultiSocketPlant's build sequence
+        // exactly (the step-for-step parity contract).
+        for slot in topology.servers() {
+            let mut sink_cap_sum = 0.0;
+            for socket in slot.board.sockets() {
+                let law = Self::socket_law(cal, slot, socket.airflow_derate);
+                let r_jc = KelvinPerWatt::new(cal.r_jc.value() * socket.r_jc_scale);
+                let sink_cap =
+                    JoulesPerKelvin::from_time_constant(cal.sink_tau, law.resistance(fan0));
+                let die_cap = JoulesPerKelvin::from_time_constant(cal.die_tau, r_jc);
+                sink_cap_sum += sink_cap.value();
+                let entry = &mut zone_sink_caps[slot.zone];
+                entry.0 += sink_cap.value();
+                entry.1 += 1;
+                let die = format!("die-{}-{}", slot.name, socket.name);
+                let sink = format!("sink-{}-{}", slot.name, socket.name);
+                builder = builder
+                    .node(die.clone(), die_cap, cal.ambient)
+                    .node(sink.clone(), sink_cap, cal.ambient)
+                    .link(die, sink.clone(), r_jc)
+                    .link(sink, "ambient", law.resistance(fan0));
+            }
+            if let Some(chassis) = slot.board.chassis() {
+                let cap = JoulesPerKelvin::new(
+                    chassis.capacitance_scale * sink_cap_sum / slot.board.sockets().len() as f64,
+                );
+                let chassis_name = format!("chassis-{}", slot.name);
+                builder = builder.node(chassis_name.clone(), cap, cal.ambient);
+                for socket in slot.board.sockets() {
+                    builder = builder.link(
+                        format!("sink-{}-{}", slot.name, socket.name),
+                        &chassis_name,
+                        chassis.coupling,
+                    );
+                }
+                builder = builder.link(chassis_name, "ambient", chassis.exhaust);
+            }
+        }
+        // Plenum air nodes after every server, one per zone, then the
+        // coupling/exhaust/recirculation paths.
+        if let Some(plenum) = topology.plenum() {
+            for (z, zone) in topology.zones().iter().enumerate() {
+                let (cap_sum, sockets) = zone_sink_caps[z];
+                let cap = JoulesPerKelvin::new(plenum.capacitance_scale * cap_sum / sockets as f64);
+                builder = builder.node(format!("plenum-{}", zone.name), cap, cal.ambient);
+            }
+            for slot in topology.servers() {
+                let plenum_name = format!("plenum-{}", topology.zones()[slot.zone].name);
+                for socket in slot.board.sockets() {
+                    builder = builder.link(
+                        format!("sink-{}-{}", slot.name, socket.name),
+                        plenum_name.clone(),
+                        plenum.coupling,
+                    );
+                }
+            }
+            for (z, zone) in topology.zones().iter().enumerate() {
+                let exhaust = Self::exhaust_law(cal, topology, z);
+                builder = builder.link(
+                    format!("plenum-{}", zone.name),
+                    "ambient",
+                    exhaust.resistance(fan0),
+                );
+            }
+            if let Some(recirculation) = plenum.recirculation {
+                for pair in topology.zones().windows(2) {
+                    builder = builder.link(
+                        format!("plenum-{}", pair[0].name),
+                        format!("plenum-{}", pair[1].name),
+                        recirculation,
+                    );
+                }
+            }
+        }
+        let net = builder.build()?;
+
+        // Resolve handles and attach every airflow-dependent link to its
+        // zone: each socket's sink→ambient path, then the zone's plenum
+        // exhaust.
+        let mut zones = FanZoneMap::new();
+        let zone_ids: Vec<ZoneId> =
+            topology.zones().iter().map(|zone| zones.add_zone(zone.name.clone(), fan0)).collect();
+        let mut sockets = Vec::with_capacity(topology.total_sockets());
+        let mut zone_sockets = vec![Vec::new(); topology.zones().len()];
+        let mut server_ranges = Vec::with_capacity(topology.servers().len());
+        for (s, slot) in topology.servers().iter().enumerate() {
+            let start = sockets.len();
+            for socket in slot.board.sockets() {
+                let sink_name = format!("sink-{}-{}", slot.name, socket.name);
+                zones.attach(
+                    zone_ids[slot.zone],
+                    net.link_id(&sink_name, "ambient").expect("built above"),
+                    Self::socket_law(cal, slot, socket.airflow_derate),
+                );
+                zone_sockets[slot.zone].push(sockets.len());
+                sockets.push(SocketHandles {
+                    die: net
+                        .node_id(&format!("die-{}-{}", slot.name, socket.name))
+                        .expect("built above"),
+                    sink: net.node_id(&sink_name).expect("built above"),
+                    zone: slot.zone,
+                    server: s,
+                });
+            }
+            server_ranges.push((start, sockets.len()));
+        }
+        let mut plenums = Vec::new();
+        if topology.plenum().is_some() {
+            for (z, zone) in topology.zones().iter().enumerate() {
+                let name = format!("plenum-{}", zone.name);
+                zones.attach(
+                    zone_ids[z],
+                    net.link_id(&name, "ambient").expect("built above"),
+                    Self::exhaust_law(cal, topology, z),
+                );
+                plenums.push(net.node_id(&name).expect("built above"));
+            }
+        }
+        Ok(Self {
+            net,
+            zones,
+            zone_ids,
+            sockets,
+            zone_sockets,
+            server_ranges,
+            plenums,
+            ambient: cal.ambient,
+        })
+    }
+
+    /// A socket's effective resistance law: the base law derated by slot
+    /// position × socket position.
+    fn socket_law(
+        cal: &PlantCalibration,
+        slot: &ServerSlot,
+        socket_derate: f64,
+    ) -> gfsc_thermal::HeatSinkLaw {
+        cal.law.with_airflow_derate(slot.airflow_derate * socket_derate)
+    }
+
+    /// Zone `z`'s plenum-exhaust law: the base law derated by
+    /// `exhaust_derate / fans` (a whole wall of fans pushes the shared air
+    /// out proportionally more freely than one).
+    fn exhaust_law(
+        cal: &PlantCalibration,
+        topology: &RackTopology,
+        z: usize,
+    ) -> gfsc_thermal::HeatSinkLaw {
+        let plenum = topology.plenum().expect("caller checked");
+        cal.law.with_airflow_derate(plenum.exhaust_derate / topology.zones()[z].fans as f64)
+    }
+
+    /// Number of fan zones.
+    #[must_use]
+    pub fn zone_count(&self) -> usize {
+        self.zone_ids.len()
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.server_ranges.len()
+    }
+
+    /// Total socket count (the length of every per-socket slice this plant
+    /// takes and returns).
+    #[must_use]
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// The flat socket indices of zone `z`, build order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn zone_sockets(&self, z: usize) -> &[usize] {
+        &self.zone_sockets[z]
+    }
+
+    /// The flat socket range `start..end` of server `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn server_sockets(&self, s: usize) -> core::ops::Range<usize> {
+        let (start, end) = self.server_ranges[s];
+        start..end
+    }
+
+    /// The zone socket `i` breathes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn zone_of_socket(&self, i: usize) -> usize {
+        self.sockets[i].zone
+    }
+
+    /// The server socket `i` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn server_of_socket(&self, i: usize) -> usize {
+        self.sockets[i].server
+    }
+
+    /// Junction temperature of flat socket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn junction(&self, i: usize) -> Celsius {
+        self.net.temperature(self.sockets[i].die)
+    }
+
+    /// Heat-sink temperature of flat socket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn heat_sink(&self, i: usize) -> Celsius {
+        self.net.temperature(self.sockets[i].sink)
+    }
+
+    /// The hottest junction across the whole rack.
+    #[must_use]
+    pub fn hottest_junction(&self) -> Celsius {
+        let mut hottest = self.junction(0);
+        for i in 1..self.sockets.len() {
+            hottest = hottest.max(self.junction(i));
+        }
+        hottest
+    }
+
+    /// The hottest junction among zone `z`'s sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn hottest_in_zone(&self, z: usize) -> Celsius {
+        let sockets = &self.zone_sockets[z];
+        let mut hottest = self.junction(sockets[0]);
+        for &i in &sockets[1..] {
+            hottest = hottest.max(self.junction(i));
+        }
+        hottest
+    }
+
+    /// Zone `z`'s shared-air (plenum) temperature, or `None` when the
+    /// topology has no plenum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range for a plenum rack.
+    #[must_use]
+    pub fn plenum_temperature(&self, z: usize) -> Option<Celsius> {
+        if self.plenums.is_empty() {
+            None
+        } else {
+            Some(self.net.temperature(self.plenums[z]))
+        }
+    }
+
+    /// Inlet air temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Changes the inlet air temperature (right-hand-side only; the cached
+    /// factorization stays warm).
+    pub fn set_ambient(&mut self, ambient: Celsius) {
+        self.ambient = ambient;
+        let id = self.net.boundary_id("ambient").expect("built with an ambient");
+        self.net.set_boundary_by_id(id, ambient);
+    }
+
+    /// The fan speed most recently applied to zone `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn fan_speed(&self, z: usize) -> Rpm {
+        self.zones.fan(self.zone_ids[z])
+    }
+
+    /// Advances the rack by `dt` under per-socket CPU powers (flattened,
+    /// [`RackPlant::socket_count`] entries) and per-zone fan speeds.
+    /// Allocation-free; held fan speeds keep the LU cache warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the topology.
+    pub fn step(&mut self, dt: Seconds, powers: &[Watts], fans: &[Rpm]) {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        assert_eq!(fans.len(), self.zone_ids.len(), "one fan speed per zone");
+        for (socket, &power) in self.sockets.iter().zip(powers) {
+            self.net.set_power(socket.die, power);
+        }
+        for (&zone, &fan) in self.zone_ids.iter().zip(fans) {
+            self.zones.set_fan(&mut self.net, zone, fan);
+        }
+        self.net.step(dt);
+    }
+
+    /// Non-mutating steady-state probe of the whole rack at `(powers,
+    /// fans)`: the junction temperature of every flat socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the topology.
+    #[must_use]
+    pub fn steady_state_junctions(&self, powers: &[Watts], fans: &[Rpm]) -> Vec<Celsius> {
+        let temps = self.probe(powers, fans);
+        self.sockets.iter().map(|s| temps[s.die.index()]).collect()
+    }
+
+    /// The hottest steady-state junction in zone `z` at `(powers, fans)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the topology or `z` is
+    /// out of range.
+    #[must_use]
+    pub fn steady_state_hottest_in_zone(
+        &self,
+        z: usize,
+        powers: &[Watts],
+        fans: &[Rpm],
+    ) -> Celsius {
+        let temps = self.probe(powers, fans);
+        let sockets = &self.zone_sockets[z];
+        let mut hottest = temps[self.sockets[sockets[0]].die.index()];
+        for &i in &sockets[1..] {
+            hottest = hottest.max(temps[self.sockets[i].die.index()]);
+        }
+        hottest
+    }
+
+    fn probe(&self, powers: &[Watts], fans: &[Rpm]) -> Vec<Celsius> {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        assert_eq!(fans.len(), self.zone_ids.len(), "one fan speed per zone");
+        let mut link_overrides: Vec<(LinkId, KelvinPerWatt)> = Vec::new();
+        for (&zone, &fan) in self.zone_ids.iter().zip(fans) {
+            self.zones.extend_overrides(zone, fan, &mut link_overrides);
+        }
+        let power_overrides: Vec<(NodeId, Watts)> =
+            self.sockets.iter().zip(powers).map(|(s, &p)| (s.die, p)).collect();
+        self.net.steady_state_with(&link_overrides, &power_overrides)
+    }
+
+    /// The minimum fan speed for zone `z` keeping every steady-state
+    /// junction *in that zone* at or below `limit`, with every other
+    /// zone's fan held at its entry in `fans`, or `None` if even unbounded
+    /// airflow cannot (e.g. recirculated heat from a starved neighbour).
+    ///
+    /// Deterministic bisection over the monotone zone-hottest curve, like
+    /// the multi-socket plant's inversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the topology or `z` is
+    /// out of range.
+    #[must_use]
+    pub fn min_safe_zone_fan(
+        &self,
+        z: usize,
+        powers: &[Watts],
+        fans: &[Rpm],
+        limit: Celsius,
+    ) -> Option<Rpm> {
+        let mut probe_fans = fans.to_vec();
+        let at = |v: f64, probe_fans: &mut [Rpm]| {
+            probe_fans[z] = Rpm::new(v);
+            self.steady_state_hottest_in_zone(z, powers, probe_fans)
+        };
+        // Same bracket rationale as MultiSocketPlant::min_safe_fan_speed:
+        // the law saturates below 100 rpm, 1e6 rpm is indistinguishable
+        // from infinite airflow, 40 halvings out-resolve any actuator.
+        let (lo, hi) = (100.0, 1e6);
+        if at(lo, &mut probe_fans) <= limit {
+            return Some(Rpm::new(0.0));
+        }
+        if at(hi, &mut probe_fans) > limit {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if at(mid, &mut probe_fans) > limit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Rpm::new(hi))
+    }
+
+    /// Snaps the whole rack (dies, sinks, chassis, plenums) to its
+    /// equilibrium at `(powers, fans)` and makes that the active operating
+    /// point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the topology.
+    pub fn equilibrate(&mut self, powers: &[Watts], fans: &[Rpm]) {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        assert_eq!(fans.len(), self.zone_ids.len(), "one fan speed per zone");
+        for (socket, &power) in self.sockets.iter().zip(powers) {
+            self.net.set_power(socket.die, power);
+        }
+        for (&zone, &fan) in self.zone_ids.iter().zip(fans) {
+            self.zones.set_fan(&mut self.net, zone, fan);
+        }
+        self.net.snap_to_steady_state();
+    }
+
+    /// A mutable per-zone view implementing the single-fan
+    /// [`PlantModel`] contract: zone `z`'s sockets behind zone `z`'s fan,
+    /// every other zone frozen at its current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn zone_plant(&mut self, z: usize) -> ZonePlant<'_> {
+        assert!(z < self.zone_ids.len(), "zone {z} out of range");
+        ZonePlant { rack: self, zone: z }
+    }
+}
+
+/// One fan zone of a [`RackPlant`], viewed through the single-fan
+/// [`PlantModel`] contract — the interface a per-zone fan controller (or
+/// tuner) sees. Stepping the view advances the *whole* coupled network,
+/// but only this zone's fan and socket powers move; every other zone keeps
+/// its current operating point, exactly as a zone controller experiences
+/// the rack.
+#[derive(Debug)]
+pub struct ZonePlant<'a> {
+    rack: &'a mut RackPlant,
+    zone: usize,
+}
+
+impl ZonePlant<'_> {
+    /// The flat rack socket index of this zone's socket `i`.
+    fn flat(&self, i: usize) -> usize {
+        self.rack.zone_sockets[self.zone][i]
+    }
+
+    /// Probe the zone's hottest steady-state junction with this zone's
+    /// powers/fan overridden and the rest of the rack at its current
+    /// state.
+    fn zone_steady_state(&self, powers: &[Watts], fan: Rpm) -> Celsius {
+        assert_eq!(powers.len(), self.socket_count(), "one power per zone socket");
+        let mut link_overrides: Vec<(LinkId, KelvinPerWatt)> = Vec::new();
+        self.rack.zones.extend_overrides(self.rack.zone_ids[self.zone], fan, &mut link_overrides);
+        let power_overrides: Vec<(NodeId, Watts)> = powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (self.rack.sockets[self.flat(i)].die, p))
+            .collect();
+        let temps = self.rack.net.steady_state_with(&link_overrides, &power_overrides);
+        let sockets = &self.rack.zone_sockets[self.zone];
+        let mut hottest = temps[self.rack.sockets[sockets[0]].die.index()];
+        for &i in &sockets[1..] {
+            hottest = hottest.max(temps[self.rack.sockets[i].die.index()]);
+        }
+        hottest
+    }
+}
+
+impl PlantModel for ZonePlant<'_> {
+    fn socket_count(&self) -> usize {
+        self.rack.zone_sockets[self.zone].len()
+    }
+
+    fn junction(&self, i: usize) -> Celsius {
+        self.rack.junction(self.flat(i))
+    }
+
+    fn hottest_junction(&self) -> Celsius {
+        self.rack.hottest_in_zone(self.zone)
+    }
+
+    fn step(&mut self, dt: Seconds, powers: &[Watts], fan: Rpm) {
+        assert_eq!(powers.len(), self.socket_count(), "one power per zone socket");
+        for (i, &power) in powers.iter().enumerate() {
+            let die = self.rack.sockets[self.flat(i)].die;
+            self.rack.net.set_power(die, power);
+        }
+        let zone = self.rack.zone_ids[self.zone];
+        self.rack.zones.set_fan(&mut self.rack.net, zone, fan);
+        self.rack.net.step(dt);
+    }
+
+    fn steady_state_junction(&self, powers: &[Watts], fan: Rpm) -> Celsius {
+        self.zone_steady_state(powers, fan)
+    }
+
+    fn min_safe_fan_speed(&self, powers: &[Watts], limit: Celsius) -> Option<Rpm> {
+        let (lo, hi) = (100.0, 1e6);
+        if self.zone_steady_state(powers, Rpm::new(lo)) <= limit {
+            return Some(Rpm::new(0.0));
+        }
+        if self.zone_steady_state(powers, Rpm::new(hi)) > limit {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.zone_steady_state(powers, Rpm::new(mid)) > limit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Rpm::new(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RackTopology;
+    use gfsc_thermal::HeatSinkLaw;
+
+    fn cal() -> PlantCalibration {
+        PlantCalibration {
+            ambient: Celsius::new(30.0),
+            law: HeatSinkLaw::date14(),
+            sink_tau: Seconds::new(60.0),
+            tau_speed: Rpm::new(8500.0),
+            r_jc: KelvinPerWatt::new(0.10),
+            die_tau: Seconds::new(0.1),
+        }
+    }
+
+    fn rack_1u8() -> RackPlant {
+        RackPlant::new(&cal(), &RackTopology::rack_1u_x8()).unwrap()
+    }
+
+    #[test]
+    fn shapes_and_indices() {
+        let rack = rack_1u8();
+        assert_eq!(rack.zone_count(), 2);
+        assert_eq!(rack.server_count(), 8);
+        assert_eq!(rack.socket_count(), 8);
+        assert_eq!(rack.zone_sockets(0), &[0, 1, 2, 3]);
+        assert_eq!(rack.zone_sockets(1), &[4, 5, 6, 7]);
+        assert_eq!(rack.server_sockets(3), 3..4);
+        assert_eq!(rack.zone_of_socket(5), 1);
+        assert_eq!(rack.server_of_socket(5), 5);
+        let r4 = RackPlant::new(&cal(), &RackTopology::rack_2u_x4()).unwrap();
+        assert_eq!(r4.socket_count(), 8);
+        assert_eq!(r4.server_sockets(1), 2..4);
+    }
+
+    #[test]
+    fn starved_zone_runs_hotter_and_warms_its_plenum() {
+        let mut rack = rack_1u8();
+        let powers = vec![Watts::new(140.8); 8];
+        rack.equilibrate(&powers, &[Rpm::new(6000.0), Rpm::new(2500.0)]);
+        assert!(rack.hottest_in_zone(1) > rack.hottest_in_zone(0) + 3.0);
+        let front = rack.plenum_temperature(0).unwrap();
+        let rear = rack.plenum_temperature(1).unwrap();
+        assert!(rear > front, "rear plenum {rear} not hotter than front {front}");
+        assert!(front > rack.ambient(), "plenum must sit above ambient under load");
+        assert_eq!(rack.fan_speed(1), Rpm::new(2500.0));
+    }
+
+    #[test]
+    fn plenum_couples_servers_within_a_zone() {
+        // All the load on server 0: with a shared plenum, idle server 1's
+        // sink must sit measurably above ambient purely through the air.
+        let mut rack = RackPlant::new(&cal(), &RackTopology::shared_plenum(2)).unwrap();
+        let powers = [Watts::new(160.0), Watts::new(0.0)];
+        rack.equilibrate(&powers, &[Rpm::new(3000.0)]);
+        assert!(
+            rack.heat_sink(1) > Celsius::new(30.3),
+            "no cross-server coupling: idle sink at {}",
+            rack.heat_sink(1)
+        );
+        // Without a plenum (degenerate single-server world) there is no
+        // such path — covered by the parity property test.
+    }
+
+    #[test]
+    fn recirculation_couples_the_walls() {
+        // Load only the front wall; the rear plenum must still warm up
+        // through the recirculation path.
+        let mut rack = rack_1u8();
+        let mut powers = vec![Watts::new(0.0); 8];
+        for p in powers.iter_mut().take(4) {
+            *p = Watts::new(160.0);
+        }
+        rack.equilibrate(&powers, &[Rpm::new(3000.0), Rpm::new(3000.0)]);
+        let rear = rack.plenum_temperature(1).unwrap();
+        assert!(rear > Celsius::new(30.2), "rear plenum at {rear} despite recirculation");
+    }
+
+    #[test]
+    fn transient_converges_to_probed_steady_state() {
+        let mut rack = rack_1u8();
+        let powers = vec![Watts::new(140.8); 8];
+        let fans = [Rpm::new(4000.0), Rpm::new(4000.0)];
+        let ss = rack.steady_state_junctions(&powers, &fans);
+        for _ in 0..200_000 {
+            rack.step(Seconds::new(1.0), &powers, &fans);
+        }
+        for (i, &ss_i) in ss.iter().enumerate() {
+            assert!((rack.junction(i) - ss_i).abs() < 1e-6, "socket {i}");
+        }
+    }
+
+    #[test]
+    fn min_safe_zone_fan_is_tight_and_respects_the_other_wall() {
+        let rack = rack_1u8();
+        let powers = vec![Watts::new(140.8); 8];
+        let fans = [Rpm::new(4000.0), Rpm::new(4000.0)];
+        let limit = Celsius::new(75.0);
+        let v = rack.min_safe_zone_fan(1, &powers, &fans, limit).expect("reachable");
+        let mut at = fans;
+        at[1] = v;
+        let t = rack.steady_state_hottest_in_zone(1, &powers, &at);
+        assert!((t - limit).abs() < 0.01, "at {t}");
+        at[1] = v - 100.0;
+        assert!(rack.steady_state_hottest_in_zone(1, &powers, &at) > limit);
+    }
+
+    #[test]
+    fn min_safe_zone_fan_edge_cases() {
+        let rack = rack_1u8();
+        let idle = vec![Watts::new(0.0); 8];
+        let fans = [Rpm::new(3000.0), Rpm::new(3000.0)];
+        assert_eq!(
+            rack.min_safe_zone_fan(0, &idle, &fans, Celsius::new(35.0)),
+            Some(Rpm::new(0.0))
+        );
+        let hot = vec![Watts::new(160.0); 8];
+        assert!(rack.min_safe_zone_fan(0, &hot, &fans, Celsius::new(32.0)).is_none());
+    }
+
+    #[test]
+    fn ambient_shift_moves_equilibrium() {
+        let mut rack = rack_1u8();
+        let powers = vec![Watts::new(100.0); 8];
+        let fans = [Rpm::new(4000.0); 2];
+        let a = rack.steady_state_hottest_in_zone(0, &powers, &fans);
+        rack.set_ambient(Celsius::new(40.0));
+        let b = rack.steady_state_hottest_in_zone(0, &powers, &fans);
+        assert!((b - a - 10.0).abs() < 1e-9);
+        assert_eq!(rack.ambient(), Celsius::new(40.0));
+    }
+
+    #[test]
+    fn zone_plant_view_honours_the_contract() {
+        let mut rack = rack_1u8();
+        let powers = vec![Watts::new(140.8); 8];
+        rack.equilibrate(&powers, &[Rpm::new(4000.0), Rpm::new(4000.0)]);
+        let before_front = rack.hottest_in_zone(0);
+        let mut zone = rack.zone_plant(1);
+        assert_eq!(zone.socket_count(), 4);
+        assert_eq!(
+            zone.hottest_junction(),
+            zone.junction(3).max(zone.junction(0)).max(zone.junction(1)).max(zone.junction(2))
+        );
+        // Faster zone fan at the same power must cool the zone's sockets.
+        let zone_powers = vec![Watts::new(140.8); 4];
+        let cool = zone.steady_state_junction(&zone_powers, Rpm::new(8000.0));
+        let warm = zone.steady_state_junction(&zone_powers, Rpm::new(2000.0));
+        assert!(cool < warm);
+        let v = zone.min_safe_fan_speed(&zone_powers, Celsius::new(75.0)).expect("reachable");
+        assert!((zone.steady_state_junction(&zone_powers, v) - Celsius::new(75.0)).abs() < 0.01);
+        // Stepping the view moves only this zone's fan; the front wall's
+        // operating point is untouched.
+        for _ in 0..600 {
+            zone.step(Seconds::new(1.0), &zone_powers, Rpm::new(8000.0));
+        }
+        assert!(rack.fan_speed(1) == Rpm::new(8000.0));
+        assert_eq!(rack.fan_speed(0), Rpm::new(4000.0));
+        // Front cools slightly too (coupled network) but only through the
+        // plenum — it must not jump.
+        assert!((rack.hottest_in_zone(0) - before_front).abs() < 3.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The single-zone special case: a one-server, no-plenum rack must be the
+//! legacy one-fan world, step for step.
+//!
+//! This is the contract behind routing every airflow-dependent conductance
+//! through the fan→link mapping: the mapping is a *generalization*, so the
+//! degenerate rack (one zone, one server, direct exhaust) replays
+//! `gfsc_thermal::MultiSocketPlant`'s arithmetic bitwise — same nodes,
+//! same links, same assembly order, same LU cache behavior.
+
+use gfsc_rack::{RackPlant, RackTopology};
+use gfsc_server::PlantModel;
+use gfsc_thermal::{HeatSinkLaw, MultiSocketPlant, PlantCalibration, Topology};
+use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
+use proptest::prelude::*;
+
+fn cal() -> PlantCalibration {
+    PlantCalibration {
+        ambient: Celsius::new(35.0),
+        law: HeatSinkLaw::date14(),
+        sink_tau: Seconds::new(60.0),
+        tau_speed: Rpm::new(8500.0),
+        r_jc: KelvinPerWatt::new(0.10),
+        die_tau: Seconds::new(0.1),
+    }
+}
+
+fn boards() -> Vec<Topology> {
+    vec![
+        Topology::single_socket(),
+        Topology::dual_socket(),
+        Topology::dual_socket_imbalanced(),
+        Topology::quad_socket(),
+        Topology::blade_chassis(),
+    ]
+}
+
+#[test]
+fn single_zone_rack_matches_multi_socket_plant_step_for_step() {
+    for board in boards() {
+        let n = board.sockets().len();
+        let mut rack = RackPlant::new(&cal(), &RackTopology::single_server(board.clone())).unwrap();
+        let mut plant = MultiSocketPlant::new(&cal(), &board).unwrap();
+        let mut powers = vec![Watts::new(0.0); n];
+        for k in 0..500u32 {
+            // Exercise fan moves, dt switches and power ramps together.
+            let fan = Rpm::new(1500.0 + 70.0 * f64::from(k % 100));
+            for (i, p) in powers.iter_mut().enumerate() {
+                *p = Watts::new(96.0 + f64::from((k + i as u32) % 64));
+            }
+            let dt = if (k / 200) % 2 == 0 { 0.5 } else { 2.0 };
+            rack.step(Seconds::new(dt), &powers, &[fan]);
+            plant.step(Seconds::new(dt), &powers, fan);
+            for i in 0..n {
+                assert_eq!(
+                    rack.junction(i).value().to_bits(),
+                    plant.junction(i).value().to_bits(),
+                    "{}: junction {i} diverged at step {k}",
+                    board.label()
+                );
+                assert_eq!(
+                    rack.heat_sink(i).value().to_bits(),
+                    plant.heat_sink(i).value().to_bits(),
+                    "{}: sink {i} diverged at step {k}",
+                    board.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_zone_rack_matches_multi_socket_steady_state_and_inversion() {
+    for board in boards() {
+        let n = board.sockets().len();
+        let mut rack = RackPlant::new(&cal(), &RackTopology::single_server(board.clone())).unwrap();
+        let plant = MultiSocketPlant::new(&cal(), &board).unwrap();
+        let powers = vec![Watts::new(140.8); n];
+        for fan in [1500.0, 3000.0, 6000.0, 8500.0] {
+            let fans = [Rpm::new(fan)];
+            let rack_ss = rack.steady_state_hottest_in_zone(0, &powers, &fans);
+            let plant_ss = plant.steady_state_hottest(&powers, Rpm::new(fan));
+            assert_eq!(rack_ss.value().to_bits(), plant_ss.value().to_bits(), "{}", board.label());
+        }
+        let limit = Celsius::new(78.0);
+        let fans = [Rpm::new(4000.0)];
+        let rack_min = rack.min_safe_zone_fan(0, &powers, &fans, limit);
+        let plant_min = plant.min_safe_fan_speed(&powers, limit);
+        assert_eq!(rack_min, plant_min, "{}", board.label());
+        // The per-zone PlantModel view agrees too.
+        let zone = rack.zone_plant(0);
+        assert_eq!(
+            zone.steady_state_junction(&powers, Rpm::new(4000.0)).value().to_bits(),
+            plant.steady_state_hottest(&powers, Rpm::new(4000.0)).value().to_bits(),
+            "{}",
+            board.label()
+        );
+        assert_eq!(zone.min_safe_fan_speed(&powers, limit), plant_min, "{}", board.label());
+    }
+}
+
+proptest! {
+    /// Random trajectories on the 2S board: the degenerate rack and the
+    /// multi-socket plant never diverge by a single bit.
+    #[test]
+    fn random_trajectories_never_diverge(
+        seed in 0u64..1024,
+        steps in 50usize..200,
+    ) {
+        let board = Topology::dual_socket();
+        let mut rack =
+            RackPlant::new(&cal(), &RackTopology::single_server(board.clone())).unwrap();
+        let mut plant = MultiSocketPlant::new(&cal(), &board).unwrap();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for k in 0..steps {
+            let fan = Rpm::new(1500.0 + 7000.0 * next());
+            let powers = [Watts::new(96.0 + 64.0 * next()), Watts::new(96.0 + 64.0 * next())];
+            let dt = Seconds::new(0.25 + 1.75 * next());
+            rack.step(dt, &powers, &[fan]);
+            plant.step(dt, &powers, fan);
+            for i in 0..2 {
+                prop_assert_eq!(
+                    rack.junction(i).value().to_bits(),
+                    plant.junction(i).value().to_bits(),
+                    "junction {} diverged at step {}", i, k
+                );
+            }
+        }
+    }
+}

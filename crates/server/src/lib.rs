@@ -18,6 +18,8 @@
 //!   simulation interval,
 //! - [`Plant`]: the thermal backend — the exact two-node model for the
 //!   paper's server, the cached RC network for everything else,
+//! - [`PlantModel`]: the same contract as a trait, so rack-scale plants
+//!   (`gfsc_rack`) can expose per-zone views of it,
 //! - [`TempAggregation`]: how per-socket readings fold into the one
 //!   temperature the global controllers act on,
 //! - [`FanPlant`]: adapter exposing the fan→measured-temperature loop as a
@@ -50,6 +52,6 @@ mod spec;
 
 pub use actuator::FanActuator;
 pub use monitor::PerformanceMonitor;
-pub use plant::FanPlant;
-pub use server::{Plant, Server};
+pub use plant::{FanPlant, PlantModel};
+pub use server::{build_measurement_pipeline, Plant, Server};
 pub use spec::{ServerSpec, TempAggregation};

@@ -249,20 +249,7 @@ impl Server {
     }
 
     fn build_pipeline(spec: &ServerSpec, initial: Celsius) -> MeasurementPipeline {
-        let mut builder = MeasurementPipeline::builder()
-            .sample_interval(spec.sensor_interval)
-            .delay(spec.sensor_lag)
-            .initial(initial.value());
-        if spec.quantization_step > 0.0 {
-            // The full-scale range is fixed (0–255 °C, the 8-bit/1 °C
-            // convention); a finer requested step means a deeper converter,
-            // not a narrower range — otherwise fine steps would saturate
-            // below the operating temperatures.
-            let levels_needed = (255.0 / spec.quantization_step) + 1.0;
-            let bits = (levels_needed.log2().ceil() as u8).clamp(2, 24);
-            builder = builder.adc(AdcQuantizer::new(bits, 0.0, 255.0, Rounding::Floor));
-        }
-        builder.build()
+        build_measurement_pipeline(spec, initial)
     }
 
     /// Folds the per-socket chain outputs into the controller input.
@@ -503,6 +490,30 @@ impl Server {
         self.now = Seconds::new(0.0);
         self.executed = utilization;
     }
+}
+
+/// The non-ideal measurement chain a spec implies, initialized to report
+/// `initial` from the first instant: the configured sampling interval and
+/// transport lag, plus (when `quantization_step > 0`) the ADC.
+///
+/// Shared by [`Server`] (one chain per socket) and the rack simulator
+/// (one chain per socket of every server).
+#[must_use]
+pub fn build_measurement_pipeline(spec: &ServerSpec, initial: Celsius) -> MeasurementPipeline {
+    let mut builder = MeasurementPipeline::builder()
+        .sample_interval(spec.sensor_interval)
+        .delay(spec.sensor_lag)
+        .initial(initial.value());
+    if spec.quantization_step > 0.0 {
+        // The full-scale range is fixed (0–255 °C, the 8-bit/1 °C
+        // convention); a finer requested step means a deeper converter,
+        // not a narrower range — otherwise fine steps would saturate
+        // below the operating temperatures.
+        let levels_needed = (255.0 / spec.quantization_step) + 1.0;
+        let bits = (levels_needed.log2().ceil() as u8).clamp(2, 24);
+        builder = builder.adc(AdcQuantizer::new(bits, 0.0, 255.0, Rounding::Floor));
+    }
+    builder.build()
 }
 
 #[cfg(test)]

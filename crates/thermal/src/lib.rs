@@ -18,7 +18,11 @@
 //!   the one fan (1S/2S/4S boards, blade chassis with a coupled spreader),
 //! - [`MultiSocketPlant`]: a [`Topology`] compiled onto the cached
 //!   [`RcNetwork`] — the N-socket plant behind the multi-socket
-//!   closed-loop scenarios.
+//!   closed-loop scenarios,
+//! - [`FanZoneMap`]: the explicit fan→link mapping — which
+//!   airflow-dependent links follow which fan. The single-zone map is the
+//!   legacy "every sink→ambient link follows the one fan" rule;
+//!   multi-zone maps are what rack-scale plants (`gfsc_rack`) build on.
 //!
 //! # Examples
 //!
@@ -44,6 +48,7 @@ mod multi_socket;
 mod network;
 mod server_model;
 mod topology;
+mod zone;
 
 pub use die::DieNode;
 pub use heatsink::{HeatSinkLaw, HeatSinkNode};
@@ -51,3 +56,4 @@ pub use multi_socket::{MultiSocketPlant, PlantCalibration};
 pub use network::{BoundaryId, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder};
 pub use server_model::ServerThermalModel;
 pub use topology::{ChassisDef, SocketDef, Topology};
+pub use zone::{FanZoneMap, ZoneId};

@@ -8,7 +8,10 @@
 //! and the per-step work is one forward/backward substitution — the LU
 //! cache makes N-node stepping as cheap as the hand-rolled pair.
 
-use crate::{HeatSinkLaw, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder, Topology};
+use crate::{
+    FanZoneMap, HeatSinkLaw, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder, Topology,
+    ZoneId,
+};
 use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
 
 /// The base per-socket calibration shared by every socket before topology
@@ -31,15 +34,12 @@ pub struct PlantCalibration {
 }
 
 /// Per-socket handles resolved once at build time so the step path does no
-/// name scans.
+/// name scans. The fan-dependent sink→ambient links live in the plant's
+/// single-zone [`FanZoneMap`], not here.
 #[derive(Debug, Clone)]
 struct SocketHandles {
     die: NodeId,
     sink: NodeId,
-    /// The fan-dependent sink→ambient link.
-    fan_link: LinkId,
-    /// This socket's derated resistance law.
-    law: HeatSinkLaw,
 }
 
 /// An N-socket thermal plant on the cached RC network.
@@ -70,8 +70,11 @@ struct SocketHandles {
 pub struct MultiSocketPlant {
     net: RcNetwork,
     sockets: Vec<SocketHandles>,
+    /// The one-fan special case of the general fan→link mapping: a single
+    /// zone driving every socket's sink→ambient link.
+    zones: FanZoneMap,
+    zone: ZoneId,
     ambient: Celsius,
-    fan: Rpm,
 }
 
 impl MultiSocketPlant {
@@ -120,20 +123,25 @@ impl MultiSocketPlant {
             builder = builder.link("chassis", "ambient", chassis.exhaust);
         }
         let net = builder.build()?;
+        let mut zones = FanZoneMap::new();
+        let zone = zones.add_zone("fan", fan0);
         let sockets = topology
             .sockets()
             .iter()
             .map(|socket| {
                 let sink_name = format!("sink-{}", socket.name);
+                zones.attach(
+                    zone,
+                    net.link_id(&sink_name, "ambient").expect("built above"),
+                    cal.law.with_airflow_derate(socket.airflow_derate),
+                );
                 SocketHandles {
                     die: net.node_id(&format!("die-{}", socket.name)).expect("built above"),
                     sink: net.node_id(&sink_name).expect("built above"),
-                    fan_link: net.link_id(&sink_name, "ambient").expect("built above"),
-                    law: cal.law.with_airflow_derate(socket.airflow_derate),
                 }
             })
             .collect();
-        Ok(Self { net, sockets, ambient: cal.ambient, fan: fan0 })
+        Ok(Self { net, sockets, zones, zone, ambient: cal.ambient })
     }
 
     /// Number of sockets.
@@ -199,11 +207,10 @@ impl MultiSocketPlant {
         assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
         for (socket, &power) in self.sockets.iter().zip(powers) {
             self.net.set_power(socket.die, power);
-            // Unchanged fan speed keeps the factorization warm (the setter
-            // skips identical conductances).
-            self.net.set_link_resistance_by_id(socket.fan_link, socket.law.resistance(fan));
         }
-        self.fan = fan;
+        // Unchanged fan speed keeps the factorization warm (the setter
+        // skips identical conductances).
+        self.zones.set_fan(&mut self.net, self.zone, fan);
         self.net.step(dt);
     }
 
@@ -237,8 +244,8 @@ impl MultiSocketPlant {
     /// Non-mutating steady-state probe at a hypothetical operating point.
     fn probe(&self, powers: &[Watts], fan: Rpm) -> Vec<Celsius> {
         assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
-        let link_overrides: Vec<(LinkId, KelvinPerWatt)> =
-            self.sockets.iter().map(|s| (s.fan_link, s.law.resistance(fan))).collect();
+        let mut link_overrides: Vec<(LinkId, KelvinPerWatt)> = Vec::new();
+        self.zones.extend_overrides(self.zone, fan, &mut link_overrides);
         let power_overrides: Vec<(NodeId, Watts)> =
             self.sockets.iter().zip(powers).map(|(s, &p)| (s.die, p)).collect();
         self.net.steady_state_with(&link_overrides, &power_overrides)
@@ -296,13 +303,9 @@ impl MultiSocketPlant {
         assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
         for (socket, &power) in self.sockets.iter().zip(powers) {
             self.net.set_power(socket.die, power);
-            self.net.set_link_resistance_by_id(socket.fan_link, socket.law.resistance(fan));
         }
-        self.fan = fan;
-        let temps = self.net.steady_state();
-        for (i, t) in temps.iter().enumerate() {
-            self.net.set_temperature(NodeId::from_index(i), *t);
-        }
+        self.zones.set_fan(&mut self.net, self.zone, fan);
+        self.net.snap_to_steady_state();
     }
 
     /// Resets every node to thermal equilibrium with the ambient (zero
@@ -316,7 +319,7 @@ impl MultiSocketPlant {
     /// The shared fan speed of the most recent step/equilibrate call.
     #[must_use]
     pub fn fan_speed(&self) -> Rpm {
-        self.fan
+        self.zones.fan(self.zone)
     }
 }
 

@@ -22,8 +22,11 @@ impl NodeId {
         Self(index)
     }
 
-    /// Inverse of [`NodeId::from_index`].
-    pub(crate) fn index(self) -> usize {
+    /// The node's position in [`RcNetwork::node_names`] order — the index
+    /// of this node's entry in the vectors [`RcNetwork::steady_state`] and
+    /// [`RcNetwork::steady_state_with`] return.
+    #[must_use]
+    pub fn index(self) -> usize {
         self.0
     }
 }
@@ -548,6 +551,16 @@ impl RcNetwork {
     #[must_use]
     pub fn steady_state(&self) -> Vec<Celsius> {
         self.steady_state_with(&[], &[])
+    }
+
+    /// Snaps every node to its steady-state temperature under the current
+    /// powers, boundaries and conductances — equilibration in one call.
+    /// State-only: the cached factorization is untouched.
+    pub fn snap_to_steady_state(&mut self) {
+        let temps = self.steady_state();
+        for (slot, t) in self.temperatures.iter_mut().zip(&temps) {
+            *slot = t.value();
+        }
     }
 
     /// [`RcNetwork::steady_state`] with temporary link-resistance and

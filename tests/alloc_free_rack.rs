@@ -1,0 +1,68 @@
+//! Proves the rack closed-loop steady state is allocation-free, exactly
+//! like the single-server loop (`tests/alloc_free.rs`): a counting global
+//! allocator wraps `System`, and doubling the horizon must not change the
+//! allocation count beyond a small jitter allowance — the capper bank,
+//! coordinator arbitration, zone fan loops, trace recording and the
+//! rack-wide thermal step all run in pre-allocated storage.
+//!
+//! One test per binary: the counter is process-global.
+
+use gfsc_coord::{RackControl, RackLoopSim};
+use gfsc_rack::{RackSpec, RackTopology};
+use gfsc_units::Seconds;
+use gfsc_workload::{SquareWave, Workload};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_for(horizon: Seconds) -> u64 {
+    let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
+        .workload(Workload::builder(SquareWave::date14()).build())
+        .control(RackControl::Coordinated { adaptive_reference: true })
+        .build();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let outcome = sim.run(horizon);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(outcome.total_epochs > 0);
+    after - before
+}
+
+#[test]
+fn rack_epoch_loop_does_not_allocate_per_epoch() {
+    // Warm up one run so lazily-initialized process state doesn't skew the
+    // first measurement.
+    let _ = allocations_for(Seconds::new(120.0));
+    let short = allocations_for(Seconds::new(600.0));
+    let long = allocations_for(Seconds::new(2400.0));
+    // 1800 extra epochs — each arbitrating 8 cappers, two zone fan loops
+    // and 17 trace channels — must add zero allocations; allow a tiny
+    // jitter margin for the test harness itself.
+    assert!(
+        long <= short + 4,
+        "allocation count grew with horizon: {short} allocs @600s vs {long} @2400s"
+    );
+}

@@ -91,6 +91,57 @@ fn multi_socket_sweep_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn rack_sweep_matches_serial_byte_for_byte() {
+    use gfsc::rack::RackTopology;
+    use gfsc::sweep::ScenarioGrid;
+    // Rack cells run the whole two-layer stack (multi-zone plant, capper
+    // bank, coordinator, per-zone fan loops) across threads; results must
+    // still be bitwise equal to the serial walk.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(150.0))
+        .solutions(&[Solution::WithoutCoordination, Solution::RCoordAdaptiveTref])
+        .seeds(&[1, 2])
+        .rack_variant(RackTopology::rack_1u_x8())
+        .rack_variant(RackTopology::rack_2u_x4())
+        .build();
+    let parallel = grid.run_with_workers(4);
+    let serial = grid.run_serial();
+    assert_eq!(parallel.len(), 8);
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert!(p.label.starts_with("rack-"), "rack axis missing from {}", p.label);
+        assert_eq!(p.label, s.label);
+        assert_eq!(p.summary, s.summary, "{}", p.label);
+    }
+}
+
+#[test]
+fn fan_interval_sweep_matches_serial_byte_for_byte() {
+    use gfsc::sweep::ScenarioGrid;
+    // The fan-control-interval axis derives specs (and re-tunes gains per
+    // interval at grid build); the runs themselves must stay bitwise
+    // deterministic across the parallel executor.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(150.0))
+        .solutions(&[Solution::RCoordAdaptiveTrefSsFan])
+        .seeds(&[1, 2])
+        .fan_control_intervals(&[Seconds::new(15.0), Seconds::new(60.0)])
+        .build();
+    let parallel = grid.run_with_workers(4);
+    let serial = grid.run_serial();
+    assert_eq!(parallel.len(), 4);
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert!(p.label.starts_with("fi"), "fan-interval axis missing from {}", p.label);
+        assert_eq!(p.label, s.label);
+        assert_eq!(p.summary, s.summary, "{}", p.label);
+    }
+    // The axis genuinely changes the closed loop: a 15 s fan period reacts
+    // differently from a 60 s one.
+    let fi15 = &serial[0].summary;
+    let fi60 = &serial[2].summary;
+    assert_ne!(fi15.fan_energy_j, fi60.fan_energy_j, "fan interval had no effect");
+}
+
+#[test]
 fn sweep_respects_thread_count_override() {
     // GFSC_SWEEP_THREADS=1 must force the serial path; this is also the
     // escape hatch documented in ROADMAP.md for debugging.
