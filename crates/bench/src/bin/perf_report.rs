@@ -9,8 +9,10 @@
 //!   1U×8 rack plant (8 servers, 2 fan zones, shared plenum),
 //! - trace recording: 8 channels by name vs by pre-resolved handle,
 //! - epoch rate: simulated seconds per wall-clock second of the full
-//!   closed loop, and of the coordinated rack loop (capper bank +
-//!   coordinator + per-zone fan loops on the 1U×8 rack),
+//!   closed loop, of the coordinated rack loop (capper bank +
+//!   coordinator + per-zone fan loops on the 1U×8 rack), and of the
+//!   lifted rack modes (per-zone single-step bank + per-zone E-coord
+//!   descent, exercising the scratch-buffered steady-state probes),
 //! - table3: the five-solution sweep, serial vs parallel at several worker
 //!   counts, with a bit-identity check between the two paths,
 //! - ablations: a reduced lag sweep, serial vs parallel,
@@ -20,9 +22,9 @@
 //! [--table3-horizon SECS] [--out PATH] [--check BASELINE.json]`
 //!
 //! `--check` switches to regression-gate mode: instead of writing a new
-//! snapshot, it re-measures the cached-step, rack-step and (server + rack)
-//! closed-loop-throughput metrics (best of three), compares them against
-//! the committed baseline,
+//! snapshot, it re-measures the cached-step, rack-step and closed-loop
+//! throughput metrics (server, coordinated rack, and the SS/E-coord rack
+//! modes; best of three), compares them against the committed baseline,
 //! and exits non-zero on any regression beyond the tolerance (default
 //! 30 %, override with `GFSC_BENCH_TOLERANCE=0.5`). `scripts/bench_check.sh`
 //! wraps this for CI.
@@ -134,6 +136,8 @@ fn main() {
     println!("epoch rate: {sim_rate:.0} simulated s / wall s");
     let rack_rate = rack_coord_sim_rate();
     println!("rack coordinated loop: {rack_rate:.0} simulated s / wall s");
+    let rack_ss_ecoord_rate = rack_ss_ecoord_sim_rate();
+    println!("rack SS + E-coord loops: {rack_ss_ecoord_rate:.0} simulated s / wall s");
 
     // --- table3 sweep: serial vs parallel --------------------------------
     let grid = ScenarioGrid::builder()
@@ -219,7 +223,8 @@ fn main() {
          \"by_handle_ns\": {record_by_handle_ns:.1}\n  }},\n  \
          \"closed_loop\": {{\n    \"sim_seconds_per_wall_second\": {sim_rate:.1}\n  }},\n  \
          \"rack_loop\": {{\n    \
-         \"coordinated_sim_seconds_per_wall_second\": {rack_rate:.1}\n  }},\n  \
+         \"coordinated_sim_seconds_per_wall_second\": {rack_rate:.1},\n    \
+         \"coordinated_ss_ecoord_sim_seconds_per_wall_second\": {rack_ss_ecoord_rate:.1}\n  }},\n  \
          \"table3\": {{\n    \"horizon_s\": {table3_horizon},\n    \
          \"serial_seconds\": {table3_serial_s:.4},\n    \
          \"by_workers\": [{worker_rows}],\n    \
@@ -265,6 +270,31 @@ fn rack_coord_sim_rate() -> f64 {
         .build();
     let (_, secs) = time(|| sim.run(Seconds::new(horizon)));
     horizon / secs
+}
+
+/// Simulated seconds per wall second across the two lifted rack modes —
+/// the per-zone single-step bank and the per-zone E-coord descent — on
+/// the 1U×8 preset, under a spiking workload so the boost/release and
+/// model-inversion paths (the scratch-buffered steady-state probes) are
+/// actually on the measured path.
+fn rack_ss_ecoord_sim_rate() -> f64 {
+    let horizon = 600.0;
+    let mut wall = 0.0;
+    for control in
+        [RackControl::CoordinatedSsFan { adaptive_reference: true }, RackControl::CoordinatedECoord]
+    {
+        let workload = Workload::builder(SquareWave::date14())
+            .gaussian_noise(0.04, 5)
+            .spikes(1.0 / 180.0, Seconds::new(30.0), 0.8, 6)
+            .build();
+        let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
+            .workload(workload)
+            .control(control)
+            .build();
+        let (_, secs) = time(|| sim.run(Seconds::new(horizon)));
+        wall += secs;
+    }
+    2.0 * horizon / wall
 }
 
 /// The shared 4S benchmark plant (Table I calibration per socket).
@@ -319,6 +349,7 @@ fn run_check(baseline_path: &str) -> i32 {
     }));
     let rack_8s = best3(Box::new(time_rack_8s_step));
     let rack_rate_cost = best3(Box::new(|| 1.0 / rack_coord_sim_rate()));
+    let rack_ss_ecoord_cost = best3(Box::new(|| 1.0 / rack_ss_ecoord_sim_rate()));
 
     let mut failed = false;
     let mut check =
@@ -347,6 +378,12 @@ fn run_check(baseline_path: &str) -> i32 {
         "rack coordinated throughput",
         "coordinated_sim_seconds_per_wall_second",
         rack_rate_cost,
+        |rate| 1.0 / rate,
+    );
+    check(
+        "rack SS/E-coord throughput",
+        "coordinated_ss_ecoord_sim_seconds_per_wall_second",
+        rack_ss_ecoord_cost,
         |rate| 1.0 / rate,
     );
 

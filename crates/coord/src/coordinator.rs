@@ -319,41 +319,73 @@ impl EnergyAwareCoordinator {
         Self::new(Celsius::new(80.0), 1.0, Celsius::new(78.0), 0.03, 0.10, Utilization::new(0.10))
     }
 
+    /// Whether `measured` is at or above the thermal-event threshold.
+    #[must_use]
+    pub fn is_emergency(&self, measured: Celsius) -> bool {
+        measured >= self.t_emergency
+    }
+
+    /// The lowest cap the scheme will cut to.
+    #[must_use]
+    pub fn cap_floor(&self) -> Utilization {
+        self.cap_floor
+    }
+
+    /// The steady-state junction target the model-based fan sizing aims
+    /// for (`t_emergency − fan_margin`).
+    #[must_use]
+    pub fn fan_sizing_limit(&self) -> Celsius {
+        self.t_emergency - self.fan_margin
+    }
+
+    /// The scheme's cap policy, one epoch: emergency → cut toward the
+    /// floor, cool enough → restore at the raise step, otherwise hold.
+    ///
+    /// This is the exact decision [`Coordinator::coordinate`] applies; the
+    /// rack's per-zone lift (`ZoneEnergyCoordinator`) calls the same
+    /// method against zone measurements instead of duplicating it.
+    #[must_use]
+    pub fn next_cap(&self, measured: Celsius, current: Utilization) -> Utilization {
+        if self.is_emergency(measured) {
+            if current > self.cap_floor {
+                self.cap_floor.max(current.saturating_add(-self.cap_cut_step))
+            } else {
+                current
+            }
+        } else if measured <= self.recovery_threshold {
+            current.saturating_add(self.cap_raise_step).min(Utilization::FULL)
+        } else {
+            current
+        }
+    }
+
     /// Energy-optimal airflow for what is *currently executing* — reactive
     /// sizing, as the scheme optimizes the present operating point rather
     /// than anticipating demand it has already capped away.
     fn fan_for_demand(&self, inputs: &CoordinationInputs<'_>) -> Rpm {
         let spec = inputs.server.spec();
         let demand = inputs.server.executed_utilization();
-        let target = self.t_emergency - self.fan_margin;
-        let speed =
-            inputs.server.min_safe_fan_speed(demand, target).unwrap_or(spec.fan_bounds.hi());
+        let speed = inputs
+            .server
+            .min_safe_fan_speed(demand, self.fan_sizing_limit())
+            .unwrap_or(spec.fan_bounds.hi());
         spec.fan_bounds.clamp(speed)
     }
 }
 
 impl Coordinator for EnergyAwareCoordinator {
     fn coordinate(&mut self, inputs: &CoordinationInputs<'_>) -> CoordinationOutcome {
-        let emergency = inputs.measured >= self.t_emergency;
-        if emergency {
+        let cap = self.next_cap(inputs.measured, inputs.current_cap);
+        if self.is_emergency(inputs.measured) {
             // Efficiency pick: the cap cut saves energy while cooling, so
-            // it wins whenever the cap can still move.
-            if inputs.current_cap > self.cap_floor {
-                let cap = self.cap_floor.max(inputs.current_cap.saturating_add(-self.cap_cut_step));
-                CoordinationOutcome { cap, fan_target: None }
-            } else {
-                // Cap exhausted: the fan is the only knob left.
-                let max = inputs.server.spec().fan_bounds.hi();
-                CoordinationOutcome { cap: inputs.current_cap, fan_target: Some(max) }
-            }
+            // it wins whenever the cap can still move; only a cap pinned
+            // at its floor leaves the fan as the remaining knob.
+            let fan_target = (inputs.current_cap <= self.cap_floor)
+                .then(|| inputs.server.spec().fan_bounds.hi());
+            CoordinationOutcome { cap, fan_target }
         } else {
             // Energy minimization: restore performance when cool enough,
             // and (at fan epochs) run the model-minimal airflow.
-            let cap = if inputs.measured <= self.recovery_threshold {
-                inputs.current_cap.saturating_add(self.cap_raise_step).min(Utilization::FULL)
-            } else {
-                inputs.current_cap
-            };
             let fan_target = inputs.proposed_fan.map(|_| self.fan_for_demand(inputs));
             CoordinationOutcome { cap, fan_target }
         }

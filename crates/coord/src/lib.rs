@@ -24,7 +24,10 @@
 //! The same structure scales one level up to racks (`gfsc_rack`):
 //! [`IntegralCapper`] banks per socket, [`CappingCoordinator`] arbitrating
 //! which socket to cap, [`ZoneReferences`] setting topology-aware per-zone
-//! fan references, and [`RackLoopSim`] closing the loop — against the
+//! fan references, [`ZoneSsFanBank`] lifting single-step fan scaling to
+//! per-zone fan walls, [`ZoneEnergyCoordinator`] lifting the E-coord
+//! descent onto per-zone `PlantModel` views, and [`RackLoopSim`] closing
+//! the loop — the full [`RackControl`] solution matrix against the
 //! deliberately-naive [`RackControl::GlobalLockstep`] baseline.
 //!
 //! # Examples
@@ -52,6 +55,8 @@ mod rack;
 mod reference;
 mod runner;
 mod ssfan;
+mod zone_ecoord;
+mod zone_ssfan;
 
 pub use capper::CpuCapController;
 pub use coordinator::{
@@ -66,3 +71,5 @@ pub use rack::{
 pub use reference::AdaptiveReference;
 pub use runner::{ClosedLoopSim, ClosedLoopSimBuilder, RunOutcome};
 pub use ssfan::{SingleStepFanScaling, SsFanAction};
+pub use zone_ecoord::ZoneEnergyCoordinator;
+pub use zone_ssfan::ZoneSsFanBank;

@@ -10,24 +10,34 @@
 //! what reference each zone's fan loop regulates to
 //! (topology-aware: zones breathing worse air get earlier airflow).
 //!
-//! [`RackLoopSim`] closes the loop over `gfsc_rack::RackServer` in two
-//! modes:
+//! [`RackLoopSim`] closes the loop over `gfsc_rack::RackServer` across
+//! the full rack solution matrix:
 //!
 //! - [`RackControl::GlobalLockstep`] — the deliberately-naive baseline:
 //!   one PID on the rack-wide max measurement commands *every* zone in
-//!   lockstep, one deadzone capper caps *every* socket on the same
-//!   aggregate. This is the single-server controller scaled without
-//!   thought, and it overpays exactly where the paper's intuition says:
-//!   the cool wall spins as fast as the hot one (cubic fan power), and a
-//!   single hot socket caps the whole rack.
+//!   lockstep (reading the *fastest* wall's speed as "the" fan speed),
+//!   one deadzone capper caps *every* socket on the same aggregate. This
+//!   is the single-server controller scaled without thought, and it
+//!   overpays exactly where the paper's intuition says: the cool wall
+//!   spins as fast as the hot one (cubic fan power), and a single hot
+//!   socket caps the whole rack.
 //! - [`RackControl::Coordinated`] — the two-layer controller this crate
 //!   proposes for racks.
+//! - [`RackControl::CoordinatedSsFan`] — plus a per-zone single-step
+//!   fan-scaling bank ([`ZoneSsFanBank`], Section V-C per zone).
+//! - [`RackControl::CoordinatedECoord`] — the E-coord baseline lifted to
+//!   zones ([`ZoneEnergyCoordinator`]): per-zone energy-first caps and
+//!   model-minimal airflow sized through the per-zone `PlantModel` views.
 
-use crate::{AdaptiveReference, FanController, FixedPidFan};
+use crate::{
+    AdaptiveReference, FanController, FixedPidFan, SingleStepFanScaling, SsFanAction,
+    ZoneEnergyCoordinator, ZoneSsFanBank,
+};
 use gfsc_control::{AdaptivePid, GainSchedule, PidGains};
 use gfsc_rack::{RackServer, RackSpec};
+use gfsc_sensors::MovingAverage;
 use gfsc_sim::{ChannelId, Clock, Periodic, TraceSet};
-use gfsc_units::{Bounds, Celsius, Joules, Rpm, Seconds, Utilization};
+use gfsc_units::{Bounds, Celsius, Joules, Rpm, Seconds, Utilization, Watts};
 use gfsc_workload::Workload;
 
 /// A per-socket adjustable-gain integral cap controller (after Rao et
@@ -119,13 +129,18 @@ impl IntegralCapper {
 /// Cuts compete for a per-epoch budget: only the `max_cuts_per_epoch`
 /// hottest cut-proposing sockets are granted, the rest hold — one knob at
 /// a time, rack edition, biased toward performance exactly like Table II.
-/// A socket at or above the emergency limit bypasses the budget.
+/// A socket at or above the emergency limit bypasses the budget — but an
+/// emergency only fast-tracks *cuts*: a socket proposing a raise while at
+/// the limit (possible right after a reference change, or with a
+/// boosted-gain overshoot) is clamped to its current cap, never raised.
 #[derive(Debug, Clone)]
 pub struct CappingCoordinator {
     max_cuts_per_epoch: usize,
     t_emergency: Celsius,
     /// Per-socket grant marks, reused every epoch (no allocation).
     granted: Vec<bool>,
+    /// Per-socket emergency marks, reused every epoch (no allocation).
+    emergency: Vec<bool>,
 }
 
 impl CappingCoordinator {
@@ -139,7 +154,12 @@ impl CappingCoordinator {
     pub fn new(sockets: usize, max_cuts_per_epoch: usize, t_emergency: Celsius) -> Self {
         assert!(sockets > 0, "coordinator needs at least one socket");
         assert!(max_cuts_per_epoch > 0, "cut budget must be positive");
-        Self { max_cuts_per_epoch, t_emergency, granted: vec![false; sockets] }
+        Self {
+            max_cuts_per_epoch,
+            t_emergency,
+            granted: vec![false; sockets],
+            emergency: vec![false; sockets],
+        }
     }
 
     /// The per-epoch cut budget.
@@ -165,9 +185,11 @@ impl CappingCoordinator {
         assert_eq!(caps.len(), self.granted.len(), "one cap per socket");
         assert_eq!(proposed.len(), self.granted.len(), "one proposal per socket");
         self.granted.fill(false);
-        // Emergencies and raises first: both always pass.
+        // Emergencies and raises first: both always pass the budget. An
+        // emergency grant is applied clamped below — it may only cut.
         for i in 0..caps.len() {
-            if proposed[i] >= caps[i] || measured[i] >= self.t_emergency {
+            self.emergency[i] = measured[i] >= self.t_emergency;
+            if proposed[i] >= caps[i] || self.emergency[i] {
                 self.granted[i] = true;
             }
         }
@@ -190,7 +212,10 @@ impl CappingCoordinator {
         }
         for i in 0..caps.len() {
             if self.granted[i] {
-                caps[i] = proposed[i];
+                // The emergency fast-track only honors the cut direction:
+                // granting a *raise* to a socket already at the limit
+                // would feed the excursion it is supposed to stop.
+                caps[i] = if self.emergency[i] { proposed[i].min(caps[i]) } else { proposed[i] };
             }
         }
     }
@@ -210,8 +235,13 @@ pub struct ZoneReferences {
 impl ZoneReferences {
     /// Builds one scheduler per zone from the rack structure.
     /// `derate_shading` is the reference penalty in kelvin per unit of
-    /// excess airflow derate over the best zone (0 disables the
-    /// topology-aware shift).
+    /// excess airflow derate over the best *populated* zone (0 disables
+    /// the topology-aware shift).
+    ///
+    /// A slotless zone is not a thermal participant: it contributes no
+    /// derate to the "best zone" anchor (its worst-derate accumulator
+    /// would otherwise sit at 0 and shade every populated zone by its
+    /// *absolute* derate) and gets a zero offset of its own.
     ///
     /// # Panics
     ///
@@ -220,15 +250,21 @@ impl ZoneReferences {
     pub fn for_rack(spec: &RackSpec, derate_shading: f64) -> Self {
         assert!(derate_shading >= 0.0, "derate shading must be non-negative");
         let zones = spec.rack.zones().len();
-        let mut worst = vec![0.0f64; zones];
+        let mut worst = vec![f64::NAN; zones];
         for slot in spec.rack.servers() {
             for socket in slot.board.sockets() {
                 let derate = slot.airflow_derate * socket.airflow_derate;
-                worst[slot.zone] = worst[slot.zone].max(derate);
+                let entry = &mut worst[slot.zone];
+                *entry = if entry.is_nan() { derate } else { entry.max(derate) };
             }
         }
-        let best = worst.iter().copied().fold(f64::INFINITY, f64::min);
-        let offsets = worst.iter().map(|w| -derate_shading * (w - best)).collect();
+        // The anchor is the best populated zone; NaN (slotless) entries
+        // fall out of both the fold and the offsets.
+        let best = worst.iter().copied().filter(|w| !w.is_nan()).fold(f64::INFINITY, f64::min);
+        let offsets = worst
+            .iter()
+            .map(|w| if w.is_nan() { 0.0 } else { -derate_shading * (w - best) })
+            .collect();
         let schedulers = (0..zones).map(|_| AdaptiveReference::date14()).collect();
         Self { schedulers, offsets }
     }
@@ -260,7 +296,8 @@ impl ZoneReferences {
     }
 }
 
-/// How the rack is controlled.
+/// How the rack is controlled — the rack-scale solution matrix, mirroring
+/// the single-server [`crate::Coordinator`] line-up one level up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RackControl {
     /// The naive baseline: one fan loop on the rack-wide aggregate drives
@@ -275,6 +312,21 @@ pub enum RackControl {
         /// reference.
         adaptive_reference: bool,
     },
+    /// [`RackControl::Coordinated`] plus a per-zone single-step fan
+    /// scaling bank (Section V-C per zone): each zone boosts its own wall
+    /// on its own sockets' recent violation rate and, on release,
+    /// descends straight to the zone's minimum safe speed for the
+    /// predicted load.
+    CoordinatedSsFan {
+        /// Adapt each zone's fan reference to its predicted demand.
+        adaptive_reference: bool,
+    },
+    /// The E-coord baseline lifted to zones: each zone's cap follows the
+    /// energy-first policy on the zone measurement, and each wall runs
+    /// the model-minimal airflow sized through the zone's `PlantModel`
+    /// view. The integral capper bank is bypassed — E-coord brings its
+    /// own cap policy, exactly as it does on a single server.
+    CoordinatedECoord,
 }
 
 /// Everything a finished rack run reports.
@@ -310,6 +362,9 @@ pub struct RackLoopSimBuilder {
     max_cuts_per_epoch: usize,
     fixed_reference: Celsius,
     derate_shading: f64,
+    single_step: SingleStepFanScaling,
+    monitor_window: usize,
+    energy_coordinator: ZoneEnergyCoordinator,
     start_utilization: Utilization,
     start_fan: Rpm,
 }
@@ -386,6 +441,39 @@ impl RackLoopSimBuilder {
         self
     }
 
+    /// Replaces the per-zone single-step scheme used by
+    /// [`RackControl::CoordinatedSsFan`] (default
+    /// [`SingleStepFanScaling::new`]`(0.3)`, the single-server
+    /// calibration).
+    #[must_use]
+    pub fn single_step(mut self, scheme: SingleStepFanScaling) -> Self {
+        self.single_step = scheme;
+        self
+    }
+
+    /// The sliding window (in CPU epochs) of each zone's violation
+    /// monitor feeding single-step scaling (default 10, the single-server
+    /// calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn monitor_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "monitor window must be positive");
+        self.monitor_window = window;
+        self
+    }
+
+    /// Replaces the per-zone E-coord policy used by
+    /// [`RackControl::CoordinatedECoord`] (default
+    /// [`ZoneEnergyCoordinator::date14_rack`]).
+    #[must_use]
+    pub fn energy_coordinator(mut self, coordinator: ZoneEnergyCoordinator) -> Self {
+        self.energy_coordinator = coordinator;
+        self
+    }
+
     /// Starts the run from thermal equilibrium at this operating point
     /// (default: `u = 0.1`, every zone at 1500 rpm).
     #[must_use]
@@ -431,11 +519,23 @@ impl RackLoopSimBuilder {
         };
         let fan_count = match self.control {
             RackControl::GlobalLockstep => 1,
-            RackControl::Coordinated { .. } => zones,
+            _ => zones,
         };
         let fans: Vec<Box<dyn FanController>> =
             (0..fan_count).map(|_| make_fan(self.fixed_reference)).collect();
         let references = ZoneReferences::for_rack(&self.spec, self.derate_shading);
+        let ss = matches!(self.control, RackControl::CoordinatedSsFan { .. }).then(|| {
+            ZoneSsFanBank::new(
+                zones,
+                self.single_step.clone(),
+                self.monitor_window,
+                self.spec.rack.plenum().is_some(),
+            )
+        });
+        let max_zone_sockets =
+            (0..zones).map(|z| server.plant().zone_sockets(z).len()).max().unwrap_or(0);
+        let socket_zone: Vec<usize> =
+            (0..sockets).map(|i| server.plant().zone_of_socket(i)).collect();
 
         RackLoopSim {
             server,
@@ -450,11 +550,18 @@ impl RackLoopSimBuilder {
             ),
             global_capper: crate::CpuCapController::date14(),
             references,
+            ss,
+            ecoord: self.energy_coordinator,
+            demand_filter: MovingAverage::new(30),
             caps: vec![Utilization::FULL; sockets],
+            zone_caps: vec![Utilization::FULL; zones],
             proposed: vec![Utilization::FULL; sockets],
             demands: vec![Utilization::IDLE; sockets],
             executed: vec![self.start_utilization; sockets],
             measured: vec![self.spec.server.ambient; sockets],
+            zone_powers: vec![Watts::new(0.0); max_zone_sockets],
+            zone_violated: vec![0; zones],
+            socket_zone,
             violations: 0,
             socket_epochs: 0,
             lost_utilization: 0.0,
@@ -488,7 +595,7 @@ pub struct RackLoopSim {
     server: RackServer,
     workload: Workload,
     control: RackControl,
-    /// One controller per zone (Coordinated) or a single controller
+    /// One controller per zone (coordinated modes) or a single controller
     /// (GlobalLockstep).
     fans: Vec<Box<dyn FanController>>,
     capper: IntegralCapper,
@@ -496,11 +603,27 @@ pub struct RackLoopSim {
     /// The naive mode's single deadzone capper.
     global_capper: crate::CpuCapController,
     references: ZoneReferences,
+    /// The per-zone single-step bank (CoordinatedSsFan only).
+    ss: Option<ZoneSsFanBank>,
+    /// The per-zone E-coord policy (CoordinatedECoord only).
+    ecoord: ZoneEnergyCoordinator,
+    /// Predicted rack demand (the single-server 30-sample filter) feeding
+    /// the single-step release descent.
+    demand_filter: MovingAverage,
     caps: Vec<Utilization>,
+    /// Per-zone caps (CoordinatedECoord: one cap per zone, applied to
+    /// every socket the zone serves).
+    zone_caps: Vec<Utilization>,
     proposed: Vec<Utilization>,
     demands: Vec<Utilization>,
     executed: Vec<Utilization>,
     measured: Vec<Celsius>,
+    /// Per-zone executing-power scratch for the E-coord view probes.
+    zone_powers: Vec<Watts>,
+    /// Per-zone violated-socket scratch for the single-step windows.
+    zone_violated: Vec<usize>,
+    /// Flat socket → zone map, resolved once.
+    socket_zone: Vec<usize>,
     violations: u64,
     socket_epochs: u64,
     lost_utilization: f64,
@@ -525,6 +648,9 @@ impl RackLoopSim {
             max_cuts_per_epoch: 2,
             fixed_reference: Celsius::new(75.0),
             derate_shading: 2.0,
+            single_step: SingleStepFanScaling::new(0.3),
+            monitor_window: 10,
+            energy_coordinator: ZoneEnergyCoordinator::date14_rack(),
             start_utilization: Utilization::new(0.1),
             start_fan: Rpm::new(1500.0),
         }
@@ -604,12 +730,16 @@ impl RackLoopSim {
                 let cap = self.global_capper.propose(aggregate, self.caps[0]);
                 self.caps.fill(cap);
                 if fan_due {
-                    let current = self.hottest_zone_speed();
+                    // The naive pairing: the rack-wide max measurement
+                    // against the *fastest* wall's speed (not the hottest
+                    // zone's — the two coincide only by luck).
+                    let current = self.fastest_zone_speed();
                     let cmd = self.fans[0].decide(aggregate, current);
                     self.server.set_all_fan_targets(cmd);
                 }
             }
-            RackControl::Coordinated { adaptive_reference } => {
+            RackControl::Coordinated { adaptive_reference }
+            | RackControl::CoordinatedSsFan { adaptive_reference } => {
                 // Layer 1: per-socket integral capper proposals.
                 for i in 0..sockets {
                     self.proposed[i] = self.capper.propose(self.measured[i], self.caps[i]);
@@ -625,25 +755,104 @@ impl RackLoopSim {
                         for &i in zone_sockets {
                             sum += demands[i].value();
                         }
-                        self.references
-                            .observe(z, Utilization::new(sum / zone_sockets.len() as f64));
+                        let mean = if zone_sockets.is_empty() {
+                            0.0 // slotless wall: no demand to predict
+                        } else {
+                            sum / zone_sockets.len() as f64
+                        };
+                        self.references.observe(z, Utilization::new(mean));
                     }
                 }
-                if fan_due {
-                    for z in 0..zones {
-                        if adaptive_reference {
-                            self.fans[z].set_reference(self.references.reference(z));
+                // Layer 3 (CoordinatedSsFan): the per-zone single-step
+                // bank owns each wall while a boost is in force, exactly
+                // as the single-server overlay owns the fan. (Taken out
+                // of its slot so the PID fallback can borrow `self`.)
+                let mut bank = self.ss.take();
+                match &mut bank {
+                    Some(bank) => {
+                        self.demand_filter.update(demand.value());
+                        let predicted = Utilization::new(self.demand_filter.value().unwrap_or(0.0));
+                        let bounds = self.server.spec().server.fan_bounds;
+                        bank.begin_epoch();
+                        for z in 0..zones {
+                            let reference = self.fans[z].reference();
+                            match bank.evaluate(z, self.server.measured_zone(z), reference) {
+                                SsFanAction::Hold => {
+                                    if self.server.zone_fan_target(z) < bounds.hi() {
+                                        self.server.set_zone_fan_target(z, bounds.hi());
+                                    }
+                                }
+                                SsFanAction::Release => {
+                                    // Descend straight to the zone's lowest
+                                    // safe speed for the predicted load, the
+                                    // PID re-based bumplessly at the descent
+                                    // speed (Section V-C, per zone).
+                                    self.fans[z].reset();
+                                    let safe = self
+                                        .server
+                                        .min_safe_zone_fan(z, predicted, reference)
+                                        .unwrap_or(bounds.hi());
+                                    self.server.set_zone_fan_target(z, bounds.clamp(safe));
+                                }
+                                SsFanAction::None => {
+                                    if fan_due {
+                                        self.zone_fan_decision(z, adaptive_reference);
+                                    }
+                                }
+                            }
                         }
-                        let cmd = self.fans[z]
-                            .decide(self.server.measured_zone(z), self.server.zone_fan_speed(z));
-                        self.server.set_zone_fan_target(z, cmd);
                     }
+                    None => {
+                        if fan_due {
+                            for z in 0..zones {
+                                self.zone_fan_decision(z, adaptive_reference);
+                            }
+                        }
+                    }
+                }
+                self.ss = bank;
+            }
+            RackControl::CoordinatedECoord => {
+                // Per zone: the energy-first policy on the zone
+                // measurement, fan sized through the zone's PlantModel
+                // view at the powers its sockets are currently executing.
+                let cpu_power = self.server.spec().server.cpu_power;
+                let bounds = self.server.spec().server.fan_bounds;
+                for z in 0..zones {
+                    let zone_measured = self.server.measured_zone(z);
+                    let current = self.zone_caps[z];
+                    let fan_cmd = {
+                        let zone_sockets = self.server.plant().zone_sockets(z);
+                        let k = zone_sockets.len();
+                        for (j, &i) in zone_sockets.iter().enumerate() {
+                            self.zone_powers[j] = cpu_power.power(self.server.executed()[i]);
+                        }
+                        let view = self.server.plant_mut().zone_plant(z);
+                        self.ecoord.fan_command(
+                            &view,
+                            &self.zone_powers[..k],
+                            zone_measured,
+                            current,
+                            fan_due,
+                            bounds,
+                        )
+                    };
+                    if let Some(target) = fan_cmd {
+                        self.server.set_zone_fan_target(z, target);
+                    }
+                    self.zone_caps[z] = self.ecoord.next_cap(zone_measured, current);
+                }
+                for i in 0..sockets {
+                    self.caps[i] = self.zone_caps[self.socket_zone[i]];
                 }
             }
         }
 
         // Enforce, account, record.
-        for ((&d, &cap), executed) in demands.iter().zip(&self.caps).zip(&mut self.executed) {
+        self.zone_violated.fill(0);
+        for (i, ((&d, &cap), executed)) in
+            demands.iter().zip(&self.caps).zip(&mut self.executed).enumerate()
+        {
             *executed = d.min(cap);
             self.socket_epochs += 1;
             // Strict inequality with a small tolerance, as the
@@ -652,6 +861,13 @@ impl RackLoopSim {
             if d.value() > cap.value() + 1e-12 {
                 self.violations += 1;
                 self.lost_utilization += d - cap;
+                self.zone_violated[self.socket_zone[i]] += 1;
+            }
+        }
+        if let Some(bank) = &mut self.ss {
+            for z in 0..zones {
+                let sockets_in_zone = self.server.plant().zone_sockets(z).len();
+                bank.record(z, self.zone_violated[z], sockets_in_zone);
             }
         }
         self.demands = demands;
@@ -663,7 +879,7 @@ impl RackLoopSim {
             traces.record_by_id(t_meas, now, self.server.measured_zone(z).value());
             let reference = match self.control {
                 RackControl::GlobalLockstep => self.fans[0].reference(),
-                RackControl::Coordinated { .. } => self.fans[z].reference(),
+                _ => self.fans[z].reference(),
             };
             traces.record_by_id(t_ref, now, reference.value());
         }
@@ -673,9 +889,22 @@ impl RackLoopSim {
         }
     }
 
-    /// The fastest zone's actual speed — what the lockstep controller
-    /// treats as "the" fan speed.
-    fn hottest_zone_speed(&self) -> Rpm {
+    /// One regular fan decision for zone `z`: move the reference if the
+    /// zone adapts it, then run the zone's PID on its own aggregate.
+    fn zone_fan_decision(&mut self, z: usize, adaptive_reference: bool) {
+        if adaptive_reference {
+            self.fans[z].set_reference(self.references.reference(z));
+        }
+        let cmd = self.fans[z].decide(self.server.measured_zone(z), self.server.zone_fan_speed(z));
+        self.server.set_zone_fan_target(z, cmd);
+    }
+
+    /// The *fastest* zone's actual speed — what the lockstep controller
+    /// feeds its single PID as "the" fan speed. It is not the hottest
+    /// zone's speed: under lockstep every wall shares one target, and the
+    /// fastest wall is simply the one whose slew got furthest, regardless
+    /// of where the heat is.
+    fn fastest_zone_speed(&self) -> Rpm {
         let mut speed = self.server.zone_fan_speed(0);
         for z in 1..self.server.zone_count() {
             speed = speed.max(self.server.zone_fan_speed(z));
@@ -781,6 +1010,99 @@ mod tests {
     }
 
     #[test]
+    fn coordinator_emergency_only_fast_tracks_cuts() {
+        // A socket at/above the emergency limit proposing a *raise*
+        // (possible right after a reference change or with a boosted-gain
+        // overshoot) must not be raised: the emergency path clamps the
+        // grant to min(proposed, current).
+        let mut coord = CappingCoordinator::new(2, 1, Celsius::new(80.0));
+        let measured = [80.4, 70.0].map(Celsius::new);
+        let mut caps = [0.6, 0.8].map(Utilization::new);
+        let proposed = [0.8, 0.8].map(Utilization::new);
+        coord.arbitrate(&measured, &mut caps, &proposed);
+        assert_eq!(caps[0], Utilization::new(0.6), "hot socket must not raise");
+        assert_eq!(caps[1], Utilization::new(0.8));
+        // The same proposal below the limit is an ordinary raise and passes.
+        let measured = [79.0, 70.0].map(Celsius::new);
+        coord.arbitrate(&measured, &mut caps, &proposed);
+        assert_eq!(caps[0], Utilization::new(0.8));
+    }
+
+    #[test]
+    fn coordinator_emergency_cuts_still_bypass_the_budget() {
+        let mut coord = CappingCoordinator::new(2, 1, Celsius::new(80.0));
+        let measured = [80.4, 79.8].map(Celsius::new);
+        let mut caps = [0.8, 0.8].map(Utilization::new);
+        let proposed = [0.5, 0.6].map(Utilization::new);
+        coord.arbitrate(&measured, &mut caps, &proposed);
+        // Emergency cut on 0 outside the budget; budget grants 1's cut.
+        assert_eq!(caps[0], Utilization::new(0.5));
+        assert_eq!(caps[1], Utilization::new(0.6));
+    }
+
+    fn partial_rack() -> RackSpec {
+        // Zone 1 is a fan wall over empty bays (partially-populated rack).
+        RackSpec::new(gfsc_rack::RackTopology::new(
+            "partial",
+            vec![
+                gfsc_rack::RackZoneDef { name: "z0".to_owned(), fans: 2 },
+                gfsc_rack::RackZoneDef { name: "z1".to_owned(), fans: 2 },
+            ],
+            vec![
+                gfsc_rack::ServerSlot {
+                    name: "srv0".to_owned(),
+                    zone: 0,
+                    board: gfsc_thermal::Topology::single_socket(),
+                    airflow_derate: 1.3,
+                    load_weight: 1.0,
+                },
+                gfsc_rack::ServerSlot {
+                    name: "srv1".to_owned(),
+                    zone: 0,
+                    board: gfsc_thermal::Topology::single_socket(),
+                    airflow_derate: 1.5,
+                    load_weight: 1.0,
+                },
+            ],
+            Some(gfsc_rack::PlenumDef::default()),
+        ))
+    }
+
+    #[test]
+    fn zone_references_ignore_slotless_zones() {
+        // The slotless zone's zero accumulator must not become the "best
+        // zone" anchor: the populated zone is the best *populated* zone,
+        // so its offset is 0, not −shading × its absolute derate.
+        let refs = ZoneReferences::for_rack(&partial_rack(), 2.0);
+        assert_eq!(refs.offset(0), 0.0, "sole populated zone is its own anchor");
+        assert_eq!(refs.offset(1), 0.0, "slotless zone gets a zero offset");
+    }
+
+    #[test]
+    fn partially_populated_rack_runs_every_mode() {
+        for control in [
+            RackControl::GlobalLockstep,
+            RackControl::Coordinated { adaptive_reference: true },
+            RackControl::CoordinatedSsFan { adaptive_reference: true },
+            RackControl::CoordinatedECoord,
+        ] {
+            let mut sim = RackLoopSim::builder(partial_rack())
+                .workload(Workload::builder(Constant::new(0.6)).build())
+                .control(control)
+                .build();
+            let out = sim.run(Seconds::new(600.0));
+            assert_eq!(out.total_epochs, 601 * 2, "{control:?}");
+            let empty_wall = out.traces.require("z1_fan_rpm").unwrap().values();
+            assert!(
+                empty_wall.iter().all(|v| v.is_finite()),
+                "{control:?}: slotless wall went non-finite"
+            );
+            let tref = out.traces.require("z1_t_ref_c").unwrap().values();
+            assert!(tref.iter().all(|v| v.is_finite()), "{control:?}: reference went NaN");
+        }
+    }
+
+    #[test]
     fn zone_references_shade_the_worse_wall() {
         let spec = RackSpec::new(RackTopology::rack_1u_x8());
         let refs = ZoneReferences::for_rack(&spec, 2.0);
@@ -860,5 +1182,54 @@ mod tests {
     #[should_panic(expected = "workload is required")]
     fn missing_workload_rejected() {
         let _ = RackLoopSim::builder(RackSpec::new(RackTopology::rack_2u_x4())).build();
+    }
+
+    #[test]
+    fn ss_mode_runs_and_boosts_on_demand_spikes() {
+        let workload = Workload::builder(SquareWave::date14())
+            .gaussian_noise(0.04, 11)
+            .spikes(1.0 / 180.0, Seconds::new(30.0), 0.8, 12)
+            .build();
+        let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
+            .workload(workload)
+            .control(RackControl::CoordinatedSsFan { adaptive_reference: true })
+            .build();
+        let out = sim.run(Seconds::new(1800.0));
+        assert_eq!(out.total_epochs, 1801 * 8);
+        // Somewhere in the run a wall must have been driven to its
+        // maximum in a single step — the overlay's signature.
+        let hi = sim.server().spec().server.fan_bounds.hi().value();
+        let boosted = ["z0_fan_rpm", "z1_fan_rpm"]
+            .iter()
+            .any(|name| out.traces.require(name).unwrap().values().iter().any(|&v| v >= hi - 1.0));
+        assert!(boosted, "no zone ever boosted under a spiking workload");
+    }
+
+    #[test]
+    fn ecoord_mode_runs_lean_and_near_its_sizing_limit() {
+        let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
+            .workload(Workload::builder(Constant::new(0.7)).build())
+            .control(RackControl::CoordinatedECoord)
+            .build();
+        let out = sim.run(Seconds::new(1800.0));
+        // The energy-first policy parks each zone near the `date14_rack`
+        // sizing limit (76 °C), above the 75 °C the PID modes regulate to.
+        let t = out.traces.require("z1_t_hot_c").unwrap();
+        let tail = &t.values()[t.len() - 300..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((76.0..=80.0).contains(&mean), "tail mean {mean}");
+        // And it spends less fan energy than the fixed-75 °C coordinated
+        // loop on the same steady load.
+        let mut pid = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
+            .workload(Workload::builder(Constant::new(0.7)).build())
+            .control(RackControl::Coordinated { adaptive_reference: false })
+            .build();
+        let pid_out = pid.run(Seconds::new(1800.0));
+        assert!(
+            out.fan_energy < pid_out.fan_energy,
+            "e-coord {} J vs coordinated {} J",
+            out.fan_energy.value(),
+            pid_out.fan_energy.value()
+        );
     }
 }

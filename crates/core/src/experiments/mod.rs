@@ -11,7 +11,7 @@
 //! | [`table3`] | Table III | deadline violations and fan energy across the five solutions (mean ± CI over seeds) |
 //! | [`ablations`] | — (extensions) | lag, quantization, region-count and noise sweeps |
 //! | [`topology`] | — (extensions) | the coordinated stack on 2S/4S/blade multi-socket plants |
-//! | [`rack`] | — (extensions) | naive global vs coordinated two-layer control on rack plants |
+//! | [`rack`] | — (extensions) | the full rack solution matrix: lockstep vs coordinated / +SS / +E-coord |
 //!
 //! Experiment functions are deterministic for a given config (seeds
 //! included), so the binaries in `gfsc-bench` and the assertions in the

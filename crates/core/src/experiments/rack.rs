@@ -1,18 +1,22 @@
-//! Rack study (extension): the naive global loop vs the coordinated
-//! two-layer controller on rack-scale plants.
+//! Rack study (extension): the full rack solution matrix — global
+//! lockstep vs the coordinated two-layer controller and its single-step /
+//! E-coord extensions — on rack-scale plants.
 //!
 //! The paper's global controller manages one fan from one aggregated,
-//! non-ideal reading. Scaled to a rack without thought — one PID on the
-//! rack-wide max measurement driving *every* fan wall in lockstep, one
-//! deadzone capper capping *every* socket — it overpays twice: the cool
-//! wall spins as fast as the hot one (fan power is cubic in speed), and
-//! one hot socket caps the whole rack. The two-layer controller
-//! (`gfsc_coord::RackLoopSim`, `RackControl::Coordinated`) runs each
-//! zone's fan loop on its own aggregate, each socket's adjustable-gain
-//! integral capper under a rack coordinator that grants the budgeted cuts
-//! hottest-socket-first, and (optionally) per-zone topology-aware
-//! adaptive references. This study quantifies the gap, mean ± 95 % CI
-//! over seeds.
+//! non-ideal reading. Scaled to a rack without thought — one PID pairing
+//! the rack-wide max measurement with the *fastest* wall's speed (not the
+//! hottest zone's; under lockstep the fastest wall is simply the one
+//! whose slew got furthest) and driving every wall to the same target,
+//! one deadzone capper capping *every* socket — it overpays twice: the
+//! cool wall spins as fast as the hot one (fan power is cubic in speed),
+//! and one hot socket caps the whole rack. The coordinated modes
+//! (`gfsc_coord::RackLoopSim`) run each zone's fan loop on its own
+//! aggregate and each socket's adjustable-gain integral capper under a
+//! rack coordinator; `coordinated+ss` adds the per-zone single-step bank
+//! (Section V-C per zone) and `coordinated+e-coord` replaces the PID/
+//! capper pair with the energy-first per-zone descent sized through the
+//! zone `PlantModel` views. This study quantifies the matrix, mean ±
+//! 95 % CI over seeds.
 
 use crate::sweep::{aggregate_over_seeds, ScenarioGrid, SeedStats};
 use crate::{markdown_table, Solution};
@@ -29,9 +33,9 @@ pub struct RackStudyConfig {
     /// The rack structures to compare.
     pub racks: Vec<RackTopology>,
     /// The control variants, as solutions-axis values (see the sweep
-    /// module's rack mapping). The default compares the naive global loop
-    /// against coordinated control with fixed and with adaptive per-zone
-    /// references.
+    /// module's rack mapping). The default reports the full matrix:
+    /// lockstep, coordinated (fixed and adaptive references),
+    /// coordinated+SS, and coordinated+E-coord.
     pub solutions: Vec<Solution>,
 }
 
@@ -45,6 +49,8 @@ impl Default for RackStudyConfig {
                 Solution::WithoutCoordination,
                 Solution::RCoordFixedTref,
                 Solution::RCoordAdaptiveTref,
+                Solution::RCoordAdaptiveTrefSsFan,
+                Solution::ECoord,
             ],
         }
     }
@@ -57,8 +63,7 @@ pub struct RackRow {
     pub rack: String,
     /// The solutions-axis value this row ran.
     pub solution: Solution,
-    /// Human-readable control-mode name (`global` / `coordinated` /
-    /// `coordinated+adaptive`).
+    /// Human-readable rack control-mode name (see [`control_name`]).
     pub control: &'static str,
     /// Violated socket-epochs percentage across seeds.
     pub violation_percent: SeedStats,
@@ -71,12 +76,12 @@ pub struct RackRow {
 /// The display name of a solutions-axis value on a rack cell.
 #[must_use]
 pub fn control_name(solution: Solution) -> &'static str {
-    if !solution.uses_rule_coordination() {
-        "global"
-    } else if solution.uses_adaptive_reference() {
-        "coordinated+adaptive"
-    } else {
-        "coordinated"
+    match solution {
+        Solution::WithoutCoordination => "lockstep",
+        Solution::ECoord => "coordinated+e-coord",
+        Solution::RCoordFixedTref => "coordinated",
+        Solution::RCoordAdaptiveTref => "coordinated+adaptive",
+        Solution::RCoordAdaptiveTrefSsFan => "coordinated+ss",
     }
 }
 
@@ -150,7 +155,7 @@ mod tests {
             solutions: vec![Solution::WithoutCoordination, Solution::RCoordAdaptiveTref],
         });
         assert_eq!(rows.len(), 2);
-        let global = rows.iter().find(|r| r.control == "global").unwrap();
+        let global = rows.iter().find(|r| r.control == "lockstep").unwrap();
         let coord = rows.iter().find(|r| r.control == "coordinated+adaptive").unwrap();
         assert!(
             coord.fan_energy_j.mean < global.fan_energy_j.mean,
@@ -168,5 +173,40 @@ mod tests {
         assert!(coord.fan_energy_j.ci95.is_finite());
         let md = to_markdown(&rows);
         assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn ss_and_ecoord_modes_dominate_the_lockstep_baseline() {
+        // The lifted solutions must each strictly dominate global lockstep
+        // on fan energy at equal-or-fewer violated socket-epochs — the
+        // full-matrix acceptance contract, on both stock racks.
+        let rows = run(&RackStudyConfig {
+            horizon: Seconds::new(1800.0),
+            seeds: vec![42, 43],
+            racks: vec![RackTopology::rack_1u_x8(), RackTopology::rack_2u_x4()],
+            solutions: vec![
+                Solution::WithoutCoordination,
+                Solution::RCoordAdaptiveTrefSsFan,
+                Solution::ECoord,
+            ],
+        });
+        for rack in ["1Ux8", "2Ux4"] {
+            let lockstep = rows.iter().find(|r| r.rack == rack && r.control == "lockstep").unwrap();
+            for name in ["coordinated+ss", "coordinated+e-coord"] {
+                let row = rows.iter().find(|r| r.rack == rack && r.control == name).unwrap();
+                assert!(
+                    row.fan_energy_j.mean < lockstep.fan_energy_j.mean,
+                    "{rack}/{name} {} J not strictly below lockstep {} J",
+                    row.fan_energy_j.mean,
+                    lockstep.fan_energy_j.mean
+                );
+                assert!(
+                    row.violation_percent.mean <= lockstep.violation_percent.mean + 1e-9,
+                    "{rack}/{name} {}% vs lockstep {}%",
+                    row.violation_percent.mean,
+                    lockstep.violation_percent.mean
+                );
+            }
+        }
     }
 }

@@ -29,11 +29,13 @@
 //!
 //! [`ScenarioGridBuilder::rack_variant`] adds rack-topology cells that run
 //! the rack closed loop (`gfsc_coord::RackLoopSim`) instead of the
-//! single-server `Simulation`. The solutions axis maps onto rack control:
-//! `WithoutCoordination`/`ECoord` run the naive global-lockstep loop,
-//! `RCoordFixedTref` the coordinated loop with fixed zone references, and
-//! both adaptive variants the coordinated loop with per-zone adaptive
-//! references.
+//! single-server `Simulation`. The solutions axis maps onto the full rack
+//! control matrix: `WithoutCoordination` runs the naive global-lockstep
+//! loop, `RCoordFixedTref` the coordinated loop with fixed zone
+//! references, `RCoordAdaptiveTref` with per-zone adaptive references,
+//! `RCoordAdaptiveTrefSsFan` adds the per-zone single-step bank, and
+//! `ECoord` runs the per-zone E-coord descent (see
+//! [`Scenario::rack_control`]).
 //!
 //! # Examples
 //!
@@ -152,13 +154,26 @@ impl Scenario {
         builder.workload(self.workload.build(self.seed)).build().run(self.horizon)
     }
 
-    /// How the solutions axis reads on a rack cell.
+    /// How the solutions axis reads on a rack cell: the full rack
+    /// solution matrix.
+    ///
+    /// | Solution | Rack control |
+    /// |----------|--------------|
+    /// | `WithoutCoordination` | global lockstep (the naive baseline) |
+    /// | `ECoord` | coordinated + per-zone E-coord descent |
+    /// | `RCoordFixedTref` | coordinated, fixed zone references |
+    /// | `RCoordAdaptiveTref` | coordinated, adaptive zone references |
+    /// | `RCoordAdaptiveTrefSsFan` | coordinated + per-zone single-step scaling |
     #[must_use]
     pub fn rack_control(solution: Solution) -> RackControl {
-        if solution.uses_rule_coordination() {
-            RackControl::Coordinated { adaptive_reference: solution.uses_adaptive_reference() }
-        } else {
-            RackControl::GlobalLockstep
+        match solution {
+            Solution::WithoutCoordination => RackControl::GlobalLockstep,
+            Solution::ECoord => RackControl::CoordinatedECoord,
+            Solution::RCoordFixedTref => RackControl::Coordinated { adaptive_reference: false },
+            Solution::RCoordAdaptiveTref => RackControl::Coordinated { adaptive_reference: true },
+            Solution::RCoordAdaptiveTrefSsFan => {
+                RackControl::CoordinatedSsFan { adaptive_reference: true }
+            }
         }
     }
 
@@ -916,6 +931,18 @@ mod tests {
         assert_eq!(
             Scenario::rack_control(Solution::RCoordAdaptiveTref),
             gfsc_coord::RackControl::Coordinated { adaptive_reference: true }
+        );
+        assert_eq!(
+            Scenario::rack_control(Solution::RCoordFixedTref),
+            gfsc_coord::RackControl::Coordinated { adaptive_reference: false }
+        );
+        assert_eq!(
+            Scenario::rack_control(Solution::RCoordAdaptiveTrefSsFan),
+            gfsc_coord::RackControl::CoordinatedSsFan { adaptive_reference: true }
+        );
+        assert_eq!(
+            Scenario::rack_control(Solution::ECoord),
+            gfsc_coord::RackControl::CoordinatedECoord
         );
         let results = grid.run();
         // 8 sockets × 61 epochs each.

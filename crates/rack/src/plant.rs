@@ -32,6 +32,18 @@ struct SocketHandles {
     server: usize,
 }
 
+/// Reusable buffers behind the non-mutating steady-state probes, so the
+/// model-inversion bisections (40+ probes per decision) run without per-
+/// probe heap allocation — the rack epoch loop's allocation-free contract
+/// extends to the model-based controllers (`tests/alloc_free_rack.rs`).
+#[derive(Debug, Clone, Default)]
+struct ProbeScratch {
+    links: Vec<(LinkId, KelvinPerWatt)>,
+    powers: Vec<(NodeId, Watts)>,
+    matrix: Vec<f64>,
+    temps: Vec<f64>,
+}
+
 /// An N-server, multi-fan-zone thermal plant on the cached RC network.
 ///
 /// # Examples
@@ -69,6 +81,11 @@ pub struct RackPlant {
     /// Zone plenum air nodes (empty when the topology has no plenum).
     plenums: Vec<NodeId>,
     ambient: Celsius,
+    /// Shared probe buffers (interior mutability: probes are logically
+    /// `&self` — they never touch the live network state).
+    probe: core::cell::RefCell<ProbeScratch>,
+    /// Per-zone fan scratch for the min-safe bisection.
+    probe_fans: core::cell::RefCell<Vec<Rpm>>,
 }
 
 impl RackPlant {
@@ -131,9 +148,19 @@ impl RackPlant {
         // Plenum air nodes after every server, one per zone, then the
         // coupling/exhaust/recirculation paths.
         if let Some(plenum) = topology.plenum() {
+            // A slotless zone still has an air volume; size it from the
+            // rack-wide mean sink capacitance (its own mean is 0/0).
+            let (rack_cap_sum, rack_sockets) =
+                zone_sink_caps.iter().fold((0.0, 0usize), |(c, k), &(cs, ks)| (c + cs, k + ks));
             for (z, zone) in topology.zones().iter().enumerate() {
                 let (cap_sum, sockets) = zone_sink_caps[z];
-                let cap = JoulesPerKelvin::new(plenum.capacitance_scale * cap_sum / sockets as f64);
+                let cap = if sockets == 0 {
+                    JoulesPerKelvin::new(
+                        plenum.capacitance_scale * rack_cap_sum / rack_sockets as f64,
+                    )
+                } else {
+                    JoulesPerKelvin::new(plenum.capacitance_scale * cap_sum / sockets as f64)
+                };
                 builder = builder.node(format!("plenum-{}", zone.name), cap, cal.ambient);
             }
             for slot in topology.servers() {
@@ -208,6 +235,8 @@ impl RackPlant {
                 plenums.push(net.node_id(&name).expect("built above"));
             }
         }
+        let nodes = net.node_names().len();
+        let links_cap = sockets.len() + zone_ids.len();
         Ok(Self {
             net,
             zones,
@@ -217,6 +246,13 @@ impl RackPlant {
             server_ranges,
             plenums,
             ambient: cal.ambient,
+            probe: core::cell::RefCell::new(ProbeScratch {
+                links: Vec::with_capacity(links_cap),
+                powers: Vec::with_capacity(nodes),
+                matrix: Vec::with_capacity(nodes * nodes),
+                temps: Vec::with_capacity(nodes),
+            }),
+            probe_fans: core::cell::RefCell::new(Vec::with_capacity(topology.zones().len())),
         })
     }
 
@@ -332,7 +368,8 @@ impl RackPlant {
         hottest
     }
 
-    /// The hottest junction among zone `z`'s sockets.
+    /// The hottest junction among zone `z`'s sockets, or the ambient for a
+    /// slotless zone (no thermal participants).
     ///
     /// # Panics
     ///
@@ -340,8 +377,11 @@ impl RackPlant {
     #[must_use]
     pub fn hottest_in_zone(&self, z: usize) -> Celsius {
         let sockets = &self.zone_sockets[z];
-        let mut hottest = self.junction(sockets[0]);
-        for &i in &sockets[1..] {
+        let Some((&first, rest)) = sockets.split_first() else {
+            return self.ambient;
+        };
+        let mut hottest = self.junction(first);
+        for &i in rest {
             hottest = hottest.max(self.junction(i));
         }
         hottest
@@ -413,11 +453,13 @@ impl RackPlant {
     /// Panics if the slice lengths disagree with the topology.
     #[must_use]
     pub fn steady_state_junctions(&self, powers: &[Watts], fans: &[Rpm]) -> Vec<Celsius> {
-        let temps = self.probe(powers, fans);
-        self.sockets.iter().map(|s| temps[s.die.index()]).collect()
+        self.probe_with(powers, fans, |plant, temps| {
+            plant.sockets.iter().map(|s| Celsius::new(temps[s.die.index()])).collect()
+        })
     }
 
-    /// The hottest steady-state junction in zone `z` at `(powers, fans)`.
+    /// The hottest steady-state junction in zone `z` at `(powers, fans)`,
+    /// or the ambient for a slotless zone.
     ///
     /// # Panics
     ///
@@ -430,34 +472,52 @@ impl RackPlant {
         powers: &[Watts],
         fans: &[Rpm],
     ) -> Celsius {
-        let temps = self.probe(powers, fans);
-        let sockets = &self.zone_sockets[z];
-        let mut hottest = temps[self.sockets[sockets[0]].die.index()];
-        for &i in &sockets[1..] {
-            hottest = hottest.max(temps[self.sockets[i].die.index()]);
+        if self.zone_sockets[z].is_empty() {
+            return self.ambient;
         }
-        hottest
+        self.probe_with(powers, fans, |plant, temps| {
+            let sockets = &plant.zone_sockets[z];
+            let mut hottest = temps[plant.sockets[sockets[0]].die.index()];
+            for &i in &sockets[1..] {
+                hottest = hottest.max(temps[plant.sockets[i].die.index()]);
+            }
+            Celsius::new(hottest)
+        })
     }
 
-    fn probe(&self, powers: &[Watts], fans: &[Rpm]) -> Vec<Celsius> {
+    /// Runs one non-mutating steady-state probe at `(powers, fans)` in the
+    /// shared scratch and reduces the solved node temperatures —
+    /// allocation-free once the buffers are warm.
+    fn probe_with<R>(
+        &self,
+        powers: &[Watts],
+        fans: &[Rpm],
+        reduce: impl FnOnce(&Self, &[f64]) -> R,
+    ) -> R {
         assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
         assert_eq!(fans.len(), self.zone_ids.len(), "one fan speed per zone");
-        let mut link_overrides: Vec<(LinkId, KelvinPerWatt)> = Vec::new();
+        let mut scratch = self.probe.borrow_mut();
+        let ProbeScratch { links, powers: power_overrides, matrix, temps } = &mut *scratch;
+        links.clear();
         for (&zone, &fan) in self.zone_ids.iter().zip(fans) {
-            self.zones.extend_overrides(zone, fan, &mut link_overrides);
+            self.zones.extend_overrides(zone, fan, links);
         }
-        let power_overrides: Vec<(NodeId, Watts)> =
-            self.sockets.iter().zip(powers).map(|(s, &p)| (s.die, p)).collect();
-        self.net.steady_state_with(&link_overrides, &power_overrides)
+        power_overrides.clear();
+        power_overrides.extend(self.sockets.iter().zip(powers).map(|(s, &p)| (s.die, p)));
+        self.net.steady_state_with_into(links, power_overrides, matrix, temps);
+        reduce(self, temps)
     }
 
     /// The minimum fan speed for zone `z` keeping every steady-state
     /// junction *in that zone* at or below `limit`, with every other
     /// zone's fan held at its entry in `fans`, or `None` if even unbounded
     /// airflow cannot (e.g. recirculated heat from a starved neighbour).
+    /// A slotless zone has nothing to guard: any speed is safe, so the
+    /// answer is 0 rpm.
     ///
     /// Deterministic bisection over the monotone zone-hottest curve, like
-    /// the multi-socket plant's inversion.
+    /// the multi-socket plant's inversion. Allocation-free once the probe
+    /// scratch is warm.
     ///
     /// # Panics
     ///
@@ -471,7 +531,14 @@ impl RackPlant {
         fans: &[Rpm],
         limit: Celsius,
     ) -> Option<Rpm> {
-        let mut probe_fans = fans.to_vec();
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        assert_eq!(fans.len(), self.zone_ids.len(), "one fan speed per zone");
+        if self.zone_sockets[z].is_empty() {
+            return Some(Rpm::new(0.0));
+        }
+        let mut probe_fans = self.probe_fans.borrow_mut();
+        probe_fans.clear();
+        probe_fans.extend_from_slice(fans);
         let at = |v: f64, probe_fans: &mut [Rpm]| {
             probe_fans[z] = Rpm::new(v);
             self.steady_state_hottest_in_zone(z, powers, probe_fans)
@@ -551,23 +618,28 @@ impl ZonePlant<'_> {
 
     /// Probe the zone's hottest steady-state junction with this zone's
     /// powers/fan overridden and the rest of the rack at its current
-    /// state.
+    /// state. Allocation-free once the probe scratch is warm; the ambient
+    /// for a slotless zone.
     fn zone_steady_state(&self, powers: &[Watts], fan: Rpm) -> Celsius {
         assert_eq!(powers.len(), self.socket_count(), "one power per zone socket");
-        let mut link_overrides: Vec<(LinkId, KelvinPerWatt)> = Vec::new();
-        self.rack.zones.extend_overrides(self.rack.zone_ids[self.zone], fan, &mut link_overrides);
-        let power_overrides: Vec<(NodeId, Watts)> = powers
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (self.rack.sockets[self.flat(i)].die, p))
-            .collect();
-        let temps = self.rack.net.steady_state_with(&link_overrides, &power_overrides);
         let sockets = &self.rack.zone_sockets[self.zone];
+        if sockets.is_empty() {
+            return self.rack.ambient;
+        }
+        let mut scratch = self.rack.probe.borrow_mut();
+        let ProbeScratch { links, powers: power_overrides, matrix, temps } = &mut *scratch;
+        links.clear();
+        self.rack.zones.extend_overrides(self.rack.zone_ids[self.zone], fan, links);
+        power_overrides.clear();
+        power_overrides.extend(
+            powers.iter().enumerate().map(|(i, &p)| (self.rack.sockets[self.flat(i)].die, p)),
+        );
+        self.rack.net.steady_state_with_into(links, power_overrides, matrix, temps);
         let mut hottest = temps[self.rack.sockets[sockets[0]].die.index()];
         for &i in &sockets[1..] {
             hottest = hottest.max(temps[self.rack.sockets[i].die.index()]);
         }
-        hottest
+        Celsius::new(hottest)
     }
 }
 
@@ -600,6 +672,9 @@ impl PlantModel for ZonePlant<'_> {
     }
 
     fn min_safe_fan_speed(&self, powers: &[Watts], limit: Celsius) -> Option<Rpm> {
+        if self.socket_count() == 0 {
+            return Some(Rpm::new(0.0));
+        }
         let (lo, hi) = (100.0, 1e6);
         if self.zone_steady_state(powers, Rpm::new(lo)) <= limit {
             return Some(Rpm::new(0.0));

@@ -100,6 +100,11 @@ pub struct RackServer {
     zone_speeds: Vec<Rpm>,
     /// The executed utilizations of the latest step.
     executed: Vec<Utilization>,
+    /// Probe scratch for [`RackServer::min_safe_zone_fan`] (no per-call
+    /// allocation).
+    probe_powers: Vec<Watts>,
+    /// Probe scratch: the frozen other-zone fan speeds.
+    probe_fans: Vec<Rpm>,
 }
 
 impl RackServer {
@@ -136,6 +141,8 @@ impl RackServer {
         let socket_powers = vec![Watts::new(0.0); plant.socket_count()];
         let zone_speeds = vec![server.fan_bounds.lo(); plant.zone_count()];
         let executed = vec![Utilization::IDLE; plant.socket_count()];
+        let probe_powers = vec![Watts::new(0.0); plant.socket_count()];
+        let probe_fans = vec![server.fan_bounds.lo(); plant.zone_count()];
         let mut rack = Self {
             spec,
             plant,
@@ -149,6 +156,8 @@ impl RackServer {
             socket_powers,
             zone_speeds,
             executed,
+            probe_powers,
+            probe_fans,
         };
         rack.refresh_measured();
         rack
@@ -337,13 +346,17 @@ impl RackServer {
     /// The minimum fan speed for zone `z` keeping its steady-state
     /// junctions at or below `limit` while every socket executes its share
     /// of rack demand `u`, other zones held at their current speeds.
+    /// Allocation-free (scratch-buffered): safe to call from the epoch
+    /// loop, e.g. on a single-step descent.
     #[must_use]
-    pub fn min_safe_zone_fan(&self, z: usize, u: Utilization, limit: Celsius) -> Option<Rpm> {
-        let powers: Vec<Watts> = (0..self.socket_count())
-            .map(|i| self.spec.server.cpu_power.power(self.socket_demand(i, u)))
-            .collect();
-        let fans: Vec<Rpm> = self.fans.iter().map(FanActuator::speed).collect();
-        self.plant.min_safe_zone_fan(z, &powers, &fans, limit)
+    pub fn min_safe_zone_fan(&mut self, z: usize, u: Utilization, limit: Celsius) -> Option<Rpm> {
+        for i in 0..self.probe_powers.len() {
+            self.probe_powers[i] = self.spec.server.cpu_power.power(self.socket_demand(i, u));
+        }
+        for (slot, fan) in self.probe_fans.iter_mut().zip(&self.fans) {
+            *slot = fan.speed();
+        }
+        self.plant.min_safe_zone_fan(z, &self.probe_powers, &self.probe_fans, limit)
     }
 
     /// Advances the rack by `dt` with per-socket executed utilizations:
@@ -377,12 +390,17 @@ impl RackServer {
         self.refresh_measured();
     }
 
-    /// Recomputes the per-zone max aggregates from the chain outputs.
+    /// Recomputes the per-zone max aggregates from the chain outputs. A
+    /// slotless zone has no sensors; it reads the ambient.
     fn refresh_measured(&mut self) {
         for z in 0..self.measured_zone.len() {
             let sockets = self.plant.zone_sockets(z);
-            let mut hottest = self.pipelines[sockets[0]].current();
-            for &i in &sockets[1..] {
+            let Some((&first, rest)) = sockets.split_first() else {
+                self.measured_zone[z] = self.spec.server.ambient;
+                continue;
+            };
+            let mut hottest = self.pipelines[first].current();
+            for &i in rest {
                 hottest = hottest.max(self.pipelines[i].current());
             }
             self.measured_zone[z] = Celsius::new(hottest);

@@ -277,29 +277,44 @@ impl RackTopology {
         self.servers.iter().map(|s| s.board.sockets().len()).sum()
     }
 
+    /// Whether zone `z` has at least one server slot. Partially-populated
+    /// racks legitimately carry *slotless* zones (a fan wall whose bays are
+    /// empty); controllers and reference schedulers must not treat such a
+    /// zone as a thermal participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn zone_is_populated(&self, z: usize) -> bool {
+        assert!(z < self.zones.len(), "zone {z} out of range");
+        self.servers.iter().any(|slot| slot.zone == z)
+    }
+
     /// Validates internal consistency.
+    ///
+    /// A zone with no server slots is *allowed* (a fan wall over empty
+    /// bays in a partially-populated rack); it still needs at least one
+    /// fan.
     ///
     /// # Panics
     ///
     /// Panics if there are no zones or servers, a slot references an
-    /// unknown zone, a zone has no servers or no fans, derates/weights are
-    /// not positive, the load weights do not average 1, or a board fails
-    /// its own validation.
+    /// unknown zone, a zone has no fans, derates/weights are not positive,
+    /// the load weights do not average 1, or a board fails its own
+    /// validation.
     pub fn validate(&self) {
         assert!(!self.zones.is_empty(), "rack needs at least one zone");
         assert!(!self.servers.is_empty(), "rack needs at least one server");
-        let mut zone_population = vec![0usize; self.zones.len()];
         let mut weight_sum = 0.0;
         for slot in &self.servers {
             assert!(slot.zone < self.zones.len(), "slot `{}` references unknown zone", slot.name);
-            zone_population[slot.zone] += 1;
             assert!(slot.airflow_derate > 0.0, "slot `{}` derate must be positive", slot.name);
             assert!(slot.load_weight > 0.0, "slot `{}` load weight must be positive", slot.name);
             weight_sum += slot.load_weight;
             slot.board.validate();
         }
-        for (zone, population) in self.zones.iter().zip(&zone_population) {
-            assert!(*population > 0, "zone `{}` serves no servers", zone.name);
+        for zone in &self.zones {
             assert!(zone.fans > 0, "zone `{}` needs at least one fan", zone.name);
         }
         let mean = weight_sum / self.servers.len() as f64;
@@ -386,14 +401,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "serves no servers")]
-    fn empty_zone_rejected() {
-        let _ = RackTopology::new(
-            "bad",
+    fn slotless_zone_is_allowed_but_unpopulated() {
+        // A fan wall over empty bays: legal (partially-populated rack),
+        // but flagged unpopulated so controllers can skip it.
+        let rack = RackTopology::new(
+            "partial",
             vec![
                 RackZoneDef { name: "z0".to_owned(), fans: 1 },
-                RackZoneDef { name: "z1".to_owned(), fans: 1 },
+                RackZoneDef { name: "z1".to_owned(), fans: 2 },
             ],
+            vec![ServerSlot {
+                name: "srv0".to_owned(),
+                zone: 0,
+                board: Topology::single_socket(),
+                airflow_derate: 1.0,
+                load_weight: 1.0,
+            }],
+            None,
+        );
+        assert!(rack.zone_is_populated(0));
+        assert!(!rack.zone_is_populated(1));
+        assert_eq!(rack.total_sockets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one fan")]
+    fn fanless_zone_rejected() {
+        let _ = RackTopology::new(
+            "bad",
+            vec![RackZoneDef { name: "z0".to_owned(), fans: 0 }],
             vec![ServerSlot {
                 name: "srv0".to_owned(),
                 zone: 0,

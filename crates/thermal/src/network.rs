@@ -512,8 +512,8 @@ impl RcNetwork {
                 (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
             }
         }
-        let x = solve_dense(&mut a, &mut b, n);
-        self.temperatures = x;
+        solve_dense(&mut a, &mut b, n);
+        self.temperatures.copy_from_slice(&b);
     }
 
     /// Assembles `C/dt + G` into the factor buffer and LU-factorizes it in
@@ -582,6 +582,28 @@ impl RcNetwork {
         link_overrides: &[(LinkId, KelvinPerWatt)],
         power_overrides: &[(NodeId, Watts)],
     ) -> Vec<Celsius> {
+        let mut matrix = Vec::new();
+        let mut temps = Vec::new();
+        self.steady_state_with_into(link_overrides, power_overrides, &mut matrix, &mut temps);
+        temps.into_iter().map(Celsius::new).collect()
+    }
+
+    /// [`RcNetwork::steady_state_with`] writing into caller-provided
+    /// buffers: `matrix` holds the assembled `n × n` system, `out` the
+    /// solved temperatures (indexed by [`NodeId::index`]). With warm
+    /// buffers the probe performs **zero** heap allocations — the variant
+    /// model-inversion bisections (40+ probes per decision) run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override handle does not belong to this network.
+    pub fn steady_state_with_into(
+        &self,
+        link_overrides: &[(LinkId, KelvinPerWatt)],
+        power_overrides: &[(NodeId, Watts)],
+        matrix: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
         let n = self.node_names.len();
         let conductance = |idx: usize| -> f64 {
             link_overrides
@@ -589,8 +611,11 @@ impl RcNetwork {
                 .find(|(id, _)| id.0 == idx)
                 .map_or(self.links[idx].conductance, |(_, r)| 1.0 / r.value())
         };
-        let mut a = vec![0.0; n * n];
-        let mut b = self.powers.clone();
+        matrix.clear();
+        matrix.resize(n * n, 0.0);
+        out.clear();
+        out.extend_from_slice(&self.powers);
+        let (a, b) = (matrix, out);
         for (id, p) in power_overrides {
             b[id.0] = p.value();
         }
@@ -611,7 +636,7 @@ impl RcNetwork {
                 (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
             }
         }
-        solve_dense(&mut a, &mut b, n).into_iter().map(Celsius::new).collect()
+        solve_dense(a, b, n);
     }
 }
 
@@ -682,9 +707,10 @@ fn lu_solve(a: &[f64], piv: &[usize], b: &mut [f64], n: usize) {
 }
 
 /// Solves `A·x = b` (row-major `a`, length `n²`) by Gaussian elimination
-/// with partial pivoting. The assembled thermal matrices are strictly
-/// diagonally dominant, hence non-singular.
-fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+/// with partial pivoting, overwriting `b` with `x` — allocation-free. The
+/// assembled thermal matrices are strictly diagonally dominant, hence
+/// non-singular.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) {
     for col in 0..n {
         // Partial pivot.
         let mut pivot = col;
@@ -712,15 +738,16 @@ fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
             b[row] -= factor * b[col];
         }
     }
-    let mut x = vec![0.0; n];
+    // Back-substitution in place: `b[k]` for `k > row` already holds the
+    // solved `x[k]`, so overwriting `b` reproduces the out-of-place
+    // arithmetic bit for bit.
     for row in (0..n).rev() {
         let mut sum = b[row];
         for k in (row + 1)..n {
-            sum -= a[row * n + k] * x[k];
+            sum -= a[row * n + k] * b[k];
         }
-        x[row] = sum / a[row * n + row];
+        b[row] = sum / a[row * n + row];
     }
-    x
 }
 
 #[cfg(test)]

@@ -1,13 +1,17 @@
-//! Rack-scale control: the naive global loop vs the coordinated
-//! two-layer controller (per-socket cappers + per-zone fan loops under a
-//! rack coordinator).
+//! Rack-scale control: the full solution matrix — global lockstep vs the
+//! coordinated two-layer controller, per-zone single-step fan scaling,
+//! and the per-zone E-coord descent.
 //!
 //! A rack couples everything a single server couples, one level up: fan
 //! *zones* (front/rear walls) serve sets of servers through a shared
-//! plenum, so the naive move — one PID on the rack-wide max temperature
-//! driving every wall in lockstep, one capper capping every socket —
-//! overpays in fan energy (the cool wall spins as fast as the hot one)
-//! and in performance (one hot socket caps the whole rack). This example
+//! plenum, so the naive move — one PID pairing the rack-wide max
+//! temperature with the fastest wall's speed and driving every wall in
+//! lockstep, one capper capping every socket — overpays in fan energy
+//! (the cool wall spins as fast as the hot one) and in performance (one
+//! hot socket caps the whole rack). The lifted modes run the paper's
+//! remaining solutions per zone: single-step scaling boosts only the wall
+//! whose sockets are violating (Section V-C per zone), and the E-coord
+//! descent sizes each wall from the zone's own plant view. This example
 //! runs the comparison study and then zooms into one coordinated run's
 //! per-zone traces.
 //!
@@ -20,15 +24,21 @@ use gfsc::Solution;
 use gfsc_units::Seconds;
 
 fn main() {
-    println!("== gfsc rack study: many fans, many sockets, one coordinator ==\n");
+    println!("== gfsc rack study: the full solution matrix, one coordinator ==\n");
 
     let rows = run(&RackStudyConfig::default());
     println!("{}", to_markdown(&rows));
+    println!(
+        "\nlockstep             = one PID, every wall in lockstep (naive baseline)\n\
+         coordinated[+adaptive] = per-zone fan loops + capper bank under the rack coordinator\n\
+         coordinated+ss       = + per-zone single-step fan scaling (paper Section V-C per zone)\n\
+         coordinated+e-coord  = per-zone energy-first descent on the zone plant views"
+    );
 
-    // Zoom: per-zone traces of one coordinated 1U×8 run.
+    // Zoom: per-zone traces of one coordinated+SS 1U×8 run.
     let results = ScenarioGrid::builder()
         .horizon(Seconds::new(900.0))
-        .solutions(&[Solution::RCoordAdaptiveTref])
+        .solutions(&[Solution::RCoordAdaptiveTrefSsFan])
         .seeds(&[42])
         .rack_variant(RackTopology::rack_1u_x8())
         .keep_traces(true)
@@ -54,6 +64,9 @@ fn main() {
     println!(
         "\nThe rear wall breathes pre-heated, recirculated air, so its fans run\n\
          faster; the front wall is allowed to slow down — that asymmetry is\n\
-         where the coordinated controller's fan-energy saving comes from."
+         where the coordinated controller's fan-energy saving comes from. A\n\
+         demand spike that caps only one wall's sockets boosts only that wall\n\
+         (per-zone single-step), and the E-coord row shows the energy-first\n\
+         floor: each wall at the cheapest speed its zone's model allows."
     );
 }

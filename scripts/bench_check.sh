@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Bench-regression gate: re-measures the cached-step and closed-loop
-# throughput metrics and fails on a >30 % regression against the committed
+# throughput metrics (server, coordinated rack, and the SS/E-coord rack
+# modes) and fails on a >30 % regression against the committed
 # BENCH_<date>.json baseline.
 #
 #     ./scripts/bench_check.sh                   # newest committed baseline

@@ -39,10 +39,17 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-fn allocations_for(horizon: Seconds) -> u64 {
+fn allocations_for(control: RackControl, horizon: Seconds) -> u64 {
+    // Spiking workload: the single-step bank must actually boost/release
+    // (the release path runs the min-safe bisection) and the E-coord
+    // descent must hit emergencies, or the probe paths go unmeasured.
+    let workload = Workload::builder(SquareWave::date14())
+        .gaussian_noise(0.04, 5)
+        .spikes(1.0 / 180.0, Seconds::new(30.0), 0.8, 6)
+        .build();
     let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
-        .workload(Workload::builder(SquareWave::date14()).build())
-        .control(RackControl::Coordinated { adaptive_reference: true })
+        .workload(workload)
+        .control(control)
         .build();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let outcome = sim.run(horizon);
@@ -53,16 +60,24 @@ fn allocations_for(horizon: Seconds) -> u64 {
 
 #[test]
 fn rack_epoch_loop_does_not_allocate_per_epoch() {
-    // Warm up one run so lazily-initialized process state doesn't skew the
-    // first measurement.
-    let _ = allocations_for(Seconds::new(120.0));
-    let short = allocations_for(Seconds::new(600.0));
-    let long = allocations_for(Seconds::new(2400.0));
-    // 1800 extra epochs — each arbitrating 8 cappers, two zone fan loops
-    // and 17 trace channels — must add zero allocations; allow a tiny
-    // jitter margin for the test harness itself.
-    assert!(
-        long <= short + 4,
-        "allocation count grew with horizon: {short} allocs @600s vs {long} @2400s"
-    );
+    for control in [
+        RackControl::Coordinated { adaptive_reference: true },
+        RackControl::CoordinatedSsFan { adaptive_reference: true },
+        RackControl::CoordinatedECoord,
+    ] {
+        // Warm up one run so lazily-initialized process state doesn't skew
+        // the first measurement.
+        let _ = allocations_for(control, Seconds::new(120.0));
+        let short = allocations_for(control, Seconds::new(600.0));
+        let long = allocations_for(control, Seconds::new(2400.0));
+        // 1800 extra epochs — each arbitrating 8 cappers, two zone fan
+        // loops, 17 trace channels, and (in the lifted modes) model
+        // inversions through the scratch-buffered probes — must add zero
+        // allocations; allow a tiny jitter margin for the test harness
+        // itself.
+        assert!(
+            long <= short + 4,
+            "{control:?}: allocation count grew with horizon: {short} allocs @600s vs {long} @2400s"
+        );
+    }
 }

@@ -94,19 +94,25 @@ fn multi_socket_sweep_matches_serial_byte_for_byte() {
 fn rack_sweep_matches_serial_byte_for_byte() {
     use gfsc::rack::RackTopology;
     use gfsc::sweep::ScenarioGrid;
-    // Rack cells run the whole two-layer stack (multi-zone plant, capper
-    // bank, coordinator, per-zone fan loops) across threads; results must
-    // still be bitwise equal to the serial walk.
+    // Rack cells run the whole solution matrix (multi-zone plant, capper
+    // bank, coordinator, per-zone fan loops, the single-step bank and the
+    // E-coord zone descent) across threads; results must still be bitwise
+    // equal to the serial walk.
     let grid = ScenarioGrid::builder()
         .horizon(Seconds::new(150.0))
-        .solutions(&[Solution::WithoutCoordination, Solution::RCoordAdaptiveTref])
+        .solutions(&[
+            Solution::WithoutCoordination,
+            Solution::RCoordAdaptiveTref,
+            Solution::RCoordAdaptiveTrefSsFan,
+            Solution::ECoord,
+        ])
         .seeds(&[1, 2])
         .rack_variant(RackTopology::rack_1u_x8())
         .rack_variant(RackTopology::rack_2u_x4())
         .build();
     let parallel = grid.run_with_workers(4);
     let serial = grid.run_serial();
-    assert_eq!(parallel.len(), 8);
+    assert_eq!(parallel.len(), 16);
     for (p, s) in parallel.iter().zip(&serial) {
         assert!(p.label.starts_with("rack-"), "rack axis missing from {}", p.label);
         assert_eq!(p.label, s.label);
