@@ -10,9 +10,11 @@
 //! - trace recording: 8 channels by name vs by pre-resolved handle,
 //! - epoch rate: simulated seconds per wall-clock second of the full
 //!   closed loop, of the coordinated rack loop (capper bank +
-//!   coordinator + per-zone fan loops on the 1U×8 rack), and of the
+//!   coordinator + per-zone fan loops on the 1U×8 rack), of the
 //!   lifted rack modes (per-zone single-step bank + per-zone E-coord
-//!   descent, exercising the scratch-buffered steady-state probes),
+//!   descent, exercising the scratch-buffered steady-state probes), and
+//!   of the rack-global energy descent (joint Gauss–Seidel fan sizing on
+//!   the strongly-coupled shared-plenum rack),
 //! - table3: the five-solution sweep, serial vs parallel at several worker
 //!   counts, with a bit-identity check between the two paths,
 //! - ablations: a reduced lag sweep, serial vs parallel,
@@ -23,8 +25,9 @@
 //!
 //! `--check` switches to regression-gate mode: instead of writing a new
 //! snapshot, it re-measures the cached-step, rack-step and closed-loop
-//! throughput metrics (server, coordinated rack, and the SS/E-coord rack
-//! modes; best of three), compares them against the committed baseline,
+//! throughput metrics (server, coordinated rack, the SS/E-coord rack
+//! modes, and the global-E-coord rack loop; best of three), compares
+//! them against the committed baseline,
 //! and exits non-zero on any regression beyond the tolerance (default
 //! 30 %, override with `GFSC_BENCH_TOLERANCE=0.5`). `scripts/bench_check.sh`
 //! wraps this for CI.
@@ -138,6 +141,8 @@ fn main() {
     println!("rack coordinated loop: {rack_rate:.0} simulated s / wall s");
     let rack_ss_ecoord_rate = rack_ss_ecoord_sim_rate();
     println!("rack SS + E-coord loops: {rack_ss_ecoord_rate:.0} simulated s / wall s");
+    let rack_global_ecoord_rate = rack_global_ecoord_sim_rate();
+    println!("rack global E-coord loop: {rack_global_ecoord_rate:.0} simulated s / wall s");
 
     // --- table3 sweep: serial vs parallel --------------------------------
     let grid = ScenarioGrid::builder()
@@ -224,7 +229,8 @@ fn main() {
          \"closed_loop\": {{\n    \"sim_seconds_per_wall_second\": {sim_rate:.1}\n  }},\n  \
          \"rack_loop\": {{\n    \
          \"coordinated_sim_seconds_per_wall_second\": {rack_rate:.1},\n    \
-         \"coordinated_ss_ecoord_sim_seconds_per_wall_second\": {rack_ss_ecoord_rate:.1}\n  }},\n  \
+         \"coordinated_ss_ecoord_sim_seconds_per_wall_second\": {rack_ss_ecoord_rate:.1},\n    \
+         \"global_ecoord_sim_seconds_per_wall_second\": {rack_global_ecoord_rate:.1}\n  }},\n  \
          \"table3\": {{\n    \"horizon_s\": {table3_horizon},\n    \
          \"serial_seconds\": {table3_serial_s:.4},\n    \
          \"by_workers\": [{worker_rows}],\n    \
@@ -297,6 +303,25 @@ fn rack_ss_ecoord_sim_rate() -> f64 {
     2.0 * horizon / wall
 }
 
+/// Simulated seconds per wall second of the rack-global energy descent on
+/// the shared-plenum rack — the strongly-coupled geometry whose joint
+/// Gauss–Seidel fan sizing (whole-rack min-safe probes, several sweeps
+/// per fan epoch) is the mode's hot path — under the same spiking
+/// workload as the per-zone probe.
+fn rack_global_ecoord_sim_rate() -> f64 {
+    let horizon = 600.0;
+    let workload = Workload::builder(SquareWave::date14())
+        .gaussian_noise(0.04, 5)
+        .spikes(1.0 / 180.0, Seconds::new(30.0), 0.8, 6)
+        .build();
+    let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::shared_plenum(4)))
+        .workload(workload)
+        .control(RackControl::GlobalECoord)
+        .build();
+    let (_, secs) = time(|| sim.run(Seconds::new(horizon)));
+    horizon / secs
+}
+
 /// The shared 4S benchmark plant (Table I calibration per socket).
 fn quad_socket_plant() -> MultiSocketPlant {
     let cal = PlantCalibration {
@@ -350,6 +375,7 @@ fn run_check(baseline_path: &str) -> i32 {
     let rack_8s = best3(Box::new(time_rack_8s_step));
     let rack_rate_cost = best3(Box::new(|| 1.0 / rack_coord_sim_rate()));
     let rack_ss_ecoord_cost = best3(Box::new(|| 1.0 / rack_ss_ecoord_sim_rate()));
+    let rack_global_ecoord_cost = best3(Box::new(|| 1.0 / rack_global_ecoord_sim_rate()));
 
     let mut failed = false;
     let mut check =
@@ -384,6 +410,12 @@ fn run_check(baseline_path: &str) -> i32 {
         "rack SS/E-coord throughput",
         "coordinated_ss_ecoord_sim_seconds_per_wall_second",
         rack_ss_ecoord_cost,
+        |rate| 1.0 / rate,
+    );
+    check(
+        "rack global-E-coord throughput",
+        "global_ecoord_sim_seconds_per_wall_second",
+        rack_global_ecoord_cost,
         |rate| 1.0 / rate,
     );
 

@@ -26,7 +26,10 @@
 //! which socket to cap, [`ZoneReferences`] setting topology-aware per-zone
 //! fan references, [`ZoneSsFanBank`] lifting single-step fan scaling to
 //! per-zone fan walls, [`ZoneEnergyCoordinator`] lifting the E-coord
-//! descent onto per-zone `PlantModel` views, and [`RackLoopSim`] closing
+//! descent onto per-zone `PlantModel` views, [`RackEnergyDescent`] sizing
+//! every wall jointly against the full coupled rack, [`WorkMigrator`]
+//! moving work away from hot servers instead of capping it (Van
+//! Damme-style thermal-aware scheduling), and [`RackLoopSim`] closing
 //! the loop — the full [`RackControl`] solution matrix against the
 //! deliberately-naive [`RackControl::GlobalLockstep`] baseline.
 //!
@@ -51,6 +54,8 @@
 mod capper;
 mod coordinator;
 mod fanctl;
+mod global_ecoord;
+mod migrate;
 mod rack;
 mod reference;
 mod runner;
@@ -64,6 +69,8 @@ pub use coordinator::{
     FanDirection, RuleBasedCoordinator, Uncoordinated,
 };
 pub use fanctl::{DeadzoneFan, FanController, FixedPidFan};
+pub use global_ecoord::RackEnergyDescent;
+pub use migrate::{Migration, WorkMigrator};
 pub use rack::{
     CappingCoordinator, IntegralCapper, RackControl, RackLoopSim, RackLoopSimBuilder,
     RackRunOutcome, ZoneReferences,

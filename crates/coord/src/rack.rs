@@ -30,8 +30,8 @@
 //!   model-minimal airflow sized through the per-zone `PlantModel` views.
 
 use crate::{
-    AdaptiveReference, FanController, FixedPidFan, SingleStepFanScaling, SsFanAction,
-    ZoneEnergyCoordinator, ZoneSsFanBank,
+    AdaptiveReference, FanController, FixedPidFan, RackEnergyDescent, SingleStepFanScaling,
+    SsFanAction, WorkMigrator, ZoneEnergyCoordinator, ZoneSsFanBank,
 };
 use gfsc_control::{AdaptivePid, GainSchedule, PidGains};
 use gfsc_rack::{RackServer, RackSpec};
@@ -327,6 +327,55 @@ pub enum RackControl {
     /// view. The integral capper bank is bypassed — E-coord brings its
     /// own cap policy, exactly as it does on a single server.
     CoordinatedECoord,
+    /// The rack-global energy descent ([`RackEnergyDescent`]): the same
+    /// per-zone energy-first cap policy as
+    /// [`RackControl::CoordinatedECoord`], but every fan wall is sized
+    /// *jointly* against the full coupled rack (Gauss–Seidel over the
+    /// whole-rack min-safe probes) instead of through frozen per-zone
+    /// views — one zone's boost traded against a plenum-coupled
+    /// neighbour's release inside the solver.
+    GlobalECoord,
+    /// [`RackControl::Coordinated`] plus the [`WorkMigrator`]: before the
+    /// capper bank cuts a hot socket, a slice of its server's demand
+    /// weight is shifted to a thermally-headroomed server behind another
+    /// fan wall (budgeted, hottest-first, reversed on cool-down) — move
+    /// the job, not the cap.
+    MigratingCoordinated {
+        /// Adapt each zone's fan reference to its predicted demand.
+        adaptive_reference: bool,
+    },
+}
+
+impl RackControl {
+    /// Every control mode, matrix order (baseline first, the two
+    /// rack-native extensions last).
+    pub const ALL: [RackControl; 7] = [
+        RackControl::GlobalLockstep,
+        RackControl::Coordinated { adaptive_reference: false },
+        RackControl::Coordinated { adaptive_reference: true },
+        RackControl::CoordinatedSsFan { adaptive_reference: true },
+        RackControl::CoordinatedECoord,
+        RackControl::GlobalECoord,
+        RackControl::MigratingCoordinated { adaptive_reference: true },
+    ];
+
+    /// The short display name used in study tables and sweep labels.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RackControl::GlobalLockstep => "lockstep",
+            RackControl::Coordinated { adaptive_reference: false } => "coordinated",
+            RackControl::Coordinated { adaptive_reference: true } => "coordinated+adaptive",
+            RackControl::CoordinatedSsFan { adaptive_reference: false } => "coordinated+ss-fixed",
+            RackControl::CoordinatedSsFan { adaptive_reference: true } => "coordinated+ss",
+            RackControl::CoordinatedECoord => "coordinated+e-coord",
+            RackControl::GlobalECoord => "global-e-coord",
+            RackControl::MigratingCoordinated { adaptive_reference: false } => {
+                "coordinated+migrate-fixed"
+            }
+            RackControl::MigratingCoordinated { adaptive_reference: true } => "coordinated+migrate",
+        }
+    }
 }
 
 /// Everything a finished rack run reports.
@@ -365,6 +414,8 @@ pub struct RackLoopSimBuilder {
     single_step: SingleStepFanScaling,
     monitor_window: usize,
     energy_coordinator: ZoneEnergyCoordinator,
+    energy_descent: RackEnergyDescent,
+    work_migrator: WorkMigrator,
     start_utilization: Utilization,
     start_fan: Rpm,
 }
@@ -474,6 +525,24 @@ impl RackLoopSimBuilder {
         self
     }
 
+    /// Replaces the rack-global descent used by
+    /// [`RackControl::GlobalECoord`] (default
+    /// [`RackEnergyDescent::date14_rack`]).
+    #[must_use]
+    pub fn energy_descent(mut self, descent: RackEnergyDescent) -> Self {
+        self.energy_descent = descent;
+        self
+    }
+
+    /// Replaces the work migrator used by
+    /// [`RackControl::MigratingCoordinated`] (default
+    /// [`WorkMigrator::date14_rack`]).
+    #[must_use]
+    pub fn work_migrator(mut self, migrator: WorkMigrator) -> Self {
+        self.work_migrator = migrator;
+        self
+    }
+
     /// Starts the run from thermal equilibrium at this operating point
     /// (default: `u = 0.1`, every zone at 1500 rpm).
     #[must_use]
@@ -536,6 +605,13 @@ impl RackLoopSimBuilder {
             (0..zones).map(|z| server.plant().zone_sockets(z).len()).max().unwrap_or(0);
         let socket_zone: Vec<usize> =
             (0..sockets).map(|i| server.plant().zone_of_socket(i)).collect();
+        let descent = matches!(self.control, RackControl::GlobalECoord).then(|| {
+            let mut descent = self.energy_descent.clone();
+            descent.bind(zones);
+            descent
+        });
+        let migrator = matches!(self.control, RackControl::MigratingCoordinated { .. })
+            .then(|| self.work_migrator.clone());
 
         RackLoopSim {
             server,
@@ -552,6 +628,8 @@ impl RackLoopSimBuilder {
             references,
             ss,
             ecoord: self.energy_coordinator,
+            descent,
+            migrator,
             demand_filter: MovingAverage::new(30),
             caps: vec![Utilization::FULL; sockets],
             zone_caps: vec![Utilization::FULL; zones],
@@ -560,6 +638,7 @@ impl RackLoopSimBuilder {
             executed: vec![self.start_utilization; sockets],
             measured: vec![self.spec.server.ambient; sockets],
             zone_powers: vec![Watts::new(0.0); max_zone_sockets],
+            rack_powers: vec![Watts::new(0.0); sockets],
             zone_violated: vec![0; zones],
             socket_zone,
             violations: 0,
@@ -607,6 +686,10 @@ pub struct RackLoopSim {
     ss: Option<ZoneSsFanBank>,
     /// The per-zone E-coord policy (CoordinatedECoord only).
     ecoord: ZoneEnergyCoordinator,
+    /// The rack-global fan descent (GlobalECoord only).
+    descent: Option<RackEnergyDescent>,
+    /// The load-weight migrator (MigratingCoordinated only).
+    migrator: Option<WorkMigrator>,
     /// Predicted rack demand (the single-server 30-sample filter) feeding
     /// the single-step release descent.
     demand_filter: MovingAverage,
@@ -620,6 +703,9 @@ pub struct RackLoopSim {
     measured: Vec<Celsius>,
     /// Per-zone executing-power scratch for the E-coord view probes.
     zone_powers: Vec<Watts>,
+    /// Whole-rack executing-power scratch for the global descent's joint
+    /// probes.
+    rack_powers: Vec<Watts>,
     /// Per-zone violated-socket scratch for the single-step windows.
     zone_violated: Vec<usize>,
     /// Flat socket → zone map, resolved once.
@@ -651,6 +737,8 @@ impl RackLoopSim {
             single_step: SingleStepFanScaling::new(0.3),
             monitor_window: 10,
             energy_coordinator: ZoneEnergyCoordinator::date14_rack(),
+            energy_descent: RackEnergyDescent::date14_rack(),
+            work_migrator: WorkMigrator::date14_rack(),
             start_utilization: Utilization::new(0.1),
             start_fan: Rpm::new(1500.0),
         }
@@ -739,7 +827,16 @@ impl RackLoopSim {
                 }
             }
             RackControl::Coordinated { adaptive_reference }
-            | RackControl::CoordinatedSsFan { adaptive_reference } => {
+            | RackControl::CoordinatedSsFan { adaptive_reference }
+            | RackControl::MigratingCoordinated { adaptive_reference } => {
+                // Layer 0 (MigratingCoordinated): before anything is cut,
+                // try *moving* the hottest server's work to a headroomed
+                // server behind another wall; demands re-derive from the
+                // shifted weights.
+                if let Some(migrator) = &mut self.migrator {
+                    migrator.rebalance(&mut self.server, &self.measured);
+                    self.server.socket_demands(demand, &mut demands);
+                }
                 // Layer 1: per-socket integral capper proposals.
                 for i in 0..sockets {
                     self.proposed[i] = self.capper.propose(self.measured[i], self.caps[i]);
@@ -841,6 +938,51 @@ impl RackLoopSim {
                         self.server.set_zone_fan_target(z, target);
                     }
                     self.zone_caps[z] = self.ecoord.next_cap(zone_measured, current);
+                }
+                for i in 0..sockets {
+                    self.caps[i] = self.zone_caps[self.socket_zone[i]];
+                }
+            }
+            RackControl::GlobalECoord => {
+                // The per-zone E-coord policy on every zone's cap, but the
+                // fan side solved jointly: every wall sized at once
+                // against the full coupled rack at the powers currently
+                // executing.
+                let cpu_power = self.server.spec().server.cpu_power;
+                let bounds = self.server.spec().server.fan_bounds;
+                let descent = self.descent.as_mut().expect("built for GlobalECoord");
+                for i in 0..sockets {
+                    self.rack_powers[i] = cpu_power.power(self.server.executed()[i]);
+                }
+                descent.begin_epoch();
+                for z in 0..zones {
+                    descent.seed(z, self.server.zone_fan_speed(z));
+                    let zone_measured = self.server.measured_zone(z);
+                    if descent.policy().is_emergency(zone_measured) {
+                        if self.zone_caps[z] <= descent.policy().cap_floor() {
+                            // Cap pinned at its floor: the wall is the only
+                            // knob left — to maximum, every epoch, exactly
+                            // like the per-zone mode; the neighbours size
+                            // against that fact.
+                            descent.seed(z, bounds.hi());
+                            self.server.set_zone_fan_target(z, bounds.hi());
+                        }
+                        // An emergency wall (pinned or holding) does not
+                        // join the descent this epoch.
+                        descent.freeze(z);
+                    }
+                }
+                if fan_due {
+                    descent.descend(self.server.plant(), &self.rack_powers, bounds);
+                    for z in 0..zones {
+                        if !descent.is_frozen(z) {
+                            self.server.set_zone_fan_target(z, descent.target(z));
+                        }
+                    }
+                }
+                for z in 0..zones {
+                    self.zone_caps[z] =
+                        descent.next_cap(self.server.measured_zone(z), self.zone_caps[z]);
                 }
                 for i in 0..sockets {
                     self.caps[i] = self.zone_caps[self.socket_zone[i]];
@@ -1085,6 +1227,8 @@ mod tests {
             RackControl::Coordinated { adaptive_reference: true },
             RackControl::CoordinatedSsFan { adaptive_reference: true },
             RackControl::CoordinatedECoord,
+            RackControl::GlobalECoord,
+            RackControl::MigratingCoordinated { adaptive_reference: true },
         ] {
             let mut sim = RackLoopSim::builder(partial_rack())
                 .workload(Workload::builder(Constant::new(0.6)).build())

@@ -114,4 +114,84 @@ proptest! {
         let clamped = bounds.clamp(Rpm::saturating_new(v));
         prop_assert!(bounds.contains(clamped));
     }
+
+    /// The rack arbitration layer's contract, fuzzed over socket counts,
+    /// budgets, measurements and proposals:
+    ///
+    /// - the per-epoch cut budget is never exceeded (emergency cuts
+    ///   excepted — they bypass the budget by design),
+    /// - every enforced cap is granted *from the proposal* or held — the
+    ///   coordinator never invents a value, and never moves a cap against
+    ///   its proposal's direction (grants are monotone in proposals),
+    /// - raises below the emergency limit always pass,
+    /// - a socket at or above the emergency limit never ends the epoch
+    ///   with a *higher* cap (emergencies only fast-track cuts),
+    /// - budgeted cuts go to the hottest proposers first (stable: lowest
+    ///   index wins ties).
+    #[test]
+    fn arbitrate_invariants(
+        budget in 1usize..5,
+        measured in proptest::collection::vec(70.0f64..=84.0, 1..10),
+        cap_bits in proptest::collection::vec(0.05f64..=1.0, 1..10),
+        prop_bits in proptest::collection::vec(0.05f64..=1.0, 1..10),
+    ) {
+        use gfsc_coord::CappingCoordinator;
+        let n = measured.len().min(cap_bits.len()).min(prop_bits.len());
+        let t_emergency = Celsius::new(80.0);
+        let measured: Vec<Celsius> = measured[..n].iter().map(|&t| Celsius::new(t)).collect();
+        let before: Vec<Utilization> = cap_bits[..n].iter().map(|&c| Utilization::new(c)).collect();
+        let proposed: Vec<Utilization> =
+            prop_bits[..n].iter().map(|&p| Utilization::new(p)).collect();
+        let mut caps = before.clone();
+        let mut coord = CappingCoordinator::new(n, budget, t_emergency);
+        coord.arbitrate(&measured, &mut caps, &proposed);
+
+        let mut non_emergency_cuts = 0;
+        for i in 0..n {
+            let emergency = measured[i] >= t_emergency;
+            // Enforced value is the hold, the proposal, or (emergency
+            // raise) the clamp back to the current cap — never invented.
+            prop_assert!(
+                caps[i] == before[i] || caps[i] == proposed[i] || caps[i] == proposed[i].min(before[i]),
+                "socket {i} got an invented cap {:?} (was {:?}, proposed {:?})",
+                caps[i], before[i], proposed[i]
+            );
+            // Monotone in the proposal: never past it, never opposite it.
+            if proposed[i] >= before[i] {
+                prop_assert!(caps[i] >= before[i] && caps[i] <= proposed[i].max(before[i]));
+            } else {
+                prop_assert!(caps[i] <= before[i] && caps[i] >= proposed[i]);
+            }
+            if emergency {
+                prop_assert!(caps[i] <= before[i], "emergency raised socket {i}");
+            } else if proposed[i] >= before[i] {
+                prop_assert_eq!(caps[i], proposed[i], "sub-emergency raise dropped");
+            } else if caps[i] < before[i] {
+                non_emergency_cuts += 1;
+            }
+        }
+        prop_assert!(
+            non_emergency_cuts <= budget,
+            "{non_emergency_cuts} budgeted cuts granted with budget {budget}"
+        );
+        // Hottest-first: a granted budgeted cut is never cooler than a
+        // denied one (stable ties: lower index wins).
+        for i in 0..n {
+            let i_granted = caps[i] < before[i] && measured[i] < t_emergency;
+            if !i_granted {
+                continue;
+            }
+            for j in 0..n {
+                let j_denied =
+                    proposed[j] < before[j] && caps[j] == before[j] && measured[j] < t_emergency;
+                if j_denied {
+                    prop_assert!(
+                        measured[i] > measured[j] || (measured[i] == measured[j] && i < j),
+                        "granted socket {i} ({:?}) is cooler than denied socket {j} ({:?})",
+                        measured[i], measured[j]
+                    );
+                }
+            }
+        }
+    }
 }

@@ -119,6 +119,46 @@ fn ecoord_degenerate_rack_replays_the_single_server_closed_loop() {
     );
 }
 
+#[test]
+fn global_descent_degenerate_rack_replays_the_per_zone_descent() {
+    // One zone, no plenum: the Gauss–Seidel joint descent has a single
+    // coordinate and nothing to iterate against, so `GlobalECoord` must
+    // replay `CoordinatedECoord` — and therefore, transitively through
+    // the test above, the single-server E-coord closed loop — bit for
+    // bit. The same `date14` policy on both sides so the thermal events
+    // actually fire.
+    let horizon = Seconds::new(2400.0);
+    let run = |control: RackControl| {
+        let mut sim = RackLoopSim::builder(degenerate_rack_spec())
+            .workload(workload())
+            .control(control)
+            .energy_coordinator(ZoneEnergyCoordinator::new(EnergyAwareCoordinator::date14()))
+            .energy_descent(gfsc_coord::RackEnergyDescent::new(
+                ZoneEnergyCoordinator::new(EnergyAwareCoordinator::date14()),
+                6,
+                0.5,
+            ))
+            .build();
+        sim.run(horizon)
+    };
+    let zone = run(RackControl::CoordinatedECoord);
+    let global = run(RackControl::GlobalECoord);
+
+    let caps = zone.traces.require("s0_cap").unwrap().values();
+    assert!(caps.iter().any(|&c| c < 1.0), "no thermal event: the parity is vacuous");
+
+    for name in ["z0_fan_rpm", "z0_t_meas_c", "s0_cap", "s1_cap", "s0_t_junction_c"] {
+        assert_bitwise(
+            name,
+            global.traces.require(name).unwrap().values(),
+            zone.traces.require(name).unwrap().values(),
+        );
+    }
+    assert_eq!(global.fan_energy.value().to_bits(), zone.fan_energy.value().to_bits());
+    assert_eq!(global.cpu_energy.value().to_bits(), zone.cpu_energy.value().to_bits());
+    assert_eq!(global.violation_percent.to_bits(), zone.violation_percent.to_bits());
+}
+
 /// A transparent single-fan loop built from the single-server components
 /// themselves — [`SingleStepFanScaling`], [`AdaptiveReference`], the
 /// capper bank — driving the same physical rack. What

@@ -1,0 +1,112 @@
+//! Property tests for the rack control loop.
+//!
+//! The load-bearing one is *empty-zone inertness*: a fan wall over empty
+//! bays (legal topology since PR 4) must not perturb the control of the
+//! populated rack in **any** [`RackControl`] mode — including modes added
+//! after the fix. Rather than spot-checking finiteness, the property pins
+//! the strongest form: a rack *padded* with a slotless zone replays the
+//! *compact* rack (same servers, no empty wall) bit for bit on every
+//! thermal and control output. Only the fan-energy meter may differ (the
+//! padded rack's idle wall still draws electrical power — that is real,
+//! not a control artifact).
+
+use gfsc_coord::{RackControl, RackLoopSim};
+use gfsc_rack::{RackSpec, RackTopology, RackZoneDef, ServerSlot};
+use gfsc_thermal::Topology;
+use gfsc_units::Seconds;
+use gfsc_workload::Workload;
+use proptest::prelude::*;
+
+/// Two single-socket servers in one zone — optionally padded with a
+/// slotless second fan wall. No plenum: with one, the padded rack would
+/// carry an extra air node and the comparison would no longer be
+/// bit-exact (the empty wall's plenum is a real thermal body).
+fn rack(derate: f64, padded: bool) -> RackTopology {
+    let mut zones = vec![RackZoneDef { name: "z0".to_owned(), fans: 2 }];
+    if padded {
+        zones.push(RackZoneDef { name: "empty".to_owned(), fans: 2 });
+    }
+    RackTopology::new(
+        if padded { "padded" } else { "compact" },
+        zones,
+        vec![
+            ServerSlot {
+                name: "srv0".to_owned(),
+                zone: 0,
+                board: Topology::single_socket(),
+                airflow_derate: 1.0,
+                load_weight: 1.2,
+            },
+            ServerSlot {
+                name: "srv1".to_owned(),
+                zone: 0,
+                board: Topology::single_socket(),
+                airflow_derate: derate,
+                load_weight: 0.8,
+            },
+        ],
+        None,
+    )
+}
+
+fn workload(seed: u64) -> Workload {
+    Workload::builder(gfsc_workload::SquareWave::date14())
+        .gaussian_noise(0.04, seed)
+        .spikes(1.0 / 180.0, Seconds::new(30.0), 0.8, seed.wrapping_add(1))
+        .build()
+}
+
+proptest! {
+    /// Every control mode — current and future rows of `RackControl::ALL`
+    /// — treats a slotless wall as a non-participant: the padded rack's
+    /// populated-zone traces, caps, violations and CPU energy are
+    /// bit-identical to the compact rack's.
+    #[test]
+    fn empty_zones_are_inert_in_every_mode(
+        mode in 0usize..RackControl::ALL.len(),
+        derate in 1.0f64..1.6,
+        seed in 0u64..1024,
+    ) {
+        let control = RackControl::ALL[mode];
+        let run = |padded: bool| {
+            let mut sim = RackLoopSim::builder(RackSpec::new(rack(derate, padded)))
+                .workload(workload(seed))
+                .control(control)
+                .build();
+            sim.run(Seconds::new(300.0))
+        };
+        let compact = run(false);
+        let padded = run(true);
+
+        prop_assert_eq!(compact.total_epochs, padded.total_epochs);
+        prop_assert_eq!(
+            compact.violation_percent.to_bits(),
+            padded.violation_percent.to_bits(),
+            "{:?}: violations shifted", control
+        );
+        prop_assert_eq!(
+            compact.cpu_energy.value().to_bits(),
+            padded.cpu_energy.value().to_bits(),
+            "{:?}: cpu energy shifted", control
+        );
+        prop_assert_eq!(
+            compact.lost_utilization.to_bits(),
+            padded.lost_utilization.to_bits(),
+            "{:?}: lost work shifted", control
+        );
+        for channel in ["z0_fan_rpm", "z0_t_meas_c", "s0_cap", "s1_cap", "s1_t_junction_c"] {
+            let a = compact.traces.require(channel).unwrap().values();
+            let b = padded.traces.require(channel).unwrap().values();
+            prop_assert_eq!(a.len(), b.len());
+            for (k, (x, y)) in a.iter().zip(b).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{:?}: {} diverged at epoch {} ({} vs {})", control, channel, k, x, y
+                );
+            }
+        }
+        // The empty wall itself never goes non-finite.
+        let empty = padded.traces.require("z1_fan_rpm").unwrap().values();
+        prop_assert!(empty.iter().all(|v| v.is_finite()), "{:?}: empty wall NaN", control);
+    }
+}

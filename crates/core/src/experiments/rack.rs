@@ -1,6 +1,7 @@
-//! Rack study (extension): the full rack solution matrix — global
-//! lockstep vs the coordinated two-layer controller and its single-step /
-//! E-coord extensions — on rack-scale plants.
+//! Rack study (extension): the full rack control matrix — global lockstep
+//! vs the coordinated two-layer controller, its single-step / E-coord
+//! lifts, and the two rack-native modes (rack-global energy descent, work
+//! migration) — on rack-scale plants.
 //!
 //! The paper's global controller manages one fan from one aggregated,
 //! non-ideal reading. Scaled to a rack without thought — one PID pairing
@@ -15,11 +16,18 @@
 //! rack coordinator; `coordinated+ss` adds the per-zone single-step bank
 //! (Section V-C per zone) and `coordinated+e-coord` replaces the PID/
 //! capper pair with the energy-first per-zone descent sized through the
-//! zone `PlantModel` views. This study quantifies the matrix, mean ±
+//! zone `PlantModel` views. Two modes go beyond lifting the paper:
+//! `global-e-coord` sizes *all* walls jointly against the full coupled
+//! rack (`gfsc_coord::RackEnergyDescent`) instead of through frozen
+//! per-zone views, and `coordinated+migrate` shifts a hot server's demand
+//! weight to a headroomed server behind another wall before the capper
+//! bank cuts anything (`gfsc_coord::WorkMigrator`, after Van Damme's
+//! thermal-aware scheduling). This study quantifies the matrix, mean ±
 //! 95 % CI over seeds.
 
+use crate::markdown_table;
 use crate::sweep::{aggregate_over_seeds, ScenarioGrid, SeedStats};
-use crate::{markdown_table, Solution};
+use gfsc_coord::RackControl;
 use gfsc_rack::RackTopology;
 use gfsc_units::Seconds;
 
@@ -32,11 +40,9 @@ pub struct RackStudyConfig {
     pub seeds: Vec<u64>,
     /// The rack structures to compare.
     pub racks: Vec<RackTopology>,
-    /// The control variants, as solutions-axis values (see the sweep
-    /// module's rack mapping). The default reports the full matrix:
-    /// lockstep, coordinated (fixed and adaptive references),
-    /// coordinated+SS, and coordinated+E-coord.
-    pub solutions: Vec<Solution>,
+    /// The control modes, matrix order. The default reports the full
+    /// seven-row matrix ([`RackControl::ALL`]).
+    pub controls: Vec<RackControl>,
 }
 
 impl Default for RackStudyConfig {
@@ -45,13 +51,7 @@ impl Default for RackStudyConfig {
             horizon: Seconds::new(1800.0),
             seeds: vec![42, 43, 44],
             racks: vec![RackTopology::rack_1u_x8(), RackTopology::rack_2u_x4()],
-            solutions: vec![
-                Solution::WithoutCoordination,
-                Solution::RCoordFixedTref,
-                Solution::RCoordAdaptiveTref,
-                Solution::RCoordAdaptiveTrefSsFan,
-                Solution::ECoord,
-            ],
+            controls: RackControl::ALL.to_vec(),
         }
     }
 }
@@ -61,32 +61,31 @@ impl Default for RackStudyConfig {
 pub struct RackRow {
     /// The rack's display label.
     pub rack: String,
-    /// The solutions-axis value this row ran.
-    pub solution: Solution,
-    /// Human-readable rack control-mode name (see [`control_name`]).
-    pub control: &'static str,
+    /// The control mode this row ran.
+    pub control: RackControl,
+    /// Human-readable control-mode name ([`RackControl::label`]).
+    pub name: &'static str,
     /// Violated socket-epochs percentage across seeds.
     pub violation_percent: SeedStats,
     /// Fan-wall energy (joules) across seeds.
     pub fan_energy_j: SeedStats,
+    /// CPU energy (joules) across seeds.
+    pub cpu_energy_j: SeedStats,
     /// Lost utilization across seeds.
     pub lost_utilization: SeedStats,
 }
 
-/// The display name of a solutions-axis value on a rack cell.
-#[must_use]
-pub fn control_name(solution: Solution) -> &'static str {
-    match solution {
-        Solution::WithoutCoordination => "lockstep",
-        Solution::ECoord => "coordinated+e-coord",
-        Solution::RCoordFixedTref => "coordinated",
-        Solution::RCoordAdaptiveTref => "coordinated+adaptive",
-        Solution::RCoordAdaptiveTrefSsFan => "coordinated+ss",
+impl RackRow {
+    /// Mean total (fan + CPU) energy across seeds — what the migration
+    /// study trades violations against.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.fan_energy_j.mean + self.cpu_energy_j.mean
     }
 }
 
 /// Runs the study: one grid per rack, every control × seed cell fanned
-/// out by the sweep engine.
+/// out by the sweep engine through the rack-control axis.
 ///
 /// # Panics
 ///
@@ -94,23 +93,26 @@ pub fn control_name(solution: Solution) -> &'static str {
 #[must_use]
 pub fn run(config: &RackStudyConfig) -> Vec<RackRow> {
     assert!(!config.racks.is_empty(), "need at least one rack");
-    assert!(!config.solutions.is_empty(), "need at least one control variant");
+    assert!(!config.controls.is_empty(), "need at least one control mode");
     let mut rows = Vec::new();
     for rack in &config.racks {
         let results = ScenarioGrid::builder()
             .horizon(config.horizon)
-            .solutions(&config.solutions)
             .seeds(&config.seeds)
             .rack_variant(rack.clone())
+            .rack_controls(&config.controls)
             .build()
             .run();
-        for cell in aggregate_over_seeds(&results) {
+        let aggregated = aggregate_over_seeds(&results);
+        assert_eq!(aggregated.len(), config.controls.len(), "one aggregate per control");
+        for (cell, &control) in aggregated.into_iter().zip(&config.controls) {
             rows.push(RackRow {
                 rack: rack.label().to_owned(),
-                solution: cell.solution,
-                control: control_name(cell.solution),
+                control,
+                name: control.label(),
                 violation_percent: cell.violation_percent,
                 fan_energy_j: cell.fan_energy_j,
+                cpu_energy_j: cell.cpu_energy_j,
                 lost_utilization: cell.lost_utilization,
             });
         }
@@ -126,17 +128,36 @@ pub fn to_markdown(rows: &[RackRow]) -> String {
         .map(|r| {
             vec![
                 r.rack.clone(),
-                r.control.to_owned(),
+                r.name.to_owned(),
                 format!("{:.2} ± {:.2}", r.violation_percent.mean, r.violation_percent.ci95),
                 format!("{:.0} ± {:.0}", r.fan_energy_j.mean, r.fan_energy_j.ci95),
+                format!("{:.0} ± {:.0}", r.cpu_energy_j.mean, r.cpu_energy_j.ci95),
+                format!("{:.0}", r.total_energy_j()),
                 format!("{:.2} ± {:.2}", r.lost_utilization.mean, r.lost_utilization.ci95),
             ]
         })
         .collect();
     markdown_table(
-        &["Rack", "Control", "Violation %", "Fan energy (J)", "Lost util (u·epochs)"],
+        &[
+            "Rack",
+            "Control",
+            "Violation %",
+            "Fan energy (J)",
+            "CPU energy (J)",
+            "Total (J)",
+            "Lost util (u·epochs)",
+        ],
         &cells,
     )
+}
+
+/// The imbalanced-load rack the migration study runs on: the choked-rear
+/// geometry with the overload parked on the worst-breathing (rear) wall —
+/// `with_load_weights` shifts 40 % extra demand onto one rear 2U server.
+#[must_use]
+pub fn imbalanced_choked_rack() -> RackTopology {
+    let spread = (4.0 - 1.4) / 3.0;
+    RackTopology::choked_rear_x4().with_load_weights(&[spread, spread, 1.4, spread])
 }
 
 #[cfg(test)]
@@ -152,11 +173,14 @@ mod tests {
             horizon: Seconds::new(900.0),
             seeds: vec![42, 43],
             racks: vec![RackTopology::rack_1u_x8()],
-            solutions: vec![Solution::WithoutCoordination, Solution::RCoordAdaptiveTref],
+            controls: vec![
+                RackControl::GlobalLockstep,
+                RackControl::Coordinated { adaptive_reference: true },
+            ],
         });
         assert_eq!(rows.len(), 2);
-        let global = rows.iter().find(|r| r.control == "lockstep").unwrap();
-        let coord = rows.iter().find(|r| r.control == "coordinated+adaptive").unwrap();
+        let global = rows.iter().find(|r| r.name == "lockstep").unwrap();
+        let coord = rows.iter().find(|r| r.name == "coordinated+adaptive").unwrap();
         assert!(
             coord.fan_energy_j.mean < global.fan_energy_j.mean,
             "coordinated {} J not below global {} J",
@@ -184,16 +208,16 @@ mod tests {
             horizon: Seconds::new(1800.0),
             seeds: vec![42, 43],
             racks: vec![RackTopology::rack_1u_x8(), RackTopology::rack_2u_x4()],
-            solutions: vec![
-                Solution::WithoutCoordination,
-                Solution::RCoordAdaptiveTrefSsFan,
-                Solution::ECoord,
+            controls: vec![
+                RackControl::GlobalLockstep,
+                RackControl::CoordinatedSsFan { adaptive_reference: true },
+                RackControl::CoordinatedECoord,
             ],
         });
         for rack in ["1Ux8", "2Ux4"] {
-            let lockstep = rows.iter().find(|r| r.rack == rack && r.control == "lockstep").unwrap();
+            let lockstep = rows.iter().find(|r| r.rack == rack && r.name == "lockstep").unwrap();
             for name in ["coordinated+ss", "coordinated+e-coord"] {
-                let row = rows.iter().find(|r| r.rack == rack && r.control == name).unwrap();
+                let row = rows.iter().find(|r| r.rack == rack && r.name == name).unwrap();
                 assert!(
                     row.fan_energy_j.mean < lockstep.fan_energy_j.mean,
                     "{rack}/{name} {} J not strictly below lockstep {} J",
@@ -208,5 +232,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn global_descent_dominates_the_per_zone_descent_where_walls_couple() {
+        // The rack-global tentpole contract: on the shared-plenum rack —
+        // whose two walls breathe one strongly-tied air volume, so each
+        // wall's minimum safe speed moves by hundreds of rpm with the
+        // other wall's speed — sizing all walls jointly must strictly beat
+        // sizing each against a frozen snapshot of the other, on fan
+        // energy at equal-or-fewer violated socket-epochs (mean over
+        // seeds).
+        let rows = run(&RackStudyConfig {
+            horizon: Seconds::new(1800.0),
+            seeds: vec![42, 43, 44],
+            racks: vec![RackTopology::shared_plenum(4)],
+            controls: vec![RackControl::CoordinatedECoord, RackControl::GlobalECoord],
+        });
+        let zone = rows.iter().find(|r| r.name == "coordinated+e-coord").unwrap();
+        let global = rows.iter().find(|r| r.name == "global-e-coord").unwrap();
+        assert!(
+            global.fan_energy_j.mean < zone.fan_energy_j.mean,
+            "global descent {} J not strictly below per-zone {} J",
+            global.fan_energy_j.mean,
+            zone.fan_energy_j.mean
+        );
+        assert!(
+            global.violation_percent.mean <= zone.violation_percent.mean + 1e-9,
+            "global descent {}% vs per-zone {}%",
+            global.violation_percent.mean,
+            zone.violation_percent.mean
+        );
+    }
+
+    #[test]
+    fn migration_moves_work_instead_of_capping_it() {
+        // The migration tentpole contract: on the imbalanced choked-rear
+        // rack, shifting the hot rear server's weight to the headroomed
+        // front wall must reduce violated socket-epochs at equal-or-less
+        // total (fan + CPU) energy vs the purely-capping coordinated
+        // controller (mean over seeds) — the work gets *done*, cheaper.
+        let rows = run(&RackStudyConfig {
+            horizon: Seconds::new(1800.0),
+            seeds: vec![42, 43, 44],
+            racks: vec![imbalanced_choked_rack()],
+            controls: vec![
+                RackControl::Coordinated { adaptive_reference: true },
+                RackControl::MigratingCoordinated { adaptive_reference: true },
+            ],
+        });
+        let coord = rows.iter().find(|r| r.name == "coordinated+adaptive").unwrap();
+        let migrate = rows.iter().find(|r| r.name == "coordinated+migrate").unwrap();
+        assert!(
+            migrate.violation_percent.mean < coord.violation_percent.mean,
+            "migration {}% not below coordinated {}%",
+            migrate.violation_percent.mean,
+            coord.violation_percent.mean
+        );
+        assert!(
+            migrate.total_energy_j() <= coord.total_energy_j(),
+            "migration total {} J above coordinated {} J",
+            migrate.total_energy_j(),
+            coord.total_energy_j()
+        );
+        // And it loses strictly less work to capping.
+        assert!(migrate.lost_utilization.mean < coord.lost_utilization.mean);
     }
 }

@@ -35,7 +35,10 @@
 //! references, `RCoordAdaptiveTref` with per-zone adaptive references,
 //! `RCoordAdaptiveTrefSsFan` adds the per-zone single-step bank, and
 //! `ECoord` runs the per-zone E-coord descent (see
-//! [`Scenario::rack_control`]).
+//! [`Scenario::rack_control`]). The rack-native modes with no
+//! single-server equivalent — the rack-global energy descent and the
+//! work-migrating coordinator — enter through the explicit rack-control
+//! axis ([`ScenarioGridBuilder::rack_controls`]) instead.
 //!
 //! # Examples
 //!
@@ -132,6 +135,12 @@ pub struct Scenario {
     /// loop on this structure (the per-server calibration comes from
     /// `spec`), with the solution mapped onto a [`RackControl`].
     pub rack: Option<RackTopology>,
+    /// Explicit rack control mode for this cell, overriding the
+    /// [`Scenario::rack_control`] solution mapping — how the rack-native
+    /// modes with no single-server `Solution` equivalent
+    /// ([`RackControl::GlobalECoord`],
+    /// [`RackControl::MigratingCoordinated`]) enter a grid.
+    pub rack_control_override: Option<RackControl>,
 }
 
 impl Scenario {
@@ -177,6 +186,25 @@ impl Scenario {
         }
     }
 
+    /// The solutions-matrix row a rack control mode extends — the
+    /// `solution` reported for cells enumerated through the rack-control
+    /// axis. The five paper solutions round-trip through
+    /// [`Scenario::rack_control`]; the two rack-native modes report the
+    /// row they refine (`GlobalECoord` is the E-coord row with joint fan
+    /// sizing, `MigratingCoordinated` is the coordinated row with work
+    /// migration in front of the capper bank).
+    #[must_use]
+    pub fn nearest_solution(control: RackControl) -> Solution {
+        match control {
+            RackControl::GlobalLockstep => Solution::WithoutCoordination,
+            RackControl::Coordinated { adaptive_reference: false } => Solution::RCoordFixedTref,
+            RackControl::Coordinated { adaptive_reference: true }
+            | RackControl::MigratingCoordinated { .. } => Solution::RCoordAdaptiveTref,
+            RackControl::CoordinatedSsFan { .. } => Solution::RCoordAdaptiveTrefSsFan,
+            RackControl::CoordinatedECoord | RackControl::GlobalECoord => Solution::ECoord,
+        }
+    }
+
     fn run_rack(&self, rack: &RackTopology) -> RunOutcome {
         let server = self.spec.clone().unwrap_or_else(ServerSpec::enterprise_default);
         let spec = RackSpec { server, rack: rack.clone() };
@@ -186,9 +214,11 @@ impl Scenario {
             // gains the single-server loops run.
             None => crate::fine_gain_schedule().clone(),
         };
+        let control =
+            self.rack_control_override.unwrap_or_else(|| Self::rack_control(self.solution));
         let mut sim = RackLoopSim::builder(spec)
             .workload(self.workload.build(self.seed))
-            .control(Self::rack_control(self.solution))
+            .control(control)
             .gain_schedule(schedule)
             .fixed_reference(self.fixed_reference)
             .build();
@@ -268,6 +298,7 @@ pub struct ScenarioGridBuilder {
     quantization_steps: Vec<Option<f64>>,
     fan_intervals: Vec<Option<Seconds>>,
     racks: Vec<Option<RackTopology>>,
+    rack_controls: Vec<RackControl>,
     workloads: Vec<(String, WorkloadRecipe)>,
     solutions: Vec<Solution>,
     seeds: Vec<u64>,
@@ -371,6 +402,22 @@ impl ScenarioGridBuilder {
         self
     }
 
+    /// Sets the rack-control axis: rack cells enumerate exactly these
+    /// control modes (labelled by [`RackControl::label`]) instead of
+    /// mapping the solutions axis through [`Scenario::rack_control`] —
+    /// the only way the rack-native modes (`GlobalECoord`,
+    /// `MigratingCoordinated`) enter a grid, since they extend the
+    /// solution matrix rather than mirror a single-server `Solution`.
+    /// Each cell reports [`Scenario::nearest_solution`] as its solution.
+    ///
+    /// Requires a rack axis ([`Self::rack_variant`]); enforced at
+    /// [`Self::build`].
+    #[must_use]
+    pub fn rack_controls(mut self, controls: &[RackControl]) -> Self {
+        self.rack_controls = controls.to_vec();
+        self
+    }
+
     /// Sets the workload recipe shared by every scenario (default:
     /// [`WorkloadRecipe::Date14`]). Replaces the whole workload axis with
     /// this single unlabelled recipe.
@@ -442,6 +489,10 @@ impl ScenarioGridBuilder {
             "the rack axis and the server-topology axis cannot combine: rack cells take their \
              boards from the rack's own slots"
         );
+        assert!(
+            self.rack_controls.is_empty() || rack_axis,
+            "the rack-control axis needs a rack axis: control modes only apply to rack cells"
+        );
         let cells = self.specs.len()
             * self.topologies.len()
             * self.ambients.len()
@@ -507,10 +558,13 @@ impl ScenarioGridBuilder {
             for (wl_label, workload) in &self.workloads {
                 let wl_part =
                     if wl_label.is_empty() { String::new() } else { format!("wl-{wl_label}/") };
-                for &solution in &self.solutions {
+                let push = |label_part: &str,
+                            solution: Solution,
+                            control: Option<RackControl>,
+                            scenarios: &mut Vec<Scenario>| {
                     for &seed in &self.seeds {
                         scenarios.push(Scenario {
-                            label: format!("{prefix}{rack_part}{wl_part}{solution}/seed{seed}"),
+                            label: format!("{prefix}{rack_part}{wl_part}{label_part}/seed{seed}"),
                             spec: spec.clone(),
                             solution,
                             seed,
@@ -519,7 +573,25 @@ impl ScenarioGridBuilder {
                             fixed_reference: self.fixed_reference,
                             gain_schedule: schedule.clone(),
                             rack: rack.clone(),
+                            rack_control_override: control,
                         });
+                    }
+                };
+                if rack.is_some() && !self.rack_controls.is_empty() {
+                    // The rack-control axis: enumerate the control modes
+                    // directly; the reported solution is the matrix row
+                    // each mode extends.
+                    for &control in &self.rack_controls {
+                        push(
+                            control.label(),
+                            Scenario::nearest_solution(control),
+                            Some(control),
+                            scenarios,
+                        );
+                    }
+                } else {
+                    for &solution in &self.solutions {
+                        push(&solution.to_string(), solution, None, scenarios);
                     }
                 }
             }
@@ -595,6 +667,7 @@ impl ScenarioGrid {
             quantization_steps: vec![None],
             fan_intervals: vec![None],
             racks: vec![None],
+            rack_controls: Vec::new(),
             workloads: vec![(String::new(), WorkloadRecipe::Date14)],
             solutions: Solution::ALL.to_vec(),
             seeds: vec![42],
@@ -699,6 +772,9 @@ pub struct SeedAggregate {
     pub violation_percent: SeedStats,
     /// Fan energy (joules) across seeds.
     pub fan_energy_j: SeedStats,
+    /// CPU energy (joules) across seeds — with the fan energy, the total
+    /// the migration study trades violations against.
+    pub cpu_energy_j: SeedStats,
     /// Lost utilization across seeds.
     pub lost_utilization: SeedStats,
 }
@@ -729,6 +805,7 @@ pub fn aggregate_over_seeds(results: &[ScenarioResult]) -> Vec<SeedAggregate> {
                 solution,
                 violation_percent: metric(|m| m.violation_percent),
                 fan_energy_j: metric(|m| m.fan_energy_j),
+                cpu_energy_j: metric(|m| m.cpu_energy_j),
                 lost_utilization: metric(|m| m.lost_utilization),
             }
         })
@@ -947,6 +1024,49 @@ mod tests {
         let results = grid.run();
         // 8 sockets × 61 epochs each.
         assert!(results.iter().all(|r| r.summary.total_epochs == 61 * 8));
+    }
+
+    #[test]
+    fn rack_control_axis_enumerates_the_full_matrix() {
+        use gfsc_coord::RackControl;
+        use gfsc_rack::RackTopology;
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(60.0))
+            .seeds(&[1])
+            .rack_variant(RackTopology::rack_2u_x4())
+            .rack_controls(&[
+                RackControl::CoordinatedECoord,
+                RackControl::GlobalECoord,
+                RackControl::MigratingCoordinated { adaptive_reference: true },
+            ])
+            .build();
+        let labels: Vec<&str> = grid.scenarios().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "rack-2Ux4/coordinated+e-coord/seed1",
+                "rack-2Ux4/global-e-coord/seed1",
+                "rack-2Ux4/coordinated+migrate/seed1",
+            ]
+        );
+        // Each cell carries its explicit control and the matrix row it
+        // extends as the reported solution.
+        assert_eq!(grid.scenarios()[1].rack_control_override, Some(RackControl::GlobalECoord));
+        assert_eq!(grid.scenarios()[1].solution, Solution::ECoord);
+        assert_eq!(grid.scenarios()[2].solution, Solution::RCoordAdaptiveTref);
+        // The five paper solutions round-trip through both mappings.
+        for solution in Solution::ALL {
+            assert_eq!(Scenario::nearest_solution(Scenario::rack_control(solution)), solution);
+        }
+        let results = grid.run();
+        assert!(results.iter().all(|r| r.summary.total_epochs == 61 * 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a rack axis")]
+    fn rack_controls_require_a_rack_axis() {
+        use gfsc_coord::RackControl;
+        let _ = ScenarioGrid::builder().rack_controls(&[RackControl::GlobalECoord]).build();
     }
 
     #[test]

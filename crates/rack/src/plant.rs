@@ -485,6 +485,42 @@ impl RackPlant {
         })
     }
 
+    /// Non-mutating whole-rack probe at `(powers, fans)`: fills `out` with
+    /// every zone's hottest steady-state junction (the ambient for a
+    /// slotless zone) from **one** solve, at a fraction of the cost of
+    /// probing the zones one by one. The descent itself bisects through
+    /// [`RackPlant::min_safe_zone_fan`]; this is the audit view of a
+    /// joint fan vector — how the descent's output is *verified* to be
+    /// feasible and tight (`gfsc_coord`'s descent tests, the dominance
+    /// study) and the probe a whole-rack feasibility check would build
+    /// on. Allocation-free once the probe scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the topology.
+    pub fn steady_state_hottest_per_zone_into(
+        &self,
+        powers: &[Watts],
+        fans: &[Rpm],
+        out: &mut [Celsius],
+    ) {
+        assert_eq!(out.len(), self.zone_sockets.len(), "one output slot per zone");
+        self.probe_with(powers, fans, |plant, temps| {
+            for (z, slot) in out.iter_mut().enumerate() {
+                let sockets = &plant.zone_sockets[z];
+                let Some((&first, rest)) = sockets.split_first() else {
+                    *slot = plant.ambient;
+                    continue;
+                };
+                let mut hottest = temps[plant.sockets[first].die.index()];
+                for &i in rest {
+                    hottest = hottest.max(temps[plant.sockets[i].die.index()]);
+                }
+                *slot = Celsius::new(hottest);
+            }
+        });
+    }
+
     /// Runs one non-mutating steady-state probe at `(powers, fans)` in the
     /// shared scratch and reduces the solved node temperatures —
     /// allocation-free once the buffers are warm.
@@ -748,17 +784,41 @@ mod tests {
     #[test]
     fn plenum_couples_servers_within_a_zone() {
         // All the load on server 0: with a shared plenum, idle server 1's
-        // sink must sit measurably above ambient purely through the air.
-        let mut rack = RackPlant::new(&cal(), &RackTopology::shared_plenum(2)).unwrap();
-        let powers = [Watts::new(160.0), Watts::new(0.0)];
-        rack.equilibrate(&powers, &[Rpm::new(3000.0)]);
+        // sink (same wall) must sit measurably above ambient purely through
+        // the air.
+        let mut rack = RackPlant::new(&cal(), &RackTopology::shared_plenum(4)).unwrap();
+        let powers = [Watts::new(160.0), Watts::new(0.0), Watts::new(0.0), Watts::new(0.0)];
+        rack.equilibrate(&powers, &[Rpm::new(3000.0), Rpm::new(3000.0)]);
         assert!(
             rack.heat_sink(1) > Celsius::new(30.3),
             "no cross-server coupling: idle sink at {}",
             rack.heat_sink(1)
         );
+        // The shared volume reaches across the walls too: the idle right
+        // wall's servers also breathe server 0's heat.
+        assert!(
+            rack.heat_sink(2) > Celsius::new(30.2),
+            "no cross-wall coupling: idle sink at {}",
+            rack.heat_sink(2)
+        );
         // Without a plenum (degenerate single-server world) there is no
         // such path — covered by the parity property test.
+    }
+
+    #[test]
+    fn per_zone_probe_matches_the_single_zone_probes() {
+        let rack = rack_1u8();
+        let powers = vec![Watts::new(140.8); 8];
+        let fans = [Rpm::new(5000.0), Rpm::new(2500.0)];
+        let mut per_zone = [Celsius::new(0.0); 2];
+        rack.steady_state_hottest_per_zone_into(&powers, &fans, &mut per_zone);
+        for (z, hottest) in per_zone.iter().enumerate() {
+            assert_eq!(
+                hottest.value().to_bits(),
+                rack.steady_state_hottest_in_zone(z, &powers, &fans).value().to_bits(),
+                "zone {z}"
+            );
+        }
     }
 
     #[test]

@@ -91,8 +91,14 @@ pub struct RackServer {
     now: Seconds,
     /// Per-zone max-aggregated firmware view, refreshed every step.
     measured_zone: Vec<Celsius>,
-    /// Flat per-socket demand weights: slot load weight × socket load
-    /// weight.
+    /// Per-server demand weights. Starts at the topology's slot weights;
+    /// a work migrator may shift weight between servers at run time.
+    server_weights: Vec<f64>,
+    /// Flat per-socket base weights (the socket's own load weight,
+    /// immutable — migration moves *server* weight).
+    socket_base_weights: Vec<f64>,
+    /// Flat per-socket demand weights: server weight × socket base
+    /// weight, re-derived whenever server weights move.
     socket_weights: Vec<f64>,
     /// Per-socket power scratch (no per-step allocation).
     socket_powers: Vec<Watts>,
@@ -129,6 +135,13 @@ impl RackServer {
         let pipelines: Vec<MeasurementPipeline> = (0..plant.socket_count())
             .map(|_| build_measurement_pipeline(server, server.ambient))
             .collect();
+        let server_weights: Vec<f64> = spec.rack.servers().iter().map(|s| s.load_weight).collect();
+        let socket_base_weights: Vec<f64> = spec
+            .rack
+            .servers()
+            .iter()
+            .flat_map(|slot| slot.board.sockets().iter().map(|socket| socket.load_weight))
+            .collect();
         let socket_weights = spec
             .rack
             .servers()
@@ -152,6 +165,8 @@ impl RackServer {
             fan_energy: EnergyMeter::new(),
             now: Seconds::new(0.0),
             measured_zone,
+            server_weights,
+            socket_base_weights,
             socket_weights,
             socket_powers,
             zone_speeds,
@@ -222,6 +237,56 @@ impl RackServer {
         assert_eq!(out.len(), self.socket_weights.len(), "one demand per socket");
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.socket_demand(i, u);
+        }
+    }
+
+    /// Server `s`'s current demand weight (the topology's slot weight,
+    /// possibly shifted at run time by [`RackServer::shift_load_weight`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn server_load_weight(&self, s: usize) -> f64 {
+        self.server_weights[s]
+    }
+
+    /// Socket `i`'s effective demand weight (server weight × socket base
+    /// weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn socket_load_weight(&self, i: usize) -> f64 {
+        self.socket_weights[i]
+    }
+
+    /// Moves `amount` of demand weight from server `from` to server `to` —
+    /// the load-weight mutation hook a work migrator drives. The rack-wide
+    /// weight sum is conserved, so (absent cap saturation) total demand
+    /// is too; only its placement changes. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices coincide or are out of range, `amount` is not
+    /// positive, or the transfer would drain `from` to zero (a server
+    /// keeps a strictly positive share of its own work).
+    pub fn shift_load_weight(&mut self, from: usize, to: usize, amount: f64) {
+        assert!(from != to, "cannot migrate a server's work onto itself");
+        assert!(amount > 0.0, "migrated weight must be positive");
+        assert!(
+            self.server_weights[from] - amount > 0.0,
+            "migration would drain server {from} (weight {}, amount {amount})",
+            self.server_weights[from]
+        );
+        self.server_weights[from] -= amount;
+        self.server_weights[to] += amount;
+        for s in [from, to] {
+            let weight = self.server_weights[s];
+            for i in self.plant.server_sockets(s) {
+                self.socket_weights[i] = weight * self.socket_base_weights[i];
+            }
         }
     }
 
@@ -607,6 +672,35 @@ mod tests {
         // Server 0's two sockets carry 1.6× the demand share.
         assert!((out[0].value() - 0.8).abs() < 1e-12);
         assert!((out[2].value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_load_weight_moves_demand_and_conserves_the_sum() {
+        let spec =
+            RackSpec::new(RackTopology::rack_2u_x4().with_load_weights(&[1.6, 0.8, 0.8, 0.8]));
+        let mut r = RackServer::new(spec);
+        let total_before: f64 = (0..r.server_count()).map(|s| r.server_load_weight(s)).sum();
+        r.shift_load_weight(0, 2, 0.4);
+        assert!((r.server_load_weight(0) - 1.2).abs() < 1e-12);
+        assert!((r.server_load_weight(2) - 1.2).abs() < 1e-12);
+        let total_after: f64 = (0..r.server_count()).map(|s| r.server_load_weight(s)).sum();
+        assert!((total_after - total_before).abs() < 1e-12, "weight sum must be conserved");
+        // Socket demands follow: server 0's two sockets now carry 1.2×.
+        let mut out = vec![Utilization::IDLE; r.socket_count()];
+        r.socket_demands(Utilization::new(0.5), &mut out);
+        assert!((out[0].value() - 0.6).abs() < 1e-12);
+        assert!((out[4].value() - 0.6).abs() < 1e-12);
+        // And the shift reverses exactly.
+        r.shift_load_weight(2, 0, 0.4);
+        assert!((r.server_load_weight(0) - 1.6).abs() < 1e-12);
+        assert!((r.socket_load_weight(0) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "drain")]
+    fn shift_load_weight_rejects_draining_a_server() {
+        let mut r = rack();
+        r.shift_load_weight(0, 1, 1.0);
     }
 
     #[test]

@@ -135,9 +135,17 @@ impl RackTopology {
         )
     }
 
-    /// `n` single-socket servers in one shared plenum behind one fan wall
-    /// (one fan per server). Slots further from the inlet breathe
-    /// progressively worse air.
+    /// `n` single-socket servers breathing one *genuinely shared* air
+    /// volume, split across two fan walls (one fan per server; with one
+    /// server the right wall stands over empty bays). The per-zone plenum
+    /// nodes are tied by a deliberately low recirculation resistance —
+    /// the closest thing to a single air volume the per-zone plenum
+    /// discretization expresses — so either wall's airflow moves *every*
+    /// server's inlet temperature. This is the preset where cross-zone
+    /// coupling matters most: sizing one wall while the other is frozen
+    /// (the per-zone descent) is maximally wrong here, which is exactly
+    /// what the rack-global energy descent is asserted against. Both walls
+    /// breathe symmetrically (slots derate with in-wall position only).
     ///
     /// # Panics
     ///
@@ -145,20 +153,39 @@ impl RackTopology {
     #[must_use]
     pub fn shared_plenum(n: usize) -> Self {
         assert!(n > 0, "a rack needs at least one server");
+        let left = n.div_ceil(2);
         let servers = (0..n)
-            .map(|i| ServerSlot {
-                name: format!("srv{i}"),
-                zone: 0,
-                board: Topology::single_socket(),
-                airflow_derate: 1.0 + 0.06 * i as f64,
-                load_weight: 1.0,
+            .map(|i| {
+                let (zone, pos) = if i < left { (0, i) } else { (1, i - left) };
+                ServerSlot {
+                    name: format!("srv{i}"),
+                    zone,
+                    board: Topology::single_socket(),
+                    airflow_derate: 1.0 + 0.06 * pos as f64,
+                    load_weight: 1.0,
+                }
             })
             .collect();
         Self::new(
             format!("plenum-{n}"),
-            vec![RackZoneDef { name: "z0".to_owned(), fans: n }],
+            vec![
+                RackZoneDef { name: "left".to_owned(), fans: left },
+                RackZoneDef { name: "right".to_owned(), fans: (n - left).max(1) },
+            ],
             servers,
-            Some(PlenumDef { recirculation: None, ..PlenumDef::default() }),
+            Some(PlenumDef {
+                // Most of each sink's heat rides the shared air (low
+                // coupling resistance), the exhaust is deliberately hard
+                // (a dense rack's back-pressure), and the two per-zone
+                // plenum nodes are tied almost rigidly — each wall's
+                // min-safe speed moves by hundreds of rpm with the other
+                // wall's speed, which is the regime the rack-global
+                // descent exists for.
+                coupling: KelvinPerWatt::new(0.3),
+                exhaust_derate: 2.0,
+                capacitance_scale: 4.0,
+                recirculation: Some(KelvinPerWatt::new(0.1)),
+            }),
         )
     }
 
@@ -195,6 +222,42 @@ impl RackTopology {
         Self::front_rear_boards(
             "2Ux4".to_owned(),
             (0..4).map(|_| Topology::dual_socket()).collect(),
+        )
+    }
+
+    /// The choked-rear preset: four 2U dual-socket servers split across a
+    /// free-breathing front wall (derates 1.0, 1.06) and a badly choked
+    /// rear wall (derates 1.6, 1.66 — a rack backed close to a hot-aisle
+    /// wall), with *isolated* per-zone plenums (no recirculation). The
+    /// same heat costs far more airflow to remove behind the rear wall
+    /// than the front one, and the walls share no air — so *where* work
+    /// runs matters enormously. This is the geometry work migration is
+    /// evaluated on: capping a hot rear server throws work away, while
+    /// shifting its load weight to the headroomed front wall removes the
+    /// violation *and* moves the heat to where removing it is cheap.
+    #[must_use]
+    pub fn choked_rear_x4() -> Self {
+        let servers = (0..4)
+            .map(|i| ServerSlot {
+                name: format!("srv{i}"),
+                zone: usize::from(i >= 2),
+                board: Topology::dual_socket(),
+                airflow_derate: if i < 2 {
+                    1.0 + 0.06 * i as f64
+                } else {
+                    1.6 + 0.06 * (i - 2) as f64
+                },
+                load_weight: 1.0,
+            })
+            .collect();
+        Self::new(
+            "choked-rear",
+            vec![
+                RackZoneDef { name: "front".to_owned(), fans: 4 },
+                RackZoneDef { name: "rear".to_owned(), fans: 4 },
+            ],
+            servers,
+            Some(PlenumDef { recirculation: None, ..PlenumDef::default() }),
         )
     }
 
@@ -341,9 +404,18 @@ mod tests {
             RackTopology::front_rear(6),
             RackTopology::rack_1u_x8(),
             RackTopology::rack_2u_x4(),
+            RackTopology::choked_rear_x4(),
         ] {
             rack.validate();
         }
+    }
+
+    #[test]
+    fn choked_rear_is_asymmetric_and_isolated() {
+        let rack = RackTopology::choked_rear_x4();
+        assert_eq!(rack.total_sockets(), 8);
+        assert!(rack.servers()[2].airflow_derate > rack.servers()[1].airflow_derate + 0.4);
+        assert!(rack.plenum().unwrap().recirculation.is_none(), "walls must not share air");
     }
 
     #[test]
@@ -358,8 +430,20 @@ mod tests {
         assert_eq!(r4.total_sockets(), 8);
         assert!(r4.plenum().is_some());
         let sp = RackTopology::shared_plenum(3);
-        assert_eq!(sp.zones().len(), 1);
-        assert!(sp.plenum().unwrap().recirculation.is_none());
+        assert_eq!(sp.zones().len(), 2, "shared plenum splits across two walls");
+        assert_eq!(sp.zones()[0].fans, 2);
+        assert_eq!(sp.zones()[1].fans, 1);
+        // The shared volume: a recirculation path far stronger than the
+        // front/rear default couples the two per-zone plenum nodes.
+        let tie = sp.plenum().unwrap().recirculation.expect("shared volume is coupled");
+        assert!(tie < PlenumDef::default().recirculation.unwrap());
+        // Walls breathe symmetrically: derates depend on in-wall position.
+        assert_eq!(sp.servers()[0].airflow_derate, sp.servers()[2].airflow_derate);
+        // A one-server shared plenum leaves a legal slotless right wall.
+        let solo = RackTopology::shared_plenum(1);
+        assert!(solo.zone_is_populated(0));
+        assert!(!solo.zone_is_populated(1));
+        assert_eq!(solo.zones()[1].fans, 1);
     }
 
     #[test]

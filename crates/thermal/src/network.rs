@@ -392,6 +392,18 @@ impl RcNetwork {
             .ok_or_else(|| NetworkError::NoSuchLink(a.to_owned(), b.to_owned()))
     }
 
+    /// The link's current resistance, by pre-resolved handle — the read
+    /// side of [`RcNetwork::set_link_resistance_by_id`], letting tests
+    /// and diagnostics audit what a fan-zone update actually applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    #[must_use]
+    pub fn link_resistance_by_id(&self, id: LinkId) -> KelvinPerWatt {
+        KelvinPerWatt::new(1.0 / self.links[id.0].conductance)
+    }
+
     /// Re-parameterizes a link's resistance by pre-resolved handle,
     /// invalidating the cached factorization.
     ///

@@ -1,8 +1,8 @@
 //! Property-based tests for the thermal models.
 
 use gfsc_thermal::{
-    HeatSinkLaw, HeatSinkNode, MultiSocketPlant, PlantCalibration, RcNetworkBuilder,
-    ServerThermalModel, Topology,
+    FanZoneMap, HeatSinkLaw, HeatSinkNode, MultiSocketPlant, PlantCalibration, RcNetworkBuilder,
+    ServerThermalModel, Topology, ZoneId,
 };
 use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
 use proptest::prelude::*;
@@ -264,6 +264,98 @@ proptest! {
                 let b = naive.temperature(id).value();
                 prop_assert!((a - b).abs() < 1e-9, "node {i} diverged at step {k}: {a} vs {b}");
             }
+        }
+    }
+}
+
+proptest! {
+    /// The fan→link mapping is a true partition with a lossless round
+    /// trip: for a random assignment of sink links across a random number
+    /// of zones, (a) each zone's probe overrides are exactly its own
+    /// attached links at its own law — the union covers every attached
+    /// link, pairwise disjoint; (b) `set_fan` re-parameterizes exactly the
+    /// zone's own links (bitwise equal to setting them by hand) and
+    /// leaves every other zone's links untouched; (c) the zone's declared
+    /// fan speed reads back exactly.
+    #[test]
+    fn fan_zone_map_link_partition_round_trips(
+        sinks in 2usize..9,
+        zone_count in 1usize..5,
+        assignment_seed in 0u64..4096,
+        fan in 500.0f64..9000.0,
+    ) {
+        let law = HeatSinkLaw::date14();
+        let mut builder = RcNetworkBuilder::new().boundary("ambient", Celsius::new(30.0));
+        for i in 0..sinks {
+            builder = builder.node(format!("sink{i}"), JoulesPerKelvin::new(300.0), Celsius::new(30.0)).link(
+                format!("sink{i}"),
+                "ambient",
+                law.with_airflow_derate(1.0 + 0.1 * i as f64).resistance(Rpm::new(8500.0)),
+            );
+        }
+        let mut net = builder.build().unwrap();
+
+        // Deterministic pseudo-random link→zone assignment.
+        let mut state = assignment_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut zones = FanZoneMap::new();
+        let ids: Vec<ZoneId> =
+            (0..zone_count).map(|z| zones.add_zone(format!("z{z}"), Rpm::new(8500.0))).collect();
+        let mut owner = vec![0usize; sinks];
+        for (i, slot) in owner.iter_mut().enumerate() {
+            *slot = (next() as usize) % zone_count;
+            let link = net.link_id(&format!("sink{i}"), "ambient").unwrap();
+            zones.attach(ids[*slot], link, law.with_airflow_derate(1.0 + 0.1 * i as f64));
+        }
+
+        // (a) Partition: per-zone overrides are exactly the zone's links,
+        // the union is all attached links, and no link appears twice.
+        let mut seen = vec![false; sinks];
+        let mut total = 0usize;
+        for (z, &zone) in ids.iter().enumerate() {
+            let mut overrides = Vec::new();
+            zones.extend_overrides(zone, Rpm::new(fan), &mut overrides);
+            prop_assert_eq!(overrides.len(), zones.link_count(zone));
+            for (link, resistance) in overrides {
+                let i = (0..sinks)
+                    .find(|&i| net.link_id(&format!("sink{i}"), "ambient").unwrap() == link)
+                    .expect("override refers to an attached link");
+                prop_assert_eq!(owner[i], z, "link {} surfaced in zone {}", i, z);
+                prop_assert!(!seen[i], "link {} appeared in two zones", i);
+                seen[i] = true;
+                total += 1;
+                // Each link is probed through its own derated law.
+                let expected = law.with_airflow_derate(1.0 + 0.1 * i as f64)
+                    .resistance(Rpm::new(fan));
+                prop_assert_eq!(resistance.value().to_bits(), expected.value().to_bits());
+            }
+        }
+        prop_assert_eq!(total, sinks, "some attached link surfaced in no zone");
+
+        // (b) + (c) Round trip: set one zone's fan; exactly its links move
+        // (bitwise to the hand-set value), everything else holds.
+        let target = ids[(next() as usize) % zone_count];
+        zones.set_fan(&mut net, target, Rpm::new(fan));
+        prop_assert_eq!(zones.fan(target).value().to_bits(), fan.to_bits());
+        for i in 0..sinks {
+            let link = net.link_id(&format!("sink{i}"), "ambient").unwrap();
+            let expected = if ids[owner[i]] == target {
+                law.with_airflow_derate(1.0 + 0.1 * i as f64).resistance(Rpm::new(fan))
+            } else {
+                law.with_airflow_derate(1.0 + 0.1 * i as f64).resistance(Rpm::new(8500.0))
+            };
+            // The network stores conductances, so the read-back passes
+            // through 1/(1/r): compare to double-rounding precision.
+            let got = net.link_resistance_by_id(link).value();
+            prop_assert!(
+                (got - expected.value()).abs() <= 1e-12 * expected.value(),
+                "link {} moved unexpectedly: {} vs {}", i, got, expected.value()
+            );
         }
     }
 }

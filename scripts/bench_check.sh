@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Bench-regression gate: re-measures the cached-step and closed-loop
-# throughput metrics (server, coordinated rack, and the SS/E-coord rack
-# modes) and fails on a >30 % regression against the committed
-# BENCH_<date>.json baseline.
+# throughput metrics (server, coordinated rack, the SS/E-coord rack
+# modes, and the global-E-coord rack loop) and fails on a >30 %
+# regression against the committed BENCH_<date>.json baseline.
 #
 #     ./scripts/bench_check.sh                   # newest committed baseline
 #     ./scripts/bench_check.sh BENCH_x.json      # explicit baseline

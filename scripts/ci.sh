@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI gate for the gfsc workspace. Run from the repository root:
 #
-#     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests,
-#                              # release tests, bench smoke, bench check
-#     ./scripts/ci.sh quick    # skip the release tests & bench stages
+#     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests twice
+#                              # (GFSC_SWEEP_THREADS=1 and =4 — determinism
+#                              # under both executors), release tests,
+#                              # bench smoke, bench check
+#     ./scripts/ci.sh quick    # single test run; skip the release tests
+#                              # & bench stages
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds the style gates that keep the tree warning-free.
@@ -33,9 +36,16 @@ run_stage() {
 run_stage "fmt" cargo fmt --check
 run_stage "clippy" cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 run_stage "build" cargo build --release --locked --offline
-run_stage "test" cargo test -q --locked --offline
 
-if [ "${1:-}" != "quick" ]; then
+if [ "${1:-}" = "quick" ]; then
+    run_stage "test" cargo test -q --locked --offline
+else
+    # The full gate runs the suite under both a serial and a parallel
+    # sweep executor: the parallel==serial determinism contract must hold
+    # whichever path the environment forces, and a worker-count-dependent
+    # bug in either direction should fail CI, not a user.
+    run_stage "test-threads-1" env GFSC_SWEEP_THREADS=1 cargo test -q --locked --offline
+    run_stage "test-threads-4" env GFSC_SWEEP_THREADS=4 cargo test -q --locked --offline
     run_stage "test-release" cargo test -q --release --locked --offline
     run_stage "bench-smoke" env GFSC_BENCH_FAST=1 \
         cargo bench -p gfsc-bench --locked --offline --bench hot_paths

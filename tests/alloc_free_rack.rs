@@ -41,16 +41,22 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn allocations_for(control: RackControl, horizon: Seconds) -> u64 {
     // Spiking workload: the single-step bank must actually boost/release
-    // (the release path runs the min-safe bisection) and the E-coord
-    // descent must hit emergencies, or the probe paths go unmeasured.
+    // (the release path runs the min-safe bisection), the E-coord and
+    // global descents must hit emergencies, and the migrator must
+    // actually shift and reclaim weight — or the probe/ledger paths go
+    // unmeasured. The imbalanced choked-rear rack (instead of the stock
+    // 1U×8) keeps one server hot enough that migrations genuinely fire.
     let workload = Workload::builder(SquareWave::date14())
         .gaussian_noise(0.04, 5)
         .spikes(1.0 / 180.0, Seconds::new(30.0), 0.8, 6)
         .build();
-    let mut sim = RackLoopSim::builder(RackSpec::new(RackTopology::rack_1u_x8()))
-        .workload(workload)
-        .control(control)
-        .build();
+    let rack = if matches!(control, RackControl::MigratingCoordinated { .. }) {
+        gfsc::experiments::rack::imbalanced_choked_rack()
+    } else {
+        RackTopology::rack_1u_x8()
+    };
+    let mut sim =
+        RackLoopSim::builder(RackSpec::new(rack)).workload(workload).control(control).build();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let outcome = sim.run(horizon);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
@@ -64,6 +70,8 @@ fn rack_epoch_loop_does_not_allocate_per_epoch() {
         RackControl::Coordinated { adaptive_reference: true },
         RackControl::CoordinatedSsFan { adaptive_reference: true },
         RackControl::CoordinatedECoord,
+        RackControl::GlobalECoord,
+        RackControl::MigratingCoordinated { adaptive_reference: true },
     ] {
         // Warm up one run so lazily-initialized process state doesn't skew
         // the first measurement.

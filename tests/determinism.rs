@@ -121,6 +121,37 @@ fn rack_sweep_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn rack_control_axis_sweep_matches_serial_byte_for_byte() {
+    use gfsc::rack::RackTopology;
+    use gfsc::sweep::ScenarioGrid;
+    use gfsc_coord::RackControl;
+    // The two rack-native modes (rack-global energy descent, work
+    // migration) enter grids through the rack-control axis; across
+    // threads their Gauss–Seidel probe sweeps and load-weight shifts must
+    // still replay the serial walk bitwise. The imbalanced choked-rear
+    // rack makes the migrator actually migrate (a balanced rack leaves it
+    // inert and the test vacuous).
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(150.0))
+        .seeds(&[1, 2])
+        .rack_variant(RackTopology::shared_plenum(4))
+        .rack_variant(gfsc::experiments::rack::imbalanced_choked_rack())
+        .rack_controls(&[
+            RackControl::GlobalECoord,
+            RackControl::MigratingCoordinated { adaptive_reference: true },
+        ])
+        .build();
+    let parallel = grid.run_with_workers(4);
+    let serial = grid.run_serial();
+    assert_eq!(parallel.len(), 8);
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert!(p.label.starts_with("rack-"), "rack axis missing from {}", p.label);
+        assert_eq!(p.label, s.label);
+        assert_eq!(p.summary, s.summary, "{}", p.label);
+    }
+}
+
+#[test]
 fn fan_interval_sweep_matches_serial_byte_for_byte() {
     use gfsc::sweep::ScenarioGrid;
     // The fan-control-interval axis derives specs (and re-tunes gains per
