@@ -8,6 +8,12 @@
 //!   cached vs uncached (2- and 8-node chains), the 4S plant, and the
 //!   1U×8 rack plant (8 servers, 2 fan zones, shared plenum),
 //! - trace recording: 8 channels by name vs by pre-resolved handle,
+//! - batch: the lockstep batch engine's per-scenario step cost at
+//!   B ∈ {1, 8, 64} on the finned 2S plant under a moving fan (vs the
+//!   scalar moving-fan reference, which refactorizes every step), the
+//!   columnar trace-spill write bandwidth, and the tentpole 64-scenario
+//!   same-topology sweep (finned plant, quantized fan commands), serial
+//!   vs batched, with a bit-identity check,
 //! - epoch rate: simulated seconds per wall-clock second of the full
 //!   closed loop, of the coordinated rack loop (capper bank +
 //!   coordinator + per-zone fan loops on the 1U×8 rack), of the
@@ -24,7 +30,8 @@
 //! [--table3-horizon SECS] [--out PATH] [--check BASELINE.json]`
 //!
 //! `--check` switches to regression-gate mode: instead of writing a new
-//! snapshot, it re-measures the cached-step, rack-step and closed-loop
+//! snapshot, it re-measures the cached-step, rack-step, batch-step,
+//! spill-bandwidth, batched-sweep and closed-loop
 //! throughput metrics (server, coordinated rack, the SS/E-coord rack
 //! modes, and the global-E-coord rack loop; best of three), compares
 //! them against the committed baseline,
@@ -33,13 +40,17 @@
 //! wraps this for CI.
 
 use gfsc::experiments::{ablations, fan_study_spec};
-use gfsc::sweep::ScenarioGrid;
+use gfsc::server::ServerSpec;
+use gfsc::sweep::{ScenarioGrid, WorkloadRecipe};
 use gfsc::{tune_gain_schedule, Solution};
 use gfsc_bench::{chain_network, EPOCH_CHANNELS};
 use gfsc_coord::{RackControl, RackLoopSim};
 use gfsc_rack::{RackPlant, RackSpec, RackTopology};
 use gfsc_sim::sweep::thread_count;
-use gfsc_thermal::{HeatSinkLaw, MultiSocketPlant, PlantCalibration, ServerThermalModel, Topology};
+use gfsc_thermal::{
+    BatchRcNetwork, HeatSinkLaw, MultiSocketPlant, PlantCalibration, RcNetwork, ServerThermalModel,
+    Topology,
+};
 use gfsc_units::{Celsius, KelvinPerWatt, Rpm, Seconds, Watts};
 use gfsc_workload::{SquareWave, Workload};
 use std::fmt::Write as _;
@@ -99,6 +110,35 @@ fn main() {
         rc8_uncached / rc8_cached,
     );
 
+    // --- batched lockstep stepping ---------------------------------------
+    // Moving-fan scalar reference: the fan pattern every batch width sees,
+    // stepped one plant at a time — each speed change dirties the matrix,
+    // so the scalar path refactorizes every step. On the finned 2S plant
+    // the factorization is O(k³) in the fin blocks, which is exactly the
+    // cost the batch engine's cross-lane/cross-step factor sharing deletes.
+    let scalar_moving_ns = {
+        let mut plant = finned_plant();
+        let powers = [Watts::new(140.8); 2];
+        let mut k = 0usize;
+        time_per_iter(20_000, || {
+            plant.step(Seconds::new(0.5), &powers, lattice_fan(k, 0));
+            k += 1;
+        })
+    };
+    let batch_b1_ns = batch_step_ns_per_scenario(1);
+    let batch_b8_ns = batch_step_ns_per_scenario(8);
+    let batch_b64_ns = batch_step_ns_per_scenario(64);
+    println!(
+        "batch finned-2S step/scenario: scalar moving-fan {scalar_moving_ns:.0} ns; \
+         B=1 {batch_b1_ns:.0} ns, B=8 {batch_b8_ns:.0} ns, B=64 {batch_b64_ns:.0} ns \
+         ({:.2}x at B=64)",
+        scalar_moving_ns / batch_b64_ns,
+    );
+
+    // --- columnar trace spill --------------------------------------------
+    let spill_mb_s = spill_write_mb_s();
+    println!("trace spill: {spill_mb_s:.0} MB/s columnar write");
+
     // --- trace recording -------------------------------------------------
     let mut by_name = gfsc_sim::TraceSet::new();
     let mut t = 0.0;
@@ -143,6 +183,17 @@ fn main() {
     println!("rack SS + E-coord loops: {rack_ss_ecoord_rate:.0} simulated s / wall s");
     let rack_global_ecoord_rate = rack_global_ecoord_sim_rate();
     println!("rack global E-coord loop: {rack_global_ecoord_rate:.0} simulated s / wall s");
+
+    // --- 64-scenario lockstep batch sweep --------------------------------
+    let (batch_sweep_horizon, sweep64_serial_s, sweep64_batched_s, sweep64_bit_identical) =
+        batched_sweep64();
+    let sweep64_speedup = sweep64_serial_s / sweep64_batched_s;
+    println!(
+        "batched 64-scenario finned-2S sweep ({batch_sweep_horizon} s horizon): serial \
+         {sweep64_serial_s:.3} s, batched {sweep64_batched_s:.3} s ({sweep64_speedup:.2}x, \
+         bit-identical: {sweep64_bit_identical})"
+    );
+    assert!(sweep64_bit_identical, "batched sweep diverged from the serial reference");
 
     // --- table3 sweep: serial vs parallel --------------------------------
     let grid = ScenarioGrid::builder()
@@ -226,6 +277,16 @@ fn main() {
          \"rack_8s_step_ns\": {rack_8s_ns:.1}\n  }},\n  \
          \"trace_record_8ch\": {{\n    \"by_name_ns\": {record_by_name_ns:.1},\n    \
          \"by_handle_ns\": {record_by_handle_ns:.1}\n  }},\n  \
+         \"batch\": {{\n    \"scalar_moving_fan_step_ns\": {scalar_moving_ns:.1},\n    \
+         \"step_ns_per_scenario_b1\": {batch_b1_ns:.1},\n    \
+         \"step_ns_per_scenario_b8\": {batch_b8_ns:.1},\n    \
+         \"step_ns_per_scenario_b64\": {batch_b64_ns:.1},\n    \
+         \"spill_write_mb_s\": {spill_mb_s:.1},\n    \
+         \"sweep64\": {{\n      \"horizon_s\": {batch_sweep_horizon},\n      \
+         \"serial_seconds\": {sweep64_serial_s:.4},\n      \
+         \"batched_seconds\": {sweep64_batched_s:.4},\n      \
+         \"speedup\": {sweep64_speedup:.3},\n      \
+         \"bit_identical_to_serial\": {sweep64_bit_identical}\n    }}\n  }},\n  \
          \"closed_loop\": {{\n    \"sim_seconds_per_wall_second\": {sim_rate:.1}\n  }},\n  \
          \"rack_loop\": {{\n    \
          \"coordinated_sim_seconds_per_wall_second\": {rack_rate:.1},\n    \
@@ -322,6 +383,90 @@ fn rack_global_ecoord_sim_rate() -> f64 {
     horizon / secs
 }
 
+/// The moving-fan pattern shared by the scalar reference and every batch
+/// width: an 8-speed lattice walked one notch per step (lane-shifted so
+/// batch lanes disagree at any instant). Every step changes the
+/// airflow-dependent conductances, which is exactly the regime sweeps
+/// spend slew-limited fan ramps in.
+fn lattice_fan(step: usize, lane: usize) -> Rpm {
+    Rpm::new(1500.0 + 500.0 * ((step + lane) % 8) as f64)
+}
+
+/// Mean nanoseconds per scenario per step of the lockstep batch engine at
+/// width `b`, on finned 2S plants under the moving-fan lattice. The scalar
+/// comparison point is `scalar_moving_fan_step_ns`: same plant, same
+/// pattern, one network at a time.
+fn batch_step_ns_per_scenario(b: usize) -> f64 {
+    let mut plants: Vec<MultiSocketPlant> = (0..b).map(|_| finned_plant()).collect();
+    let mut batch = {
+        let nets: Vec<&RcNetwork> = plants.iter().map(MultiSocketPlant::network).collect();
+        BatchRcNetwork::new(&nets).expect("identical presets batch")
+    };
+    let powers = [Watts::new(140.8); 2];
+    let iters = (40_000 / b as u64).max(1_000);
+    let mut k = 0usize;
+    let batch_step_ns = time_per_iter(iters, || {
+        for (lane, plant) in plants.iter_mut().enumerate() {
+            plant.prepare_step(&powers, lattice_fan(k, lane));
+        }
+        let mut nets: Vec<&mut RcNetwork> =
+            plants.iter_mut().map(MultiSocketPlant::network_mut).collect();
+        batch.step(&mut nets, Seconds::new(0.5));
+        k += 1;
+    });
+    batch_step_ns / b as f64
+}
+
+/// Sequential columnar-spill write bandwidth in MB/s: 8 epoch channels ×
+/// 200k samples (24.4 MiB of column data) through `TraceSet::spill_to`
+/// into a tmpdir.
+fn spill_write_mb_s() -> f64 {
+    const SAMPLES: usize = 200_000;
+    let mut set = gfsc_sim::TraceSet::new();
+    let ids: Vec<_> =
+        EPOCH_CHANNELS.iter().map(|n| set.channel_with_capacity(n, SAMPLES)).collect();
+    for k in 0..SAMPLES {
+        let t = Seconds::new(k as f64);
+        for (j, &id) in ids.iter().enumerate() {
+            set.record_by_id(id, t, (k * 8 + j) as f64);
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("gfsc-bench-spill-{}", std::process::id()));
+    let (result, secs) = time(|| set.spill_to(&dir));
+    result.expect("spill to tmpdir");
+    std::fs::remove_dir_all(&dir).ok();
+    // Two 8-byte columns (time + value) per sample per channel.
+    let bytes = (EPOCH_CHANNELS.len() * SAMPLES * 16) as f64;
+    bytes / (1024.0 * 1024.0) / secs
+}
+
+/// The tentpole workload: a 64-scenario same-topology sweep on the finned
+/// 2S server with 500 rpm fan command quantization (PWM-granular targets
+/// put every commanded speed on a shared rpm lattice, so batch lanes
+/// share factorizations across lanes *and* steps), 64 seeds of a noisy
+/// square wave, R-coord @ fixed Tref, serial vs lockstep-batched.
+/// Returns `(horizon_s, serial_s, batched_s, bit_identical)`.
+fn batched_sweep64() -> (f64, f64, f64, bool) {
+    let horizon = 300.0;
+    let spec = ServerSpec {
+        fan_cmd_step: 500.0,
+        fan_control_interval: Seconds::new(1.0),
+        ..ServerSpec::with_topology(Topology::finned(2, 32))
+    };
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(horizon))
+        .solutions(&[Solution::RCoordFixedTref])
+        .seeds(&(1..=64).collect::<Vec<u64>>())
+        .workload(WorkloadRecipe::SquareWave { low: 0.1, high: 0.9, period_s: 14.0, sigma: 0.12 })
+        .spec_variant("finned2x32-q500", spec)
+        .build();
+    let (serial, serial_s) = time(|| grid.run_serial());
+    let (batched, batched_s) = time(|| grid.run_batched());
+    let bit_identical =
+        serial.iter().zip(&batched).all(|(s, b)| s.label == b.label && s.summary == b.summary);
+    (horizon, serial_s, batched_s, bit_identical)
+}
+
 /// The shared 4S benchmark plant (Table I calibration per socket).
 fn quad_socket_plant() -> MultiSocketPlant {
     let cal = PlantCalibration {
@@ -333,6 +478,22 @@ fn quad_socket_plant() -> MultiSocketPlant {
         die_tau: Seconds::new(0.1),
     };
     MultiSocketPlant::new(&cal, &Topology::quad_socket()).expect("stock topology compiles")
+}
+
+/// The finned 2S batch-benchmark plant: two sockets whose heat sinks carry
+/// 32 fin segments each — dense per-socket matrix blocks, so the scalar
+/// path's per-speed-change refactorization is expensive and the batch
+/// engine's shared factors have something real to delete.
+fn finned_plant() -> MultiSocketPlant {
+    let cal = PlantCalibration {
+        ambient: Celsius::new(35.0),
+        law: HeatSinkLaw::date14(),
+        sink_tau: Seconds::new(60.0),
+        tau_speed: Rpm::new(8500.0),
+        r_jc: KelvinPerWatt::new(0.10),
+        die_tau: Seconds::new(0.1),
+    };
+    MultiSocketPlant::new(&cal, &Topology::finned(2, 32)).expect("finned topology compiles")
 }
 
 /// `--check` mode: re-measures the gate metrics, compares them against the
@@ -373,6 +534,13 @@ fn run_check(baseline_path: &str) -> i32 {
         secs / horizon
     }));
     let rack_8s = best3(Box::new(time_rack_8s_step));
+    let batch64 = best3(Box::new(|| batch_step_ns_per_scenario(64)));
+    let spill_cost = best3(Box::new(|| 1.0 / spill_write_mb_s()));
+    let sweep64_batched = best3(Box::new(|| {
+        let (_, _, batched_s, bit_identical) = batched_sweep64();
+        assert!(bit_identical, "batched sweep diverged from the serial reference");
+        batched_s
+    }));
     let rack_rate_cost = best3(Box::new(|| 1.0 / rack_coord_sim_rate()));
     let rack_ss_ecoord_cost = best3(Box::new(|| 1.0 / rack_ss_ecoord_sim_rate()));
     let rack_global_ecoord_cost = best3(Box::new(|| 1.0 / rack_global_ecoord_sim_rate()));
@@ -398,6 +566,9 @@ fn run_check(baseline_path: &str) -> i32 {
     check("rc2 cached step", "rc2_cached_ns", rc2_cached, |ns| ns);
     check("rc8 cached step", "rc8_cached_ns", rc8_cached, |ns| ns);
     check("rack 1Ux8 step", "rack_8s_step_ns", rack_8s, |ns| ns);
+    check("batch B=64 step/scenario", "step_ns_per_scenario_b64", batch64, |ns| ns);
+    check("spill write bandwidth", "spill_write_mb_s", spill_cost, |rate| 1.0 / rate);
+    check("batched 64-sweep", "batched_seconds", sweep64_batched, |s| s);
     // Throughput inverts: cost = wall seconds per simulated second.
     check("closed-loop throughput", "sim_seconds_per_wall_second", sim_rate, |rate| 1.0 / rate);
     check(

@@ -76,7 +76,7 @@ pub use rack::{
     RackRunOutcome, ZoneReferences,
 };
 pub use reference::AdaptiveReference;
-pub use runner::{ClosedLoopSim, ClosedLoopSimBuilder, RunOutcome};
+pub use runner::{run_batch, ClosedLoopSim, ClosedLoopSimBuilder, RunOutcome};
 pub use ssfan::{SingleStepFanScaling, SsFanAction};
 pub use zone_ecoord::ZoneEnergyCoordinator;
 pub use zone_ssfan::ZoneSsFanBank;

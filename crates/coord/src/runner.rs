@@ -369,6 +369,113 @@ impl ClosedLoopSim {
     }
 }
 
+/// Per-lane schedule and recording state for [`run_batch`]: exactly what
+/// [`ClosedLoopSim::run`] keeps on its stack, one copy per lane so lanes
+/// may run different control intervals while sharing the lockstep clock.
+struct BatchLane {
+    cpu_epoch: Periodic,
+    fan_epoch: Periodic,
+    traces: TraceSet,
+    channels: EpochChannels,
+}
+
+/// Runs several compatible closed loops in lockstep for `horizon`
+/// simulated seconds, solving all lanes' thermal networks through one
+/// [`gfsc_thermal::BatchRcNetwork`] per step.
+///
+/// Per lane, this replays [`ClosedLoopSim::run`]'s schedule operation for
+/// operation — control epochs, server stepping, trace recording — with
+/// only the thermal solve hoisted into the shared batch, whose
+/// factorization memo is the point: lanes ramping through the same fan
+/// lattice share LU factors across lanes *and* steps instead of each
+/// refactorizing privately. Outcomes are **bitwise identical** to running
+/// every lane alone.
+///
+/// Compatibility is the caller's contract (the sweep engine groups cells
+/// before calling): every lane needs the same `sim_dt` and the same plant
+/// topology, and lanes must run RC-network plants (multi-socket
+/// topologies). Control intervals, workloads, seeds, controllers, ambient
+/// and sensor models are free to differ per lane.
+///
+/// # Panics
+///
+/// Panics if `sims` is empty, a lane has a two-node plant, `sim_dt`
+/// differs across lanes, or the plant topologies differ.
+pub fn run_batch(sims: &mut [ClosedLoopSim], horizon: Seconds) -> Vec<RunOutcome> {
+    use gfsc_thermal::{BatchRcNetwork, RcNetwork};
+
+    assert!(!sims.is_empty(), "a batch needs at least one lane");
+    let sim_dt = sims[0].spec.sim_dt;
+    for (i, sim) in sims.iter().enumerate() {
+        assert_eq!(sim.spec.sim_dt, sim_dt, "lane {i}: lockstep lanes must share sim_dt");
+        assert!(
+            sim.server.batch_network().is_some(),
+            "lane {i}: batched stepping requires an RC-network plant"
+        );
+    }
+    let mut batch = {
+        let nets: Vec<&RcNetwork> =
+            sims.iter().map(|s| s.server.batch_network().expect("checked above")).collect();
+        BatchRcNetwork::new(&nets).expect("lockstep lanes must share one topology")
+    };
+
+    let mut lanes: Vec<BatchLane> = sims
+        .iter()
+        .map(|sim| {
+            let mut traces = TraceSet::new();
+            let epochs =
+                (horizon.value() / sim.spec.cpu_control_interval.value()).floor() as usize + 2;
+            let channels = EpochChannels::resolve(&mut traces, epochs, sim.server.socket_count());
+            BatchLane {
+                cpu_epoch: Periodic::new(sim.spec.cpu_control_interval),
+                fan_epoch: Periodic::new(sim.spec.fan_control_interval),
+                traces,
+                channels,
+            }
+        })
+        .collect();
+
+    let mut clock = Clock::new(sim_dt);
+    let steps = clock.steps_for(horizon);
+    for _ in 0..=steps {
+        let now = clock.now();
+        for (sim, lane) in sims.iter_mut().zip(&mut lanes) {
+            // Same short-circuit as the scalar loop: the fan schedule is
+            // only consulted (and advanced) inside a due CPU epoch.
+            if lane.cpu_epoch.is_due(now) {
+                let fan_due = lane.fan_epoch.is_due(now);
+                sim.control_epoch(now, fan_due, &mut lane.traces, &lane.channels);
+            }
+            sim.server.begin_step(sim_dt, sim.executed);
+        }
+        {
+            let mut nets: Vec<&mut RcNetwork> = sims
+                .iter_mut()
+                .map(|s| s.server.batch_network_mut().expect("checked above"))
+                .collect();
+            batch.step(&mut nets, sim_dt);
+        }
+        for sim in sims.iter_mut() {
+            sim.server.finish_step(sim_dt);
+        }
+        clock.tick();
+    }
+
+    sims.iter()
+        .zip(lanes)
+        .map(|(sim, lane)| RunOutcome {
+            traces: lane.traces,
+            violation_percent: sim.monitor.violation_percent(),
+            total_violations: sim.monitor.total_violations(),
+            total_epochs: sim.monitor.total_epochs(),
+            lost_utilization: sim.monitor.lost_utilization(),
+            fan_energy: sim.server.fan_energy(),
+            cpu_energy: sim.server.cpu_energy(),
+            horizon,
+        })
+        .collect()
+}
+
 /// The epoch-rate channels, resolved to [`ChannelId`]s once per run: the
 /// eight aggregate channels plus, on multi-socket plants, one
 /// `(t_junction_s{i}_c, t_measured_s{i}_c)` pair per socket. Single-socket
@@ -556,6 +663,95 @@ mod tests {
         let out = sim.run(Seconds::new(10.0));
         let fan = out.traces.require("fan_rpm").unwrap();
         assert!((fan.values()[0] - 4000.0).abs() < 1e-6);
+    }
+
+    /// Lane configurations for the batched/scalar parity tests: same
+    /// dual-socket topology, deliberately different workloads, seeds, and
+    /// controller stacks per lane.
+    fn parity_lane(i: usize) -> ClosedLoopSim {
+        let spec = gfsc_server::ServerSpec::with_topology(gfsc_thermal::Topology::dual_socket());
+        let builder = ClosedLoopSim::builder().spec(spec).fan(pid_fan());
+        match i % 4 {
+            0 => builder.workload(Workload::builder(Constant::new(0.55)).build()).build(),
+            1 => builder
+                .workload(Workload::builder(SquareWave::date14()).gaussian_noise(0.04, 7).build())
+                .build(),
+            2 => builder
+                .workload(Workload::builder(Constant::new(0.8)).gaussian_noise(0.02, 11).build())
+                .coordinator(RuleBasedCoordinator::new(Celsius::new(80.0)))
+                .adaptive_reference(AdaptiveReference::date14())
+                .single_step(SingleStepFanScaling::new(0.3))
+                .build(),
+            _ => builder
+                .workload(Workload::builder(SquareWave::date14()).gaussian_noise(0.03, 3).build())
+                .without_capper()
+                .build(),
+        }
+    }
+
+    fn assert_outcomes_bitwise_eq(batched: &RunOutcome, scalar: &RunOutcome, lane: usize) {
+        assert_eq!(batched.total_epochs, scalar.total_epochs, "lane {lane}: epochs");
+        assert_eq!(batched.total_violations, scalar.total_violations, "lane {lane}: violations");
+        assert_eq!(
+            batched.violation_percent.to_bits(),
+            scalar.violation_percent.to_bits(),
+            "lane {lane}: violation percent"
+        );
+        assert_eq!(
+            batched.lost_utilization.to_bits(),
+            scalar.lost_utilization.to_bits(),
+            "lane {lane}: lost utilization"
+        );
+        assert_eq!(
+            batched.fan_energy.value().to_bits(),
+            scalar.fan_energy.value().to_bits(),
+            "lane {lane}: fan energy"
+        );
+        assert_eq!(
+            batched.cpu_energy.value().to_bits(),
+            scalar.cpu_energy.value().to_bits(),
+            "lane {lane}: cpu energy"
+        );
+        for b in batched.traces.iter() {
+            let name = b.name();
+            let s = scalar.traces.require(name).unwrap();
+            assert_eq!(b.len(), s.len(), "lane {lane}: trace {name} length");
+            for (step, (bv, sv)) in b.values().iter().zip(s.values()).enumerate() {
+                assert_eq!(
+                    bv.to_bits(),
+                    sv.to_bits(),
+                    "lane {lane}: trace {name} diverges at sample {step}: {bv} vs {sv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_runs_bitwise() {
+        let horizon = Seconds::new(240.0);
+        let mut lanes: Vec<ClosedLoopSim> = (0..6).map(parity_lane).collect();
+        let batched = run_batch(&mut lanes, horizon);
+
+        for (i, batched) in batched.iter().enumerate() {
+            let scalar = parity_lane(i).run(horizon);
+            assert_outcomes_bitwise_eq(batched, &scalar, i);
+        }
+    }
+
+    #[test]
+    fn single_lane_batch_matches_scalar_run_bitwise() {
+        let horizon = Seconds::new(180.0);
+        let mut lanes = vec![parity_lane(2)];
+        let batched = run_batch(&mut lanes, horizon);
+        let scalar = parity_lane(2).run(horizon);
+        assert_outcomes_bitwise_eq(&batched[0], &scalar, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RC-network plant")]
+    fn batch_rejects_two_node_plants() {
+        let mut lanes = vec![basic_sim(Workload::builder(Constant::new(0.5)).build())];
+        let _ = run_batch(&mut lanes, Seconds::new(10.0));
     }
 
     #[test]

@@ -182,6 +182,13 @@ impl Simulation {
     pub fn run(mut self, horizon: Seconds) -> RunOutcome {
         self.inner.run(horizon)
     }
+
+    /// Unwraps the assembled closed loop, for executors that drive several
+    /// simulations in lockstep (`gfsc_coord::run_batch`) instead of
+    /// calling [`Simulation::run`] on each.
+    pub(crate) fn into_closed_loop(self) -> ClosedLoopSim {
+        self.inner
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,10 @@ impl WorkloadRecipe {
     }
 }
 
+/// Lockstep-compatibility key: `(topology, sim_dt bits, horizon bits)` —
+/// see [`Scenario::is_batchable`].
+type BatchKey<'a> = (&'a Topology, u64, u64);
+
 /// One fully-specified run of the closed loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -150,6 +154,18 @@ impl Scenario {
         if let Some(rack) = &self.rack {
             return self.run_rack(rack);
         }
+        self.build_simulation().run(self.horizon)
+    }
+
+    /// Assembles the single-server closed loop this scenario describes —
+    /// the exact `Simulation` that [`Scenario::run`] would run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rack cells: a rack scenario runs `RackLoopSim`, not a
+    /// single-server `Simulation`.
+    fn build_simulation(&self) -> Simulation {
+        assert!(self.rack.is_none(), "rack cells do not build a single-server simulation");
         let mut builder = Simulation::builder()
             .solution(self.solution)
             .seed(self.seed)
@@ -160,7 +176,26 @@ impl Scenario {
         if let Some(schedule) = &self.gain_schedule {
             builder = builder.gain_schedule(schedule.clone());
         }
-        builder.workload(self.workload.build(self.seed)).build().run(self.horizon)
+        builder.workload(self.workload.build(self.seed)).build()
+    }
+
+    /// Whether this cell can join a lockstep batch: a single-server cell
+    /// whose plant is the cached RC network (multi-socket topology). The
+    /// single-socket default runs the exact-exponential two-node model,
+    /// which has no shared-factorization structure to exploit; rack cells
+    /// run their own closed loop.
+    #[must_use]
+    pub fn is_batchable(&self) -> bool {
+        self.rack.is_none() && self.spec.as_ref().is_some_and(|s| !s.topology.is_single())
+    }
+
+    /// The lockstep-compatibility key: cells batch together only when
+    /// their plants share a network structure and their loops share a
+    /// step size and duration. Control intervals, ambients, sensor
+    /// models, solutions, and seeds are free to differ within a batch.
+    fn batch_key(&self) -> Option<BatchKey<'_>> {
+        let spec = self.spec.as_ref()?;
+        Some((&spec.topology, spec.sim_dt.value().to_bits(), self.horizon.value().to_bits()))
     }
 
     /// How the solutions axis reads on a rack cell: the full rack
@@ -684,7 +719,12 @@ impl ScenarioGrid {
     }
 
     fn execute(&self, scenario: &Scenario) -> ScenarioResult {
-        let outcome = scenario.run();
+        self.package(scenario, scenario.run())
+    }
+
+    /// Folds a finished outcome into the grid's result shape (summary
+    /// always, traces only when the grid keeps them).
+    fn package(&self, scenario: &Scenario, outcome: RunOutcome) -> ScenarioResult {
         ScenarioResult {
             label: scenario.label.clone(),
             solution: scenario.solution,
@@ -720,6 +760,236 @@ impl ScenarioGrid {
     pub fn run_serial(&self) -> Vec<ScenarioResult> {
         executor::serial_map(&self.scenarios, |s| self.execute(s))
     }
+
+    /// Runs the grid through the lockstep batch engine: compatible
+    /// multi-socket cells (same topology, step size, and horizon — see
+    /// [`Scenario::is_batchable`]) step together through one
+    /// [`gfsc_thermal::BatchRcNetwork`] whose memoized LU factorizations
+    /// are shared across lanes *and* steps; everything else (single-socket
+    /// cells, rack cells, singleton groups) falls back to the scalar path.
+    ///
+    /// Results come back in enumeration order, **bitwise identical** to
+    /// [`ScenarioGrid::run_serial`] — batching is purely an execution
+    /// strategy, never a numerical one. Asserted by
+    /// `tests/determinism.rs` across every solution mode.
+    #[must_use]
+    pub fn run_batched(&self) -> Vec<ScenarioResult> {
+        if self.scenarios.iter().any(|s| s.spec.is_none()) {
+            let _ = crate::fine_gain_schedule();
+        }
+        // Group batchable cells by compatibility key, first-seen order.
+        let mut groups: Vec<(BatchKey<'_>, Vec<usize>)> = Vec::new();
+        for (i, scenario) in self.scenarios.iter().enumerate() {
+            if !scenario.is_batchable() {
+                continue;
+            }
+            let key = scenario.batch_key().expect("batchable cells always derive a spec");
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+
+        let mut results: Vec<Option<ScenarioResult>> = Vec::new();
+        results.resize_with(self.scenarios.len(), || None);
+        for (_, members) in &groups {
+            if members.len() < 2 {
+                continue; // singleton: the scalar path below picks it up
+            }
+            let mut sims: Vec<gfsc_coord::ClosedLoopSim> = members
+                .iter()
+                .map(|&i| self.scenarios[i].build_simulation().into_closed_loop())
+                .collect();
+            let horizon = self.scenarios[members[0]].horizon;
+            let outcomes = gfsc_coord::run_batch(&mut sims, horizon);
+            for (&i, outcome) in members.iter().zip(outcomes) {
+                results[i] = Some(self.package(&self.scenarios[i], outcome));
+            }
+        }
+        for (i, slot) in results.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(self.execute(&self.scenarios[i]));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every cell ran")).collect()
+    }
+
+    /// Splits the grid into `shards` deterministic manifests covering the
+    /// enumeration order in contiguous chunks (sizes differ by at most
+    /// one). Each manifest names a slice any process holding the same
+    /// grid can run with [`ScenarioGrid::run_shard`];
+    /// [`merge_shards`] reassembles the full result vector bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn shard(&self, shards: usize) -> Vec<ShardManifest> {
+        ShardManifest::split(self.scenarios.len(), shards)
+    }
+
+    /// Runs the slice of the grid a manifest names, across all cores,
+    /// returning that shard's results in enumeration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manifest's `total` does not match this grid — the
+    /// guard against pairing a manifest with a differently-built grid.
+    #[must_use]
+    pub fn run_shard(&self, manifest: &ShardManifest) -> Vec<ScenarioResult> {
+        assert_eq!(
+            manifest.total,
+            self.scenarios.len(),
+            "manifest was cut from a {}-scenario grid, this grid has {}",
+            manifest.total,
+            self.scenarios.len()
+        );
+        let slice = &self.scenarios[manifest.start..manifest.start + manifest.len];
+        if slice.iter().any(|s| s.spec.is_none()) {
+            let _ = crate::fine_gain_schedule();
+        }
+        executor::parallel_map(slice, |s| self.execute(s))
+    }
+}
+
+/// One shard of a [`ScenarioGrid`]: a contiguous slice of the grid's
+/// enumeration order, identified well enough to validate reassembly.
+///
+/// Manifests are plain data with a stable one-line text form
+/// ([`ShardManifest::to_text`] / [`ShardManifest::from_text`]), so a
+/// driver can cut a grid into K manifests, farm them out to K processes
+/// that each rebuild the same grid, and [`merge_shards`] the returned
+/// result vectors into the exact vector the unsharded run produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// This shard's index, `0..shard_count`.
+    pub shard: usize,
+    /// How many shards the grid was cut into.
+    pub shard_count: usize,
+    /// First scenario index covered.
+    pub start: usize,
+    /// Number of scenarios covered.
+    pub len: usize,
+    /// Total scenarios in the grid the cut was made from (the
+    /// merge-time compatibility check).
+    pub total: usize,
+}
+
+impl ShardManifest {
+    /// Cuts `total` items into `shards` contiguous chunks in index order;
+    /// the first `total % shards` chunks take one extra item. Purely a
+    /// function of the two counts — every process cutting the same grid
+    /// the same way gets byte-identical manifests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn split(total: usize, shards: usize) -> Vec<ShardManifest> {
+        assert!(shards > 0, "need at least one shard");
+        let base = total / shards;
+        let extra = total % shards;
+        let mut start = 0;
+        (0..shards)
+            .map(|shard| {
+                let len = base + usize::from(shard < extra);
+                let manifest = ShardManifest { shard, shard_count: shards, start, len, total };
+                start += len;
+                manifest
+            })
+            .collect()
+    }
+
+    /// The one-line text form: `gfsc-shard v1 <shard>/<count> <start>+<len> of <total>`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!(
+            "gfsc-shard v1 {}/{} {}+{} of {}",
+            self.shard, self.shard_count, self.start, self.len, self.total
+        )
+    }
+
+    /// Parses [`ShardManifest::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_text(text: &str) -> Result<ShardManifest, String> {
+        let mut words = text.split_whitespace();
+        let mut expect = |want: &str| match words.next() {
+            Some(got) if got == want => Ok(()),
+            Some(got) => Err(format!("expected `{want}`, found `{got}`")),
+            None => Err(format!("expected `{want}`, found end of input")),
+        };
+        expect("gfsc-shard")?;
+        expect("v1")?;
+        let mut words = text.split_whitespace().skip(2);
+        let mut field = |name: &str| words.next().ok_or_else(|| format!("missing {name}"));
+        let (shard, shard_count) = field("shard/count")?
+            .split_once('/')
+            .ok_or_else(|| "shard/count needs a `/`".to_owned())?;
+        let (start, len) = field("start+len")?
+            .split_once('+')
+            .ok_or_else(|| "start+len needs a `+`".to_owned())?;
+        let of = field("`of`")?;
+        if of != "of" {
+            return Err(format!("expected `of`, found `{of}`"));
+        }
+        let total = field("total")?;
+        let num = |name: &str, digits: &str| {
+            digits.parse::<usize>().map_err(|e| format!("bad {name} `{digits}`: {e}"))
+        };
+        Ok(ShardManifest {
+            shard: num("shard", shard)?,
+            shard_count: num("shard count", shard_count)?,
+            start: num("start", start)?,
+            len: num("len", len)?,
+            total: num("total", total)?,
+        })
+    }
+}
+
+/// Reassembles shard results into the full grid's result vector —
+/// bitwise what the unsharded run returns, in enumeration order. Parts
+/// may arrive in any order; they are sorted by manifest.
+///
+/// # Panics
+///
+/// Panics unless the manifests form exactly one complete, non-overlapping
+/// cover of `0..total` with consistent shard counts, and each part's
+/// length matches its manifest — partial or doubled coverage must never
+/// silently masquerade as a full sweep.
+#[must_use]
+pub fn merge_shards(mut parts: Vec<(ShardManifest, Vec<ScenarioResult>)>) -> Vec<ScenarioResult> {
+    assert!(!parts.is_empty(), "merge needs at least one shard");
+    parts.sort_by_key(|(m, _)| m.start);
+    let (first, _) = &parts[0];
+    let (shard_count, total) = (first.shard_count, first.total);
+    assert_eq!(parts.len(), shard_count, "expected {shard_count} shards, got {}", parts.len());
+    let mut next = 0;
+    let mut merged = Vec::with_capacity(total);
+    for (i, (manifest, results)) in parts.into_iter().enumerate() {
+        assert_eq!(
+            (manifest.shard_count, manifest.total),
+            (shard_count, total),
+            "shard {} was cut from a different grid",
+            manifest.shard
+        );
+        assert_eq!(manifest.shard, i, "duplicate or missing shard index {i}");
+        assert_eq!(manifest.start, next, "shard {} does not start at index {next}", manifest.shard);
+        assert_eq!(
+            results.len(),
+            manifest.len,
+            "shard {} returned {} results for {} scenarios",
+            manifest.shard,
+            results.len(),
+            manifest.len
+        );
+        next += manifest.len;
+        merged.extend(results);
+    }
+    assert_eq!(next, total, "shards cover {next} of {total} scenarios");
+    merged
 }
 
 /// Mean and 95 % confidence half-width of one metric over the seed axis.
@@ -1077,6 +1347,112 @@ mod tests {
             .topology_variant(Topology::dual_socket())
             .rack_variant(RackTopology::rack_1u_x8())
             .build();
+    }
+
+    #[test]
+    fn batched_run_matches_serial_bitwise_on_a_multi_socket_grid() {
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(90.0))
+            .solutions(&[Solution::WithoutCoordination, Solution::RCoordFixedTref])
+            .seeds(&[1, 2])
+            .topology_variant(Topology::dual_socket())
+            .build();
+        assert!(grid.scenarios().iter().all(Scenario::is_batchable));
+        let serial = grid.run_serial();
+        let batched = grid.run_batched();
+        assert_eq!(serial.len(), batched.len());
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!(s.label, b.label);
+            assert_eq!(s.summary, b.summary, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn batched_run_falls_back_for_single_socket_cells() {
+        // The default spec runs the two-node plant: nothing batches, the
+        // scalar fallback covers every cell, results still line up.
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(60.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1, 2])
+            .build();
+        assert!(grid.scenarios().iter().all(|s| !s.is_batchable()));
+        let serial = grid.run_serial();
+        let batched = grid.run_batched();
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!((s.label.as_str(), &s.summary), (b.label.as_str(), &b.summary));
+        }
+    }
+
+    #[test]
+    fn shard_split_covers_the_grid_exactly() {
+        let manifests = ShardManifest::split(10, 3);
+        assert_eq!(manifests.len(), 3);
+        assert_eq!((manifests[0].start, manifests[0].len), (0, 4));
+        assert_eq!((manifests[1].start, manifests[1].len), (4, 3));
+        assert_eq!((manifests[2].start, manifests[2].len), (7, 3));
+        assert!(manifests.iter().all(|m| m.total == 10 && m.shard_count == 3));
+        // More shards than items: trailing shards go empty, coverage holds.
+        let thin = ShardManifest::split(2, 4);
+        assert_eq!(thin.iter().map(|m| m.len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn shard_manifest_text_round_trips() {
+        for manifest in ShardManifest::split(17, 4) {
+            let text = manifest.to_text();
+            assert_eq!(ShardManifest::from_text(&text), Ok(manifest), "{text}");
+        }
+        assert!(ShardManifest::from_text("not a manifest").is_err());
+        assert!(ShardManifest::from_text("gfsc-shard v2 0/1 0+1 of 1").is_err());
+        assert!(ShardManifest::from_text("gfsc-shard v1 0of1 0+1 of 1").is_err());
+    }
+
+    #[test]
+    fn sharded_run_merges_to_the_unsharded_results() {
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(60.0))
+            .solutions(&[Solution::WithoutCoordination, Solution::ECoord])
+            .seeds(&[1, 2, 3])
+            .build();
+        let whole = grid.run_serial();
+        let manifests = grid.shard(4);
+        // Merge out-of-order on purpose: order is the merger's job.
+        let mut parts: Vec<(ShardManifest, Vec<ScenarioResult>)> =
+            manifests.iter().rev().map(|m| (*m, grid.run_shard(m))).collect();
+        parts.rotate_left(1);
+        let merged = merge_shards(parts);
+        assert_eq!(whole.len(), merged.len());
+        for (w, m) in whole.iter().zip(&merged) {
+            assert_eq!((w.label.as_str(), &w.summary), (m.label.as_str(), &m.summary));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn merge_rejects_missing_shards() {
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1, 2])
+            .build();
+        let manifests = grid.shard(2);
+        let _ = merge_shards(vec![
+            (manifests[0], grid.run_shard(&manifests[0])),
+            (ShardManifest { len: 0, start: 1, ..manifests[1] }, Vec::new()),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario grid")]
+    fn run_shard_rejects_foreign_manifests() {
+        let grid = ScenarioGrid::builder()
+            .horizon(Seconds::new(30.0))
+            .solutions(&[Solution::WithoutCoordination])
+            .seeds(&[1])
+            .build();
+        let foreign = ShardManifest { shard: 0, shard_count: 1, start: 0, len: 9, total: 9 };
+        let _ = grid.run_shard(&foreign);
     }
 
     #[test]

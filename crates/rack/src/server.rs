@@ -130,6 +130,7 @@ impl RackServer {
         let fans = (0..plant.zone_count())
             .map(|_| {
                 FanActuator::new(server.fan_bounds.lo(), server.fan_bounds, server.fan_slew_per_s)
+                    .with_cmd_step(server.fan_cmd_step)
             })
             .collect();
         let pipelines: Vec<MeasurementPipeline> = (0..plant.socket_count())

@@ -31,6 +31,7 @@ pub struct FanActuator {
     target: Rpm,
     bounds: Bounds<Rpm>,
     slew_per_s: f64,
+    cmd_step: f64,
 }
 
 impl FanActuator {
@@ -43,7 +44,21 @@ impl FanActuator {
     pub fn new(initial: Rpm, bounds: Bounds<Rpm>, slew_per_s: f64) -> Self {
         assert!(slew_per_s > 0.0, "slew rate must be positive");
         let speed = bounds.clamp(initial);
-        Self { speed, target: speed, bounds, slew_per_s }
+        Self { speed, target: speed, bounds, slew_per_s, cmd_step: 0.0 }
+    }
+
+    /// Restricts commanded targets to multiples of `step` rpm — the PWM
+    /// duty register granularity of real fan firmware. `0` (the default)
+    /// keeps targets continuous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is negative.
+    #[must_use]
+    pub fn with_cmd_step(mut self, step: f64) -> Self {
+        assert!(step >= 0.0, "command step must be non-negative");
+        self.cmd_step = step;
+        self
     }
 
     /// The actual (instantaneous) fan speed.
@@ -70,8 +85,14 @@ impl FanActuator {
         (self.speed - self.target).abs() < 1e-9
     }
 
-    /// Commands a new target speed (clamped into the mechanical range).
+    /// Commands a new target speed, rounded onto the command grid (if one
+    /// is configured) and clamped into the mechanical range.
     pub fn set_target(&mut self, target: Rpm) {
+        let target = if self.cmd_step > 0.0 {
+            Rpm::new((target.value() / self.cmd_step).round() * self.cmd_step)
+        } else {
+            target
+        };
         self.target = self.bounds.clamp(target);
     }
 
@@ -170,6 +191,22 @@ mod tests {
         fan.snap_to(Rpm::new(3000.0));
         assert_eq!(fan.speed(), Rpm::new(3000.0));
         assert!(fan.is_settled());
+    }
+
+    #[test]
+    fn cmd_step_snaps_targets_onto_the_grid() {
+        let mut fan = actuator(2000.0).with_cmd_step(500.0);
+        fan.set_target(Rpm::new(3740.0));
+        assert_eq!(fan.target(), Rpm::new(3500.0));
+        fan.set_target(Rpm::new(3760.0));
+        assert_eq!(fan.target(), Rpm::new(4000.0));
+        // Grid rounding happens before the mechanical clamp.
+        fan.set_target(Rpm::new(20_000.0));
+        assert_eq!(fan.target(), Rpm::new(8500.0));
+        // Zero step stays continuous.
+        let mut free = actuator(2000.0);
+        free.set_target(Rpm::new(3740.0));
+        assert_eq!(free.target(), Rpm::new(3740.0));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::{FanActuator, ServerSpec, TempAggregation};
 use gfsc_power::EnergyMeter;
 use gfsc_sensors::{AdcQuantizer, MeasurementPipeline, Rounding};
-use gfsc_thermal::{DieNode, HeatSinkNode, MultiSocketPlant, PlantCalibration, ServerThermalModel};
+use gfsc_thermal::{
+    DieNode, HeatSinkNode, MultiSocketPlant, PlantCalibration, RcNetwork, ServerThermalModel,
+};
 use gfsc_units::{Celsius, Joules, Rpm, Seconds, Utilization, Watts};
 
 /// The thermal plant behind a [`Server`]: either the paper's exact
@@ -199,7 +201,8 @@ impl Server {
                     .expect("stock topologies compile"),
             ))
         };
-        let fan = FanActuator::new(spec.fan_bounds.lo(), spec.fan_bounds, spec.fan_slew_per_s);
+        let fan = FanActuator::new(spec.fan_bounds.lo(), spec.fan_bounds, spec.fan_slew_per_s)
+            .with_cmd_step(spec.fan_cmd_step);
         let pipelines: Vec<MeasurementPipeline> =
             (0..plant.socket_count()).map(|_| Self::build_pipeline(&spec, spec.ambient)).collect();
         let measured = Self::aggregate(&spec, &pipelines);
@@ -454,6 +457,83 @@ impl Server {
         self.measured
     }
 
+    /// The first half of [`Server::step`] for batched lockstep stepping:
+    /// everything up to (but not including) the thermal solve — executed
+    /// utilization, per-socket powers, fan mechanics, the fan speed's
+    /// conductances, and the energy meters (which read powers, never
+    /// temperatures, so metering before the solve lands on the same bits
+    /// as the scalar order).
+    ///
+    /// The caller must advance [`Server::batch_network_mut`] by `dt`
+    /// (typically through a `gfsc_thermal::BatchRcNetwork` shared with
+    /// other lanes) and then call [`Server::finish_step`] with the same
+    /// `dt`. `begin_step` → network step → `finish_step` is bitwise
+    /// identical to one [`Server::step`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-socket (two-node) plant — the exact-exponential
+    /// model has no RC network to batch; batch runners must fall back to
+    /// the scalar path for those.
+    pub fn begin_step(&mut self, dt: Seconds, utilization: Utilization) {
+        self.executed = utilization;
+        let p_cpu = Self::fill_socket_powers(&self.spec, utilization, &mut self.socket_powers);
+        let fan_speed = self.fan.step(dt);
+        match &mut self.plant {
+            Plant::TwoNode(_) => {
+                panic!("batched stepping requires an RC-network plant (multi-socket topology)")
+            }
+            Plant::Network(p) => p.prepare_step(&self.socket_powers, fan_speed),
+        }
+        self.cpu_energy.accumulate(p_cpu, dt);
+        self.fan_energy.accumulate(self.spec.fan_power.power(fan_speed), dt);
+    }
+
+    /// The second half of [`Server::step`] for batched lockstep stepping:
+    /// clock advance, per-socket sensor chains, aggregation. Returns the
+    /// new firmware-visible temperature, exactly as [`Server::step`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-socket (two-node) plant; see
+    /// [`Server::begin_step`].
+    pub fn finish_step(&mut self, dt: Seconds) -> Celsius {
+        self.now += dt;
+        match &mut self.plant {
+            Plant::TwoNode(_) => {
+                panic!("batched stepping requires an RC-network plant (multi-socket topology)")
+            }
+            Plant::Network(p) => {
+                for (i, pipeline) in self.pipelines.iter_mut().enumerate() {
+                    let _ = pipeline.observe_celsius(self.now, p.junction(i));
+                }
+                self.measured = Self::aggregate(&self.spec, &self.pipelines);
+            }
+        }
+        self.measured
+    }
+
+    /// The plant's RC network, if this server runs one (`None` on the
+    /// two-node single-socket plant) — the lane handle a batched stepper
+    /// registers and solves.
+    #[must_use]
+    pub fn batch_network(&self) -> Option<&RcNetwork> {
+        match &self.plant {
+            Plant::TwoNode(_) => None,
+            Plant::Network(p) => Some(p.network()),
+        }
+    }
+
+    /// Mutable counterpart of [`Server::batch_network`], for the batched
+    /// solve between [`Server::begin_step`] and [`Server::finish_step`].
+    #[must_use]
+    pub fn batch_network_mut(&mut self) -> Option<&mut RcNetwork> {
+        match &mut self.plant {
+            Plant::TwoNode(_) => None,
+            Plant::Network(p) => Some(p.network_mut()),
+        }
+    }
+
     /// Re-initializes the server in steady state at `(utilization, fan)`:
     /// thermal nodes at their equilibria, actuator settled, sensor chains
     /// reporting the (quantized) equilibrium temperatures, meters and clock
@@ -702,6 +782,43 @@ mod tests {
         let m = s.measured_temperature().value();
         assert!(m >= a.min(b) && m <= a.max(b), "mean {m} outside [{a}, {b}]");
         assert!(m < a.max(b), "weighted mean must sit below the hottest socket");
+    }
+
+    #[test]
+    fn split_step_matches_monolithic_step_bitwise() {
+        // begin_step → scalar network step → finish_step must be the same
+        // trajectory, bit for bit, as Server::step — the contract the
+        // batched sweep engine stands on.
+        let mut whole = dual_socket_server();
+        let mut split = dual_socket_server();
+        let dt = Seconds::new(0.5);
+        for k in 0..600 {
+            let u = Utilization::new(0.1 + 0.8 * f64::from(k % 10) / 10.0);
+            if k % 60 == 0 {
+                let target = Rpm::new(1500.0 + 500.0 * f64::from(k / 60));
+                whole.set_fan_target(target);
+                split.set_fan_target(target);
+            }
+            let a = whole.step(dt, u);
+            split.begin_step(dt, u);
+            split.batch_network_mut().expect("network plant").step(dt);
+            let b = split.finish_step(dt);
+            assert_eq!(a.value().to_bits(), b.value().to_bits(), "measured diverged at {k}");
+            assert_eq!(
+                whole.true_junction().value().to_bits(),
+                split.true_junction().value().to_bits(),
+                "junction diverged at {k}"
+            );
+            assert_eq!(whole.fan_energy(), split.fan_energy());
+            assert_eq!(whole.cpu_energy(), split.cpu_energy());
+            assert_eq!(whole.now(), split.now());
+        }
+    }
+
+    #[test]
+    fn two_node_plant_has_no_batch_network() {
+        assert!(server().batch_network().is_none());
+        assert!(dual_socket_server().batch_network().is_some());
     }
 
     #[test]

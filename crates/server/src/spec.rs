@@ -65,6 +65,11 @@ pub struct ServerSpec {
     pub fan_bounds: Bounds<Rpm>,
     /// Fan mechanical slew rate in rpm per second.
     pub fan_slew_per_s: f64,
+    /// Commanded-speed granularity in rpm: fan firmware exposes a PWM duty
+    /// register, so targets land on a discrete grid. `0` models an ideal
+    /// continuously-commandable fan (the Table I default — the paper's
+    /// controllers emit continuous speeds).
+    pub fan_cmd_step: f64,
     /// Sensor chain sampling interval (Table I fan sample interval: 1 s).
     pub sensor_interval: Seconds,
     /// Sensor transport lag (measured: ~10 s through the I2C chain).
@@ -106,6 +111,7 @@ impl ServerSpec {
             die_tau: Seconds::new(0.1),
             fan_bounds: Bounds::new(Rpm::new(1500.0), Rpm::new(8500.0)),
             fan_slew_per_s: 1000.0,
+            fan_cmd_step: 0.0,
             sensor_interval: Seconds::new(1.0),
             sensor_lag: Seconds::new(10.0),
             quantization_step: 1.0,
@@ -143,6 +149,7 @@ impl ServerSpec {
     /// quantization step is negative.
     pub fn validate(&self) {
         assert!(self.fan_slew_per_s > 0.0, "fan slew rate must be positive");
+        assert!(self.fan_cmd_step >= 0.0, "fan command step must be non-negative");
         assert!(self.quantization_step >= 0.0, "quantization step must be non-negative");
         self.topology.validate();
         let dt = self.sim_dt.value();
@@ -204,6 +211,21 @@ mod tests {
     fn default_spec_validates() {
         ServerSpec::enterprise_default().validate();
         ServerSpec::ideal_sensing().validate();
+    }
+
+    #[test]
+    fn fan_commands_are_continuous_by_default() {
+        // Table I has no duty-register granularity: quantized commands are
+        // an opt-in sweep axis, never a change to the paper's baseline.
+        assert_eq!(ServerSpec::enterprise_default().fan_cmd_step, 0.0);
+        let quantized = ServerSpec { fan_cmd_step: 500.0, ..ServerSpec::enterprise_default() };
+        quantized.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fan command step")]
+    fn negative_fan_cmd_step_rejected() {
+        ServerSpec { fan_cmd_step: -1.0, ..ServerSpec::enterprise_default() }.validate();
     }
 
     #[test]

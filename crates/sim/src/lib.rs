@@ -11,6 +11,9 @@
 //! - [`Periodic`]: a multi-rate scheduler primitive ("is this controller due
 //!   at the current time?"),
 //! - [`Trace`] / [`TraceSet`]: named time series with CSV export,
+//! - [`spill`]: columnar on-disk trace spill ([`TraceSet::spill_to`],
+//!   streaming [`TraceSink`], selective [`SpilledTraces`] reads) so large
+//!   sweeps keep full traces without keeping them resident,
 //! - [`stats`]: step-response and stability metrics (settling time,
 //!   overshoot, sustained-oscillation detection) used to evaluate the
 //!   paper's claims quantitatively.
@@ -40,10 +43,12 @@
 
 mod clock;
 mod schedule;
+pub mod spill;
 pub mod stats;
 pub mod sweep;
 mod trace;
 
 pub use clock::Clock;
 pub use schedule::Periodic;
+pub use spill::{SinkChannel, SpilledTraces, TraceSink};
 pub use trace::{ChannelId, Trace, TraceError, TraceSet};

@@ -1,0 +1,468 @@
+//! Columnar on-disk spill for trace sets.
+//!
+//! A 10 000-cell sweep that keeps full traces holds hundreds of millions
+//! of samples — far past what a memory-bounded grid wants resident. This
+//! module trades RAM for a flat columnar layout on disk:
+//!
+//! - one directory per spilled set,
+//! - per trace, two fixed-width little-endian `f64` column files
+//!   (`col_<id>.times`, `col_<id>.values`) — no framing, no per-sample
+//!   headers, so a column streams at raw sequential-write speed and its
+//!   byte length is `8 × len` by construction,
+//! - one `index.tsv` mapping trace names to column ids and lengths,
+//!   written **last** so a complete index certifies a complete spill.
+//!
+//! [`TraceSet::spill_to`] writes a finished in-memory set;
+//! [`TraceSink`] streams samples to disk as they are produced (the
+//! large-grid path that never materializes the set at all); and
+//! [`SpilledTraces`] reads **single columns** back without replaying or
+//! even touching the rest of the directory — post-hoc analysis of one
+//! channel out of thousands costs one index parse plus two column reads.
+//!
+//! # Examples
+//!
+//! ```
+//! use gfsc_sim::{SpilledTraces, TraceSet};
+//! use gfsc_units::Seconds;
+//!
+//! let dir = std::env::temp_dir().join("gfsc-spill-doc");
+//! let mut set = TraceSet::new();
+//! set.record("fan_rpm", Seconds::new(0.0), 2000.0);
+//! set.record("fan_rpm", Seconds::new(30.0), 2500.0);
+//! set.spill_to(&dir).unwrap();
+//!
+//! let spilled = SpilledTraces::open(&dir).unwrap();
+//! let fan = spilled.column("fan_rpm").unwrap();
+//! assert_eq!(fan.values(), &[2000.0, 2500.0]);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::{Trace, TraceError, TraceSet};
+use gfsc_units::Seconds;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The index file name inside a spill directory.
+const INDEX: &str = "index.tsv";
+/// The index header magic + version.
+const MAGIC: &str = "gfsc-spill\tv1";
+
+fn times_file(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("col_{id}.times"))
+}
+
+fn values_file(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("col_{id}.values"))
+}
+
+/// A pre-resolved handle to one column of a [`TraceSink`] — the sink-side
+/// analog of [`crate::ChannelId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SinkChannel(usize);
+
+/// One open column: its running length, ordering watermark, and the two
+/// buffered column writers.
+#[derive(Debug)]
+struct SinkColumn {
+    name: String,
+    len: u64,
+    last_time: f64,
+    times: BufWriter<File>,
+    values: BufWriter<File>,
+}
+
+/// A streaming columnar trace writer: samples go straight to buffered
+/// column files instead of accumulating in a [`TraceSet`], so a sweep can
+/// record arbitrarily long traces in constant memory. [`TraceSink::finish`]
+/// seals the spill by writing the index; a directory without an index is
+/// an aborted spill and [`SpilledTraces::open`] refuses it.
+#[derive(Debug)]
+pub struct TraceSink {
+    dir: PathBuf,
+    columns: Vec<SinkColumn>,
+}
+
+impl TraceSink {
+    /// Creates the spill directory (and parents) and an empty sink in it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, TraceError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, columns: Vec::new() })
+    }
+
+    /// Resolves `name` to a column handle, opening its column files on
+    /// first use (same aliasing rule as [`TraceSet::channel`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] for names the tab-separated index
+    /// cannot represent (embedded tabs or newlines), [`TraceError::Io`]
+    /// if the column files cannot be created.
+    pub fn channel(&mut self, name: &str) -> Result<SinkChannel, TraceError> {
+        if let Some(idx) = self.columns.iter().position(|c| c.name == name) {
+            return Ok(SinkChannel(idx));
+        }
+        if name.contains(['\t', '\n']) {
+            return Err(TraceError::Format(format!(
+                "trace name {name:?} cannot be spilled: tabs and newlines delimit the index"
+            )));
+        }
+        let id = self.columns.len();
+        self.columns.push(SinkColumn {
+            name: name.to_owned(),
+            len: 0,
+            last_time: f64::NEG_INFINITY,
+            times: BufWriter::new(File::create(times_file(&self.dir, id))?),
+            values: BufWriter::new(File::create(values_file(&self.dir, id))?),
+        });
+        Ok(SinkChannel(id))
+    }
+
+    /// Appends one sample to a column, enforcing the same invariants as
+    /// [`Trace::try_push`]: non-decreasing times, no NaN values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfOrder`] for time regressions,
+    /// [`TraceError::Io`] if the write fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or `channel` came from another sink.
+    pub fn record(
+        &mut self,
+        channel: SinkChannel,
+        t: Seconds,
+        value: f64,
+    ) -> Result<(), TraceError> {
+        assert!(!value.is_nan(), "trace value must not be NaN");
+        let column = &mut self.columns[channel.0];
+        if column.len > 0 && t.value() < column.last_time {
+            return Err(TraceError::OutOfOrder { last: column.last_time, attempted: t.value() });
+        }
+        column.times.write_all(&t.value().to_le_bytes())?;
+        column.values.write_all(&value.to_le_bytes())?;
+        column.last_time = t.value();
+        column.len += 1;
+        Ok(())
+    }
+
+    /// Flushes every column and writes the index, sealing the spill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if a flush or the index write fails.
+    pub fn finish(self) -> Result<(), TraceError> {
+        let mut index = String::from(MAGIC);
+        index.push('\t');
+        index.push_str(&self.columns.len().to_string());
+        index.push('\n');
+        for (id, column) in self.columns.into_iter().enumerate() {
+            column.times.into_inner().map_err(|e| TraceError::Io(e.into_error()))?.sync_data()?;
+            column.values.into_inner().map_err(|e| TraceError::Io(e.into_error()))?.sync_data()?;
+            index.push_str(&format!("{id}\t{}\t{}\n", column.len, column.name));
+        }
+        fs::write(self.dir.join(INDEX), index)?;
+        Ok(())
+    }
+}
+
+impl TraceSet {
+    /// Spills every trace to `dir` in the columnar layout (see the
+    /// [module docs](crate::spill)), creating the directory as needed.
+    /// The set itself is untouched; [`SpilledTraces::open`] reads the
+    /// result back column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure and
+    /// [`TraceError::Format`] for trace names the index cannot hold.
+    pub fn spill_to(&self, dir: impl Into<PathBuf>) -> Result<(), TraceError> {
+        let mut sink = TraceSink::create(dir)?;
+        for trace in self.iter() {
+            let channel = sink.channel(trace.name())?;
+            for (t, v) in trace.iter() {
+                sink.record(channel, Seconds::new(t), v)?;
+            }
+        }
+        sink.finish()
+    }
+}
+
+/// One index entry: where a named trace's columns live and how long they
+/// are.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexEntry {
+    id: usize,
+    len: usize,
+    name: String,
+}
+
+/// A sealed spill directory, opened for selective reads.
+///
+/// Opening parses only the index; each [`SpilledTraces::column`] call
+/// reads exactly the two column files of the requested trace — no replay,
+/// no touching unrelated columns.
+#[derive(Debug)]
+pub struct SpilledTraces {
+    dir: PathBuf,
+    entries: Vec<IndexEntry>,
+}
+
+impl SpilledTraces {
+    /// Opens a spill directory by parsing its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the index is unreadable (including
+    /// aborted spills that never wrote one) and [`TraceError::Format`] if
+    /// it is malformed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, TraceError> {
+        let dir = dir.into();
+        let index = fs::read_to_string(dir.join(INDEX))?;
+        let mut lines = index.lines();
+        let header = lines.next().unwrap_or_default();
+        let count = header
+            .strip_prefix(MAGIC)
+            .and_then(|rest| rest.strip_prefix('\t'))
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| TraceError::Format(format!("bad index header {header:?}")))?;
+        let mut entries = Vec::with_capacity(count);
+        for line in lines {
+            let mut fields = line.splitn(3, '\t');
+            let entry = (|| {
+                let id = fields.next()?.parse().ok()?;
+                let len = fields.next()?.parse().ok()?;
+                let name = fields.next()?.to_owned();
+                Some(IndexEntry { id, len, name })
+            })()
+            .ok_or_else(|| TraceError::Format(format!("bad index entry {line:?}")))?;
+            entries.push(entry);
+        }
+        if entries.len() != count {
+            return Err(TraceError::Format(format!(
+                "index promises {count} columns, lists {}",
+                entries.len()
+            )));
+        }
+        Ok(Self { dir, entries })
+    }
+
+    /// Number of spilled traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the spill holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The spilled trace names, in spill order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// The sample count of one trace, from the index alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownTrace`] if no column has that name.
+    pub fn sample_count(&self, name: &str) -> Result<usize, TraceError> {
+        self.entry(name).map(|e| e.len)
+    }
+
+    /// Loads one trace by reading only its two column files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownTrace`] for unknown names,
+    /// [`TraceError::Io`] on read failure, and [`TraceError::Format`] if
+    /// a column's byte length disagrees with the index or its data
+    /// violates the trace invariants (time order, NaN-freedom).
+    pub fn column(&self, name: &str) -> Result<Trace, TraceError> {
+        let entry = self.entry(name)?;
+        let times = read_column(&times_file(&self.dir, entry.id), entry.len)?;
+        let values = read_column(&values_file(&self.dir, entry.id), entry.len)?;
+        if times.windows(2).any(|w| w[1] < w[0]) || times.iter().any(|t| t.is_nan()) {
+            return Err(TraceError::Format(format!("column `{name}` times are not ordered")));
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(TraceError::Format(format!("column `{name}` holds NaN values")));
+        }
+        Ok(Trace::from_parts(entry.name.clone(), times, values))
+    }
+
+    /// Loads the whole spill back into a [`TraceSet`] (the round-trip
+    /// inverse of [`TraceSet::spill_to`], mostly for tests and small
+    /// sets — selective [`SpilledTraces::column`] reads are the point of
+    /// the format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SpilledTraces::column`] failure.
+    pub fn load_all(&self) -> Result<TraceSet, TraceError> {
+        let mut set = TraceSet::new();
+        for entry in &self.entries {
+            let trace = self.column(&entry.name)?;
+            let channel = set.channel_with_capacity(&entry.name, trace.len());
+            for (t, v) in trace.iter() {
+                set.record_by_id(channel, Seconds::new(t), v);
+            }
+        }
+        Ok(set)
+    }
+
+    fn entry(&self, name: &str) -> Result<&IndexEntry, TraceError> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| TraceError::UnknownTrace(name.to_owned()))
+    }
+}
+
+/// Reads one fixed-width `f64` column file, validating its byte length
+/// against the index.
+fn read_column(path: &Path, len: usize) -> Result<Vec<f64>, TraceError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() != len * 8 {
+        return Err(TraceError::Format(format!(
+            "{}: expected {} bytes ({len} samples), found {}",
+            path.display(),
+            len * 8,
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tempdir that cleans up after itself (no tempfile dependency).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("gfsc-spill-test-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_set() -> TraceSet {
+        let mut set = TraceSet::new();
+        for k in 0..500 {
+            let t = Seconds::new(f64::from(k) * 0.5);
+            set.record("t_junction_c", t, 55.0 + f64::from(k % 17) * 0.25);
+            if k % 30 == 0 {
+                set.record("fan_rpm", t, 1500.0 + f64::from(k) * 10.0);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn spill_round_trips_bitwise() {
+        let tmp = TempDir::new("round-trip");
+        let set = sample_set();
+        set.spill_to(&tmp.0).unwrap();
+        let spilled = SpilledTraces::open(&tmp.0).unwrap();
+        assert_eq!(spilled.len(), 2);
+        let names: Vec<&str> = spilled.names().collect();
+        assert_eq!(names, ["t_junction_c", "fan_rpm"]);
+        for original in set.iter() {
+            assert_eq!(spilled.sample_count(original.name()).unwrap(), original.len());
+            let loaded = spilled.column(original.name()).unwrap();
+            assert_eq!(loaded.name(), original.name());
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(loaded.times()), bits(original.times()));
+            assert_eq!(bits(loaded.values()), bits(original.values()));
+        }
+        let reloaded = spilled.load_all().unwrap();
+        assert_eq!(reloaded.len(), set.len());
+    }
+
+    #[test]
+    fn column_reads_are_selective() {
+        let tmp = TempDir::new("selective");
+        sample_set().spill_to(&tmp.0).unwrap();
+        // Corrupt one column; the *other* column must still read cleanly,
+        // proving reads touch only the requested files.
+        fs::write(tmp.0.join("col_0.values"), b"short").unwrap();
+        let spilled = SpilledTraces::open(&tmp.0).unwrap();
+        assert!(spilled.column("t_junction_c").is_err());
+        let fan = spilled.column("fan_rpm").unwrap();
+        assert_eq!(fan.len(), 17);
+        assert_eq!(fan.values()[0], 1500.0);
+    }
+
+    #[test]
+    fn sink_streams_and_seals() {
+        let tmp = TempDir::new("sink");
+        let mut sink = TraceSink::create(&tmp.0).unwrap();
+        let a = sink.channel("a").unwrap();
+        let b = sink.channel("b").unwrap();
+        assert_eq!(sink.channel("a").unwrap(), a);
+        for k in 0..100 {
+            sink.record(a, Seconds::new(f64::from(k)), f64::from(k) * 2.0).unwrap();
+        }
+        sink.record(b, Seconds::new(0.0), -1.0).unwrap();
+        // Until finish() writes the index the spill is unreadable.
+        assert!(SpilledTraces::open(&tmp.0).is_err());
+        sink.finish().unwrap();
+        let spilled = SpilledTraces::open(&tmp.0).unwrap();
+        assert_eq!(spilled.column("a").unwrap().len(), 100);
+        assert_eq!(spilled.column("b").unwrap().values(), &[-1.0]);
+    }
+
+    #[test]
+    fn sink_enforces_trace_invariants() {
+        let tmp = TempDir::new("invariants");
+        let mut sink = TraceSink::create(&tmp.0).unwrap();
+        let a = sink.channel("a").unwrap();
+        sink.record(a, Seconds::new(5.0), 1.0).unwrap();
+        sink.record(a, Seconds::new(5.0), 2.0).unwrap(); // equal times OK
+        let err = sink.record(a, Seconds::new(4.0), 3.0).unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { .. }));
+        assert!(sink.channel("tab\tseparated").is_err());
+    }
+
+    #[test]
+    fn empty_set_spills_and_opens() {
+        let tmp = TempDir::new("empty");
+        TraceSet::new().spill_to(&tmp.0).unwrap();
+        let spilled = SpilledTraces::open(&tmp.0).unwrap();
+        assert!(spilled.is_empty());
+        assert!(spilled.column("anything").is_err());
+    }
+
+    #[test]
+    fn malformed_indexes_are_rejected() {
+        let tmp = TempDir::new("malformed");
+        fs::create_dir_all(&tmp.0).unwrap();
+        for bad in ["", "not-a-spill\n", "gfsc-spill\tv1\t2\n0\t1\ta\n", "gfsc-spill\tv1\tx\n"] {
+            fs::write(tmp.0.join(INDEX), bad).unwrap();
+            let err = SpilledTraces::open(&tmp.0).unwrap_err();
+            assert!(matches!(err, TraceError::Format(_)), "{bad:?} gave {err}");
+        }
+    }
+}

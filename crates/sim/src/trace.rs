@@ -18,6 +18,8 @@ pub enum TraceError {
     UnknownTrace(String),
     /// Writing CSV output failed.
     Io(io::Error),
+    /// A spilled trace directory was malformed (see [`crate::SpilledTraces`]).
+    Format(String),
 }
 
 impl fmt::Display for TraceError {
@@ -29,6 +31,7 @@ impl fmt::Display for TraceError {
             ),
             TraceError::UnknownTrace(name) => write!(f, "unknown trace `{name}`"),
             TraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
+            TraceError::Format(why) => write!(f, "spilled trace format error: {why}"),
         }
     }
 }
@@ -86,6 +89,14 @@ impl Trace {
     #[must_use]
     pub fn with_capacity(name: impl Into<String>, n: usize) -> Self {
         Self { name: name.into(), times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+    }
+
+    /// Reassembles a trace from columns a spill reader already validated
+    /// (time-ordered, NaN-free) — the zero-copy path behind
+    /// [`crate::SpilledTraces::column`].
+    pub(crate) fn from_parts(name: String, times: Vec<f64>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(times.len(), values.len());
+        Self { name, times, values }
     }
 
     /// The trace name.

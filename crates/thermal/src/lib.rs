@@ -19,6 +19,9 @@
 //! - [`MultiSocketPlant`]: a [`Topology`] compiled onto the cached
 //!   [`RcNetwork`] — the N-socket plant behind the multi-socket
 //!   closed-loop scenarios,
+//! - [`BatchRcNetwork`]: B same-structure [`RcNetwork`]s stepped in
+//!   lockstep through shared, memoized LU factorizations — bitwise
+//!   identical to scalar stepping, built for wide scenario sweeps,
 //! - [`FanZoneMap`]: the explicit fan→link mapping — which
 //!   airflow-dependent links follow which fan. The single-zone map is the
 //!   legacy "every sink→ambient link follows the one fan" rule;
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod die;
 mod heatsink;
 mod multi_socket;
@@ -50,6 +54,7 @@ mod server_model;
 mod topology;
 mod zone;
 
+pub use batch::BatchRcNetwork;
 pub use die::DieNode;
 pub use heatsink::{HeatSinkLaw, HeatSinkNode};
 pub use multi_socket::{MultiSocketPlant, PlantCalibration};

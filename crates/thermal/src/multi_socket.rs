@@ -92,6 +92,7 @@ impl MultiSocketPlant {
     pub fn new(cal: &PlantCalibration, topology: &Topology) -> Result<Self, NetworkError> {
         topology.validate();
         let fan0 = cal.tau_speed;
+        let segments = topology.sink_segments();
         let mut builder = RcNetworkBuilder::new().boundary("ambient", cal.ambient);
         let mut sink_cap_sum = 0.0;
         for socket in topology.sockets() {
@@ -105,11 +106,36 @@ impl MultiSocketPlant {
             sink_cap_sum += sink_cap.value();
             let die = format!("die-{}", socket.name);
             let sink = format!("sink-{}", socket.name);
-            builder = builder
-                .node(die.clone(), die_cap, cal.ambient)
-                .node(sink.clone(), sink_cap, cal.ambient)
-                .link(die, sink.clone(), r_jc)
-                .link(sink, "ambient", law.resistance(fan0));
+            builder = builder.node(die.clone(), die_cap, cal.ambient).link(die, sink.clone(), r_jc);
+            if segments == 0 {
+                builder = builder.node(sink.clone(), sink_cap, cal.ambient).link(
+                    sink,
+                    "ambient",
+                    law.resistance(fan0),
+                );
+                continue;
+            }
+            // Folded fin-array sink: the lumped capacitance splits evenly
+            // between base plate and fins, each fin carries `segments`× the
+            // sink law's resistance (so the fins in parallel reproduce the
+            // lumped convective path), the base spreads into every fin, and
+            // the fins couple pairwise — the dense Schur-complement remnant
+            // of eliminating the fast shared-air node from a detailed model.
+            let fin_law = law.with_airflow_derate(segments as f64);
+            let node_cap = JoulesPerKelvin::new(sink_cap.value() / (segments + 1) as f64);
+            let spread = KelvinPerWatt::new(0.2);
+            let mix = KelvinPerWatt::new(0.8);
+            builder = builder.node(sink.clone(), node_cap, cal.ambient);
+            for j in 0..segments {
+                let fin = format!("fin{j}-{}", socket.name);
+                builder = builder
+                    .node(fin.clone(), node_cap, cal.ambient)
+                    .link(sink.clone(), fin.clone(), spread)
+                    .link(fin.clone(), "ambient", fin_law.resistance(fan0));
+                for i in 0..j {
+                    builder = builder.link(format!("fin{i}-{}", socket.name), fin.clone(), mix);
+                }
+            }
         }
         if let Some(chassis) = topology.chassis() {
             let cap = JoulesPerKelvin::new(
@@ -130,11 +156,26 @@ impl MultiSocketPlant {
             .iter()
             .map(|socket| {
                 let sink_name = format!("sink-{}", socket.name);
-                zones.attach(
-                    zone,
-                    net.link_id(&sink_name, "ambient").expect("built above"),
-                    cal.law.with_airflow_derate(socket.airflow_derate),
-                );
+                let law = cal.law.with_airflow_derate(socket.airflow_derate);
+                if segments == 0 {
+                    zones.attach(
+                        zone,
+                        net.link_id(&sink_name, "ambient").expect("built above"),
+                        law,
+                    );
+                } else {
+                    // Every fin breathes the shared fan; identical laws per
+                    // socket let the zone evaluate the law once per socket.
+                    let fin_law = law.with_airflow_derate(segments as f64);
+                    for j in 0..segments {
+                        zones.attach(
+                            zone,
+                            net.link_id(&format!("fin{j}-{}", socket.name), "ambient")
+                                .expect("built above"),
+                            fin_law,
+                        );
+                    }
+                }
                 SocketHandles {
                     die: net.node_id(&format!("die-{}", socket.name)).expect("built above"),
                     sink: net.node_id(&sink_name).expect("built above"),
@@ -212,6 +253,43 @@ impl MultiSocketPlant {
         // skips identical conductances).
         self.zones.set_fan(&mut self.net, self.zone, fan);
         self.net.step(dt);
+    }
+
+    /// Everything [`MultiSocketPlant::step`] does *except* solving the
+    /// network: applies per-socket powers and the fan speed's conductances.
+    /// The batched sweep engine calls this per lane, then advances all
+    /// lanes' networks together through one
+    /// [`crate::BatchRcNetwork::step`] — bitwise identical to calling
+    /// [`MultiSocketPlant::step`] on each plant alone.
+    ///
+    /// After preparing, the caller **must** step [`Self::network_mut`]
+    /// (scalar or batched) to complete the plant step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the socket count.
+    pub fn prepare_step(&mut self, powers: &[Watts], fan: Rpm) {
+        assert_eq!(powers.len(), self.sockets.len(), "one power per socket");
+        for (socket, &power) in self.sockets.iter().zip(powers) {
+            self.net.set_power(socket.die, power);
+        }
+        self.zones.set_fan(&mut self.net, self.zone, fan);
+    }
+
+    /// The plant's RC network — read access for batch-lane registration
+    /// and structure checks.
+    #[must_use]
+    pub fn network(&self) -> &RcNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the plant's RC network, for the batched stepper
+    /// to solve after [`MultiSocketPlant::prepare_step`]. Mutating anything
+    /// but the step state through this handle voids the plant's handles;
+    /// it exists for the batch engine, not for re-plumbing.
+    #[must_use]
+    pub fn network_mut(&mut self) -> &mut RcNetwork {
+        &mut self.net
     }
 
     /// Steady-state junction temperatures at `(powers, fan)` without
@@ -432,6 +510,40 @@ mod tests {
             plant.min_safe_fan_speed(&[Watts::new(0.5); 2], Celsius::new(90.0)),
             Some(Rpm::new(0.0))
         );
+    }
+
+    #[test]
+    fn finned_plant_behaves_like_a_server() {
+        // The fin-array expansion changes the matrix structure, not the
+        // physics: downstream sockets still run hotter, more airflow still
+        // cools, and the min-safe probe still lands tight on the limit.
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::finned(2, 8)).unwrap();
+        let p = [Watts::new(140.8); 2];
+        plant.equilibrate(&p, Rpm::new(4000.0));
+        assert!(plant.junction(1) > plant.junction(0), "downstream socket not hotter");
+        assert!(plant.hottest_junction() > plant.ambient());
+        let slow = plant.steady_state_hottest(&p, Rpm::new(3000.0));
+        let fast = plant.steady_state_hottest(&p, Rpm::new(6000.0));
+        assert!(fast < slow, "more airflow must cool the fins: {fast} vs {slow}");
+        let limit = Celsius::new(75.0);
+        let v = plant.min_safe_fan_speed(&p, limit).expect("reachable");
+        let at = plant.steady_state_hottest(&p, v);
+        assert!((at - limit).abs() < 0.01, "at {at}");
+        assert!(plant.steady_state_hottest(&p, v + 100.0) < limit);
+        assert!(plant.steady_state_hottest(&p, v - 100.0) > limit);
+    }
+
+    #[test]
+    fn finned_transient_converges_to_probed_steady_state() {
+        let mut plant = MultiSocketPlant::new(&cal(), &Topology::finned(2, 8)).unwrap();
+        let (p, v) = ([Watts::new(140.8); 2], Rpm::new(4000.0));
+        let ss = plant.steady_state_junctions(&p, v);
+        for _ in 0..100_000 {
+            plant.step(Seconds::new(1.0), &p, v);
+        }
+        for (i, &ss_i) in ss.iter().enumerate() {
+            assert!((plant.junction(i) - ss_i).abs() < 1e-6, "socket {i}");
+        }
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub enum NetworkError {
     Empty,
     /// No link exists between the two named endpoints.
     NoSuchLink(String, String),
+    /// A lane handed to [`crate::BatchRcNetwork`] does not share the batch's
+    /// node/link structure.
+    BatchMismatch(String),
 }
 
 impl fmt::Display for NetworkError {
@@ -73,6 +76,7 @@ impl fmt::Display for NetworkError {
             }
             NetworkError::Empty => write!(f, "network has no capacitive nodes"),
             NetworkError::NoSuchLink(a, b) => write!(f, "no link between `{a}` and `{b}`"),
+            NetworkError::BatchMismatch(why) => write!(f, "batch structure mismatch: {why}"),
         }
     }
 }
@@ -80,16 +84,16 @@ impl fmt::Display for NetworkError {
 impl std::error::Error for NetworkError {}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Endpoint {
+pub(crate) enum Endpoint {
     Node(usize),
     Boundary(usize),
 }
 
 #[derive(Debug, Clone)]
-struct Link {
-    a: Endpoint,
-    b: Endpoint,
-    conductance: f64, // W/K
+pub(crate) struct Link {
+    pub(crate) a: Endpoint,
+    pub(crate) b: Endpoint,
+    pub(crate) conductance: f64, // W/K
 }
 
 /// Builder for [`RcNetwork`].
@@ -260,7 +264,10 @@ impl RcNetworkBuilder {
             pivots: vec![0; n],
             factored_dt: f64::NAN,
             matrix_dirty: true,
+            params_version: 0,
+            changed_links: Vec::new(),
             rhs: vec![0.0; n],
+            batch_memo: (0, 0, 0, 0),
         })
     }
 }
@@ -293,8 +300,27 @@ pub struct RcNetwork {
     factored_dt: f64,
     /// Set by conductance mutators; forces re-factorization on next step.
     matrix_dirty: bool,
+    /// Bumped by every *effective* conductance mutation. Capacitances are
+    /// fixed at build and boundaries/powers are right-hand-side-only, so an
+    /// unchanged version guarantees the system matrix at a given `dt` is
+    /// bit-for-bit the one already seen — the batched stepper keys its
+    /// per-lane signature memo on this.
+    params_version: u64,
+    /// Sorted indices of every link whose conductance has *effectively*
+    /// changed since build. Conductances are the only matrix parameters
+    /// with a mutation API, so links outside this set still hold their
+    /// as-built values — the batched stepper exploits that to sign a
+    /// lane's matrix by just these links instead of the full table.
+    changed_links: Vec<u32>,
     /// Right-hand-side / solution scratch.
     rhs: Vec<f64>,
+    /// [`crate::BatchRcNetwork`]'s per-lane factor memo, carried by the
+    /// network itself so lanes may be dropped, cloned or re-ordered without
+    /// aliasing another lane's factor: `(batch generation, factor index,
+    /// params version at memo time, dt bits at memo time)`. Valid only
+    /// while the generation matches the batch that wrote it *and* the
+    /// version/dt still match.
+    pub(crate) batch_memo: (u64, usize, u64, u64),
 }
 
 impl RcNetwork {
@@ -417,6 +443,11 @@ impl RcNetwork {
         if self.links[id.0].conductance != conductance {
             self.links[id.0].conductance = conductance;
             self.matrix_dirty = true;
+            self.params_version += 1;
+            let idx = id.0 as u32;
+            if let Err(pos) = self.changed_links.binary_search(&idx) {
+                self.changed_links.insert(pos, idx);
+            }
         }
     }
 
@@ -532,26 +563,7 @@ impl RcNetwork {
     /// place with partial pivoting.
     fn refactorize(&mut self, dt: f64) {
         let n = self.node_names.len();
-        let inv_dt = 1.0 / dt;
-        self.factor.fill(0.0);
-        for i in 0..n {
-            self.factor[i * n + i] = self.capacitances[i] * inv_dt;
-        }
-        for link in &self.links {
-            match (link.a, link.b) {
-                (Endpoint::Node(i), Endpoint::Node(j)) => {
-                    self.factor[i * n + i] += link.conductance;
-                    self.factor[j * n + j] += link.conductance;
-                    self.factor[i * n + j] -= link.conductance;
-                    self.factor[j * n + i] -= link.conductance;
-                }
-                (Endpoint::Node(i), Endpoint::Boundary(_))
-                | (Endpoint::Boundary(_), Endpoint::Node(i)) => {
-                    self.factor[i * n + i] += link.conductance;
-                }
-                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
-            }
-        }
+        assemble_matrix(&self.capacitances, &self.links, dt, &mut self.factor);
         lu_factorize(&mut self.factor, &mut self.pivots, n);
         self.factored_dt = dt;
         self.matrix_dirty = false;
@@ -650,6 +662,103 @@ impl RcNetwork {
         }
         solve_dense(a, b, n);
     }
+
+    // ---- crate-internal raw views for the batched stepper ----------------
+    //
+    // `crate::BatchRcNetwork` replays `step`'s exact arithmetic across many
+    // lanes at once; it needs the raw state vectors and the link table, but
+    // nothing here widens the public mutation surface.
+
+    /// Number of capacitive nodes.
+    pub(crate) fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Node heat capacitances, J/K, indexed by [`NodeId::index`].
+    pub(crate) fn capacitances_raw(&self) -> &[f64] {
+        &self.capacitances
+    }
+
+    /// Node temperatures, °C, indexed by [`NodeId::index`].
+    pub(crate) fn temperatures_raw(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Mutable node temperatures — the batched stepper's write-back path.
+    /// State-only, exactly like [`RcNetwork::set_temperature`]: the cached
+    /// factorization is untouched.
+    pub(crate) fn temperatures_raw_mut(&mut self) -> &mut [f64] {
+        &mut self.temperatures
+    }
+
+    /// Injected node powers, W, indexed by [`NodeId::index`].
+    pub(crate) fn powers_raw(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// Boundary temperatures, °C, in boundary insertion order.
+    pub(crate) fn boundary_temps_raw(&self) -> &[f64] {
+        &self.boundary_temps
+    }
+
+    /// The link table (endpoints + current conductances) in insertion order.
+    pub(crate) fn links_raw(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Matrix-parameter mutation counter (see the field docs) — the batched
+    /// stepper's cheap "did anything change since I last looked?" probe.
+    pub(crate) fn params_version(&self) -> u64 {
+        self.params_version
+    }
+
+    /// Sorted indices of every link mutated since build (see the field
+    /// docs).
+    pub(crate) fn changed_links(&self) -> &[u32] {
+        &self.changed_links
+    }
+
+    /// Whether two networks share the same *structure*: node and boundary
+    /// names in the same order and links joining the same endpoints in the
+    /// same order. Capacitances, conductances, powers, temperatures and
+    /// boundary values are free to differ — structure is what the batched
+    /// stepper's SoA layout and signature grouping key on.
+    pub(crate) fn structure_eq(&self, other: &RcNetwork) -> bool {
+        self.node_names == other.node_names
+            && self.boundary_names == other.boundary_names
+            && self.links.len() == other.links.len()
+            && self.links.iter().zip(&other.links).all(|(a, b)| a.a == b.a && a.b == b.b)
+    }
+}
+
+/// Assembles the backward-Euler system matrix `C/dt + G` (row-major, the
+/// length of `a` must be `n²` for `n = capacitances.len()`). Shared by the
+/// scalar [`RcNetwork::step`] cache and the batched stepper
+/// ([`crate::BatchRcNetwork`]): both must produce bitwise-identical
+/// matrices from identical capacitances/conductances, so there is exactly
+/// one assembly routine.
+pub(crate) fn assemble_matrix(capacitances: &[f64], links: &[Link], dt: f64, a: &mut [f64]) {
+    let n = capacitances.len();
+    let inv_dt = 1.0 / dt;
+    a.fill(0.0);
+    for (i, c) in capacitances.iter().enumerate() {
+        a[i * n + i] = c * inv_dt;
+    }
+    for link in links {
+        match (link.a, link.b) {
+            (Endpoint::Node(i), Endpoint::Node(j)) => {
+                a[i * n + i] += link.conductance;
+                a[j * n + j] += link.conductance;
+                a[i * n + j] -= link.conductance;
+                a[j * n + i] -= link.conductance;
+            }
+            (Endpoint::Node(i), Endpoint::Boundary(_))
+            | (Endpoint::Boundary(_), Endpoint::Node(i)) => {
+                a[i * n + i] += link.conductance;
+            }
+            (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+        }
+    }
 }
 
 /// LU-factorizes row-major `a` (length `n²`) in place with partial
@@ -657,7 +766,7 @@ impl RcNetwork {
 /// triangle above; `piv[col]` records the row swapped into `col`. The
 /// assembled thermal matrices are strictly diagonally dominant, hence
 /// non-singular.
-fn lu_factorize(a: &mut [f64], piv: &mut [usize], n: usize) {
+pub(crate) fn lu_factorize(a: &mut [f64], piv: &mut [usize], n: usize) {
     for col in 0..n {
         let mut pivot = col;
         for row in (col + 1)..n {

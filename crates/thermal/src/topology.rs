@@ -83,6 +83,10 @@ pub struct Topology {
     label: String,
     sockets: Vec<SocketDef>,
     chassis: Option<ChassisDef>,
+    /// Fin segments per heat sink: 0 keeps the classic lumped sink, `k > 0`
+    /// expands each sink into a base plate plus `k` mutually-coupled fin
+    /// nodes (see [`Topology::finned`]).
+    sink_segments: usize,
 }
 
 impl Topology {
@@ -96,6 +100,7 @@ impl Topology {
             label: "1S".to_owned(),
             sockets: vec![SocketDef::new("cpu0", 1.0, 1.0, 1.0)],
             chassis: None,
+            sink_segments: 0,
         }
     }
 
@@ -111,6 +116,7 @@ impl Topology {
                 SocketDef::new("cpu1", 1.0, 1.25, 1.0),
             ],
             chassis: None,
+            sink_segments: 0,
         }
     }
 
@@ -125,6 +131,7 @@ impl Topology {
                 SocketDef::new("cpu1", 0.7, 1.25, 1.0),
             ],
             chassis: None,
+            sink_segments: 0,
         }
     }
 
@@ -141,6 +148,7 @@ impl Topology {
                 SocketDef::new("cpu3", 1.0, 1.4, 1.0),
             ],
             chassis: None,
+            sink_segments: 0,
         }
     }
 
@@ -161,7 +169,52 @@ impl Topology {
                 exhaust: KelvinPerWatt::new(2.0),
                 capacitance_scale: 2.0,
             }),
+            sink_segments: 0,
         }
+    }
+
+    /// An N-socket board whose heat sinks are modeled as folded fin arrays:
+    /// each sink becomes a base plate plus `segments` fin nodes that couple
+    /// to the base, to *each other* (the reduced-order remnant of the air
+    /// volume shared by the fins — eliminating the fast air node from a
+    /// detailed model leaves exactly this dense fin-to-fin coupling), and
+    /// each to ambient through its own share of the fan law.
+    ///
+    /// This is the detailed-plant variant: its backward-Euler matrix has a
+    /// dense `(segments + 1)²` block per socket, so re-factorization — not
+    /// substitution — dominates stepping whenever the fan is in motion.
+    /// That makes it the stress topology for the batched sweep engine,
+    /// whose cross-lane/cross-step factor memo exists to absorb exactly
+    /// that cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets` or `segments` is zero.
+    #[must_use]
+    pub fn finned(sockets: usize, segments: usize) -> Self {
+        assert!(sockets > 0, "finned topology needs at least one socket");
+        assert!(segments > 0, "finned topology needs at least one fin segment");
+        let defs = (0..sockets)
+            .map(|i| {
+                // Same progressive plenum derate slope as `quad_socket`.
+                let derate = 1.0 + 0.13 * i as f64;
+                SocketDef::new(&format!("cpu{i}"), 1.0, derate, 1.0)
+            })
+            .collect();
+        let topo = Self {
+            label: format!("{sockets}Sx{segments}f"),
+            sockets: defs,
+            chassis: None,
+            sink_segments: segments,
+        };
+        topo.validate();
+        topo
+    }
+
+    /// Fin segments per heat sink (0 = classic lumped sink).
+    #[must_use]
+    pub fn sink_segments(&self) -> usize {
+        self.sink_segments
     }
 
     /// Replaces the per-socket load weights (must match the socket count
@@ -203,7 +256,7 @@ impl Topology {
     /// no chassis) — the shape the exact two-node model covers.
     #[must_use]
     pub fn is_single(&self) -> bool {
-        self.sockets.len() == 1 && self.chassis.is_none()
+        self.sockets.len() == 1 && self.chassis.is_none() && self.sink_segments == 0
     }
 
     /// Validates internal consistency.
@@ -292,5 +345,41 @@ mod tests {
     fn blade_has_a_chassis() {
         assert!(Topology::blade_chassis().chassis().is_some());
         assert!(Topology::quad_socket().chassis().is_none());
+    }
+
+    #[test]
+    fn finned_shape_and_labels() {
+        let topo = Topology::finned(2, 32);
+        topo.validate();
+        assert_eq!(topo.sockets().len(), 2);
+        assert_eq!(topo.sink_segments(), 32);
+        assert_eq!(topo.label(), "2Sx32f");
+        assert_ne!(Topology::finned(2, 32).label(), Topology::finned(2, 40).label());
+        // Same plenum-derate shape as the lumped builders: inlet socket
+        // at 1.0, downstream sockets progressively worse.
+        let derates: Vec<f64> =
+            Topology::finned(3, 8).sockets().iter().map(|s| s.airflow_derate).collect();
+        assert_eq!(derates[0], 1.0);
+        assert!(derates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn finned_is_never_single() {
+        // Even one finned socket needs the RC network: the exact two-node
+        // model has no fin states, so is_single() must say "network path".
+        assert!(!Topology::finned(1, 4).is_single());
+        assert!(!Topology::finned(2, 32).is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fin segment")]
+    fn finned_rejects_zero_segments() {
+        let _ = Topology::finned(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one socket")]
+    fn finned_rejects_zero_sockets() {
+        let _ = Topology::finned(0, 8);
     }
 }

@@ -141,9 +141,25 @@ impl FanZoneMap {
     /// not belong to `net`.
     pub fn set_fan(&mut self, net: &mut RcNetwork, zone: ZoneId, fan: Rpm) {
         let entry = &mut self.zones[zone.0];
+        if entry.fan == fan {
+            // The attached links already hold `law.resistance(fan)` for this
+            // exact speed; re-deriving them would set identical resistances.
+            return;
+        }
         entry.fan = fan;
+        // Consecutive links often share one law (a fin array breathing the
+        // same derated airflow): evaluate the power law once per run.
+        let mut last: Option<(HeatSinkLaw, KelvinPerWatt)> = None;
         for (link, law) in &entry.links {
-            net.set_link_resistance_by_id(*link, law.resistance(fan));
+            let r = match last {
+                Some((cached_law, r)) if cached_law == *law => r,
+                _ => {
+                    let r = law.resistance(fan);
+                    last = Some((*law, r));
+                    r
+                }
+            };
+            net.set_link_resistance_by_id(*link, r);
         }
     }
 

@@ -359,3 +359,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The batched stepper is a drop-in for the scalar integrator: over
+    /// random chain-with-cross-link topologies, random capacitances and
+    /// resistances, and a random power/conductance schedule, every lane of
+    /// a [`gfsc_thermal::BatchRcNetwork`] (including the degenerate B=1
+    /// batch) replays `RcNetwork::step` bit for bit.
+    #[test]
+    fn batch_lanes_match_scalar_step_bitwise(
+        n in 2usize..6,
+        lanes in 1usize..4,
+        caps in proptest::collection::vec(0.5f64..400.0, 6..7),
+        res in proptest::collection::vec(0.05f64..2.0, 8..9),
+        powers in proptest::collection::vec(0.0f64..200.0, 24..25),
+        dt in 0.05f64..5.0,
+    ) {
+        use gfsc_thermal::{BatchRcNetwork, RcNetwork};
+        let build = || {
+            let mut b = RcNetworkBuilder::new();
+            for (i, &cap) in caps.iter().enumerate().take(n) {
+                b = b.node(format!("n{i}"), JoulesPerKelvin::new(cap), Celsius::new(30.0));
+            }
+            b = b.boundary("amb", Celsius::new(30.0));
+            for (i, &r) in res.iter().enumerate().take(n - 1) {
+                b = b.link(format!("n{i}"), format!("n{}", i + 1), KelvinPerWatt::new(r));
+            }
+            b = b.link(format!("n{}", n - 1), "amb", KelvinPerWatt::new(res[n - 1]));
+            if n >= 3 {
+                // A cross link makes the matrix genuinely 2-D, not tridiagonal.
+                b = b.link("n0", "n2", KelvinPerWatt::new(res[n]));
+            }
+            b.build().unwrap()
+        };
+        let mut batched: Vec<RcNetwork> = (0..lanes).map(|_| build()).collect();
+        let mut scalar: Vec<RcNetwork> = (0..lanes).map(|_| build()).collect();
+        let hot = batched[0].node_id("n0").unwrap();
+        let tail_link = batched[0]
+            .link_id(&format!("n{}", n - 1), "amb")
+            .unwrap();
+        let mut batch = BatchRcNetwork::new(&batched.iter().collect::<Vec<_>>()).unwrap();
+        for (step, &p) in powers.iter().enumerate() {
+            for lane in 0..lanes {
+                // Per-lane power schedule plus a conductance move every
+                // fourth step: the scalar caches refactorize, the batch
+                // regroups — trajectories must stay identical.
+                let lane_p = Watts::new(p + 11.0 * lane as f64);
+                let r = KelvinPerWatt::new(res[(step / 4 + lane) % res.len()]);
+                for net in [&mut batched[lane], &mut scalar[lane]] {
+                    net.set_power(hot, lane_p);
+                    if step % 4 == 0 {
+                        net.set_link_resistance_by_id(tail_link, r);
+                    }
+                }
+            }
+            let mut refs: Vec<&mut RcNetwork> = batched.iter_mut().collect();
+            batch.step(&mut refs, Seconds::new(dt));
+            for lane in 0..lanes {
+                scalar[lane].step(Seconds::new(dt));
+                for i in 0..n {
+                    let id = scalar[lane].node_id(&format!("n{i}")).unwrap();
+                    prop_assert_eq!(
+                        batched[lane].temperature(id).value().to_bits(),
+                        scalar[lane].temperature(id).value().to_bits(),
+                        "lane {} node {} diverged at step {}", lane, i, step
+                    );
+                }
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 #     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests twice
 #                              # (GFSC_SWEEP_THREADS=1 and =4 — determinism
 #                              # under both executors), release tests,
-#                              # bench smoke, bench check
+#                              # large-grid smoke, bench smoke, bench check
 #     ./scripts/ci.sh quick    # single test run; skip the release tests
 #                              # & bench stages
 #
@@ -47,6 +47,10 @@ else
     run_stage "test-threads-1" env GFSC_SWEEP_THREADS=1 cargo test -q --locked --offline
     run_stage "test-threads-4" env GFSC_SWEEP_THREADS=4 cargo test -q --locked --offline
     run_stage "test-release" cargo test -q --release --locked --offline
+    # 10k-cell grid through shard manifests and spilled traces: the sweep
+    # scale-out machinery at a size the default suite can't afford.
+    run_stage "large-grid-smoke" cargo test -q --release --locked --offline \
+        --test determinism large_grid_smoke_with_spilled_traces -- --ignored
     run_stage "bench-smoke" env GFSC_BENCH_FAST=1 \
         cargo bench -p gfsc-bench --locked --offline --bench hot_paths
     run_stage "bench-check" ./scripts/bench_check.sh

@@ -179,6 +179,86 @@ fn fan_interval_sweep_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn batched_sweep_matches_serial_byte_for_byte_across_all_solutions() {
+    use gfsc::sweep::ScenarioGrid;
+    use gfsc::thermal::Topology;
+    // The lockstep batch engine shares LU factorizations across every
+    // compatible lane; all five solution modes (capper proposals, E-coord
+    // descent probes, adaptive references, single-step scaling — each with
+    // its own steady-state probing between batch steps) must still replay
+    // the serial walk bitwise.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(150.0))
+        .solutions(&Solution::ALL)
+        .seeds(&[1, 2])
+        .topology_variant(Topology::dual_socket())
+        .build();
+    let batched = grid.run_batched();
+    let serial = grid.run_serial();
+    assert_eq!(batched.len(), 10);
+    for (b, s) in batched.iter().zip(&serial) {
+        assert_eq!(b.label, s.label, "batched order must be the enumeration order");
+        assert_eq!(b.summary, s.summary, "{}", b.label);
+    }
+}
+
+#[test]
+fn batched_sweep_handles_mixed_compatibility_groups() {
+    use gfsc::sweep::ScenarioGrid;
+    use gfsc::thermal::Topology;
+    // A grid mixing two batch groups (2S and 4S topologies never share a
+    // network structure) plus an incompatible fan-interval singleton per
+    // topology: the batcher must partition correctly and the scalar
+    // fallback must cover the rest — order and bits intact.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(120.0))
+        .solutions(&[Solution::RCoordFixedTref])
+        .seeds(&[1, 2, 3])
+        .topology_variant(Topology::dual_socket())
+        .topology_variant(Topology::quad_socket())
+        .fan_control_intervals(&[Seconds::new(15.0), Seconds::new(30.0)])
+        .build();
+    let batched = grid.run_batched();
+    let serial = grid.run_serial();
+    assert_eq!(batched.len(), 12);
+    for (b, s) in batched.iter().zip(&serial) {
+        assert_eq!(b.label, s.label);
+        assert_eq!(b.summary, s.summary, "{}", b.label);
+    }
+}
+
+#[test]
+fn sharded_rack_sweep_merges_to_the_unsharded_results() {
+    use gfsc::rack::RackTopology;
+    use gfsc::sweep::{merge_shards, ScenarioGrid, ShardManifest};
+    // Shard manifests on a rack grid: three shards of a 10-cell grid,
+    // round-tripped through the text form (as a driver farming shards to
+    // other processes would), must merge into the exact unsharded vector.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(120.0))
+        .solutions(&[Solution::WithoutCoordination, Solution::ECoord])
+        .seeds(&[1, 2, 3, 4, 5])
+        .rack_variant(RackTopology::rack_2u_x4())
+        .build();
+    let whole = grid.run_serial();
+    let parts = grid
+        .shard(3)
+        .into_iter()
+        .map(|m| {
+            let manifest = ShardManifest::from_text(&m.to_text()).unwrap();
+            let results = grid.run_shard(&manifest);
+            (manifest, results)
+        })
+        .collect();
+    let merged = merge_shards(parts);
+    assert_eq!(whole.len(), merged.len());
+    for (w, m) in whole.iter().zip(&merged) {
+        assert_eq!(w.label, m.label);
+        assert_eq!(w.summary, m.summary, "{}", w.label);
+    }
+}
+
+#[test]
 fn sweep_respects_thread_count_override() {
     // GFSC_SWEEP_THREADS=1 must force the serial path; this is also the
     // escape hatch documented in ROADMAP.md for debugging.
@@ -186,6 +266,69 @@ fn sweep_respects_thread_count_override() {
     let out = gfsc_sim::sweep::parallel_map(&[1u64, 2, 3], |&x| x * 10);
     std::env::remove_var("GFSC_SWEEP_THREADS");
     assert_eq!(out, vec![10, 20, 30]);
+}
+
+#[test]
+fn one_worker_parallel_map_is_the_serial_path() {
+    use gfsc::sweep::ScenarioGrid;
+    // Regression guard for the single-core overhead fix: a 1-worker
+    // parallel map must short-circuit to the serial walk (no thread spawn,
+    // no channel) and return bitwise-serial results. On 1-core hosts the
+    // default `run()` takes exactly this path, so "parallel" sweep numbers
+    // there are the serial numbers, not serial-plus-threading-overhead.
+    let jobs: Vec<u64> = (0..32).collect();
+    let mapped = gfsc_sim::sweep::parallel_map_with_workers(&jobs, |&x| x * 3, 1);
+    assert_eq!(mapped, jobs.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(90.0))
+        .solutions(&[Solution::RCoordFixedTref])
+        .seeds(&[1, 2])
+        .build();
+    let one_worker = grid.run_with_workers(1);
+    let serial = grid.run_serial();
+    for (p, s) in one_worker.iter().zip(&serial) {
+        assert_eq!(p.label, s.label);
+        assert_eq!(p.summary, s.summary, "{}", p.label);
+    }
+}
+
+#[test]
+#[ignore = "large-grid smoke test (10k cells): run explicitly or via scripts/ci.sh full"]
+fn large_grid_smoke_with_spilled_traces() {
+    use gfsc::sweep::{merge_shards, ScenarioGrid, WorkloadRecipe};
+    use gfsc_sim::SpilledTraces;
+    // 10 000 cells at a tiny horizon: the grid machinery (enumeration,
+    // sharding, merge, batched execution) plus a spilled-trace pass must
+    // hold up at three orders of magnitude above the unit tests' size.
+    let grid = ScenarioGrid::builder()
+        .horizon(Seconds::new(4.0))
+        .solutions(&[Solution::WithoutCoordination])
+        .workload(WorkloadRecipe::Constant(0.4))
+        .seeds(&(0..10_000).collect::<Vec<u64>>())
+        .build();
+    assert_eq!(grid.scenarios().len(), 10_000);
+    let parts = grid.shard(8).into_iter().map(|m| (m, grid.run_shard(&m))).collect();
+    let merged = merge_shards(parts);
+    assert_eq!(merged.len(), 10_000);
+    let first = &merged[0].summary;
+    assert!(merged.iter().all(|r| r.summary.total_epochs == first.total_epochs));
+
+    // Spill one representative cell's traces through a tmpdir and read a
+    // single column back.
+    let dir = std::env::temp_dir().join(format!("gfsc-large-grid-smoke-{}", std::process::id()));
+    let keep = ScenarioGrid::builder()
+        .horizon(Seconds::new(60.0))
+        .solutions(&[Solution::WithoutCoordination])
+        .seeds(&[1])
+        .keep_traces(true)
+        .build();
+    let results = keep.run_batched();
+    let traces = results[0].traces.as_ref().expect("keep_traces grid returns traces");
+    traces.spill_to(&dir).unwrap();
+    let spilled = SpilledTraces::open(&dir).unwrap();
+    let fan = spilled.column("fan_rpm").unwrap();
+    assert_eq!(fan.len(), traces.require("fan_rpm").unwrap().len());
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
