@@ -21,6 +21,9 @@
 //!   descent, exercising the scratch-buffered steady-state probes), and
 //!   of the rack-global energy descent (joint Gauss–Seidel fan sizing on
 //!   the strongly-coupled shared-plenum rack),
+//! - daemon: the telemetry daemon's trait-dispatch loop vs the direct
+//!   `RackLoopSim` on the identical scenario — `daemon_epoch_overhead_ns`
+//!   plus the overhead fraction, gated hard at 5 % in `--check` mode,
 //! - table3: the five-solution sweep, serial vs parallel at several worker
 //!   counts, with a bit-identity check between the two paths,
 //! - ablations: a reduced lag sweep, serial vs parallel,
@@ -36,15 +39,17 @@
 //! modes, and the global-E-coord rack loop; best of three), compares
 //! them against the committed baseline,
 //! and exits non-zero on any regression beyond the tolerance (default
-//! 30 %, override with `GFSC_BENCH_TOLERANCE=0.5`). `scripts/bench_check.sh`
-//! wraps this for CI.
+//! 30 %, override with `GFSC_BENCH_TOLERANCE=0.5`). The daemon front-end
+//! overhead is gated *absolutely* (≤ 5 % over the direct loop) regardless
+//! of the tolerance. `scripts/bench_check.sh` wraps this for CI.
 
 use gfsc::experiments::{ablations, fan_study_spec};
 use gfsc::server::ServerSpec;
 use gfsc::sweep::{ScenarioGrid, WorkloadRecipe};
 use gfsc::{tune_gain_schedule, Solution};
 use gfsc_bench::{chain_network, EPOCH_CHANNELS};
-use gfsc_coord::{RackControl, RackLoopSim};
+use gfsc_coord::{RackControl, RackControlConfig, RackLoopSim};
+use gfsc_daemon::{Daemon, DaemonConfig, FaultPlan, SimTelemetry};
 use gfsc_rack::{RackPlant, RackSpec, RackTopology};
 use gfsc_sim::sweep::thread_count;
 use gfsc_thermal::{
@@ -183,6 +188,15 @@ fn main() {
     println!("rack SS + E-coord loops: {rack_ss_ecoord_rate:.0} simulated s / wall s");
     let rack_global_ecoord_rate = rack_global_ecoord_sim_rate();
     println!("rack global E-coord loop: {rack_global_ecoord_rate:.0} simulated s / wall s");
+    let (daemon_direct_s, daemon_streamed_s, daemon_epochs) = daemon_vs_direct_secs();
+    let daemon_epoch_overhead_ns =
+        (daemon_streamed_s - daemon_direct_s).max(0.0) * 1e9 / daemon_epochs;
+    let daemon_overhead_fraction = daemon_streamed_s / daemon_direct_s - 1.0;
+    println!(
+        "daemon front-end: direct {daemon_direct_s:.3} s, streamed {daemon_streamed_s:.3} s \
+         ({daemon_epoch_overhead_ns:.0} ns/epoch, {:.2} % overhead)",
+        daemon_overhead_fraction * 100.0
+    );
 
     // --- 64-scenario lockstep batch sweep --------------------------------
     let (batch_sweep_horizon, sweep64_serial_s, sweep64_batched_s, sweep64_bit_identical) =
@@ -292,6 +306,10 @@ fn main() {
          \"coordinated_sim_seconds_per_wall_second\": {rack_rate:.1},\n    \
          \"coordinated_ss_ecoord_sim_seconds_per_wall_second\": {rack_ss_ecoord_rate:.1},\n    \
          \"global_ecoord_sim_seconds_per_wall_second\": {rack_global_ecoord_rate:.1}\n  }},\n  \
+         \"daemon\": {{\n    \"direct_seconds\": {daemon_direct_s:.4},\n    \
+         \"streamed_seconds\": {daemon_streamed_s:.4},\n    \
+         \"daemon_epoch_overhead_ns\": {daemon_epoch_overhead_ns:.1},\n    \
+         \"overhead_fraction\": {daemon_overhead_fraction:.4}\n  }},\n  \
          \"table3\": {{\n    \"horizon_s\": {table3_horizon},\n    \
          \"serial_seconds\": {table3_serial_s:.4},\n    \
          \"by_workers\": [{worker_rows}],\n    \
@@ -381,6 +399,37 @@ fn rack_global_ecoord_sim_rate() -> f64 {
         .build();
     let (_, secs) = time(|| sim.run(Seconds::new(horizon)));
     horizon / secs
+}
+
+/// Wall seconds of the direct batch loop vs the daemon's trait-dispatch
+/// loop on the identical scenario (the 2U×4 preset under the rack-global
+/// energy descent — the parity-pinned HIL configuration — on the DATE'14
+/// square wave), plus the CPU-epoch count. The two paths run the same
+/// plant, controllers, and workload samples — the difference is pure
+/// front-end overhead: trait dispatch, the polled mirror, the watchdog
+/// bookkeeping. Construction (equilibration) is excluded from both sides.
+fn daemon_vs_direct_secs() -> (f64, f64, f64) {
+    let horizon = 3000.0;
+    let control = RackControl::GlobalECoord;
+    let spec = RackSpec::new(RackTopology::rack_2u_x4());
+    let workload = || Workload::builder(SquareWave::date14()).build();
+
+    let mut sim = RackLoopSim::builder(spec.clone()).workload(workload()).control(control).build();
+    let (_, direct_s) = time(|| sim.run(Seconds::new(horizon)));
+
+    let cfg = DaemonConfig::new(RackControlConfig::new(control));
+    let backend = SimTelemetry::new(
+        spec.clone(),
+        workload(),
+        cfg.start_utilization,
+        cfg.start_fan,
+        FaultPlan::none(),
+    );
+    let mut daemon = Daemon::new(backend, spec.clone(), cfg);
+    let (outcome, streamed_s) = time(|| daemon.run(Seconds::new(horizon)));
+    assert_eq!(outcome.metrics.fallback_entries, 0, "no fault may trip the overhead probe");
+
+    (direct_s, streamed_s, horizon / spec.server.cpu_control_interval.value())
 }
 
 /// The moving-fan pattern shared by the scalar reference and every batch
@@ -544,6 +593,16 @@ fn run_check(baseline_path: &str) -> i32 {
     let rack_rate_cost = best3(Box::new(|| 1.0 / rack_coord_sim_rate()));
     let rack_ss_ecoord_cost = best3(Box::new(|| 1.0 / rack_ss_ecoord_sim_rate()));
     let rack_global_ecoord_cost = best3(Box::new(|| 1.0 / rack_global_ecoord_sim_rate()));
+    // Best-of-three on each side independently: the gate compares the two
+    // cleanest observations, not two noisy ones.
+    let (daemon_direct_s, daemon_streamed_s) = {
+        let mut best = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            let (direct, streamed, _) = daemon_vs_direct_secs();
+            best = (best.0.min(direct), best.1.min(streamed));
+        }
+        best
+    };
 
     let mut failed = false;
     let mut check =
@@ -588,6 +647,24 @@ fn run_check(baseline_path: &str) -> i32 {
         "global_ecoord_sim_seconds_per_wall_second",
         rack_global_ecoord_cost,
         |rate| 1.0 / rate,
+    );
+
+    // The daemon front-end gate is absolute, not baseline-relative: the
+    // trait-dispatch loop may cost at most 5 % over the direct batch loop,
+    // whatever GFSC_BENCH_TOLERANCE says about the other rows.
+    const DAEMON_OVERHEAD_CAP: f64 = 0.05;
+    let daemon_overhead = daemon_streamed_s / daemon_direct_s - 1.0;
+    let daemon_ok = daemon_overhead <= DAEMON_OVERHEAD_CAP;
+    if !daemon_ok {
+        failed = true;
+    }
+    println!(
+        "  {:<28} {:<9} overhead {:.2} % (hard cap {:.0} %; direct {daemon_direct_s:.3} s, \
+         streamed {daemon_streamed_s:.3} s)",
+        "daemon front-end overhead",
+        if daemon_ok { "ok" } else { "REGRESSED" },
+        daemon_overhead * 100.0,
+        DAEMON_OVERHEAD_CAP * 100.0,
     );
 
     if failed {

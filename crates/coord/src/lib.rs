@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bank;
 mod capper;
 mod coordinator;
 mod fanctl;
@@ -60,9 +61,11 @@ mod rack;
 mod reference;
 mod runner;
 mod ssfan;
+mod view;
 mod zone_ecoord;
 mod zone_ssfan;
 
+pub use bank::{RackChannels, RackControlBank, RackControlConfig};
 pub use capper::CpuCapController;
 pub use coordinator::{
     rule_matrix, CoordinationInputs, CoordinationOutcome, Coordinator, EnergyAwareCoordinator,
@@ -78,5 +81,6 @@ pub use rack::{
 pub use reference::AdaptiveReference;
 pub use runner::{run_batch, ClosedLoopSim, ClosedLoopSimBuilder, RunOutcome};
 pub use ssfan::{SingleStepFanScaling, SsFanAction};
+pub use view::RackView;
 pub use zone_ecoord::ZoneEnergyCoordinator;
 pub use zone_ssfan::ZoneSsFanBank;

@@ -26,7 +26,7 @@
 //! epoch loop stays allocation-free in the migrating mode
 //! (`tests/alloc_free_rack.rs`).
 
-use gfsc_rack::RackServer;
+use crate::RackView;
 use gfsc_units::Celsius;
 
 /// One outstanding weight shift (recorded so it can be reversed).
@@ -146,7 +146,7 @@ impl WorkMigrator {
     }
 
     /// The hottest measured socket of server `s`.
-    fn server_hotness(server: &RackServer, measured: &[Celsius], s: usize) -> Celsius {
+    fn server_hotness(server: &dyn RackView, measured: &[Celsius], s: usize) -> Celsius {
         let range = server.plant().server_sockets(s);
         let mut hottest = measured[range.start];
         for i in range {
@@ -156,7 +156,7 @@ impl WorkMigrator {
     }
 
     /// The fan zone server `s` breathes from.
-    fn zone_of_server(server: &RackServer, s: usize) -> usize {
+    fn zone_of_server(server: &dyn RackView, s: usize) -> usize {
         let range = server.plant().server_sockets(s);
         server.plant().zone_of_socket(range.start)
     }
@@ -171,7 +171,7 @@ impl WorkMigrator {
     /// # Panics
     ///
     /// Panics if `measured` is not one entry per socket.
-    pub fn rebalance(&mut self, server: &mut RackServer, measured: &[Celsius]) {
+    pub fn rebalance(&mut self, server: &mut dyn RackView, measured: &[Celsius]) {
         assert_eq!(measured.len(), server.socket_count(), "one measurement per socket");
         // Reclaim pass. A shift comes home when its source has genuinely
         // cooled — or when the *absorber* has itself crossed the hot
@@ -245,7 +245,7 @@ impl WorkMigrator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfsc_rack::{RackSpec, RackTopology};
+    use gfsc_rack::{RackServer, RackSpec, RackTopology};
 
     fn rack() -> RackServer {
         RackServer::new(RackSpec::new(RackTopology::rack_1u_x8()))

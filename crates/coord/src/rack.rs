@@ -30,14 +30,13 @@
 //!   model-minimal airflow sized through the per-zone `PlantModel` views.
 
 use crate::{
-    AdaptiveReference, FanController, FixedPidFan, RackEnergyDescent, SingleStepFanScaling,
-    SsFanAction, WorkMigrator, ZoneEnergyCoordinator, ZoneSsFanBank,
+    AdaptiveReference, RackChannels, RackControlBank, RackControlConfig, RackEnergyDescent,
+    SingleStepFanScaling, WorkMigrator, ZoneEnergyCoordinator,
 };
-use gfsc_control::{AdaptivePid, GainSchedule, PidGains};
+use gfsc_control::GainSchedule;
 use gfsc_rack::{RackServer, RackSpec};
-use gfsc_sensors::MovingAverage;
-use gfsc_sim::{ChannelId, Clock, Periodic, TraceSet};
-use gfsc_units::{Bounds, Celsius, Joules, Rpm, Seconds, Utilization, Watts};
+use gfsc_sim::{Clock, Periodic, TraceSet};
+use gfsc_units::{Bounds, Celsius, Joules, Rpm, Seconds, Utilization};
 use gfsc_workload::Workload;
 
 /// A per-socket adjustable-gain integral cap controller (after Rao et
@@ -405,24 +404,16 @@ pub struct RackRunOutcome {
 pub struct RackLoopSimBuilder {
     spec: RackSpec,
     workload: Option<Workload>,
-    control: RackControl,
-    gain_schedule: Option<GainSchedule>,
-    capper: IntegralCapper,
-    max_cuts_per_epoch: usize,
-    fixed_reference: Celsius,
-    derate_shading: f64,
-    single_step: SingleStepFanScaling,
-    monitor_window: usize,
-    energy_coordinator: ZoneEnergyCoordinator,
-    energy_descent: RackEnergyDescent,
-    work_migrator: WorkMigrator,
+    config: RackControlConfig,
     start_utilization: Utilization,
     start_fan: Rpm,
 }
 
 impl std::fmt::Debug for RackLoopSimBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RackLoopSimBuilder").field("control", &self.control).finish_non_exhaustive()
+        f.debug_struct("RackLoopSimBuilder")
+            .field("control", &self.config.control)
+            .finish_non_exhaustive()
     }
 }
 
@@ -439,7 +430,7 @@ impl RackLoopSimBuilder {
     /// `Coordinated { adaptive_reference: true }`).
     #[must_use]
     pub fn control(mut self, control: RackControl) -> Self {
-        self.control = control;
+        self.config.control = control;
         self
     }
 
@@ -448,7 +439,7 @@ impl RackLoopSimBuilder {
     /// fixed gain set.
     #[must_use]
     pub fn gain_schedule(mut self, schedule: GainSchedule) -> Self {
-        self.gain_schedule = Some(schedule);
+        self.config.gain_schedule = Some(schedule);
         self
     }
 
@@ -456,7 +447,7 @@ impl RackLoopSimBuilder {
     /// [`IntegralCapper::date14_rack`]).
     #[must_use]
     pub fn capper(mut self, capper: IntegralCapper) -> Self {
-        self.capper = capper;
+        self.config.capper = capper;
         self
     }
 
@@ -468,14 +459,14 @@ impl RackLoopSimBuilder {
     #[must_use]
     pub fn max_cuts_per_epoch(mut self, budget: usize) -> Self {
         assert!(budget > 0, "cut budget must be positive");
-        self.max_cuts_per_epoch = budget;
+        self.config.max_cuts_per_epoch = budget;
         self
     }
 
     /// The fan reference for non-adaptive loops (default 75 °C).
     #[must_use]
     pub fn fixed_reference(mut self, reference: Celsius) -> Self {
-        self.fixed_reference = reference;
+        self.config.fixed_reference = reference;
         self
     }
 
@@ -488,7 +479,7 @@ impl RackLoopSimBuilder {
     #[must_use]
     pub fn derate_shading(mut self, shading: f64) -> Self {
         assert!(shading >= 0.0, "derate shading must be non-negative");
-        self.derate_shading = shading;
+        self.config.derate_shading = shading;
         self
     }
 
@@ -498,7 +489,7 @@ impl RackLoopSimBuilder {
     /// calibration).
     #[must_use]
     pub fn single_step(mut self, scheme: SingleStepFanScaling) -> Self {
-        self.single_step = scheme;
+        self.config.single_step = scheme;
         self
     }
 
@@ -512,7 +503,7 @@ impl RackLoopSimBuilder {
     #[must_use]
     pub fn monitor_window(mut self, window: usize) -> Self {
         assert!(window > 0, "monitor window must be positive");
-        self.monitor_window = window;
+        self.config.monitor_window = window;
         self
     }
 
@@ -521,7 +512,7 @@ impl RackLoopSimBuilder {
     /// [`ZoneEnergyCoordinator::date14_rack`]).
     #[must_use]
     pub fn energy_coordinator(mut self, coordinator: ZoneEnergyCoordinator) -> Self {
-        self.energy_coordinator = coordinator;
+        self.config.energy_coordinator = coordinator;
         self
     }
 
@@ -530,7 +521,7 @@ impl RackLoopSimBuilder {
     /// [`RackEnergyDescent::date14_rack`]).
     #[must_use]
     pub fn energy_descent(mut self, descent: RackEnergyDescent) -> Self {
-        self.energy_descent = descent;
+        self.config.energy_descent = descent;
         self
     }
 
@@ -539,7 +530,7 @@ impl RackLoopSimBuilder {
     /// [`WorkMigrator::date14_rack`]).
     #[must_use]
     pub fn work_migrator(mut self, migrator: WorkMigrator) -> Self {
-        self.work_migrator = migrator;
+        self.config.work_migrator = migrator;
         self
     }
 
@@ -562,89 +553,11 @@ impl RackLoopSimBuilder {
         let workload = self.workload.expect("a workload is required");
         let mut server = RackServer::new(self.spec.clone());
         let zones = server.zone_count();
-        let sockets = server.socket_count();
         let start_fans = vec![self.start_fan; zones];
         server.equilibrate(self.start_utilization, &start_fans);
-
-        let spec = &self.spec.server;
-        let make_fan = |reference: Celsius| -> Box<dyn FanController> {
-            match &self.gain_schedule {
-                // The same standard configuration every server loop runs.
-                Some(schedule) => Box::new(AdaptivePid::date14_configured(
-                    schedule.clone(),
-                    reference,
-                    spec.fan_bounds,
-                    spec.quantization_step,
-                )),
-                // The paper's published fixed gain set — robust everywhere,
-                // just not retuned per region.
-                None => Box::new(FixedPidFan::new(
-                    PidGains::new(696.0, 464.0, 261.0),
-                    reference,
-                    spec.fan_bounds,
-                    (spec.quantization_step > 0.0).then_some(spec.quantization_step),
-                )),
-            }
-        };
-        let fan_count = match self.control {
-            RackControl::GlobalLockstep => 1,
-            _ => zones,
-        };
-        let fans: Vec<Box<dyn FanController>> =
-            (0..fan_count).map(|_| make_fan(self.fixed_reference)).collect();
-        let references = ZoneReferences::for_rack(&self.spec, self.derate_shading);
-        let ss = matches!(self.control, RackControl::CoordinatedSsFan { .. }).then(|| {
-            ZoneSsFanBank::new(
-                zones,
-                self.single_step.clone(),
-                self.monitor_window,
-                self.spec.rack.plenum().is_some(),
-            )
-        });
-        let max_zone_sockets =
-            (0..zones).map(|z| server.plant().zone_sockets(z).len()).max().unwrap_or(0);
-        let socket_zone: Vec<usize> =
-            (0..sockets).map(|i| server.plant().zone_of_socket(i)).collect();
-        let descent = matches!(self.control, RackControl::GlobalECoord).then(|| {
-            let mut descent = self.energy_descent.clone();
-            descent.bind(zones);
-            descent
-        });
-        let migrator = matches!(self.control, RackControl::MigratingCoordinated { .. })
-            .then(|| self.work_migrator.clone());
-
-        RackLoopSim {
-            server,
-            workload,
-            control: self.control,
-            fans,
-            capper: self.capper,
-            coordinator: CappingCoordinator::new(
-                sockets,
-                self.max_cuts_per_epoch,
-                self.spec.server.t_safe,
-            ),
-            global_capper: crate::CpuCapController::date14(),
-            references,
-            ss,
-            ecoord: self.energy_coordinator,
-            descent,
-            migrator,
-            demand_filter: MovingAverage::new(30),
-            caps: vec![Utilization::FULL; sockets],
-            zone_caps: vec![Utilization::FULL; zones],
-            proposed: vec![Utilization::FULL; sockets],
-            demands: vec![Utilization::IDLE; sockets],
-            executed: vec![self.start_utilization; sockets],
-            measured: vec![self.spec.server.ambient; sockets],
-            zone_powers: vec![Watts::new(0.0); max_zone_sockets],
-            rack_powers: vec![Watts::new(0.0); sockets],
-            zone_violated: vec![0; zones],
-            socket_zone,
-            violations: 0,
-            socket_epochs: 0,
-            lost_utilization: 0.0,
-        }
+        let bank =
+            RackControlBank::new(self.config, &self.spec, server.plant(), self.start_utilization);
+        RackLoopSim { server, workload, bank }
     }
 }
 
@@ -673,51 +586,14 @@ impl RackLoopSimBuilder {
 pub struct RackLoopSim {
     server: RackServer,
     workload: Workload,
-    control: RackControl,
-    /// One controller per zone (coordinated modes) or a single controller
-    /// (GlobalLockstep).
-    fans: Vec<Box<dyn FanController>>,
-    capper: IntegralCapper,
-    coordinator: CappingCoordinator,
-    /// The naive mode's single deadzone capper.
-    global_capper: crate::CpuCapController,
-    references: ZoneReferences,
-    /// The per-zone single-step bank (CoordinatedSsFan only).
-    ss: Option<ZoneSsFanBank>,
-    /// The per-zone E-coord policy (CoordinatedECoord only).
-    ecoord: ZoneEnergyCoordinator,
-    /// The rack-global fan descent (GlobalECoord only).
-    descent: Option<RackEnergyDescent>,
-    /// The load-weight migrator (MigratingCoordinated only).
-    migrator: Option<WorkMigrator>,
-    /// Predicted rack demand (the single-server 30-sample filter) feeding
-    /// the single-step release descent.
-    demand_filter: MovingAverage,
-    caps: Vec<Utilization>,
-    /// Per-zone caps (CoordinatedECoord: one cap per zone, applied to
-    /// every socket the zone serves).
-    zone_caps: Vec<Utilization>,
-    proposed: Vec<Utilization>,
-    demands: Vec<Utilization>,
-    executed: Vec<Utilization>,
-    measured: Vec<Celsius>,
-    /// Per-zone executing-power scratch for the E-coord view probes.
-    zone_powers: Vec<Watts>,
-    /// Whole-rack executing-power scratch for the global descent's joint
-    /// probes.
-    rack_powers: Vec<Watts>,
-    /// Per-zone violated-socket scratch for the single-step windows.
-    zone_violated: Vec<usize>,
-    /// Flat socket → zone map, resolved once.
-    socket_zone: Vec<usize>,
-    violations: u64,
-    socket_epochs: u64,
-    lost_utilization: f64,
+    /// The full controller bank, shared verbatim with the daemon
+    /// front-end (`gfsc-daemon`) through the [`crate::RackView`] seam.
+    bank: RackControlBank,
 }
 
 impl std::fmt::Debug for RackLoopSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RackLoopSim").field("control", &self.control).finish_non_exhaustive()
+        f.debug_struct("RackLoopSim").field("control", &self.bank.control()).finish_non_exhaustive()
     }
 }
 
@@ -728,17 +604,7 @@ impl RackLoopSim {
         RackLoopSimBuilder {
             spec,
             workload: None,
-            control: RackControl::Coordinated { adaptive_reference: true },
-            gain_schedule: None,
-            capper: IntegralCapper::date14_rack(),
-            max_cuts_per_epoch: 2,
-            fixed_reference: Celsius::new(75.0),
-            derate_shading: 2.0,
-            single_step: SingleStepFanScaling::new(0.3),
-            monitor_window: 10,
-            energy_coordinator: ZoneEnergyCoordinator::date14_rack(),
-            energy_descent: RackEnergyDescent::date14_rack(),
-            work_migrator: WorkMigrator::date14_rack(),
+            config: RackControlConfig::new(RackControl::Coordinated { adaptive_reference: true }),
             start_utilization: Utilization::new(0.1),
             start_fan: Rpm::new(1500.0),
         }
@@ -769,324 +635,33 @@ impl RackLoopSim {
         for _ in 0..=steps {
             let now = clock.now();
             if cpu_epoch.is_due(now) {
-                self.control_epoch(now, fan_epoch.is_due(now), &mut traces, &channels);
+                let demand = self.workload.sample(now);
+                self.bank.epoch(
+                    &mut self.server,
+                    now,
+                    demand,
+                    fan_epoch.is_due(now),
+                    &mut traces,
+                    &channels,
+                );
             }
-            let executed = core::mem::take(&mut self.executed);
-            self.server.step(spec.sim_dt, &executed);
-            self.executed = executed;
+            self.server.step(spec.sim_dt, self.bank.executed());
             clock.tick();
         }
 
         RackRunOutcome {
             traces,
-            violation_percent: if self.socket_epochs == 0 {
+            violation_percent: if self.bank.socket_epochs() == 0 {
                 0.0
             } else {
-                100.0 * self.violations as f64 / self.socket_epochs as f64
+                100.0 * self.bank.violations() as f64 / self.bank.socket_epochs() as f64
             },
-            total_violations: self.violations,
-            total_epochs: self.socket_epochs,
-            lost_utilization: self.lost_utilization,
+            total_violations: self.bank.violations(),
+            total_epochs: self.bank.socket_epochs(),
+            lost_utilization: self.bank.lost_utilization(),
             fan_energy: self.server.fan_energy(),
             cpu_energy: self.server.cpu_energy(),
             horizon,
-        }
-    }
-
-    /// One CPU control epoch.
-    fn control_epoch(
-        &mut self,
-        now: Seconds,
-        fan_due: bool,
-        traces: &mut TraceSet,
-        channels: &RackChannels,
-    ) {
-        let demand = self.workload.sample(now);
-        let sockets = self.server.socket_count();
-        let zones = self.server.zone_count();
-
-        let mut demands = core::mem::take(&mut self.demands);
-        self.server.socket_demands(demand, &mut demands);
-        for i in 0..sockets {
-            self.measured[i] = self.server.measured_socket(i);
-        }
-
-        match self.control {
-            RackControl::GlobalLockstep => {
-                // One capper on the aggregate, applied to every socket.
-                let aggregate = self.server.measured_rack();
-                let cap = self.global_capper.propose(aggregate, self.caps[0]);
-                self.caps.fill(cap);
-                if fan_due {
-                    // The naive pairing: the rack-wide max measurement
-                    // against the *fastest* wall's speed (not the hottest
-                    // zone's — the two coincide only by luck).
-                    let current = self.fastest_zone_speed();
-                    let cmd = self.fans[0].decide(aggregate, current);
-                    self.server.set_all_fan_targets(cmd);
-                }
-            }
-            RackControl::Coordinated { adaptive_reference }
-            | RackControl::CoordinatedSsFan { adaptive_reference }
-            | RackControl::MigratingCoordinated { adaptive_reference } => {
-                // Layer 0 (MigratingCoordinated): before anything is cut,
-                // try *moving* the hottest server's work to a headroomed
-                // server behind another wall; demands re-derive from the
-                // shifted weights.
-                if let Some(migrator) = &mut self.migrator {
-                    migrator.rebalance(&mut self.server, &self.measured);
-                    self.server.socket_demands(demand, &mut demands);
-                }
-                // Layer 1: per-socket integral capper proposals.
-                for i in 0..sockets {
-                    self.proposed[i] = self.capper.propose(self.measured[i], self.caps[i]);
-                }
-                // Layer 2: the coordinator grants raises freely and cuts
-                // against the per-epoch budget, hottest sockets first.
-                self.coordinator.arbitrate(&self.measured, &mut self.caps, &self.proposed);
-                // Zone demand prediction feeds the per-zone references.
-                if adaptive_reference {
-                    for z in 0..zones {
-                        let zone_sockets = self.server.plant().zone_sockets(z);
-                        let mut sum = 0.0;
-                        for &i in zone_sockets {
-                            sum += demands[i].value();
-                        }
-                        let mean = if zone_sockets.is_empty() {
-                            0.0 // slotless wall: no demand to predict
-                        } else {
-                            sum / zone_sockets.len() as f64
-                        };
-                        self.references.observe(z, Utilization::new(mean));
-                    }
-                }
-                // Layer 3 (CoordinatedSsFan): the per-zone single-step
-                // bank owns each wall while a boost is in force, exactly
-                // as the single-server overlay owns the fan. (Taken out
-                // of its slot so the PID fallback can borrow `self`.)
-                let mut bank = self.ss.take();
-                match &mut bank {
-                    Some(bank) => {
-                        self.demand_filter.update(demand.value());
-                        let predicted = Utilization::new(self.demand_filter.value().unwrap_or(0.0));
-                        let bounds = self.server.spec().server.fan_bounds;
-                        bank.begin_epoch();
-                        for z in 0..zones {
-                            let reference = self.fans[z].reference();
-                            match bank.evaluate(z, self.server.measured_zone(z), reference) {
-                                SsFanAction::Hold => {
-                                    if self.server.zone_fan_target(z) < bounds.hi() {
-                                        self.server.set_zone_fan_target(z, bounds.hi());
-                                    }
-                                }
-                                SsFanAction::Release => {
-                                    // Descend straight to the zone's lowest
-                                    // safe speed for the predicted load, the
-                                    // PID re-based bumplessly at the descent
-                                    // speed (Section V-C, per zone).
-                                    self.fans[z].reset();
-                                    let safe = self
-                                        .server
-                                        .min_safe_zone_fan(z, predicted, reference)
-                                        .unwrap_or(bounds.hi());
-                                    self.server.set_zone_fan_target(z, bounds.clamp(safe));
-                                }
-                                SsFanAction::None => {
-                                    if fan_due {
-                                        self.zone_fan_decision(z, adaptive_reference);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    None => {
-                        if fan_due {
-                            for z in 0..zones {
-                                self.zone_fan_decision(z, adaptive_reference);
-                            }
-                        }
-                    }
-                }
-                self.ss = bank;
-            }
-            RackControl::CoordinatedECoord => {
-                // Per zone: the energy-first policy on the zone
-                // measurement, fan sized through the zone's PlantModel
-                // view at the powers its sockets are currently executing.
-                let cpu_power = self.server.spec().server.cpu_power;
-                let bounds = self.server.spec().server.fan_bounds;
-                for z in 0..zones {
-                    let zone_measured = self.server.measured_zone(z);
-                    let current = self.zone_caps[z];
-                    let fan_cmd = {
-                        let zone_sockets = self.server.plant().zone_sockets(z);
-                        let k = zone_sockets.len();
-                        for (j, &i) in zone_sockets.iter().enumerate() {
-                            self.zone_powers[j] = cpu_power.power(self.server.executed()[i]);
-                        }
-                        let view = self.server.plant_mut().zone_plant(z);
-                        self.ecoord.fan_command(
-                            &view,
-                            &self.zone_powers[..k],
-                            zone_measured,
-                            current,
-                            fan_due,
-                            bounds,
-                        )
-                    };
-                    if let Some(target) = fan_cmd {
-                        self.server.set_zone_fan_target(z, target);
-                    }
-                    self.zone_caps[z] = self.ecoord.next_cap(zone_measured, current);
-                }
-                for i in 0..sockets {
-                    self.caps[i] = self.zone_caps[self.socket_zone[i]];
-                }
-            }
-            RackControl::GlobalECoord => {
-                // The per-zone E-coord policy on every zone's cap, but the
-                // fan side solved jointly: every wall sized at once
-                // against the full coupled rack at the powers currently
-                // executing.
-                let cpu_power = self.server.spec().server.cpu_power;
-                let bounds = self.server.spec().server.fan_bounds;
-                let descent = self.descent.as_mut().expect("built for GlobalECoord");
-                for i in 0..sockets {
-                    self.rack_powers[i] = cpu_power.power(self.server.executed()[i]);
-                }
-                descent.begin_epoch();
-                for z in 0..zones {
-                    descent.seed(z, self.server.zone_fan_speed(z));
-                    let zone_measured = self.server.measured_zone(z);
-                    if descent.policy().is_emergency(zone_measured) {
-                        if self.zone_caps[z] <= descent.policy().cap_floor() {
-                            // Cap pinned at its floor: the wall is the only
-                            // knob left — to maximum, every epoch, exactly
-                            // like the per-zone mode; the neighbours size
-                            // against that fact.
-                            descent.seed(z, bounds.hi());
-                            self.server.set_zone_fan_target(z, bounds.hi());
-                        }
-                        // An emergency wall (pinned or holding) does not
-                        // join the descent this epoch.
-                        descent.freeze(z);
-                    }
-                }
-                if fan_due {
-                    descent.descend(self.server.plant(), &self.rack_powers, bounds);
-                    for z in 0..zones {
-                        if !descent.is_frozen(z) {
-                            self.server.set_zone_fan_target(z, descent.target(z));
-                        }
-                    }
-                }
-                for z in 0..zones {
-                    self.zone_caps[z] =
-                        descent.next_cap(self.server.measured_zone(z), self.zone_caps[z]);
-                }
-                for i in 0..sockets {
-                    self.caps[i] = self.zone_caps[self.socket_zone[i]];
-                }
-            }
-        }
-
-        // Enforce, account, record.
-        self.zone_violated.fill(0);
-        for (i, ((&d, &cap), executed)) in
-            demands.iter().zip(&self.caps).zip(&mut self.executed).enumerate()
-        {
-            *executed = d.min(cap);
-            self.socket_epochs += 1;
-            // Strict inequality with a small tolerance, as the
-            // single-server monitor counts it: demand exactly at the cap
-            // executes completely.
-            if d.value() > cap.value() + 1e-12 {
-                self.violations += 1;
-                self.lost_utilization += d - cap;
-                self.zone_violated[self.socket_zone[i]] += 1;
-            }
-        }
-        if let Some(bank) = &mut self.ss {
-            for z in 0..zones {
-                let sockets_in_zone = self.server.plant().zone_sockets(z).len();
-                bank.record(z, self.zone_violated[z], sockets_in_zone);
-            }
-        }
-        self.demands = demands;
-
-        traces.record_by_id(channels.u_demand, now, demand.value());
-        for (z, &(fan_rpm, t_hot, t_meas, t_ref)) in channels.per_zone.iter().enumerate() {
-            traces.record_by_id(fan_rpm, now, self.server.zone_fan_speed(z).value());
-            traces.record_by_id(t_hot, now, self.server.plant().hottest_in_zone(z).value());
-            traces.record_by_id(t_meas, now, self.server.measured_zone(z).value());
-            let reference = match self.control {
-                RackControl::GlobalLockstep => self.fans[0].reference(),
-                _ => self.fans[z].reference(),
-            };
-            traces.record_by_id(t_ref, now, reference.value());
-        }
-        for (i, &(cap, junction)) in channels.per_socket.iter().enumerate() {
-            traces.record_by_id(cap, now, self.caps[i].value());
-            traces.record_by_id(junction, now, self.server.junction_socket(i).value());
-        }
-    }
-
-    /// One regular fan decision for zone `z`: move the reference if the
-    /// zone adapts it, then run the zone's PID on its own aggregate.
-    fn zone_fan_decision(&mut self, z: usize, adaptive_reference: bool) {
-        if adaptive_reference {
-            self.fans[z].set_reference(self.references.reference(z));
-        }
-        let cmd = self.fans[z].decide(self.server.measured_zone(z), self.server.zone_fan_speed(z));
-        self.server.set_zone_fan_target(z, cmd);
-    }
-
-    /// The *fastest* zone's actual speed — what the lockstep controller
-    /// feeds its single PID as "the" fan speed. It is not the hottest
-    /// zone's speed: under lockstep every wall shares one target, and the
-    /// fastest wall is simply the one whose slew got furthest, regardless
-    /// of where the heat is.
-    fn fastest_zone_speed(&self) -> Rpm {
-        let mut speed = self.server.zone_fan_speed(0);
-        for z in 1..self.server.zone_count() {
-            speed = speed.max(self.server.zone_fan_speed(z));
-        }
-        speed
-    }
-}
-
-/// The epoch-rate channels, resolved once per run.
-#[derive(Debug, Clone)]
-struct RackChannels {
-    u_demand: ChannelId,
-    /// Per zone: `(fan_rpm, t_hot, t_meas, t_ref)`.
-    per_zone: Vec<(ChannelId, ChannelId, ChannelId, ChannelId)>,
-    /// Per socket: `(cap, junction)`.
-    per_socket: Vec<(ChannelId, ChannelId)>,
-}
-
-impl RackChannels {
-    fn resolve(traces: &mut TraceSet, capacity: usize, zones: usize, sockets: usize) -> Self {
-        Self {
-            u_demand: traces.channel_with_capacity("u_demand", capacity),
-            per_zone: (0..zones)
-                .map(|z| {
-                    (
-                        traces.channel_with_capacity(&format!("z{z}_fan_rpm"), capacity),
-                        traces.channel_with_capacity(&format!("z{z}_t_hot_c"), capacity),
-                        traces.channel_with_capacity(&format!("z{z}_t_meas_c"), capacity),
-                        traces.channel_with_capacity(&format!("z{z}_t_ref_c"), capacity),
-                    )
-                })
-                .collect(),
-            per_socket: (0..sockets)
-                .map(|i| {
-                    (
-                        traces.channel_with_capacity(&format!("s{i}_cap"), capacity),
-                        traces.channel_with_capacity(&format!("s{i}_t_junction_c"), capacity),
-                    )
-                })
-                .collect(),
         }
     }
 }

@@ -1,0 +1,443 @@
+//! The watchdog-safe daemon loop: poll → classify → decide → actuate,
+//! with firmware fallback as the unconditional safe state.
+//!
+//! [`Daemon::run`] drives the exact multi-rate schedule of the batch
+//! `RackLoopSim` — plant time advanced by the backend at `sim_dt`, one
+//! control cycle per CPU epoch, fan decisions at the fan interval — so
+//! a fault-free run over [`crate::SimTelemetry`] replays the batch loop
+//! bit-for-bit (fan/cap/measured traces; `tests/parity.rs`).
+//!
+//! The watchdog wraps every cycle:
+//!
+//! - each sensor runs a [`SensorHealth`] staleness/freeze budget; any
+//!   non-fresh sensor is sensor loss,
+//! - failed polls and NACKed writes retry next cycle (the actuation
+//!   simply holds — a safe backoff on a 1 s cadence) up to a bounded
+//!   count,
+//! - the controller itself runs under `catch_unwind`,
+//!
+//! and any of those tripping enters **firmware fallback**: fans handed
+//! back to platform auto-control (max cooling), caps released. The
+//! daemon keeps polling; after `recovery_window` of clean, fresh
+//! telemetry it takes manual control back and re-arms the bank
+//! bumplessly ([`gfsc_coord::RackControlBank::reset_after_fallback`]).
+//! Every transition is counted in [`DaemonMetrics`] and timestamped in
+//! the run's event log.
+
+use crate::{DaemonMetrics, DaemonRackView, FanActuator, MetricsEndpoint, TelemetrySource};
+use gfsc_coord::{RackChannels, RackControlBank, RackControlConfig, RackView};
+use gfsc_rack::RackSpec;
+use gfsc_sensors::{SensorHealth, SensorStatus};
+use gfsc_sim::{Clock, Periodic, TraceSet};
+use gfsc_units::{Celsius, Rpm, Seconds, Utilization};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Why the watchdog engaged firmware fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// A sensor went stale or frozen past its budget.
+    SensorLoss,
+    /// Polls kept failing past the retry bound.
+    ReadFailures,
+    /// Writes kept NACKing past the retry bound.
+    ActuationFailures,
+    /// The poll or control path panicked.
+    ControllerPanic,
+}
+
+/// One timestamped watchdog transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DaemonEvent {
+    /// Firmware fallback engaged.
+    FallbackEntered {
+        /// When the watchdog tripped.
+        at: Seconds,
+        /// What tripped it.
+        reason: FallbackReason,
+    },
+    /// Closed-loop control re-engaged after a clean recovery window.
+    FallbackExited {
+        /// When manual control resumed.
+        at: Seconds,
+    },
+}
+
+/// Everything that parameterizes a daemon beyond the rack spec: the
+/// control mode and the watchdog budgets.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The control bank configuration (mode + controller tunables).
+    pub control: RackControlConfig,
+    /// The assumed starting operating point (must match the plant's).
+    pub start_utilization: Utilization,
+    /// The assumed starting fan speed (must match the plant's).
+    pub start_fan: Rpm,
+    /// A sensor with no successful read for this long is stale.
+    pub stale_after: Seconds,
+    /// A sensor whose value has not moved for this long is frozen
+    /// (`None` disables freeze detection — required for bit-for-bit
+    /// parity, where quantized steady-state readings legitimately hold).
+    pub freeze_after: Option<Seconds>,
+    /// Fan writes smaller than this many rpm from the last
+    /// acknowledged target are skipped (0 = write on any change, the
+    /// parity setting).
+    pub deadzone_rpm: f64,
+    /// Consecutive failed cycles tolerated before fallback (each retry
+    /// waits one cycle — the backoff on a fixed cadence).
+    pub max_retries: u32,
+    /// Clean, all-fresh telemetry required before leaving fallback.
+    pub recovery_window: Seconds,
+}
+
+impl DaemonConfig {
+    /// Watchdog defaults around a control configuration: 3-epoch
+    /// staleness budget, freeze detection off, no deadzone, 3 retries,
+    /// 10 s recovery window.
+    #[must_use]
+    pub fn new(control: RackControlConfig) -> Self {
+        Self {
+            control,
+            start_utilization: Utilization::new(0.1),
+            start_fan: Rpm::new(1500.0),
+            stale_after: Seconds::new(3.0),
+            freeze_after: None,
+            deadzone_rpm: 0.0,
+            max_retries: 3,
+            recovery_window: Seconds::new(10.0),
+        }
+    }
+}
+
+/// Everything a finished daemon run reports.
+#[derive(Debug)]
+pub struct DaemonRunOutcome {
+    /// Epoch-rate traces, recorded by the bank with the same channel
+    /// set as `RackLoopSim` (`u_demand`, per-zone `z{z}_fan_rpm` / …,
+    /// per-socket `s{i}_cap` / …). Fallback cycles record nothing —
+    /// the bank was not consulted.
+    pub traces: TraceSet,
+    /// Timestamped watchdog transitions.
+    pub events: Vec<DaemonEvent>,
+    /// Final metric snapshot.
+    pub metrics: DaemonMetrics,
+    /// Violated socket-epochs (closed-loop cycles only).
+    pub total_violations: u64,
+    /// Total socket-epochs (closed-loop cycles only).
+    pub total_epochs: u64,
+    /// Simulated duration.
+    pub horizon: Seconds,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LoopState {
+    Closed,
+    Fallback { clean_since: Option<Seconds> },
+}
+
+/// The daemon: one backend, one mirror, one control bank, one watchdog.
+pub struct Daemon<B: TelemetrySource + FanActuator> {
+    backend: B,
+    view: DaemonRackView,
+    bank: RackControlBank,
+    cfg: DaemonConfig,
+    health: Vec<SensorHealth>,
+    metrics: DaemonMetrics,
+    state: LoopState,
+    events: Vec<DaemonEvent>,
+    endpoint: Option<MetricsEndpoint>,
+    temp_scratch: Vec<Option<Celsius>>,
+    tach_scratch: Vec<Rpm>,
+    /// Last acknowledged per-zone target (the deadzone reference).
+    last_acked: Vec<Rpm>,
+    consecutive_failures: u32,
+}
+
+impl<B: TelemetrySource + FanActuator> std::fmt::Debug for Daemon<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon").field("control", &self.bank.control()).finish_non_exhaustive()
+    }
+}
+
+impl<B: TelemetrySource + FanActuator> Daemon<B> {
+    /// Assembles a daemon for `spec` over `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend's structure disagrees with the spec or the
+    /// config is inconsistent.
+    #[must_use]
+    pub fn new(backend: B, spec: RackSpec, cfg: DaemonConfig) -> Self {
+        let view = DaemonRackView::new(spec, cfg.start_utilization, cfg.start_fan);
+        assert_eq!(backend.socket_count(), view.socket_count(), "backend/spec socket mismatch");
+        assert_eq!(backend.zone_count(), view.zone_count(), "backend/spec zone mismatch");
+        let bank = RackControlBank::new(
+            cfg.control.clone(),
+            view.spec(),
+            view.plant(),
+            cfg.start_utilization,
+        );
+        let sockets = view.socket_count();
+        let zones = view.zone_count();
+        let start = view.spec().server.fan_bounds.clamp(cfg.start_fan);
+        Self {
+            backend,
+            bank,
+            health: (0..sockets)
+                .map(|_| SensorHealth::new(cfg.stale_after, cfg.freeze_after))
+                .collect(),
+            metrics: DaemonMetrics::new(zones),
+            state: LoopState::Closed,
+            events: Vec::new(),
+            endpoint: None,
+            temp_scratch: vec![None; sockets],
+            tach_scratch: vec![start; zones],
+            last_acked: vec![start; zones],
+            consecutive_failures: 0,
+            cfg,
+            view,
+        }
+    }
+
+    /// Attaches a metrics endpoint, served once per control cycle.
+    pub fn serve_metrics(&mut self, endpoint: MetricsEndpoint) {
+        self.endpoint = Some(endpoint);
+    }
+
+    /// The backend (read-only) — HIL tests inspect the plant through
+    /// it.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The current metric snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> &DaemonMetrics {
+        &self.metrics
+    }
+
+    /// Runs the loop for `horizon` simulated seconds.
+    pub fn run(&mut self, horizon: Seconds) -> DaemonRunOutcome {
+        let spec = self.view.spec().server.clone();
+        let mut clock = Clock::new(spec.sim_dt);
+        let mut cpu_epoch = Periodic::new(spec.cpu_control_interval);
+        let mut fan_epoch = Periodic::new(spec.fan_control_interval);
+        let mut traces = TraceSet::new();
+        let epochs = (horizon.value() / spec.cpu_control_interval.value()).floor() as usize + 2;
+        let channels = RackChannels::resolve(
+            &mut traces,
+            epochs,
+            self.view.zone_count(),
+            self.view.socket_count(),
+        );
+
+        let steps = clock.steps_for(horizon);
+        let mut cycle_idx = 0u64;
+        for _ in 0..=steps {
+            let now = clock.now();
+            if cpu_epoch.is_due(now) {
+                // Latency is sampled (every 16th cycle, or every cycle
+                // while an endpoint is attached so each snapshot carries
+                // a fresh reading): observability must not tax the loop
+                // it observes — the clock pair is a measurable slice of
+                // the <5 % front-end overhead budget `perf_report` gates.
+                let started =
+                    (self.endpoint.is_some() || cycle_idx.trailing_zeros() >= 4).then(Instant::now);
+                self.cycle(now, fan_epoch.is_due(now), &mut traces, &channels);
+                if let Some(started) = started {
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.metrics.observe_latency(ns);
+                }
+                if let Some(endpoint) = &self.endpoint {
+                    endpoint.poll_serve(&self.metrics.render());
+                }
+                cycle_idx += 1;
+            }
+            self.backend.advance(spec.sim_dt);
+            clock.tick();
+        }
+
+        DaemonRunOutcome {
+            traces,
+            events: self.events.clone(),
+            metrics: self.metrics.clone(),
+            total_violations: self.bank.violations(),
+            total_epochs: self.bank.socket_epochs(),
+            horizon,
+        }
+    }
+
+    /// One control cycle: poll, classify, (maybe) decide, actuate.
+    fn cycle(
+        &mut self,
+        now: Seconds,
+        fan_due: bool,
+        traces: &mut TraceSet,
+        channels: &RackChannels,
+    ) {
+        self.metrics.loop_cycles += 1;
+
+        // --- poll (panic-guarded: a poisoned read must not kill the
+        // daemon — it must hand the rack to firmware). -----------------
+        let backend = &mut self.backend;
+        let temp_scratch = &mut self.temp_scratch;
+        let tach_scratch = &mut self.tach_scratch;
+        let polled = catch_unwind(AssertUnwindSafe(|| {
+            let temps = backend.poll_temperatures(temp_scratch);
+            let tachs = backend.poll_fan_speeds(tach_scratch);
+            let demand = backend.poll_demand();
+            (temps, tachs, demand)
+        }));
+        let Ok((temps, tachs, demand)) = polled else {
+            self.metrics.controller_panics += 1;
+            self.enter_fallback(now, FallbackReason::ControllerPanic);
+            return;
+        };
+
+        // --- classify every sensor against its budgets. ---------------
+        let temps_ok = temps.is_ok();
+        let mut stale = 0u64;
+        let mut frozen = 0u64;
+        for (i, health) in self.health.iter_mut().enumerate() {
+            let reading = if temps_ok { self.temp_scratch[i].map(|c| c.value()) } else { None };
+            match health.observe(now, reading) {
+                SensorStatus::Fresh => {}
+                SensorStatus::Stale => stale += 1,
+                SensorStatus::Frozen => {
+                    stale += 1;
+                    frozen += 1;
+                }
+            }
+        }
+        self.metrics.stale_sensors = stale;
+        self.metrics.frozen_sensors = frozen;
+
+        // --- refresh the mirror with whatever arrived. ----------------
+        if temps_ok {
+            self.view.ingest_temperatures(&self.temp_scratch);
+        }
+        if tachs.is_ok() {
+            self.view.ingest_fan_speeds(&self.tach_scratch);
+        }
+        let read_err = !temps_ok || tachs.is_err() || demand.is_err();
+        if read_err {
+            self.metrics.read_failures += 1;
+        }
+
+        match self.state {
+            LoopState::Fallback { clean_since } => {
+                // Firmware holds the rack; watch for a clean window.
+                if read_err || stale > 0 {
+                    self.state = LoopState::Fallback { clean_since: None };
+                    return;
+                }
+                let since = clean_since.unwrap_or(now);
+                self.state = LoopState::Fallback { clean_since: Some(since) };
+                if now - since >= self.cfg.recovery_window.value()
+                    && self.backend.resume_manual_control().is_ok()
+                {
+                    // Re-arm bumplessly: caps released, fan integrators
+                    // reset, mirror targets at what firmware commanded.
+                    self.bank.reset_after_fallback();
+                    let hi = self.view.spec().server.fan_bounds.hi();
+                    self.view.force_targets(hi);
+                    for (acked, z) in self.last_acked.iter_mut().zip(0usize..) {
+                        *acked = self.view.zone_fan_target(z);
+                    }
+                    self.state = LoopState::Closed;
+                    self.consecutive_failures = 0;
+                    self.metrics.fallback_exits += 1;
+                    self.metrics.in_fallback = false;
+                    self.events.push(DaemonEvent::FallbackExited { at: now });
+                }
+            }
+            LoopState::Closed => {
+                if stale > 0 {
+                    self.enter_fallback(now, FallbackReason::SensorLoss);
+                    return;
+                }
+                if read_err {
+                    // Hold the previous actuation and retry next cycle.
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures > self.cfg.max_retries {
+                        self.enter_fallback(now, FallbackReason::ReadFailures);
+                    }
+                    return;
+                }
+                let demand = demand.expect("read_err covered the Err case");
+
+                // --- decide (panic-guarded like the polls). -----------
+                let bank = &mut self.bank;
+                let view = &mut self.view;
+                let decided = catch_unwind(AssertUnwindSafe(|| {
+                    bank.epoch(view, now, demand, fan_due, traces, channels);
+                }));
+                if decided.is_err() {
+                    self.metrics.controller_panics += 1;
+                    self.enter_fallback(now, FallbackReason::ControllerPanic);
+                    return;
+                }
+
+                // --- actuate: migrations, fan targets (deadzoned),
+                // caps. ------------------------------------------------
+                let mut write_err = false;
+                for shift in self.view.take_shifts() {
+                    if self.backend.migrate_load(shift.from, shift.to, shift.amount).is_err() {
+                        write_err = true;
+                    }
+                }
+                for z in 0..self.view.zone_count() {
+                    let desired = self.view.zone_fan_target(z);
+                    if (desired.value() - self.last_acked[z].value()).abs() <= self.cfg.deadzone_rpm
+                    {
+                        continue;
+                    }
+                    self.metrics.zones[z].commanded_rpm = desired.value();
+                    match self.backend.write_fan_target(z, desired) {
+                        Ok(acked) => {
+                            self.last_acked[z] = acked;
+                            self.metrics.zones[z].acked_rpm = acked.value();
+                            self.metrics.zones[z].writes += 1;
+                        }
+                        Err(_) => {
+                            write_err = true;
+                            self.metrics.zones[z].nacks += 1;
+                        }
+                    }
+                }
+                if self.backend.write_caps(self.bank.caps()).is_err() {
+                    write_err = true;
+                }
+                self.view.mirror_executed(self.bank.executed());
+
+                if write_err {
+                    self.metrics.write_failures += 1;
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures > self.cfg.max_retries {
+                        self.enter_fallback(now, FallbackReason::ActuationFailures);
+                    }
+                } else {
+                    self.consecutive_failures = 0;
+                }
+            }
+        }
+    }
+
+    /// Engages firmware fallback (idempotent).
+    fn enter_fallback(&mut self, now: Seconds, reason: FallbackReason) {
+        if matches!(self.state, LoopState::Fallback { .. }) {
+            return;
+        }
+        // The safe switch is firmware-internal and deliberately not
+        // retried through the failing command path; `SimTelemetry`
+        // models it as infallible and a real BMC reasserts
+        // auto-control on its own watchdog anyway.
+        let _ = self.backend.enter_firmware_fallback();
+        self.state = LoopState::Fallback { clean_since: None };
+        self.consecutive_failures = 0;
+        self.metrics.fallback_entries += 1;
+        self.metrics.in_fallback = true;
+        self.events.push(DaemonEvent::FallbackEntered { at: now, reason });
+    }
+}

@@ -1,0 +1,294 @@
+//! The IPMI-shaped text adapter: `ipmitool` / `sensors` output in,
+//! raw fan-speed writes out.
+//!
+//! Real BMC telemetry arrives as line-oriented text from management
+//! tools, and that text is *hostile*: truncated lines when the bus
+//! times out mid-transfer, `no reading` / `ns` placeholders for dead
+//! sensors, locale decimal commas from misconfigured firmware, stderr
+//! diagnostics interleaved with stdout. The parsers here survive all of
+//! it with one invariant: **an unreadable sensor yields `None`, never a
+//! fabricated `0.0`** — a zero celsius reading would look like a
+//! perfectly cooled socket and release every cap (the daemon maps
+//! `None` to [`gfsc_sensors::SensorStatus::Stale`] instead).
+//!
+//! The actuation side emits the de-facto raw byte commands enterprise
+//! BMCs use for manual fan control (`0x30 0x30 0x01 ...` to toggle
+//! firmware auto-control, `0x30 0x30 0x02 <fan> <percent>` for a duty
+//! write), through a [`CommandRunner`] so tests script the transport.
+
+use crate::{FanActuator, TelemetryError};
+use gfsc_units::{Bounds, Celsius, Rpm, Utilization};
+
+/// One named reading parsed from management-tool output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpmiReading {
+    /// The sensor name as printed (trimmed).
+    pub name: String,
+    /// The parsed temperature — `None` for any unreadable value.
+    pub value: Option<Celsius>,
+}
+
+/// Parses `ipmitool sdr type temperature` output: pipe-separated rows
+/// whose fifth field carries the reading (`45 degrees C`).
+///
+/// Garbage tolerance: rows with fewer than five fields (truncation,
+/// interleaved stderr) are skipped; `no reading` / `ns` / `disabled`
+/// and unparseable values become `None`; decimal commas are accepted.
+#[must_use]
+pub fn parse_sdr_temperatures(text: &str) -> Vec<IpmiReading> {
+    let mut readings = Vec::new();
+    for line in text.lines() {
+        let mut fields = line.split('|');
+        let Some(name) = fields.next().map(str::trim) else { continue };
+        if name.is_empty() {
+            continue;
+        }
+        // name | hex id | status | entity | reading ...
+        let Some(reading_field) = fields.nth(3) else { continue };
+        readings.push(IpmiReading { name: name.to_owned(), value: parse_reading(reading_field) });
+    }
+    readings
+}
+
+/// Parses lm-sensors style output: `Core 0:  +45.0°C  (high = ...)`.
+/// Any `label: +value°C` line yields a reading; everything else
+/// (adapter headers, voltages, blank lines) is skipped.
+#[must_use]
+pub fn parse_sensors_temperatures(text: &str) -> Vec<IpmiReading> {
+    let mut readings = Vec::new();
+    for line in text.lines() {
+        let Some((label, rest)) = line.split_once(':') else { continue };
+        let label = label.trim();
+        if label.is_empty() {
+            continue;
+        }
+        // The value must actually be a temperature, not a voltage/fan row.
+        let Some(degree_at) = rest.find("°C") else { continue };
+        let token = rest[..degree_at].trim().trim_start_matches('+');
+        readings.push(IpmiReading {
+            name: label.to_owned(),
+            value: parse_float_token(token).map(Celsius::new),
+        });
+    }
+    readings
+}
+
+/// Parses one sdr reading field. `45 degrees C` → 45.0; placeholders
+/// and garbage → `None`.
+fn parse_reading(field: &str) -> Option<Celsius> {
+    let field = field.trim();
+    let lowered = field.to_ascii_lowercase();
+    if field.is_empty()
+        || lowered.starts_with("no reading")
+        || lowered == "ns"
+        || lowered.starts_with("disabled")
+    {
+        return None;
+    }
+    let token = field.split_whitespace().next()?;
+    parse_float_token(token).map(Celsius::new)
+}
+
+/// Parses one numeric token, tolerating a locale decimal comma.
+/// Non-finite results count as unreadable.
+fn parse_float_token(token: &str) -> Option<f64> {
+    let normalized = token.replace(',', ".");
+    normalized.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// The transport an [`IpmiAdapter`] issues management commands over.
+/// Production uses [`ProcessRunner`]; tests script exact transcripts.
+pub trait CommandRunner {
+    /// Runs `cmd` with `args`, returning combined stdout on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError`] if the command cannot run or exits
+    /// non-zero.
+    fn run(&mut self, cmd: &str, args: &[String]) -> Result<String, TelemetryError>;
+}
+
+/// Runs commands through `std::process::Command`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProcessRunner;
+
+impl CommandRunner for ProcessRunner {
+    fn run(&mut self, cmd: &str, args: &[String]) -> Result<String, TelemetryError> {
+        let output = std::process::Command::new(cmd)
+            .args(args)
+            .output()
+            .map_err(|e| TelemetryError::Read(format!("{cmd}: {e}")))?;
+        if !output.status.success() {
+            return Err(TelemetryError::Nack(format!("{cmd} exited {}", output.status)));
+        }
+        Ok(String::from_utf8_lossy(&output.stdout).into_owned())
+    }
+}
+
+/// The `ipmitool`-shaped front end: reads per-socket temperatures from
+/// sdr output and drives fan walls with raw duty-cycle writes.
+///
+/// Socket mapping is by sensor name: `sensor_names[i]` is matched
+/// (exact, after trimming) against the sdr rows; a socket whose sensor
+/// is absent or unreadable polls as `None`. Fan commands address zones
+/// as BMC fan indices and translate rpm targets to duty percentages
+/// linearly across the mechanical bounds.
+#[derive(Debug)]
+pub struct IpmiAdapter<R: CommandRunner> {
+    runner: R,
+    sensor_names: Vec<String>,
+    zone_count: usize,
+    fan_bounds: Bounds<Rpm>,
+}
+
+impl<R: CommandRunner> IpmiAdapter<R> {
+    /// Builds the adapter: one sdr sensor name per flat socket,
+    /// `zone_count` fan walls within `fan_bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor_names` is empty or `zone_count` is zero.
+    #[must_use]
+    pub fn new(
+        runner: R,
+        sensor_names: Vec<String>,
+        zone_count: usize,
+        fan_bounds: Bounds<Rpm>,
+    ) -> Self {
+        assert!(!sensor_names.is_empty(), "at least one sensor");
+        assert!(zone_count > 0, "at least one fan zone");
+        Self { runner, sensor_names, zone_count, fan_bounds }
+    }
+
+    /// Polls every mapped socket temperature from
+    /// `ipmitool sdr type temperature`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Read`] only if the command itself
+    /// fails; unreadable *sensors* are `None` entries, never errors and
+    /// never `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not one entry per mapped sensor.
+    pub fn read_temperatures(&mut self, out: &mut [Option<Celsius>]) -> Result<(), TelemetryError> {
+        assert_eq!(out.len(), self.sensor_names.len(), "one reading slot per mapped sensor");
+        let text =
+            self.runner.run("ipmitool", &["sdr".into(), "type".into(), "temperature".into()])?;
+        let readings = parse_sdr_temperatures(&text);
+        for (slot, wanted) in out.iter_mut().zip(&self.sensor_names) {
+            *slot = readings.iter().find(|r| &r.name == wanted).and_then(|r| r.value);
+        }
+        Ok(())
+    }
+
+    /// The duty percentage a target rpm maps to across the bounds.
+    fn percent_for(&self, target: Rpm) -> u8 {
+        let lo = self.fan_bounds.lo().value();
+        let hi = self.fan_bounds.hi().value();
+        let frac = ((target.value() - lo) / (hi - lo)).clamp(0.0, 1.0);
+        (frac * 100.0).round() as u8
+    }
+
+    /// The rpm the platform runs at a given duty percentage (the
+    /// adapter's acknowledgement value).
+    fn rpm_for_percent(&self, percent: u8) -> Rpm {
+        let lo = self.fan_bounds.lo().value();
+        let hi = self.fan_bounds.hi().value();
+        Rpm::new(lo + f64::from(percent) / 100.0 * (hi - lo))
+    }
+
+    /// Toggles firmware automatic fan control: `0x30 0x30 0x01 0x01`
+    /// hands the fans back to firmware, `... 0x00` takes manual
+    /// control.
+    fn set_auto_control(&mut self, auto: bool) -> Result<(), TelemetryError> {
+        let code = if auto { "0x01" } else { "0x00" };
+        self.runner
+            .run(
+                "ipmitool",
+                &["raw".into(), "0x30".into(), "0x30".into(), "0x01".into(), code.into()],
+            )
+            .map(|_| ())
+    }
+}
+
+impl<R: CommandRunner> FanActuator for IpmiAdapter<R> {
+    fn write_fan_target(&mut self, z: usize, target: Rpm) -> Result<Rpm, TelemetryError> {
+        assert!(z < self.zone_count, "zone {z} out of range");
+        let percent = self.percent_for(target);
+        self.runner.run(
+            "ipmitool",
+            &[
+                "raw".into(),
+                "0x30".into(),
+                "0x30".into(),
+                "0x02".into(),
+                format!("0x{z:02x}"),
+                format!("0x{percent:02x}"),
+            ],
+        )?;
+        Ok(self.rpm_for_percent(percent))
+    }
+
+    fn write_caps(&mut self, _caps: &[Utilization]) -> Result<(), TelemetryError> {
+        // Per-socket utilization capping is OS-side (RAPL / cgroup
+        // quota), not a BMC command; deployments wire their own
+        // enforcement here. Accepting the write keeps the daemon loop
+        // uniform.
+        Ok(())
+    }
+
+    fn migrate_load(
+        &mut self,
+        _from: usize,
+        _to: usize,
+        _amount: f64,
+    ) -> Result<(), TelemetryError> {
+        Err(TelemetryError::Nack("load migration is not an IPMI operation".into()))
+    }
+
+    fn enter_firmware_fallback(&mut self) -> Result<(), TelemetryError> {
+        self.set_auto_control(true)
+    }
+
+    fn resume_manual_control(&mut self) -> Result<(), TelemetryError> {
+        self.set_auto_control(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdr_percent_and_raw_commands() {
+        #[derive(Default)]
+        struct Script(Vec<String>);
+        impl CommandRunner for Script {
+            fn run(&mut self, cmd: &str, args: &[String]) -> Result<String, TelemetryError> {
+                self.0.push(format!("{cmd} {}", args.join(" ")));
+                Ok(String::new())
+            }
+        }
+        let mut adapter = IpmiAdapter::new(
+            Script::default(),
+            vec!["CPU0 Temp".into()],
+            2,
+            Bounds::new(Rpm::new(1000.0), Rpm::new(9000.0)),
+        );
+        let acked = adapter.write_fan_target(1, Rpm::new(5000.0)).unwrap();
+        // 50% duty acknowledges the mid-range rpm back.
+        assert_eq!(acked, Rpm::new(5000.0));
+        adapter.enter_firmware_fallback().unwrap();
+        adapter.resume_manual_control().unwrap();
+        assert_eq!(
+            adapter.runner.0,
+            vec![
+                "ipmitool raw 0x30 0x30 0x02 0x01 0x32",
+                "ipmitool raw 0x30 0x30 0x01 0x01",
+                "ipmitool raw 0x30 0x30 0x01 0x00",
+            ]
+        );
+    }
+}

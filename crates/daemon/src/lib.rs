@@ -1,0 +1,41 @@
+//! Telemetry daemon front-end for the gfsc rack controllers.
+//!
+//! The batch simulator answers the paper's questions; this crate makes
+//! the same controllers *deployable*. Every `gfsc_coord::RackControl`
+//! mode already runs against the [`gfsc_coord::RackView`] seam — here
+//! the view is a polled mirror ([`DaemonRackView`]) fed through a
+//! [`TelemetrySource`] and flushed through a [`FanActuator`], with a
+//! watchdog ([`Daemon`]) around the loop:
+//!
+//! - per-sensor staleness/freeze budgets ([`gfsc_sensors::SensorHealth`]),
+//! - deadzone/hysteresis on fan writes, bounded retry on failures,
+//! - hard fallback to firmware auto-control (max fans, caps released)
+//!   on sensor loss, persistent NACKs, or a controller panic — and
+//!   bumpless re-engagement after a clean recovery window,
+//! - every transition counted and exported as line-protocol metrics
+//!   ([`DaemonMetrics`], [`MetricsEndpoint`]).
+//!
+//! Two backends ship: [`SimTelemetry`] wraps the simulated rack plant
+//! (bit-for-bit with the batch loop when no [`FaultPlan`] is armed —
+//! the hardware-in-the-loop CI gate injects faults through it), and
+//! [`IpmiAdapter`] speaks `ipmitool`-shaped text for real BMCs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod daemon;
+mod ipmi;
+mod metrics;
+mod sim_backend;
+mod traits;
+mod view;
+
+pub use daemon::{Daemon, DaemonConfig, DaemonEvent, DaemonRunOutcome, FallbackReason};
+pub use ipmi::{
+    parse_sdr_temperatures, parse_sensors_temperatures, CommandRunner, IpmiAdapter, IpmiReading,
+    ProcessRunner,
+};
+pub use metrics::{DaemonMetrics, MetricsEndpoint, ZoneActuation};
+pub use sim_backend::{FaultPlan, SimTelemetry};
+pub use traits::{FanActuator, TelemetryError, TelemetrySource};
+pub use view::{DaemonRackView, LoadShift};

@@ -1,0 +1,200 @@
+//! Daemon observability: counters, gauges, and a line-protocol export.
+//!
+//! Every watchdog transition is counted — fallback entries and exits,
+//! read/write failures, controller panics — alongside loop latency and
+//! the per-wall commanded-vs-acked rpm pair, and the whole snapshot
+//! renders as influx line protocol (`measurement,tag=v field=v ...`)
+//! either on demand ([`DaemonMetrics::render`]) or over a plain-text
+//! TCP endpoint ([`MetricsEndpoint`], one snapshot per connection — the
+//! `nc host port` contract).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+
+/// Per-zone actuation bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ZoneActuation {
+    /// The last rpm the daemon commanded.
+    pub commanded_rpm: f64,
+    /// The last rpm the platform acknowledged.
+    pub acked_rpm: f64,
+    /// Acknowledged writes.
+    pub writes: u64,
+    /// Rejected writes.
+    pub nacks: u64,
+}
+
+/// The daemon's metric set — plain fields, updated by the loop, read by
+/// tests and the endpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DaemonMetrics {
+    /// Control cycles run.
+    pub loop_cycles: u64,
+    /// Wall-clock latency of the most recently *sampled* cycle, in
+    /// nanoseconds (the loop samples latency rather than timing every
+    /// cycle — see `Daemon::run`).
+    pub loop_latency_last_ns: u64,
+    /// Worst sampled cycle latency, in nanoseconds.
+    pub loop_latency_max_ns: u64,
+    /// Sensors currently classified non-fresh (gauge).
+    pub stale_sensors: u64,
+    /// Sensors currently classified frozen (gauge, subset of stale).
+    pub frozen_sensors: u64,
+    /// Firmware-fallback entries.
+    pub fallback_entries: u64,
+    /// Recoveries back to closed-loop control.
+    pub fallback_exits: u64,
+    /// Whether firmware currently holds the rack (gauge).
+    pub in_fallback: bool,
+    /// Cycles with a failed poll.
+    pub read_failures: u64,
+    /// Cycles with a rejected write.
+    pub write_failures: u64,
+    /// Panics caught by the loop's watchdog.
+    pub controller_panics: u64,
+    /// Per-zone actuation state.
+    pub zones: Vec<ZoneActuation>,
+}
+
+impl DaemonMetrics {
+    /// A zeroed metric set for `zones` fan walls.
+    #[must_use]
+    pub fn new(zones: usize) -> Self {
+        Self { zones: vec![ZoneActuation::default(); zones], ..Self::default() }
+    }
+
+    /// Records one cycle's wall-clock latency.
+    pub fn observe_latency(&mut self, ns: u64) {
+        self.loop_latency_last_ns = ns;
+        self.loop_latency_max_ns = self.loop_latency_max_ns.max(ns);
+    }
+
+    /// Renders the snapshot as influx line protocol: one
+    /// `gfsc_daemon` line of loop/watchdog fields, one
+    /// `gfsc_daemon_wall,zone=<z>` line per fan wall.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "gfsc_daemon loop_cycles={}u,loop_latency_last_ns={}u,loop_latency_max_ns={}u,\
+             stale_sensors={}u,frozen_sensors={}u,fallback_entries={}u,fallback_exits={}u,\
+             in_fallback={},read_failures={}u,write_failures={}u,controller_panics={}u",
+            self.loop_cycles,
+            self.loop_latency_last_ns,
+            self.loop_latency_max_ns,
+            self.stale_sensors,
+            self.frozen_sensors,
+            self.fallback_entries,
+            self.fallback_exits,
+            self.in_fallback,
+            self.read_failures,
+            self.write_failures,
+            self.controller_panics,
+        );
+        for (z, wall) in self.zones.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "gfsc_daemon_wall,zone={z} commanded_rpm={},acked_rpm={},writes={}u,nacks={}u",
+                wall.commanded_rpm, wall.acked_rpm, wall.writes, wall.nacks,
+            );
+        }
+        out
+    }
+}
+
+/// A non-blocking plain-text metrics endpoint: each accepted connection
+/// receives one line-protocol snapshot and is closed.
+#[derive(Debug)]
+pub struct MetricsEndpoint {
+    listener: TcpListener,
+}
+
+impl MetricsEndpoint {
+    /// Binds the endpoint (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configure error.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address (for tests and log lines).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves `snapshot` to every connection currently waiting, without
+    /// blocking the control loop. Returns the number of connections
+    /// served.
+    pub fn poll_serve(&self, snapshot: &str) -> usize {
+        let mut served = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.write_all(snapshot.as_bytes());
+                    served += 1;
+                }
+                Err(_) => return served,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    #[test]
+    fn render_is_line_protocol() {
+        let mut metrics = DaemonMetrics::new(2);
+        metrics.loop_cycles = 3;
+        metrics.fallback_entries = 1;
+        metrics.in_fallback = true;
+        metrics.zones[1].commanded_rpm = 4200.0;
+        let text = metrics.render();
+        assert!(text.contains("gfsc_daemon loop_cycles=3u"));
+        assert!(text.contains("fallback_entries=1u"));
+        assert!(text.contains("in_fallback=true"));
+        assert!(text.contains("gfsc_daemon_wall,zone=1 commanded_rpm=4200"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn latency_tracks_last_and_max() {
+        let mut metrics = DaemonMetrics::new(1);
+        metrics.observe_latency(500);
+        metrics.observe_latency(200);
+        assert_eq!(metrics.loop_latency_last_ns, 200);
+        assert_eq!(metrics.loop_latency_max_ns, 500);
+    }
+
+    #[test]
+    fn endpoint_serves_one_snapshot_per_connection() {
+        let endpoint = MetricsEndpoint::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = endpoint.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        // Give the non-blocking accept a moment on slow machines.
+        let mut served = 0;
+        for _ in 0..200 {
+            served = endpoint.poll_serve("gfsc_daemon loop_cycles=1u\n");
+            if served > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(served, 1);
+        let mut body = String::new();
+        client.read_to_string(&mut body).unwrap();
+        assert_eq!(body, "gfsc_daemon loop_cycles=1u\n");
+    }
+}

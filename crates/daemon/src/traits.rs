@@ -1,0 +1,130 @@
+//! The streamed-input seam: what the daemon polls and what it commands.
+//!
+//! A batch simulation owns its rack; a daemon owns nothing. Everything
+//! the control bank needs arrives through [`TelemetrySource`] (sensor
+//! polls, tachometers, the demand signal) and everything it decides
+//! leaves through [`FanActuator`] (fan targets, CPU caps, load
+//! migrations, the firmware-fallback switch). Both sides are fallible:
+//! a management bus drops reads, a BMC NACKs writes, and the daemon's
+//! watchdog (see [`crate::Daemon`]) is built around exactly those
+//! failures.
+//!
+//! [`crate::SimTelemetry`] implements both traits over the simulated
+//! rack — bit-for-bit compatible with the batch loop when no faults are
+//! injected — and [`crate::IpmiAdapter`] implements the actuator side
+//! (plus temperature reads) over `ipmitool`-shaped text.
+
+use gfsc_units::{Celsius, Rpm, Seconds, Utilization};
+
+/// A failed telemetry operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// A read failed: bus timeout, command failure, unparseable output.
+    Read(String),
+    /// A write was not acknowledged by the platform.
+    Nack(String),
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::Read(why) => write!(f, "telemetry read failed: {why}"),
+            TelemetryError::Nack(why) => write!(f, "actuation not acknowledged: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// The polled inputs of one rack: per-socket temperatures, per-zone
+/// tachometers, and the rack-wide demand signal.
+///
+/// Implementations decide what a poll costs and what can fail; the
+/// daemon decides what failure *means* (per-sensor staleness budgets,
+/// retry bounds, firmware fallback).
+pub trait TelemetrySource {
+    /// Total socket count (the length of every per-socket slice).
+    fn socket_count(&self) -> usize;
+
+    /// Number of fan zones (the length of every per-zone slice).
+    fn zone_count(&self) -> usize;
+
+    /// Polls every socket temperature into `out` (`None` marks a sensor
+    /// that produced no reading this poll — never a fabricated value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Read`] when the poll fails wholesale
+    /// (bus burst loss); per-sensor failures are `None` entries instead.
+    fn poll_temperatures(&mut self, out: &mut [Option<Celsius>]) -> Result<(), TelemetryError>;
+
+    /// Polls every zone's tachometer speed into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Read`] if the tachometers cannot be
+    /// read.
+    fn poll_fan_speeds(&mut self, out: &mut [Rpm]) -> Result<(), TelemetryError>;
+
+    /// Samples the rack-wide demand signal for this control epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Read`] if the demand source is
+    /// unavailable.
+    fn poll_demand(&mut self) -> Result<Utilization, TelemetryError>;
+
+    /// Advances the source's clock by `dt`: the simulated backend steps
+    /// its plant; a live backend would sleep until the next cycle.
+    fn advance(&mut self, dt: Seconds);
+}
+
+/// The commanded outputs of one rack: fan targets, CPU caps, load
+/// placement, and the firmware-fallback switch.
+pub trait FanActuator {
+    /// Commands zone `z`'s fan wall toward `target`; returns the speed
+    /// the platform acknowledged (after its own rounding/clamping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] if the write is not
+    /// acknowledged.
+    fn write_fan_target(&mut self, z: usize, target: Rpm) -> Result<Rpm, TelemetryError>;
+
+    /// Applies the per-socket utilization caps decided this epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] if the platform rejects the
+    /// caps.
+    fn write_caps(&mut self, caps: &[Utilization]) -> Result<(), TelemetryError>;
+
+    /// Moves `amount` of demand weight from server `from` to server
+    /// `to` (the work-migration actuation of `MigratingCoordinated`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] if the migration is rejected or
+    /// unsupported.
+    fn migrate_load(&mut self, from: usize, to: usize, amount: f64) -> Result<(), TelemetryError>;
+
+    /// Hands the rack back to firmware auto-control: fans to maximum,
+    /// caps released. This is the watchdog's safe state and must not
+    /// depend on the very path that just failed — implementations keep
+    /// it infallible wherever the platform allows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] only where the platform truly
+    /// cannot guarantee the switch.
+    fn enter_firmware_fallback(&mut self) -> Result<(), TelemetryError>;
+
+    /// Takes manual control back from firmware after a fallback
+    /// excursion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] if the platform refuses to
+    /// yield control.
+    fn resume_manual_control(&mut self) -> Result<(), TelemetryError>;
+}

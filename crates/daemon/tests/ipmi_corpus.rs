@@ -1,0 +1,112 @@
+//! The IPMI garbage-tolerance corpus: real-world-shaped `ipmitool` /
+//! `sensors` output, including the hostile cases — truncated rows,
+//! `No Reading` / `ns` / `Disabled` placeholders, locale decimal
+//! commas, stderr interleaved with stdout.
+//!
+//! The invariant under test: **an unreadable sensor is `None`, never a
+//! fabricated `0.0`** — and through [`gfsc_sensors::SensorHealth`] a
+//! `None` classifies as `Stale`, which is exactly what routes the
+//! daemon to firmware fallback instead of releasing every cap against
+//! a phantom 0 °C socket.
+
+use gfsc_daemon::{parse_sdr_temperatures, parse_sensors_temperatures, IpmiReading};
+use gfsc_sensors::{SensorHealth, SensorStatus};
+use gfsc_units::{Celsius, Seconds};
+
+fn value_of(readings: &[IpmiReading], name: &str) -> Option<Celsius> {
+    readings.iter().find(|r| r.name == name).unwrap_or_else(|| panic!("row {name}")).value
+}
+
+/// No parser output, on any fixture, may ever be a fabricated zero.
+fn assert_no_fabricated_zero(readings: &[IpmiReading]) {
+    for r in readings {
+        if let Some(v) = r.value {
+            assert_ne!(v.value(), 0.0, "{}: unreadable sensor surfaced as 0.0 C", r.name);
+        }
+    }
+}
+
+#[test]
+fn clean_sdr_parses_every_row() {
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_clean.txt"));
+    assert_eq!(readings.len(), 4);
+    assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
+    assert_eq!(value_of(&readings, "CPU0 Temp"), Some(Celsius::new(45.0)));
+    assert_eq!(value_of(&readings, "CPU1 Temp"), Some(Celsius::new(47.5)));
+    assert_eq!(value_of(&readings, "Exhaust Temp"), Some(Celsius::new(38.0)));
+}
+
+#[test]
+fn truncated_rows_are_skipped_not_zeroed() {
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_truncated.txt"));
+    // Only the intact first row and the row truncated *after* its
+    // numeric reading survive; rows cut before the reading field (and
+    // the row with a blank name) vanish entirely.
+    assert_eq!(readings.len(), 2);
+    assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
+    assert_eq!(value_of(&readings, "Exhaust Temp"), Some(Celsius::new(38.0)));
+    assert!(readings.iter().all(|r| !r.name.starts_with("CPU")), "truncated CPU rows dropped");
+    assert_no_fabricated_zero(&readings);
+}
+
+#[test]
+fn placeholder_readings_parse_as_none_never_zero() {
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_no_reading.txt"));
+    assert_eq!(readings.len(), 5);
+    assert_eq!(value_of(&readings, "CPU0 Temp"), None, "'No Reading' must be None");
+    assert_eq!(value_of(&readings, "CPU1 Temp"), None, "'ns' must be None");
+    assert_eq!(value_of(&readings, "PCH Temp"), None, "'Disabled' must be None");
+    assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
+    assert_no_fabricated_zero(&readings);
+}
+
+#[test]
+fn locale_decimal_commas_are_accepted() {
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_locale_commas.txt"));
+    assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
+    assert_eq!(value_of(&readings, "CPU0 Temp"), Some(Celsius::new(45.5)));
+    assert_eq!(value_of(&readings, "CPU1 Temp"), Some(Celsius::new(47.25)));
+}
+
+#[test]
+fn interleaved_stderr_lines_are_ignored() {
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_interleaved_stderr.txt"));
+    // The three diagnostics carry no pipes and are skipped outright;
+    // the garbage reading stays a named row with value None.
+    assert_eq!(readings.len(), 4);
+    assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
+    assert_eq!(value_of(&readings, "CPU0 Temp"), Some(Celsius::new(45.0)));
+    assert_eq!(value_of(&readings, "CPU1 Temp"), None, "garbage token must be None");
+    assert_eq!(value_of(&readings, "Exhaust Temp"), Some(Celsius::new(38.0)));
+    assert_no_fabricated_zero(&readings);
+}
+
+#[test]
+fn lm_sensors_temperature_rows_only() {
+    let readings = parse_sensors_temperatures(include_str!("fixtures/sensors_lm.txt"));
+    // Voltages, fans, and adapter headers are not temperatures.
+    assert_eq!(readings.len(), 4);
+    assert_eq!(value_of(&readings, "Package id 0"), Some(Celsius::new(52.0)));
+    assert_eq!(value_of(&readings, "Core 0"), Some(Celsius::new(45.0)));
+    assert_eq!(value_of(&readings, "Core 1"), Some(Celsius::new(47.5)), "comma locale");
+    assert_eq!(value_of(&readings, "SYSTIN"), Some(Celsius::new(38.0)));
+    assert!(readings.iter().all(|r| r.name != "Vcore" && r.name != "fan1"));
+}
+
+#[test]
+fn unreadable_sensor_classifies_stale_through_health() {
+    // The end-to-end contract: a placeholder reading (None) feeds the
+    // daemon's per-sensor budget as a *missed* read, so it goes Stale
+    // once the budget elapses — it never shows up as a cold socket.
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_no_reading.txt"));
+    let dead = value_of(&readings, "CPU0 Temp").map(|c| c.value());
+    assert_eq!(dead, None);
+
+    let mut health = SensorHealth::new(Seconds::new(3.0), None);
+    assert_eq!(health.observe(Seconds::new(0.0), Some(45.0)), SensorStatus::Fresh);
+    for t in 1..=3 {
+        health.observe(Seconds::new(f64::from(t)), dead);
+    }
+    assert_eq!(health.observe(Seconds::new(4.0), dead), SensorStatus::Stale);
+    assert_eq!(health.last_value(), Some(45.0), "the budget holds the last real value");
+}

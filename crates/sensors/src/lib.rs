@@ -39,11 +39,13 @@
 mod adc;
 mod delay;
 mod filter;
+mod health;
 mod i2c;
 mod pipeline;
 
 pub use adc::{AdcQuantizer, Rounding};
 pub use delay::DelayLine;
 pub use filter::{Ewma, MovingAverage};
+pub use health::{SensorHealth, SensorStatus};
 pub use i2c::{I2cBusModel, TelemetryScanner};
 pub use pipeline::{MeasurementPipeline, MeasurementPipelineBuilder};

@@ -1,0 +1,162 @@
+//! Deterministic fault windows for hardware-in-the-loop harnesses.
+//!
+//! The daemon front-end (`gfsc-daemon`) turns telemetry faults — dropped
+//! reads, frozen sensors, actuation NACKs — into a *sweepable axis*: a
+//! scenario is (workload, topology, control mode, fault plan), and the
+//! fault plan must be as deterministic as the rest of the schedule so a
+//! failing sweep cell replays exactly. [`FaultWindow`] is one closed
+//! activation interval on the simulation clock; [`FaultSchedule`] is an
+//! ordered set of windows queried with the same `is_active(now)` shape as
+//! [`crate::Periodic::is_due`].
+
+use gfsc_units::Seconds;
+
+/// One activation interval `[from, until)` on the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    from: Seconds,
+    until: Seconds,
+}
+
+impl FaultWindow {
+    /// Creates the window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` is not after `from` or `from` is negative.
+    #[must_use]
+    pub fn new(from: Seconds, until: Seconds) -> Self {
+        assert!(from.value() >= 0.0, "window start must be non-negative");
+        assert!(until.value() > from.value(), "window must have positive duration");
+        Self { from, until }
+    }
+
+    /// The window start (inclusive).
+    #[must_use]
+    pub fn from(&self) -> Seconds {
+        self.from
+    }
+
+    /// The window end (exclusive).
+    #[must_use]
+    pub fn until(&self) -> Seconds {
+        self.until
+    }
+
+    /// Whether `now` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, now: Seconds) -> bool {
+        now.value() >= self.from.value() && now.value() < self.until.value()
+    }
+}
+
+/// An ordered set of [`FaultWindow`]s — the activation schedule of one
+/// injected fault.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_sim::{FaultSchedule, FaultWindow};
+/// use gfsc_units::Seconds;
+///
+/// let burst = FaultSchedule::new(vec![FaultWindow::new(
+///     Seconds::new(60.0),
+///     Seconds::new(90.0),
+/// )]);
+/// assert!(!burst.is_active(Seconds::new(59.5)));
+/// assert!(burst.is_active(Seconds::new(60.0)));
+/// assert!(!burst.is_active(Seconds::new(90.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultSchedule {
+    /// Creates a schedule from explicit windows.
+    #[must_use]
+    pub fn new(windows: Vec<FaultWindow>) -> Self {
+        Self { windows }
+    }
+
+    /// The always-inactive schedule.
+    #[must_use]
+    pub fn never() -> Self {
+        Self { windows: Vec::new() }
+    }
+
+    /// A single window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is degenerate (see [`FaultWindow::new`]).
+    #[must_use]
+    pub fn once(from: Seconds, until: Seconds) -> Self {
+        Self { windows: vec![FaultWindow::new(from, until)] }
+    }
+
+    /// Whether any window contains `now`.
+    #[must_use]
+    pub fn is_active(&self, now: Seconds) -> bool {
+        self.windows.iter().any(|w| w.contains(now))
+    }
+
+    /// The windows, in construction order.
+    #[must_use]
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the schedule can ever fire.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = FaultWindow::new(s(10.0), s(20.0));
+        assert!(!w.contains(s(9.999)));
+        assert!(w.contains(s(10.0)));
+        assert!(w.contains(s(19.999)));
+        assert!(!w.contains(s(20.0)));
+        assert_eq!(w.from(), s(10.0));
+        assert_eq!(w.until(), s(20.0));
+    }
+
+    #[test]
+    fn schedule_unions_windows() {
+        let sched = FaultSchedule::new(vec![
+            FaultWindow::new(s(0.0), s(5.0)),
+            FaultWindow::new(s(10.0), s(15.0)),
+        ]);
+        assert!(sched.is_active(s(2.0)));
+        assert!(!sched.is_active(s(7.0)));
+        assert!(sched.is_active(s(12.0)));
+        assert_eq!(sched.windows().len(), 2);
+        assert!(!sched.is_empty());
+    }
+
+    #[test]
+    fn never_is_never() {
+        let sched = FaultSchedule::never();
+        assert!(sched.is_empty());
+        assert!(!sched.is_active(s(0.0)));
+        assert_eq!(sched, FaultSchedule::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn degenerate_window_rejected() {
+        let _ = FaultWindow::new(s(5.0), s(5.0));
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod fault;
 mod schedule;
 pub mod spill;
 pub mod stats;
@@ -49,6 +50,7 @@ pub mod sweep;
 mod trace;
 
 pub use clock::Clock;
+pub use fault::{FaultSchedule, FaultWindow};
 pub use schedule::Periodic;
 pub use spill::{SinkChannel, SpilledTraces, TraceSink};
 pub use trace::{ChannelId, Trace, TraceError, TraceSet};

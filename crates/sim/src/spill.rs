@@ -456,6 +456,44 @@ mod tests {
     }
 
     #[test]
+    fn load_all_surfaces_truncated_column_as_format_error() {
+        let tmp = TempDir::new("load-all-truncated");
+        sample_set().spill_to(&tmp.0).unwrap();
+        // A column file cut short mid-write (crash, full disk) must
+        // surface as a clean Format error from the bulk loader, not a
+        // panic or a short read.
+        fs::write(tmp.0.join("col_0.values"), b"short").unwrap();
+        let spilled = SpilledTraces::open(&tmp.0).unwrap();
+        let err = spilled.load_all().unwrap_err();
+        assert!(matches!(err, TraceError::Format(_)), "got {err}");
+        assert!(err.to_string().contains("col_0.values"), "names the bad file: {err}");
+    }
+
+    #[test]
+    fn load_all_surfaces_index_length_mismatch() {
+        let tmp = TempDir::new("load-all-mismatch");
+        sample_set().spill_to(&tmp.0).unwrap();
+        // Rewrite the index so one entry claims a different sample
+        // count than its (intact) column files hold.
+        let index = fs::read_to_string(tmp.0.join(INDEX)).unwrap();
+        let doctored: String = index
+            .lines()
+            .map(|line| match line.strip_prefix("0\t500\t") {
+                Some(rest) => format!("0\t499\t{rest}\n"),
+                None => format!("{line}\n"),
+            })
+            .collect();
+        assert_ne!(doctored, index, "the doctored entry must exist");
+        fs::write(tmp.0.join(INDEX), doctored).unwrap();
+        let spilled = SpilledTraces::open(&tmp.0).unwrap();
+        assert!(matches!(spilled.column("t_junction_c").unwrap_err(), TraceError::Format(_)));
+        let err = spilled.load_all().unwrap_err();
+        assert!(matches!(err, TraceError::Format(_)), "got {err}");
+        // The untouched column is still selectively readable.
+        assert_eq!(spilled.column("fan_rpm").unwrap().len(), 17);
+    }
+
+    #[test]
     fn malformed_indexes_are_rejected() {
         let tmp = TempDir::new("malformed");
         fs::create_dir_all(&tmp.0).unwrap();

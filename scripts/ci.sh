@@ -4,9 +4,10 @@
 #     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests twice
 #                              # (GFSC_SWEEP_THREADS=1 and =4 — determinism
 #                              # under both executors), release tests,
-#                              # large-grid smoke, bench smoke, bench check
-#     ./scripts/ci.sh quick    # single test run; skip the release tests
-#                              # & bench stages
+#                              # daemon HIL drill, large-grid smoke, bench
+#                              # smoke, bench check
+#     ./scripts/ci.sh quick    # single test run + daemon HIL drill; skip
+#                              # the release tests & bench stages
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds the style gates that keep the tree warning-free.
@@ -37,8 +38,18 @@ run_stage "fmt" cargo fmt --check
 run_stage "clippy" cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 run_stage "build" cargo build --release --locked --offline
 
+# The hardware-in-the-loop drill runs in BOTH profiles: the daemon vs the
+# simulated rack on the 2U×4 preset with injected faults (frozen sensor,
+# dropped-reads burst, actuator NACK), asserting firmware fallback within
+# the watchdog deadline, bounded true junction temperatures, and clean
+# re-engagement. Scenario logs land in target/daemon-hil/.
+run_hil_stage() {
+    run_stage "daemon-hil" cargo test -q --locked --offline -p gfsc-daemon --test hil
+}
+
 if [ "${1:-}" = "quick" ]; then
     run_stage "test" cargo test -q --locked --offline
+    run_hil_stage
 else
     # The full gate runs the suite under both a serial and a parallel
     # sweep executor: the parallel==serial determinism contract must hold
@@ -47,6 +58,7 @@ else
     run_stage "test-threads-1" env GFSC_SWEEP_THREADS=1 cargo test -q --locked --offline
     run_stage "test-threads-4" env GFSC_SWEEP_THREADS=4 cargo test -q --locked --offline
     run_stage "test-release" cargo test -q --release --locked --offline
+    run_hil_stage
     # 10k-cell grid through shard manifests and spilled traces: the sweep
     # scale-out machinery at a size the default suite can't afford.
     run_stage "large-grid-smoke" cargo test -q --release --locked --offline \
