@@ -24,6 +24,9 @@
 //! - daemon: the telemetry daemon's trait-dispatch loop vs the direct
 //!   `RackLoopSim` on the identical scenario — `daemon_epoch_overhead_ns`
 //!   plus the overhead fraction, gated hard at 5 % in `--check` mode,
+//! - recorder: the same rack loop with the decision flight recorder
+//!   armed vs disarmed — `recorder_epoch_overhead_ns` plus the overhead
+//!   fraction, gated hard at 3 % in `--check` mode,
 //! - table3: the five-solution sweep, serial vs parallel at several worker
 //!   counts, with a bit-identity check between the two paths,
 //! - ablations: a reduced lag sweep, serial vs parallel,
@@ -197,6 +200,15 @@ fn main() {
          ({daemon_epoch_overhead_ns:.0} ns/epoch, {:.2} % overhead)",
         daemon_overhead_fraction * 100.0
     );
+    let (recorder_disarmed_s, recorder_armed_s, recorder_epochs) = recorder_vs_disarmed_secs();
+    let recorder_epoch_overhead_ns =
+        (recorder_armed_s - recorder_disarmed_s).max(0.0) * 1e9 / recorder_epochs;
+    let recorder_overhead_fraction = recorder_armed_s / recorder_disarmed_s - 1.0;
+    println!(
+        "flight recorder: disarmed {recorder_disarmed_s:.3} s, armed {recorder_armed_s:.3} s \
+         ({recorder_epoch_overhead_ns:.0} ns/epoch, {:.2} % overhead)",
+        recorder_overhead_fraction * 100.0
+    );
 
     // --- 64-scenario lockstep batch sweep --------------------------------
     let (batch_sweep_horizon, sweep64_serial_s, sweep64_batched_s, sweep64_bit_identical) =
@@ -310,6 +322,10 @@ fn main() {
          \"streamed_seconds\": {daemon_streamed_s:.4},\n    \
          \"daemon_epoch_overhead_ns\": {daemon_epoch_overhead_ns:.1},\n    \
          \"overhead_fraction\": {daemon_overhead_fraction:.4}\n  }},\n  \
+         \"recorder\": {{\n    \"disarmed_seconds\": {recorder_disarmed_s:.4},\n    \
+         \"armed_seconds\": {recorder_armed_s:.4},\n    \
+         \"recorder_epoch_overhead_ns\": {recorder_epoch_overhead_ns:.1},\n    \
+         \"recorder_overhead_fraction\": {recorder_overhead_fraction:.4}\n  }},\n  \
          \"table3\": {{\n    \"horizon_s\": {table3_horizon},\n    \
          \"serial_seconds\": {table3_serial_s:.4},\n    \
          \"by_workers\": [{worker_rows}],\n    \
@@ -409,27 +425,84 @@ fn rack_global_ecoord_sim_rate() -> f64 {
 /// front-end overhead: trait dispatch, the polled mirror, the watchdog
 /// bookkeeping. Construction (equilibration) is excluded from both sides.
 fn daemon_vs_direct_secs() -> (f64, f64, f64) {
-    let horizon = 3000.0;
+    // The absolute 5 % gate below must measure front-end overhead, not
+    // scheduler noise on a contended core. Every sample is a back-to-back
+    // direct/streamed *pair*, so a load burst or frequency shift inflates
+    // both sides of the pair it lands on and cancels in the ratio; the
+    // median pair then discards the pairs a burst split down the middle.
+    let horizon = 3_000.0;
     let control = RackControl::GlobalECoord;
     let spec = RackSpec::new(RackTopology::rack_2u_x4());
     let workload = || Workload::builder(SquareWave::date14()).build();
-
-    let mut sim = RackLoopSim::builder(spec.clone()).workload(workload()).control(control).build();
-    let (_, direct_s) = time(|| sim.run(Seconds::new(horizon)));
-
-    let cfg = DaemonConfig::new(RackControlConfig::new(control));
-    let backend = SimTelemetry::new(
-        spec.clone(),
-        workload(),
-        cfg.start_utilization,
-        cfg.start_fan,
-        FaultPlan::none(),
-    );
-    let mut daemon = Daemon::new(backend, spec.clone(), cfg);
-    let (outcome, streamed_s) = time(|| daemon.run(Seconds::new(horizon)));
-    assert_eq!(outcome.metrics.fallback_entries, 0, "no fault may trip the overhead probe");
-
+    let direct_run = || {
+        let mut sim =
+            RackLoopSim::builder(spec.clone()).workload(workload()).control(control).build();
+        let (_, d) = time(|| sim.run(Seconds::new(horizon)));
+        d
+    };
+    let streamed_run = || {
+        let cfg = DaemonConfig::new(RackControlConfig::new(control));
+        let backend = SimTelemetry::new(
+            spec.clone(),
+            workload(),
+            cfg.start_utilization,
+            cfg.start_fan,
+            FaultPlan::none(),
+        );
+        let mut daemon = Daemon::new(backend, spec.clone(), cfg);
+        let (outcome, s) = time(|| daemon.run(Seconds::new(horizon)));
+        assert_eq!(outcome.metrics.fallback_entries, 0, "no fault may trip the overhead probe");
+        s
+    };
+    // One untimed pair warms caches and lazily-initialized process state.
+    let _ = (direct_run(), streamed_run());
+    let pairs: Vec<(f64, f64)> = (0..9).map(|_| (direct_run(), streamed_run())).collect();
+    let (direct_s, streamed_s) = median_ratio_pair(&pairs);
     (direct_s, streamed_s, horizon / spec.server.cpu_control_interval.value())
+}
+
+/// The pair whose second/first ratio is the median of the set. The
+/// reported seconds come from one actual back-to-back measurement (not a
+/// cross-sample composite), and the ratio — the only thing the absolute
+/// gates consume — is robust to bursts that land on a minority of pairs.
+fn median_ratio_pair(pairs: &[(f64, f64)]) -> (f64, f64) {
+    let mut sorted = pairs.to_vec();
+    sorted.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    sorted[sorted.len() / 2]
+}
+
+/// Wall seconds of the rack-global E-coord loop with the flight recorder
+/// disarmed vs armed (same plant, controllers, and workload samples —
+/// the difference is pure recording cost: the branch on the disarmed
+/// side, ring writes on the armed side), plus the CPU-epoch count. The
+/// GlobalECoord mode has the densest event stream (descent sweeps,
+/// residuals, per-zone targets), so it bounds the others.
+fn recorder_vs_disarmed_secs() -> (f64, f64, f64) {
+    // Back-to-back disarmed/armed pairs, median ratio — same noise
+    // discipline as `daemon_vs_direct_secs`; the 3 % gate is absolute.
+    let horizon = 3_000.0;
+    let spec = RackSpec::new(RackTopology::rack_2u_x4());
+    let run = |armed: bool| {
+        let builder = RackLoopSim::builder(spec.clone())
+            .workload(Workload::builder(SquareWave::date14()).build())
+            .control(RackControl::GlobalECoord);
+        // Roomy enough that nothing drops over this horizon, small
+        // enough (256 KiB) not to fight the controllers for cache —
+        // ring size is a deployment knob, not overhead.
+        let mut sim = if armed { builder.flight_recorder(8_192) } else { builder }.build();
+        let (outcome, secs) = time(|| sim.run(Seconds::new(horizon)));
+        if armed {
+            assert!(
+                outcome.flight.as_ref().is_some_and(|f| f.recorded > 0),
+                "the armed probe must actually record"
+            );
+        }
+        secs
+    };
+    let _ = (run(false), run(true));
+    let pairs: Vec<(f64, f64)> = (0..9).map(|_| (run(false), run(true))).collect();
+    let (disarmed_s, armed_s) = median_ratio_pair(&pairs);
+    (disarmed_s, armed_s, horizon / spec.server.cpu_control_interval.value())
 }
 
 /// The moving-fan pattern shared by the scalar reference and every batch
@@ -559,14 +632,18 @@ fn run_check(baseline_path: &str) -> i32 {
     // slower", and the minimum is the observation least polluted by
     // scheduler noise on a shared box.
     let best3 = |mut f: Box<dyn FnMut() -> f64>| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    // The two ns-scale rows take best-of-nine: each sample is only a few
+    // milliseconds of wall, so a single scheduler burst can cover three
+    // of them end to end.
+    let best9 = |mut f: Box<dyn FnMut() -> f64>| (0..9).map(|_| f()).fold(f64::INFINITY, f64::min);
     let mut rc2 = chain_network(2);
     rc2.step(Seconds::new(0.5));
     let rc2_cached =
-        best3(Box::new(move || time_per_iter(200_000, || rc2.step(Seconds::new(0.5)))));
+        best9(Box::new(move || time_per_iter(200_000, || rc2.step(Seconds::new(0.5)))));
     let mut rc8 = chain_network(8);
     rc8.step(Seconds::new(0.5));
     let rc8_cached =
-        best3(Box::new(move || time_per_iter(200_000, || rc8.step(Seconds::new(0.5)))));
+        best9(Box::new(move || time_per_iter(200_000, || rc8.step(Seconds::new(0.5)))));
     // Warm the gain cache so the throughput probe times the loop, not
     // one-time tuning.
     let _ = gfsc::fine_gain_schedule();
@@ -593,16 +670,29 @@ fn run_check(baseline_path: &str) -> i32 {
     let rack_rate_cost = best3(Box::new(|| 1.0 / rack_coord_sim_rate()));
     let rack_ss_ecoord_cost = best3(Box::new(|| 1.0 / rack_ss_ecoord_sim_rate()));
     let rack_global_ecoord_cost = best3(Box::new(|| 1.0 / rack_global_ecoord_sim_rate()));
-    // Best-of-three on each side independently: the gate compares the two
-    // cleanest observations, not two noisy ones.
-    let (daemon_direct_s, daemon_streamed_s) = {
-        let mut best = (f64::INFINITY, f64::INFINITY);
-        for _ in 0..3 {
-            let (direct, streamed, _) = daemon_vs_direct_secs();
-            best = (best.0.min(direct), best.1.min(streamed));
-        }
-        best
+    // Three median-of-pairs probes each; keep the cleanest one (smallest
+    // overhead ratio). The gates are one-sided upper bounds, and a real
+    // regression shows up in every probe's median, so the least-noisy
+    // observation is the honest one.
+    let min_by_ratio = |pairs: Vec<(f64, f64)>| {
+        pairs.into_iter().min_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0))).expect("3 probes")
     };
+    let (daemon_direct_s, daemon_streamed_s) = min_by_ratio(
+        (0..3)
+            .map(|_| {
+                let (direct, streamed, _) = daemon_vs_direct_secs();
+                (direct, streamed)
+            })
+            .collect(),
+    );
+    let (recorder_disarmed_s, recorder_armed_s) = min_by_ratio(
+        (0..3)
+            .map(|_| {
+                let (disarmed, armed, _) = recorder_vs_disarmed_secs();
+                (disarmed, armed)
+            })
+            .collect(),
+    );
 
     let mut failed = false;
     let mut check =
@@ -665,6 +755,24 @@ fn run_check(baseline_path: &str) -> i32 {
         if daemon_ok { "ok" } else { "REGRESSED" },
         daemon_overhead * 100.0,
         DAEMON_OVERHEAD_CAP * 100.0,
+    );
+
+    // So is the flight-recorder gate: arming the decision recorder may
+    // cost at most 3 % over the disarmed loop — observability that slows
+    // the control loop down gets rejected here, not in production.
+    const RECORDER_OVERHEAD_CAP: f64 = 0.03;
+    let recorder_overhead = recorder_armed_s / recorder_disarmed_s - 1.0;
+    let recorder_ok = recorder_overhead <= RECORDER_OVERHEAD_CAP;
+    if !recorder_ok {
+        failed = true;
+    }
+    println!(
+        "  {:<28} {:<9} overhead {:.2} % (hard cap {:.0} %; disarmed {recorder_disarmed_s:.3} s, \
+         armed {recorder_armed_s:.3} s)",
+        "flight recorder overhead",
+        if recorder_ok { "ok" } else { "REGRESSED" },
+        recorder_overhead * 100.0,
+        RECORDER_OVERHEAD_CAP * 100.0,
     );
 
     if failed {

@@ -17,6 +17,7 @@ use crate::{
     ZoneReferences, ZoneSsFanBank,
 };
 use gfsc_control::{AdaptivePid, GainSchedule, PidGains};
+use gfsc_obs::{EventKind, Recorder, Source};
 use gfsc_power::CpuPowerModel;
 use gfsc_rack::{RackPlant, RackSpec};
 use gfsc_sensors::MovingAverage;
@@ -56,6 +57,11 @@ pub struct RackControlConfig {
     pub energy_descent: RackEnergyDescent,
     /// The work migrator (`MigratingCoordinated`).
     pub work_migrator: WorkMigrator,
+    /// The decision flight recorder — disarmed by default, so every
+    /// record call in the epoch path is a no-op branch. Arm it
+    /// (`Recorder::armed(capacity)`) to keep an event trail of every
+    /// controller action.
+    pub recorder: Recorder,
 }
 
 impl RackControlConfig {
@@ -75,6 +81,7 @@ impl RackControlConfig {
             energy_coordinator: ZoneEnergyCoordinator::date14_rack(),
             energy_descent: RackEnergyDescent::date14_rack(),
             work_migrator: WorkMigrator::date14_rack(),
+            recorder: Recorder::disarmed(),
         }
     }
 }
@@ -132,6 +139,10 @@ pub struct RackControlBank {
     violations: u64,
     socket_epochs: u64,
     lost_utilization: f64,
+    /// The decision flight recorder (disarmed unless the config armed it).
+    recorder: Recorder,
+    /// CPU epochs run — the stamp every recorded event carries.
+    epoch_index: u32,
 }
 
 impl std::fmt::Debug for RackControlBank {
@@ -234,6 +245,8 @@ impl RackControlBank {
             violations: 0,
             socket_epochs: 0,
             lost_utilization: 0.0,
+            recorder: config.recorder,
+            epoch_index: 0,
         }
     }
 
@@ -241,6 +254,26 @@ impl RackControlBank {
     #[must_use]
     pub fn control(&self) -> RackControl {
         self.control
+    }
+
+    /// The decision flight recorder (armed or not).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The decision flight recorder, writable — the daemon records its
+    /// watchdog transitions (fallback entry/exit) onto the same stream
+    /// the controllers use.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// CPU epochs run so far — the stamp the next recorded event will
+    /// carry.
+    #[must_use]
+    pub fn epoch_index(&self) -> u32 {
+        self.epoch_index
     }
 
     /// The enforced per-socket executed utilizations of the latest epoch
@@ -309,6 +342,8 @@ impl RackControlBank {
     ) {
         let sockets = rack.socket_count();
         let zones = rack.zone_count();
+        let epoch = self.epoch_index;
+        self.epoch_index = self.epoch_index.wrapping_add(1);
 
         let mut demands = core::mem::take(&mut self.demands);
         rack.socket_demands(demand, &mut demands);
@@ -321,6 +356,17 @@ impl RackControlBank {
                 // One capper on the aggregate, applied to every socket.
                 let aggregate = rack.measured_rack();
                 let cap = self.global_capper.propose(aggregate, self.caps[0]);
+                if cap != self.caps[0] {
+                    // The lockstep baseline has exactly one decision to
+                    // explain: the aggregate capper moving the rack cap.
+                    self.recorder.record(
+                        epoch,
+                        Source::Rack,
+                        EventKind::SocketHot,
+                        aggregate.value(),
+                    );
+                    self.recorder.record(epoch, Source::Rack, EventKind::CapGrant, cap.value());
+                }
                 self.caps.fill(cap);
                 if fan_due {
                     // The naive pairing: the rack-wide max measurement
@@ -339,7 +385,12 @@ impl RackControlBank {
                 // server behind another wall; demands re-derive from the
                 // shifted weights.
                 if let Some(migrator) = &mut self.migrator {
-                    migrator.rebalance(&mut *rack, &self.measured);
+                    migrator.rebalance_traced(
+                        &mut *rack,
+                        &self.measured,
+                        epoch,
+                        &mut self.recorder,
+                    );
                     rack.socket_demands(demand, &mut demands);
                 }
                 // Layer 1: per-socket integral capper proposals.
@@ -348,7 +399,13 @@ impl RackControlBank {
                 }
                 // Layer 2: the coordinator grants raises freely and cuts
                 // against the per-epoch budget, hottest sockets first.
-                self.coordinator.arbitrate(&self.measured, &mut self.caps, &self.proposed);
+                self.coordinator.arbitrate_traced(
+                    &self.measured,
+                    &mut self.caps,
+                    &self.proposed,
+                    epoch,
+                    &mut self.recorder,
+                );
                 // Zone demand prediction feeds the per-zone references.
                 if adaptive_reference {
                     for z in 0..zones {
@@ -378,7 +435,14 @@ impl RackControlBank {
                         bank.begin_epoch();
                         for z in 0..zones {
                             let reference = self.fans[z].reference();
-                            match bank.evaluate(z, rack.measured_zone(z), reference) {
+                            let action = bank.evaluate_traced(
+                                z,
+                                rack.measured_zone(z),
+                                reference,
+                                epoch,
+                                &mut self.recorder,
+                            );
+                            match action {
                                 SsFanAction::Hold => {
                                     if rack.zone_fan_target(z) < bounds.hi() {
                                         rack.set_zone_fan_target(z, bounds.hi());
@@ -441,7 +505,22 @@ impl RackControlBank {
                     if let Some(target) = fan_cmd {
                         rack.set_zone_fan_target(z, target);
                     }
-                    self.zone_caps[z] = self.ecoord.next_cap(zone_measured, current);
+                    let next = self.ecoord.next_cap(zone_measured, current);
+                    if next != current {
+                        self.recorder.record(
+                            epoch,
+                            Source::Zone(z as u16),
+                            EventKind::SocketHot,
+                            zone_measured.value(),
+                        );
+                        self.recorder.record(
+                            epoch,
+                            Source::Zone(z as u16),
+                            EventKind::CapGrant,
+                            next.value(),
+                        );
+                    }
+                    self.zone_caps[z] = next;
                 }
                 for i in 0..sockets {
                     self.caps[i] = self.zone_caps[self.socket_zone[i]];
@@ -470,6 +549,12 @@ impl RackControlBank {
                             // against that fact.
                             descent.seed(z, bounds.hi());
                             rack.set_zone_fan_target(z, bounds.hi());
+                            self.recorder.record(
+                                epoch,
+                                Source::Zone(z as u16),
+                                EventKind::EmergencyClamp,
+                                zone_measured.value(),
+                            );
                         }
                         // An emergency wall (pinned or holding) does not
                         // join the descent this epoch.
@@ -477,7 +562,13 @@ impl RackControlBank {
                     }
                 }
                 if fan_due {
-                    descent.descend(rack.plant(), &self.rack_powers, bounds);
+                    descent.descend_traced(
+                        rack.plant(),
+                        &self.rack_powers,
+                        bounds,
+                        epoch,
+                        &mut self.recorder,
+                    );
                     for z in 0..zones {
                         if !descent.is_frozen(z) {
                             rack.set_zone_fan_target(z, descent.target(z));
@@ -485,7 +576,23 @@ impl RackControlBank {
                     }
                 }
                 for z in 0..zones {
-                    self.zone_caps[z] = descent.next_cap(rack.measured_zone(z), self.zone_caps[z]);
+                    let current = self.zone_caps[z];
+                    let next = descent.next_cap(rack.measured_zone(z), current);
+                    if next != current {
+                        self.recorder.record(
+                            epoch,
+                            Source::Zone(z as u16),
+                            EventKind::SocketHot,
+                            rack.measured_zone(z).value(),
+                        );
+                        self.recorder.record(
+                            epoch,
+                            Source::Zone(z as u16),
+                            EventKind::CapGrant,
+                            next.value(),
+                        );
+                    }
+                    self.zone_caps[z] = next;
                 }
                 for i in 0..sockets {
                     self.caps[i] = self.zone_caps[self.socket_zone[i]];

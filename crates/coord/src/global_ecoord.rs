@@ -39,6 +39,7 @@
 //! (`tests/alloc_free_rack.rs`).
 
 use crate::{EnergyAwareCoordinator, ZoneEnergyCoordinator};
+use gfsc_obs::{EventKind, Recorder, Source};
 use gfsc_rack::RackPlant;
 use gfsc_units::{Bounds, Celsius, Rpm, Utilization, Watts};
 
@@ -67,6 +68,9 @@ pub struct RackEnergyDescent {
     /// Zones excluded from the descent this epoch (emergency holds and
     /// max-pins participate in the others' probes at their seeded speed).
     frozen: Vec<bool>,
+    /// Zones whose last probe found no feasible speed (pinned at the
+    /// upper bound) — tracing scratch, sized at [`Self::bind`].
+    pinned: Vec<bool>,
 }
 
 impl RackEnergyDescent {
@@ -80,7 +84,14 @@ impl RackEnergyDescent {
     pub fn new(policy: ZoneEnergyCoordinator, max_sweeps: usize, tolerance_rpm: f64) -> Self {
         assert!(max_sweeps > 0, "the descent needs at least one sweep");
         assert!(tolerance_rpm >= 0.0, "convergence tolerance must be non-negative");
-        Self { policy, max_sweeps, tolerance_rpm, targets: Vec::new(), frozen: Vec::new() }
+        Self {
+            policy,
+            max_sweeps,
+            tolerance_rpm,
+            targets: Vec::new(),
+            frozen: Vec::new(),
+            pinned: Vec::new(),
+        }
     }
 
     /// The rack calibration: the [`ZoneEnergyCoordinator::date14_rack`]
@@ -99,6 +110,8 @@ impl RackEnergyDescent {
         self.targets.resize(zones, Rpm::new(0.0));
         self.frozen.clear();
         self.frozen.resize(zones, false);
+        self.pinned.clear();
+        self.pinned.resize(zones, false);
     }
 
     /// The underlying single-server rule set (shared with the per-zone
@@ -176,22 +189,61 @@ impl RackEnergyDescent {
     /// Panics if the bound zone count disagrees with `plant` or `powers`
     /// is not one entry per socket.
     pub fn descend(&mut self, plant: &RackPlant, powers: &[Watts], bounds: Bounds<Rpm>) {
+        self.descend_traced(plant, powers, bounds, 0, &mut Recorder::disarmed());
+    }
+
+    /// [`Self::descend`] with decision tracing: the sweep count, the
+    /// final convergence residual, and every unfrozen zone's converged
+    /// target (or its pin at the upper bound) land in `rec` as
+    /// `epoch`-stamped events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound zone count disagrees with `plant` or `powers`
+    /// is not one entry per socket.
+    pub fn descend_traced(
+        &mut self,
+        plant: &RackPlant,
+        powers: &[Watts],
+        bounds: Bounds<Rpm>,
+        epoch: u32,
+        rec: &mut Recorder,
+    ) {
         assert_eq!(self.targets.len(), plant.zone_count(), "descent bound to a different rack");
         let limit = self.policy.policy().fan_sizing_limit();
+        let mut sweeps = 0u32;
+        let mut residual = 0.0f64;
         for _ in 0..self.max_sweeps {
             let mut moved = 0.0f64;
             for z in 0..self.targets.len() {
                 if self.frozen[z] {
                     continue;
                 }
-                let speed = plant
-                    .min_safe_zone_fan(z, powers, &self.targets, limit)
-                    .map_or(bounds.hi(), |v| bounds.clamp(v));
+                let safe = plant.min_safe_zone_fan(z, powers, &self.targets, limit);
+                self.pinned[z] = safe.is_none();
+                let speed = safe.map_or(bounds.hi(), |v| bounds.clamp(v));
                 moved = moved.max((speed - self.targets[z]).abs());
                 self.targets[z] = speed;
             }
+            sweeps += 1;
+            residual = moved;
             if moved <= self.tolerance_rpm {
                 break;
+            }
+        }
+        if rec.is_armed() {
+            rec.record(epoch, Source::Rack, EventKind::DescentSweeps, f64::from(sweeps));
+            rec.record(epoch, Source::Rack, EventKind::DescentResidual, residual);
+            for z in 0..self.targets.len() {
+                if self.frozen[z] {
+                    continue;
+                }
+                let kind = if self.pinned[z] {
+                    EventKind::DescentPinned
+                } else {
+                    EventKind::DescentTarget
+                };
+                rec.record(epoch, Source::Zone(z as u16), kind, self.targets[z].value());
             }
         }
     }

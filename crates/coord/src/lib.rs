@@ -84,3 +84,8 @@ pub use ssfan::{SingleStepFanScaling, SsFanAction};
 pub use view::RackView;
 pub use zone_ecoord::ZoneEnergyCoordinator;
 pub use zone_ssfan::ZoneSsFanBank;
+
+/// The flight-recorder layer every decision point records into — see
+/// [`RackControlConfig::recorder`] for arming and `gfsc_obs::explain`
+/// for reading a recorded run back.
+pub use gfsc_obs as obs;

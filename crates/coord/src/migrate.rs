@@ -27,6 +27,7 @@
 //! (`tests/alloc_free_rack.rs`).
 
 use crate::RackView;
+use gfsc_obs::{EventKind, Recorder, Source};
 use gfsc_units::Celsius;
 
 /// One outstanding weight shift (recorded so it can be reversed).
@@ -172,6 +173,23 @@ impl WorkMigrator {
     ///
     /// Panics if `measured` is not one entry per socket.
     pub fn rebalance(&mut self, server: &mut dyn RackView, measured: &[Celsius]) {
+        self.rebalance_traced(server, measured, 0, &mut Recorder::disarmed());
+    }
+
+    /// [`Self::rebalance`] with decision tracing: every shift (source
+    /// and absorber temperatures) and every reversal lands in `rec` as
+    /// `epoch`-stamped events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is not one entry per socket.
+    pub fn rebalance_traced(
+        &mut self,
+        server: &mut dyn RackView,
+        measured: &[Celsius],
+        epoch: u32,
+        rec: &mut Recorder,
+    ) {
         assert_eq!(measured.len(), server.socket_count(), "one measurement per socket");
         // Reclaim pass. A shift comes home when its source has genuinely
         // cooled — or when the *absorber* has itself crossed the hot
@@ -187,6 +205,12 @@ impl WorkMigrator {
             let refluxed = Self::server_hotness(server, measured, entry.to) >= self.hot_threshold;
             if (cooled || refluxed) && server.server_load_weight(entry.to) - entry.weight > 0.0 {
                 server.shift_load_weight(entry.to, entry.from, entry.weight);
+                rec.record(
+                    epoch,
+                    Source::Server(entry.from as u16),
+                    EventKind::MigrationReverse,
+                    Self::server_hotness(server, measured, entry.from).value(),
+                );
             } else {
                 self.ledger[keep] = entry;
                 keep += 1;
@@ -238,6 +262,18 @@ impl WorkMigrator {
             let Some(to) = target else { break };
             server.shift_load_weight(from, to, self.step);
             self.ledger.push(Migration { from, to, weight: self.step });
+            rec.record(
+                epoch,
+                Source::Server(from as u16),
+                EventKind::MigrationShift,
+                Self::server_hotness(server, measured, from).value(),
+            );
+            rec.record(
+                epoch,
+                Source::Server(to as u16),
+                EventKind::MigrationAbsorb,
+                Self::server_hotness(server, measured, to).value(),
+            );
         }
     }
 }

@@ -34,6 +34,7 @@ use crate::{
     SingleStepFanScaling, WorkMigrator, ZoneEnergyCoordinator,
 };
 use gfsc_control::GainSchedule;
+use gfsc_obs::{EventKind, FlightSnapshot, Recorder, Source};
 use gfsc_rack::{RackServer, RackSpec};
 use gfsc_sim::{Clock, Periodic, TraceSet};
 use gfsc_units::{Bounds, Celsius, Joules, Rpm, Seconds, Utilization};
@@ -180,6 +181,24 @@ impl CappingCoordinator {
         caps: &mut [Utilization],
         proposed: &[Utilization],
     ) {
+        self.arbitrate_traced(measured, caps, proposed, 0, &mut Recorder::disarmed());
+    }
+
+    /// [`Self::arbitrate`] with decision tracing: every granted cut, its
+    /// triggering measurement, emergency clamps, and held (budget-denied)
+    /// proposals land in `rec` as `epoch`-stamped events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the socket count.
+    pub fn arbitrate_traced(
+        &mut self,
+        measured: &[Celsius],
+        caps: &mut [Utilization],
+        proposed: &[Utilization],
+        epoch: u32,
+        rec: &mut Recorder,
+    ) {
         assert_eq!(measured.len(), self.granted.len(), "one measurement per socket");
         assert_eq!(caps.len(), self.granted.len(), "one cap per socket");
         assert_eq!(proposed.len(), self.granted.len(), "one proposal per socket");
@@ -209,13 +228,34 @@ impl CappingCoordinator {
                 None => break,
             }
         }
+        let mut denied = 0u32;
         for i in 0..caps.len() {
+            let src = Source::Socket(i as u16);
+            let cut = proposed[i] < caps[i];
             if self.granted[i] {
+                if cut {
+                    rec.record(epoch, src, EventKind::SocketHot, measured[i].value());
+                    rec.record(epoch, src, EventKind::CapProposal, proposed[i].value());
+                }
                 // The emergency fast-track only honors the cut direction:
                 // granting a *raise* to a socket already at the limit
                 // would feed the excursion it is supposed to stop.
                 caps[i] = if self.emergency[i] { proposed[i].min(caps[i]) } else { proposed[i] };
+                if cut {
+                    let kind = if self.emergency[i] {
+                        EventKind::EmergencyClamp
+                    } else {
+                        EventKind::CapGrant
+                    };
+                    rec.record(epoch, src, kind, caps[i].value());
+                }
+            } else if cut {
+                denied += 1;
+                rec.record(epoch, src, EventKind::CapDenied, proposed[i].value());
             }
+        }
+        if denied > 0 {
+            rec.record(epoch, Source::Rack, EventKind::BudgetExhausted, f64::from(denied));
         }
     }
 }
@@ -398,6 +438,9 @@ pub struct RackRunOutcome {
     pub cpu_energy: Joules,
     /// Simulated duration.
     pub horizon: Seconds,
+    /// The decision-event recording, when the run was armed with
+    /// [`RackLoopSimBuilder::flight_recorder`] (`None` otherwise).
+    pub flight: Option<FlightSnapshot>,
 }
 
 /// Builder for [`RackLoopSim`].
@@ -534,6 +577,19 @@ impl RackLoopSimBuilder {
         self
     }
 
+    /// Arms the decision flight recorder with a ring of `capacity`
+    /// events (default: disarmed — recording is a no-op). The recording
+    /// comes back in [`RackRunOutcome::flight`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.config.recorder = Recorder::armed(capacity);
+        self
+    }
+
     /// Starts the run from thermal equilibrium at this operating point
     /// (default: `u = 0.1`, every zone at 1500 rpm).
     #[must_use]
@@ -662,6 +718,7 @@ impl RackLoopSim {
             fan_energy: self.server.fan_energy(),
             cpu_energy: self.server.cpu_energy(),
             horizon,
+            flight: self.bank.recorder().snapshot(),
         }
     }
 }

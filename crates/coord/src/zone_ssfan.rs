@@ -19,6 +19,7 @@
 //! releases.
 
 use crate::{SingleStepFanScaling, SsFanAction};
+use gfsc_obs::{EventKind, Recorder, Source};
 use gfsc_units::Celsius;
 
 /// A fixed-capacity sliding window of per-epoch violation fractions —
@@ -176,7 +177,26 @@ impl ZoneSsFanBank {
     ///
     /// Panics if `z` is out of range.
     pub fn evaluate(&mut self, z: usize, measured: Celsius, reference: Celsius) -> SsFanAction {
+        self.evaluate_traced(z, measured, reference, 0, &mut Recorder::disarmed())
+    }
+
+    /// [`Self::evaluate`] with decision tracing: boost entries, holds,
+    /// thermal releases and guard releases (the rack-level
+    /// borrowed-heat verdict) land in `rec` as `epoch`-stamped events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    pub fn evaluate_traced(
+        &mut self,
+        z: usize,
+        measured: Celsius,
+        reference: Celsius,
+        epoch: u32,
+        rec: &mut Recorder,
+    ) -> SsFanAction {
         let rate = self.windows[z].rate();
+        let was_active = self.zones[z].is_active();
         // Rack-level guard: this zone is holding, its own sockets are
         // clean, and a plenum-coupled neighbour is mid-boost — the
         // elevated reading is the neighbour's heat, which the neighbour's
@@ -184,11 +204,22 @@ impl ZoneSsFanBank {
         // hold safeguard.
         let neighbour_boosting = self.plenum_coupled
             && self.prev_active.iter().enumerate().any(|(other, &active)| other != z && active);
-        if self.zones[z].is_active() && rate == 0.0 && neighbour_boosting {
+        if was_active && rate == 0.0 && neighbour_boosting {
             self.zones[z].reset();
+            rec.record(epoch, Source::Zone(z as u16), EventKind::SsGuardRelease, measured.value());
             return SsFanAction::Release;
         }
-        self.zones[z].evaluate(rate, measured, reference)
+        let action = self.zones[z].evaluate(rate, measured, reference);
+        let kind = match action {
+            SsFanAction::Hold if was_active => Some(EventKind::SsHold),
+            SsFanAction::Hold => Some(EventKind::SsBoost),
+            SsFanAction::Release => Some(EventKind::SsRelease),
+            SsFanAction::None => None,
+        };
+        if let Some(kind) = kind {
+            rec.record(epoch, Source::Zone(z as u16), kind, measured.value());
+        }
+        action
     }
 }
 

@@ -12,12 +12,14 @@
 //! | [`ablations`] | — (extensions) | lag, quantization, region-count and noise sweeps |
 //! | [`topology`] | — (extensions) | the coordinated stack on 2S/4S/blade multi-socket plants |
 //! | [`rack`] | — (extensions) | the full rack solution matrix: lockstep vs coordinated / +SS / +E-coord |
+//! | [`explain`] | — (extensions) | causal decision timelines from recorded runs and spilled sweep cells |
 //!
 //! Experiment functions are deterministic for a given config (seeds
 //! included), so the binaries in `gfsc-bench` and the assertions in the
 //! integration tests exercise the same code paths.
 
 pub mod ablations;
+pub mod explain;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;

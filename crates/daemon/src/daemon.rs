@@ -26,6 +26,7 @@
 
 use crate::{DaemonMetrics, DaemonRackView, FanActuator, MetricsEndpoint, TelemetrySource};
 use gfsc_coord::{RackChannels, RackControlBank, RackControlConfig, RackView};
+use gfsc_obs::{EventKind, FlightSnapshot, Source};
 use gfsc_rack::RackSpec;
 use gfsc_sensors::{SensorHealth, SensorStatus};
 use gfsc_sim::{Clock, Periodic, TraceSet};
@@ -44,6 +45,21 @@ pub enum FallbackReason {
     ActuationFailures,
     /// The poll or control path panicked.
     ControllerPanic,
+}
+
+impl FallbackReason {
+    /// The stable numeric code this reason carries on the flight-
+    /// recorder event stream (decoded by
+    /// [`gfsc_obs::fallback_reason_label`]).
+    #[must_use]
+    pub fn code(self) -> f64 {
+        match self {
+            Self::SensorLoss => 0.0,
+            Self::ReadFailures => 1.0,
+            Self::ActuationFailures => 2.0,
+            Self::ControllerPanic => 3.0,
+        }
+    }
 }
 
 /// One timestamped watchdog transition.
@@ -127,6 +143,10 @@ pub struct DaemonRunOutcome {
     pub total_epochs: u64,
     /// Simulated duration.
     pub horizon: Seconds,
+    /// The decision-event recording, when the control config armed the
+    /// flight recorder (`None` otherwise). Watchdog fallback entry/exit
+    /// rides the same stream as the controller decisions.
+    pub flight: Option<FlightSnapshot>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,6 +171,9 @@ pub struct Daemon<B: TelemetrySource + FanActuator> {
     /// Last acknowledged per-zone target (the deadzone reference).
     last_acked: Vec<Rpm>,
     consecutive_failures: u32,
+    /// The reason behind the current/most recent fallback, so the exit
+    /// event can name what it recovered from.
+    fallback_reason: Option<FallbackReason>,
 }
 
 impl<B: TelemetrySource + FanActuator> std::fmt::Debug for Daemon<B> {
@@ -180,13 +203,17 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
         let sockets = view.socket_count();
         let zones = view.zone_count();
         let start = view.spec().server.fan_bounds.clamp(cfg.start_fan);
+        let mut metrics = DaemonMetrics::new(zones);
+        for (slot, zone) in metrics.zones.iter_mut().zip(view.spec().rack.zones()) {
+            slot.label = zone.name.clone();
+        }
         Self {
             backend,
             bank,
             health: (0..sockets)
                 .map(|_| SensorHealth::new(cfg.stale_after, cfg.freeze_after))
                 .collect(),
-            metrics: DaemonMetrics::new(zones),
+            metrics,
             state: LoopState::Closed,
             events: Vec::new(),
             endpoint: None,
@@ -194,6 +221,7 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
             tach_scratch: vec![start; zones],
             last_acked: vec![start; zones],
             consecutive_failures: 0,
+            fallback_reason: None,
             cfg,
             view,
         }
@@ -250,7 +278,11 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
                     self.metrics.observe_latency(ns);
                 }
                 if let Some(endpoint) = &self.endpoint {
-                    endpoint.poll_serve(&self.metrics.render());
+                    let mut snapshot = self.metrics.render();
+                    if let Some(flight) = self.bank.recorder().flight() {
+                        flight.render_counters(&mut snapshot);
+                    }
+                    endpoint.poll_serve(&snapshot);
                 }
                 cycle_idx += 1;
             }
@@ -265,6 +297,7 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
             total_violations: self.bank.violations(),
             total_epochs: self.bank.socket_epochs(),
             horizon,
+            flight: self.bank.recorder().snapshot(),
         }
     }
 
@@ -350,6 +383,14 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
                     self.metrics.fallback_exits += 1;
                     self.metrics.in_fallback = false;
                     self.events.push(DaemonEvent::FallbackExited { at: now });
+                    let code = self.fallback_reason.take().map_or(0.0, FallbackReason::code);
+                    let epoch = self.bank.epoch_index();
+                    self.bank.recorder_mut().record(
+                        epoch,
+                        Source::Rack,
+                        EventKind::FallbackExited,
+                        code,
+                    );
                 }
             }
             LoopState::Closed => {
@@ -439,5 +480,13 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
         self.metrics.fallback_entries += 1;
         self.metrics.in_fallback = true;
         self.events.push(DaemonEvent::FallbackEntered { at: now, reason });
+        self.fallback_reason = Some(reason);
+        let epoch = self.bank.epoch_index();
+        self.bank.recorder_mut().record(
+            epoch,
+            Source::Rack,
+            EventKind::FallbackEntered,
+            reason.code(),
+        );
     }
 }

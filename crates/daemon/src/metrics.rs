@@ -8,6 +8,8 @@
 //! TCP endpoint ([`MetricsEndpoint`], one snapshot per connection — the
 //! `nc host port` contract).
 
+use gfsc_obs::lineproto::escape_name;
+use gfsc_obs::LogHistogram;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener};
@@ -15,6 +17,9 @@ use std::net::{SocketAddr, TcpListener};
 /// Per-zone actuation bookkeeping.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ZoneActuation {
+    /// The zone's human-facing label from the rack topology, exported
+    /// as an (escaped) `name` tag when non-empty.
+    pub label: String,
     /// The last rpm the daemon commanded.
     pub commanded_rpm: f64,
     /// The last rpm the platform acknowledged.
@@ -31,12 +36,11 @@ pub struct ZoneActuation {
 pub struct DaemonMetrics {
     /// Control cycles run.
     pub loop_cycles: u64,
-    /// Wall-clock latency of the most recently *sampled* cycle, in
-    /// nanoseconds (the loop samples latency rather than timing every
-    /// cycle — see `Daemon::run`).
-    pub loop_latency_last_ns: u64,
-    /// Worst sampled cycle latency, in nanoseconds.
-    pub loop_latency_max_ns: u64,
+    /// Sampled cycle latencies, in nanoseconds (the loop samples latency
+    /// rather than timing every cycle — see `Daemon::run`). The shared
+    /// `gfsc-obs` log-linear histogram: exact last/max, p50/p95/p99
+    /// within 6.25 %.
+    pub loop_latency: LogHistogram,
     /// Sensors currently classified non-fresh (gauge).
     pub stale_sensors: u64,
     /// Sensors currently classified frozen (gauge, subset of stale).
@@ -66,24 +70,44 @@ impl DaemonMetrics {
 
     /// Records one cycle's wall-clock latency.
     pub fn observe_latency(&mut self, ns: u64) {
-        self.loop_latency_last_ns = ns;
-        self.loop_latency_max_ns = self.loop_latency_max_ns.max(ns);
+        self.loop_latency.record(ns);
+    }
+
+    /// The most recently sampled cycle latency, in nanoseconds — the
+    /// field this used to be, kept as an accessor (and as a rendered
+    /// field name) so existing scrapes don't break.
+    #[must_use]
+    pub fn loop_latency_last_ns(&self) -> u64 {
+        self.loop_latency.last()
+    }
+
+    /// Worst sampled cycle latency, in nanoseconds (alias, see
+    /// [`Self::loop_latency_last_ns`]).
+    #[must_use]
+    pub fn loop_latency_max_ns(&self) -> u64 {
+        self.loop_latency.max()
     }
 
     /// Renders the snapshot as influx line protocol: one
-    /// `gfsc_daemon` line of loop/watchdog fields, one
-    /// `gfsc_daemon_wall,zone=<z>` line per fan wall.
+    /// `gfsc_daemon` line of loop/watchdog fields (latency last/max
+    /// plus histogram p50/p95/p99), one `gfsc_daemon_wall,zone=<z>`
+    /// line per fan wall (with an escaped `name` tag when the wall is
+    /// labelled).
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
             "gfsc_daemon loop_cycles={}u,loop_latency_last_ns={}u,loop_latency_max_ns={}u,\
+             loop_latency_p50_ns={}u,loop_latency_p95_ns={}u,loop_latency_p99_ns={}u,\
              stale_sensors={}u,frozen_sensors={}u,fallback_entries={}u,fallback_exits={}u,\
              in_fallback={},read_failures={}u,write_failures={}u,controller_panics={}u",
             self.loop_cycles,
-            self.loop_latency_last_ns,
-            self.loop_latency_max_ns,
+            self.loop_latency.last(),
+            self.loop_latency.max(),
+            self.loop_latency.quantile(0.50),
+            self.loop_latency.quantile(0.95),
+            self.loop_latency.quantile(0.99),
             self.stale_sensors,
             self.frozen_sensors,
             self.fallback_entries,
@@ -94,9 +118,13 @@ impl DaemonMetrics {
             self.controller_panics,
         );
         for (z, wall) in self.zones.iter().enumerate() {
+            let _ = write!(out, "gfsc_daemon_wall,zone={z}");
+            if !wall.label.is_empty() {
+                let _ = write!(out, ",name={}", escape_name(&wall.label));
+            }
             let _ = writeln!(
                 out,
-                "gfsc_daemon_wall,zone={z} commanded_rpm={},acked_rpm={},writes={}u,nacks={}u",
+                " commanded_rpm={},acked_rpm={},writes={}u,nacks={}u",
                 wall.commanded_rpm, wall.acked_rpm, wall.writes, wall.nacks,
             );
         }
@@ -174,8 +202,56 @@ mod tests {
         let mut metrics = DaemonMetrics::new(1);
         metrics.observe_latency(500);
         metrics.observe_latency(200);
-        assert_eq!(metrics.loop_latency_last_ns, 200);
-        assert_eq!(metrics.loop_latency_max_ns, 500);
+        assert_eq!(metrics.loop_latency_last_ns(), 200);
+        assert_eq!(metrics.loop_latency_max_ns(), 500);
+    }
+
+    #[test]
+    fn latency_percentiles_render_alongside_the_aliases() {
+        let mut metrics = DaemonMetrics::new(1);
+        for ns in 1..=1000u64 {
+            metrics.observe_latency(ns);
+        }
+        let text = metrics.render();
+        // The pre-histogram field names survive as aliases…
+        assert!(text.contains("loop_latency_last_ns=1000u"), "{text}");
+        assert!(text.contains("loop_latency_max_ns=1000u"), "{text}");
+        // …and the histogram adds the percentiles (log-linear, ≤ 6.25 %
+        // error on a uniform 1..=1000 ramp).
+        for (key, expect) in [
+            ("loop_latency_p50_ns", 500.0),
+            ("loop_latency_p95_ns", 950.0),
+            ("loop_latency_p99_ns", 990.0),
+        ] {
+            let value: f64 = text
+                .split(&format!("{key}="))
+                .nth(1)
+                .and_then(|rest| rest.split('u').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{key} missing: {text}"));
+            assert!((value - expect).abs() / expect <= 0.0625, "{key}={value}, expected ~{expect}");
+        }
+    }
+
+    #[test]
+    fn zone_labels_render_as_escaped_name_tags() {
+        // Regression: labels with spaces/commas used to corrupt the row
+        // (influx splits tags on unescaped spaces and commas).
+        let mut metrics = DaemonMetrics::new(2);
+        metrics.zones[0].label = "front wall".to_string();
+        metrics.zones[1].label = "cold aisle, rear".to_string();
+        metrics.zones[1].commanded_rpm = 4200.0;
+        let text = metrics.render();
+        assert!(
+            text.contains("gfsc_daemon_wall,zone=0,name=front\\ wall commanded_rpm="),
+            "space not escaped: {text}"
+        );
+        assert!(
+            text.contains("gfsc_daemon_wall,zone=1,name=cold\\ aisle\\,\\ rear commanded_rpm=4200"),
+            "comma not escaped: {text}"
+        );
+        // Each wall stays a single line-protocol row.
+        assert_eq!(text.lines().count(), 3);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use gfsc_coord::{RackControl, RackControlConfig};
 use gfsc_daemon::{
     Daemon, DaemonConfig, DaemonEvent, DaemonRunOutcome, FallbackReason, FaultPlan, SimTelemetry,
 };
+use gfsc_obs::{explain, EventKind, Recorder};
 use gfsc_rack::{RackSpec, RackTopology};
 use gfsc_sim::FaultSchedule;
 use gfsc_units::Seconds;
@@ -41,6 +42,9 @@ fn run_scenario(name: &str, faults: FaultPlan, cfg_tune: impl FnOnce(&mut Daemon
     let mut cfg = DaemonConfig::new(RackControlConfig::new(RackControl::Coordinated {
         adaptive_reference: true,
     }));
+    // Every drill flies with the recorder armed: the `.events` artifact
+    // is what `gfsc-explain` turns into a causal timeline in CI.
+    cfg.control.recorder = Recorder::armed(4096);
     cfg.stale_after = Seconds::new(5.0);
     cfg_tune(&mut cfg);
     let backend =
@@ -121,7 +125,8 @@ impl Drill {
 }
 
 /// Appends the scenario's event log + metric snapshot under
-/// `target/daemon-hil/` for CI artifact upload.
+/// `target/daemon-hil/` for CI artifact upload, plus the flight
+/// recorder snapshot as `<name>.events` (the `gfsc-explain` input).
 fn write_log(name: &str, outcome: &DaemonRunOutcome, max_junction_c: f64) {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/daemon-hil");
     if std::fs::create_dir_all(dir).is_err() {
@@ -138,6 +143,9 @@ fn write_log(name: &str, outcome: &DaemonRunOutcome, max_junction_c: f64) {
         let _ = writeln!(file, "{event:?}");
     }
     let _ = write!(file, "{}", outcome.metrics.render());
+    if let Some(flight) = &outcome.flight {
+        let _ = std::fs::write(format!("{dir}/{name}.events"), flight.to_text());
+    }
 }
 
 #[test]
@@ -154,6 +162,30 @@ fn frozen_sensor_trips_freeze_budget_then_recovers() {
     // after the fault clears at 300 s.
     drill.assert_round_trip(FallbackReason::SensorLoss, 120.0, 170.0, 300.0, 315.0);
     assert_eq!(drill.outcome.metrics.controller_panics, 0);
+
+    // The fallback round-trip is on the flight recorder's event stream
+    // too, with the reason encoded — the causal chain `gfsc-explain`
+    // renders from the uploaded `.events` artifact.
+    let flight = drill.outcome.flight.as_ref().expect("recorder was armed");
+    let entered: Vec<_> =
+        flight.events.iter().filter(|e| e.kind == EventKind::FallbackEntered).collect();
+    let exited: Vec<_> =
+        flight.events.iter().filter(|e| e.kind == EventKind::FallbackExited).collect();
+    assert_eq!(entered.len(), 1, "one recorded fallback entry: {entered:?}");
+    assert_eq!(exited.len(), 1, "one recorded fallback exit: {exited:?}");
+    assert_eq!(entered[0].value, 0.0, "sensor-loss reason code");
+    // The bank is suspended while firmware holds the rack, so the exit
+    // lands on the same (or a later) epoch stamp — never an earlier one.
+    assert!(entered[0].epoch <= exited[0].epoch, "entry precedes exit");
+    let timeline = explain::render_timeline(flight);
+    assert!(
+        timeline.contains("watchdog entered firmware fallback (sensor-loss)"),
+        "timeline misses the fallback-entry chain:\n{timeline}"
+    );
+    assert!(
+        timeline.contains("closed loop re-engaged (after sensor-loss)"),
+        "timeline misses the recovery:\n{timeline}"
+    );
 }
 
 #[test]

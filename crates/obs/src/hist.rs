@@ -1,0 +1,182 @@
+//! Log-linear latency histogram.
+//!
+//! HDR-style bucketing: values below 16 get exact unit buckets; every
+//! octave above that is split into 16 linear sub-buckets, so any
+//! recorded value lands in a bucket whose width is at most 1/16 of its
+//! magnitude (≤ 6.25 % relative quantile error). That is tight enough
+//! for loop-latency percentiles while keeping the whole histogram under
+//! 8 KiB and `record` branch-free apart from the sub-16 split.
+
+/// Linear sub-buckets per octave (power of two).
+const SUB: u64 = 16;
+/// log2(SUB).
+const SUB_BITS: u32 = 4;
+/// Buckets: 16 exact unit buckets + 16 per octave for octaves 4..=63.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A fixed-size log-linear histogram of `u64` samples (nanoseconds, in
+/// practice), tracking last/max/total alongside the buckets so it can
+/// stand in for a bare last/max pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    last: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, last: 0, max: 0 }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let octave = (msb - SUB_BITS) as usize;
+        let sub = ((value >> (msb - SUB_BITS)) - SUB) as usize;
+        SUB as usize + octave * SUB as usize + sub
+    }
+
+    /// Upper bound of the bucket at `index` — the value quantiles
+    /// report.
+    fn bucket_upper(index: usize) -> u64 {
+        if index < SUB as usize {
+            return index as u64;
+        }
+        let octave = (index - SUB as usize) / SUB as usize;
+        let sub = ((index - SUB as usize) % SUB as usize) as u64;
+        let upper = (u128::from(SUB + sub + 1) << octave) - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
+    }
+
+    /// Records one sample. Never allocates.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.last = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The most recent sample (exact).
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// The largest sample (exact).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), as the upper bound of the
+    /// bucket holding the rank — within 6.25 % of the true value, and
+    /// never above [`max`](Self::max). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = LogHistogram::new();
+        for v in 0..16 {
+            hist.record(v);
+        }
+        assert_eq!(hist.quantile(0.0), 0);
+        assert_eq!(hist.quantile(1.0), 15);
+        assert_eq!(hist.count(), 16);
+    }
+
+    #[test]
+    fn quantiles_are_within_log_linear_error() {
+        let mut hist = LogHistogram::new();
+        // 1..=10_000 uniformly: p50 ≈ 5000, p95 ≈ 9500, p99 ≈ 9900.
+        for v in 1..=10_000u64 {
+            hist.record(v);
+        }
+        for (q, expect) in [(0.5, 5000.0), (0.95, 9500.0), (0.99, 9900.0)] {
+            let got = hist.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err <= 0.0625, "q{q}: got {got}, expected ~{expect} (err {err:.3})");
+        }
+    }
+
+    #[test]
+    fn tracks_last_and_max_exactly() {
+        let mut hist = LogHistogram::new();
+        hist.record(500);
+        hist.record(200);
+        assert_eq!(hist.last(), 200);
+        assert_eq!(hist.max(), 500);
+        assert!(hist.quantile(1.0) <= 500, "quantile never exceeds the true max");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.quantile(0.5), 0);
+        assert_eq!(hist.max(), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut hist = LogHistogram::new();
+        hist.record(u64::MAX);
+        hist.record(u64::MAX - 1);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_across_boundaries() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1_000_000, 1 << 40] {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            assert!(LogHistogram::bucket_upper(idx) >= v, "upper bound below value at {v}");
+            prev = idx;
+        }
+    }
+}

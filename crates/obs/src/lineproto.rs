@@ -1,0 +1,45 @@
+//! Influx line-protocol escaping.
+//!
+//! Measurement names must escape commas and spaces; tag keys and values
+//! must additionally escape `=`. The daemon's metric export previously
+//! rendered names raw, so a zone label like `front wall` split the row
+//! at the space — these helpers are the single place the rule lives.
+
+use std::borrow::Cow;
+
+/// Escapes `s` for use as a measurement name, tag key, or tag value:
+/// backslash-escapes commas, spaces, and equals signs. Borrow-through
+/// when nothing needs escaping (the common case in the hot path).
+#[must_use]
+pub fn escape_name(s: &str) -> Cow<'_, str> {
+    if !s.contains([',', ' ', '=']) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        if matches!(c, ',' | ' ' | '=') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_names_borrow_through() {
+        assert!(matches!(escape_name("gfsc_daemon_wall"), Cow::Borrowed(_)));
+        assert_eq!(escape_name("zone-0"), "zone-0");
+    }
+
+    #[test]
+    fn spaces_commas_and_equals_are_escaped() {
+        assert_eq!(escape_name("front wall"), "front\\ wall");
+        assert_eq!(escape_name("a,b"), "a\\,b");
+        assert_eq!(escape_name("k=v"), "k\\=v");
+        assert_eq!(escape_name("cold aisle, rear=2"), "cold\\ aisle\\,\\ rear\\=2");
+    }
+}

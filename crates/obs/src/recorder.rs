@@ -1,0 +1,392 @@
+//! The fixed-capacity flight recorder and its no-op-capable handle.
+//!
+//! [`FlightRecorder`] is a ring of [`Event`]s sized once at
+//! construction: pushing past capacity evicts the oldest event and
+//! increments `dropped_events`, so a saturated recorder degrades to a
+//! *recent-history* window with an exact account of what it lost.
+//! [`Recorder`] wraps it in an `Option` so disarmed recording is a
+//! single branch — cheap enough to leave in every epoch hot loop.
+
+use crate::event::{Event, EventKind, Source};
+
+/// A fixed-capacity event ring with drop accounting and per-kind
+/// counters.
+///
+/// The backing `Vec` is filled to capacity at construction and never
+/// resized, so `Clone` preserves the allocation-free contract: a cloned
+/// recorder's buffer has exactly the original capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    /// Ring storage; `len() == capacity` always.
+    buf: Vec<Event>,
+    /// Next write slot.
+    head: usize,
+    /// Live events (≤ capacity).
+    len: usize,
+    /// Total events ever pushed.
+    recorded: u64,
+    /// Events evicted to make room (oldest-first).
+    dropped: u64,
+    /// Pushes per kind, indexed by `EventKind as usize`.
+    counts: [u64; EventKind::COUNT],
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity — a ring that can hold nothing would
+    /// silently drop every event.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        Self {
+            buf: vec![Event::default(); capacity],
+            head: 0,
+            len: 0,
+            recorded: 0,
+            dropped: 0,
+            counts: [0; EventKind::COUNT],
+        }
+    }
+
+    /// Pushes one event, evicting the oldest when full. Never
+    /// allocates.
+    pub fn push(&mut self, event: Event) {
+        if self.len == self.buf.len() {
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.head] = event;
+        self.head = (self.head + 1) % self.buf.len();
+        self.recorded += 1;
+        self.counts[event.kind as usize] += 1;
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded yet (or all evicted — which
+    /// cannot happen, eviction only makes room for a newer event).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events ever pushed, including evicted ones.
+    #[must_use]
+    pub fn recorded_events(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Lifetime pushes of `kind` (survives eviction).
+    #[must_use]
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Events oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> + '_ {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| &self.buf[(start + i) % cap])
+    }
+
+    /// Copies the live window out into an owned snapshot (allocates —
+    /// call from reporting paths, not the epoch loop).
+    #[must_use]
+    pub fn snapshot(&self) -> FlightSnapshot {
+        FlightSnapshot {
+            capacity: self.buf.len(),
+            recorded: self.recorded,
+            dropped: self.dropped,
+            events: self.iter().copied().collect(),
+        }
+    }
+
+    /// Appends the recorder's counters as influx line protocol: one
+    /// `gfsc_recorder` summary line plus one `gfsc_recorder_kind` line
+    /// per kind that has fired.
+    pub fn render_counters(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "gfsc_recorder capacity={}u,recorded={}u,dropped={}u",
+            self.buf.len(),
+            self.recorded,
+            self.dropped,
+        );
+        for kind in EventKind::ALL {
+            let count = self.counts[kind as usize];
+            if count > 0 {
+                let _ = writeln!(out, "gfsc_recorder_kind,kind={} count={count}u", kind.label());
+            }
+        }
+    }
+}
+
+/// The arming handle the hot loops hold: records into a
+/// [`FlightRecorder`] when armed, is a single branch when not.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    inner: Option<FlightRecorder>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default).
+    #[must_use]
+    pub fn disarmed() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recorder backed by a ring of `capacity` events.
+    #[must_use]
+    pub fn armed(capacity: usize) -> Self {
+        Self { inner: Some(FlightRecorder::new(capacity)) }
+    }
+
+    /// Whether events are being kept.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event; a no-op when disarmed. Never allocates.
+    #[inline]
+    pub fn record(&mut self, epoch: u32, source: Source, kind: EventKind, value: f64) {
+        if let Some(flight) = &mut self.inner {
+            flight.push(Event { epoch, source, kind, value });
+        }
+    }
+
+    /// The underlying ring, when armed.
+    #[must_use]
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.inner.as_ref()
+    }
+
+    /// Snapshots the ring, when armed (allocates).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<FlightSnapshot> {
+        self.inner.as_ref().map(FlightRecorder::snapshot)
+    }
+}
+
+/// An owned copy of a recorder's live window plus its loss accounting —
+/// what reports render and what fault drills persist to disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSnapshot {
+    /// Ring capacity at recording time.
+    pub capacity: usize,
+    /// Total events ever pushed.
+    pub recorded: u64,
+    /// Events evicted before the snapshot.
+    pub dropped: u64,
+    /// Surviving events, oldest → newest.
+    pub events: Vec<Event>,
+}
+
+impl FlightSnapshot {
+    /// Serialises to the `.events` text format: one header line, then
+    /// one `<epoch> <source> <kind> <value>` line per event. `f64`
+    /// `Display` prints the shortest round-trippable form, so
+    /// [`from_text`](Self::from_text) recovers payloads exactly.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "gfsc-obs-events v1 capacity={} recorded={} dropped={}",
+            self.capacity, self.recorded, self.dropped
+        );
+        for e in &self.events {
+            let _ = writeln!(out, "{} {} {} {}", e.epoch, e.source, e.kind.label(), e.value);
+        }
+        out
+    }
+
+    /// Parses [`to_text`](Self::to_text) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty events file")?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("gfsc-obs-events") || fields.next() != Some("v1") {
+            return Err(format!("bad header: {header}"));
+        }
+        let mut capacity = 0usize;
+        let mut recorded = 0u64;
+        let mut dropped = 0u64;
+        for field in fields {
+            let (key, value) =
+                field.split_once('=').ok_or_else(|| format!("bad header field: {field}"))?;
+            match key {
+                "capacity" => {
+                    capacity = value.parse().map_err(|_| format!("bad capacity: {value}"))?
+                }
+                "recorded" => {
+                    recorded = value.parse().map_err(|_| format!("bad recorded: {value}"))?
+                }
+                "dropped" => {
+                    dropped = value.parse().map_err(|_| format!("bad dropped: {value}"))?
+                }
+                _ => return Err(format!("unknown header field: {key}")),
+            }
+        }
+        let mut events = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(epoch), Some(source), Some(kind), Some(value), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("bad event line: {line}"));
+            };
+            events.push(Event {
+                epoch: epoch.parse().map_err(|_| format!("bad epoch: {epoch}"))?,
+                source: Source::parse(source)?,
+                kind: EventKind::from_label(kind)?,
+                value: value.parse().map_err(|_| format!("bad value: {value}"))?,
+            });
+        }
+        Ok(Self { capacity, recorded, dropped, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(epoch: u32, value: f64) -> Event {
+        Event::new(epoch, Source::Socket(1), EventKind::CapGrant, value)
+    }
+
+    #[test]
+    fn ring_keeps_insertion_order_below_capacity() {
+        let mut flight = FlightRecorder::new(8);
+        for i in 0..5 {
+            flight.push(ev(i, f64::from(i)));
+        }
+        let epochs: Vec<u32> = flight.iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(flight.len(), 5);
+        assert_eq!(flight.dropped_events(), 0);
+        assert_eq!(flight.recorded_events(), 5);
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_in_order_and_counts_drops_exactly() {
+        let mut flight = FlightRecorder::new(4);
+        for i in 0..11 {
+            flight.push(ev(i, f64::from(i)));
+        }
+        // 11 pushes through a 4-slot ring: the 7 oldest are gone.
+        let epochs: Vec<u32> = flight.iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![7, 8, 9, 10], "oldest evicted first, order kept");
+        assert_eq!(flight.len(), 4);
+        assert_eq!(flight.dropped_events(), 7);
+        assert_eq!(flight.recorded_events(), 11);
+        // Lifetime kind counters survive eviction.
+        assert_eq!(flight.count_of(EventKind::CapGrant), 11);
+        assert_eq!(flight.count_of(EventKind::SsBoost), 0);
+    }
+
+    #[test]
+    fn fill_to_exact_capacity_drops_nothing() {
+        let mut flight = FlightRecorder::new(3);
+        for i in 0..3 {
+            flight.push(ev(i, 0.0));
+        }
+        assert_eq!(flight.dropped_events(), 0);
+        assert_eq!(flight.len(), 3);
+        flight.push(ev(3, 0.0));
+        assert_eq!(flight.dropped_events(), 1);
+        assert_eq!(flight.iter().next().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn clone_preserves_capacity() {
+        let flight = FlightRecorder::new(16);
+        let clone = flight.clone();
+        assert_eq!(clone.capacity(), 16);
+        assert_eq!(clone.buf.len(), 16, "clone's backing buffer stays pre-sized");
+    }
+
+    #[test]
+    fn disarmed_recorder_drops_everything() {
+        let mut rec = Recorder::disarmed();
+        rec.record(1, Source::Rack, EventKind::FallbackEntered, 0.0);
+        assert!(!rec.is_armed());
+        assert!(rec.flight().is_none());
+        assert!(rec.snapshot().is_none());
+    }
+
+    #[test]
+    fn armed_recorder_snapshots_what_it_saw() {
+        let mut rec = Recorder::armed(8);
+        rec.record(4, Source::Zone(1), EventKind::SsBoost, 81.5);
+        rec.record(9, Source::Zone(1), EventKind::SsRelease, 74.0);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, EventKind::SsBoost);
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let mut flight = FlightRecorder::new(4);
+        flight.push(Event::new(12, Source::Socket(7), EventKind::SocketHot, 79.3));
+        flight.push(Event::new(12, Source::Socket(7), EventKind::CapProposal, 0.62));
+        flight.push(Event::new(13, Source::Rack, EventKind::BudgetExhausted, 2.0));
+        flight.push(Event::new(14, Source::Zone(0), EventKind::DescentTarget, 8437.251));
+        flight.push(Event::new(15, Source::Server(3), EventKind::MigrationShift, 83.125));
+        let snap = flight.snapshot();
+        let parsed = FlightSnapshot::from_text(&snap.to_text()).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.dropped, 1);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(FlightSnapshot::from_text("").is_err());
+        assert!(FlightSnapshot::from_text("not-a-header v1").is_err());
+        assert!(FlightSnapshot::from_text("gfsc-obs-events v1 capacity=4\nbogus line").is_err());
+        assert!(FlightSnapshot::from_text("gfsc-obs-events v1 capacity=4\n1 s0 no-such-kind 0")
+            .is_err());
+    }
+
+    #[test]
+    fn counters_render_as_line_protocol() {
+        let mut flight = FlightRecorder::new(4);
+        flight.push(ev(0, 0.5));
+        flight.push(ev(1, 0.4));
+        let mut out = String::new();
+        flight.render_counters(&mut out);
+        assert!(out.contains("gfsc_recorder capacity=4u,recorded=2u,dropped=0u"));
+        assert!(out.contains("gfsc_recorder_kind,kind=cap-grant count=2u"));
+        assert!(!out.contains("kind=ss-boost"), "silent kinds are elided: {out}");
+    }
+}

@@ -42,9 +42,26 @@ run_stage "build" cargo build --release --locked --offline
 # simulated rack on the 2U×4 preset with injected faults (frozen sensor,
 # dropped-reads burst, actuator NACK), asserting firmware fallback within
 # the watchdog deadline, bounded true junction temperatures, and clean
-# re-engagement. Scenario logs land in target/daemon-hil/.
+# re-engagement. Scenario logs + flight-recorder `.events` snapshots land
+# in target/daemon-hil/.
 run_hil_stage() {
     run_stage "daemon-hil" cargo test -q --locked --offline -p gfsc-daemon --test hil
+}
+
+# Renders every HIL scenario's flight recording into a causal timeline
+# (`<scenario>.timeline` next to the `.events` file) — the human-readable
+# artifact the nightly workflow uploads, and a smoke test that the
+# explain path handles real fault recordings, not just unit fixtures.
+run_explain_stage() {
+    explain_hil_events() {
+        local events
+        for events in target/daemon-hil/*.events; do
+            [ -e "$events" ] || { echo "no .events artifacts in target/daemon-hil" >&2; return 1; }
+            cargo run -q --release --locked --offline -p gfsc-bench --bin gfsc_explain -- \
+                "$events" --out "${events%.events}.timeline"
+        done
+    }
+    run_stage "explain-hil" explain_hil_events
 }
 
 if [ "${1:-}" = "quick" ]; then
@@ -59,6 +76,7 @@ else
     run_stage "test-threads-4" env GFSC_SWEEP_THREADS=4 cargo test -q --locked --offline
     run_stage "test-release" cargo test -q --release --locked --offline
     run_hil_stage
+    run_explain_stage
     # 10k-cell grid through shard manifests and spilled traces: the sweep
     # scale-out machinery at a size the default suite can't afford.
     run_stage "large-grid-smoke" cargo test -q --release --locked --offline \

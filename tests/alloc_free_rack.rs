@@ -40,6 +40,10 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn allocations_for(control: RackControl, horizon: Seconds) -> u64 {
+    allocations_recorded(control, horizon, None)
+}
+
+fn allocations_recorded(control: RackControl, horizon: Seconds, recorder: Option<usize>) -> u64 {
     // Spiking workload: the single-step bank must actually boost/release
     // (the release path runs the min-safe bisection), the E-coord and
     // global descents must hit emergencies, and the migrator must
@@ -55,12 +59,21 @@ fn allocations_for(control: RackControl, horizon: Seconds) -> u64 {
     } else {
         RackTopology::rack_1u_x8()
     };
-    let mut sim =
-        RackLoopSim::builder(RackSpec::new(rack)).workload(workload).control(control).build();
+    let mut builder = RackLoopSim::builder(RackSpec::new(rack)).workload(workload).control(control);
+    if let Some(capacity) = recorder {
+        builder = builder.flight_recorder(capacity);
+    }
+    let mut sim = builder.build();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let outcome = sim.run(horizon);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert!(outcome.total_epochs > 0);
+    if recorder.is_some() {
+        assert!(
+            outcome.flight.is_some_and(|f| f.recorded > 0),
+            "{control:?}: the armed probe must actually record"
+        );
+    }
     after - before
 }
 
@@ -86,6 +99,23 @@ fn rack_epoch_loop_does_not_allocate_per_epoch() {
         assert!(
             long <= short + 4,
             "{control:?}: allocation count grew with horizon: {short} allocs @600s vs {long} @2400s"
+        );
+    }
+
+    // The flight recorder must not change the contract on either side of
+    // the arming switch: disarmed it is a branch, armed it writes into
+    // the pre-allocated ring (the end-of-run snapshot is a constant
+    // number of allocations, horizon-independent). GlobalECoord has the
+    // densest event stream, so it bounds the other modes.
+    for recorder in [None, Some(65_536)] {
+        let control = RackControl::GlobalECoord;
+        let _ = allocations_recorded(control, Seconds::new(120.0), recorder);
+        let short = allocations_recorded(control, Seconds::new(600.0), recorder);
+        let long = allocations_recorded(control, Seconds::new(2400.0), recorder);
+        assert!(
+            long <= short + 4,
+            "{control:?} (recorder {recorder:?}): allocation count grew with horizon: \
+             {short} allocs @600s vs {long} @2400s"
         );
     }
 }
