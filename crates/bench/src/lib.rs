@@ -46,6 +46,7 @@
 //! the perf trajectory stays in-repo.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use gfsc_thermal::{RcNetwork, RcNetworkBuilder};
 use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Watts};

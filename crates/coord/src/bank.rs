@@ -354,27 +354,33 @@ impl RackControlBank {
         match self.control {
             RackControl::GlobalLockstep => {
                 // One capper on the aggregate, applied to every socket.
+                // A zero-socket rack has nothing to cap; `first` keeps the
+                // arm panic-free without inventing a default cap.
                 let aggregate = rack.measured_rack();
-                let cap = self.global_capper.propose(aggregate, self.caps[0]);
-                if cap != self.caps[0] {
-                    // The lockstep baseline has exactly one decision to
-                    // explain: the aggregate capper moving the rack cap.
-                    self.recorder.record(
-                        epoch,
-                        Source::Rack,
-                        EventKind::SocketHot,
-                        aggregate.value(),
-                    );
-                    self.recorder.record(epoch, Source::Rack, EventKind::CapGrant, cap.value());
+                if let Some(&prev) = self.caps.first() {
+                    let cap = self.global_capper.propose(aggregate, prev);
+                    if cap != prev {
+                        // The lockstep baseline has exactly one decision to
+                        // explain: the aggregate capper moving the rack cap.
+                        self.recorder.record(
+                            epoch,
+                            Source::Rack,
+                            EventKind::SocketHot,
+                            aggregate.value(),
+                        );
+                        self.recorder.record(epoch, Source::Rack, EventKind::CapGrant, cap.value());
+                    }
+                    self.caps.fill(cap);
                 }
-                self.caps.fill(cap);
                 if fan_due {
                     // The naive pairing: the rack-wide max measurement
                     // against the *fastest* wall's speed (not the hottest
                     // zone's — the two coincide only by luck).
                     let current = Self::fastest_zone_speed(rack);
-                    let cmd = self.fans[0].decide(aggregate, current);
-                    rack.set_all_fan_targets(cmd);
+                    if let Some(lockstep) = self.fans.first_mut() {
+                        let cmd = lockstep.decide(aggregate, current);
+                        rack.set_all_fan_targets(cmd);
+                    }
                 }
             }
             RackControl::Coordinated { adaptive_reference }
@@ -533,7 +539,14 @@ impl RackControlBank {
                 // executing.
                 let cpu_power = self.cpu_power;
                 let bounds = self.fan_bounds;
-                let descent = self.descent.as_mut().expect("built for GlobalECoord");
+                // `new` pairs the descent solver with GlobalECoord, so this
+                // arm always finds one; if that invariant ever breaks, hold
+                // the current caps and fans instead of panicking mid-epoch.
+                let Some(descent) = self.descent.as_mut() else {
+                    debug_assert!(false, "GlobalECoord bank built without a descent solver");
+                    self.demands = demands;
+                    return;
+                };
                 for i in 0..sockets {
                     self.rack_powers[i] = cpu_power.power(rack.executed()[i]);
                 }
@@ -629,11 +642,15 @@ impl RackControlBank {
             traces.record_by_id(fan_rpm, now, rack.zone_fan_speed(z).value());
             traces.record_by_id(t_hot, now, rack.plant().hottest_in_zone(z).value());
             traces.record_by_id(t_meas, now, rack.measured_zone(z).value());
-            let reference = match self.control {
-                RackControl::GlobalLockstep => self.fans[0].reference(),
-                _ => self.fans[z].reference(),
+            // Lockstep runs a single fan loop; every other mode runs one
+            // per zone. `get` covers both shapes without an index panic.
+            let loop_index = match self.control {
+                RackControl::GlobalLockstep => 0,
+                _ => z,
             };
-            traces.record_by_id(t_ref, now, reference.value());
+            if let Some(fan) = self.fans.get(loop_index) {
+                traces.record_by_id(t_ref, now, fan.reference().value());
+            }
         }
         for (i, &(cap, junction)) in channels.per_socket.iter().enumerate() {
             traces.record_by_id(cap, now, self.caps[i].value());

@@ -207,7 +207,7 @@ impl Coordinator for RuleBasedCoordinator {
         // sensor transport lag plus the spin-up time to the commanded
         // target (full range / slew as a conservative bound).
         let grace_epochs = (spec.sensor_lag.value()
-            + (spec.fan_bounds.hi() - spec.fan_bounds.lo()) / spec.fan_slew_per_s)
+            + (spec.fan_bounds.hi() - spec.fan_bounds.lo()) / spec.fan_slew.value())
             / spec.cpu_control_interval.value();
         let in_grace = self.epochs_since_raise.is_some_and(|age| f64::from(age) <= grace_epochs);
         if let Some(age) = &mut self.epochs_since_raise {

@@ -62,7 +62,7 @@ use gfsc_units::{Bounds, Celsius, Rpm, Utilization, Watts};
 pub struct RackEnergyDescent {
     policy: ZoneEnergyCoordinator,
     max_sweeps: usize,
-    tolerance_rpm: f64,
+    tolerance: Rpm,
     /// The fan-vector iterate, one entry per zone.
     targets: Vec<Rpm>,
     /// Zones excluded from the descent this epoch (emergency holds and
@@ -79,15 +79,15 @@ impl RackEnergyDescent {
     ///
     /// # Panics
     ///
-    /// Panics if `max_sweeps` is zero or `tolerance_rpm` is negative.
+    /// Panics if `max_sweeps` is zero or `tolerance` is negative.
     #[must_use]
-    pub fn new(policy: ZoneEnergyCoordinator, max_sweeps: usize, tolerance_rpm: f64) -> Self {
+    pub fn new(policy: ZoneEnergyCoordinator, max_sweeps: usize, tolerance: Rpm) -> Self {
         assert!(max_sweeps > 0, "the descent needs at least one sweep");
-        assert!(tolerance_rpm >= 0.0, "convergence tolerance must be non-negative");
+        assert!(tolerance.value() >= 0.0, "convergence tolerance must be non-negative");
         Self {
             policy,
             max_sweeps,
-            tolerance_rpm,
+            tolerance,
             targets: Vec::new(),
             frozen: Vec::new(),
             pinned: Vec::new(),
@@ -100,7 +100,7 @@ impl RackEnergyDescent {
     /// far below any actuator's quantization step.
     #[must_use]
     pub fn date14_rack() -> Self {
-        Self::new(ZoneEnergyCoordinator::date14_rack(), 6, 0.5)
+        Self::new(ZoneEnergyCoordinator::date14_rack(), 6, Rpm::new(0.5))
     }
 
     /// Sizes the scratch for `zones` fan walls (one-time; the epoch loop
@@ -227,7 +227,7 @@ impl RackEnergyDescent {
             }
             sweeps += 1;
             residual = moved;
-            if moved <= self.tolerance_rpm {
+            if moved <= self.tolerance.value() {
                 break;
             }
         }
@@ -369,6 +369,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one sweep")]
     fn zero_sweeps_rejected() {
-        let _ = RackEnergyDescent::new(ZoneEnergyCoordinator::date14_rack(), 0, 0.5);
+        let _ = RackEnergyDescent::new(ZoneEnergyCoordinator::date14_rack(), 0, Rpm::new(0.5));
     }
 }

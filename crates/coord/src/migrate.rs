@@ -151,7 +151,7 @@ impl WorkMigrator {
         let range = server.plant().server_sockets(s);
         let mut hottest = measured[range.start];
         for i in range {
-            hottest = hottest.max(measured[i]);
+            hottest = hottest.hotter(measured[i]);
         }
         hottest
     }
@@ -229,8 +229,11 @@ impl WorkMigrator {
                 if hotness < self.hot_threshold || server.server_load_weight(s) - self.step <= 0.0 {
                     continue;
                 }
-                if source.is_none_or(|best| hotness > Self::server_hotness(server, measured, best))
-                {
+                // Total order: a poisoned (NaN) hotness ranks above +∞,
+                // so a blind server is shed *from* first, never hidden.
+                if source.is_none_or(|best| {
+                    hotness.total_cmp(&Self::server_hotness(server, measured, best)).is_gt()
+                }) {
                     source = Some(s);
                 }
             }
@@ -254,8 +257,11 @@ impl WorkMigrator {
                 if hotness > ceiling {
                     continue;
                 }
-                if target.is_none_or(|best| hotness < Self::server_hotness(server, measured, best))
-                {
+                // Total order: NaN never wins a min-selection, so a
+                // blind server is never picked as the "coolest" absorber.
+                if target.is_none_or(|best| {
+                    hotness.total_cmp(&Self::server_hotness(server, measured, best)).is_lt()
+                }) {
                     target = Some(s);
                 }
             }

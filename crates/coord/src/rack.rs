@@ -37,7 +37,7 @@ use gfsc_control::GainSchedule;
 use gfsc_obs::{EventKind, FlightSnapshot, Recorder, Source};
 use gfsc_rack::{RackServer, RackSpec};
 use gfsc_sim::{Clock, Periodic, TraceSet};
-use gfsc_units::{Bounds, Celsius, Joules, Rpm, Seconds, Utilization};
+use gfsc_units::{total_max, total_min, Bounds, Celsius, Joules, Rpm, Seconds, Utilization};
 use gfsc_workload::Workload;
 
 /// A per-socket adjustable-gain integral cap controller (after Rao et
@@ -219,7 +219,10 @@ impl CappingCoordinator {
                 if self.granted[i] || proposed[i] >= caps[i] {
                     continue;
                 }
-                if pick.is_none_or(|p| measured[i] > measured[p]) {
+                // Total order, not PartialOrd: bit-identical for the
+                // (never-NaN) Celsius values, and the selection stays
+                // well-defined if the invariant is ever violated.
+                if pick.is_none_or(|p| measured[i].total_cmp(&measured[p]).is_gt()) {
                     pick = Some(i);
                 }
             }
@@ -240,6 +243,7 @@ impl CappingCoordinator {
                 // The emergency fast-track only honors the cut direction:
                 // granting a *raise* to a socket already at the limit
                 // would feed the excursion it is supposed to stop.
+                // gfsc-lint: allow(nan-maxmin) Utilization is NaN-free by construction (asserting constructor) and its min() folds with a total order internally
                 caps[i] = if self.emergency[i] { proposed[i].min(caps[i]) } else { proposed[i] };
                 if cut {
                     let kind = if self.emergency[i] {
@@ -294,12 +298,12 @@ impl ZoneReferences {
             for socket in slot.board.sockets() {
                 let derate = slot.airflow_derate * socket.airflow_derate;
                 let entry = &mut worst[slot.zone];
-                *entry = if entry.is_nan() { derate } else { entry.max(derate) };
+                *entry = if entry.is_nan() { derate } else { total_max(*entry, derate) };
             }
         }
         // The anchor is the best populated zone; NaN (slotless) entries
         // fall out of both the fold and the offsets.
-        let best = worst.iter().copied().filter(|w| !w.is_nan()).fold(f64::INFINITY, f64::min);
+        let best = worst.iter().copied().filter(|w| !w.is_nan()).fold(f64::INFINITY, total_min);
         let offsets = worst
             .iter()
             .map(|w| if w.is_nan() { 0.0 } else { -derate_shading * (w - best) })
@@ -606,6 +610,7 @@ impl RackLoopSimBuilder {
     /// Panics if the workload is missing or the spec is inconsistent.
     #[must_use]
     pub fn build(self) -> RackLoopSim {
+        // gfsc-lint: allow(panic) builder contract, pinned by the missing_workload_rejected should_panic test
         let workload = self.workload.expect("a workload is required");
         let mut server = RackServer::new(self.spec.clone());
         let zones = server.zone_count();

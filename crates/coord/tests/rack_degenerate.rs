@@ -136,7 +136,7 @@ fn global_descent_degenerate_rack_replays_the_per_zone_descent() {
             .energy_descent(gfsc_coord::RackEnergyDescent::new(
                 ZoneEnergyCoordinator::new(EnergyAwareCoordinator::date14()),
                 6,
-                0.5,
+                Rpm::new(0.5),
             ))
             .build();
         sim.run(horizon)

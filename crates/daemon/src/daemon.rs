@@ -406,7 +406,10 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
                     }
                     return;
                 }
-                let demand = demand.expect("read_err covered the Err case");
+                // `read_err` returned above for the Err case; if that
+                // coupling ever breaks, holding the actuation (the same
+                // response as a read failure) beats panicking the loop.
+                let Ok(demand) = demand else { return };
 
                 // --- decide (panic-guarded like the polls). -----------
                 let bank = &mut self.bank;

@@ -67,7 +67,7 @@ pub fn parse_sensors_temperatures(text: &str) -> Vec<IpmiReading> {
         let token = rest[..degree_at].trim().trim_start_matches('+');
         readings.push(IpmiReading {
             name: label.to_owned(),
-            value: parse_float_token(token).map(Celsius::new),
+            value: parse_float_token(token).and_then(Celsius::try_new),
         });
     }
     readings
@@ -86,7 +86,9 @@ fn parse_reading(field: &str) -> Option<Celsius> {
         return None;
     }
     let token = field.split_whitespace().next()?;
-    parse_float_token(token).map(Celsius::new)
+    // `try_new` (not `new`): the wire is untrusted, and a NaN that slipped
+    // past the token filter must become a missing reading, not a panic.
+    parse_float_token(token).and_then(Celsius::try_new)
 }
 
 /// Parses one numeric token, tolerating a locale decimal comma.

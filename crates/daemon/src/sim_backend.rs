@@ -14,6 +14,10 @@
 //!   `gfsc_sensors::SensorHealth` freeze detection exists for),
 //! - **dropped reads** — temperature polls fail wholesale for the
 //!   window (bus burst loss),
+//! - **NaN sensor** — one socket's wire value goes NaN for the window;
+//!   [`gfsc_units::Celsius::try_new`] maps the poison to a *missing*
+//!   reading at the boundary, so it drains the same staleness budget a
+//!   dead sensor would instead of flowing into the selection loops,
 //! - **actuation NACK** — fan/cap/migration writes are rejected for
 //!   the window,
 //! - **poll panic** — one poisoned poll panics once (the daemon's
@@ -31,6 +35,9 @@ pub struct FaultPlan {
     /// Latch this socket's sensor at its window-entry value while any
     /// window is active.
     pub frozen_sensor: Option<(usize, FaultSchedule)>,
+    /// Deliver NaN from this socket's sensor while any window is
+    /// active (arrives as a missing reading; see the module docs).
+    pub nan_sensor: Option<(usize, FaultSchedule)>,
     /// Fail every temperature poll while active.
     pub dropped_reads: FaultSchedule,
     /// Reject every actuation write while active.
@@ -150,6 +157,7 @@ impl TelemetrySource for SimTelemetry {
         if let Some(at) = self.faults.panic_poll_at {
             if !self.panicked && now.value() >= at.value() {
                 self.panicked = true;
+                // gfsc-lint: allow(panic) deliberate fault injection: the daemon's watchdog drills depend on this panic firing
                 panic!("injected sensor-poll panic at t={} s", now.value());
             }
         }
@@ -168,6 +176,15 @@ impl TelemetrySource for SimTelemetry {
                 out[*socket] = Some(Celsius::new(held));
             } else {
                 self.frozen_latch = None;
+            }
+        }
+        if let Some((socket, schedule)) = &self.faults.nan_sensor {
+            if schedule.is_active(now) {
+                // The poisoned wire value. `try_new` is the NaN boundary
+                // guard: the reading arrives *missing*, the daemon's
+                // staleness budget decides, and nothing downstream ever
+                // holds a NaN temperature.
+                out[*socket] = Celsius::try_new(f64::NAN);
             }
         }
         Ok(())

@@ -70,8 +70,9 @@ impl DaemonRackView {
     #[must_use]
     pub fn new(spec: RackSpec, start_utilization: Utilization, start_fan: Rpm) -> Self {
         spec.validate();
-        let mut model =
-            RackPlant::new(&spec.calibration(), &spec.rack).expect("stock rack topologies compile");
+        let mut model = RackPlant::new(&spec.calibration(), &spec.rack)
+            // gfsc-lint: allow(panic) construction-time only (spec.validate() just ran); documented in this fn's `# Panics` section
+            .expect("stock rack topologies compile");
         let server = &spec.server;
         let zones = model.zone_count();
         let sockets = model.socket_count();
@@ -225,9 +226,14 @@ impl RackView for DaemonRackView {
     }
 
     fn measured_rack(&self) -> Celsius {
-        let mut hottest = self.measured_zone[0];
-        for &m in &self.measured_zone[1..] {
-            hottest = hottest.max(m);
+        let Some((&first, rest)) = self.measured_zone.split_first() else {
+            // A zoneless rack cannot be built (the spec validates), but
+            // reading ambient beats indexing into an empty mirror.
+            return self.spec.server.ambient;
+        };
+        let mut hottest = first;
+        for &m in rest {
+            hottest = hottest.hotter(m);
         }
         hottest
     }

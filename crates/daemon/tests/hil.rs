@@ -202,6 +202,22 @@ fn dropped_reads_burst_exhausts_retries_then_recovers() {
 }
 
 #[test]
+fn nan_poisoned_sensor_goes_stale_then_recovers() {
+    let faults = FaultPlan {
+        nan_sensor: Some((2, FaultSchedule::once(Seconds::new(120.0), Seconds::new(200.0)))),
+        ..FaultPlan::none()
+    };
+    let drill = run_scenario("nan-sensor", faults, |_| {});
+    // The NaN never reaches a controller: `Celsius::try_new` turns the
+    // poisoned wire value into a *missing* reading at the telemetry
+    // boundary, so socket 2 simply stops reading and the 5 s staleness
+    // budget trips sensor-loss — the same path a dead sensor takes.
+    drill.assert_round_trip(FallbackReason::SensorLoss, 120.0, 127.0, 200.0, 215.0);
+    // Poisoned data must degrade, never crash.
+    assert_eq!(drill.outcome.metrics.controller_panics, 0);
+}
+
+#[test]
 fn actuator_nack_exhausts_retries_then_recovers() {
     let faults = FaultPlan {
         actuation_nack: FaultSchedule::once(Seconds::new(120.0), Seconds::new(200.0)),

@@ -1,0 +1,150 @@
+//! Finding and report types, plus the text / JSON emitters.
+
+use std::fmt::Write as _;
+
+/// How a rule's findings are treated by the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// Fails the run unless waived.
+    Error,
+    /// Printed (and counted in `--json`) but never fails the run.
+    Warn,
+    /// Rule disabled.
+    #[default]
+    Off,
+}
+
+impl Severity {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Off => "off",
+        }
+    }
+}
+
+/// One lint finding, before or after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule slug (`panic`, `nan-cmp`, …).
+    pub rule: String,
+    /// Human-readable message.
+    pub message: String,
+    /// The rule's configured severity.
+    pub severity: Severity,
+    /// True when an in-scope waiver comment covers this finding.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub waiver_reason: Option<String>,
+}
+
+impl Finding {
+    /// The canonical one-line rendering: `file:line: rule: message`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message);
+        if self.waived {
+            let reason = self.waiver_reason.as_deref().unwrap_or("");
+            let _ = write!(out, " [waived: {reason}]");
+        }
+        out
+    }
+}
+
+/// The result of a whole-workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, waived or not, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Total waiver comments seen in scoped files (the budgeted count).
+    pub waiver_count: usize,
+    /// The configured waiver budget.
+    pub waiver_budget: usize,
+    /// Files that matched at least one rule scope and were lexed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Non-waived error findings — the count that gates CI.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Error && !f.waived).count()
+    }
+
+    /// Non-waived warn findings.
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn && !f.waived).count()
+    }
+
+    /// True when the gate should pass.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.waiver_count <= self.waiver_budget
+    }
+
+    /// Machine-readable JSON (hand-rolled — no serde in the offline
+    /// container). Schema: `{"files_scanned":N,"waivers":N,
+    /// "waiver_budget":N,"errors":N,"warnings":N,"findings":[…]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"files_scanned\":{},\"waivers\":{},\"waiver_budget\":{},\"errors\":{},\"warnings\":{},\"findings\":[",
+            self.files_scanned,
+            self.waiver_count,
+            self.waiver_budget,
+            self.error_count(),
+            self.warn_count(),
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"waived\":{}",
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.rule),
+                f.severity.label(),
+                json_escape(&f.message),
+                f.waived,
+            );
+            if let Some(reason) = &f.waiver_reason {
+                let _ = write!(out, ",\"waiver_reason\":\"{}\"", json_escape(reason));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+#[must_use]
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,393 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The workspace builds in an offline container, so a real parser
+//! (`syn`) cannot be vendored; the rules in this crate only need a
+//! faithful *token stream* — identifiers, punctuation, literals — with
+//! comments and string bodies correctly skipped so that `unwrap` inside
+//! a doc comment or a log message never counts as a call site.
+//!
+//! The tricky cases the lexer handles (and the fixture corpus pins):
+//!
+//! - line comments (`//`) and **nested** block comments (`/* /* */ */`);
+//! - string literals with escapes, byte strings, and raw strings with
+//!   an arbitrary number of hashes (`r##"…"##`, `br#"…"#`);
+//! - char literals vs lifetimes (`'a'` is a token, `'static` is not a
+//!   truncated char);
+//! - macro bodies, which are lexed like any other token soup (a
+//!   token-level pass deliberately sees through `macro_rules!`).
+//!
+//! Waiver comments (`// gfsc-lint: allow(<rule>) <reason>`) are
+//! extracted during the same pass, since comments are otherwise
+//! discarded.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `Vec`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — the leading quote is kept.
+    Lifetime,
+    /// A character literal, escapes included (`'x'`, `'\n'`).
+    CharLit,
+    /// A string literal of any flavour (plain, raw, byte); the token
+    /// text is the raw source slice, quotes and hashes included.
+    StrLit,
+    /// A numeric literal (`42`, `0x1f`, `1.5e-3`, `8_192u32`).
+    NumLit,
+    /// A single punctuation character (`.`, `!`, `[`, `::` is two).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Which class of token this is.
+    pub kind: TokenKind,
+    /// The source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `ident`.
+    #[must_use]
+    pub fn is_ident(&self, ident: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == ident
+    }
+
+    /// True when the token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// True for an *integer* literal (no `.`, no exponent) — the shape
+    /// the slice-index rule cares about.
+    #[must_use]
+    pub fn is_int_lit(&self) -> bool {
+        if self.kind != TokenKind::NumLit || self.text.contains('.') {
+            return false;
+        }
+        // A radix-prefixed literal legitimately contains `e`/`E` as hex
+        // digits (`0xFE`); only a decimal literal's `e` marks an
+        // exponent and makes it a float.
+        let radix = ["0x", "0b", "0o"].iter().any(|p| self.text.starts_with(p));
+        radix || !(self.text.contains('e') || self.text.contains('E'))
+    }
+}
+
+/// A `// gfsc-lint: allow(<rule>) <reason>` waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: u32,
+    /// The rule slug inside `allow(…)`.
+    pub rule: String,
+    /// Everything after the closing paren, trimmed. A waiver with an
+    /// empty reason is itself a lint violation.
+    pub reason: String,
+}
+
+/// The output of [`lex`]: the token stream plus extracted waivers.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All waiver comments found, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// The marker that introduces a waiver inside a line comment.
+pub const WAIVER_MARKER: &str = "gfsc-lint: allow(";
+
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    // Doc comments (`///`, `//!`) never carry waivers — prose that
+    // *mentions* the marker (like this crate's own docs) must not
+    // count. A real waiver is a plain `//` comment that starts with
+    // the marker.
+    let body = comment.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    if !body.trim_start().starts_with("gfsc-lint:") {
+        return None;
+    }
+    let at = comment.find(WAIVER_MARKER)?;
+    let rest = &comment[at + WAIVER_MARKER.len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim().to_string();
+    Some(Waiver { line, rule, reason })
+}
+
+/// Lexes `source` into tokens + waivers. Never fails: malformed input
+/// (unterminated strings or comments) is lexed best-effort to EOF —
+/// the compiler, not the linter, owns rejecting invalid Rust.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Helper closures capture nothing mutable; work on indices instead.
+    let is_ident_start = |b: u8| b == b'_' || b.is_ascii_alphabetic();
+    let is_ident_cont = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: scan to EOL, check for a waiver.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                if let Some(text) = source.get(start..i) {
+                    if let Some(w) = parse_waiver(text, line) {
+                        out.waivers.push(w);
+                    }
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, nesting tracked.
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                let (end, newlines) = scan_raw_string(bytes, i);
+                push_slice(&mut out.tokens, source, i, end, TokenKind::StrLit, line);
+                line += newlines;
+                i = end;
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+                let (end, newlines) = scan_string(bytes, i + 1);
+                push_slice(&mut out.tokens, source, i, end, TokenKind::StrLit, line);
+                line += newlines;
+                i = end;
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                let end = scan_char(bytes, i + 1);
+                push_slice(&mut out.tokens, source, i, end, TokenKind::CharLit, line);
+                i = end;
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                push_slice(&mut out.tokens, source, i, end, TokenKind::StrLit, line);
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\…'` is always a char.
+                // `'x'` (ident-ish char then a closing quote) is a char;
+                // `'static`, `'a` followed by anything else is a
+                // lifetime with no closing quote.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let end = scan_char(bytes, i);
+                    push_slice(&mut out.tokens, source, i, end, TokenKind::CharLit, line);
+                    i = end;
+                } else if i + 1 < bytes.len() && is_ident_start(bytes[i + 1]) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'\'' {
+                        // 'x' / 'é' (multibyte handled by scan_char).
+                        let end = scan_char(bytes, i);
+                        push_slice(&mut out.tokens, source, i, end, TokenKind::CharLit, line);
+                        i = end;
+                    } else {
+                        push_slice(&mut out.tokens, source, i, j, TokenKind::Lifetime, line);
+                        i = j;
+                    }
+                } else {
+                    // Punctuation char literal: '(' , ' ' , or multibyte.
+                    let end = scan_char(bytes, i);
+                    push_slice(&mut out.tokens, source, i, end, TokenKind::CharLit, line);
+                    i = end;
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                push_slice(&mut out.tokens, source, start, i, TokenKind::Ident, line);
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Greedy numeric scan: digits, radix prefixes, `_`,
+                // type suffixes, exponents, and a fractional part —
+                // but `1..2` must not swallow the range dots.
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if is_ident_cont(c) {
+                        // Covers hex digits, `_`, suffixes, `e`/`E`.
+                        i += 1;
+                    } else if c == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                        i += 1;
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e' | b'E'))
+                        && bytes[start..i].iter().any(|d| d.is_ascii_digit())
+                        && source.get(start..i).is_some_and(has_float_shape)
+                    {
+                        // Exponent sign inside `1.5e-3`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push_slice(&mut out.tokens, source, start, i, TokenKind::NumLit, line);
+            }
+            _ => {
+                // Single punctuation character (multibyte UTF-8 kept
+                // whole so `°` inside code — illegal anyway — does not
+                // shear the stream).
+                let ch_len = utf8_len(b);
+                let end = (i + ch_len).min(bytes.len());
+                push_slice(&mut out.tokens, source, i, end, TokenKind::Punct, line);
+                i = end;
+            }
+        }
+    }
+    out
+}
+
+/// True when the digits-so-far look like a float mantissa (so `e-`/`E-`
+/// is an exponent, not `0xE - 3` style arithmetic).
+fn has_float_shape(text: &str) -> bool {
+    !text.starts_with("0x") && !text.starts_with("0b") && !text.starts_with("0o")
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+fn push_slice(
+    tokens: &mut Vec<Token>,
+    source: &str,
+    start: usize,
+    end: usize,
+    kind: TokenKind,
+    line: u32,
+) {
+    if let Some(text) = source.get(start..end) {
+        tokens.push(Token { kind, text: text.to_string(), line });
+    }
+}
+
+/// Does `r"`, `r#"`, `br##"`… start at `i`?
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a raw string starting at `i`; returns (end index, newlines).
+fn scan_raw_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+        } else if bytes[j] == b'"' {
+            // Need `hashes` following `#` to close.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, newlines);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j, newlines)
+}
+
+/// Scans a plain (possibly byte) string whose opening `"` is at `i`.
+fn scan_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Scans a char literal whose opening `'` is at `i`.
+fn scan_char(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            b'\n' => return j, // malformed; don't run away
+            _ => j += 1,
+        }
+    }
+    j
+}

@@ -1,0 +1,300 @@
+//! gfsc-lint — offline, token-level static analysis for the gfsc
+//! workspace.
+//!
+//! The paper this workspace reproduces is about surviving non-ideal
+//! inputs; the runtime half of that story is the daemon watchdog and
+//! the counting-allocator tests, and this crate is the static half:
+//! domain rules (panic-freedom, allocation hygiene, NaN-safe ordering,
+//! unit hygiene, event-taxonomy coverage) enforced on every CI run
+//! *before* a poisoned reading gets the chance to fire one.
+//!
+//! Everything is hand-rolled — lexer ([`lexer`]), TOML-subset config
+//! ([`config`]), JSON emitter ([`findings`]) — because the build
+//! container is offline and neither `syn` nor `serde` can be vendored.
+//!
+//! Run it locally:
+//!
+//! ```text
+//! cargo run -p gfsc-lint                # text findings + summary
+//! cargo run -p gfsc-lint -- --json     # machine-readable report
+//! ```
+//!
+//! Waive a single finding with an inline comment carrying a reason:
+//!
+//! ```text
+//! // gfsc-lint: allow(panic) builder contract: workload is validated above
+//! ```
+//!
+//! The waiver applies to its own line and the next code line; waivers
+//! without a reason are themselves violations, and the total count is
+//! capped by `max_waivers` in `lint.toml` so it can only ratchet down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use config::Config;
+use findings::{Finding, Report, Severity};
+use lexer::{Lexed, Waiver};
+use rules::RuleCtx;
+use scan::FileModel;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names the workspace walk never descends into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// The per-file rules, in application order. `events` is cross-file
+/// and handled separately by [`run`].
+const FILE_RULES: [&str; 6] = ["header", "panic", "alloc", "nan-cmp", "nan-maxmin", "units"];
+
+/// Lints the workspace rooted at `root` under `config`.
+///
+/// # Errors
+///
+/// Only on I/O failures walking the tree; unreadable individual files
+/// are reported as findings, not errors, so one bad file cannot mask
+/// the rest of the report.
+pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report { waiver_budget: config.max_waivers, ..Report::default() };
+    // Lexed streams kept for the cross-file events rule.
+    let mut lexed_cache: BTreeMap<String, Lexed> = BTreeMap::new();
+
+    for rel in &files {
+        let applicable: Vec<&str> = FILE_RULES
+            .iter()
+            .copied()
+            .filter(|slug| {
+                let rcfg = config.rule(slug);
+                rcfg.severity != Severity::Off && rcfg.applies_to(rel)
+            })
+            .collect();
+        let events_cfg = config.rule("events");
+        let wanted_by_events = events_cfg.severity != Severity::Off
+            && (events_cfg.extra.get("enum_file").is_some_and(|f| f == rel)
+                || events_cfg.extra.get("match_file").is_some_and(|f| f == rel));
+        if applicable.is_empty() && !wanted_by_events {
+            continue;
+        }
+
+        let source = match fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                report.findings.push(Finding {
+                    file: rel.clone(),
+                    line: 1,
+                    rule: "io".to_string(),
+                    message: format!("unreadable: {e}"),
+                    severity: Severity::Error,
+                    waived: false,
+                    waiver_reason: None,
+                });
+                continue;
+            }
+        };
+        let lexed = lexer::lex(&source);
+        report.files_scanned += 1;
+
+        let model = FileModel::build(&lexed.tokens);
+        let ctx = RuleCtx { path: rel, tokens: &lexed.tokens, model: &model };
+        let mut raw: Vec<Finding> = Vec::new();
+        for slug in &applicable {
+            let rcfg = config.rule(slug);
+            match *slug {
+                "header" => rules::check_header(&ctx, &rcfg, &mut raw),
+                "panic" => rules::check_panic(&ctx, &rcfg, &mut raw),
+                "alloc" => rules::check_alloc(&ctx, &rcfg, &mut raw),
+                "nan-cmp" => rules::check_nan_cmp(&ctx, &rcfg, &mut raw),
+                "nan-maxmin" => rules::check_nan_maxmin(&ctx, &rcfg, &mut raw),
+                "units" => rules::check_units(&ctx, &rcfg, &mut raw),
+                _ => {}
+            }
+        }
+        apply_waivers(&lexed, &mut raw, &mut report, rel);
+        report.findings.append(&mut raw);
+        lexed_cache.insert(rel.clone(), lexed);
+    }
+
+    run_events_rule(root, config, &mut lexed_cache, &mut report);
+
+    if report.waiver_count > config.max_waivers {
+        report.findings.push(Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            rule: "waiver".to_string(),
+            message: format!(
+                "{} waivers in force exceed the budget of {} — fix findings or raise max_waivers deliberately",
+                report.waiver_count, config.max_waivers
+            ),
+            severity: Severity::Error,
+            waived: false,
+            waiver_reason: None,
+        });
+    }
+
+    report.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(report)
+}
+
+/// Convenience: load `lint.toml` from `root` and run.
+///
+/// # Errors
+///
+/// Config parse errors (as `InvalidData`) or walk I/O errors.
+pub fn run_from_root(root: &Path, config_path: &Path) -> io::Result<Report> {
+    let text = fs::read_to_string(config_path)?;
+    let config = Config::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    run(root, &config)
+}
+
+/// Marks findings covered by waivers, registers waiver-hygiene
+/// findings (missing reasons, unused waivers), and counts the budget.
+fn apply_waivers(lexed: &Lexed, raw: &mut [Finding], report: &mut Report, rel: &str) {
+    report.waiver_count += lexed.waivers.len();
+    for waiver in &lexed.waivers {
+        let lines = waiver_lines(lexed, waiver);
+        if waiver.reason.is_empty() {
+            report.findings.push(Finding {
+                file: rel.to_string(),
+                line: waiver.line,
+                rule: "waiver".to_string(),
+                message: format!(
+                    "waiver for `{}` has no reason — every waiver must say why",
+                    waiver.rule
+                ),
+                severity: Severity::Error,
+                waived: false,
+                waiver_reason: None,
+            });
+            continue;
+        }
+        let mut used = false;
+        for f in raw.iter_mut() {
+            if f.rule == waiver.rule && lines.contains(&f.line) && !f.waived {
+                f.waived = true;
+                f.waiver_reason = Some(waiver.reason.clone());
+                used = true;
+            }
+        }
+        if !used {
+            report.findings.push(Finding {
+                file: rel.to_string(),
+                line: waiver.line,
+                rule: "waiver".to_string(),
+                message: format!(
+                    "waiver for `{}` suppresses no finding — stale after a fix? remove it",
+                    waiver.rule
+                ),
+                severity: Severity::Warn,
+                waived: false,
+                waiver_reason: None,
+            });
+        }
+    }
+}
+
+/// The lines a waiver covers: its own line plus the next line that
+/// carries a code token (so a waiver can sit above the offending
+/// statement, with blank lines tolerated).
+fn waiver_lines(lexed: &Lexed, waiver: &Waiver) -> Vec<u32> {
+    let mut lines = vec![waiver.line];
+    if let Some(next) = lexed.tokens.iter().map(|t| t.line).find(|&l| l > waiver.line) {
+        lines.push(next);
+    }
+    lines
+}
+
+/// The cross-file R5 pass.
+fn run_events_rule(
+    root: &Path,
+    config: &Config,
+    lexed_cache: &mut BTreeMap<String, Lexed>,
+    report: &mut Report,
+) {
+    let rcfg = config.rule("events");
+    if rcfg.severity == Severity::Off {
+        return;
+    }
+    let Some(enum_file) = rcfg.extra.get("enum_file").cloned() else { return };
+    let Some(match_file) = rcfg.extra.get("match_file").cloned() else { return };
+    let default_name = "EventKind".to_string();
+    let enum_name = rcfg.extra.get("enum_name").unwrap_or(&default_name).clone();
+    for path in [&enum_file, &match_file] {
+        if !lexed_cache.contains_key(path) {
+            match fs::read_to_string(root.join(path)) {
+                Ok(source) => {
+                    lexed_cache.insert(path.clone(), lexer::lex(&source));
+                    report.files_scanned += 1;
+                }
+                Err(e) => {
+                    report.findings.push(Finding {
+                        file: path.clone(),
+                        line: 1,
+                        rule: "events".to_string(),
+                        message: format!("configured file is unreadable: {e}"),
+                        severity: Severity::Error,
+                        waived: false,
+                        waiver_reason: None,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+    let (Some(enum_lexed), Some(match_lexed)) =
+        (lexed_cache.get(&enum_file), lexed_cache.get(&match_file))
+    else {
+        return;
+    };
+    rules::check_events(
+        &enum_file,
+        &enum_lexed.tokens,
+        &match_file,
+        &match_lexed.tokens,
+        &enum_name,
+        &rcfg,
+        &mut report.findings,
+    );
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative_slash_path(root, &path) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators (stable across platforms
+/// for glob matching and report output).
+fn relative_slash_path(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let parts: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    Some(parts.join("/"))
+}

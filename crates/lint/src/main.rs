@@ -1,0 +1,108 @@
+//! The `gfsc-lint` binary: lint the workspace against `lint.toml`.
+//!
+//! ```text
+//! gfsc-lint [--root DIR] [--config FILE] [--json] [--out FILE] [--quiet]
+//! ```
+//!
+//! Text mode prints `file:line: rule: message` per finding plus a
+//! summary; `--json` prints the machine-readable report instead.
+//! `--out FILE` additionally writes the JSON report to a file (the CI
+//! artifact). Exit code 0 = clean, 1 = non-waived errors or a blown
+//! waiver budget, 2 = usage/config errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts =
+        Options { root: PathBuf::from("."), config: None, json: false, out: None, quiet: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                opts.config = Some(PathBuf::from(args.next().ok_or("--config needs a file")?));
+            }
+            "--json" => opts.json = true,
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a file")?));
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: gfsc-lint [--root DIR] [--config FILE] [--json] [--out FILE] [--quiet]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = opts.config.clone().unwrap_or_else(|| opts.root.join("lint.toml"));
+    let report = match gfsc_lint::run_from_root(&opts.root, &config_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gfsc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out_path) = &opts.out {
+        if let Some(parent) = out_path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(e) = fs::write(out_path, report.to_json()) {
+            eprintln!("gfsc-lint: cannot write {}: {e}", out_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            if f.waived && opts.quiet {
+                continue;
+            }
+            println!("{}", f.render());
+        }
+        println!(
+            "gfsc-lint: {} files, {} errors, {} warnings, {}/{} waivers",
+            report.files_scanned,
+            report.error_count(),
+            report.warn_count(),
+            report.waiver_count,
+            report.waiver_budget,
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,450 @@
+//! The rule implementations.
+//!
+//! | slug        | checks                                                        |
+//! |-------------|---------------------------------------------------------------|
+//! | `header`    | R0 — crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//! | `panic`     | R1 — no `unwrap`/`expect`/`panic!`-family/literal slice index in runtime code |
+//! | `alloc`     | R2 — no allocating constructs in epoch-loop functions          |
+//! | `nan-cmp`   | R3 — no `partial_cmp` / untotaled `sort_by`-family on runtime paths |
+//! | `nan-maxmin`| R3 — no NaN-dropping `.max(`/`.min(` folds in hot scan files   |
+//! | `units`     | R4 — no bare `f64` params named `*_c`/`*_temp`/`*_w`/`*_rpm`/`*_s` on pub fns |
+//! | `events`    | R5 — every `EventKind` variant has a render arm in `explain.rs` |
+//!
+//! Every rule walks the token stream (never raw text), so occurrences
+//! inside comments, strings, and `#[cfg(test)]` regions are exempt by
+//! construction.
+
+use crate::config::RuleConfig;
+use crate::findings::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::scan::FileModel;
+
+/// Context handed to each per-file rule.
+pub struct RuleCtx<'a> {
+    /// Repo-relative `/`-separated path.
+    pub path: &'a str,
+    /// The file's token stream.
+    pub tokens: &'a [Token],
+    /// The structural model (test regions, fns).
+    pub model: &'a FileModel,
+}
+
+fn finding(
+    ctx: &RuleCtx<'_>,
+    rule: &str,
+    severity: Severity,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        file: ctx.path.to_string(),
+        line,
+        rule: rule.to_string(),
+        message,
+        severity,
+        waived: false,
+        waiver_reason: None,
+    }
+}
+
+/// R0: crate-root hygiene headers.
+pub fn check_header(ctx: &RuleCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    for required in ["forbid(unsafe_code)", "warn(missing_docs)"] {
+        let (attr, arg) = match required.split_once('(') {
+            Some((a, rest)) => (a, rest.trim_end_matches(')')),
+            None => continue,
+        };
+        let present = ctx.tokens.windows(8).any(|w| {
+            matches!(w, [hash, bang, open, a, lp, g, rp, close]
+                if hash.is_punct('#') && bang.is_punct('!') && open.is_punct('[')
+                    && a.is_ident(attr) && lp.is_punct('(') && g.is_ident(arg)
+                    && rp.is_punct(')') && close.is_punct(']'))
+        });
+        if !present {
+            out.push(finding(
+                ctx,
+                "header",
+                cfg.severity,
+                1,
+                format!("crate root is missing `#![{attr}({arg})]`"),
+            ));
+        }
+    }
+}
+
+/// R1: panic-freedom on runtime paths.
+pub fn check_panic(ctx: &RuleCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        if ctx.model.is_test_token(i) {
+            continue;
+        }
+        let tok = &t[i];
+        let prev_dot = i > 0 && t[i - 1].is_punct('.');
+        let next_paren = t.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_bang = t.get(i + 1).is_some_and(|n| n.is_punct('!'));
+
+        if prev_dot && next_paren && (tok.is_ident("unwrap") || tok.is_ident("expect")) {
+            out.push(finding(
+                ctx,
+                "panic",
+                cfg.severity,
+                tok.line,
+                format!(
+                    "`.{}()` can panic on a runtime path; propagate an error or restructure",
+                    tok.text
+                ),
+            ));
+        } else if next_bang
+            && (tok.is_ident("panic")
+                || tok.is_ident("unreachable")
+                || tok.is_ident("todo")
+                || tok.is_ident("unimplemented"))
+            // `macro_rules! unreachable`-style definitions would slip
+            // in here, but redefining panic macros is not a thing this
+            // workspace does.
+            && !(i > 0 && t[i - 1].is_ident("macro_rules"))
+        {
+            out.push(finding(
+                ctx,
+                "panic",
+                cfg.severity,
+                tok.line,
+                format!("`{}!` on a runtime path; return a typed error instead", tok.text),
+            ));
+        } else if tok.is_punct('[')
+            && i > 0
+            && (t[i - 1].kind == TokenKind::Ident
+                || t[i - 1].is_punct(')')
+                || t[i - 1].is_punct(']'))
+            && t.get(i + 1).is_some_and(Token::is_int_lit)
+            && t.get(i + 2).is_some_and(|n| n.is_punct(']'))
+        {
+            let idx = t.get(i + 1).map(|n| n.text.as_str()).unwrap_or("");
+            out.push(finding(
+                ctx,
+                "panic",
+                cfg.severity,
+                tok.line,
+                format!("literal slice index `[{idx}]` can panic; use `.get({idx})` or a guard"),
+            ));
+        }
+    }
+}
+
+/// R2: allocation hygiene inside epoch-loop functions.
+pub fn check_alloc(ctx: &RuleCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    let ranges: Vec<(usize, usize)> = if cfg.functions.is_empty() {
+        vec![(0, ctx.tokens.len())]
+    } else {
+        ctx.model
+            .fns
+            .iter()
+            .filter(|f| !f.in_test && cfg.functions.iter().any(|n| n == &f.name))
+            .map(|f| (f.body.start_token, f.body.end_token))
+            .collect()
+    };
+    let t = ctx.tokens;
+    for (start, end) in ranges {
+        for i in start..end.min(t.len()) {
+            if ctx.model.is_test_token(i) {
+                continue;
+            }
+            let tok = &t[i];
+            let path_new = |head: &str, tail: &str| {
+                tok.is_ident(head)
+                    && t.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && t.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && t.get(i + 3).is_some_and(|n| n.is_ident(tail))
+            };
+            let bang_macro =
+                |name: &str| tok.is_ident(name) && t.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let method = |name: &str| {
+                i > 0
+                    && t[i - 1].is_punct('.')
+                    && tok.is_ident(name)
+                    && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+            };
+            let hit = if path_new("Vec", "new") || path_new("Vec", "with_capacity") {
+                Some("Vec construction")
+            } else if path_new("Box", "new") {
+                Some("Box::new")
+            } else if path_new("String", "from") || path_new("String", "new") {
+                Some("String construction")
+            } else if bang_macro("vec") {
+                Some("vec! macro")
+            } else if bang_macro("format") {
+                Some("format! macro")
+            } else if method("to_vec") || method("to_owned") || method("to_string") {
+                Some("owned-copy method")
+            } else if method("collect") {
+                Some("collect()")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(finding(
+                    ctx,
+                    "alloc",
+                    cfg.severity,
+                    tok.line,
+                    format!("{what} allocates inside an epoch-loop function (`{}`)", tok.text),
+                ));
+            }
+        }
+    }
+}
+
+/// R3 (primary): `partial_cmp` and `sort_by`-family without a total
+/// order on runtime paths.
+pub fn check_nan_cmp(ctx: &RuleCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        if ctx.model.is_test_token(i) {
+            continue;
+        }
+        let tok = &t[i];
+        let is_method_call =
+            i > 0 && t[i - 1].is_punct('.') && t.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_method_call {
+            continue;
+        }
+        if tok.is_ident("partial_cmp") {
+            out.push(finding(
+                ctx,
+                "nan-cmp",
+                cfg.severity,
+                tok.line,
+                "`partial_cmp` is NaN-unordered; use `total_cmp` (NaN sorts above +inf, fail-hot)"
+                    .to_string(),
+            ));
+        } else if tok.is_ident("sort_by")
+            || tok.is_ident("sort_unstable_by")
+            || tok.is_ident("max_by")
+            || tok.is_ident("min_by")
+        {
+            // Inspect the comparator: `total_cmp` (or a plain `cmp` on
+            // Ord keys) makes it total; `partial_cmp` inside is already
+            // flagged by the check above, so skip the duplicate.
+            let Some(close) = matching_paren(t, i + 1) else { continue };
+            let body = &t[i + 2..close];
+            let has = |name: &str| body.iter().any(|b| b.is_ident(name));
+            if !has("total_cmp") && !has("cmp") && !has("partial_cmp") {
+                out.push(finding(
+                    ctx,
+                    "nan-cmp",
+                    cfg.severity,
+                    tok.line,
+                    format!("`{}` comparator has no total order; use `total_cmp`", tok.text),
+                ));
+            }
+        }
+    }
+}
+
+/// R3 (folds): NaN-dropping `.max(` / `.min(` in hot scan files.
+///
+/// `f64::max` silently *drops* a NaN operand, so a poisoned reading
+/// vanishes from a hottest-socket scan instead of surfacing. The rule
+/// is scoped (via `lint.toml`) to the selection/scan files where that
+/// matters; widening it to every clamp in the workspace is listed as
+/// future work in the ROADMAP.
+pub fn check_nan_maxmin(ctx: &RuleCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        if ctx.model.is_test_token(i) {
+            continue;
+        }
+        let tok = &t[i];
+        let is_method_call =
+            i > 0 && t[i - 1].is_punct('.') && t.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if is_method_call && (tok.is_ident("max") || tok.is_ident("min")) {
+            out.push(finding(
+                ctx,
+                "nan-maxmin",
+                cfg.severity,
+                tok.line,
+                format!(
+                    "`.{}(` drops NaN operands; use a total_cmp-based fold (see gfsc_units::total_max)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Suffixes R4 treats as "this is a quantity and must be a newtype".
+pub const UNIT_SUFFIXES: [&str; 5] = ["_c", "_temp", "_w", "_rpm", "_s"];
+
+/// R4: unit hygiene on public fn signatures.
+pub fn check_units(ctx: &RuleCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    for f in &ctx.model.fns {
+        if !f.is_pub || f.in_test {
+            continue;
+        }
+        let params = ctx.tokens.get(f.params.start_token..f.params.end_token).unwrap_or(&[]);
+        for (name, ty) in split_params(params) {
+            let suffixed = UNIT_SUFFIXES.iter().any(|s| name.ends_with(s));
+            if suffixed && matches!(ty, [only] if only.is_ident("f64")) {
+                out.push(finding(
+                    ctx,
+                    "units",
+                    cfg.severity,
+                    f.line,
+                    format!(
+                        "pub fn `{}` takes bare `f64` parameter `{name}`; use a gfsc-units newtype",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Splits a parameter token slice at top-level commas into
+/// `(name, type-tokens)` pairs; `self` receivers are skipped.
+fn split_params(params: &[Token]) -> Vec<(String, &[Token])> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut cuts = Vec::new();
+    for (i, t) in params.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            cuts.push((start, i));
+            start = i + 1;
+        }
+    }
+    cuts.push((start, params.len()));
+    for (a, b) in cuts {
+        let Some(param) = params.get(a..b) else { continue };
+        // Pattern side: skip `mut`, expect `name : type…`.
+        let mut k = 0usize;
+        while param.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name_tok) = param.get(k) else { continue };
+        if name_tok.kind != TokenKind::Ident || name_tok.text == "self" {
+            continue;
+        }
+        if !param.get(k + 1).is_some_and(|t| t.is_punct(':')) {
+            continue;
+        }
+        let ty = param.get(k + 2..).unwrap_or(&[]);
+        out.push((name_tok.text.clone(), ty));
+    }
+    out
+}
+
+/// R5: taxonomy coverage — every variant of the event enum has a
+/// `EnumName::Variant` mention in the render file.
+///
+/// `enum_tokens` come from the rule's `enum_file`, `match_tokens` from
+/// its `match_file`; `enum_name` defaults to `EventKind`.
+pub fn check_events(
+    enum_path: &str,
+    enum_tokens: &[Token],
+    match_path: &str,
+    match_tokens: &[Token],
+    enum_name: &str,
+    cfg: &RuleConfig,
+    out: &mut Vec<Finding>,
+) {
+    let variants = enum_variants(enum_tokens, enum_name);
+    if variants.is_empty() {
+        out.push(Finding {
+            file: enum_path.to_string(),
+            line: 1,
+            rule: "events".to_string(),
+            message: format!("no `enum {enum_name}` with variants found"),
+            severity: cfg.severity,
+            waived: false,
+            waiver_reason: None,
+        });
+        return;
+    }
+    for (variant, line) in variants {
+        let rendered = match_tokens.windows(4).any(|w| {
+            matches!(w, [e, c1, c2, v]
+                if e.is_ident(enum_name) && c1.is_punct(':') && c2.is_punct(':')
+                    && v.is_ident(&variant))
+        });
+        if !rendered {
+            out.push(Finding {
+                file: match_path.to_string(),
+                line: 1,
+                rule: "events".to_string(),
+                message: format!(
+                    "`{enum_name}::{variant}` ({enum_path}:{line}) has no render arm here"
+                ),
+                severity: cfg.severity,
+                waived: false,
+                waiver_reason: None,
+            });
+        }
+    }
+}
+
+/// Collects `(variant, line)` pairs of `enum enum_name { … }`.
+fn enum_variants(tokens: &[Token], enum_name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident(enum_name) {
+            // Find the opening brace, then walk depth-1 items.
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut brackets = 0i32;
+            let mut expect_variant = true;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') || t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 && t.is_punct('}') {
+                        return out;
+                    }
+                } else if t.is_punct('[') {
+                    brackets += 1;
+                } else if t.is_punct(']') {
+                    brackets -= 1;
+                    // An attribute just closed; next ident can be a
+                    // variant again.
+                } else if depth == 1 && brackets == 0 {
+                    if t.is_punct(',') {
+                        expect_variant = true;
+                    } else if expect_variant && t.kind == TokenKind::Ident {
+                        out.push((t.text.clone(), t.line));
+                        expect_variant = false;
+                    }
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}

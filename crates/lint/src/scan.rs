@@ -1,0 +1,294 @@
+//! Structural scan over a token stream: `#[cfg(test)]` regions and
+//! function spans.
+//!
+//! This is deliberately *not* a parser — it recovers just enough shape
+//! for the rules: which lines belong to test-only code (exempt from the
+//! runtime rules), and where each `fn` starts, what its parameters are,
+//! and which token range its body covers (for function-scoped rules
+//! like allocation hygiene and for attributing a finding to a
+//! function).
+
+use crate::lexer::{Token, TokenKind};
+
+/// A half-open token range plus the covered line span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index.
+    pub start_token: usize,
+    /// One past the last token index.
+    pub end_token: usize,
+    /// First line covered.
+    pub start_line: u32,
+    /// Last line covered.
+    pub end_line: u32,
+}
+
+impl Span {
+    /// Does the span cover `line`?
+    #[must_use]
+    pub fn covers_line(&self, line: u32) -> bool {
+        self.start_line <= line && line <= self.end_line
+    }
+}
+
+/// One scanned function.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// Whether it is `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Tokens between the parameter parens (exclusive).
+    pub params: Span,
+    /// Body token range, `start_token == end_token` for bodyless
+    /// declarations (traits, extern blocks).
+    pub body: Span,
+    /// True when the function sits inside a test region.
+    pub in_test: bool,
+}
+
+/// The structural model of one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Line spans covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<Span>,
+    /// Every `fn` found, in source order.
+    pub fns: Vec<FnInfo>,
+}
+
+impl FileModel {
+    /// True when `line` falls inside test-only code.
+    #[must_use]
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|r| r.covers_line(line))
+    }
+
+    /// True when token index `i` falls inside test-only code.
+    #[must_use]
+    pub fn is_test_token(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|r| r.start_token <= i && i < r.end_token)
+    }
+
+    /// Builds the model from a token stream.
+    #[must_use]
+    pub fn build(tokens: &[Token]) -> Self {
+        let mut model = Self::default();
+        model.scan_test_regions(tokens);
+        model.scan_fns(tokens);
+        model
+    }
+
+    fn scan_test_regions(&mut self, tokens: &[Token]) {
+        let mut i = 0usize;
+        while i < tokens.len() {
+            // Outer attribute `#[…]` (inner `#![…]` never gates a test
+            // item, skip those).
+            if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                let attr_end = match matching_bracket(tokens, i + 1, '[', ']') {
+                    Some(end) => end,
+                    None => break,
+                };
+                if attr_gates_test(&tokens[i + 2..attr_end]) {
+                    // Skip any stacked attributes between this one and
+                    // the item it decorates.
+                    let mut j = attr_end + 1;
+                    while j + 1 < tokens.len()
+                        && tokens[j].is_punct('#')
+                        && tokens[j + 1].is_punct('[')
+                    {
+                        match matching_bracket(tokens, j + 1, '[', ']') {
+                            Some(end) => j = end + 1,
+                            None => return,
+                        }
+                    }
+                    // The decorated item's body is the next `{` before
+                    // a `;` at the same nesting (a `;` first means a
+                    // braceless item like `#[cfg(test)] use x;`).
+                    let mut k = j;
+                    let mut found = None;
+                    while k < tokens.len() {
+                        if tokens[k].is_punct('{') {
+                            found = Some(k);
+                            break;
+                        }
+                        if tokens[k].is_punct(';') {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if let Some(open) = found {
+                        if let Some(close) = matching_bracket(tokens, open, '{', '}') {
+                            self.test_regions.push(Span {
+                                start_token: i,
+                                end_token: close + 1,
+                                start_line: tokens[i].line,
+                                end_line: tokens[close].line,
+                            });
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    fn scan_fns(&mut self, tokens: &[Token]) {
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if !tokens[i].is_ident("fn") {
+                i += 1;
+                continue;
+            }
+            let Some(name_tok) = tokens.get(i + 1) else { break };
+            if name_tok.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let fn_line = tokens[i].line;
+            let is_pub = pub_before(tokens, i);
+
+            // Optional generics between name and `(`.
+            let mut j = i + 2;
+            if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('<') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                i += 1;
+                continue;
+            }
+            let Some(params_end) = matching_bracket(tokens, j, '(', ')') else {
+                i += 1;
+                continue;
+            };
+            let params = Span {
+                start_token: j + 1,
+                end_token: params_end,
+                start_line: tokens[j].line,
+                end_line: tokens[params_end].line,
+            };
+
+            // Return type / where clause, then `{` body or `;` decl.
+            // Parens and brackets inside the return type are tracked so
+            // `-> Result<(), E>` does not derail the scan.
+            let mut k = params_end + 1;
+            let mut depth = 0i32;
+            let mut body = Span {
+                start_token: params_end + 1,
+                end_token: params_end + 1,
+                start_line: tokens[params_end].line,
+                end_line: tokens[params_end].line,
+            };
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                } else if depth == 0 && t.is_punct('{') {
+                    if let Some(close) = matching_bracket(tokens, k, '{', '}') {
+                        body = Span {
+                            start_token: k + 1,
+                            end_token: close,
+                            start_line: tokens[k].line,
+                            end_line: tokens[close].line,
+                        };
+                    }
+                    break;
+                }
+                k += 1;
+            }
+
+            let in_test = self.is_test_line(fn_line);
+            self.fns.push(FnInfo { name, is_pub, line: fn_line, params, body, in_test });
+            i = j + 1;
+        }
+    }
+}
+
+/// Does the attribute token soup (between `#[` and `]`) gate test-only
+/// code? Conservatively true for `#[test]`, `#[cfg(test)]`, and any
+/// `cfg(…)` mentioning `test` (e.g. `cfg(all(test, unix))`), plus
+/// `#[bench]`.
+fn attr_gates_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> =
+        attr.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str()).collect();
+    match idents.split_first() {
+        Some((&"test" | &"bench", [])) => true,
+        Some((&"cfg", rest)) => rest.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Index of the bracket matching `tokens[open]` (which must be `open_ch`).
+fn matching_bracket(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Is the `fn` at `fn_idx` preceded by a `pub` (with optional
+/// `(crate)`-style restriction and `const`/`async`/`unsafe`/`extern`
+/// qualifiers in between)?
+fn pub_before(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        let qualifier = t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+            || t.kind == TokenKind::StrLit; // extern "C"
+        if qualifier {
+            continue;
+        }
+        if t.is_punct(')') {
+            // Possibly `pub(crate)` / `pub(in path)` — walk to `(`.
+            let mut depth = 0i32;
+            while k > 0 {
+                if tokens[k].is_punct(')') {
+                    depth += 1;
+                } else if tokens[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            continue;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}

@@ -1,0 +1,7 @@
+//! R5 fixture: a taxonomy enum with one unrendered variant.
+
+pub enum EventKind {
+    EpochStarted,
+    FallbackEntered,
+    Orphaned,
+}

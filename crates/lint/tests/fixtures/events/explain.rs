@@ -1,0 +1,9 @@
+//! R5 fixture renderer: misses `EventKind::Orphaned` on purpose.
+
+pub fn render(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::EpochStarted => "epoch",
+        EventKind::FallbackEntered => "fallback",
+        _ => "other",
+    }
+}

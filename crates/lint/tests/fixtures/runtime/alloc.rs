@@ -1,0 +1,19 @@
+//! R2 fixture: allocations inside the named epoch-loop functions are
+//! flagged; identical constructs elsewhere are not.
+
+pub fn arbitrate(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+    let scratch = vec![0.0; 4];
+    let label = format!("{}", doubled.len() + scratch.len());
+    label.len() as f64
+}
+
+pub fn observe(x: f64) -> String {
+    x.to_string()
+}
+
+pub fn setup_is_exempt(n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    out.push(0.0);
+    out
+}

@@ -1,0 +1,3 @@
+//! R0 fixture: a crate root missing both hygiene headers.
+
+pub fn nothing() {}

@@ -1,0 +1,36 @@
+//! R3 fixture: NaN-unsafe orderings, NaN-dropping folds, and the
+//! total-order forms that must pass untouched.
+
+use std::cmp::Ordering;
+
+fn ord(_a: &f64, _b: &f64) -> Ordering {
+    Ordering::Less
+}
+
+pub fn bad_partial(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| ord(a, b));
+}
+
+pub fn bad_max_by(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| ord(a, b))
+}
+
+pub fn bad_fold(a: f64, b: f64) -> f64 {
+    a.max(b)
+}
+
+pub fn bad_min_fold(a: f64, b: f64) -> f64 {
+    a.min(b)
+}
+
+pub fn good_sort(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn good_total(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_gt()
+}

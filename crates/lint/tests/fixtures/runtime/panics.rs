@@ -1,0 +1,52 @@
+//! R1 fixture: seeded panicking constructs plus the regions the rule
+//! must exempt. Line numbers are asserted by `tests/rules.rs` — append
+//! to this file, never insert.
+
+pub fn runtime_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn runtime_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn runtime_macros(flag: bool) {
+    if flag {
+        panic!("fixture");
+    }
+    unreachable!();
+}
+
+pub fn runtime_todo() {
+    todo!();
+}
+
+pub fn runtime_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn strings_and_comments_are_not_call_sites() -> &'static str {
+    // Mentioning .unwrap() in a comment must not count.
+    "nor does .unwrap() inside a string literal"
+}
+
+pub fn waived_with_reason(x: Option<u32>) -> u32 {
+    // gfsc-lint: allow(panic) fixture: documented contract pinned by a test
+    x.unwrap()
+}
+
+pub fn waived_without_reason(x: Option<u32>) -> u32 {
+    // gfsc-lint: allow(panic)
+    x.unwrap()
+}
+
+// gfsc-lint: allow(panic) fixture: stale waiver — nothing to suppress below
+pub fn nothing_to_waive() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        Some(1u32).unwrap();
+    }
+}

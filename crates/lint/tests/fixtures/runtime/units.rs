@@ -1,0 +1,23 @@
+//! R4 fixture: bare f64 quantities on public signatures.
+
+pub struct Celsius(pub f64);
+
+pub fn bad_temp(limit_c: f64) -> f64 {
+    limit_c
+}
+
+pub fn bad_many(ambient_temp: f64, fan_rpm: f64) -> f64 {
+    ambient_temp + fan_rpm
+}
+
+pub fn good_newtype(limit: Celsius) -> f64 {
+    limit.0
+}
+
+fn private_is_exempt(limit_c: f64) -> f64 {
+    limit_c
+}
+
+pub fn good_unsuffixed(ratio: f64) -> f64 {
+    ratio
+}

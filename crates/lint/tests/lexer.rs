@@ -1,0 +1,134 @@
+//! Lexer edge cases: the constructs a token-level linter must get
+//! right or every rule built on the stream silently lies.
+
+use gfsc_lint::lexer::{lex, TokenKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+}
+
+#[test]
+fn nested_block_comments_are_skipped() {
+    let src = "/* outer /* inner .unwrap() */ still a comment */ fn alive() {}";
+    assert_eq!(idents(src), ["fn", "alive"]);
+}
+
+#[test]
+fn line_numbers_survive_block_comments() {
+    let src = "/* a\n b\n c */\nfn f() {}";
+    let lexed = lex(src);
+    let f = lexed.tokens.iter().find(|t| t.is_ident("fn")).expect("fn token");
+    assert_eq!(f.line, 4);
+}
+
+#[test]
+fn raw_strings_with_hashes_are_single_tokens() {
+    let src = r####"let s = r#"contains .unwrap() and "quotes""#;"####;
+    let lexed = lex(src);
+    let strings: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::StrLit).collect();
+    assert_eq!(strings.len(), 1, "one raw string token: {strings:?}");
+    assert!(strings[0].text.starts_with("r#\""), "raw slice kept verbatim");
+    assert!(
+        !lexed.tokens.iter().any(|t| t.is_ident("unwrap")),
+        "`unwrap` inside a raw string must not become an identifier"
+    );
+}
+
+#[test]
+fn byte_raw_strings_are_single_tokens() {
+    let src = r####"let b = br##"panic!("#nope")"##;"####;
+    let lexed = lex(src);
+    let strings: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::StrLit).collect();
+    assert_eq!(strings.len(), 1);
+    assert!(!lexed.tokens.iter().any(|t| t.is_ident("panic")));
+}
+
+#[test]
+fn string_escapes_hide_comment_markers_and_quotes() {
+    let src = "let s = \"quote \\\" and // not a comment\"; fn g() {}";
+    let lexed = lex(src);
+    assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::StrLit).count(), 1);
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("g")), "code after the string lexes");
+}
+
+#[test]
+fn multiline_strings_advance_the_line_counter() {
+    let src = "let s = \"a\nb\";\nfn h() {}";
+    let lexed = lex(src);
+    let h = lexed.tokens.iter().find(|t| t.is_ident("fn")).expect("fn token");
+    assert_eq!(h.line, 3);
+}
+
+#[test]
+fn lifetimes_are_not_truncated_char_literals() {
+    let src = "fn f<'a>(x: &'a str, y: &'static str) -> char { 'x' }";
+    let lexed = lex(src);
+    let lifetimes: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+    let chars: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, ["'x'"]);
+}
+
+#[test]
+fn escaped_char_literals_lex_as_chars() {
+    let src = r"let nl = '\n'; let q = '\''; let sp = ' ';";
+    let lexed = lex(src);
+    let chars: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, [r"'\n'", r"'\''", "' '"]);
+}
+
+#[test]
+fn macro_bodies_are_lexed_like_ordinary_tokens() {
+    // A token-level pass deliberately sees through macro_rules!.
+    let src = "macro_rules! m { () => { x.unwrap() } }";
+    let lexed = lex(src);
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("macro_rules")));
+}
+
+#[test]
+fn numeric_literal_shapes() {
+    let src = "let a = 1.5e-3; let b = 0xFF; let c = 1..4; let d = 8_192u32;";
+    let lexed = lex(src);
+    let nums: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::NumLit).collect();
+    let texts: Vec<&str> = nums.iter().map(|t| t.text.as_str()).collect();
+    // `1..4` must not swallow the range dots into either literal.
+    assert_eq!(texts, ["1.5e-3", "0xFF", "1", "4", "8_192u32"]);
+    assert!(!nums[0].is_int_lit(), "a float with an exponent is not an index");
+    assert!(nums[1].is_int_lit());
+    assert!(nums[4].is_int_lit());
+}
+
+#[test]
+fn waivers_come_only_from_plain_line_comments() {
+    let src = "\
+/// gfsc-lint: allow(panic) doc prose must not count
+//! gfsc-lint: allow(panic) module doc must not count
+// gfsc-lint: allow(nan-cmp) real waiver with a reason
+// gfsc-lint: allow(alloc)
+fn f() {}
+";
+    let lexed = lex(src);
+    assert_eq!(lexed.waivers.len(), 2, "{:?}", lexed.waivers);
+    assert_eq!(lexed.waivers[0].rule, "nan-cmp");
+    assert_eq!(lexed.waivers[0].reason, "real waiver with a reason");
+    assert_eq!(lexed.waivers[0].line, 3);
+    assert_eq!(lexed.waivers[1].rule, "alloc");
+    assert_eq!(lexed.waivers[1].reason, "");
+    assert_eq!(lexed.waivers[1].line, 4);
+}

@@ -1,0 +1,156 @@
+//! Rule fixtures: a seeded corpus under `tests/fixtures/` where every
+//! violation (and every deliberate non-violation) is pinned to an exact
+//! `(file, line, rule, waived)` tuple — the detection contract of the
+//! CI gate. The corpus sits outside every scope in the real `lint.toml`,
+//! so seeding it never dirties the workspace gate.
+
+use gfsc_lint::config::Config;
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The fixture-corpus config: each rule scoped to its own seeded file,
+/// plus `clean/**` everywhere as the false-positive control.
+const FIXTURE_CONFIG: &str = r#"
+[lint]
+max_waivers = 3
+
+[rules.header]
+severity = "error"
+scope = ["runtime/lib.rs"]
+
+[rules.panic]
+severity = "error"
+scope = ["runtime/panics.rs", "clean/**"]
+
+[rules.alloc]
+severity = "error"
+scope = ["runtime/alloc.rs", "clean/**"]
+functions = ["arbitrate", "observe"]
+
+[rules.nan-cmp]
+severity = "error"
+scope = ["runtime/nan.rs", "clean/**"]
+
+[rules.nan-maxmin]
+severity = "error"
+scope = ["runtime/nan.rs", "clean/**"]
+
+[rules.units]
+severity = "error"
+scope = ["runtime/units.rs", "clean/**"]
+
+[rules.events]
+severity = "error"
+enum_file = "events/event.rs"
+match_file = "events/explain.rs"
+"#;
+
+#[test]
+fn every_seeded_violation_is_detected_and_nothing_else() {
+    let config = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let report = gfsc_lint::run(&fixtures_root(), &config).expect("fixture walk");
+
+    let got: Vec<(String, u32, String, bool)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone(), f.waived))
+        .collect();
+    let own = |s: &str| s.to_string();
+    let expected: Vec<(String, u32, String, bool)> = vec![
+        // R5: the one variant explain.rs never renders.
+        (own("events/explain.rs"), 1, own("events"), false),
+        // R2: collect / vec! / format! in `arbitrate`, to_string in `observe`.
+        (own("runtime/alloc.rs"), 5, own("alloc"), false),
+        (own("runtime/alloc.rs"), 6, own("alloc"), false),
+        (own("runtime/alloc.rs"), 7, own("alloc"), false),
+        (own("runtime/alloc.rs"), 12, own("alloc"), false),
+        // R0: both hygiene headers missing.
+        (own("runtime/lib.rs"), 1, own("header"), false),
+        (own("runtime/lib.rs"), 1, own("header"), false),
+        // R3: partial_cmp, untotaled sort_by, untotaled max_by…
+        (own("runtime/nan.rs"), 11, own("nan-cmp"), false),
+        (own("runtime/nan.rs"), 15, own("nan-cmp"), false),
+        (own("runtime/nan.rs"), 19, own("nan-cmp"), false),
+        // …and the NaN-dropping .max( / .min( folds.
+        (own("runtime/nan.rs"), 23, own("nan-maxmin"), false),
+        (own("runtime/nan.rs"), 27, own("nan-maxmin"), false),
+        // R1: unwrap, expect, panic!, unreachable!, todo!, literal index.
+        (own("runtime/panics.rs"), 6, own("panic"), false),
+        (own("runtime/panics.rs"), 10, own("panic"), false),
+        (own("runtime/panics.rs"), 15, own("panic"), false),
+        (own("runtime/panics.rs"), 17, own("panic"), false),
+        (own("runtime/panics.rs"), 21, own("panic"), false),
+        (own("runtime/panics.rs"), 25, own("panic"), false),
+        // A waiver with a reason suppresses exactly its next code line…
+        (own("runtime/panics.rs"), 35, own("panic"), true),
+        // …a reasonless waiver is itself an error and suppresses nothing…
+        (own("runtime/panics.rs"), 39, own("waiver"), false),
+        (own("runtime/panics.rs"), 40, own("panic"), false),
+        // …and a waiver with nothing to suppress is flagged as stale.
+        (own("runtime/panics.rs"), 43, own("waiver"), false),
+        // R4: one suffixed bare-f64 param, then two on one signature.
+        (own("runtime/units.rs"), 5, own("units"), false),
+        (own("runtime/units.rs"), 9, own("units"), false),
+        (own("runtime/units.rs"), 9, own("units"), false),
+    ];
+    assert_eq!(
+        got,
+        expected,
+        "finding set drifted:\n{}",
+        report.findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+
+    // The gate math over the same corpus.
+    assert_eq!(report.error_count(), 23, "non-waived errors");
+    assert_eq!(report.warn_count(), 1, "the stale waiver warns");
+    assert_eq!(report.waiver_count, 3, "all waiver comments are budgeted");
+    assert!(!report.is_clean());
+
+    let waived = report.findings.iter().find(|f| f.waived).expect("one waived finding");
+    assert_eq!(
+        waived.waiver_reason.as_deref(),
+        Some("fixture: documented contract pinned by a test"),
+        "the reason travels with the finding"
+    );
+}
+
+#[test]
+fn clean_control_file_produces_no_findings() {
+    let config = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let report = gfsc_lint::run(&fixtures_root(), &config).expect("fixture walk");
+    assert!(
+        !report.findings.iter().any(|f| f.file.starts_with("clean/")),
+        "false positive in the control file"
+    );
+}
+
+#[test]
+fn waiver_budget_is_a_ratchet() {
+    // Same corpus (3 waivers in force), budget lowered to 2: the run
+    // must grow a budget finding — the count can only go down.
+    let tightened = FIXTURE_CONFIG.replace("max_waivers = 3", "max_waivers = 2");
+    let config = Config::parse(&tightened).expect("fixture config parses");
+    let report = gfsc_lint::run(&fixtures_root(), &config).expect("fixture walk");
+    let budget = report
+        .findings
+        .iter()
+        .find(|f| f.file == "lint.toml" && f.rule == "waiver")
+        .expect("budget overflow finding");
+    assert!(budget.message.contains("exceed the budget of 2"), "{}", budget.message);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn json_report_carries_the_gate_counts() {
+    let config = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let report = gfsc_lint::run(&fixtures_root(), &config).expect("fixture walk");
+    let json = report.to_json();
+    assert!(json.contains("\"errors\":23"), "{json}");
+    assert!(json.contains("\"warnings\":1"), "{json}");
+    assert!(json.contains("\"waivers\":3"), "{json}");
+    assert!(json.contains("\"waiver_budget\":3"), "{json}");
+    assert!(json.contains("\"rule\":\"nan-maxmin\""), "{json}");
+}

@@ -1,0 +1,28 @@
+//! The linter over the real workspace under the checked-in `lint.toml`:
+//! the same run CI gates on. A failure here means either a regression
+//! slipped into a runtime path or the lint grew a false positive —
+//! both block.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean_under_the_checked_in_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = gfsc_lint::run_from_root(&root, &root.join("lint.toml")).expect("workspace walk");
+
+    let offending: Vec<String> =
+        report.findings.iter().filter(|f| !f.waived).map(|f| f.render()).collect();
+    assert!(offending.is_empty(), "workspace is not lint-clean:\n{}", offending.join("\n"));
+    assert!(
+        report.waiver_count <= report.waiver_budget,
+        "waivers in force ({}) exceed the lint.toml budget ({})",
+        report.waiver_count,
+        report.waiver_budget
+    );
+    assert!(report.is_clean());
+    assert!(
+        report.files_scanned > 50,
+        "walk visited only {} files — scope globs likely broken",
+        report.files_scanned
+    );
+}

@@ -26,6 +26,9 @@
 //! evicts the oldest event when full, counting every drop so a saturated
 //! recorder is visible rather than silently lossy.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod explain;
 pub mod hist;

@@ -13,12 +13,13 @@
 //! The per-step cost is one forward/backward substitution on the rack-wide
 //! LU cache, so an 8-server rack steps at nearly the same cost as a board.
 
-use crate::{RackTopology, ServerSlot};
+use crate::{PlenumDef, RackTopology, ServerSlot};
 use gfsc_server::PlantModel;
 use gfsc_thermal::{
-    FanZoneMap, LinkId, NetworkError, NodeId, PlantCalibration, RcNetwork, RcNetworkBuilder, ZoneId,
+    BoundaryId, FanZoneMap, LinkId, NetworkError, NodeId, PlantCalibration, RcNetwork,
+    RcNetworkBuilder, ZoneId,
 };
-use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
+use gfsc_units::{total_max, Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
 
 /// Handles of one socket, resolved once at build time (no name scans on
 /// the step path).
@@ -81,6 +82,9 @@ pub struct RackPlant {
     /// Zone plenum air nodes (empty when the topology has no plenum).
     plenums: Vec<NodeId>,
     ambient: Celsius,
+    /// The ambient boundary handle, resolved once at build time so
+    /// `set_ambient` needs no name lookup (and no panic path).
+    ambient_boundary: BoundaryId,
     /// Shared probe buffers (interior mutability: probes are logically
     /// `&self` — they never touch the live network state).
     probe: core::cell::RefCell<ProbeScratch>,
@@ -173,8 +177,8 @@ impl RackPlant {
                     );
                 }
             }
-            for (z, zone) in topology.zones().iter().enumerate() {
-                let exhaust = Self::exhaust_law(cal, topology, z);
+            for zone in topology.zones() {
+                let exhaust = Self::exhaust_law(cal, plenum, zone.fans);
                 builder = builder.link(
                     format!("plenum-{}", zone.name),
                     "ambient",
@@ -183,9 +187,10 @@ impl RackPlant {
             }
             if let Some(recirculation) = plenum.recirculation {
                 for pair in topology.zones().windows(2) {
+                    let [upstream, downstream] = pair else { continue };
                     builder = builder.link(
-                        format!("plenum-{}", pair[0].name),
-                        format!("plenum-{}", pair[1].name),
+                        format!("plenum-{}", upstream.name),
+                        format!("plenum-{}", downstream.name),
                         recirculation,
                     );
                 }
@@ -208,15 +213,18 @@ impl RackPlant {
                 let sink_name = format!("sink-{}-{}", slot.name, socket.name);
                 zones.attach(
                     zone_ids[slot.zone],
-                    net.link_id(&sink_name, "ambient").expect("built above"),
+                    net.link_id(&sink_name, "ambient")?,
                     Self::socket_law(cal, slot, socket.airflow_derate),
                 );
                 zone_sockets[slot.zone].push(sockets.len());
+                let die_name = format!("die-{}-{}", slot.name, socket.name);
                 sockets.push(SocketHandles {
                     die: net
-                        .node_id(&format!("die-{}-{}", slot.name, socket.name))
-                        .expect("built above"),
-                    sink: net.node_id(&sink_name).expect("built above"),
+                        .node_id(&die_name)
+                        .ok_or_else(|| NetworkError::UnknownName(die_name.clone()))?,
+                    sink: net
+                        .node_id(&sink_name)
+                        .ok_or_else(|| NetworkError::UnknownName(sink_name.clone()))?,
                     zone: slot.zone,
                     server: s,
                 });
@@ -224,17 +232,20 @@ impl RackPlant {
             server_ranges.push((start, sockets.len()));
         }
         let mut plenums = Vec::new();
-        if topology.plenum().is_some() {
+        if let Some(plenum) = topology.plenum() {
             for (z, zone) in topology.zones().iter().enumerate() {
                 let name = format!("plenum-{}", zone.name);
                 zones.attach(
                     zone_ids[z],
-                    net.link_id(&name, "ambient").expect("built above"),
-                    Self::exhaust_law(cal, topology, z),
+                    net.link_id(&name, "ambient")?,
+                    Self::exhaust_law(cal, plenum, zone.fans),
                 );
-                plenums.push(net.node_id(&name).expect("built above"));
+                plenums.push(net.node_id(&name).ok_or(NetworkError::UnknownName(name))?);
             }
         }
+        let ambient_boundary = net
+            .boundary_id("ambient")
+            .ok_or_else(|| NetworkError::UnknownName("ambient".to_string()))?;
         let nodes = net.node_names().len();
         let links_cap = sockets.len() + zone_ids.len();
         Ok(Self {
@@ -246,6 +257,7 @@ impl RackPlant {
             server_ranges,
             plenums,
             ambient: cal.ambient,
+            ambient_boundary,
             probe: core::cell::RefCell::new(ProbeScratch {
                 links: Vec::with_capacity(links_cap),
                 powers: Vec::with_capacity(nodes),
@@ -271,11 +283,10 @@ impl RackPlant {
     /// out proportionally more freely than one).
     fn exhaust_law(
         cal: &PlantCalibration,
-        topology: &RackTopology,
-        z: usize,
+        plenum: &PlenumDef,
+        zone_fans: usize,
     ) -> gfsc_thermal::HeatSinkLaw {
-        let plenum = topology.plenum().expect("caller checked");
-        cal.law.with_airflow_derate(plenum.exhaust_derate / topology.zones()[z].fans as f64)
+        cal.law.with_airflow_derate(plenum.exhaust_derate / zone_fans as f64)
     }
 
     /// Number of fan zones.
@@ -363,7 +374,7 @@ impl RackPlant {
     pub fn hottest_junction(&self) -> Celsius {
         let mut hottest = self.junction(0);
         for i in 1..self.sockets.len() {
-            hottest = hottest.max(self.junction(i));
+            hottest = hottest.hotter(self.junction(i));
         }
         hottest
     }
@@ -382,7 +393,7 @@ impl RackPlant {
         };
         let mut hottest = self.junction(first);
         for &i in rest {
-            hottest = hottest.max(self.junction(i));
+            hottest = hottest.hotter(self.junction(i));
         }
         hottest
     }
@@ -412,8 +423,7 @@ impl RackPlant {
     /// factorization stays warm).
     pub fn set_ambient(&mut self, ambient: Celsius) {
         self.ambient = ambient;
-        let id = self.net.boundary_id("ambient").expect("built with an ambient");
-        self.net.set_boundary_by_id(id, ambient);
+        self.net.set_boundary_by_id(self.ambient_boundary, ambient);
     }
 
     /// The fan speed most recently applied to zone `z`.
@@ -476,10 +486,12 @@ impl RackPlant {
             return self.ambient;
         }
         self.probe_with(powers, fans, |plant, temps| {
-            let sockets = &plant.zone_sockets[z];
-            let mut hottest = temps[plant.sockets[sockets[0]].die.index()];
-            for &i in &sockets[1..] {
-                hottest = hottest.max(temps[plant.sockets[i].die.index()]);
+            let Some((&first, rest)) = plant.zone_sockets[z].split_first() else {
+                return plant.ambient;
+            };
+            let mut hottest = temps[plant.sockets[first].die.index()];
+            for &i in rest {
+                hottest = total_max(hottest, temps[plant.sockets[i].die.index()]);
             }
             Celsius::new(hottest)
         })
@@ -514,7 +526,7 @@ impl RackPlant {
                 };
                 let mut hottest = temps[plant.sockets[first].die.index()];
                 for &i in rest {
-                    hottest = hottest.max(temps[plant.sockets[i].die.index()]);
+                    hottest = total_max(hottest, temps[plant.sockets[i].die.index()]);
                 }
                 *slot = Celsius::new(hottest);
             }
@@ -671,9 +683,12 @@ impl ZonePlant<'_> {
             powers.iter().enumerate().map(|(i, &p)| (self.rack.sockets[self.flat(i)].die, p)),
         );
         self.rack.net.steady_state_with_into(links, power_overrides, matrix, temps);
-        let mut hottest = temps[self.rack.sockets[sockets[0]].die.index()];
-        for &i in &sockets[1..] {
-            hottest = hottest.max(temps[self.rack.sockets[i].die.index()]);
+        let Some((&first, rest)) = sockets.split_first() else {
+            return self.rack.ambient;
+        };
+        let mut hottest = temps[self.rack.sockets[first].die.index()];
+        for &i in rest {
+            hottest = total_max(hottest, temps[self.rack.sockets[i].die.index()]);
         }
         Celsius::new(hottest)
     }

@@ -124,12 +124,13 @@ impl RackServer {
     #[must_use]
     pub fn new(spec: RackSpec) -> Self {
         spec.validate();
-        let plant =
-            RackPlant::new(&spec.calibration(), &spec.rack).expect("stock rack topologies compile");
+        let plant = RackPlant::new(&spec.calibration(), &spec.rack)
+            // gfsc-lint: allow(panic) construction-time only (spec.validate() just ran); documented in this fn's `# Panics` section
+            .expect("stock rack topologies compile");
         let server = &spec.server;
         let fans = (0..plant.zone_count())
             .map(|_| {
-                FanActuator::new(server.fan_bounds.lo(), server.fan_bounds, server.fan_slew_per_s)
+                FanActuator::new(server.fan_bounds.lo(), server.fan_bounds, server.fan_slew)
                     .with_cmd_step(server.fan_cmd_step)
             })
             .collect();
@@ -334,9 +335,14 @@ impl RackServer {
     /// naive global controller acts on.
     #[must_use]
     pub fn measured_rack(&self) -> Celsius {
-        let mut hottest = self.measured_zone[0];
-        for &m in &self.measured_zone[1..] {
-            hottest = hottest.max(m);
+        let Some((&first, rest)) = self.measured_zone.split_first() else {
+            // A zoneless rack cannot be built (the spec validates), but
+            // reading ambient beats indexing into an empty aggregate.
+            return self.spec.server.ambient;
+        };
+        let mut hottest = first;
+        for &m in rest {
+            hottest = hottest.hotter(m);
         }
         hottest
     }

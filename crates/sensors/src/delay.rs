@@ -67,7 +67,9 @@ impl<T: Copy> DelayLine<T> {
             return sample;
         }
         self.buf.push_back(sample);
-        self.buf.pop_front().expect("delay line is never empty at depth > 0")
+        // Just pushed, so the line cannot be empty; passing the input
+        // through beats panicking if that invariant ever breaks.
+        self.buf.pop_front().unwrap_or(sample)
     }
 
     /// The value that will be emitted on the next push (the oldest sample),

@@ -70,13 +70,17 @@ impl MovingAverage {
         self.buf.push_back(x);
         self.sum += x;
         if self.buf.len() > self.window {
-            self.sum -= self.buf.pop_front().expect("window overflow implies non-empty");
+            if let Some(evicted) = self.buf.pop_front() {
+                self.sum -= evicted;
+            }
         }
         // Recompute periodically to cancel accumulated rounding drift.
         if self.buf.len() == self.window && self.sum.abs() > 1e12 {
             self.sum = self.buf.iter().sum();
         }
-        self.value().expect("just pushed a sample")
+        // `x` was just pushed, so `value()` is Some; and a one-sample
+        // average *is* `x`, which makes it the natural fallback.
+        self.value().unwrap_or(x)
     }
 
     /// The current average, or `None` before any sample.

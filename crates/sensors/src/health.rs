@@ -94,6 +94,11 @@ impl SensorHealth {
     /// Feeds one poll result: `Some(value)` for a successful read, `None`
     /// for a failed one. Returns the resulting classification.
     pub fn observe(&mut self, now: Seconds, reading: Option<f64>) -> SensorStatus {
+        // A NaN reading is a *failed* read, not a fresh one: NaN != NaN,
+        // so without this guard the change-detector below would count the
+        // same garbage as "the value moved, the sensor is alive" on every
+        // single poll — a poisoned sensor would never go stale.
+        let reading = reading.filter(|v| !v.is_nan());
         if let Some(value) = reading {
             match self.last_value {
                 // A changed value proves the sensor is alive end to end.
@@ -179,6 +184,23 @@ mod tests {
         for k in 0..100 {
             assert_eq!(h.observe(s(k as f64 * 0.5), Some(50.0)), SensorStatus::Fresh);
         }
+    }
+
+    #[test]
+    fn nan_readings_count_as_failed_reads() {
+        let mut h = SensorHealth::new(s(5.0), None);
+        h.observe(s(0.0), Some(40.0));
+        // A poisoned sensor delivering NaN every poll must drain the
+        // staleness budget exactly like a dead one — NaN != NaN would
+        // otherwise read as "changed" (alive) forever.
+        for k in 1..=5 {
+            assert_eq!(h.observe(s(k as f64), Some(f64::NAN)), SensorStatus::Fresh, "t={k}");
+        }
+        assert_eq!(h.observe(s(5.5), Some(f64::NAN)), SensorStatus::Stale);
+        // The last good value survives the poison.
+        assert_eq!(h.last_value(), Some(40.0));
+        // A real reading recovers immediately.
+        assert_eq!(h.observe(s(6.0), Some(41.0)), SensorStatus::Fresh);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Slew-rate-limited fan actuator.
 
-use gfsc_units::{Bounds, Rpm, Seconds};
+use gfsc_units::{Bounds, Rpm, RpmPerSecond, Seconds};
 
 /// A variable-speed fan that approaches its commanded target at a bounded
 /// rate.
@@ -14,12 +14,12 @@ use gfsc_units::{Bounds, Rpm, Seconds};
 ///
 /// ```
 /// use gfsc_server::FanActuator;
-/// use gfsc_units::{Bounds, Rpm, Seconds};
+/// use gfsc_units::{Bounds, Rpm, RpmPerSecond, Seconds};
 ///
 /// let mut fan = FanActuator::new(
 ///     Rpm::new(2000.0),
 ///     Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
-///     1000.0, // rpm per second
+///     RpmPerSecond::new(1000.0),
 /// );
 /// fan.set_target(Rpm::new(5000.0));
 /// fan.step(Seconds::new(1.0));
@@ -30,7 +30,7 @@ pub struct FanActuator {
     speed: Rpm,
     target: Rpm,
     bounds: Bounds<Rpm>,
-    slew_per_s: f64,
+    slew: RpmPerSecond,
     cmd_step: f64,
 }
 
@@ -39,12 +39,12 @@ impl FanActuator {
     ///
     /// # Panics
     ///
-    /// Panics if `slew_per_s` is not positive.
+    /// Panics if `slew` is not positive.
     #[must_use]
-    pub fn new(initial: Rpm, bounds: Bounds<Rpm>, slew_per_s: f64) -> Self {
-        assert!(slew_per_s > 0.0, "slew rate must be positive");
+    pub fn new(initial: Rpm, bounds: Bounds<Rpm>, slew: RpmPerSecond) -> Self {
+        assert!(slew.value() > 0.0, "slew rate must be positive");
         let speed = bounds.clamp(initial);
-        Self { speed, target: speed, bounds, slew_per_s, cmd_step: 0.0 }
+        Self { speed, target: speed, bounds, slew, cmd_step: 0.0 }
     }
 
     /// Restricts commanded targets to multiples of `step` rpm — the PWM
@@ -99,7 +99,7 @@ impl FanActuator {
     /// Advances the mechanics by `dt`, moving toward the target at the slew
     /// rate; returns the new speed.
     pub fn step(&mut self, dt: Seconds) -> Rpm {
-        let max_delta = self.slew_per_s * dt.value();
+        let max_delta = self.slew * dt;
         let gap = self.target - self.speed;
         if gap.abs() <= max_delta {
             self.speed = self.target;
@@ -122,7 +122,11 @@ mod tests {
     use super::*;
 
     fn actuator(initial: f64) -> FanActuator {
-        FanActuator::new(Rpm::new(initial), Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)), 1000.0)
+        FanActuator::new(
+            Rpm::new(initial),
+            Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
+            RpmPerSecond::new(1000.0),
+        )
     }
 
     #[test]
@@ -215,7 +219,7 @@ mod tests {
         let _ = FanActuator::new(
             Rpm::new(2000.0),
             Bounds::new(Rpm::new(1000.0), Rpm::new(8500.0)),
-            0.0,
+            RpmPerSecond::new(0.0),
         );
     }
 }

@@ -6,7 +6,7 @@ use gfsc_sensors::{AdcQuantizer, MeasurementPipeline, Rounding};
 use gfsc_thermal::{
     DieNode, HeatSinkNode, MultiSocketPlant, PlantCalibration, RcNetwork, ServerThermalModel,
 };
-use gfsc_units::{Celsius, Joules, Rpm, Seconds, Utilization, Watts};
+use gfsc_units::{total_max, Celsius, Joules, Rpm, Seconds, Utilization, Watts};
 
 /// The thermal plant behind a [`Server`]: either the paper's exact
 /// two-node model or a topology compiled onto the cached RC network.
@@ -87,7 +87,7 @@ impl Plant {
         match self {
             Plant::TwoNode(m) => {
                 assert_eq!(powers.len(), 1, "single-socket plant takes one power");
-                m.step(dt, powers[0], fan);
+                m.step(dt, powers.first().copied().unwrap_or_default(), fan);
             }
             Plant::Network(p) => p.step(dt, powers, fan),
         }
@@ -104,7 +104,7 @@ impl Plant {
         match self {
             Plant::TwoNode(m) => {
                 assert_eq!(powers.len(), 1, "single-socket plant takes one power");
-                m.steady_state_junction(powers[0], fan)
+                m.steady_state_junction(powers.first().copied().unwrap_or_default(), fan)
             }
             Plant::Network(p) => p.steady_state_hottest(powers, fan),
         }
@@ -123,7 +123,7 @@ impl Plant {
         match self {
             Plant::TwoNode(m) => {
                 assert_eq!(powers.len(), 1, "single-socket plant takes one power");
-                m.min_safe_fan_speed(powers[0], limit)
+                m.min_safe_fan_speed(powers.first().copied().unwrap_or_default(), limit)
             }
             Plant::Network(p) => p.min_safe_fan_speed(powers, limit),
         }
@@ -198,10 +198,11 @@ impl Server {
         } else {
             Plant::Network(Box::new(
                 MultiSocketPlant::new(&Self::calibration(&spec), &spec.topology)
+                    // gfsc-lint: allow(panic) construction-time only (spec.validate() just ran); documented in this fn's `# Panics` section
                     .expect("stock topologies compile"),
             ))
         };
-        let fan = FanActuator::new(spec.fan_bounds.lo(), spec.fan_bounds, spec.fan_slew_per_s)
+        let fan = FanActuator::new(spec.fan_bounds.lo(), spec.fan_bounds, spec.fan_slew)
             .with_cmd_step(spec.fan_cmd_step);
         let pipelines: Vec<MeasurementPipeline> =
             (0..plant.socket_count()).map(|_| Self::build_pipeline(&spec, spec.ambient)).collect();
@@ -259,9 +260,14 @@ impl Server {
     fn aggregate(spec: &ServerSpec, pipelines: &[MeasurementPipeline]) -> Celsius {
         match spec.aggregation {
             TempAggregation::Max => {
-                let mut hottest = pipelines[0].current();
-                for p in &pipelines[1..] {
-                    hottest = hottest.max(p.current());
+                let Some((first, rest)) = pipelines.split_first() else {
+                    // A socketless spec cannot validate; ambient is the
+                    // honest reading for "no sensors", not a panic.
+                    return spec.ambient;
+                };
+                let mut hottest = first.current();
+                for p in rest {
+                    hottest = total_max(hottest, p.current());
                 }
                 Celsius::new(hottest)
             }
@@ -445,7 +451,9 @@ impl Server {
             // Single socket: observe-and-aggregate collapses to the exact
             // sequence the pre-abstraction simulator ran.
             Plant::TwoNode(m) => {
-                self.measured = self.pipelines[0].observe_celsius(self.now, m.junction());
+                if let Some(pipeline) = self.pipelines.first_mut() {
+                    self.measured = pipeline.observe_celsius(self.now, m.junction());
+                }
             }
             Plant::Network(p) => {
                 for (i, pipeline) in self.pipelines.iter_mut().enumerate() {
@@ -481,6 +489,7 @@ impl Server {
         let fan_speed = self.fan.step(dt);
         match &mut self.plant {
             Plant::TwoNode(_) => {
+                // gfsc-lint: allow(panic) documented API contract: the batch halves are only reachable through run_batch, which asserts RC-network lanes up front
                 panic!("batched stepping requires an RC-network plant (multi-socket topology)")
             }
             Plant::Network(p) => p.prepare_step(&self.socket_powers, fan_speed),
@@ -501,6 +510,7 @@ impl Server {
         self.now += dt;
         match &mut self.plant {
             Plant::TwoNode(_) => {
+                // gfsc-lint: allow(panic) documented API contract: the batch halves are only reachable through run_batch, which asserts RC-network lanes up front
                 panic!("batched stepping requires an RC-network plant (multi-socket topology)")
             }
             Plant::Network(p) => {
@@ -554,7 +564,9 @@ impl Server {
                 // Drive to equilibrium exactly by stepping once with a huge dt.
                 m.step(Seconds::new(1e9), p_cpu, fan);
                 debug_assert!((m.heat_sink() - sink_ss).abs() < 1e-6);
-                self.pipelines[0] = Self::build_pipeline(&self.spec, t_j);
+                if let Some(pipeline) = self.pipelines.first_mut() {
+                    *pipeline = Self::build_pipeline(&self.spec, t_j);
+                }
             }
             Plant::Network(p) => {
                 Self::fill_socket_powers(&self.spec, utilization, &mut self.socket_powers);

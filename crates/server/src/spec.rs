@@ -2,7 +2,7 @@
 
 use gfsc_power::{CpuPowerModel, FanPowerModel};
 use gfsc_thermal::{HeatSinkLaw, Topology};
-use gfsc_units::{Bounds, Celsius, KelvinPerWatt, Rpm, Seconds};
+use gfsc_units::{Bounds, Celsius, KelvinPerWatt, Rpm, RpmPerSecond, Seconds};
 
 /// How the per-socket firmware readings are folded into the one
 /// temperature the global controllers act on.
@@ -63,8 +63,8 @@ pub struct ServerSpec {
     /// worst sustained load cannot run away faster than one control
     /// blind-window (sensor lag + fan period) — see DESIGN.md §4.
     pub fan_bounds: Bounds<Rpm>,
-    /// Fan mechanical slew rate in rpm per second.
-    pub fan_slew_per_s: f64,
+    /// Fan mechanical slew rate.
+    pub fan_slew: RpmPerSecond,
     /// Commanded-speed granularity in rpm: fan firmware exposes a PWM duty
     /// register, so targets land on a discrete grid. `0` models an ideal
     /// continuously-commandable fan (the Table I default — the paper's
@@ -110,7 +110,7 @@ impl ServerSpec {
             r_jc: KelvinPerWatt::new(0.10),
             die_tau: Seconds::new(0.1),
             fan_bounds: Bounds::new(Rpm::new(1500.0), Rpm::new(8500.0)),
-            fan_slew_per_s: 1000.0,
+            fan_slew: RpmPerSecond::new(1000.0),
             fan_cmd_step: 0.0,
             sensor_interval: Seconds::new(1.0),
             sensor_lag: Seconds::new(10.0),
@@ -148,7 +148,7 @@ impl ServerSpec {
     /// and sensing intervals, or the slew rate is not positive, or the
     /// quantization step is negative.
     pub fn validate(&self) {
-        assert!(self.fan_slew_per_s > 0.0, "fan slew rate must be positive");
+        assert!(self.fan_slew.value() > 0.0, "fan slew rate must be positive");
         assert!(self.fan_cmd_step >= 0.0, "fan command step must be non-negative");
         assert!(self.quantization_step >= 0.0, "quantization step must be non-negative");
         self.topology.validate();
@@ -238,7 +238,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "slew")]
     fn non_positive_slew_rejected() {
-        let spec = ServerSpec { fan_slew_per_s: 0.0, ..ServerSpec::enterprise_default() };
+        let spec =
+            ServerSpec { fan_slew: RpmPerSecond::new(0.0), ..ServerSpec::enterprise_default() };
         spec.validate();
     }
 

@@ -342,7 +342,9 @@ fn read_column(path: &Path, len: usize) -> Result<Vec<f64>, TraceError> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8")))
+        // `chunks_exact(8)` only yields 8-byte chunks, so the conversion
+        // cannot fail; a zeroed fallback keeps the path panic-free.
+        .map(|chunk| f64::from_le_bytes(chunk.try_into().unwrap_or_default()))
         .collect())
 }
 

@@ -330,7 +330,9 @@ impl TraceSet {
         // Union of all sample times.
         let mut times: Vec<f64> =
             self.traces.iter().flat_map(|tr| tr.times().iter().copied()).collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("trace times are never NaN"));
+        // Total order: a NaN time (which `record` never produces) sorts
+        // above +inf instead of panicking the CSV export.
+        times.sort_by(f64::total_cmp);
         times.dedup();
 
         for &t in &times {

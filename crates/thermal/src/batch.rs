@@ -289,7 +289,11 @@ impl BatchRcNetwork {
     fn resolve_factor(&mut self, net: &RcNetwork, dt: f64) -> usize {
         let caps = net.capacitances_raw();
         let links = net.links_raw();
-        self.sig[0] = dt.to_bits();
+        // `sig` is sized `1 + caps + links` at construction; `first_mut`
+        // keeps the signature write index-panic-free regardless.
+        if let Some(slot) = self.sig.first_mut() {
+            *slot = dt.to_bits();
+        }
         let mut w = 1;
         for &i in &self.sig_caps {
             self.sig[w] = caps[i as usize].to_bits();

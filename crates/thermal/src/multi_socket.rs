@@ -9,8 +9,8 @@
 //! cache makes N-node stepping as cheap as the hand-rolled pair.
 
 use crate::{
-    FanZoneMap, HeatSinkLaw, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder, Topology,
-    ZoneId,
+    BoundaryId, FanZoneMap, HeatSinkLaw, LinkId, NetworkError, NodeId, RcNetwork, RcNetworkBuilder,
+    Topology, ZoneId,
 };
 use gfsc_units::{Celsius, JoulesPerKelvin, KelvinPerWatt, Rpm, Seconds, Watts};
 
@@ -75,6 +75,9 @@ pub struct MultiSocketPlant {
     zones: FanZoneMap,
     zone: ZoneId,
     ambient: Celsius,
+    /// Resolved once at build so `set_ambient` never does a name lookup
+    /// (or a fallible one) on the runtime path.
+    ambient_boundary: BoundaryId,
 }
 
 impl MultiSocketPlant {
@@ -151,38 +154,33 @@ impl MultiSocketPlant {
         let net = builder.build()?;
         let mut zones = FanZoneMap::new();
         let zone = zones.add_zone("fan", fan0);
-        let sockets = topology
-            .sockets()
-            .iter()
-            .map(|socket| {
-                let sink_name = format!("sink-{}", socket.name);
-                let law = cal.law.with_airflow_derate(socket.airflow_derate);
-                if segments == 0 {
+        let node = |name: String| net.node_id(&name).ok_or(NetworkError::UnknownName(name));
+        let mut sockets = Vec::with_capacity(topology.sockets().len());
+        for socket in topology.sockets() {
+            let sink_name = format!("sink-{}", socket.name);
+            let law = cal.law.with_airflow_derate(socket.airflow_derate);
+            if segments == 0 {
+                zones.attach(zone, net.link_id(&sink_name, "ambient")?, law);
+            } else {
+                // Every fin breathes the shared fan; identical laws per
+                // socket let the zone evaluate the law once per socket.
+                let fin_law = law.with_airflow_derate(segments as f64);
+                for j in 0..segments {
                     zones.attach(
                         zone,
-                        net.link_id(&sink_name, "ambient").expect("built above"),
-                        law,
+                        net.link_id(&format!("fin{j}-{}", socket.name), "ambient")?,
+                        fin_law,
                     );
-                } else {
-                    // Every fin breathes the shared fan; identical laws per
-                    // socket let the zone evaluate the law once per socket.
-                    let fin_law = law.with_airflow_derate(segments as f64);
-                    for j in 0..segments {
-                        zones.attach(
-                            zone,
-                            net.link_id(&format!("fin{j}-{}", socket.name), "ambient")
-                                .expect("built above"),
-                            fin_law,
-                        );
-                    }
                 }
-                SocketHandles {
-                    die: net.node_id(&format!("die-{}", socket.name)).expect("built above"),
-                    sink: net.node_id(&sink_name).expect("built above"),
-                }
-            })
-            .collect();
-        Ok(Self { net, sockets, zones, zone, ambient: cal.ambient })
+            }
+            sockets.push(SocketHandles {
+                die: node(format!("die-{}", socket.name))?,
+                sink: node(sink_name)?,
+            });
+        }
+        let ambient_boundary =
+            net.boundary_id("ambient").ok_or(NetworkError::UnknownName("ambient".to_owned()))?;
+        Ok(Self { net, sockets, zones, zone, ambient: cal.ambient, ambient_boundary })
     }
 
     /// Number of sockets.
@@ -232,8 +230,7 @@ impl MultiSocketPlant {
     /// factorization stays warm).
     pub fn set_ambient(&mut self, ambient: Celsius) {
         self.ambient = ambient;
-        let id = self.net.boundary_id("ambient").expect("built with an ambient");
-        self.net.set_boundary_by_id(id, ambient);
+        self.net.set_boundary_by_id(self.ambient_boundary, ambient);
     }
 
     /// Advances the plant by `dt` under per-socket CPU powers `powers`
@@ -312,9 +309,14 @@ impl MultiSocketPlant {
     #[must_use]
     pub fn steady_state_hottest(&self, powers: &[Watts], fan: Rpm) -> Celsius {
         let temps = self.probe(powers, fan);
-        let mut hottest = temps[self.sockets[0].die_index()];
-        for s in &self.sockets[1..] {
-            hottest = hottest.max(temps[s.die_index()]);
+        let Some((first, rest)) = self.sockets.split_first() else {
+            // A socketless topology cannot compile; ambient is the honest
+            // "nothing to scan" answer rather than an index panic.
+            return self.ambient;
+        };
+        let mut hottest = temps[first.die_index()];
+        for s in rest {
+            hottest = hottest.hotter(temps[s.die_index()]);
         }
         hottest
     }

@@ -187,9 +187,10 @@ impl RcNetworkBuilder {
             .chain(self.boundary_names.iter().map(String::as_str))
             .collect();
         all.sort_unstable();
-        for w in all.windows(2) {
-            if w[0] == w[1] {
-                return Err(NetworkError::DuplicateName(w[0].to_owned()));
+        for pair in all.windows(2) {
+            let [first, second] = pair else { continue };
+            if first == second {
+                return Err(NetworkError::DuplicateName((*first).to_owned()));
             }
         }
 
@@ -552,7 +553,9 @@ impl RcNetwork {
                     a[i * n + i] += link.conductance;
                     b[i] += link.conductance * self.boundary_temps[k];
                 }
-                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+                // Rejected at build (BoundaryToBoundary); such a link
+                // couples no node, so skipping it is the faithful no-op.
+                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => {}
             }
         }
         solve_dense(&mut a, &mut b, n);
@@ -657,7 +660,9 @@ impl RcNetwork {
                     a[i * n + i] += g;
                     b[i] += g * self.boundary_temps[k];
                 }
-                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+                // Rejected at build (BoundaryToBoundary); such a link
+                // couples no node, so skipping it is the faithful no-op.
+                (Endpoint::Boundary(_), Endpoint::Boundary(_)) => {}
             }
         }
         solve_dense(a, b, n);
@@ -756,7 +761,9 @@ pub(crate) fn assemble_matrix(capacitances: &[f64], links: &[Link], dt: f64, a: 
             | (Endpoint::Boundary(_), Endpoint::Node(i)) => {
                 a[i * n + i] += link.conductance;
             }
-            (Endpoint::Boundary(_), Endpoint::Boundary(_)) => unreachable!("rejected at build"),
+            // Rejected at build (BoundaryToBoundary); such a link
+            // couples no node, so skipping it is the faithful no-op.
+            (Endpoint::Boundary(_), Endpoint::Boundary(_)) => {}
         }
     }
 }

@@ -29,6 +29,7 @@
 
 mod bounds;
 mod energy;
+mod ordering;
 mod speed;
 mod temperature;
 mod thermal;
@@ -37,7 +38,8 @@ mod utilization;
 
 pub use bounds::Bounds;
 pub use energy::{Joules, Watts};
-pub use speed::Rpm;
+pub use ordering::{total_max, total_min};
+pub use speed::{Rpm, RpmPerSecond};
 pub use temperature::Celsius;
 pub use thermal::{JoulesPerKelvin, KelvinPerWatt};
 pub use time::Seconds;

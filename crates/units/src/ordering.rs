@@ -1,0 +1,93 @@
+//! Total-order folds over `f64` — the workspace NaN policy.
+//!
+//! `f64::max` / `f64::min` silently *drop* a NaN operand (IEEE 754
+//! maxNum semantics): `f64::NAN.max(45.0) == 45.0`. In a
+//! hottest-socket scan that makes a poisoned reading vanish — the
+//! controller would happily report "everything is cool" off a sensor
+//! that returned garbage. These helpers use [`f64::total_cmp`]
+//! instead, under which positive NaN orders **above +∞**: a NaN
+//! surfaces from a max-scan as "hottest" (fail-hot, so guards and
+//! fallbacks trip) and never wins a min-scan (a blind server is never
+//! selected as the coolest migration target).
+//!
+//! For non-NaN, nonzero operands the result is bit-identical to
+//! `f64::max`/`f64::min`, which is what keeps the golden traces stable
+//! across the panic-freedom sweep.
+
+use core::cmp::Ordering;
+
+/// The larger of `a` and `b` under the IEEE 754 total order.
+///
+/// NaN wins: a poisoned operand propagates out of a max-fold instead
+/// of being dropped.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::total_max;
+///
+/// assert_eq!(total_max(1.0, 2.0), 2.0);
+/// assert!(total_max(f64::NAN, 2.0).is_nan());
+/// assert!(total_max(2.0, f64::NAN).is_nan());
+/// ```
+#[must_use]
+pub fn total_max(a: f64, b: f64) -> f64 {
+    match a.total_cmp(&b) {
+        Ordering::Less => b,
+        _ => a,
+    }
+}
+
+/// The smaller of `a` and `b` under the IEEE 754 total order.
+///
+/// Positive NaN loses (it sits above +∞), so a min-selection never
+/// picks a poisoned candidate.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::total_min;
+///
+/// assert_eq!(total_min(1.0, 2.0), 1.0);
+/// assert_eq!(total_min(f64::NAN, 2.0), 2.0);
+/// ```
+#[must_use]
+pub fn total_min(a: f64, b: f64) -> f64 {
+    match a.total_cmp(&b) {
+        Ordering::Greater => b,
+        _ => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_nan_matches_ieee_max_min() {
+        for (a, b) in [(1.0, 2.0), (-3.5, 7.25), (80.0, 80.0), (0.0, 45.0)] {
+            assert_eq!(total_max(a, b), f64::max(a, b));
+            assert_eq!(total_min(a, b), f64::min(a, b));
+        }
+    }
+
+    #[test]
+    fn nan_propagates_out_of_max_folds() {
+        assert!(total_max(f64::NAN, 100.0).is_nan());
+        assert!(total_max(100.0, f64::NAN).is_nan());
+        assert!(total_max(f64::INFINITY, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn nan_never_wins_a_min_selection() {
+        assert_eq!(total_min(f64::NAN, 100.0), 100.0);
+        assert_eq!(total_min(100.0, f64::NAN), 100.0);
+    }
+
+    #[test]
+    fn fold_over_a_poisoned_scan_surfaces_the_nan() {
+        let temps = [45.0, f64::NAN, 62.0];
+        let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, total_max);
+        assert!(hottest.is_nan(), "the poisoned reading must surface, not vanish");
+    }
+}

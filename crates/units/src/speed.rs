@@ -1,7 +1,9 @@
-//! Rotational fan speed in revolutions per minute.
+//! Rotational fan speed in revolutions per minute, and its slew rate.
 
+use crate::time::Seconds;
+use crate::{total_max, total_min};
 use core::fmt;
-use core::ops::{Add, AddAssign, Sub, SubAssign};
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
 /// A fan speed in revolutions per minute (rpm).
 ///
@@ -74,15 +76,18 @@ impl Rpm {
     }
 
     /// Returns the larger of two speeds.
+    ///
+    /// Total order internally; `Rpm` cannot hold NaN (the constructor
+    /// asserts), so this is bit-identical to `f64::max`.
     #[must_use]
     pub fn max(self, other: Self) -> Self {
-        Self(self.0.max(other.0))
+        Self(total_max(self.0, other.0))
     }
 
     /// Returns the smaller of two speeds.
     #[must_use]
     pub fn min(self, other: Self) -> Self {
-        Self(self.0.min(other.0))
+        Self(total_min(self.0, other.0))
     }
 }
 
@@ -134,6 +139,65 @@ impl Sub for Rpm {
 
     fn sub(self, other: Rpm) -> f64 {
         self.0 - other.0
+    }
+}
+
+/// A fan slew rate in rpm per second — how fast an actuator can move
+/// between speeds.
+///
+/// Kept distinct from [`Rpm`] so a rate is never handed where a speed is
+/// expected (and vice versa). Multiplying by [`Seconds`] yields the bare
+/// rpm delta covered in that time, ready for `Rpm + f64` arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use gfsc_units::{RpmPerSecond, Seconds};
+///
+/// let slew = RpmPerSecond::new(1000.0);
+/// assert_eq!(slew * Seconds::new(1.5), 1500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct RpmPerSecond(f64);
+
+impl RpmPerSecond {
+    /// Creates a slew rate from a value in rpm per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or NaN.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(!rate.is_nan(), "slew rate must not be NaN");
+        assert!(rate >= 0.0, "slew rate must be non-negative, got {rate}");
+        Self(rate)
+    }
+
+    /// Returns the rate value in rpm per second.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RpmPerSecond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} rpm/s", self.0)
+    }
+}
+
+impl From<RpmPerSecond> for f64 {
+    fn from(r: RpmPerSecond) -> f64 {
+        r.0
+    }
+}
+
+/// `RpmPerSecond * Seconds` yields the rpm delta covered in that time.
+impl Mul<Seconds> for RpmPerSecond {
+    type Output = f64;
+
+    fn mul(self, dt: Seconds) -> f64 {
+        self.0 * dt.value()
     }
 }
 
@@ -201,5 +265,24 @@ mod tests {
     #[should_panic(expected = "zero fan speed")]
     fn ratio_against_zero_rejected() {
         let _ = Rpm::new(100.0).ratio_of(Rpm::new(0.0));
+    }
+
+    #[test]
+    fn slew_rate_times_time_is_a_delta() {
+        let slew = RpmPerSecond::new(1000.0);
+        assert_eq!(slew * Seconds::new(2.0), 2000.0);
+        assert_eq!(slew.value(), 1000.0);
+        assert_eq!(f64::from(slew), 1000.0);
+    }
+
+    #[test]
+    fn slew_rate_displays_with_unit() {
+        assert_eq!(RpmPerSecond::new(1000.0).to_string(), "1000 rpm/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_slew_rejected() {
+        let _ = RpmPerSecond::new(-1.0);
     }
 }

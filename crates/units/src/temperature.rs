@@ -1,5 +1,7 @@
 //! Absolute temperatures in degrees Celsius.
 
+use crate::ordering::{total_max, total_min};
+use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -35,22 +37,60 @@ impl Celsius {
         Self(deg_c)
     }
 
+    /// Fallible constructor for untrusted boundary values (telemetry
+    /// backends, text adapters): `None` for NaN instead of a panic, so
+    /// a poisoned reading becomes a *missing* reading and flows into
+    /// the sensor-health machinery rather than aborting the loop.
+    #[must_use]
+    pub fn try_new(deg_c: f64) -> Option<Self> {
+        if deg_c.is_nan() {
+            None
+        } else {
+            Some(Self(deg_c))
+        }
+    }
+
     /// Returns the temperature value in degrees Celsius.
     #[must_use]
     pub fn value(self) -> f64 {
         self.0
     }
 
-    /// Returns the larger of two temperatures.
+    /// Total order over temperatures. `Celsius` cannot hold NaN, so
+    /// this agrees with `PartialOrd` everywhere — it exists so
+    /// selection loops can be written against a total order (and pass
+    /// the `nan-cmp` lint) without an `unwrap`.
     #[must_use]
-    pub fn max(self, other: Self) -> Self {
-        Self(self.0.max(other.0))
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
     }
 
-    /// Returns the smaller of two temperatures.
+    /// Returns the larger of two temperatures (total order).
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        self.hotter(other)
+    }
+
+    /// Returns the smaller of two temperatures (total order).
     #[must_use]
     pub fn min(self, other: Self) -> Self {
-        Self(self.0.min(other.0))
+        self.cooler(other)
+    }
+
+    /// The hotter of two temperatures — the domain-named total-order
+    /// fold the hottest-socket scans use (the `nan-maxmin` lint bans
+    /// raw `.max(` in those files, since `f64::max` drops NaN and a
+    /// lexical rule cannot tell a safe receiver from an `f64`).
+    #[must_use]
+    pub fn hotter(self, other: Self) -> Self {
+        Self(total_max(self.0, other.0))
+    }
+
+    /// The cooler of two temperatures (total order; see
+    /// [`Self::hotter`]).
+    #[must_use]
+    pub fn cooler(self, other: Self) -> Self {
+        Self(total_min(self.0, other.0))
     }
 
     /// Clamps the temperature into `[lo, hi]`.
@@ -179,6 +219,22 @@ mod tests {
     #[test]
     fn display_formats_with_unit() {
         assert_eq!(Celsius::new(75.0).to_string(), "75.00 °C");
+    }
+
+    #[test]
+    fn try_new_maps_nan_to_none() {
+        assert_eq!(Celsius::try_new(42.0), Some(Celsius::new(42.0)));
+        assert!(Celsius::try_new(f64::NAN).is_none());
+        assert_eq!(Celsius::try_new(f64::INFINITY), Some(Celsius::new(f64::INFINITY)));
+    }
+
+    #[test]
+    fn total_cmp_agrees_with_partial_ord() {
+        let pairs = [(70.0, 80.0), (80.0, 70.0), (75.0, 75.0), (-5.0, 3.0)];
+        for (a, b) in pairs {
+            let (a, b) = (Celsius::new(a), Celsius::new(b));
+            assert_eq!(Some(a.total_cmp(&b)), a.partial_cmp(&b));
+        }
     }
 
     #[test]

@@ -97,15 +97,18 @@ impl Utilization {
     }
 
     /// Returns the smaller of two utilizations (e.g. applying a cap).
+    ///
+    /// Total order internally; `Utilization` cannot hold NaN (the
+    /// constructor asserts), so this is bit-identical to `f64::min`.
     #[must_use]
     pub fn min(self, other: Self) -> Self {
-        Self(self.0.min(other.0))
+        Self(crate::total_min(self.0, other.0))
     }
 
     /// Returns the larger of two utilizations.
     #[must_use]
     pub fn max(self, other: Self) -> Self {
-        Self(self.0.max(other.0))
+        Self(crate::total_max(self.0, other.0))
     }
 
     /// Clamps the utilization into `[lo, hi]`.

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # CI gate for the gfsc workspace. Run from the repository root:
 #
-#     ./scripts/ci.sh          # full gate: fmt, clippy, build, tests twice
+#     ./scripts/ci.sh          # full gate: fmt, clippy, lint, build, tests twice
 #                              # (GFSC_SWEEP_THREADS=1 and =4 — determinism
 #                              # under both executors), release tests,
 #                              # daemon HIL drill, large-grid smoke, bench
 #                              # smoke, bench check
-#     ./scripts/ci.sh quick    # single test run + daemon HIL drill; skip
-#                              # the release tests & bench stages
+#     ./scripts/ci.sh quick    # fmt, clippy, lint, single test run +
+#                              # daemon HIL drill; skip the release tests
+#                              # & bench stages
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds the style gates that keep the tree warning-free.
@@ -36,6 +37,12 @@ run_stage() {
 
 run_stage "fmt" cargo fmt --check
 run_stage "clippy" cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+# The domain lint gate (lint.toml): panic-freedom on runtime paths,
+# NaN-safe ordering, allocation hygiene in epoch loops, unit hygiene on
+# public signatures, event-taxonomy coverage. Exit 1 on any non-waived
+# error or a blown waiver budget; the JSON report is the CI artifact.
+run_stage "lint" cargo run -q --locked --offline -p gfsc-lint -- \
+    --quiet --out target/gfsc-lint.json
 run_stage "build" cargo build --release --locked --offline
 
 # The hardware-in-the-loop drill runs in BOTH profiles: the daemon vs the

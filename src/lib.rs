@@ -4,5 +4,6 @@
 //! All functionality lives in the member crates; start from [`gfsc`].
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use gfsc;
