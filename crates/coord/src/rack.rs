@@ -419,6 +419,35 @@ impl RackControl {
             RackControl::MigratingCoordinated { adaptive_reference: true } => "coordinated+migrate",
         }
     }
+
+    /// Parses a [`label`](Self::label) back into its mode — the config
+    ///-file boundary (`gfsc-daemond` names its control mode by label).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown label.
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        // `ALL` omits the `adaptive_reference: false` variants, so match
+        // over the full label set rather than iterating it.
+        match label {
+            "lockstep" => Ok(RackControl::GlobalLockstep),
+            "coordinated" => Ok(RackControl::Coordinated { adaptive_reference: false }),
+            "coordinated+adaptive" => Ok(RackControl::Coordinated { adaptive_reference: true }),
+            "coordinated+ss-fixed" => {
+                Ok(RackControl::CoordinatedSsFan { adaptive_reference: false })
+            }
+            "coordinated+ss" => Ok(RackControl::CoordinatedSsFan { adaptive_reference: true }),
+            "coordinated+e-coord" => Ok(RackControl::CoordinatedECoord),
+            "global-e-coord" => Ok(RackControl::GlobalECoord),
+            "coordinated+migrate-fixed" => {
+                Ok(RackControl::MigratingCoordinated { adaptive_reference: false })
+            }
+            "coordinated+migrate" => {
+                Ok(RackControl::MigratingCoordinated { adaptive_reference: true })
+            }
+            other => Err(format!("unknown control mode: {other}")),
+        }
+    }
 }
 
 /// Everything a finished rack run reports.
@@ -739,6 +768,21 @@ mod tests {
             .workload(Workload::builder(SquareWave::date14()).build())
             .control(control)
             .build()
+    }
+
+    #[test]
+    fn control_labels_round_trip_every_mode() {
+        for control in RackControl::ALL {
+            assert_eq!(RackControl::from_label(control.label()), Ok(control));
+        }
+        // The two `adaptive_reference: false` variants ALL omits.
+        for control in [
+            RackControl::CoordinatedSsFan { adaptive_reference: false },
+            RackControl::MigratingCoordinated { adaptive_reference: false },
+        ] {
+            assert_eq!(RackControl::from_label(control.label()), Ok(control));
+        }
+        assert!(RackControl::from_label("not-a-mode").is_err());
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! control cycle per CPU epoch, fan decisions at the fan interval — so
 //! a fault-free run over [`crate::SimTelemetry`] replays the batch loop
 //! bit-for-bit (fan/cap/measured traces; `tests/parity.rs`).
+//! [`Daemon::run_paced`] is the same loop paced on a [`WallClock`]:
+//! cycles start on a real-time grid, late starts and overrunning work
+//! are counted and recorded, and a persistent overrun streak is treated
+//! as a watchdog matter like any other telemetry failure.
 //!
 //! The watchdog wraps every cycle:
 //!
@@ -24,7 +28,10 @@
 //! Every transition is counted in [`DaemonMetrics`] and timestamped in
 //! the run's event log.
 
-use crate::{DaemonMetrics, DaemonRackView, FanActuator, MetricsEndpoint, TelemetrySource};
+use crate::{
+    DaemonMetrics, DaemonRackView, FanActuator, MetricsEndpoint, PacingConfig, TelemetrySource,
+    WallClock,
+};
 use gfsc_coord::{RackChannels, RackControlBank, RackControlConfig, RackView};
 use gfsc_obs::{EventKind, FlightSnapshot, Source};
 use gfsc_rack::RackSpec;
@@ -45,6 +52,10 @@ pub enum FallbackReason {
     ActuationFailures,
     /// The poll or control path panicked.
     ControllerPanic,
+    /// Paced cycles kept overrunning their wall period past the streak
+    /// budget — the loop cannot keep the control cadence, so the rack
+    /// goes back to firmware until cycles land on time again.
+    OverrunStreak,
 }
 
 impl FallbackReason {
@@ -58,6 +69,7 @@ impl FallbackReason {
             Self::ReadFailures => 1.0,
             Self::ActuationFailures => 2.0,
             Self::ControllerPanic => 3.0,
+            Self::OverrunStreak => 4.0,
         }
     }
 }
@@ -245,8 +257,43 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
         &self.metrics
     }
 
-    /// Runs the loop for `horizon` simulated seconds.
+    /// Runs the loop for `horizon` simulated seconds, as fast as the
+    /// CPU allows (no wall-clock pacing — the batch-parity mode).
     pub fn run(&mut self, horizon: Seconds) -> DaemonRunOutcome {
+        self.run_inner(horizon, None)
+    }
+
+    /// Runs the **identical** loop, but paced on `wall`: control cycle
+    /// `k` starts at wall time `k · cpu_control_interval · time_scale`,
+    /// with deadline misses and overruns accounted into the metrics and
+    /// the flight recorder, and a persistent overrun streak driving
+    /// firmware fallback ([`FallbackReason::OverrunStreak`]).
+    ///
+    /// Pacing never touches the control path — under a
+    /// [`crate::MockClock`] with no injected overruns the traces are
+    /// bit-identical to [`Self::run`] (pinned by `tests/paced.rs`).
+    pub fn run_paced(
+        &mut self,
+        horizon: Seconds,
+        wall: &mut dyn WallClock,
+        pacing: PacingConfig,
+    ) -> DaemonRunOutcome {
+        self.run_inner(horizon, Some((wall, pacing)))
+    }
+
+    /// The shared loop behind [`Self::run`] / [`Self::run_paced`].
+    ///
+    /// Loop-boundary note, pinned by `tests/paced.rs`: the step loop is
+    /// `0..=steps` with the plant advanced *after* the final control
+    /// cycle, so the backend ends at `horizon + sim_dt`. That mirrors
+    /// `RackLoopSim::run` exactly (same `0..=steps` shape, same trailing
+    /// plant step) and is required for the bit-for-bit parity contract —
+    /// an off-by-one "fix" here would shift every golden trace.
+    fn run_inner(
+        &mut self,
+        horizon: Seconds,
+        mut pacing: Option<(&mut dyn WallClock, PacingConfig)>,
+    ) -> DaemonRunOutcome {
         let spec = self.view.spec().server.clone();
         let mut clock = Clock::new(spec.sim_dt);
         let mut cpu_epoch = Periodic::new(spec.cpu_control_interval);
@@ -260,11 +307,26 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
             self.view.socket_count(),
         );
 
+        // Wall-pacing state: cycle k's deadline is origin + k periods.
+        let period_wall = pacing
+            .as_ref()
+            .map_or(0.0, |(_, cfg)| spec.cpu_control_interval.value() * cfg.time_scale);
+        let wall_origin = pacing.as_mut().map_or(0.0, |(wall, _)| wall.now().value());
+        let mut overrun_streak: u32 = 0;
+
         let steps = clock.steps_for(horizon);
         let mut cycle_idx = 0u64;
         for _ in 0..=steps {
             let now = clock.now();
             if cpu_epoch.is_due(now) {
+                // Sleep to this cycle's wall deadline; how late the
+                // cycle actually starts is the miss statistic.
+                let mut wall_start = 0.0;
+                if let Some((wall, _)) = pacing.as_mut() {
+                    let deadline = wall_origin + cycle_idx as f64 * period_wall;
+                    wall.sleep_until(Seconds::new(deadline));
+                    wall_start = wall.now().value();
+                }
                 // Latency is sampled (every 16th cycle, or every cycle
                 // while an endpoint is attached so each snapshot carries
                 // a fresh reading): observability must not tax the loop
@@ -276,6 +338,21 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
                 if let Some(started) = started {
                     let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     self.metrics.observe_latency(ns);
+                }
+                if let Some((wall, cfg)) = pacing.as_mut() {
+                    wall.on_cycle_complete(cycle_idx);
+                    let deadline = wall_origin + cycle_idx as f64 * period_wall;
+                    let lateness = Seconds::new(wall_start - deadline);
+                    let duration = Seconds::new(wall.now().value() - wall_start);
+                    let cfg = *cfg;
+                    self.account_pacing(
+                        now,
+                        lateness,
+                        duration,
+                        Seconds::new(period_wall),
+                        cfg,
+                        &mut overrun_streak,
+                    );
                 }
                 if let Some(endpoint) = &self.endpoint {
                     let mut snapshot = self.metrics.render();
@@ -465,6 +542,58 @@ impl<B: TelemetrySource + FanActuator> Daemon<B> {
                     self.consecutive_failures = 0;
                 }
             }
+        }
+    }
+
+    /// Books one paced cycle's timing: deadline-miss and overrun
+    /// counters, flight-recorder events, the overrun-streak fallback
+    /// trigger, and the clean-recovery reset — a disturbed cycle must
+    /// not count toward leaving fallback.
+    fn account_pacing(
+        &mut self,
+        now: Seconds,
+        lateness: Seconds,
+        duration: Seconds,
+        period_wall: Seconds,
+        cfg: PacingConfig,
+        overrun_streak: &mut u32,
+    ) {
+        let missed = lateness.value() > cfg.miss_tolerance.value();
+        if missed {
+            self.metrics.deadline_misses += 1;
+            if lateness.value() > self.metrics.worst_lateness_s {
+                self.metrics.worst_lateness_s = lateness.value();
+            }
+            let epoch = self.bank.epoch_index();
+            self.bank.recorder_mut().record(
+                epoch,
+                Source::Rack,
+                EventKind::DeadlineMissed,
+                lateness.value(),
+            );
+        }
+        let overran = duration.value() > period_wall.value();
+        if overran {
+            self.metrics.cycle_overruns += 1;
+            *overrun_streak += 1;
+            let epoch = self.bank.epoch_index();
+            self.bank.recorder_mut().record(
+                epoch,
+                Source::Rack,
+                EventKind::CycleOverrun,
+                duration.value(),
+            );
+            if *overrun_streak >= cfg.max_overrun_streak {
+                self.enter_fallback(now, FallbackReason::OverrunStreak);
+            }
+        } else {
+            *overrun_streak = 0;
+        }
+        self.metrics.overrun_streak = u64::from(*overrun_streak);
+        if (missed || overran) && matches!(self.state, LoopState::Fallback { .. }) {
+            // Pacing is still disturbed: the recovery window restarts
+            // from the next on-time cycle with clean telemetry.
+            self.state = LoopState::Fallback { clean_since: None };
         }
     }
 

@@ -1,0 +1,80 @@
+//! Sensor-name auto-discovery from `ipmitool sdr` output.
+//!
+//! Hand-maintaining a per-host sensor map is how deployments end up
+//! controlling socket 0 off socket 1's sensor. Discovery derives the
+//! map from the same `sdr type temperature` listing the poll path
+//! parses: rows whose names look like CPU/core/processor sensors, in
+//! their numeric order.
+//!
+//! Discovery is **structural, not readability-gated**: a CPU sensor
+//! that happens to print `no reading` during discovery is still the
+//! right sensor for that socket — dropping it would silently remap
+//! every later socket one slot over. Readability is the poll path's
+//! concern (and the watchdog's).
+
+use crate::ipmi::parse_sdr_temperatures;
+
+/// Picks the per-socket temperature-sensor names out of
+/// `ipmitool sdr type temperature` output.
+///
+/// A row qualifies when its name contains `cpu`, `core`, or `proc`
+/// (case-insensitive) — the vendor spellings in the fixture corpus
+/// (`CPU0 Temp`, `Core 2`, `Proc 1 DTS`, …). Qualifying rows are
+/// ordered by the first integer embedded in the name (socket index),
+/// ties and number-free names keeping listing order.
+#[must_use]
+pub fn discover_socket_sensors(sdr_text: &str) -> Vec<String> {
+    let mut found: Vec<(u64, usize, String)> = parse_sdr_temperatures(sdr_text)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            let lowered = r.name.to_ascii_lowercase();
+            ["cpu", "core", "proc"].iter().any(|tag| lowered.contains(tag))
+        })
+        .map(|(pos, r)| (first_number(&r.name).unwrap_or(u64::MAX), pos, r.name))
+        .collect();
+    found.sort_by_key(|entry| (entry.0, entry.1));
+    found.into_iter().map(|(_, _, name)| name).collect()
+}
+
+/// The first run of ASCII digits in `name`, as a number.
+fn first_number(name: &str) -> Option<u64> {
+    let digits: String =
+        name.chars().skip_while(|c| !c.is_ascii_digit()).take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_number_finds_the_socket_index() {
+        assert_eq!(first_number("CPU0 Temp"), Some(0));
+        assert_eq!(first_number("Temp CPU 12"), Some(12));
+        assert_eq!(first_number("Inlet Temp"), None);
+    }
+
+    #[test]
+    fn discovery_orders_by_embedded_number_not_listing_order() {
+        let text = "\
+CPU1 Temp        | 02h | ok  |  3.2 | 47 degrees C
+Inlet Temp       | 05h | ok  |  7.1 | 28 degrees C
+CPU0 Temp        | 01h | ok  |  3.1 | 45 degrees C
+Exhaust Temp     | 06h | ok  |  7.2 | 41 degrees C
+";
+        assert_eq!(discover_socket_sensors(text), vec!["CPU0 Temp", "CPU1 Temp"]);
+    }
+
+    #[test]
+    fn unreadable_cpu_sensors_keep_their_slot() {
+        // Structural discovery: a momentarily-dead sensor must not
+        // shift every later socket's mapping.
+        let text = "\
+CPU0 Temp        | 01h | ok  |  3.1 | 45 degrees C
+CPU1 Temp        | 02h | ns  |  3.2 | no reading
+CPU2 Temp        | 03h | ok  |  3.3 | 51 degrees C
+";
+        assert_eq!(discover_socket_sensors(text), vec!["CPU0 Temp", "CPU1 Temp", "CPU2 Temp"]);
+    }
+}

@@ -1,0 +1,241 @@
+//! CPU-cap enforcement on the real-hardware path.
+//!
+//! Per-socket utilization capping is an OS-side actuation (RAPL power
+//! limits, cgroup CPU quotas), not a BMC command, so the
+//! [`crate::IpmiAdapter`] delegates it to a [`CapEnforcer`]:
+//!
+//! - [`NullEnforcer`] — accept-and-ignore, the historical behavior and
+//!   the right one for deployments that only want fan control;
+//! - [`RaplEnforcer`] — writes RAPL-style `powercap` sysfs files,
+//!   mapping a utilization cap linearly onto a configured power band;
+//! - [`RecordingEnforcer`] — a test double that logs every call.
+//!
+//! Whatever the backend, the watchdog contract holds: entering firmware
+//! fallback **releases** the caps (full power), because a stale cap
+//! pinned on a socket while the daemon is out of the loop is a
+//! performance fault no one is watching.
+
+use crate::TelemetryError;
+use gfsc_units::{Utilization, Watts};
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Applies (and releases) per-socket utilization caps on the platform.
+pub trait CapEnforcer {
+    /// Enforces one cap per socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] if the platform rejects the
+    /// caps — the daemon treats it like any other failed write.
+    fn enforce(&mut self, caps: &[Utilization]) -> Result<(), TelemetryError>;
+
+    /// Releases every cap to full power (the firmware-fallback state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Nack`] if the release fails.
+    fn release(&mut self) -> Result<(), TelemetryError>;
+}
+
+/// Accepts every cap without enforcing anything — fan-control-only
+/// deployments, and the default when no enforcer is wired.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullEnforcer;
+
+impl CapEnforcer for NullEnforcer {
+    fn enforce(&mut self, _caps: &[Utilization]) -> Result<(), TelemetryError> {
+        Ok(())
+    }
+
+    fn release(&mut self) -> Result<(), TelemetryError> {
+        Ok(())
+    }
+}
+
+/// RAPL-style enforcement: socket `i`'s cap is written as a power limit
+/// (µW) to `<root>/intel-rapl:<i>/constraint_0_power_limit_uw`, mapped
+/// linearly from `min_power` (cap 0) to `max_power` (cap 1).
+///
+/// The root is configurable so tests (and non-standard sysfs layouts)
+/// can point it anywhere; production uses
+/// [`RaplEnforcer::POWERCAP_ROOT`].
+#[derive(Debug)]
+pub struct RaplEnforcer {
+    root: PathBuf,
+    min_power: Watts,
+    max_power: Watts,
+}
+
+impl RaplEnforcer {
+    /// The standard Linux powercap mount point.
+    pub const POWERCAP_ROOT: &'static str = "/sys/class/powercap";
+
+    /// An enforcer over `root`, mapping caps onto
+    /// `[min_power, max_power]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power band is empty or reversed.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>, min_power: Watts, max_power: Watts) -> Self {
+        assert!(
+            min_power.value() < max_power.value(),
+            "power band must be a non-empty increasing range"
+        );
+        Self { root: root.into(), min_power, max_power }
+    }
+
+    /// The µW limit a cap maps to on the configured band.
+    fn microwatts_for(&self, cap: Utilization) -> u64 {
+        let lo = self.min_power.value();
+        let hi = self.max_power.value();
+        let watts = lo + cap.value() * (hi - lo);
+        (watts * 1e6).round() as u64
+    }
+
+    fn write_limit(&self, socket: usize, uw: u64) -> Result<(), TelemetryError> {
+        let path = self.root.join(format!("intel-rapl:{socket}/constraint_0_power_limit_uw"));
+        std::fs::write(&path, format!("{uw}\n"))
+            .map_err(|e| TelemetryError::Nack(format!("{}: {e}", path.display())))
+    }
+}
+
+impl CapEnforcer for RaplEnforcer {
+    fn enforce(&mut self, caps: &[Utilization]) -> Result<(), TelemetryError> {
+        for (socket, cap) in caps.iter().enumerate() {
+            self.write_limit(socket, self.microwatts_for(*cap))?;
+        }
+        Ok(())
+    }
+
+    fn release(&mut self) -> Result<(), TelemetryError> {
+        // Release every socket domain present under the root — the
+        // enforcer may be asked to release before it ever enforced.
+        let max_uw = self.microwatts_for(Utilization::FULL);
+        let mut socket = 0usize;
+        while self.root.join(format!("intel-rapl:{socket}")).is_dir() {
+            self.write_limit(socket, max_uw)?;
+            socket += 1;
+        }
+        Ok(())
+    }
+}
+
+/// What a [`RecordingEnforcer`] saw.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct EnforceLog {
+    /// Every `enforce` call's caps, in order.
+    pub enforced: Vec<Vec<Utilization>>,
+    /// Number of `release` calls.
+    pub releases: usize,
+}
+
+/// A test double that records every enforcement call. Clones share the
+/// same log, so a clone kept outside the adapter observes what the
+/// boxed clone inside it was asked to do.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingEnforcer {
+    log: Rc<RefCell<EnforceLog>>,
+}
+
+impl RecordingEnforcer {
+    /// A fresh recorder with an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    #[must_use]
+    pub fn log(&self) -> EnforceLog {
+        self.log.borrow().clone()
+    }
+}
+
+impl CapEnforcer for RecordingEnforcer {
+    fn enforce(&mut self, caps: &[Utilization]) -> Result<(), TelemetryError> {
+        self.log.borrow_mut().enforced.push(caps.to_vec());
+        Ok(())
+    }
+
+    fn release(&mut self) -> Result<(), TelemetryError> {
+        self.log.borrow_mut().releases += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gfsc-rapl-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tempdir");
+        dir
+    }
+
+    fn read_uw(root: &std::path::Path, socket: usize) -> String {
+        std::fs::read_to_string(
+            root.join(format!("intel-rapl:{socket}/constraint_0_power_limit_uw")),
+        )
+        .expect("limit file written")
+        .trim()
+        .to_string()
+    }
+
+    #[test]
+    fn rapl_maps_caps_linearly_onto_the_power_band() {
+        let root = tempdir("enforce");
+        for socket in 0..2 {
+            std::fs::create_dir_all(root.join(format!("intel-rapl:{socket}"))).unwrap();
+        }
+        let mut rapl = RaplEnforcer::new(&root, Watts::new(40.0), Watts::new(120.0));
+        rapl.enforce(&[Utilization::new(0.5), Utilization::FULL]).unwrap();
+        // 40 + 0.5·80 = 80 W; full cap = 120 W.
+        assert_eq!(read_uw(&root, 0), "80000000");
+        assert_eq!(read_uw(&root, 1), "120000000");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rapl_release_restores_full_power_on_every_domain() {
+        let root = tempdir("release");
+        for socket in 0..3 {
+            std::fs::create_dir_all(root.join(format!("intel-rapl:{socket}"))).unwrap();
+        }
+        let mut rapl = RaplEnforcer::new(&root, Watts::new(40.0), Watts::new(120.0));
+        rapl.enforce(&[Utilization::new(0.2), Utilization::new(0.3), Utilization::new(0.4)])
+            .unwrap();
+        rapl.release().unwrap();
+        for socket in 0..3 {
+            assert_eq!(read_uw(&root, socket), "120000000", "socket {socket} released");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rapl_missing_domain_nacks_instead_of_panicking() {
+        let root = tempdir("missing");
+        // No intel-rapl:0 directory at all.
+        let mut rapl = RaplEnforcer::new(&root, Watts::new(40.0), Watts::new(120.0));
+        let err = rapl.enforce(&[Utilization::FULL]).unwrap_err();
+        assert!(matches!(err, TelemetryError::Nack(_)), "{err:?}");
+        // …and a release over zero domains is a clean no-op.
+        rapl.release().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recording_enforcer_shares_its_log_across_clones() {
+        let recorder = RecordingEnforcer::new();
+        let mut boxed: Box<dyn CapEnforcer> = Box::new(recorder.clone());
+        boxed.enforce(&[Utilization::new(0.7)]).unwrap();
+        boxed.release().unwrap();
+        let log = recorder.log();
+        assert_eq!(log.enforced, vec![vec![Utilization::new(0.7)]]);
+        assert_eq!(log.releases, 1);
+    }
+}

@@ -16,8 +16,10 @@
 //! firmware auto-control, `0x30 0x30 0x02 <fan> <percent>` for a duty
 //! write), through a [`CommandRunner`] so tests script the transport.
 
-use crate::{FanActuator, TelemetryError};
-use gfsc_units::{Bounds, Celsius, Rpm, Utilization};
+use crate::discover::discover_socket_sensors;
+use crate::enforce::{CapEnforcer, NullEnforcer};
+use crate::{FanActuator, TelemetryError, TelemetrySource};
+use gfsc_units::{Bounds, Celsius, Rpm, Seconds, Utilization};
 
 /// One named reading parsed from management-tool output.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +34,10 @@ pub struct IpmiReading {
 /// whose fifth field carries the reading (`45 degrees C`).
 ///
 /// Garbage tolerance: rows with fewer than five fields (truncation,
-/// interleaved stderr) are skipped; `no reading` / `ns` / `disabled`
-/// and unparseable values become `None`; decimal commas are accepted.
+/// interleaved stderr) are skipped; `no reading` / `ns` / `na` /
+/// `n/a` / `disabled` / hex state words (`0x...`) and unparseable
+/// values become `None`; decimal commas and thousands separators are
+/// accepted.
 #[must_use]
 pub fn parse_sdr_temperatures(text: &str) -> Vec<IpmiReading> {
     let mut readings = Vec::new();
@@ -81,20 +85,44 @@ fn parse_reading(field: &str) -> Option<Celsius> {
     if field.is_empty()
         || lowered.starts_with("no reading")
         || lowered == "ns"
+        || lowered == "na"
+        || lowered == "n/a"
         || lowered.starts_with("disabled")
     {
         return None;
     }
     let token = field.split_whitespace().next()?;
+    // A raw hex placeholder (`0x0000`, discrete-sensor state words) is
+    // not a temperature, even though `0x...` would parse as 0 through a
+    // lenient number path — and 0 °C is exactly the fabricated-reading
+    // failure the module invariant forbids.
+    if token.get(..2).is_some_and(|prefix| prefix.eq_ignore_ascii_case("0x")) {
+        return None;
+    }
     // `try_new` (not `new`): the wire is untrusted, and a NaN that slipped
     // past the token filter must become a missing reading, not a panic.
     parse_float_token(token).and_then(Celsius::try_new)
 }
 
-/// Parses one numeric token, tolerating a locale decimal comma.
+/// Parses one numeric token, tolerating both comma conventions:
+///
+/// - exactly one comma and no dot is a locale decimal comma
+///   (`45,5` → 45.5);
+/// - commas alongside a dot, or more than one comma, are thousands
+///   separators (`1,234.5` → 1234.5, `1,234,567` → 1234567) — the old
+///   blanket comma→dot rewrite turned these into unparseable
+///   `1.234.5`, silently dropping valid readings.
+///
 /// Non-finite results count as unreadable.
 fn parse_float_token(token: &str) -> Option<f64> {
-    let normalized = token.replace(',', ".");
+    let commas = token.matches(',').count();
+    let normalized = if commas == 0 {
+        token.to_owned()
+    } else if token.contains('.') || commas > 1 {
+        token.replace(',', "")
+    } else {
+        token.replace(',', ".")
+    };
     normalized.parse::<f64>().ok().filter(|v| v.is_finite())
 }
 
@@ -134,13 +162,26 @@ impl CommandRunner for ProcessRunner {
 /// (exact, after trimming) against the sdr rows; a socket whose sensor
 /// is absent or unreadable polls as `None`. Fan commands address zones
 /// as BMC fan indices and translate rpm targets to duty percentages
-/// linearly across the mechanical bounds.
-#[derive(Debug)]
+/// linearly across the mechanical bounds. Cap writes delegate to a
+/// [`CapEnforcer`] ([`NullEnforcer`] unless
+/// [`IpmiAdapter::with_cap_enforcer`] wires one), and firmware fallback
+/// releases the caps alongside handing the fans back.
 pub struct IpmiAdapter<R: CommandRunner> {
     runner: R,
     sensor_names: Vec<String>,
     zone_count: usize,
     fan_bounds: Bounds<Rpm>,
+    enforcer: Box<dyn CapEnforcer>,
+}
+
+impl<R: CommandRunner> std::fmt::Debug for IpmiAdapter<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IpmiAdapter")
+            .field("sensor_names", &self.sensor_names)
+            .field("zone_count", &self.zone_count)
+            .field("fan_bounds", &self.fan_bounds)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<R: CommandRunner> IpmiAdapter<R> {
@@ -159,7 +200,43 @@ impl<R: CommandRunner> IpmiAdapter<R> {
     ) -> Self {
         assert!(!sensor_names.is_empty(), "at least one sensor");
         assert!(zone_count > 0, "at least one fan zone");
-        Self { runner, sensor_names, zone_count, fan_bounds }
+        Self { runner, sensor_names, zone_count, fan_bounds, enforcer: Box::new(NullEnforcer) }
+    }
+
+    /// Builds the adapter with the socket→sensor map **auto-discovered**
+    /// from one `ipmitool sdr type temperature` listing (see
+    /// [`discover_socket_sensors`] for the heuristic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Read`] if the listing cannot be read
+    /// or no CPU temperature sensors are found in it.
+    pub fn discover(
+        mut runner: R,
+        zone_count: usize,
+        fan_bounds: Bounds<Rpm>,
+    ) -> Result<Self, TelemetryError> {
+        let text = runner.run("ipmitool", &["sdr".into(), "type".into(), "temperature".into()])?;
+        let names = discover_socket_sensors(&text);
+        if names.is_empty() {
+            return Err(TelemetryError::Read(
+                "sensor discovery found no CPU temperature sensors in the sdr listing".into(),
+            ));
+        }
+        Ok(Self::new(runner, names, zone_count, fan_bounds))
+    }
+
+    /// Replaces the cap enforcer (builder-style).
+    #[must_use]
+    pub fn with_cap_enforcer(mut self, enforcer: Box<dyn CapEnforcer>) -> Self {
+        self.enforcer = enforcer;
+        self
+    }
+
+    /// The socket→sensor map in use (discovery output, for logging).
+    #[must_use]
+    pub fn sensor_names(&self) -> &[String] {
+        &self.sensor_names
     }
 
     /// Polls every mapped socket temperature from
@@ -233,12 +310,12 @@ impl<R: CommandRunner> FanActuator for IpmiAdapter<R> {
         Ok(self.rpm_for_percent(percent))
     }
 
-    fn write_caps(&mut self, _caps: &[Utilization]) -> Result<(), TelemetryError> {
+    fn write_caps(&mut self, caps: &[Utilization]) -> Result<(), TelemetryError> {
         // Per-socket utilization capping is OS-side (RAPL / cgroup
-        // quota), not a BMC command; deployments wire their own
-        // enforcement here. Accepting the write keeps the daemon loop
-        // uniform.
-        Ok(())
+        // quota), not a BMC command — the wired CapEnforcer carries it
+        // (the default NullEnforcer accepts-without-enforcing, the
+        // pre-enforcement behavior).
+        self.enforcer.enforce(caps)
     }
 
     fn migrate_load(
@@ -251,7 +328,11 @@ impl<R: CommandRunner> FanActuator for IpmiAdapter<R> {
     }
 
     fn enter_firmware_fallback(&mut self) -> Result<(), TelemetryError> {
-        self.set_auto_control(true)
+        // Fans back to firmware *and* caps released: a cap left pinned
+        // while the daemon is out of the loop is an unwatched
+        // performance fault.
+        self.set_auto_control(true)?;
+        self.enforcer.release()
     }
 
     fn resume_manual_control(&mut self) -> Result<(), TelemetryError> {
@@ -259,9 +340,158 @@ impl<R: CommandRunner> FanActuator for IpmiAdapter<R> {
     }
 }
 
+/// [`IpmiAdapter`] promoted to a full daemon backend: the missing
+/// [`TelemetrySource`] half, so `gfsc-daemond` can run the paced loop
+/// against a real BMC.
+///
+/// What the BMC cannot tell us is modeled explicitly:
+///
+/// - **tachometers** mirror the last acknowledged targets (the raw
+///   duty-write protocol has no read-back; the daemon's deadzone logic
+///   only needs the commanded reference),
+/// - **demand** is a fixed configured utilization (rack-level demand
+///   telemetry is deployment-specific; the thermal loop is driven by
+///   the *measured temperatures* either way),
+/// - **advance** is a no-op — real time passes on its own, and
+///   [`crate::Daemon::run_paced`] owns the cadence.
+#[derive(Debug)]
+pub struct IpmiTelemetry<R: CommandRunner> {
+    adapter: IpmiAdapter<R>,
+    demand: Utilization,
+    last_tach: Vec<Rpm>,
+}
+
+impl<R: CommandRunner> IpmiTelemetry<R> {
+    /// Wraps `adapter`, assuming the fans currently run near
+    /// `start_fan` and the rack demand holds at `demand`.
+    #[must_use]
+    pub fn new(adapter: IpmiAdapter<R>, demand: Utilization, start_fan: Rpm) -> Self {
+        let start = adapter.fan_bounds.clamp(start_fan);
+        let last_tach = vec![start; adapter.zone_count];
+        Self { adapter, demand, last_tach }
+    }
+
+    /// The wrapped adapter (read-only, e.g. to log the sensor map).
+    #[must_use]
+    pub fn adapter(&self) -> &IpmiAdapter<R> {
+        &self.adapter
+    }
+}
+
+impl<R: CommandRunner> TelemetrySource for IpmiTelemetry<R> {
+    fn socket_count(&self) -> usize {
+        self.adapter.sensor_names.len()
+    }
+
+    fn zone_count(&self) -> usize {
+        self.adapter.zone_count
+    }
+
+    fn poll_temperatures(&mut self, out: &mut [Option<Celsius>]) -> Result<(), TelemetryError> {
+        self.adapter.read_temperatures(out)
+    }
+
+    fn poll_fan_speeds(&mut self, out: &mut [Rpm]) -> Result<(), TelemetryError> {
+        for (slot, tach) in out.iter_mut().zip(&self.last_tach) {
+            *slot = *tach;
+        }
+        Ok(())
+    }
+
+    fn poll_demand(&mut self) -> Result<Utilization, TelemetryError> {
+        Ok(self.demand)
+    }
+
+    fn advance(&mut self, _dt: Seconds) {}
+}
+
+impl<R: CommandRunner> FanActuator for IpmiTelemetry<R> {
+    fn write_fan_target(&mut self, z: usize, target: Rpm) -> Result<Rpm, TelemetryError> {
+        let acked = self.adapter.write_fan_target(z, target)?;
+        if let Some(tach) = self.last_tach.get_mut(z) {
+            *tach = acked;
+        }
+        Ok(acked)
+    }
+
+    fn write_caps(&mut self, caps: &[Utilization]) -> Result<(), TelemetryError> {
+        self.adapter.write_caps(caps)
+    }
+
+    fn migrate_load(&mut self, from: usize, to: usize, amount: f64) -> Result<(), TelemetryError> {
+        self.adapter.migrate_load(from, to, amount)
+    }
+
+    fn enter_firmware_fallback(&mut self) -> Result<(), TelemetryError> {
+        self.adapter.enter_firmware_fallback()
+    }
+
+    fn resume_manual_control(&mut self) -> Result<(), TelemetryError> {
+        let result = self.adapter.resume_manual_control();
+        if result.is_ok() {
+            // Firmware ran the fans at max while it held the rack; the
+            // daemon's bumpless re-arm forces its mirror there too.
+            self.last_tach.fill(self.adapter.fan_bounds.hi());
+        }
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::enforce::RecordingEnforcer;
+
+    #[test]
+    fn float_tokens_distinguish_decimal_commas_from_thousands_separators() {
+        assert_eq!(parse_float_token("45.5"), Some(45.5));
+        // One comma, no dot: locale decimal comma.
+        assert_eq!(parse_float_token("45,5"), Some(45.5));
+        // Comma + dot: thousands separator (used to normalize to the
+        // unparseable `1.234.5` and silently drop the reading).
+        assert_eq!(parse_float_token("1,234.5"), Some(1234.5));
+        // Multiple commas: thousands separators.
+        assert_eq!(parse_float_token("1,234,567"), Some(1_234_567.0));
+        // Non-finite stays unreadable.
+        assert_eq!(parse_float_token("nan"), None);
+        assert_eq!(parse_float_token("inf"), None);
+        assert_eq!(parse_float_token("garbage"), None);
+    }
+
+    #[test]
+    fn placeholder_readings_stay_missing_never_fabricated() {
+        for placeholder in
+            ["na", "NA", "n/a", "N/A", "ns", "no reading", "disabled", "0x0000", "0X0180", ""]
+        {
+            assert_eq!(parse_reading(placeholder), None, "placeholder {placeholder:?}");
+        }
+        // …while real readings still parse.
+        assert_eq!(parse_reading(" 45 degrees C "), Celsius::try_new(45.0));
+        assert_eq!(parse_reading("1,234.5 degrees C"), Celsius::try_new(1234.5));
+    }
+
+    #[test]
+    fn cap_writes_flow_through_the_enforcer_and_fallback_releases() {
+        struct AckAll;
+        impl CommandRunner for AckAll {
+            fn run(&mut self, _cmd: &str, _args: &[String]) -> Result<String, TelemetryError> {
+                Ok(String::new())
+            }
+        }
+        let recorder = RecordingEnforcer::new();
+        let mut adapter = IpmiAdapter::new(
+            AckAll,
+            vec!["CPU0 Temp".into()],
+            1,
+            Bounds::new(Rpm::new(1000.0), Rpm::new(9000.0)),
+        )
+        .with_cap_enforcer(Box::new(recorder.clone()));
+        adapter.write_caps(&[Utilization::new(0.6)]).unwrap();
+        adapter.enter_firmware_fallback().unwrap();
+        let log = recorder.log();
+        assert_eq!(log.enforced, vec![vec![Utilization::new(0.6)]]);
+        assert_eq!(log.releases, 1, "fallback must release the caps");
+    }
 
     #[test]
     fn sdr_percent_and_raw_commands() {

@@ -57,6 +57,16 @@ pub struct DaemonMetrics {
     pub write_failures: u64,
     /// Panics caught by the loop's watchdog.
     pub controller_panics: u64,
+    /// Paced cycles that started later than deadline + tolerance
+    /// (zero unless the loop runs under `Daemon::run_paced`).
+    pub deadline_misses: u64,
+    /// Paced cycles whose work outlasted the wall period.
+    pub cycle_overruns: u64,
+    /// Current consecutive-overrun streak (gauge; fallback trips at the
+    /// configured budget).
+    pub overrun_streak: u64,
+    /// Worst cycle-start lateness seen, wall seconds (gauge).
+    pub worst_lateness_s: f64,
     /// Per-zone actuation state.
     pub zones: Vec<ZoneActuation>,
 }
@@ -101,7 +111,8 @@ impl DaemonMetrics {
             "gfsc_daemon loop_cycles={}u,loop_latency_last_ns={}u,loop_latency_max_ns={}u,\
              loop_latency_p50_ns={}u,loop_latency_p95_ns={}u,loop_latency_p99_ns={}u,\
              stale_sensors={}u,frozen_sensors={}u,fallback_entries={}u,fallback_exits={}u,\
-             in_fallback={},read_failures={}u,write_failures={}u,controller_panics={}u",
+             in_fallback={},read_failures={}u,write_failures={}u,controller_panics={}u,\
+             deadline_misses={}u,cycle_overruns={}u,overrun_streak={}u,worst_lateness_s={}",
             self.loop_cycles,
             self.loop_latency.last(),
             self.loop_latency.max(),
@@ -116,6 +127,10 @@ impl DaemonMetrics {
             self.read_failures,
             self.write_failures,
             self.controller_panics,
+            self.deadline_misses,
+            self.cycle_overruns,
+            self.overrun_streak,
+            self.worst_lateness_s,
         );
         for (z, wall) in self.zones.iter().enumerate() {
             let _ = write!(out, "gfsc_daemon_wall,zone={z}");
@@ -198,6 +213,22 @@ mod tests {
     }
 
     #[test]
+    fn pacing_counters_render_on_the_daemon_line() {
+        let mut metrics = DaemonMetrics::new(1);
+        metrics.deadline_misses = 4;
+        metrics.cycle_overruns = 2;
+        metrics.overrun_streak = 2;
+        metrics.worst_lateness_s = 1.25;
+        let text = metrics.render();
+        assert!(text.contains("deadline_misses=4u"), "{text}");
+        assert!(text.contains("cycle_overruns=2u"), "{text}");
+        assert!(text.contains("overrun_streak=2u"), "{text}");
+        assert!(text.contains("worst_lateness_s=1.25"), "{text}");
+        // Still one gfsc_daemon row plus the wall row.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
     fn latency_tracks_last_and_max() {
         let mut metrics = DaemonMetrics::new(1);
         metrics.observe_latency(500);
@@ -259,14 +290,17 @@ mod tests {
         let endpoint = MetricsEndpoint::bind("127.0.0.1:0").expect("ephemeral bind");
         let addr = endpoint.local_addr().unwrap();
         let mut client = std::net::TcpStream::connect(addr).unwrap();
-        // Give the non-blocking accept a moment on slow machines.
+        // The non-blocking accept may lag the connect on a contended
+        // box: retry against a generous wall deadline instead of a
+        // fixed iteration count — the test ends at first success, so
+        // the deadline only bounds the pathological case.
+        let give_up = std::time::Instant::now() + std::time::Duration::from_secs(30);
         let mut served = 0;
-        for _ in 0..200 {
+        while served == 0 && std::time::Instant::now() < give_up {
             served = endpoint.poll_serve("gfsc_daemon loop_cycles=1u\n");
-            if served > 0 {
-                break;
+            if served == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
             }
-            std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(served, 1);
         let mut body = String::new();

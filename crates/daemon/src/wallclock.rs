@@ -1,0 +1,211 @@
+//! Wall-clock pacing: the seam between simulated control time and the
+//! real seconds a deployed daemon lives in.
+//!
+//! `Daemon::run` steps a simulated clock as fast as the CPU allows;
+//! `Daemon::run_paced` runs the *identical* loop but sleeps between
+//! control cycles so cycle `k` starts at wall time `k · period ·
+//! time_scale`. The sleep/measure side lives behind [`WallClock`]:
+//! [`MonotonicClock`] (production — `std::time::Instant`, immune to
+//! wall-time steps from NTP) and [`MockClock`] (tests — time advances
+//! only when the trait is asked to advance it, and scripted per-cycle
+//! work cost injects deterministic overruns).
+//!
+//! The accounting contract (see [`PacingConfig`]):
+//!
+//! - a **deadline miss** is a cycle that *starts* more than
+//!   `miss_tolerance` past its nominal deadline;
+//! - an **overrun** is a cycle whose *work* takes longer than the wall
+//!   period itself — the next deadline is already gone before the loop
+//!   can sleep;
+//! - `max_overrun_streak` consecutive overruns are a pacing failure the
+//!   daemon treats exactly like sensor loss: firmware fallback
+//!   (`FallbackReason::OverrunStreak`), with pacing disturbances
+//!   resetting the clean-recovery window until cycles land on time
+//!   again.
+
+use gfsc_units::Seconds;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// A monotonic wall clock the paced daemon loop sleeps and measures on.
+///
+/// Time is reported as seconds since an implementation-chosen origin
+/// (construction). The daemon never compares instants across clocks.
+pub trait WallClock {
+    /// Wall seconds elapsed since the clock's origin.
+    fn now(&mut self) -> Seconds;
+
+    /// Blocks until [`Self::now`] reaches `deadline` (returns
+    /// immediately if the deadline already passed).
+    fn sleep_until(&mut self, deadline: Seconds);
+
+    /// Hook called once per control cycle, after the cycle's work,
+    /// while the pacer is still timing it. Production clocks ignore it;
+    /// [`MockClock`] uses it to charge scripted work cost to the cycle
+    /// deterministically.
+    fn on_cycle_complete(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+}
+
+/// The production clock: `std::time::Instant` under the hood, so it is
+/// monotonic and unaffected by NTP steps.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock for MonotonicClock {
+    fn now(&mut self) -> Seconds {
+        Seconds::new(self.origin.elapsed().as_secs_f64())
+    }
+
+    fn sleep_until(&mut self, deadline: Seconds) {
+        let remaining = deadline.value() - self.origin.elapsed().as_secs_f64();
+        if remaining > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(remaining));
+        }
+    }
+}
+
+/// The deterministic test clock: sleeping jumps time forward instantly,
+/// and [`Self::inject_overrun`] charges a scripted work cost to a range
+/// of cycle indices — the only way mock time advances outside a sleep.
+///
+/// With no injections armed, every cycle's work costs zero wall time,
+/// every deadline is met exactly, and a paced run is bit-identical to
+/// the unpaced library loop.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now_s: f64,
+    /// Scripted work cost per cycle-index range, charged in
+    /// [`WallClock::on_cycle_complete`].
+    overruns: Vec<(Range<u64>, f64)>,
+}
+
+impl MockClock {
+    /// A clock at `t = 0` with no overruns scripted.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges every control cycle in `cycles` a work cost of `cost`
+    /// wall seconds (cumulative across overlapping injections).
+    pub fn inject_overrun(&mut self, cycles: Range<u64>, cost: Seconds) {
+        self.overruns.push((cycles, cost.value()));
+    }
+}
+
+impl WallClock for MockClock {
+    fn now(&mut self) -> Seconds {
+        Seconds::new(self.now_s)
+    }
+
+    fn sleep_until(&mut self, deadline: Seconds) {
+        if deadline.value() > self.now_s {
+            self.now_s = deadline.value();
+        }
+    }
+
+    fn on_cycle_complete(&mut self, cycle: u64) {
+        for (range, cost) in &self.overruns {
+            if range.contains(&cycle) {
+                self.now_s += cost;
+            }
+        }
+    }
+}
+
+/// How the paced loop maps control time to wall time and when pacing
+/// trouble becomes a watchdog matter.
+#[derive(Debug, Clone, Copy)]
+pub struct PacingConfig {
+    /// Wall seconds per simulated control second (1.0 = real time; 0.1
+    /// runs the schedule at 10× speed — useful for soak tests).
+    pub time_scale: f64,
+    /// Lateness a cycle start may carry before it counts as a deadline
+    /// miss (scheduler jitter allowance).
+    pub miss_tolerance: Seconds,
+    /// Consecutive overrunning cycles tolerated before the watchdog
+    /// hands the rack to firmware
+    /// ([`crate::FallbackReason::OverrunStreak`]).
+    pub max_overrun_streak: u32,
+}
+
+impl Default for PacingConfig {
+    /// Real time, 50 ms jitter allowance, 5-cycle overrun budget.
+    fn default() -> Self {
+        Self { time_scale: 1.0, miss_tolerance: Seconds::new(0.05), max_overrun_streak: 5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_sleep_jumps_forward_never_back() {
+        let mut clock = MockClock::new();
+        clock.sleep_until(Seconds::new(2.5));
+        assert_eq!(clock.now(), Seconds::new(2.5));
+        clock.sleep_until(Seconds::new(1.0));
+        assert_eq!(clock.now(), Seconds::new(2.5), "a past deadline must not rewind time");
+    }
+
+    #[test]
+    fn mock_clock_charges_injected_cost_to_the_scripted_cycles_only() {
+        let mut clock = MockClock::new();
+        clock.inject_overrun(3..5, Seconds::new(1.5));
+        clock.on_cycle_complete(2);
+        assert_eq!(clock.now(), Seconds::new(0.0));
+        clock.on_cycle_complete(3);
+        assert_eq!(clock.now(), Seconds::new(1.5));
+        clock.on_cycle_complete(4);
+        assert_eq!(clock.now(), Seconds::new(3.0));
+        clock.on_cycle_complete(5);
+        assert_eq!(clock.now(), Seconds::new(3.0), "range end is exclusive");
+    }
+
+    #[test]
+    fn overlapping_injections_accumulate() {
+        let mut clock = MockClock::new();
+        clock.inject_overrun(0..2, Seconds::new(1.0));
+        clock.inject_overrun(1..2, Seconds::new(0.25));
+        clock.on_cycle_complete(1);
+        assert_eq!(clock.now(), Seconds::new(1.25));
+    }
+
+    #[test]
+    fn monotonic_clock_reports_elapsed_time_and_honours_past_deadlines() {
+        let mut clock = MonotonicClock::new();
+        let t0 = clock.now();
+        // A deadline already in the past returns without sleeping.
+        clock.sleep_until(Seconds::new(0.0));
+        let t1 = clock.now();
+        assert!(t1.value() >= t0.value(), "monotonic");
+        assert!(t1.value() < 5.0, "sleep_until(past) must not block");
+    }
+
+    #[test]
+    fn pacing_defaults() {
+        let cfg = PacingConfig::default();
+        assert_eq!(cfg.time_scale, 1.0);
+        assert_eq!(cfg.miss_tolerance, Seconds::new(0.05));
+        assert_eq!(cfg.max_overrun_streak, 5);
+    }
+}

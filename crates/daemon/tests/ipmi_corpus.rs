@@ -9,7 +9,9 @@
 //! daemon to firmware fallback instead of releasing every cap against
 //! a phantom 0 °C socket.
 
-use gfsc_daemon::{parse_sdr_temperatures, parse_sensors_temperatures, IpmiReading};
+use gfsc_daemon::{
+    discover_socket_sensors, parse_sdr_temperatures, parse_sensors_temperatures, IpmiReading,
+};
 use gfsc_sensors::{SensorHealth, SensorStatus};
 use gfsc_units::{Celsius, Seconds};
 
@@ -58,6 +60,37 @@ fn placeholder_readings_parse_as_none_never_zero() {
     assert_eq!(value_of(&readings, "PCH Temp"), None, "'Disabled' must be None");
     assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
     assert_no_fabricated_zero(&readings);
+}
+
+#[test]
+fn na_and_hex_state_placeholders_parse_as_none_never_zero() {
+    // Vendor spellings beyond `No Reading`: bare `na` / `N/A`, and raw
+    // hex state words (`0x0180`) some BMCs print for discrete sensors.
+    // The thousands-separated reading exercises the shared float-token
+    // parser (realistic on rpm/power rows that flow through it too).
+    let readings = parse_sdr_temperatures(include_str!("fixtures/sdr_placeholders.txt"));
+    assert_eq!(readings.len(), 7);
+    assert_eq!(value_of(&readings, "CPU0 Temp"), None, "'N/A' must be None");
+    assert_eq!(value_of(&readings, "CPU1 Temp"), None, "'na' must be None");
+    assert_eq!(value_of(&readings, "PCH Temp"), None, "'0x0180' must be None");
+    assert_eq!(value_of(&readings, "VR Temp"), None, "'0xFF' must be None");
+    assert_eq!(
+        value_of(&readings, "CPU2 Temp"),
+        Some(Celsius::new(1234.5)),
+        "1,234.5 is a thousands separator, not the locale decimal 1.2345"
+    );
+    assert_eq!(value_of(&readings, "Inlet Temp"), Some(Celsius::new(24.0)));
+    assert_no_fabricated_zero(&readings);
+}
+
+#[test]
+fn discovery_keeps_unreadable_sockets_in_numeric_order() {
+    // The fixture lists CPU1 before CPU0 and leaves both unreadable:
+    // discovery must still map socket i → `CPUi Temp` — readability is
+    // the poll path's concern, and dropping a dead sensor would remap
+    // every later socket.
+    let names = discover_socket_sensors(include_str!("fixtures/sdr_placeholders.txt"));
+    assert_eq!(names, vec!["CPU0 Temp", "CPU1 Temp", "CPU2 Temp"]);
 }
 
 #[test]

@@ -113,11 +113,17 @@ pub enum EventKind {
     /// Closed-loop control re-engaged. Payload: reason code of the
     /// fallback being exited.
     FallbackExited,
+    /// A paced control cycle started past its wall-clock deadline.
+    /// Payload: lateness, wall seconds.
+    DeadlineMissed,
+    /// A paced control cycle's work ran longer than its period.
+    /// Payload: cycle duration, wall seconds.
+    CycleOverrun,
 }
 
 impl EventKind {
     /// Number of registered kinds (sizes per-kind counter arrays).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     /// Every kind, in declaration order (indexable by `self as usize`).
     pub const ALL: [Self; Self::COUNT] = [
@@ -140,6 +146,8 @@ impl EventKind {
         Self::SsGuardRelease,
         Self::FallbackEntered,
         Self::FallbackExited,
+        Self::DeadlineMissed,
+        Self::CycleOverrun,
     ];
 
     /// Stable kebab-case slug (text serialisation + line-protocol tag).
@@ -165,6 +173,8 @@ impl EventKind {
             Self::SsGuardRelease => "ss-guard-release",
             Self::FallbackEntered => "fallback-entered",
             Self::FallbackExited => "fallback-exited",
+            Self::DeadlineMissed => "deadline-missed",
+            Self::CycleOverrun => "cycle-overrun",
         }
     }
 

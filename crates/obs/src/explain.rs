@@ -44,6 +44,10 @@ pub fn narrate(event: &Event) -> String {
         EventKind::FallbackExited => {
             format!("closed loop re-engaged (after {})", fallback_reason_label(v))
         }
+        EventKind::DeadlineMissed => {
+            format!("control cycle started {v:.3} s past its wall deadline")
+        }
+        EventKind::CycleOverrun => format!("control cycle overran its period ({v:.3} s of work)"),
     }
 }
 

@@ -49,6 +49,7 @@ pub fn fallback_reason_label(code: f64) -> &'static str {
         1 => "read-failures",
         2 => "actuation-failures",
         3 => "controller-panic",
+        4 => "overrun-streak",
         _ => "unknown",
     }
 }

@@ -27,6 +27,14 @@ use gfsc_units::Seconds;
 pub struct Periodic {
     period: Seconds,
     next: f64,
+    /// The nominal grid's phase (the first scheduled firing time) —
+    /// what [`Self::reschedule_on_grid`] re-arms against after an
+    /// out-of-band fire.
+    anchor: f64,
+    /// Set by [`Self::reschedule_on_grid`]: the next fire is
+    /// out-of-band, and the one after it must land back on the
+    /// `anchor + k·period` grid instead of `fired + period`.
+    regrid: bool,
 }
 
 impl Periodic {
@@ -38,7 +46,7 @@ impl Periodic {
     #[must_use]
     pub fn new(period: Seconds) -> Self {
         assert!(!period.is_zero(), "period must be positive");
-        Self { period, next: 0.0 }
+        Self { period, next: 0.0, anchor: 0.0, regrid: false }
     }
 
     /// Creates a schedule whose first firing is delayed to `phase`.
@@ -52,7 +60,7 @@ impl Periodic {
     #[must_use]
     pub fn with_phase(period: Seconds, phase: Seconds) -> Self {
         assert!(!period.is_zero(), "period must be positive");
-        Self { period, next: phase.value() }
+        Self { period, next: phase.value(), anchor: phase.value(), regrid: false }
     }
 
     /// The firing period.
@@ -74,8 +82,18 @@ impl Periodic {
     pub fn is_due(&mut self, now: Seconds) -> bool {
         let tol = self.period.value() * 1e-6;
         if now.value() + tol >= self.next {
-            // Re-arm on the nominal grid so late polls do not drift phase.
-            self.next += self.period.value();
+            if self.regrid {
+                // An out-of-band fire armed by `reschedule_on_grid`:
+                // return to the nominal `anchor + k·period` grid instead
+                // of shifting every later firing by the fire time.
+                self.regrid = false;
+                let periods = ((now.value() + tol - self.anchor) / self.period.value()).floor();
+                self.next = self.anchor + (periods + 1.0) * self.period.value();
+            } else {
+                // Re-arm on the nominal grid so late polls do not drift
+                // phase.
+                self.next += self.period.value();
+            }
             // If the caller skipped far ahead (e.g. coarse stepping), catch
             // up without queueing a burst of stale firings.
             while self.next <= now.value() + tol {
@@ -87,12 +105,32 @@ impl Periodic {
         }
     }
 
-    /// Re-arms the schedule to fire next at `at`, keeping the period.
+    /// Re-arms the schedule to fire next at `at`, keeping the period —
+    /// **and permanently shifting the phase**: every later firing lands
+    /// on `at + k·period`, not back on the original grid.
     ///
     /// The single-step fan-speed scaling scheme (paper Section V-C) uses
-    /// this to force an immediate out-of-band fan decision.
+    /// this to force an immediate out-of-band fan decision *and* restart
+    /// its decision interval from that fire — the boost window is timed
+    /// from the boost, so the phase shift is the intended behavior
+    /// there. For a one-off early fire that must not disturb the
+    /// nominal cadence, use [`Self::reschedule_on_grid`].
     pub fn reschedule(&mut self, at: Seconds) {
         self.next = at.value();
+        self.anchor = at.value();
+        self.regrid = false;
+    }
+
+    /// Arms a single out-of-band fire at `at`; after it fires, the
+    /// schedule returns to the nominal `phase + k·period` grid as if
+    /// the extra fire had not happened.
+    ///
+    /// With period 30: fire at 0, `reschedule_on_grid(5)`, fire at 5 —
+    /// the next fires land at 30, 60, … (where [`Self::reschedule`]
+    /// would shift them to 35, 65, …).
+    pub fn reschedule_on_grid(&mut self, at: Seconds) {
+        self.next = at.value();
+        self.regrid = true;
     }
 }
 
@@ -158,6 +196,63 @@ mod tests {
         p.reschedule(Seconds::new(5.0));
         assert!(p.is_due(Seconds::new(5.0)));
         assert_eq!(p.next_fire(), Seconds::new(35.0));
+    }
+
+    #[test]
+    fn reschedule_shifts_the_phase_permanently() {
+        // Pin the documented (and SS-fan-intended) phase shift: after an
+        // out-of-band fire at t = 5 the grid is 35 / 65 / …, not 30 / 60.
+        let mut p = Periodic::new(Seconds::new(30.0));
+        assert!(p.is_due(Seconds::new(0.0)));
+        p.reschedule(Seconds::new(5.0));
+        let fired: Vec<f64> = (0..=100)
+            .map(|k| Seconds::new(k as f64))
+            .filter(|&t| p.is_due(t))
+            .map(|t| t.value())
+            .collect();
+        assert_eq!(fired, vec![5.0, 35.0, 65.0, 95.0]);
+    }
+
+    #[test]
+    fn reschedule_on_grid_preserves_the_nominal_grid() {
+        // The grid-preserving re-arm: the out-of-band fire at t = 5 does
+        // not move the 30 / 60 / 90 cadence.
+        let mut p = Periodic::new(Seconds::new(30.0));
+        assert!(p.is_due(Seconds::new(0.0)));
+        p.reschedule_on_grid(Seconds::new(5.0));
+        let fired: Vec<f64> = (0..=100)
+            .map(|k| Seconds::new(k as f64))
+            .filter(|&t| p.is_due(t))
+            .map(|t| t.value())
+            .collect();
+        assert_eq!(fired, vec![5.0, 30.0, 60.0, 90.0]);
+    }
+
+    #[test]
+    fn reschedule_on_grid_respects_a_phase_offset() {
+        // Nominal grid 10 / 40 / 70 / 100; an out-of-band fire at 55
+        // lands between grid points and the cadence resumes at 70.
+        let mut p = Periodic::with_phase(Seconds::new(30.0), Seconds::new(10.0));
+        assert!(p.is_due(Seconds::new(10.0)));
+        assert!(p.is_due(Seconds::new(40.0)));
+        p.reschedule_on_grid(Seconds::new(55.0));
+        assert!(p.is_due(Seconds::new(55.0)), "the out-of-band fire itself");
+        assert_eq!(p.next_fire(), Seconds::new(70.0));
+        let fired: Vec<f64> = (56..=110)
+            .map(|k| Seconds::new(k as f64))
+            .filter(|&t| p.is_due(t))
+            .map(|t| t.value())
+            .collect();
+        assert_eq!(fired, vec![70.0, 100.0]);
+    }
+
+    #[test]
+    fn reschedule_on_grid_exactly_on_a_grid_point_consumes_that_slot() {
+        let mut p = Periodic::new(Seconds::new(30.0));
+        assert!(p.is_due(Seconds::new(0.0)));
+        p.reschedule_on_grid(Seconds::new(30.0));
+        assert!(p.is_due(Seconds::new(30.0)));
+        assert_eq!(p.next_fire(), Seconds::new(60.0));
     }
 
     #[test]

@@ -4,11 +4,11 @@
 #     ./scripts/ci.sh          # full gate: fmt, clippy, lint, build, tests twice
 #                              # (GFSC_SWEEP_THREADS=1 and =4 — determinism
 #                              # under both executors), release tests,
-#                              # daemon HIL drill, large-grid smoke, bench
-#                              # smoke, bench check
+#                              # daemon HIL + wall-clock pacing drills,
+#                              # large-grid smoke, bench smoke, bench check
 #     ./scripts/ci.sh quick    # fmt, clippy, lint, single test run +
-#                              # daemon HIL drill; skip the release tests
-#                              # & bench stages
+#                              # daemon HIL + pacing drills; skip the
+#                              # release tests & bench stages
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds the style gates that keep the tree warning-free.
@@ -55,6 +55,24 @@ run_hil_stage() {
     run_stage "daemon-hil" cargo test -q --locked --offline -p gfsc-daemon --test hil
 }
 
+# The wall-clock pacing drill also runs in BOTH profiles: the paced test
+# suite (config-built daemon bit-identical to the library loop under a
+# mock clock, overrun-burst accounting, horizon-boundary pin), then the
+# gfsc-daemond binary itself driven deployment-shaped — a parity check
+# and the overrun drill from the checked-in fixture config, spilling
+# `.metrics`/`.events`/`.timeline` artifacts into target/daemon-paced/.
+run_paced_stage() {
+    run_stage "daemon-paced" cargo test -q --locked --offline -p gfsc-daemon --test paced
+    daemond_drills() {
+        local config=crates/daemon/tests/fixtures/daemond_sim.toml
+        cargo run -q --release --locked --offline --bin gfsc-daemond -- \
+            --config "$config" --check-parity --artifacts target/daemon-paced
+        cargo run -q --release --locked --offline --bin gfsc-daemond -- \
+            --config "$config" --drill overruns --artifacts target/daemon-paced
+    }
+    run_stage "daemond-drills" daemond_drills
+}
+
 # Renders every HIL scenario's flight recording into a causal timeline
 # (`<scenario>.timeline` next to the `.events` file) — the human-readable
 # artifact the nightly workflow uploads, and a smoke test that the
@@ -74,6 +92,7 @@ run_explain_stage() {
 if [ "${1:-}" = "quick" ]; then
     run_stage "test" cargo test -q --locked --offline
     run_hil_stage
+    run_paced_stage
 else
     # The full gate runs the suite under both a serial and a parallel
     # sweep executor: the parallel==serial determinism contract must hold
@@ -83,6 +102,7 @@ else
     run_stage "test-threads-4" env GFSC_SWEEP_THREADS=4 cargo test -q --locked --offline
     run_stage "test-release" cargo test -q --release --locked --offline
     run_hil_stage
+    run_paced_stage
     run_explain_stage
     # 10k-cell grid through shard manifests and spilled traces: the sweep
     # scale-out machinery at a size the default suite can't afford.
